@@ -1,0 +1,102 @@
+//! Quantitative information-flow estimation via #NFA.
+//!
+//! Paper §1 "beyond databases": estimating information leakage of
+//! software ([5, 7, 15]) reduces to model counting. For a *deterministic*
+//! program, Smith's min-entropy leakage to an observer of the output is
+//! `log₂ |feasible outputs|`. When the feasible-output set of length-`n`
+//! observations is described by an automaton (e.g. the language of
+//! strings a sanitizer can emit, or the observable traces of a protocol),
+//! leakage estimation is exactly #NFA — and an `(1±ε)` count gives the
+//! leakage within `±log₂(1+ε) ≤ ε/ln 2` bits.
+
+use fpras_automata::Nfa;
+use fpras_core::{FprasError, FprasRun, Params};
+use rand::Rng;
+
+/// An estimated leakage figure.
+#[derive(Debug, Clone, Copy)]
+pub struct LeakageEstimate {
+    /// Estimated min-entropy leakage in bits: `log₂ #outputs`.
+    pub bits: f64,
+    /// Half-width of the bit-error interval implied by ε.
+    pub bit_error: f64,
+    /// `log₂` of the raw output-count estimate (equals `bits`).
+    pub count_log2: f64,
+    /// Fraction of the `n`-bit observation space that is feasible
+    /// (`2^{bits - n·log₂ k}`).
+    pub density_log2: f64,
+}
+
+/// Estimates the min-entropy leakage of a deterministic channel whose
+/// feasible length-`n` outputs form `L(A_n)`.
+///
+/// Returns `None` when the output set is empty (no observation possible,
+/// leakage undefined).
+pub fn estimate_leakage<R: Rng + ?Sized>(
+    outputs: &Nfa,
+    n: usize,
+    eps: f64,
+    delta: f64,
+    rng: &mut R,
+) -> Result<Option<LeakageEstimate>, FprasError> {
+    let params = Params::practical(eps, delta, outputs.num_states(), n);
+    let run = FprasRun::run(outputs, n, &params, rng)?;
+    let est = run.estimate();
+    if est.is_zero() {
+        return Ok(None);
+    }
+    let count_log2 = est.log2();
+    let space_log2 = n as f64 * (outputs.alphabet().size() as f64).log2();
+    Ok(Some(LeakageEstimate {
+        bits: count_log2,
+        bit_error: (1.0 + eps).log2(),
+        count_log2,
+        density_log2: count_log2 - space_log2,
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fpras_automata::regex::compile_regex;
+    use fpras_automata::Alphabet;
+    use rand::{rngs::SmallRng, SeedableRng};
+
+    #[test]
+    fn full_channel_leaks_n_bits() {
+        let nfa = compile_regex("(0|1)*", &Alphabet::binary()).unwrap();
+        let mut rng = SmallRng::seed_from_u64(1);
+        let n = 12;
+        let est = estimate_leakage(&nfa, n, 0.2, 0.1, &mut rng).unwrap().unwrap();
+        assert!((est.bits - n as f64).abs() < 0.4, "bits {}", est.bits);
+        assert!(est.density_log2.abs() < 0.4);
+    }
+
+    #[test]
+    fn masked_channel_leaks_less() {
+        // Sanitizer that forces every other symbol to 0: 2^(n/2) outputs.
+        let nfa = compile_regex("((0|1)0)*", &Alphabet::binary()).unwrap();
+        let mut rng = SmallRng::seed_from_u64(2);
+        let n = 12;
+        let est = estimate_leakage(&nfa, n, 0.2, 0.1, &mut rng).unwrap().unwrap();
+        assert!((est.bits - 6.0).abs() < 0.5, "bits {}", est.bits);
+        assert!(est.density_log2 < -5.0);
+    }
+
+    #[test]
+    fn empty_output_set_is_none() {
+        // Odd-length outputs only, asked at even n.
+        let nfa = compile_regex("(0|1)((0|1)(0|1))*", &Alphabet::binary()).unwrap();
+        let mut rng = SmallRng::seed_from_u64(3);
+        let est = estimate_leakage(&nfa, 8, 0.2, 0.1, &mut rng).unwrap();
+        assert!(est.is_none());
+    }
+
+    #[test]
+    fn bit_error_tracks_eps() {
+        let nfa = compile_regex("(0|1)*", &Alphabet::binary()).unwrap();
+        let mut rng = SmallRng::seed_from_u64(4);
+        let est = estimate_leakage(&nfa, 6, 0.5, 0.1, &mut rng).unwrap().unwrap();
+        assert!((est.bit_error - 1.5f64.log2()).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,24 @@
+//! Applications of #NFA counting and sampling (paper §1).
+//!
+//! * [`rpq`] — counting and sampling answers to regular path queries on
+//!   labeled graph databases;
+//! * [`pqe`] — probabilistic query evaluation for self-join-free path
+//!   queries over tuple-independent databases with dyadic probabilities,
+//!   via the world-word reduction;
+//! * [`homomorphism`] — probabilistic graph homomorphism for 1-way path
+//!   queries, lowered onto the PQE reduction;
+//! * [`leakage`] — quantitative information-flow estimation for
+//!   automaton-modeled channels.
+
+pub mod homomorphism;
+pub mod leakage;
+pub mod pqe;
+pub mod rpq;
+
+pub use homomorphism::{
+    estimate_hom, hom_exact, hom_to_database, hom_to_nfa, HomError, HomEstimate, PathQuery,
+    ProbEdge, ProbGraph,
+};
+pub use leakage::{estimate_leakage, LeakageEstimate};
+pub use pqe::{estimate_pqe, pqe_exact, pqe_to_nfa, PqeError, PqeEstimate, ProbDatabase, ProbTuple};
+pub use rpq::{count_answers, rpq_instance, sample_answer, Rpq, RpqCount, RpqError};

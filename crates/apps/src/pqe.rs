@@ -1,0 +1,514 @@
+//! Probabilistic query evaluation (PQE) via #NFA.
+//!
+//! Paper §1, "Probabilistic Query Evaluation": for a tuple-independent
+//! database `D` and a self-join-free path query
+//! `Q = ∃x₀…x_k. R₁(x₀,x₁) ∧ … ∧ R_k(x_{k-1},x_k)`, PQE asks for the
+//! probability that a random sub-database (every tuple kept
+//! independently with its probability) satisfies `Q`. PQE is #P-hard
+//! even for such queries; van Bremen–Meel [17] reduce it to #NFA.
+//!
+//! This module implements the reduction for **dyadic** tuple
+//! probabilities `p_t = s_t / 2^{b_t}` (DESIGN.md §5): a possible world
+//! is encoded as the concatenation of per-tuple coin blocks — tuple `t`
+//! contributes `b_t` bits and is *present* iff its block, read as a
+//! `b_t`-bit integer, is `< s_t`. Worlds are then exactly the length-`n`
+//! binary words (`n = Σ b_t`), each with probability `2⁻ⁿ`, so
+//!
+//! `PQE(Q, D) = |L(A_n)| / 2ⁿ`
+//!
+//! for the NFA `A` that accepts a world-word iff the query holds in it.
+//! `A` is the guess-and-verify automaton: blocks are laid out relation by
+//! relation (`R₁` first), and the automaton nondeterministically commits
+//! to a witness path, using one present tuple per layer; a per-tuple
+//! comparison gadget decodes presence bit by bit. Its size is
+//! `O(n · k · |adom|)` — polynomial in the database, so the #NFA FPRAS
+//! turns into a PQE FPRAS.
+
+use fpras_automata::{Alphabet, Nfa, NfaBuilder, StateId};
+use fpras_core::{FprasError, FprasRun, Params};
+use rand::Rng;
+use std::collections::HashMap;
+
+/// One probabilistic tuple `R_i(src, dst)` with `Pr = num / 2^bits`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProbTuple {
+    /// Source constant.
+    pub src: u32,
+    /// Destination constant.
+    pub dst: u32,
+    /// Numerator `s_t` of the dyadic probability.
+    pub num: u32,
+    /// Number of coin bits `b_t` (probability denominator `2^bits`).
+    pub bits: u32,
+}
+
+impl ProbTuple {
+    /// The tuple's probability as `f64`.
+    pub fn probability(&self) -> f64 {
+        self.num as f64 / 2f64.powi(self.bits as i32)
+    }
+}
+
+/// A tuple-independent database for a `k`-step path query: `tuples[i]`
+/// holds relation `R_{i+1}`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProbDatabase {
+    /// Size of the active domain (constants are `0..adom`).
+    pub adom: u32,
+    /// Per-relation tuple lists, in layer order `R₁, …, R_k`.
+    pub tuples: Vec<Vec<ProbTuple>>,
+}
+
+/// Errors from the PQE pipeline.
+#[derive(Debug)]
+pub enum PqeError {
+    /// A tuple is malformed (probability out of range, constants out of
+    /// the domain, or zero coin bits).
+    BadTuple(String),
+    /// The query has no relations.
+    EmptyQuery,
+    /// The FPRAS failed.
+    Fpras(FprasError),
+}
+
+impl std::fmt::Display for PqeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PqeError::BadTuple(msg) => write!(f, "bad tuple: {msg}"),
+            PqeError::EmptyQuery => write!(f, "query must have at least one relation"),
+            PqeError::Fpras(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for PqeError {}
+
+impl ProbDatabase {
+    fn validate(&self) -> Result<(), PqeError> {
+        if self.tuples.is_empty() {
+            return Err(PqeError::EmptyQuery);
+        }
+        for rel in &self.tuples {
+            for t in rel {
+                if t.src >= self.adom || t.dst >= self.adom {
+                    return Err(PqeError::BadTuple(format!("constant out of domain in {t:?}")));
+                }
+                if t.bits == 0 || t.bits > 20 {
+                    return Err(PqeError::BadTuple(format!("bits must be in 1..=20 in {t:?}")));
+                }
+                if t.num > (1 << t.bits) {
+                    return Err(PqeError::BadTuple(format!("num > 2^bits in {t:?}")));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Total number of coin bits `n = Σ b_t`.
+    pub fn total_bits(&self) -> usize {
+        self.tuples.iter().flatten().map(|t| t.bits as usize).sum()
+    }
+}
+
+/// Carrier identity between tuple blocks: how much of the witness path
+/// has been committed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum Carrier {
+    /// No tuple committed yet (`x₀` still free).
+    Start,
+    /// Committed one tuple from each of `R₁..R_layer`, currently at
+    /// `value` (i.e. `x_layer = value`).
+    At {
+        /// Layers completed (1-based).
+        layer: u32,
+        /// Current path endpoint.
+        value: u32,
+    },
+}
+
+/// Builds the world-word NFA for the database. Returns the automaton and
+/// the word length `n` (its only non-empty slice).
+pub fn pqe_to_nfa(db: &ProbDatabase) -> Result<(Nfa, usize), PqeError> {
+    db.validate()?;
+    let k = db.tuples.len() as u32;
+    let n = db.total_bits();
+    let mut b = NfaBuilder::new(Alphabet::binary());
+
+    // Accepting sink: query satisfied; consumes any remaining bits.
+    let sat = b.add_state();
+    b.add_accepting(sat);
+    b.add_transition(sat, 0, sat);
+    b.add_transition(sat, 1, sat);
+
+    // Carrier states alive at the current block boundary.
+    let mut carriers: HashMap<Carrier, StateId> = HashMap::new();
+    let start_state = b.add_state();
+    b.set_initial(start_state);
+    carriers.insert(Carrier::Start, start_state);
+
+    for (layer0, rel) in db.tuples.iter().enumerate() {
+        let layer = layer0 as u32 + 1; // this block belongs to R_layer
+        for t in rel {
+            let mut next_carriers: HashMap<Carrier, StateId> = HashMap::new();
+            // Every surviving carrier continues across this block; usable
+            // carriers additionally get the present/commit branch.
+            let carrier_list: Vec<(Carrier, StateId)> =
+                carriers.iter().map(|(&c, &s)| (c, s)).collect();
+            for (c, entry) in carrier_list {
+                let usable = match c {
+                    Carrier::Start => layer == 1,
+                    Carrier::At { layer: l, value } => l + 1 == layer && value == t.src,
+                };
+                // Skip-exit: the same carrier after the block.
+                let skip_exit = *next_carriers
+                    .entry(c)
+                    .or_insert_with(|| b.add_state());
+                if usable {
+                    // Commit-exit: path extended to t.dst — or SAT if this
+                    // completes the query.
+                    let commit_exit = if layer == k {
+                        sat
+                    } else {
+                        let cc = Carrier::At { layer, value: t.dst };
+                        *next_carriers.entry(cc).or_insert_with(|| b.add_state())
+                    };
+                    build_tuple_gadget(&mut b, entry, t, skip_exit, Some(commit_exit));
+                } else {
+                    build_tuple_gadget(&mut b, entry, t, skip_exit, None);
+                }
+            }
+            carriers = next_carriers;
+        }
+    }
+    // No carrier at the end is accepting — only SAT accepts.
+    let nfa = b.build().map_err(|e| PqeError::BadTuple(e.to_string()))?;
+    Ok((nfa, n))
+}
+
+/// Wires one tuple's `bits`-bit comparison gadget from `entry`.
+///
+/// All decoded outcomes route to `skip_exit` (tuple absent, or present
+/// but unused); when `commit_exit` is given, present outcomes *also*
+/// branch there (the nondeterministic "use this tuple" choice).
+fn build_tuple_gadget(
+    b: &mut NfaBuilder,
+    entry: StateId,
+    t: &ProbTuple,
+    skip_exit: StateId,
+    commit_exit: Option<StateId>,
+) {
+    let bits = t.bits as usize;
+    let s = t.num as u64;
+
+    // Track states: value-so-far equal to s's prefix, strictly less
+    // (present whatever follows), or strictly greater (absent).
+    // `None` entries are created lazily.
+    let mut eq_state = Some(entry);
+    let mut less_state: Option<StateId> = None;
+    let mut greater_state: Option<StateId> = None;
+
+    if s >= 1 << bits {
+        // Probability 1: every block value is "present".
+        less_state = eq_state.take();
+    } else if s == 0 {
+        // Probability 0: every block value is "absent".
+        greater_state = eq_state.take();
+    }
+
+    for j in 0..bits {
+        let last = j + 1 == bits;
+        let s_bit = if s >= 1 << bits { 0 } else { (s >> (bits - 1 - j)) & 1 };
+
+        // Helper targets for this step.
+        let mut next_eq = None;
+        let mut next_less = None;
+        let mut next_greater = None;
+
+        let wire = |b: &mut NfaBuilder,
+                        from: StateId,
+                        sym: u8,
+                        track: Track,
+                        next_eq: &mut Option<StateId>,
+                        next_less: &mut Option<StateId>,
+                        next_greater: &mut Option<StateId>| {
+            if last {
+                match track {
+                    // Equal after all bits means value == s → absent.
+                    Track::Eq | Track::Greater => b.add_transition(from, sym, skip_exit),
+                    Track::Less => {
+                        b.add_transition(from, sym, skip_exit);
+                        if let Some(commit) = commit_exit {
+                            b.add_transition(from, sym, commit);
+                        }
+                    }
+                }
+            } else {
+                let slot = match track {
+                    Track::Eq => next_eq,
+                    Track::Less => next_less,
+                    Track::Greater => next_greater,
+                };
+                let target = *slot.get_or_insert_with(|| b.add_state());
+                b.add_transition(from, sym, target);
+            }
+        };
+
+        if let Some(eq) = eq_state {
+            for sym in 0..2u8 {
+                let track = match (sym as u64).cmp(&s_bit) {
+                    std::cmp::Ordering::Less => Track::Less,
+                    std::cmp::Ordering::Equal => Track::Eq,
+                    std::cmp::Ordering::Greater => Track::Greater,
+                };
+                wire(b, eq, sym, track, &mut next_eq, &mut next_less, &mut next_greater);
+            }
+        }
+        if let Some(less) = less_state {
+            for sym in 0..2u8 {
+                wire(b, less, sym, Track::Less, &mut next_eq, &mut next_less, &mut next_greater);
+            }
+        }
+        if let Some(greater) = greater_state {
+            for sym in 0..2u8 {
+                wire(b, greater, sym, Track::Greater, &mut next_eq, &mut next_less, &mut next_greater);
+            }
+        }
+        eq_state = next_eq;
+        less_state = next_less;
+        greater_state = next_greater;
+    }
+}
+
+#[derive(Clone, Copy)]
+enum Track {
+    Eq,
+    Less,
+    Greater,
+}
+
+/// Exact PQE by enumerating tuple subsets (`O(2^{#tuples})`) — ground
+/// truth for tests and small experiments.
+pub fn pqe_exact(db: &ProbDatabase) -> Result<f64, PqeError> {
+    db.validate()?;
+    let all: Vec<(usize, ProbTuple)> = db
+        .tuples
+        .iter()
+        .enumerate()
+        .flat_map(|(i, rel)| rel.iter().map(move |&t| (i, t)))
+        .collect();
+    assert!(all.len() <= 24, "exact PQE enumeration limited to 24 tuples");
+    let mut total = 0.0;
+    for mask in 0u64..(1 << all.len()) {
+        let mut prob = 1.0;
+        for (j, (_, t)) in all.iter().enumerate() {
+            let p = t.probability();
+            prob *= if mask & (1 << j) != 0 { p } else { 1.0 - p };
+        }
+        if prob > 0.0 && query_holds(db, &all, mask) {
+            total += prob;
+        }
+    }
+    Ok(total)
+}
+
+/// Evaluates the path query on one world (layered reachability).
+fn query_holds(db: &ProbDatabase, all: &[(usize, ProbTuple)], mask: u64) -> bool {
+    let mut reach: Vec<bool> = vec![true; db.adom as usize]; // x₀ free
+    for layer in 0..db.tuples.len() {
+        let mut next = vec![false; db.adom as usize];
+        let mut any = false;
+        for (j, (l, t)) in all.iter().enumerate() {
+            if *l == layer && mask & (1 << j) != 0 && reach[t.src as usize] {
+                next[t.dst as usize] = true;
+                any = true;
+            }
+        }
+        if !any {
+            return false;
+        }
+        reach = next;
+    }
+    true
+}
+
+/// Result of an approximate PQE computation.
+#[derive(Debug, Clone)]
+pub struct PqeEstimate {
+    /// Estimated probability that the query holds.
+    pub probability: f64,
+    /// The underlying #NFA estimate (count of satisfying worlds).
+    pub world_count_log2: f64,
+    /// Total coin bits (the #NFA instance's word length).
+    pub coin_bits: usize,
+    /// States of the reduced instance.
+    pub nfa_states: usize,
+}
+
+/// Approximates PQE with the FPRAS: `(1±ε)` on the probability, with
+/// confidence `1−δ`.
+pub fn estimate_pqe<R: Rng + ?Sized>(
+    db: &ProbDatabase,
+    eps: f64,
+    delta: f64,
+    rng: &mut R,
+) -> Result<PqeEstimate, PqeError> {
+    let (nfa, n) = pqe_to_nfa(db)?;
+    let params = Params::practical(eps, delta, nfa.num_states(), n);
+    let run = FprasRun::run(&nfa, n, &params, rng).map_err(PqeError::Fpras)?;
+    let est = run.estimate();
+    let probability = if est.is_zero() { 0.0 } else { 2f64.powf(est.log2() - n as f64) };
+    Ok(PqeEstimate {
+        probability,
+        world_count_log2: est.log2(),
+        coin_bits: n,
+        nfa_states: nfa.num_states(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fpras_automata::exact::count_exact;
+    use rand::{rngs::SmallRng, SeedableRng};
+
+    fn tuple(src: u32, dst: u32, num: u32, bits: u32) -> ProbTuple {
+        ProbTuple { src, dst, num, bits }
+    }
+
+    /// One relation, one tuple with Pr = 1/2.
+    #[test]
+    fn single_tuple_half() {
+        let db = ProbDatabase { adom: 2, tuples: vec![vec![tuple(0, 1, 1, 1)]] };
+        assert_eq!(pqe_exact(&db).unwrap(), 0.5);
+        let (nfa, n) = pqe_to_nfa(&db).unwrap();
+        assert_eq!(n, 1);
+        let worlds = count_exact(&nfa, n).unwrap().to_u64().unwrap();
+        assert_eq!(worlds, 1); // exactly the world "0" (value 0 < 1)
+    }
+
+    /// Two independent parallel tuples in one relation:
+    /// Pr[∃ path] = 1 − (1−p)(1−q).
+    #[test]
+    fn parallel_tuples() {
+        let db = ProbDatabase {
+            adom: 3,
+            tuples: vec![vec![tuple(0, 1, 1, 2), tuple(2, 1, 3, 2)]],
+        };
+        let p = 0.25;
+        let q = 0.75;
+        let expect = 1.0 - (1.0 - p) * (1.0 - q);
+        assert!((pqe_exact(&db).unwrap() - expect).abs() < 1e-12);
+        // The NFA world count must match exactly: n = 4 bits.
+        let (nfa, n) = pqe_to_nfa(&db).unwrap();
+        let worlds = count_exact(&nfa, n).unwrap().to_u64().unwrap() as f64;
+        assert!((worlds / 2f64.powi(n as i32) - expect).abs() < 1e-12);
+    }
+
+    /// Two-layer chain R(0,1), S(1,2): both must be present.
+    #[test]
+    fn serial_chain() {
+        let db = ProbDatabase {
+            adom: 3,
+            tuples: vec![vec![tuple(0, 1, 1, 1)], vec![tuple(1, 2, 1, 1)]],
+        };
+        let expect = 0.25;
+        assert!((pqe_exact(&db).unwrap() - expect).abs() < 1e-12);
+        let (nfa, n) = pqe_to_nfa(&db).unwrap();
+        let worlds = count_exact(&nfa, n).unwrap().to_u64().unwrap() as f64;
+        assert!((worlds / 2f64.powi(n as i32) - expect).abs() < 1e-12);
+    }
+
+    /// Join values must match: S leaves from a node R never reaches.
+    #[test]
+    fn join_mismatch_gives_zero() {
+        let db = ProbDatabase {
+            adom: 4,
+            tuples: vec![vec![tuple(0, 1, 1, 1)], vec![tuple(2, 3, 1, 1)]],
+        };
+        assert_eq!(pqe_exact(&db).unwrap(), 0.0);
+        let (nfa, n) = pqe_to_nfa(&db).unwrap();
+        assert!(count_exact(&nfa, n).unwrap().is_zero());
+    }
+
+    /// Randomized cross-check: NFA world count / 2^n == exact PQE on a
+    /// batch of small random databases.
+    #[test]
+    fn nfa_reduction_matches_exact_pqe() {
+        use rand::RngExt;
+        let mut rng = SmallRng::seed_from_u64(77);
+        for case in 0..30 {
+            let adom = 3u32;
+            let k = 1 + (case % 3) as usize;
+            let tuples: Vec<Vec<ProbTuple>> = (0..k)
+                .map(|_| {
+                    (0..rng.random_range(1..3usize))
+                        .map(|_| {
+                            let bits = rng.random_range(1..3u32);
+                            tuple(
+                                rng.random_range(0..adom),
+                                rng.random_range(0..adom),
+                                rng.random_range(0..=(1 << bits)),
+                                bits,
+                            )
+                        })
+                        .collect()
+                })
+                .collect();
+            let db = ProbDatabase { adom, tuples };
+            let exact = pqe_exact(&db).unwrap();
+            let (nfa, n) = pqe_to_nfa(&db).unwrap();
+            let worlds = count_exact(&nfa, n).unwrap();
+            let via_nfa = worlds.to_f64() / 2f64.powi(n as i32);
+            assert!(
+                (via_nfa - exact).abs() < 1e-9,
+                "case {case}: exact {exact} vs nfa {via_nfa} ({db:?})"
+            );
+        }
+    }
+
+    /// End-to-end: FPRAS estimate within ε of exact PQE.
+    #[test]
+    fn fpras_estimate_close() {
+        let db = ProbDatabase {
+            adom: 4,
+            tuples: vec![
+                vec![tuple(0, 1, 1, 1), tuple(0, 2, 3, 2)],
+                vec![tuple(1, 3, 1, 1), tuple(2, 3, 1, 2)],
+            ],
+        };
+        let exact = pqe_exact(&db).unwrap();
+        assert!(exact > 0.0);
+        let mut rng = SmallRng::seed_from_u64(50);
+        let est = estimate_pqe(&db, 0.3, 0.2, &mut rng).unwrap();
+        let err = (est.probability - exact).abs() / exact;
+        assert!(err < 0.3, "err {err}: exact {exact}, est {}", est.probability);
+        assert_eq!(est.coin_bits, 6);
+    }
+
+    #[test]
+    fn validation_errors() {
+        let empty = ProbDatabase { adom: 2, tuples: vec![] };
+        assert!(matches!(pqe_exact(&empty), Err(PqeError::EmptyQuery)));
+        let bad = ProbDatabase { adom: 2, tuples: vec![vec![tuple(0, 5, 1, 1)]] };
+        assert!(matches!(pqe_to_nfa(&bad), Err(PqeError::BadTuple(_))));
+        let bad_num = ProbDatabase { adom: 2, tuples: vec![vec![tuple(0, 1, 9, 2)]] };
+        assert!(matches!(pqe_to_nfa(&bad_num), Err(PqeError::BadTuple(_))));
+    }
+
+    #[test]
+    fn probability_one_and_zero_tuples() {
+        // Pr=1 tuple and Pr=0 tuple.
+        let db = ProbDatabase {
+            adom: 3,
+            tuples: vec![vec![tuple(0, 1, 2, 1)], vec![tuple(1, 2, 0, 1)]],
+        };
+        assert_eq!(pqe_exact(&db).unwrap(), 0.0);
+        let db2 = ProbDatabase {
+            adom: 3,
+            tuples: vec![vec![tuple(0, 1, 2, 1)], vec![tuple(1, 2, 2, 1)]],
+        };
+        assert_eq!(pqe_exact(&db2).unwrap(), 1.0);
+        let (nfa, n) = pqe_to_nfa(&db2).unwrap();
+        assert_eq!(count_exact(&nfa, n).unwrap().to_u64(), Some(4)); // all worlds
+    }
+}

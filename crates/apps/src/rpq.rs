@@ -1,0 +1,209 @@
+//! Counting and sampling answers to regular path queries.
+//!
+//! Paper §1, "Counting Answers to Regular Path Queries": given a graph
+//! database with labeled edges, an RPQ `(u, R, v)` asks about the paths
+//! from node `u` to node `v` whose label word matches the regex `R`,
+//! bounded in length by some `n`. Counting those paths reduces to #NFA on
+//! the product of (a) the graph viewed as an NFA with initial state `u`
+//! and accepting state `v` and (b) the NFA `R` compiles to — the reduced
+//! instance is linear in both the database and the query, which is why a
+//! fast #NFA FPRAS directly yields a fast RPQ counter.
+//!
+//! Per-length counts are combined over `ℓ ∈ 0..=n` ("paths of length at
+//! most n", as in the paper); each slice gets its own FPRAS run with the
+//! confidence budget split evenly.
+
+use fpras_automata::ops::product;
+use fpras_automata::regex::{compile_regex, RegexError};
+use fpras_automata::{Alphabet, Nfa, NfaBuilder, StateId, Word};
+use fpras_core::{FprasError, FprasRun, Params, UniformGenerator};
+use fpras_numeric::ExtFloat;
+use fpras_workloads::LabeledGraph;
+use rand::Rng;
+
+/// A regular path query `(source, pattern, target)`.
+#[derive(Debug, Clone)]
+pub struct Rpq {
+    /// Source node `u`.
+    pub source: u32,
+    /// Regex over edge labels (single-character label names `a, b, …`).
+    pub pattern: String,
+    /// Target node `v`.
+    pub target: u32,
+}
+
+/// Errors from RPQ evaluation.
+#[derive(Debug)]
+pub enum RpqError {
+    /// The pattern failed to parse/compile.
+    Regex(RegexError),
+    /// The FPRAS rejected its parameters.
+    Fpras(FprasError),
+    /// A query endpoint is not a node of the graph.
+    BadEndpoint(u32),
+}
+
+impl std::fmt::Display for RpqError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RpqError::Regex(e) => write!(f, "{e}"),
+            RpqError::Fpras(e) => write!(f, "{e}"),
+            RpqError::BadEndpoint(v) => write!(f, "node {v} is not in the graph"),
+        }
+    }
+}
+
+impl std::error::Error for RpqError {}
+
+/// Views the graph as an NFA: nodes become states, labeled edges become
+/// transitions, `source` is initial and `target` accepting.
+pub fn graph_to_nfa(graph: &LabeledGraph, source: u32, target: u32) -> Result<Nfa, RpqError> {
+    if source as usize >= graph.nodes {
+        return Err(RpqError::BadEndpoint(source));
+    }
+    if target as usize >= graph.nodes {
+        return Err(RpqError::BadEndpoint(target));
+    }
+    let mut b = NfaBuilder::new(Alphabet::of_size(graph.labels));
+    b.add_states(graph.nodes);
+    b.set_initial(source as StateId);
+    b.add_accepting(target as StateId);
+    for &(f, l, t) in &graph.edges {
+        b.add_transition(f, l, t);
+    }
+    b.build().map_err(|_| RpqError::BadEndpoint(target))
+}
+
+/// The product instance whose length-`ℓ` words are exactly the label
+/// words of length-`ℓ` query answers.
+pub fn rpq_instance(graph: &LabeledGraph, query: &Rpq) -> Result<Nfa, RpqError> {
+    let graph_nfa = graph_to_nfa(graph, query.source, query.target)?;
+    let query_nfa =
+        compile_regex(&query.pattern, graph_nfa.alphabet()).map_err(RpqError::Regex)?;
+    Ok(product(&graph_nfa, &query_nfa))
+}
+
+/// Result of an approximate RPQ count.
+#[derive(Debug, Clone)]
+pub struct RpqCount {
+    /// Estimated number of answers of length at most `n`.
+    pub total: ExtFloat,
+    /// Per-length estimates, index `ℓ ∈ 0..=n`.
+    pub per_length: Vec<ExtFloat>,
+}
+
+/// Estimates the number of label words of answer paths of length `≤ n`.
+///
+/// Note the count is over *label words*, matching the #NFA reduction; two
+/// node-distinct paths with the same labels count once. (Counting
+/// node-distinct paths needs the same reduction on an expanded alphabet —
+/// see `rpq_instance` plus a node-annotated label set.)
+pub fn count_answers<R: Rng + ?Sized>(
+    graph: &LabeledGraph,
+    query: &Rpq,
+    n: usize,
+    eps: f64,
+    delta: f64,
+    rng: &mut R,
+) -> Result<RpqCount, RpqError> {
+    let instance = rpq_instance(graph, query)?;
+    let per_slice_delta = delta / (n + 1) as f64;
+    let mut per_length = Vec::with_capacity(n + 1);
+    let mut total = ExtFloat::ZERO;
+    for ell in 0..=n {
+        let params = Params::practical(eps, per_slice_delta, instance.num_states(), ell);
+        let run = FprasRun::run(&instance, ell, &params, rng).map_err(RpqError::Fpras)?;
+        total = total + run.estimate();
+        per_length.push(run.estimate());
+    }
+    Ok(RpqCount { total, per_length })
+}
+
+/// Samples an answer path's label word of exactly length `n`,
+/// almost-uniformly over the answer set.
+pub fn sample_answer<R: Rng + ?Sized>(
+    graph: &LabeledGraph,
+    query: &Rpq,
+    n: usize,
+    eps: f64,
+    delta: f64,
+    rng: &mut R,
+) -> Result<Option<Word>, RpqError> {
+    let instance = rpq_instance(graph, query)?;
+    let params = Params::practical(eps, delta, instance.num_states(), n);
+    let run = FprasRun::run(&instance, n, &params, rng).map_err(RpqError::Fpras)?;
+    let mut generator = UniformGenerator::new(run);
+    Ok(generator.generate(rng))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fpras_automata::exact::count_exact;
+    use rand::{rngs::SmallRng, SeedableRng};
+
+    /// A 4-node diamond: 0 -a-> 1 -b-> 3, 0 -a-> 2 -b-> 3, 3 -a-> 0.
+    fn diamond() -> LabeledGraph {
+        LabeledGraph::new(
+            4,
+            2,
+            vec![(0, 0, 1), (1, 1, 3), (0, 0, 2), (2, 1, 3), (3, 0, 0)],
+        )
+    }
+
+    #[test]
+    fn graph_nfa_language() {
+        let g = diamond();
+        let nfa = graph_to_nfa(&g, 0, 3).unwrap();
+        let ab = Word::parse("ab", nfa.alphabet()).unwrap();
+        assert!(nfa.accepts(&ab));
+        // "ab" is realized by two node paths but is one label word.
+        assert_eq!(count_exact(&nfa, 2).unwrap().to_u64(), Some(1));
+    }
+
+    #[test]
+    fn bad_endpoints_rejected() {
+        let g = diamond();
+        assert!(matches!(graph_to_nfa(&g, 9, 0), Err(RpqError::BadEndpoint(9))));
+        assert!(matches!(graph_to_nfa(&g, 0, 9), Err(RpqError::BadEndpoint(9))));
+    }
+
+    #[test]
+    fn count_answers_matches_exact() {
+        let g = diamond();
+        let query = Rpq { source: 0, pattern: "(ab)+a?".into(), target: 3 };
+        let n = 8;
+        let instance = rpq_instance(&g, &query).unwrap();
+        let exact: f64 = (0..=n)
+            .map(|ell| count_exact(&instance, ell).unwrap().to_f64())
+            .sum();
+        let mut rng = SmallRng::seed_from_u64(40);
+        let res = count_answers(&g, &query, n, 0.3, 0.2, &mut rng).unwrap();
+        assert_eq!(res.per_length.len(), n + 1);
+        let err = (res.total.to_f64() - exact).abs() / exact.max(1.0);
+        assert!(err < 0.3, "err {err} (exact {exact}, est {})", res.total);
+    }
+
+    #[test]
+    fn sample_answer_is_an_answer() {
+        let g = diamond();
+        let query = Rpq { source: 0, pattern: "(ab|aba)*".into(), target: 3 };
+        let instance = rpq_instance(&g, &query).unwrap();
+        let mut rng = SmallRng::seed_from_u64(41);
+        for n in [2usize, 5, 7] {
+            if count_exact(&instance, n).unwrap().is_zero() {
+                continue;
+            }
+            let w = sample_answer(&g, &query, n, 0.3, 0.2, &mut rng).unwrap().unwrap();
+            assert_eq!(w.len(), n);
+            assert!(instance.accepts(&w), "sampled {w:?} is not an answer");
+        }
+    }
+
+    #[test]
+    fn bad_pattern_surfaces_regex_error() {
+        let g = diamond();
+        let query = Rpq { source: 0, pattern: "((".into(), target: 3 };
+        assert!(matches!(rpq_instance(&g, &query), Err(RpqError::Regex(_))));
+    }
+}

@@ -1,0 +1,361 @@
+//! Deterministic finite automata.
+//!
+//! For a DFA, `#DFA` is easy: every word has at most one run, so a linear
+//! DP over levels counts exactly. The exponential step is determinization
+//! itself — which is the whole story of why #NFA needs an FPRAS. This
+//! module provides capped subset construction, the linear counting DP and
+//! Moore minimization; the baselines crate wires them up as the
+//! "determinize-then-count" exact comparator.
+
+use crate::alphabet::{Alphabet, Symbol};
+use crate::exact::ExactError;
+use crate::nfa::{Nfa, NfaBuilder, StateId};
+use crate::stateset::StateSet;
+use crate::word::Word;
+use fpras_numeric::BigUint;
+use std::collections::HashMap;
+
+/// A (partial) deterministic finite automaton; missing transitions are
+/// implicit dead ends.
+#[derive(Clone, Debug)]
+pub struct Dfa {
+    alphabet: Alphabet,
+    initial: StateId,
+    accepting: StateSet,
+    /// `trans[q][sym]` = successor, if any.
+    trans: Vec<Vec<Option<StateId>>>,
+}
+
+impl Dfa {
+    /// Subset construction with a cap on the number of DFA states.
+    pub fn determinize(nfa: &Nfa, cap: usize) -> Result<Dfa, ExactError> {
+        let k = nfa.alphabet().size();
+        let mut index: HashMap<StateSet, StateId> = HashMap::new();
+        let start = StateSet::singleton(nfa.num_states(), nfa.initial() as usize);
+        index.insert(start.clone(), 0);
+        let mut subsets = vec![start];
+        let mut trans: Vec<Vec<Option<StateId>>> = Vec::new();
+        let mut accepting_states = Vec::new();
+        let mut next = 0usize;
+        while next < subsets.len() {
+            let subset = subsets[next].clone();
+            if subset.intersects(nfa.accepting()) {
+                accepting_states.push(next as StateId);
+            }
+            let mut row = vec![None; k];
+            for (sym, slot) in row.iter_mut().enumerate() {
+                let target = nfa.step(&subset, sym as Symbol);
+                if target.is_empty() {
+                    continue;
+                }
+                let id = match index.get(&target) {
+                    Some(&id) => id,
+                    None => {
+                        if subsets.len() >= cap {
+                            return Err(ExactError::SubsetBlowup { level: next, cap });
+                        }
+                        let id = subsets.len() as StateId;
+                        index.insert(target.clone(), id);
+                        subsets.push(target);
+                        id
+                    }
+                };
+                *slot = Some(id);
+            }
+            trans.push(row);
+            next += 1;
+        }
+        Ok(Dfa {
+            alphabet: nfa.alphabet().clone(),
+            initial: 0,
+            accepting: StateSet::from_iter(subsets.len(), accepting_states.iter().map(|&q| q as usize)),
+            trans,
+        })
+    }
+
+    /// The alphabet.
+    pub fn alphabet(&self) -> &Alphabet {
+        &self.alphabet
+    }
+
+    /// Number of states.
+    pub fn num_states(&self) -> usize {
+        self.trans.len()
+    }
+
+    /// The initial state.
+    pub fn initial(&self) -> StateId {
+        self.initial
+    }
+
+    /// True iff `q` is accepting.
+    pub fn is_accepting(&self, q: StateId) -> bool {
+        self.accepting.contains(q as usize)
+    }
+
+    /// The transition `δ(q, sym)`, if present.
+    pub fn next_state(&self, q: StateId, sym: Symbol) -> Option<StateId> {
+        self.trans[q as usize][sym as usize]
+    }
+
+    /// True iff `word ∈ L(D)`.
+    pub fn accepts(&self, word: &Word) -> bool {
+        let mut q = self.initial;
+        for &sym in word.symbols() {
+            match self.next_state(q, sym) {
+                Some(t) => q = t,
+                None => return false,
+            }
+        }
+        self.is_accepting(q)
+    }
+
+    /// Exact `|L(D_n)|` by the linear DP (`O(n·|states|·k)` big-int adds).
+    pub fn count_slice(&self, n: usize) -> BigUint {
+        let m = self.num_states();
+        let k = self.alphabet.size();
+        let mut cur = vec![BigUint::zero(); m];
+        cur[self.initial as usize] = BigUint::one();
+        for _ in 0..n {
+            let mut nxt = vec![BigUint::zero(); m];
+            for (q, c) in cur.iter().enumerate() {
+                if c.is_zero() {
+                    continue;
+                }
+                for sym in 0..k {
+                    if let Some(t) = self.trans[q][sym] {
+                        nxt[t as usize] += c;
+                    }
+                }
+            }
+            cur = nxt;
+        }
+        cur.iter()
+            .enumerate()
+            .filter(|(q, _)| self.accepting.contains(*q))
+            .map(|(_, c)| c.clone())
+            .sum()
+    }
+
+    /// Moore minimization (partition refinement).
+    ///
+    /// Completes the automaton with a sink first so the classic algorithm
+    /// applies, then strips the sink back out if it survived as dead.
+    #[allow(clippy::needless_range_loop)] // loops index several tables at once
+    pub fn minimize(&self) -> Dfa {
+        let k = self.alphabet.size();
+        let m = self.num_states() + 1; // + sink
+        let sink = m - 1;
+        let step = |q: usize, sym: usize| -> usize {
+            if q == sink {
+                sink
+            } else {
+                self.trans[q][sym].map_or(sink, |t| t as usize)
+            }
+        };
+        // Initial partition: accepting vs not.
+        let mut class = vec![0usize; m];
+        for q in 0..m {
+            class[q] = if q != sink && self.accepting.contains(q) { 1 } else { 0 };
+        }
+        loop {
+            // Signature: (class, class of each successor).
+            let mut sig_index: HashMap<Vec<usize>, usize> = HashMap::new();
+            let mut next_class = vec![0usize; m];
+            for q in 0..m {
+                let mut sig = Vec::with_capacity(k + 1);
+                sig.push(class[q]);
+                for sym in 0..k {
+                    sig.push(class[step(q, sym)]);
+                }
+                let len = sig_index.len();
+                next_class[q] = *sig_index.entry(sig).or_insert(len);
+            }
+            let stable = {
+                // Same partition iff classes induce the same blocks.
+                let mut mapping: HashMap<usize, usize> = HashMap::new();
+                let mut same = true;
+                for q in 0..m {
+                    match mapping.get(&class[q]) {
+                        Some(&c) if c != next_class[q] => {
+                            same = false;
+                            break;
+                        }
+                        None => {
+                            mapping.insert(class[q], next_class[q]);
+                        }
+                        _ => {}
+                    }
+                }
+                same && mapping.len() == next_class.iter().collect::<std::collections::HashSet<_>>().len()
+            };
+            class = next_class;
+            if stable {
+                break;
+            }
+        }
+        // Build the quotient, dropping the sink's class when dead.
+        let sink_class = class[sink];
+        let num_classes = class.iter().collect::<std::collections::HashSet<_>>().len();
+        let mut remap = vec![usize::MAX; num_classes];
+        let mut n_out = 0usize;
+        for q in 0..m {
+            let c = class[q];
+            if c != sink_class && remap[c] == usize::MAX {
+                remap[c] = n_out;
+                n_out += 1;
+            }
+        }
+        // If the sink class contains a real accepting state it must be kept
+        // (cannot happen: sink is non-accepting and classes separate by
+        // acceptance). Build tables.
+        let mut trans = vec![vec![None; k]; n_out];
+        let mut accepting = StateSet::empty(n_out);
+        for q in 0..m - 1 {
+            let c = class[q];
+            if c == sink_class {
+                continue;
+            }
+            let nq = remap[c];
+            if self.accepting.contains(q) {
+                accepting.insert(nq);
+            }
+            for sym in 0..k {
+                let t = step(q, sym);
+                if class[t] != sink_class {
+                    trans[nq][sym] = Some(remap[class[t]] as StateId);
+                }
+            }
+        }
+        // Initial state's class can be the sink class only if the language
+        // is empty; represent that with a single dead state.
+        if class[self.initial as usize] == sink_class {
+            return Dfa {
+                alphabet: self.alphabet.clone(),
+                initial: 0,
+                accepting: StateSet::empty(1),
+                trans: vec![vec![None; k]],
+            };
+        }
+        Dfa {
+            alphabet: self.alphabet.clone(),
+            initial: remap[class[self.initial as usize]] as StateId,
+            accepting,
+            trans,
+        }
+    }
+
+    /// Views the DFA as an [`Nfa`] (every DFA is one).
+    ///
+    /// Returns `None` when the DFA accepts nothing (an NFA must declare an
+    /// accepting state).
+    pub fn to_nfa(&self) -> Option<Nfa> {
+        if self.accepting.is_empty() {
+            return None;
+        }
+        let mut b = NfaBuilder::new(self.alphabet.clone());
+        b.add_states(self.num_states());
+        b.set_initial(self.initial);
+        for q in self.accepting.iter() {
+            b.add_accepting(q as StateId);
+        }
+        for (q, row) in self.trans.iter().enumerate() {
+            for (sym, target) in row.iter().enumerate() {
+                if let Some(t) = target {
+                    b.add_transition(q as StateId, sym as Symbol, *t);
+                }
+            }
+        }
+        b.build().ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::count_exact;
+
+    fn contains_11() -> Nfa {
+        let mut b = NfaBuilder::new(Alphabet::binary());
+        let q0 = b.add_state();
+        let q1 = b.add_state();
+        let q2 = b.add_state();
+        b.set_initial(q0);
+        b.add_accepting(q2);
+        b.add_transition(q0, 0, q0);
+        b.add_transition(q0, 1, q0);
+        b.add_transition(q0, 1, q1);
+        b.add_transition(q1, 1, q2);
+        b.add_transition(q2, 0, q2);
+        b.add_transition(q2, 1, q2);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn determinize_preserves_language() {
+        let nfa = contains_11();
+        let dfa = Dfa::determinize(&nfa, 1 << 10).unwrap();
+        for n in 0..=7usize {
+            for idx in 0..(1u64 << n) {
+                let w = Word::from_index(idx, n, 2);
+                assert_eq!(dfa.accepts(&w), nfa.accepts(&w), "word {w:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn dfa_count_matches_exact() {
+        let nfa = contains_11();
+        let dfa = Dfa::determinize(&nfa, 1 << 10).unwrap();
+        for n in 0..=12usize {
+            assert_eq!(dfa.count_slice(n), count_exact(&nfa, n).unwrap(), "n={n}");
+        }
+    }
+
+    #[test]
+    fn determinize_cap() {
+        let nfa = contains_11();
+        assert!(matches!(Dfa::determinize(&nfa, 1), Err(ExactError::SubsetBlowup { .. })));
+    }
+
+    #[test]
+    fn minimize_preserves_language_and_shrinks() {
+        let nfa = contains_11();
+        let dfa = Dfa::determinize(&nfa, 1 << 10).unwrap();
+        let min = dfa.minimize();
+        assert!(min.num_states() <= dfa.num_states());
+        for n in 0..=7usize {
+            for idx in 0..(1u64 << n) {
+                let w = Word::from_index(idx, n, 2);
+                assert_eq!(min.accepts(&w), dfa.accepts(&w), "word {w:?}");
+            }
+        }
+        // The canonical minimal DFA for "contains 11" has 3 states.
+        assert_eq!(min.num_states(), 3);
+    }
+
+    #[test]
+    fn minimize_empty_language() {
+        // DFA with unreachable accepting state.
+        let dfa = Dfa {
+            alphabet: Alphabet::binary(),
+            initial: 0,
+            accepting: StateSet::from_iter(2, [1]),
+            trans: vec![vec![Some(0), Some(0)], vec![Some(1), Some(1)]],
+        };
+        let min = dfa.minimize();
+        for n in 0..=4usize {
+            assert!(min.count_slice(n).is_zero());
+        }
+    }
+
+    #[test]
+    fn to_nfa_round_trip_counts() {
+        let nfa = contains_11();
+        let dfa = Dfa::determinize(&nfa, 1 << 10).unwrap();
+        let back = dfa.to_nfa().unwrap();
+        for n in 0..=8usize {
+            assert_eq!(count_exact(&back, n).unwrap(), count_exact(&nfa, n).unwrap());
+        }
+    }
+}

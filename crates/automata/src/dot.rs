@@ -1,0 +1,58 @@
+//! Graphviz export.
+//!
+//! Small quality-of-life utility for a library release: render any NFA to
+//! DOT for inspection (`dot -Tsvg`). Not used on any algorithmic path.
+
+use crate::nfa::Nfa;
+use std::fmt::Write as _;
+
+/// Renders the automaton in Graphviz DOT syntax.
+///
+/// Accepting states are drawn as double circles; the initial state gets an
+/// inbound arrow from a hidden node. Parallel transitions between the same
+/// pair of states are merged onto one edge with a comma-separated label.
+pub fn to_dot(nfa: &Nfa) -> String {
+    let mut out = String::new();
+    out.push_str("digraph nfa {\n  rankdir=LR;\n  __start [shape=none,label=\"\"];\n");
+    for q in 0..nfa.num_states() as u32 {
+        let shape = if nfa.is_accepting(q) { "doublecircle" } else { "circle" };
+        let _ = writeln!(out, "  q{q} [shape={shape}];");
+    }
+    let _ = writeln!(out, "  __start -> q{};", nfa.initial());
+    // Merge labels per (from, to) pair.
+    let mut labels: std::collections::BTreeMap<(u32, u32), Vec<char>> = std::collections::BTreeMap::new();
+    for (from, sym, to) in nfa.transitions() {
+        labels.entry((from, to)).or_default().push(nfa.alphabet().name(sym));
+    }
+    for ((from, to), syms) in labels {
+        let label: String = syms.iter().map(|c| c.to_string()).collect::<Vec<_>>().join(",");
+        let _ = writeln!(out, "  q{from} -> q{to} [label=\"{label}\"];");
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alphabet::Alphabet;
+    use crate::nfa::NfaBuilder;
+
+    #[test]
+    fn renders_all_elements() {
+        let mut b = NfaBuilder::new(Alphabet::binary());
+        let q0 = b.add_state();
+        let q1 = b.add_state();
+        b.set_initial(q0);
+        b.add_accepting(q1);
+        b.add_transition(q0, 0, q1);
+        b.add_transition(q0, 1, q1);
+        let dot = to_dot(&b.build().unwrap());
+        assert!(dot.contains("q0 [shape=circle]"));
+        assert!(dot.contains("q1 [shape=doublecircle]"));
+        assert!(dot.contains("__start -> q0"));
+        assert!(dot.contains("q0 -> q1 [label=\"0,1\"]"));
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+}

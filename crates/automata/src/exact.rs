@@ -1,0 +1,360 @@
+//! Exact #NFA by level-wise determinization.
+//!
+//! Ground truth for every accuracy experiment. The DP maintains, per level
+//! `ℓ`, a map from *reachable state subsets* `S ⊆ Q` to the exact number
+//! of length-`ℓ` words `w` with `reach(w) = S`. Distinct words remain
+//! distinct under extension, so
+//!
+//! `count[ℓ+1][step(S, b)] += count[ℓ][S]`  for every subset `S`, symbol `b`,
+//!
+//! is exact for *any* NFA — this is on-the-fly subset construction with
+//! counting, and `|L(A_ℓ)| = Σ { count[ℓ][S] : S ∩ F ≠ ∅ }`.
+//!
+//! The subset space is `2^m` in the worst case (#NFA is #P-hard — the
+//! blow-up is expected); the builder takes a cap and fails gracefully so
+//! callers can fall back to approximation. That asymmetry — exponential
+//! exact counting vs polynomial FPRAS — is exactly what experiment E11
+//! measures.
+
+use crate::nfa::Nfa;
+use crate::stateset::StateSet;
+use fpras_numeric::BigUint;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Default cap on distinct subsets per level (≈ a few hundred MB worst
+/// case with counts).
+pub const DEFAULT_SUBSET_CAP: usize = 1 << 20;
+
+/// Errors from the exact counter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExactError {
+    /// The determinization exceeded the subset cap at some level.
+    SubsetBlowup {
+        /// Level at which the cap was exceeded.
+        level: usize,
+        /// Configured cap.
+        cap: usize,
+    },
+}
+
+impl fmt::Display for ExactError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExactError::SubsetBlowup { level, cap } => {
+                write!(f, "determinization exceeded {cap} subsets at level {level}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExactError {}
+
+/// One level of the determinization DP.
+#[derive(Clone, Debug)]
+struct Level {
+    subsets: Vec<StateSet>,
+    counts: Vec<BigUint>,
+    /// Incoming edges: `(prev_subset_index, symbol)` pairs, used by the
+    /// exact sampler to walk backwards.
+    preds: Vec<Vec<(usize, u8)>>,
+}
+
+/// The full level-wise determinization of `A` up to horizon `n`.
+#[derive(Clone, Debug)]
+pub struct Determinization {
+    levels: Vec<Level>,
+    accepting: StateSet,
+}
+
+impl Determinization {
+    /// Runs the DP for `n` levels with the default subset cap.
+    pub fn build(nfa: &Nfa, n: usize) -> Result<Self, ExactError> {
+        Self::build_capped(nfa, n, DEFAULT_SUBSET_CAP)
+    }
+
+    /// Runs the DP with an explicit subset cap per level.
+    pub fn build_capped(nfa: &Nfa, n: usize, cap: usize) -> Result<Self, ExactError> {
+        let m = nfa.num_states();
+        let k = nfa.alphabet().size() as u8;
+        let mut levels = Vec::with_capacity(n + 1);
+        levels.push(Level {
+            subsets: vec![StateSet::singleton(m, nfa.initial() as usize)],
+            counts: vec![BigUint::one()],
+            preds: vec![Vec::new()],
+        });
+        for ell in 1..=n {
+            let prev = &levels[ell - 1];
+            let mut index: HashMap<StateSet, usize> = HashMap::new();
+            let mut cur = Level { subsets: Vec::new(), counts: Vec::new(), preds: Vec::new() };
+            for (pi, subset) in prev.subsets.iter().enumerate() {
+                for sym in 0..k {
+                    let target = nfa.step(subset, sym);
+                    if target.is_empty() {
+                        continue; // word dies; contributes to no language
+                    }
+                    let ti = match index.get(&target) {
+                        Some(&ti) => ti,
+                        None => {
+                            if cur.subsets.len() >= cap {
+                                return Err(ExactError::SubsetBlowup { level: ell, cap });
+                            }
+                            let ti = cur.subsets.len();
+                            index.insert(target.clone(), ti);
+                            cur.subsets.push(target);
+                            cur.counts.push(BigUint::zero());
+                            cur.preds.push(Vec::new());
+                            ti
+                        }
+                    };
+                    cur.counts[ti] += &prev.counts[pi];
+                    cur.preds[ti].push((pi, sym));
+                }
+            }
+            levels.push(cur);
+        }
+        Ok(Determinization { levels, accepting: nfa.accepting().clone() })
+    }
+
+    /// Exact `|L(A_ℓ)|` for any computed level.
+    pub fn slice_count(&self, level: usize) -> BigUint {
+        let lv = &self.levels[level];
+        lv.subsets
+            .iter()
+            .zip(&lv.counts)
+            .filter(|(s, _)| s.intersects(&self.accepting))
+            .map(|(_, c)| c.clone())
+            .sum()
+    }
+
+    /// Exact count of length-`ℓ` words whose run ends in a subset that
+    /// contains `q` — this is `|L(qℓ)|` in the paper's notation.
+    pub fn state_slice_count(&self, q: u32, level: usize) -> BigUint {
+        let lv = &self.levels[level];
+        lv.subsets
+            .iter()
+            .zip(&lv.counts)
+            .filter(|(s, _)| s.contains(q as usize))
+            .map(|(_, c)| c.clone())
+            .sum()
+    }
+
+    /// Number of levels computed (horizon + 1).
+    pub fn num_levels(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Largest number of distinct subsets at any level — the exact
+    /// counter's blow-up measure reported by experiment E11.
+    pub fn max_width(&self) -> usize {
+        self.levels.iter().map(|l| l.subsets.len()).max().unwrap_or(0)
+    }
+
+    pub(crate) fn level_subsets(&self, level: usize) -> &[StateSet] {
+        &self.levels[level].subsets
+    }
+
+    pub(crate) fn level_counts(&self, level: usize) -> &[BigUint] {
+        &self.levels[level].counts
+    }
+
+    pub(crate) fn level_preds(&self, level: usize) -> &[Vec<(usize, u8)>] {
+        &self.levels[level].preds
+    }
+
+    pub(crate) fn accepting(&self) -> &StateSet {
+        &self.accepting
+    }
+}
+
+/// Exact `|L(A_n)|` with the default subset cap.
+pub fn count_exact(nfa: &Nfa, n: usize) -> Result<BigUint, ExactError> {
+    Ok(Determinization::build(nfa, n)?.slice_count(n))
+}
+
+/// Exact `|L(A_ℓ)|` for every `ℓ ∈ 0..=n` in one DP pass.
+pub fn slice_counts(nfa: &Nfa, n: usize) -> Result<Vec<BigUint>, ExactError> {
+    let dp = Determinization::build(nfa, n)?;
+    Ok((0..=n).map(|ell| dp.slice_count(ell)).collect())
+}
+
+/// Exact `|L(A_n)|` by enumerating all `k^n` words — only viable for tiny
+/// `n`, used to cross-check the determinization DP in tests.
+pub fn brute_force_count(nfa: &Nfa, n: usize) -> BigUint {
+    let k = nfa.alphabet().size();
+    let total = (k as u64).checked_pow(n as u32).expect("brute force space too large");
+    let mut count = 0u64;
+    for idx in 0..total {
+        let w = crate::word::Word::from_index(idx, n, k);
+        if nfa.accepts(&w) {
+            count += 1;
+        }
+    }
+    BigUint::from_u64(count)
+}
+
+/// Counts accepting *paths* (not words) of length `n` — linear-time DP.
+///
+/// For ambiguous NFAs this overcounts `|L(A_n)|`; it equals the word count
+/// exactly when the automaton is unambiguous. Kept as a documented foil:
+/// the gap between path and word counts is why #NFA is hard (and is
+/// exercised by the `ambiguous` workloads).
+pub fn count_paths(nfa: &Nfa, n: usize) -> BigUint {
+    let m = nfa.num_states();
+    let k = nfa.alphabet().size() as u8;
+    let mut cur = vec![BigUint::zero(); m];
+    cur[nfa.initial() as usize] = BigUint::one();
+    for _ in 0..n {
+        let mut next = vec![BigUint::zero(); m];
+        for (q, c) in cur.iter().enumerate() {
+            if c.is_zero() {
+                continue;
+            }
+            for sym in 0..k {
+                for &t in nfa.successors(q as u32, sym) {
+                    next[t as usize] += c;
+                }
+            }
+        }
+        cur = next;
+    }
+    cur.iter()
+        .enumerate()
+        .filter(|(q, _)| nfa.is_accepting(*q as u32))
+        .map(|(_, c)| c.clone())
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alphabet::Alphabet;
+    use crate::nfa::NfaBuilder;
+
+    fn contains_11() -> Nfa {
+        let mut b = NfaBuilder::new(Alphabet::binary());
+        let q0 = b.add_state();
+        let q1 = b.add_state();
+        let q2 = b.add_state();
+        b.set_initial(q0);
+        b.add_accepting(q2);
+        b.add_transition(q0, 0, q0);
+        b.add_transition(q0, 1, q0);
+        b.add_transition(q0, 1, q1);
+        b.add_transition(q1, 1, q2);
+        b.add_transition(q2, 0, q2);
+        b.add_transition(q2, 1, q2);
+        b.build().unwrap()
+    }
+
+    fn all_words() -> Nfa {
+        let mut b = NfaBuilder::new(Alphabet::binary());
+        let q = b.add_state();
+        b.set_initial(q);
+        b.add_accepting(q);
+        b.add_transition(q, 0, q);
+        b.add_transition(q, 1, q);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn all_words_count_is_power_of_two() {
+        let nfa = all_words();
+        for n in 0..10usize {
+            assert_eq!(count_exact(&nfa, n).unwrap(), BigUint::pow2(n));
+        }
+    }
+
+    #[test]
+    fn contains_11_matches_brute_force() {
+        let nfa = contains_11();
+        for n in 0..=10usize {
+            assert_eq!(count_exact(&nfa, n).unwrap(), brute_force_count(&nfa, n), "n={n}");
+        }
+    }
+
+    #[test]
+    fn known_small_values() {
+        // #{length-3 words containing "11"} = 110, 011, 111, 110? enumerate:
+        // 011, 110, 111 -> 3
+        let nfa = contains_11();
+        assert_eq!(count_exact(&nfa, 3).unwrap().to_u64(), Some(3));
+        assert_eq!(count_exact(&nfa, 0).unwrap().to_u64(), Some(0));
+        assert_eq!(count_exact(&nfa, 2).unwrap().to_u64(), Some(1));
+    }
+
+    #[test]
+    fn slice_counts_match_individual() {
+        let nfa = contains_11();
+        let all = slice_counts(&nfa, 8).unwrap();
+        for (n, c) in all.iter().enumerate() {
+            assert_eq!(c, &count_exact(&nfa, n).unwrap());
+        }
+    }
+
+    #[test]
+    fn state_slice_counts() {
+        let nfa = contains_11();
+        let dp = Determinization::build(&nfa, 4).unwrap();
+        // L(q0, ℓ) = all words (q0 has a self loop on both symbols).
+        for ell in 0..=4usize {
+            assert_eq!(dp.state_slice_count(0, ell), BigUint::pow2(ell));
+        }
+        // L(q2, 2) = {"11"}.
+        assert_eq!(dp.state_slice_count(2, 2).to_u64(), Some(1));
+    }
+
+    #[test]
+    fn counts_beyond_u128() {
+        // All words, n = 200: count = 2^200.
+        let nfa = all_words();
+        let c = count_exact(&nfa, 200).unwrap();
+        assert_eq!(c, BigUint::pow2(200));
+    }
+
+    #[test]
+    fn subset_cap_enforced() {
+        // An automaton designed to generate many distinct subsets: state i
+        // toggles membership based on input bits.
+        let mut b = NfaBuilder::new(Alphabet::binary());
+        let n_states = 10;
+        b.add_states(n_states);
+        b.set_initial(0);
+        b.add_accepting(0);
+        for q in 0..n_states as u32 {
+            b.add_transition(q, 0, (q + 1) % n_states as u32);
+            b.add_transition(q, 1, (q + 1) % n_states as u32);
+            b.add_transition(q, 1, q);
+        }
+        let nfa = b.build().unwrap();
+        let err = Determinization::build_capped(&nfa, 20, 4).unwrap_err();
+        match err {
+            ExactError::SubsetBlowup { cap, .. } => assert_eq!(cap, 4),
+        }
+    }
+
+    #[test]
+    fn path_count_overcounts_ambiguous() {
+        // contains_11 is ambiguous: a word with several "11" occurrences
+        // has several accepting runs.
+        let nfa = contains_11();
+        let words = count_exact(&nfa, 6).unwrap();
+        let paths = count_paths(&nfa, 6);
+        assert!(paths > words, "paths {paths} should exceed words {words}");
+    }
+
+    #[test]
+    fn path_count_exact_for_deterministic() {
+        let nfa = all_words(); // deterministic
+        for n in 0..8usize {
+            assert_eq!(count_paths(&nfa, n), count_exact(&nfa, n).unwrap());
+        }
+    }
+
+    #[test]
+    fn max_width_reported() {
+        let dp = Determinization::build(&contains_11(), 6).unwrap();
+        assert!(dp.max_width() >= 1);
+        assert!(dp.max_width() <= 8); // at most 2^3 subsets
+    }
+}

@@ -1,0 +1,149 @@
+//! Exact uniform sampling from `L(A_n)`.
+//!
+//! The uniformity experiments (E7) compare the FPRAS's almost-uniform
+//! generator against a *perfectly* uniform reference. This sampler walks
+//! the determinization DP of [`crate::exact`] backwards: pick an accepting
+//! subset at level `n` with probability proportional to its word count,
+//! then repeatedly pick an incoming `(subset, symbol)` edge proportional
+//! to the predecessor's count. Every length-`n` accepted word is produced
+//! with probability exactly `1/|L(A_n)|` up to the `f64` rounding of the
+//! categorical draws (relative weight error ≤ 2⁻⁵², orders of magnitude
+//! below the statistical resolution of any experiment here).
+
+use crate::exact::{Determinization, ExactError};
+use crate::nfa::Nfa;
+use crate::word::Word;
+use fpras_numeric::{sample_extfloat_weights, ExtFloat};
+use rand::Rng;
+
+/// A uniform sampler over `L(A_n)` backed by the exact determinization DP.
+pub struct ExactSampler {
+    dp: Determinization,
+    n: usize,
+    /// Indices of accepting subsets at level `n` and their weights.
+    final_choices: Vec<usize>,
+    final_weights: Vec<ExtFloat>,
+}
+
+impl ExactSampler {
+    /// Builds the sampler; inherits the exact counter's exponential
+    /// worst-case cost and its subset cap.
+    pub fn new(nfa: &Nfa, n: usize) -> Result<Self, ExactError> {
+        let dp = Determinization::build(nfa, n)?;
+        let mut final_choices = Vec::new();
+        let mut final_weights = Vec::new();
+        for (i, subset) in dp.level_subsets(n).iter().enumerate() {
+            if subset.intersects(dp.accepting()) {
+                final_choices.push(i);
+                final_weights.push(ExtFloat::from_biguint(&dp.level_counts(n)[i]));
+            }
+        }
+        Ok(ExactSampler { dp, n, final_choices, final_weights })
+    }
+
+    /// True iff `L(A_n)` is empty (no word can be sampled).
+    pub fn is_empty(&self) -> bool {
+        self.final_choices.is_empty()
+    }
+
+    /// Draws one uniform word, or `None` when the language is empty.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<Word> {
+        let pick = sample_extfloat_weights(rng, &self.final_weights)?;
+        let mut idx = self.final_choices[pick];
+        let mut rev_syms = Vec::with_capacity(self.n);
+        for level in (1..=self.n).rev() {
+            let preds = &self.dp.level_preds(level)[idx];
+            debug_assert!(!preds.is_empty(), "non-initial subset must have predecessors");
+            let weights: Vec<ExtFloat> = preds
+                .iter()
+                .map(|&(pi, _)| ExtFloat::from_biguint(&self.dp.level_counts(level - 1)[pi]))
+                .collect();
+            let choice = sample_extfloat_weights(rng, &weights)?;
+            let (pi, sym) = preds[choice];
+            rev_syms.push(sym);
+            idx = pi;
+        }
+        Some(Word::from_reversed(rev_syms))
+    }
+
+    /// Draws `count` words (fewer if the language is empty).
+    pub fn sample_many<R: Rng + ?Sized>(&self, rng: &mut R, count: usize) -> Vec<Word> {
+        (0..count).filter_map(|_| self.sample(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alphabet::Alphabet;
+    use crate::exact::count_exact;
+    use crate::nfa::NfaBuilder;
+    use fpras_numeric::stats::tv_to_uniform;
+    use rand::{rngs::SmallRng, SeedableRng};
+    use std::collections::HashMap;
+
+    fn contains_11() -> Nfa {
+        let mut b = NfaBuilder::new(Alphabet::binary());
+        let q0 = b.add_state();
+        let q1 = b.add_state();
+        let q2 = b.add_state();
+        b.set_initial(q0);
+        b.add_accepting(q2);
+        b.add_transition(q0, 0, q0);
+        b.add_transition(q0, 1, q0);
+        b.add_transition(q0, 1, q1);
+        b.add_transition(q1, 1, q2);
+        b.add_transition(q2, 0, q2);
+        b.add_transition(q2, 1, q2);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn samples_are_in_language() {
+        let nfa = contains_11();
+        let sampler = ExactSampler::new(&nfa, 6).unwrap();
+        let mut rng = SmallRng::seed_from_u64(7);
+        for w in sampler.sample_many(&mut rng, 500) {
+            assert_eq!(w.len(), 6);
+            assert!(nfa.accepts(&w), "sampled word {w:?} not accepted");
+        }
+    }
+
+    #[test]
+    fn empty_language_yields_none() {
+        let nfa = contains_11();
+        let sampler = ExactSampler::new(&nfa, 1).unwrap();
+        assert!(sampler.is_empty());
+        let mut rng = SmallRng::seed_from_u64(1);
+        assert_eq!(sampler.sample(&mut rng), None);
+    }
+
+    #[test]
+    fn distribution_close_to_uniform() {
+        let nfa = contains_11();
+        let n = 5;
+        let support = count_exact(&nfa, n).unwrap().to_u64().unwrap() as usize;
+        let sampler = ExactSampler::new(&nfa, n).unwrap();
+        let mut rng = SmallRng::seed_from_u64(99);
+        let mut counts: HashMap<u64, u64> = HashMap::new();
+        let draws = 40_000;
+        for w in sampler.sample_many(&mut rng, draws) {
+            *counts.entry(w.to_index(2)).or_insert(0) += 1;
+        }
+        assert_eq!(counts.len(), support, "all words should appear");
+        let tv = tv_to_uniform(&counts, support);
+        assert!(tv < 0.03, "TV to uniform too large: {tv}");
+    }
+
+    #[test]
+    fn singleton_language() {
+        // Exactly one word of length 2 ("11") is accepted.
+        let nfa = contains_11();
+        let sampler = ExactSampler::new(&nfa, 2).unwrap();
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..20 {
+            let w = sampler.sample(&mut rng).unwrap();
+            assert_eq!(w.symbols(), &[1, 1]);
+        }
+    }
+}

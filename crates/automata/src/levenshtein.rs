@@ -1,0 +1,237 @@
+//! Levenshtein automata: edit-distance neighbourhoods as NFAs.
+//!
+//! Information-extraction systems (paper §1, "beyond databases") match
+//! dictionaries and patterns *approximately*: the set of strings within
+//! edit distance `d` of a pattern `p` is a regular language recognised by
+//! the classic Levenshtein NFA with `(|p|+1)·(d+1)` states. Counting that
+//! neighbourhood intersected with other constraints (length, a regex, a
+//! protocol automaton) is a #NFA instance — and ambiguity is intrinsic
+//! here (one string usually has many alignments with `p`), so exact
+//! path-style counting fails and the FPRAS is the right tool.
+//!
+//! The textbook construction uses ε-transitions for deletions; [`Nfa`]
+//! is ε-free, so the builder performs the ε-closure inline. Closures are
+//! simple diagonals: `closure(i, e) = {(i+j, e+j) : j ≥ 0}` bounded by
+//! the pattern length and the distance budget.
+
+use crate::alphabet::{Alphabet, Symbol};
+use crate::nfa::{Nfa, NfaBuilder, StateId};
+
+/// Builds the NFA of all words within Levenshtein distance `max_dist` of
+/// `pattern` over `alphabet`.
+///
+/// States are pairs `(i, e)` — `i` pattern symbols consumed, `e` edits
+/// spent. Matches advance `i`; substitutions advance `i` and `e`;
+/// insertions advance `e`; deletions (ε in the textbook automaton)
+/// advance `i` and `e` and are folded in via closure.
+///
+/// ```
+/// use fpras_automata::{levenshtein_nfa, Alphabet, Word};
+///
+/// let alphabet = Alphabet::binary();
+/// let pattern = Word::parse("1011", &alphabet).unwrap();
+/// let nfa = levenshtein_nfa(pattern.symbols(), 1, &alphabet);
+/// assert!(nfa.accepts(&Word::parse("1011", &alphabet).unwrap())); // distance 0
+/// assert!(nfa.accepts(&Word::parse("1111", &alphabet).unwrap())); // substitution
+/// assert!(nfa.accepts(&Word::parse("101", &alphabet).unwrap()));  // deletion
+/// assert!(!nfa.accepts(&Word::parse("0000", &alphabet).unwrap())); // distance 3
+/// ```
+///
+/// # Panics
+/// Panics if `pattern` contains a symbol outside `alphabet`.
+pub fn levenshtein_nfa(pattern: &[Symbol], max_dist: usize, alphabet: &Alphabet) -> Nfa {
+    for &s in pattern {
+        assert!((s as usize) < alphabet.size(), "pattern symbol {s} outside alphabet");
+    }
+    let len = pattern.len();
+    let width = max_dist + 1;
+    let state = |i: usize, e: usize| -> StateId { (i * width + e) as StateId };
+
+    let mut b = NfaBuilder::new(alphabet.clone());
+    b.add_states((len + 1) * width);
+    b.set_initial(state(0, 0));
+
+    // A state accepts iff the rest of the pattern can be deleted within
+    // the remaining budget: len − i ≤ max_dist − e.
+    for i in 0..=len {
+        for e in 0..=max_dist {
+            if len - i <= max_dist - e {
+                b.add_accepting(state(i, e));
+            }
+        }
+    }
+
+    // ε-closure of (i, e): the diagonal {(i+j, e+j)}.
+    let closure = |i: usize, e: usize| {
+        (0..)
+            .map(move |j| (i + j, e + j))
+            .take_while(move |&(ci, ce)| ci <= len && ce <= max_dist)
+    };
+
+    for i in 0..=len {
+        for e in 0..=max_dist {
+            let from = state(i, e);
+            for sym in alphabet.symbols() {
+                // Each closure member contributes its direct (non-ε)
+                // moves; the move target is then closed again implicitly,
+                // because every target is itself a constructed state whose
+                // own outgoing edges embed its closure.
+                for (ci, ce) in closure(i, e) {
+                    // Match.
+                    if ci < len && pattern[ci] == sym {
+                        b.add_transition(from, sym, state(ci + 1, ce));
+                    }
+                    // Substitution.
+                    if ci < len && pattern[ci] != sym && ce < max_dist {
+                        b.add_transition(from, sym, state(ci + 1, ce + 1));
+                    }
+                    // Insertion.
+                    if ce < max_dist {
+                        b.add_transition(from, sym, state(ci, ce + 1));
+                    }
+                }
+            }
+        }
+    }
+    b.build().expect("levenshtein automaton is non-degenerate")
+}
+
+/// Classic `O(|a|·|b|)` Levenshtein distance — the ground truth the
+/// automaton is tested against.
+pub fn edit_distance(a: &[Symbol], b: &[Symbol]) -> usize {
+    let (la, lb) = (a.len(), b.len());
+    let mut prev: Vec<usize> = (0..=lb).collect();
+    let mut cur = vec![0usize; lb + 1];
+    for i in 1..=la {
+        cur[0] = i;
+        for j in 1..=lb {
+            let sub_cost = usize::from(a[i - 1] != b[j - 1]);
+            cur[j] = (prev[j] + 1).min(cur[j - 1] + 1).min(prev[j - 1] + sub_cost);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[lb]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::count_exact;
+    use crate::word::Word;
+
+    fn parse(s: &str, a: &Alphabet) -> Vec<Symbol> {
+        Word::parse(s, a).unwrap().symbols().to_vec()
+    }
+
+    #[test]
+    fn edit_distance_basics() {
+        let a = Alphabet::binary();
+        let d = |x: &str, y: &str| edit_distance(&parse(x, &a), &parse(y, &a));
+        assert_eq!(d("", ""), 0);
+        assert_eq!(d("101", "101"), 0);
+        assert_eq!(d("101", "111"), 1); // substitution
+        assert_eq!(d("101", "1011"), 1); // insertion
+        assert_eq!(d("101", "11"), 1); // deletion
+        assert_eq!(d("", "1111"), 4);
+        assert_eq!(d("0000", "1111"), 4);
+        assert_eq!(d("10", "01"), 2);
+    }
+
+    #[test]
+    fn automaton_agrees_with_distance_binary() {
+        let alphabet = Alphabet::binary();
+        let pattern = parse("1011", &alphabet);
+        for d in 0..=3usize {
+            let nfa = levenshtein_nfa(&pattern, d, &alphabet);
+            for n in 0..=7usize {
+                for idx in 0..(1u64 << n) {
+                    let w = Word::from_index(idx, n, 2);
+                    let dist = edit_distance(&pattern, w.symbols());
+                    assert_eq!(
+                        nfa.accepts(&w),
+                        dist <= d,
+                        "pattern 1011, d={d}, word {} (dist {dist})",
+                        w.display(&alphabet)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn automaton_agrees_with_distance_ternary() {
+        let alphabet = Alphabet::of_size(3);
+        let pattern = vec![0, 1, 2, 1];
+        let d = 2;
+        let nfa = levenshtein_nfa(&pattern, d, &alphabet);
+        for n in 0..=5usize {
+            for idx in 0..(3u64.pow(n as u32)) {
+                let w = Word::from_index(idx, n, 3);
+                let dist = edit_distance(&pattern, w.symbols());
+                assert_eq!(nfa.accepts(&w), dist <= d, "n={n}, idx={idx}, dist={dist}");
+            }
+        }
+    }
+
+    #[test]
+    fn distance_zero_is_the_singleton() {
+        let alphabet = Alphabet::binary();
+        let pattern = parse("0110", &alphabet);
+        let nfa = levenshtein_nfa(&pattern, 0, &alphabet);
+        for n in 0..=6usize {
+            let count = count_exact(&nfa, n).unwrap().to_u64().unwrap();
+            assert_eq!(count, u64::from(n == 4), "n={n}");
+        }
+    }
+
+    #[test]
+    fn generous_budget_accepts_everything() {
+        let alphabet = Alphabet::binary();
+        let pattern = parse("11", &alphabet);
+        // Any length-n word is reachable with ≤ |p| + n edits.
+        let nfa = levenshtein_nfa(&pattern, 8, &alphabet);
+        for n in 0..=6usize {
+            assert_eq!(count_exact(&nfa, n).unwrap().to_u64().unwrap(), 1 << n, "n={n}");
+        }
+    }
+
+    #[test]
+    fn empty_pattern_neighbourhood_is_short_words() {
+        // Distance ≤ d from ε = words of length ≤ d (insertions only).
+        let alphabet = Alphabet::binary();
+        let nfa = levenshtein_nfa(&[], 3, &alphabet);
+        for n in 0..=5usize {
+            let count = count_exact(&nfa, n).unwrap().to_u64().unwrap();
+            assert_eq!(count, if n <= 3 { 1 << n } else { 0 }, "n={n}");
+        }
+    }
+
+    #[test]
+    fn neighbourhood_counts_are_monotone_in_distance() {
+        let alphabet = Alphabet::binary();
+        let pattern = parse("10101", &alphabet);
+        let n = 5;
+        let mut last = 0;
+        for d in 0..=5usize {
+            let nfa = levenshtein_nfa(&pattern, d, &alphabet);
+            let count = count_exact(&nfa, n).unwrap().to_u64().unwrap();
+            assert!(count >= last, "count must grow with d");
+            last = count;
+        }
+        assert_eq!(last, 32, "d=5 covers every length-5 word");
+    }
+
+    #[test]
+    fn state_count_is_grid_sized() {
+        let alphabet = Alphabet::binary();
+        let pattern = parse("110110", &alphabet);
+        let nfa = levenshtein_nfa(&pattern, 2, &alphabet);
+        assert_eq!(nfa.num_states(), 7 * 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside alphabet")]
+    fn pattern_outside_alphabet_panics() {
+        levenshtein_nfa(&[0, 7], 1, &Alphabet::binary());
+    }
+}

@@ -1,0 +1,188 @@
+//! Precomputed transition masks for fast set-valued stepping.
+//!
+//! The paper's complexity analysis (§4.3) amortizes membership-oracle
+//! calls by precomputing, for every sampled string `w`, the set of states
+//! reachable via `w`; subsequent oracle queries are then `O(1)`. This
+//! module supplies the machinery: one [`StateSet`] per `(symbol, state)`
+//! holding its successors (resp. predecessors), so a set-valued step is a
+//! word-wide OR per member state instead of a pointer chase per
+//! transition.
+
+use crate::alphabet::Symbol;
+use crate::nfa::Nfa;
+use crate::stateset::StateSet;
+use crate::word::Word;
+
+/// Bit-parallel stepping tables for one NFA.
+#[derive(Clone, Debug)]
+pub struct StepMasks {
+    universe: usize,
+    /// `succ[sym][q]` = successor set of `q` on `sym`, as a bitset.
+    succ: Vec<Vec<StateSet>>,
+    /// `pred[sym][q]` = predecessor set of `q` on `sym`, as a bitset.
+    pred: Vec<Vec<StateSet>>,
+    initial: usize,
+    accepting: StateSet,
+}
+
+impl StepMasks {
+    /// Builds the tables; `O(k·m²/64)` space.
+    pub fn new(nfa: &Nfa) -> Self {
+        let m = nfa.num_states();
+        let k = nfa.alphabet().size();
+        let mut succ = Vec::with_capacity(k);
+        let mut pred = Vec::with_capacity(k);
+        for sym in 0..k as u8 {
+            let mut s_row = Vec::with_capacity(m);
+            let mut p_row = Vec::with_capacity(m);
+            for q in 0..m as u32 {
+                s_row.push(StateSet::from_iter(m, nfa.successors(q, sym).iter().map(|&t| t as usize)));
+                p_row.push(StateSet::from_iter(m, nfa.predecessors(q, sym).iter().map(|&t| t as usize)));
+            }
+            succ.push(s_row);
+            pred.push(p_row);
+        }
+        StepMasks {
+            universe: m,
+            succ,
+            pred,
+            initial: nfa.initial() as usize,
+            accepting: nfa.accepting().clone(),
+        }
+    }
+
+    /// Size of the state universe.
+    pub fn universe(&self) -> usize {
+        self.universe
+    }
+
+    /// One forward step from `from` on `sym`.
+    #[inline]
+    pub fn step(&self, from: &StateSet, sym: Symbol) -> StateSet {
+        let mut out = StateSet::empty(self.universe);
+        let row = &self.succ[sym as usize];
+        for q in from.iter() {
+            out.union_with(&row[q]);
+        }
+        out
+    }
+
+    /// One backward step from `of` on `sym`
+    /// (`P_b = ⋃_{p∈P} Pred(p, b)`, Algorithm 2 line 9).
+    #[inline]
+    pub fn step_back(&self, of: &StateSet, sym: Symbol) -> StateSet {
+        let mut out = StateSet::empty(self.universe);
+        let row = &self.pred[sym as usize];
+        for q in of.iter() {
+            out.union_with(&row[q]);
+        }
+        out
+    }
+
+    /// States reachable from the initial state via `word` — the value the
+    /// membership oracle stores per sampled string.
+    pub fn reach(&self, word: &Word) -> StateSet {
+        let mut cur = StateSet::singleton(self.universe, self.initial);
+        for &sym in word.symbols() {
+            cur = self.step(&cur, sym);
+        }
+        cur
+    }
+
+    /// States reachable via `word` starting from an arbitrary set.
+    pub fn reach_from(&self, start: &StateSet, word: &Word) -> StateSet {
+        let mut cur = start.clone();
+        for &sym in word.symbols() {
+            cur = self.step(&cur, sym);
+        }
+        cur
+    }
+
+    /// True iff `word ∈ L(A)`.
+    pub fn accepts(&self, word: &Word) -> bool {
+        self.reach(word).intersects(&self.accepting)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alphabet::Alphabet;
+    use crate::nfa::NfaBuilder;
+    use proptest::prelude::*;
+
+    fn contains_11() -> Nfa {
+        let mut b = NfaBuilder::new(Alphabet::binary());
+        let q0 = b.add_state();
+        let q1 = b.add_state();
+        let q2 = b.add_state();
+        b.set_initial(q0);
+        b.add_accepting(q2);
+        b.add_transition(q0, 0, q0);
+        b.add_transition(q0, 1, q0);
+        b.add_transition(q0, 1, q1);
+        b.add_transition(q1, 1, q2);
+        b.add_transition(q2, 0, q2);
+        b.add_transition(q2, 1, q2);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn matches_nfa_step() {
+        let nfa = contains_11();
+        let masks = StepMasks::new(&nfa);
+        for bits in 0u32..8 {
+            let set = StateSet::from_iter(3, (0..3).filter(|&q| bits & (1 << q) != 0));
+            for sym in 0..2u8 {
+                assert_eq!(masks.step(&set, sym), nfa.step(&set, sym));
+                assert_eq!(masks.step_back(&set, sym), nfa.step_back(&set, sym));
+            }
+        }
+    }
+
+    #[test]
+    fn accepts_matches_nfa() {
+        let nfa = contains_11();
+        let masks = StepMasks::new(&nfa);
+        for n in 0..6usize {
+            for idx in 0..(1u64 << n) {
+                let w = Word::from_index(idx, n, 2);
+                assert_eq!(masks.accepts(&w), nfa.accepts(&w), "word {w:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn reach_from_composes() {
+        let nfa = contains_11();
+        let masks = StepMasks::new(&nfa);
+        let w1 = Word::from_symbols(vec![1]);
+        let w2 = Word::from_symbols(vec![1, 0]);
+        let mid = masks.reach(&w1);
+        let full = masks.reach_from(&mid, &w2);
+        assert_eq!(full, masks.reach(&w1.concat(&w2)));
+    }
+
+    proptest! {
+        #[test]
+        fn random_nfa_step_equivalence(
+            edges in proptest::collection::vec((0u32..6, 0u8..2, 0u32..6), 1..30),
+            set_bits in 0u64..64,
+        ) {
+            let mut b = NfaBuilder::new(Alphabet::binary());
+            b.add_states(6);
+            b.set_initial(0);
+            b.add_accepting(5);
+            for &(f, s, t) in &edges {
+                b.add_transition(f, s, t);
+            }
+            let nfa = b.build().unwrap();
+            let masks = StepMasks::new(&nfa);
+            let set = StateSet::from_iter(6, (0..6).filter(|&q| set_bits & (1 << q) != 0));
+            for sym in 0..2u8 {
+                prop_assert_eq!(masks.step(&set, sym), nfa.step(&set, sym));
+                prop_assert_eq!(masks.step_back(&set, sym), nfa.step_back(&set, sym));
+            }
+        }
+    }
+}

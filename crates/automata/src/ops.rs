@@ -1,0 +1,543 @@
+//! Automaton constructions.
+//!
+//! * [`with_single_accepting`] — the normalization behind the paper's
+//!   "single final state without loss of generality" footnote (Fig. 1);
+//! * [`product`] — intersection, the workhorse of the RPQ application
+//!   (graph DB × query regex, §1 of the paper);
+//! * [`union`], [`reverse`] — standard closure constructions used by
+//!   workload generators and tests;
+//! * [`trim`] — restriction to useful (reachable and co-reachable)
+//!   states.
+
+use crate::nfa::{Nfa, NfaBuilder, StateId};
+use crate::stateset::StateSet;
+use std::collections::HashMap;
+
+/// Rewrites `A` so it has exactly one accepting state while preserving
+/// `L(A_n)` for every `n ≥ 1`.
+///
+/// Construction: add a fresh state `f`; for every transition `(p, b, q)`
+/// with `q ∈ F`, add `(p, b, f)`; set `F = {f}`. A length-`n ≥ 1` word
+/// reaches some old accepting state iff its last transition can be
+/// redirected into `f`, so the positive-length slices are unchanged. The
+/// empty word is *not* preserved (`λ ∈ L(A)` iff `I ∈ F`, and `f ≠ I`);
+/// callers must special-case `n = 0`, as `fpras-core` does.
+///
+/// Automata that already have a single accepting state are returned
+/// unchanged (even if that state is the initial state).
+pub fn with_single_accepting(nfa: &Nfa) -> Nfa {
+    if nfa.accepting().len() == 1 {
+        return nfa.clone();
+    }
+    let mut b = NfaBuilder::new(nfa.alphabet().clone());
+    b.add_states(nfa.num_states());
+    b.set_initial(nfa.initial());
+    let f = b.add_state();
+    b.add_accepting(f);
+    for (from, sym, to) in nfa.transitions() {
+        b.add_transition(from, sym, to);
+        if nfa.is_accepting(to) {
+            b.add_transition(from, sym, f);
+        }
+    }
+    b.build().expect("single-accepting construction cannot fail on a valid NFA")
+}
+
+/// Product automaton: `L(product(a, b)) = L(a) ∩ L(b)`.
+///
+/// Only the pairs reachable from `(I_a, I_b)` are materialized, so the
+/// state count is at most `m_a · m_b` but typically far smaller.
+///
+/// # Panics
+/// Panics if the alphabets differ.
+pub fn product(a: &Nfa, b: &Nfa) -> Nfa {
+    assert_eq!(a.alphabet(), b.alphabet(), "product requires identical alphabets");
+    let k = a.alphabet().size() as u8;
+    let mut builder = NfaBuilder::new(a.alphabet().clone());
+    let mut ids: HashMap<(StateId, StateId), StateId> = HashMap::new();
+    let mut stack = Vec::new();
+
+    let start = (a.initial(), b.initial());
+    let start_id = builder.add_state();
+    ids.insert(start, start_id);
+    stack.push(start);
+
+    let mut edges = Vec::new();
+    let mut accepting = Vec::new();
+    while let Some((qa, qb)) = stack.pop() {
+        let from = ids[&(qa, qb)];
+        if a.is_accepting(qa) && b.is_accepting(qb) {
+            accepting.push(from);
+        }
+        for sym in 0..k {
+            for &ta in a.successors(qa, sym) {
+                for &tb in b.successors(qb, sym) {
+                    let to = *ids.entry((ta, tb)).or_insert_with(|| {
+                        stack.push((ta, tb));
+                        builder.add_state()
+                    });
+                    edges.push((from, sym, to));
+                }
+            }
+        }
+    }
+    builder.set_initial(start_id);
+    // A product can be empty-languaged; keep the builder valid by marking
+    // a dead sink accepting when nothing is.
+    if accepting.is_empty() {
+        let sink = builder.add_state();
+        accepting.push(sink);
+    }
+    for q in accepting {
+        builder.add_accepting(q);
+    }
+    for (f, s, t) in edges {
+        builder.add_transition(f, s, t);
+    }
+    builder.build().expect("product construction cannot fail")
+}
+
+/// Union automaton: `L(union(a, b)) = L(a) ∪ L(b)`.
+///
+/// Uses a fresh initial state that copies the outgoing transitions of both
+/// originals (no ε-transitions needed).
+///
+/// # Panics
+/// Panics if the alphabets differ.
+pub fn union(a: &Nfa, b: &Nfa) -> Nfa {
+    assert_eq!(a.alphabet(), b.alphabet(), "union requires identical alphabets");
+    let k = a.alphabet().size() as u8;
+    let mut builder = NfaBuilder::new(a.alphabet().clone());
+    let init = builder.add_state();
+    let base_a = builder.add_states(a.num_states());
+    let base_b = builder.add_states(b.num_states());
+    builder.set_initial(init);
+
+    for (from, sym, to) in a.transitions() {
+        builder.add_transition(base_a + from, sym, base_a + to);
+    }
+    for (from, sym, to) in b.transitions() {
+        builder.add_transition(base_b + from, sym, base_b + to);
+    }
+    for sym in 0..k {
+        for &t in a.successors(a.initial(), sym) {
+            builder.add_transition(init, sym, base_a + t);
+        }
+        for &t in b.successors(b.initial(), sym) {
+            builder.add_transition(init, sym, base_b + t);
+        }
+    }
+    for q in a.accepting().iter() {
+        builder.add_accepting(base_a + q as StateId);
+    }
+    for q in b.accepting().iter() {
+        builder.add_accepting(base_b + q as StateId);
+    }
+    if a.is_accepting(a.initial()) || b.is_accepting(b.initial()) {
+        builder.add_accepting(init);
+    }
+    builder.build().expect("union construction cannot fail")
+}
+
+/// Concatenation: `L(concat(a, b)) = L(a)·L(b)`.
+///
+/// ε-free construction: every transition entering an accepting state of
+/// `a` is duplicated to also enter (a copy of) `b`'s initial state; if
+/// `a` accepts λ, `b`'s part is reachable from the start as well.
+///
+/// # Panics
+/// Panics if the alphabets differ.
+pub fn concat(a: &Nfa, b: &Nfa) -> Nfa {
+    assert_eq!(a.alphabet(), b.alphabet(), "concat requires identical alphabets");
+    let mut builder = NfaBuilder::new(a.alphabet().clone());
+    let base_a = builder.add_states(a.num_states());
+    let base_b = builder.add_states(b.num_states());
+    let b_init = base_b + b.initial();
+    builder.set_initial(base_a + a.initial());
+
+    for (from, sym, to) in a.transitions() {
+        builder.add_transition(base_a + from, sym, base_a + to);
+        if a.is_accepting(to) {
+            // Entering an accepting state of `a` may instead enter `b`.
+            builder.add_transition(base_a + from, sym, b_init);
+        }
+    }
+    for (from, sym, to) in b.transitions() {
+        builder.add_transition(base_b + from, sym, base_b + to);
+    }
+    if a.is_accepting(a.initial()) {
+        // λ ∈ L(a): words of L(b) alone are accepted; mirror b's initial
+        // transitions from the start state.
+        for sym in 0..a.alphabet().size() as u8 {
+            for &t in b.successors(b.initial(), sym) {
+                builder.add_transition(base_a + a.initial(), sym, base_b + t);
+            }
+        }
+    }
+    for q in b.accepting().iter() {
+        builder.add_accepting(base_b + q as StateId);
+    }
+    // λ ∈ L(b): accepting states of `a` remain accepting.
+    if b.is_accepting(b.initial()) {
+        for q in a.accepting().iter() {
+            builder.add_accepting(base_a + q as StateId);
+        }
+    }
+    builder.build().expect("concat construction cannot fail")
+}
+
+/// Kleene star: `L(star(a)) = L(a)*`.
+///
+/// ε-free construction with a fresh initial state that is accepting (for
+/// λ) and mirrors `a`'s initial transitions; transitions entering
+/// accepting states loop back to the start's successors.
+pub fn star(a: &Nfa) -> Nfa {
+    let k = a.alphabet().size() as u8;
+    let mut builder = NfaBuilder::new(a.alphabet().clone());
+    let init = builder.add_state();
+    let base = builder.add_states(a.num_states());
+    builder.set_initial(init);
+    builder.add_accepting(init);
+
+    for (from, sym, to) in a.transitions() {
+        builder.add_transition(base + from, sym, base + to);
+        if a.is_accepting(to) {
+            // Completing one iteration may restart: jump to the fresh
+            // initial (which is accepting and mirrors a's start).
+            builder.add_transition(base + from, sym, init);
+        }
+    }
+    for sym in 0..k {
+        for &t in a.successors(a.initial(), sym) {
+            builder.add_transition(init, sym, base + t);
+            if a.is_accepting(t) {
+                builder.add_transition(init, sym, init);
+            }
+        }
+    }
+    for q in a.accepting().iter() {
+        builder.add_accepting(base + q as StateId);
+    }
+    builder.build().expect("star construction cannot fail")
+}
+
+/// Reversal: `L(reverse(a)) = { wᴿ : w ∈ L(a) }`, exact for all slices of
+/// length `≥ 1` (the empty word is preserved only when `I ∈ F`).
+///
+/// Normalizes to a single accepting state first, then swaps roles and
+/// flips every transition.
+pub fn reverse(nfa: &Nfa) -> Nfa {
+    let single = with_single_accepting(nfa);
+    let old_final = single
+        .accepting()
+        .iter()
+        .next()
+        .expect("single-accepting automaton has an accepting state") as StateId;
+    let mut b = NfaBuilder::new(single.alphabet().clone());
+    b.add_states(single.num_states());
+    b.set_initial(old_final);
+    b.add_accepting(single.initial());
+    for (from, sym, to) in single.transitions() {
+        b.add_transition(to, sym, from);
+    }
+    b.build().expect("reverse construction cannot fail")
+}
+
+/// States reachable from the initial state by any number of steps.
+pub fn reachable_states(nfa: &Nfa) -> StateSet {
+    let m = nfa.num_states();
+    let mut seen = StateSet::singleton(m, nfa.initial() as usize);
+    let mut stack = vec![nfa.initial()];
+    while let Some(q) = stack.pop() {
+        for sym in 0..nfa.alphabet().size() as u8 {
+            for &t in nfa.successors(q, sym) {
+                if !seen.contains(t as usize) {
+                    seen.insert(t as usize);
+                    stack.push(t);
+                }
+            }
+        }
+    }
+    seen
+}
+
+/// States from which some accepting state is reachable.
+pub fn coreachable_states(nfa: &Nfa) -> StateSet {
+    let mut seen = nfa.accepting().clone();
+    let mut stack: Vec<StateId> = seen.iter().map(|q| q as StateId).collect();
+    while let Some(q) = stack.pop() {
+        for sym in 0..nfa.alphabet().size() as u8 {
+            for &t in nfa.predecessors(q, sym) {
+                if !seen.contains(t as usize) {
+                    seen.insert(t as usize);
+                    stack.push(t);
+                }
+            }
+        }
+    }
+    seen
+}
+
+/// Removes useless states (unreachable or dead), remapping ids densely.
+///
+/// Returns `None` if the trimmed automaton would be empty (the language
+/// contains no word at all, not even λ); callers should treat every slice
+/// count as 0 in that case.
+pub fn trim(nfa: &Nfa) -> Option<Nfa> {
+    let mut useful = reachable_states(nfa);
+    useful.intersect_with(&coreachable_states(nfa));
+    if !useful.contains(nfa.initial() as usize) {
+        return None;
+    }
+    let mut remap = vec![u32::MAX; nfa.num_states()];
+    let mut b = NfaBuilder::new(nfa.alphabet().clone());
+    for q in useful.iter() {
+        remap[q] = b.add_state();
+    }
+    b.set_initial(remap[nfa.initial() as usize]);
+    let mut has_accepting = false;
+    for q in nfa.accepting().iter() {
+        if useful.contains(q) {
+            b.add_accepting(remap[q]);
+            has_accepting = true;
+        }
+    }
+    if !has_accepting {
+        return None;
+    }
+    for (from, sym, to) in nfa.transitions() {
+        if useful.contains(from as usize) && useful.contains(to as usize) {
+            b.add_transition(remap[from as usize], sym, remap[to as usize]);
+        }
+    }
+    Some(b.build().expect("trim construction cannot fail"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alphabet::Alphabet;
+    use crate::word::Word;
+
+    /// Words over {0,1} ending in `1`.
+    fn ends_in_1() -> Nfa {
+        let mut b = NfaBuilder::new(Alphabet::binary());
+        let q0 = b.add_state();
+        let q1 = b.add_state();
+        b.set_initial(q0);
+        b.add_accepting(q1);
+        for sym in [0, 1] {
+            b.add_transition(q0, sym, q0);
+        }
+        b.add_transition(q0, 1, q1);
+        b.build().unwrap()
+    }
+
+    /// Words over {0,1} with even length (both states accepting-ish: only q0).
+    fn even_length() -> Nfa {
+        let mut b = NfaBuilder::new(Alphabet::binary());
+        let q0 = b.add_state();
+        let q1 = b.add_state();
+        b.set_initial(q0);
+        b.add_accepting(q0);
+        for sym in [0, 1] {
+            b.add_transition(q0, sym, q1);
+            b.add_transition(q1, sym, q0);
+        }
+        b.build().unwrap()
+    }
+
+    /// Words containing at least one `1`, with two accepting states.
+    fn multi_accepting() -> Nfa {
+        let mut b = NfaBuilder::new(Alphabet::binary());
+        let q0 = b.add_state();
+        let q1 = b.add_state();
+        let q2 = b.add_state();
+        b.set_initial(q0);
+        b.add_accepting(q1);
+        b.add_accepting(q2);
+        for sym in [0, 1] {
+            b.add_transition(q0, sym, q0);
+            b.add_transition(q1, sym, q1);
+        }
+        b.add_transition(q0, 1, q1);
+        b.add_transition(q0, 1, q2);
+        b.build().unwrap()
+    }
+
+    fn words_of_len(n: usize) -> impl Iterator<Item = Word> {
+        (0..(1u64 << n)).map(move |idx| Word::from_index(idx, n, 2))
+    }
+
+    #[test]
+    fn single_accepting_preserves_slices() {
+        let nfa = multi_accepting();
+        let single = with_single_accepting(&nfa);
+        assert_eq!(single.accepting().len(), 1);
+        for n in 1..=6 {
+            for w in words_of_len(n) {
+                assert_eq!(nfa.accepts(&w), single.accepts(&w), "word {w:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn single_accepting_noop_when_already_single() {
+        let nfa = ends_in_1();
+        let single = with_single_accepting(&nfa);
+        assert_eq!(nfa, single);
+    }
+
+    #[test]
+    fn product_is_intersection() {
+        let a = ends_in_1();
+        let b = even_length();
+        let p = product(&a, &b);
+        for n in 0..=6 {
+            for w in words_of_len(n) {
+                assert_eq!(p.accepts(&w), a.accepts(&w) && b.accepts(&w), "word {w:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn union_is_union() {
+        let a = ends_in_1();
+        let b = even_length();
+        let u = union(&a, &b);
+        for n in 0..=6 {
+            for w in words_of_len(n) {
+                assert_eq!(u.accepts(&w), a.accepts(&w) || b.accepts(&w), "word {w:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn union_accepts_empty_word_iff_either_does() {
+        let b = even_length(); // accepts λ
+        let a = ends_in_1(); // does not
+        assert!(union(&a, &b).accepts(&Word::empty()));
+        assert!(!union(&a, &a).accepts(&Word::empty()));
+    }
+
+    #[test]
+    fn reverse_reverses() {
+        let nfa = multi_accepting();
+        let rev = reverse(&nfa);
+        for n in 1..=6 {
+            for w in words_of_len(n) {
+                let wr = Word::from_symbols(w.symbols().iter().rev().copied().collect());
+                assert_eq!(rev.accepts(&w), nfa.accepts(&wr), "word {w:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn reach_and_coreach() {
+        // q0 -> q1 (accepting), q2 unreachable, q3 dead.
+        let mut b = NfaBuilder::new(Alphabet::binary());
+        let q0 = b.add_state();
+        let q1 = b.add_state();
+        let q2 = b.add_state();
+        let q3 = b.add_state();
+        b.set_initial(q0);
+        b.add_accepting(q1);
+        b.add_transition(q0, 1, q1);
+        b.add_transition(q2, 0, q1);
+        b.add_transition(q0, 0, q3);
+        let nfa = b.build().unwrap();
+        assert_eq!(reachable_states(&nfa).iter().collect::<Vec<_>>(), vec![0, 1, 3]);
+        assert_eq!(coreachable_states(&nfa).iter().collect::<Vec<_>>(), vec![0, 1, 2]);
+        let trimmed = trim(&nfa).unwrap();
+        assert_eq!(trimmed.num_states(), 2);
+        assert!(trimmed.accepts(&Word::from_symbols(vec![1])));
+    }
+
+    #[test]
+    fn trim_empty_language_is_none() {
+        let mut b = NfaBuilder::new(Alphabet::binary());
+        let q0 = b.add_state();
+        let q1 = b.add_state();
+        b.set_initial(q0);
+        b.add_accepting(q1); // unreachable accepting state
+        let nfa = b.build().unwrap();
+        assert!(trim(&nfa).is_none());
+    }
+
+    #[test]
+    fn concat_is_concatenation() {
+        let a = ends_in_1();
+        let b = even_length();
+        let c = concat(&a, &b);
+        let member = |w: &Word| -> bool {
+            // w ∈ L(a)·L(b) iff some split works.
+            (0..=w.len()).any(|k| {
+                a.accepts(&Word::from_symbols(w.symbols()[..k].to_vec()))
+                    && b.accepts(&Word::from_symbols(w.symbols()[k..].to_vec()))
+            })
+        };
+        for n in 0..=7 {
+            for w in words_of_len(n) {
+                assert_eq!(c.accepts(&w), member(&w), "word {w:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn concat_lambda_edge_cases() {
+        // even_length accepts λ, so concat(even, ends1) ⊇ ends1.
+        let a = even_length();
+        let b = ends_in_1();
+        let c = concat(&a, &b);
+        assert!(c.accepts(&Word::parse("1", a.alphabet()).unwrap()));
+        // and concat(ends1, even) accepts plain ends1 words (λ ∈ even).
+        let c2 = concat(&b, &a);
+        assert!(c2.accepts(&Word::parse("01", a.alphabet()).unwrap()));
+        assert!(!c2.accepts(&Word::empty()));
+    }
+
+    #[test]
+    fn star_is_kleene_star() {
+        // L = {01, 1}; L* checked against a regex oracle.
+        let mut bld = NfaBuilder::new(Alphabet::binary());
+        let q0 = bld.add_state();
+        let q1 = bld.add_state();
+        let q2 = bld.add_state();
+        bld.set_initial(q0);
+        bld.add_accepting(q2);
+        bld.add_transition(q0, 0, q1);
+        bld.add_transition(q1, 1, q2);
+        bld.add_transition(q0, 1, q2);
+        let base = bld.build().unwrap();
+        let starred = star(&base);
+        let oracle = crate::regex::compile_regex("(01|1)*", base.alphabet()).unwrap();
+        for n in 0..=8 {
+            for w in words_of_len(n) {
+                assert_eq!(starred.accepts(&w), oracle.accepts(&w), "word {w:?}");
+            }
+        }
+        assert!(starred.accepts(&Word::empty()));
+    }
+
+    #[test]
+    fn product_of_disjoint_languages_is_empty() {
+        let a = ends_in_1();
+        // Language: words ending in 0.
+        let mut b = NfaBuilder::new(Alphabet::binary());
+        let q0 = b.add_state();
+        let q1 = b.add_state();
+        b.set_initial(q0);
+        b.add_accepting(q1);
+        for sym in [0, 1] {
+            b.add_transition(q0, sym, q0);
+        }
+        b.add_transition(q0, 0, q1);
+        let ends0 = b.build().unwrap();
+        let p = product(&a, &ends0);
+        for n in 0..=5 {
+            for w in words_of_len(n) {
+                assert!(!p.accepts(&w));
+            }
+        }
+    }
+}

@@ -1,0 +1,340 @@
+//! Simulation preorders and simulation-quotient NFA reduction.
+//!
+//! The FPRAS's cost grows like `m²..m³` in the state count, so shrinking
+//! the automaton *before* counting is the cheapest speedup available.
+//! Quotienting an NFA by simulation equivalence preserves its language
+//! exactly (Bustan–Grumberg / Etessami-style state merging), and real
+//! reductions — RPQ products, PQE gadget stacks, union workloads — are
+//! full of simulation-equivalent states.
+//!
+//! Two preorders are computed by naive fixpoint refinement (`O(m²·|Δ|)`
+//! per round, fine at experiment scale):
+//!
+//! * **forward** — `p` simulates `q` if `q`'s acceptance implies `p`'s
+//!   and every successor of `q` is simulated by some successor of `p`;
+//! * **backward** — the mirror image over predecessors and initiality.
+//!
+//! [`reduce`] alternates the two quotients to a fixpoint. The experiments
+//! use it as a preprocessing ablation (E15): same FPRAS, smaller `m`.
+
+use crate::nfa::{Nfa, NfaBuilder, StateId};
+use crate::stateset::StateSet;
+
+/// Which direction the simulation game moves in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Direction {
+    Forward,
+    Backward,
+}
+
+/// Computes the simulation preorder: `sim[q]` is the set of states that
+/// simulate `q` (always contains `q` itself).
+fn simulation(nfa: &Nfa, dir: Direction) -> Vec<StateSet> {
+    let m = nfa.num_states();
+    let k = nfa.alphabet().size() as u8;
+    let adj = |q: StateId, sym: u8| -> &[StateId] {
+        match dir {
+            Direction::Forward => nfa.successors(q, sym),
+            Direction::Backward => nfa.predecessors(q, sym),
+        }
+    };
+    // Base condition: observations must be preserved.
+    let observes = |q: StateId| -> bool {
+        match dir {
+            Direction::Forward => nfa.is_accepting(q),
+            Direction::Backward => q == nfa.initial(),
+        }
+    };
+    let mut sim: Vec<StateSet> = (0..m as StateId)
+        .map(|q| {
+            StateSet::from_iter(
+                m,
+                (0..m as StateId)
+                    .filter(|&p| !observes(q) || observes(p))
+                    .map(|p| p as usize),
+            )
+        })
+        .collect();
+    // Refinement: drop (q, p) whenever some move of q cannot be matched.
+    loop {
+        let mut changed = false;
+        for q in 0..m as StateId {
+            let candidates: Vec<usize> = sim[q as usize].iter().collect();
+            'cand: for p in candidates {
+                let p = p as StateId;
+                if p == q {
+                    continue; // reflexivity never breaks
+                }
+                for sym in 0..k {
+                    for &qn in adj(q, sym) {
+                        let matched =
+                            adj(p, sym).iter().any(|&pn| sim[qn as usize].contains(pn as usize));
+                        if !matched {
+                            sim[q as usize].remove(p as usize);
+                            changed = true;
+                            continue 'cand;
+                        }
+                    }
+                }
+            }
+        }
+        if !changed {
+            return sim;
+        }
+    }
+}
+
+/// Forward simulation preorder: `sim[q]` = states that forward-simulate
+/// `q`.
+pub fn forward_simulation(nfa: &Nfa) -> Vec<StateSet> {
+    simulation(nfa, Direction::Forward)
+}
+
+/// Backward simulation preorder: `sim[q]` = states that backward-simulate
+/// `q`.
+pub fn backward_simulation(nfa: &Nfa) -> Vec<StateSet> {
+    simulation(nfa, Direction::Backward)
+}
+
+/// Partitions states into simulation-equivalence classes (`q ~ p` iff
+/// each simulates the other) and returns `class_of[q]` with classes
+/// numbered densely in order of first member.
+fn equivalence_classes(sim: &[StateSet]) -> (Vec<StateId>, usize) {
+    let m = sim.len();
+    let mut class_of: Vec<StateId> = vec![u32::MAX; m];
+    let mut num_classes = 0usize;
+    for q in 0..m {
+        if class_of[q] != u32::MAX {
+            continue;
+        }
+        let class = num_classes as StateId;
+        num_classes += 1;
+        class_of[q] = class;
+        for p in q + 1..m {
+            if class_of[p] == u32::MAX && sim[q].contains(p) && sim[p].contains(q) {
+                class_of[p] = class;
+            }
+        }
+    }
+    (class_of, num_classes)
+}
+
+/// Quotients `nfa` by an equivalence given as `class_of` (language is
+/// preserved when the equivalence is a simulation equivalence).
+fn quotient(nfa: &Nfa, class_of: &[StateId], num_classes: usize) -> Nfa {
+    let mut b = NfaBuilder::new(nfa.alphabet().clone());
+    b.add_states(num_classes);
+    b.set_initial(class_of[nfa.initial() as usize]);
+    for q in nfa.accepting().iter() {
+        b.add_accepting(class_of[q]);
+    }
+    for (from, sym, to) in nfa.transitions() {
+        b.add_transition(class_of[from as usize], sym, class_of[to as usize]);
+    }
+    b.build().expect("quotient of a valid NFA is valid")
+}
+
+/// Quotients by forward-simulation equivalence. Returns the reduced
+/// automaton and the `state → class` map.
+pub fn quotient_forward(nfa: &Nfa) -> (Nfa, Vec<StateId>) {
+    let sim = forward_simulation(nfa);
+    let (class_of, num_classes) = equivalence_classes(&sim);
+    (quotient(nfa, &class_of, num_classes), class_of)
+}
+
+/// Quotients by backward-simulation equivalence.
+pub fn quotient_backward(nfa: &Nfa) -> (Nfa, Vec<StateId>) {
+    let sim = backward_simulation(nfa);
+    let (class_of, num_classes) = equivalence_classes(&sim);
+    (quotient(nfa, &class_of, num_classes), class_of)
+}
+
+/// Alternates forward and backward quotients until neither shrinks the
+/// automaton — the preprocessing pass used by experiment E15.
+///
+/// ```
+/// use fpras_automata::simulation::reduce;
+/// use fpras_automata::{Alphabet, NfaBuilder};
+///
+/// // Two redundant copies of the same accepting chain.
+/// let mut b = NfaBuilder::new(Alphabet::binary());
+/// let init = b.add_state();
+/// b.set_initial(init);
+/// for _ in 0..2 {
+///     let acc = b.add_state();
+///     b.add_accepting(acc);
+///     b.add_transition(init, 1, acc);
+///     b.add_transition(acc, 0, acc);
+/// }
+/// let nfa = b.build().unwrap();
+/// assert_eq!(reduce(&nfa).num_states(), 2); // copies merge
+/// ```
+pub fn reduce(nfa: &Nfa) -> Nfa {
+    let mut cur = nfa.clone();
+    loop {
+        let before = cur.num_states();
+        let (fwd, _) = quotient_forward(&cur);
+        let (bwd, _) = quotient_backward(&fwd);
+        if bwd.num_states() == before {
+            return bwd;
+        }
+        cur = bwd;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alphabet::Alphabet;
+    use crate::exact::{brute_force_count, count_exact};
+
+    fn contains_11() -> Nfa {
+        let mut b = NfaBuilder::new(Alphabet::binary());
+        let q0 = b.add_state();
+        let q1 = b.add_state();
+        let q2 = b.add_state();
+        b.set_initial(q0);
+        b.add_accepting(q2);
+        b.add_transition(q0, 0, q0);
+        b.add_transition(q0, 1, q0);
+        b.add_transition(q0, 1, q1);
+        b.add_transition(q1, 1, q2);
+        b.add_transition(q2, 0, q2);
+        b.add_transition(q2, 1, q2);
+        b.build().unwrap()
+    }
+
+    /// `copies` identical accepting branches glued at the initial state.
+    fn redundant(copies: usize) -> Nfa {
+        let mut b = NfaBuilder::new(Alphabet::binary());
+        let init = b.add_state();
+        b.set_initial(init);
+        for _ in 0..copies {
+            let mid = b.add_state();
+            let acc = b.add_state();
+            b.add_accepting(acc);
+            b.add_transition(init, 0, mid);
+            b.add_transition(mid, 1, acc);
+            for sym in [0, 1] {
+                b.add_transition(acc, sym, acc);
+            }
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn simulation_is_reflexive() {
+        let nfa = contains_11();
+        for (q, s) in forward_simulation(&nfa).iter().enumerate() {
+            assert!(s.contains(q), "state {q} must simulate itself");
+        }
+        for (q, s) in backward_simulation(&nfa).iter().enumerate() {
+            assert!(s.contains(q), "state {q} must backward-simulate itself");
+        }
+    }
+
+    #[test]
+    fn sink_simulates_everything_accepting() {
+        // In contains_11, the accepting sink q2 simulates q1 (whatever q1
+        // does, q2 can match and stay accepting) but not vice versa.
+        let nfa = contains_11();
+        let sim = forward_simulation(&nfa);
+        assert!(sim[1].contains(2), "q2 simulates q1");
+        assert!(!sim[2].contains(1), "q1 does not simulate q2");
+    }
+
+    #[test]
+    fn redundant_copies_merge_completely() {
+        for copies in [2usize, 3, 5] {
+            let nfa = redundant(copies);
+            assert_eq!(nfa.num_states(), 1 + 2 * copies);
+            let reduced = reduce(&nfa);
+            assert_eq!(reduced.num_states(), 3, "copies={copies}");
+            for n in 0..=8 {
+                assert_eq!(
+                    count_exact(&reduced, n).unwrap(),
+                    count_exact(&nfa, n).unwrap(),
+                    "copies={copies}, n={n}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn language_preserved_on_fixture() {
+        let nfa = contains_11();
+        let reduced = reduce(&nfa);
+        assert!(reduced.num_states() <= nfa.num_states());
+        for n in 0..=10 {
+            assert_eq!(count_exact(&reduced, n).unwrap(), count_exact(&nfa, n).unwrap(), "n={n}");
+        }
+    }
+
+    #[test]
+    fn language_preserved_on_random_batch() {
+        use rand::{rngs::SmallRng, RngExt, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(808);
+        for case in 0..40 {
+            // Random automata assembled inline (workloads would be a
+            // dependency cycle): random transitions over 3–7 states.
+            let m = 3 + case % 5;
+            let mut b = NfaBuilder::new(Alphabet::binary());
+            b.add_states(m);
+            b.set_initial(0);
+            b.add_accepting(rng.random_range(0..m as StateId));
+            for _ in 0..2 * m {
+                b.add_transition(
+                    rng.random_range(0..m as StateId),
+                    rng.random_range(0..2u8),
+                    rng.random_range(0..m as StateId),
+                );
+            }
+            let nfa = b.build().unwrap();
+            let reduced = reduce(&nfa);
+            assert!(reduced.num_states() <= nfa.num_states());
+            for n in 0..=6 {
+                assert_eq!(
+                    count_exact(&reduced, n).unwrap(),
+                    brute_force_count(&nfa, n),
+                    "case {case}, n={n}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn minimal_dfa_is_untouched() {
+        // ones-mod-k style ring: all states distinguishable.
+        let k = 5;
+        let mut b = NfaBuilder::new(Alphabet::binary());
+        b.add_states(k);
+        b.set_initial(0);
+        b.add_accepting(0);
+        for i in 0..k as StateId {
+            b.add_transition(i, 0, i);
+            b.add_transition(i, 1, (i + 1) % k as StateId);
+        }
+        let nfa = b.build().unwrap();
+        assert_eq!(reduce(&nfa).num_states(), k);
+    }
+
+    #[test]
+    fn reduce_is_idempotent() {
+        let nfa = redundant(4);
+        let once = reduce(&nfa);
+        let twice = reduce(&once);
+        assert_eq!(once.num_states(), twice.num_states());
+        assert_eq!(once.num_transitions(), twice.num_transitions());
+    }
+
+    #[test]
+    fn quotient_maps_are_total_and_dense() {
+        let nfa = redundant(3);
+        let (reduced, class_of) = quotient_forward(&nfa);
+        assert_eq!(class_of.len(), nfa.num_states());
+        let max = class_of.iter().copied().max().unwrap() as usize;
+        assert_eq!(max + 1, reduced.num_states());
+        // Initial maps to initial.
+        assert_eq!(class_of[nfa.initial() as usize], reduced.initial());
+    }
+}

@@ -1,0 +1,184 @@
+//! Words over an alphabet.
+//!
+//! A [`Word`] is a finite sequence of symbol ids. The sampler builds words
+//! by *prepending* symbols (Algorithm 2 extends suffixes backwards, line
+//! 15: `w ← b·w`), so the constructor [`Word::from_reversed`] exists to
+//! make that path allocation-free beyond the final reversal.
+
+use crate::alphabet::{Alphabet, Symbol};
+use std::fmt;
+
+/// A word: a sequence of dense symbol ids.
+#[derive(Clone, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+pub struct Word {
+    syms: Vec<Symbol>,
+}
+
+impl Word {
+    /// The empty word λ.
+    pub fn empty() -> Self {
+        Word { syms: Vec::new() }
+    }
+
+    /// Builds from symbol ids.
+    pub fn from_symbols(syms: Vec<Symbol>) -> Self {
+        Word { syms }
+    }
+
+    /// Builds from symbols collected in reverse order (last symbol first),
+    /// as produced by the backward sampler.
+    pub fn from_reversed(mut rev_syms: Vec<Symbol>) -> Self {
+        rev_syms.reverse();
+        Word { syms: rev_syms }
+    }
+
+    /// Parses a word using an alphabet's symbol names, e.g. `"0110"`.
+    pub fn parse(s: &str, alphabet: &Alphabet) -> Option<Self> {
+        s.chars().map(|c| alphabet.symbol(c)).collect::<Option<Vec<_>>>().map(Word::from_symbols)
+    }
+
+    /// Length `|w|`.
+    pub fn len(&self) -> usize {
+        self.syms.len()
+    }
+
+    /// True for the empty word.
+    pub fn is_empty(&self) -> bool {
+        self.syms.is_empty()
+    }
+
+    /// The symbols, first to last.
+    pub fn symbols(&self) -> &[Symbol] {
+        &self.syms
+    }
+
+    /// Appends a symbol.
+    pub fn push(&mut self, sym: Symbol) {
+        self.syms.push(sym);
+    }
+
+    /// Concatenation `self · other`.
+    pub fn concat(&self, other: &Word) -> Word {
+        let mut syms = Vec::with_capacity(self.syms.len() + other.syms.len());
+        syms.extend_from_slice(&self.syms);
+        syms.extend_from_slice(&other.syms);
+        Word { syms }
+    }
+
+    /// Renders with an alphabet's symbol names ("λ" for the empty word).
+    pub fn display(&self, alphabet: &Alphabet) -> String {
+        if self.syms.is_empty() {
+            return "λ".to_string();
+        }
+        self.syms.iter().map(|&s| alphabet.name(s)).collect()
+    }
+
+    /// Packs the word into a `u64` key (for histogram maps in tests and
+    /// experiments). Requires `k^len` to fit; panics otherwise.
+    pub fn to_index(&self, alphabet_size: usize) -> u64 {
+        let k = alphabet_size as u64;
+        let mut idx: u64 = 0;
+        for &s in &self.syms {
+            idx = idx.checked_mul(k).and_then(|v| v.checked_add(s as u64)).expect("word too long for u64 index");
+        }
+        idx
+    }
+
+    /// Inverse of [`Word::to_index`] for words of known length.
+    pub fn from_index(mut idx: u64, len: usize, alphabet_size: usize) -> Self {
+        let k = alphabet_size as u64;
+        let mut syms = vec![0 as Symbol; len];
+        for slot in syms.iter_mut().rev() {
+            *slot = (idx % k) as Symbol;
+            idx /= k;
+        }
+        Word { syms }
+    }
+}
+
+impl fmt::Debug for Word {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.syms.is_empty() {
+            return write!(f, "λ");
+        }
+        for &s in &self.syms {
+            if s < 10 {
+                write!(f, "{s}")?;
+            } else {
+                write!(f, "<{s}>")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl From<&[Symbol]> for Word {
+    fn from(syms: &[Symbol]) -> Self {
+        Word { syms: syms.to_vec() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_word() {
+        let w = Word::empty();
+        assert!(w.is_empty());
+        assert_eq!(w.len(), 0);
+        assert_eq!(w.display(&Alphabet::binary()), "λ");
+    }
+
+    #[test]
+    fn parse_and_display_round_trip() {
+        let a = Alphabet::binary();
+        let w = Word::parse("0110", &a).unwrap();
+        assert_eq!(w.len(), 4);
+        assert_eq!(w.symbols(), &[0, 1, 1, 0]);
+        assert_eq!(w.display(&a), "0110");
+        assert!(Word::parse("012", &a).is_none());
+    }
+
+    #[test]
+    fn from_reversed_matches_forward() {
+        let w = Word::from_reversed(vec![2, 1, 0]);
+        assert_eq!(w.symbols(), &[0, 1, 2]);
+    }
+
+    #[test]
+    fn concat() {
+        let a = Word::from_symbols(vec![0, 1]);
+        let b = Word::from_symbols(vec![1]);
+        assert_eq!(a.concat(&b).symbols(), &[0, 1, 1]);
+        assert_eq!(b.concat(&Word::empty()).symbols(), &[1]);
+    }
+
+    #[test]
+    fn index_round_trip_binary() {
+        for idx in 0..16u64 {
+            let w = Word::from_index(idx, 4, 2);
+            assert_eq!(w.to_index(2), idx);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn index_round_trip(len in 0usize..10, idx_seed in 0u64.., k in 2usize..5) {
+            let space = (k as u64).pow(len as u32);
+            let idx = if space == 0 { 0 } else { idx_seed % space };
+            let w = Word::from_index(idx, len, k);
+            prop_assert_eq!(w.len(), len);
+            prop_assert_eq!(w.to_index(k), idx);
+        }
+
+        #[test]
+        fn reversed_is_reverse(syms in proptest::collection::vec(0u8..4, 0..20)) {
+            let mut expect = syms.clone();
+            expect.reverse();
+            let w = Word::from_reversed(syms);
+            prop_assert_eq!(w.symbols(), &expect[..]);
+        }
+    }
+}

@@ -1,0 +1,26 @@
+//! Baseline #NFA counters for head-to-head comparison with the FPRAS.
+//!
+//! * [`acjr`] — an ACJR-style FPRAS (the PODS'19/JACM'21 scheme this
+//!   paper improves on): exhaustive-fraction union estimation and
+//!   `κ^a`-sized per-state sample sets;
+//! * [`naive`] — uniform-word Monte Carlo (unbiased, collapses on thin
+//!   languages);
+//! * [`path_is`] — unbiased importance sampling over accepting paths
+//!   (zero variance on unambiguous automata, exponential variance on
+//!   ambiguous ones — the cheap estimator the FPRAS has to beat);
+//! * exact methods re-exported from `fpras-automata` (determinization DP,
+//!   DFA counting, brute force) and `fpras-bdd` behind the unified
+//!   [`facade`].
+//!
+//! Experiments E5/E6/E10/E11/E12 in EXPERIMENTS.md are built on this
+//! crate.
+
+pub mod acjr;
+pub mod facade;
+pub mod naive;
+pub mod path_is;
+
+pub use acjr::{AcjrParams, AcjrRun};
+pub use facade::{run_counter, CounterError, CounterKind, CounterOutput};
+pub use naive::{naive_mc, trials_for, NaiveResult};
+pub use path_is::{path_importance_sampling, PathIsResult, PathSampler};

@@ -1,0 +1,144 @@
+//! Naive Monte-Carlo baseline.
+//!
+//! Sample words uniformly from `Σⁿ`, measure the acceptance rate `p̂`, and
+//! report `p̂ · kⁿ`. Unbiased and embarrassingly simple — and useless as an
+//! FPRAS: to get a multiplicative `(1±ε)` guarantee the trial count must
+//! grow like `1/(ε²·p)` where `p = |L(A_n)|/kⁿ` can be exponentially
+//! small. Experiment E11 demonstrates exactly this crossover (dense
+//! languages: naive wins; thin languages: naive returns 0 forever), which
+//! is the motivation for an FPRAS in the first place (paper §1).
+
+use fpras_automata::{Nfa, StepMasks, Word};
+use fpras_numeric::ExtFloat;
+use rand::{Rng, RngExt};
+
+/// Output of a naive Monte-Carlo estimation.
+#[derive(Debug, Clone)]
+pub struct NaiveResult {
+    /// `p̂ · kⁿ`.
+    pub estimate: ExtFloat,
+    /// Number of sampled words that were accepted.
+    pub hits: u64,
+    /// Number of trials performed.
+    pub trials: u64,
+}
+
+/// Runs `trials` uniform-word trials.
+pub fn naive_mc<R: Rng + ?Sized>(nfa: &Nfa, n: usize, trials: u64, rng: &mut R) -> NaiveResult {
+    assert!(trials > 0, "at least one trial required");
+    let k = nfa.alphabet().size();
+    let masks = StepMasks::new(nfa);
+    let mut hits = 0u64;
+    let mut word = vec![0u8; n];
+    for _ in 0..trials {
+        for slot in word.iter_mut() {
+            *slot = rng.random_range(0..k) as u8;
+        }
+        if masks.accepts(&Word::from_symbols(word.clone())) {
+            hits += 1;
+        }
+    }
+    let space = ExtFloat::from_f64(k as f64).powi_ext(n);
+    let estimate = if hits == 0 {
+        ExtFloat::ZERO
+    } else {
+        space.scale(hits as f64 / trials as f64)
+    };
+    NaiveResult { estimate, hits, trials }
+}
+
+/// Trials needed for a `(1±ε, δ)` guarantee *assuming* the acceptance
+/// density is at least `p_min` (multiplicative Chernoff). This is the
+/// honest statement of naive MC's weakness: `p_min` is exactly what we
+/// don't know, and it can be `k⁻ⁿ`.
+pub fn trials_for(eps: f64, delta: f64, p_min: f64) -> u64 {
+    assert!(eps > 0.0 && delta > 0.0 && delta < 1.0 && p_min > 0.0 && p_min <= 1.0);
+    ((3.0 * (2.0 / delta).ln()) / (eps * eps * p_min)).ceil() as u64
+}
+
+/// Extension trait: integer powers of [`ExtFloat`] (local helper).
+trait PowiExt {
+    fn powi_ext(self, e: usize) -> ExtFloat;
+}
+
+impl PowiExt for ExtFloat {
+    fn powi_ext(self, e: usize) -> ExtFloat {
+        let mut acc = ExtFloat::ONE;
+        let mut base = self;
+        let mut e = e;
+        while e > 0 {
+            if e & 1 == 1 {
+                acc = acc * base;
+            }
+            base = base * base;
+            e >>= 1;
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fpras_automata::{Alphabet, NfaBuilder};
+    use rand::{rngs::SmallRng, SeedableRng};
+
+    fn ends_in_1() -> Nfa {
+        let mut b = NfaBuilder::new(Alphabet::binary());
+        let q0 = b.add_state();
+        let q1 = b.add_state();
+        b.set_initial(q0);
+        b.add_accepting(q1);
+        for sym in [0, 1] {
+            b.add_transition(q0, sym, q0);
+        }
+        b.add_transition(q0, 1, q1);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn dense_language_estimated_well() {
+        // Half of all words end in 1: p = 0.5.
+        let nfa = ends_in_1();
+        let mut rng = SmallRng::seed_from_u64(10);
+        let r = naive_mc(&nfa, 10, 20_000, &mut rng);
+        let exact = 512.0;
+        let err = (r.estimate.to_f64() - exact).abs() / exact;
+        assert!(err < 0.05, "err {err}");
+        assert_eq!(r.trials, 20_000);
+    }
+
+    #[test]
+    fn thin_language_returns_zero() {
+        // Language {1^n}: a single word among 2^n.
+        let mut b = NfaBuilder::new(Alphabet::binary());
+        let states: Vec<_> = (0..31).map(|_| b.add_state()).collect();
+        b.set_initial(states[0]);
+        b.add_accepting(states[30]);
+        for w in states.windows(2) {
+            b.add_transition(w[0], 1, w[1]);
+        }
+        let nfa = b.build().unwrap();
+        let mut rng = SmallRng::seed_from_u64(3);
+        let r = naive_mc(&nfa, 30, 10_000, &mut rng);
+        // 10^4 trials against p = 2^-30: certain miss.
+        assert!(r.estimate.is_zero());
+        assert_eq!(r.hits, 0);
+    }
+
+    #[test]
+    fn trials_formula_blows_up_for_thin() {
+        let dense = trials_for(0.1, 0.1, 0.5);
+        let thin = trials_for(0.1, 0.1, 2f64.powi(-30));
+        assert!(thin / dense > 1 << 28, "ratio {}", thin / dense);
+    }
+
+    #[test]
+    fn large_n_space_does_not_overflow() {
+        let nfa = ends_in_1();
+        let mut rng = SmallRng::seed_from_u64(4);
+        let r = naive_mc(&nfa, 2000, 100, &mut rng);
+        // Estimate ~ 0.5 * 2^2000 — far above f64 range, fine in ExtFloat.
+        assert!(r.estimate.log2() > 1990.0);
+    }
+}

@@ -1,0 +1,394 @@
+//! Compiling the slice `L(A_n)` of an NFA into a BDD.
+//!
+//! A length-`n` word over a size-`k` alphabet is encoded as
+//! `n·⌈log₂ k⌉` bits, position-major and MSB-first within each symbol
+//! (variable `0` is the most significant bit of the first symbol). The
+//! compiler builds, for each state `q` and level `ℓ` of the unrolled
+//! automaton, the *suffix acceptance function*
+//!
+//! `f_{q,ℓ}(w_{ℓ+1} … w_n) = [ the suffix has a run from q to F ]`
+//!
+//! bottom-up from `f_{q,n} = [q ∈ F]`:
+//!
+//! `f_{q,ℓ} = decide(symbol at position ℓ+1, s ↦ ⋁_{t ∈ succ(q,s)} f_{t,ℓ+1})`
+//!
+//! where `decide` is a `⌈log₂ k⌉`-deep decision tree over the symbol's
+//! bits and bit patterns `≥ k` (possible only for non-power-of-two
+//! alphabets) map to ⊥. The root is `f_{I,0}`; its models are exactly the
+//! (encodings of) words of `L(A_n)`, so model counting and uniform model
+//! sampling give exact counting and exact uniform word sampling.
+//!
+//! Hash-consing makes this a genuinely different algorithm from the
+//! level-wise determinization DP of `fpras_automata::exact`: that DP's
+//! cost is the number of distinct *reachable state subsets* per level,
+//! this compiler's cost is the number of distinct *suffix languages*
+//! (quotients) per level. Experiment E13 measures instances where each
+//! wins.
+
+use crate::count::CountContext;
+use crate::manager::{Bdd, BddError, DEFAULT_NODE_BUDGET};
+use crate::node::NodeId;
+use fpras_automata::{Nfa, StateId};
+use fpras_numeric::BigUint;
+use std::collections::HashMap;
+
+/// Number of bits used to encode one symbol of a size-`k` alphabet.
+pub fn bits_per_symbol(k: usize) -> usize {
+    assert!(k >= 1, "alphabet must be non-empty");
+    (usize::BITS - (k - 1).leading_zeros()) as usize
+}
+
+/// A compiled slice: the manager, the root, and the encoding geometry.
+#[derive(Debug)]
+pub struct CompiledSlice {
+    /// The manager holding the compiled function.
+    pub bdd: Bdd,
+    /// Root node of `w ↦ [w ∈ L(A_n)]`.
+    pub root: NodeId,
+    /// Word length `n`.
+    pub n: usize,
+    /// Alphabet size `k`.
+    pub alphabet_size: usize,
+    /// `⌈log₂ k⌉` — bits per encoded symbol.
+    pub bits_per_symbol: usize,
+}
+
+impl CompiledSlice {
+    /// Exact `|L(A_n)|` by model counting.
+    pub fn count(&self) -> BigUint {
+        CountContext::new(&self.bdd).count(self.root)
+    }
+
+    /// Decodes a model (bit assignment) back into a symbol sequence.
+    ///
+    /// Returns `None` if any position holds an invalid code (cannot
+    /// happen for models of the compiled root, which maps invalid codes
+    /// to ⊥; public for testing the encoding itself).
+    pub fn decode(&self, assignment: &[bool]) -> Option<Vec<u8>> {
+        assert_eq!(assignment.len(), self.n * self.bits_per_symbol);
+        let mut word = Vec::with_capacity(self.n);
+        for pos in 0..self.n {
+            let mut code = 0usize;
+            for bit in 0..self.bits_per_symbol {
+                code = code << 1 | assignment[pos * self.bits_per_symbol + bit] as usize;
+            }
+            if code >= self.alphabet_size {
+                return None;
+            }
+            word.push(code as u8);
+        }
+        Some(word)
+    }
+}
+
+/// Compiles `L(A_n)` with the default node budget.
+///
+/// ```
+/// use fpras_automata::{Alphabet, NfaBuilder};
+/// use fpras_bdd::compile_slice;
+///
+/// // Words ending in 1: exactly half of each slice.
+/// let mut b = NfaBuilder::new(Alphabet::binary());
+/// let (q0, q1) = (b.add_state(), b.add_state());
+/// b.set_initial(q0);
+/// b.add_accepting(q1);
+/// b.add_transition(q0, 0, q0);
+/// b.add_transition(q0, 1, q0);
+/// b.add_transition(q0, 1, q1);
+/// let nfa = b.build().unwrap();
+///
+/// let compiled = compile_slice(&nfa, 10).unwrap();
+/// assert_eq!(compiled.count().to_u64(), Some(512));
+/// ```
+pub fn compile_slice(nfa: &Nfa, n: usize) -> Result<CompiledSlice, BddError> {
+    compile_slice_budgeted(nfa, n, DEFAULT_NODE_BUDGET)
+}
+
+/// Compiles `L(A_n)` with an explicit node budget.
+pub fn compile_slice_budgeted(
+    nfa: &Nfa,
+    n: usize,
+    node_budget: usize,
+) -> Result<CompiledSlice, BddError> {
+    let k = nfa.alphabet().size();
+    let bits = bits_per_symbol(k);
+    let mut bdd = Bdd::with_budget(n * bits, node_budget);
+
+    // Level n: acceptance.
+    let mut level: HashMap<StateId, NodeId> = (0..nfa.num_states() as StateId)
+        .map(|q| (q, if nfa.is_accepting(q) { NodeId::TRUE } else { NodeId::FALSE }))
+        .collect();
+
+    // Levels n-1 down to 0.
+    for ell in (0..n).rev() {
+        let var_base = (ell * bits) as u32;
+        let mut next: HashMap<StateId, NodeId> = HashMap::with_capacity(level.len());
+        for q in 0..nfa.num_states() as StateId {
+            // One branch target per symbol: OR of successor functions.
+            let mut per_symbol = Vec::with_capacity(k);
+            for sym in 0..k as u8 {
+                let mut acc = NodeId::FALSE;
+                for &t in nfa.successors(q, sym) {
+                    acc = bdd.or(acc, level[&t])?;
+                }
+                per_symbol.push(acc);
+            }
+            let f = symbol_decision_tree(&mut bdd, &per_symbol, var_base, bits as u32)?;
+            next.insert(q, f);
+        }
+        level = next;
+    }
+
+    let root = level[&nfa.initial()];
+    Ok(CompiledSlice { bdd, root, n, alphabet_size: k, bits_per_symbol: bits })
+}
+
+/// Builds the depth-`bits` decision tree that dispatches on one encoded
+/// symbol: leaf `s < per_symbol.len()` is `per_symbol[s]`, out-of-range
+/// codes are ⊥. `var_base` is the MSB's variable index.
+fn symbol_decision_tree(
+    bdd: &mut Bdd,
+    per_symbol: &[NodeId],
+    var_base: u32,
+    bits: u32,
+) -> Result<NodeId, BddError> {
+    fn rec(
+        bdd: &mut Bdd,
+        per_symbol: &[NodeId],
+        var: u32,
+        remaining_bits: u32,
+        code_prefix: usize,
+    ) -> Result<NodeId, BddError> {
+        if remaining_bits == 0 {
+            return Ok(per_symbol.get(code_prefix).copied().unwrap_or(NodeId::FALSE));
+        }
+        let lo = rec(bdd, per_symbol, var + 1, remaining_bits - 1, code_prefix << 1)?;
+        let hi = rec(bdd, per_symbol, var + 1, remaining_bits - 1, code_prefix << 1 | 1)?;
+        bdd.mk(var, lo, hi)
+    }
+    rec(bdd, per_symbol, var_base, bits, 0)
+}
+
+/// Convenience one-shot: exact `|L(A_n)|` via BDD compilation.
+pub fn count_slice(nfa: &Nfa, n: usize) -> Result<BigUint, BddError> {
+    Ok(compile_slice(nfa, n)?.count())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fpras_automata::exact::count_exact;
+    use fpras_automata::{Alphabet, NfaBuilder};
+
+    fn contains_11() -> Nfa {
+        let mut b = NfaBuilder::new(Alphabet::binary());
+        let q0 = b.add_state();
+        let q1 = b.add_state();
+        let q2 = b.add_state();
+        b.set_initial(q0);
+        b.add_accepting(q2);
+        b.add_transition(q0, 0, q0);
+        b.add_transition(q0, 1, q0);
+        b.add_transition(q0, 1, q1);
+        b.add_transition(q1, 1, q2);
+        b.add_transition(q2, 0, q2);
+        b.add_transition(q2, 1, q2);
+        b.build().unwrap()
+    }
+
+    /// Ternary-alphabet automaton: words over {a,b,c} with no two equal
+    /// adjacent symbols. Exercises the invalid-code padding.
+    fn no_repeat_ternary() -> Nfa {
+        let mut b = NfaBuilder::new(Alphabet::of_size(3));
+        let start = b.add_state();
+        let last: Vec<_> = (0..3).map(|_| b.add_state()).collect();
+        b.set_initial(start);
+        b.add_accepting(start);
+        for &q in &last {
+            b.add_accepting(q);
+        }
+        for sym in 0..3u8 {
+            b.add_transition(start, sym, last[sym as usize]);
+            for (prev, &q) in last.iter().enumerate() {
+                if prev != sym as usize {
+                    b.add_transition(q, sym, last[sym as usize]);
+                }
+            }
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn bits_per_symbol_geometry() {
+        assert_eq!(bits_per_symbol(1), 0);
+        assert_eq!(bits_per_symbol(2), 1);
+        assert_eq!(bits_per_symbol(3), 2);
+        assert_eq!(bits_per_symbol(4), 2);
+        assert_eq!(bits_per_symbol(5), 3);
+        assert_eq!(bits_per_symbol(256), 8);
+    }
+
+    #[test]
+    fn matches_exact_dp_on_binary_family() {
+        let nfa = contains_11();
+        for n in 0..=12usize {
+            let via_bdd = count_slice(&nfa, n).unwrap();
+            let via_dp = count_exact(&nfa, n).unwrap();
+            assert_eq!(via_bdd, via_dp, "n={n}");
+        }
+    }
+
+    #[test]
+    fn matches_exact_dp_on_ternary_family() {
+        // 3·2^(n-1) non-repeating words of length n ≥ 1.
+        let nfa = no_repeat_ternary();
+        for n in 1..=8usize {
+            let via_bdd = count_slice(&nfa, n).unwrap();
+            assert_eq!(via_bdd, count_exact(&nfa, n).unwrap(), "n={n}");
+            assert_eq!(via_bdd.to_u64(), Some(3 << (n - 1)), "n={n}");
+        }
+    }
+
+    #[test]
+    fn empty_slice_and_zero_length() {
+        let nfa = contains_11();
+        // n=0: empty word not accepted (q0 not accepting).
+        assert_eq!(count_slice(&nfa, 0).unwrap(), BigUint::zero());
+        // n=1: no single-symbol word contains "11".
+        assert_eq!(count_slice(&nfa, 1).unwrap(), BigUint::zero());
+    }
+
+    #[test]
+    fn zero_length_accepting_initial() {
+        let mut b = NfaBuilder::new(Alphabet::binary());
+        let q = b.add_state();
+        b.set_initial(q);
+        b.add_accepting(q);
+        b.add_transition(q, 0, q);
+        let nfa = b.build().unwrap();
+        assert_eq!(count_slice(&nfa, 0).unwrap(), BigUint::one());
+        // Only the all-zeros word survives at each length.
+        for n in 1..6 {
+            assert_eq!(count_slice(&nfa, n).unwrap(), BigUint::one(), "n={n}");
+        }
+    }
+
+    #[test]
+    fn large_n_stays_polynomial_for_thin_language() {
+        // Single word 0^n: BDD has O(n) nodes; count must be 1 at n=300
+        // (well past u64/u128 word-space range).
+        let mut b = NfaBuilder::new(Alphabet::binary());
+        let q = b.add_state();
+        b.set_initial(q);
+        b.add_accepting(q);
+        b.add_transition(q, 0, q);
+        let nfa = b.build().unwrap();
+        let compiled = compile_slice(&nfa, 300).unwrap();
+        assert_eq!(compiled.count(), BigUint::one());
+        assert!(compiled.bdd.num_nodes() < 2 * 300 + 10);
+    }
+
+    /// NFA for "the two halves of a length-2k word differ somewhere":
+    /// nondeterministically guess the mismatch position `i`, remember
+    /// `w_i`, skip `k-1` symbols, check `w_{i+k} ≠ w_i`. O(k) states, but
+    /// the complement of its length-2k slice is half-equality, whose BDD
+    /// in sequential variable order has width `2^k` at the middle cut —
+    /// and a BDD and its complement have the same size.
+    fn halves_differ(k: usize) -> Nfa {
+        let mut b = NfaBuilder::new(Alphabet::binary());
+        let start = b.add_state();
+        let sink = b.add_state();
+        b.set_initial(start);
+        b.add_accepting(sink);
+        for sym in 0..2u8 {
+            b.add_transition(start, sym, start);
+            b.add_transition(sink, sym, sink);
+        }
+        // chains[b][j]: "remembered bit b, j skip steps already taken".
+        for bit in 0..2u8 {
+            let chain: Vec<_> = (0..k).map(|_| b.add_state()).collect();
+            b.add_transition(start, bit, chain[0]);
+            for j in 0..k - 1 {
+                for sym in 0..2u8 {
+                    b.add_transition(chain[j], sym, chain[j + 1]);
+                }
+            }
+            b.add_transition(chain[k - 1], 1 - bit, sink);
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn node_budget_fails_gracefully() {
+        let k = 12;
+        let nfa = halves_differ(k);
+        let err = compile_slice_budgeted(&nfa, 2 * k, 512).unwrap_err();
+        assert_eq!(err, BddError::NodeBudget { budget: 512 });
+    }
+
+    #[test]
+    fn halves_differ_counts_match_exact_dp() {
+        // Small enough for both methods: |L| = 2^{2k} - 2^k (all words
+        // minus the "halves equal" ones).
+        for k in 1..=5usize {
+            let nfa = halves_differ(k);
+            let via_bdd = count_slice(&nfa, 2 * k).unwrap();
+            assert_eq!(via_bdd, count_exact(&nfa, 2 * k).unwrap(), "k={k}");
+            assert_eq!(via_bdd.to_u64(), Some((1 << (2 * k)) - (1 << k)), "k={k}");
+        }
+    }
+
+    #[test]
+    fn bdd_width_beats_subset_width_on_fixed_position() {
+        // "k-th symbol from the end is 1": the subset construction needs
+        // 2^k subsets, but the length-n slice pins a *fixed* position, so
+        // the BDD collapses to a single decision node. This asymmetry is
+        // what experiment E13 reports.
+        let k = 12;
+        let mut b = NfaBuilder::new(Alphabet::binary());
+        let states: Vec<_> = (0..=k).map(|_| b.add_state()).collect();
+        b.set_initial(states[0]);
+        b.add_accepting(states[k]);
+        b.add_transition(states[0], 0, states[0]);
+        b.add_transition(states[0], 1, states[0]);
+        b.add_transition(states[0], 1, states[1]);
+        for i in 1..k {
+            b.add_transition(states[i], 0, states[i + 1]);
+            b.add_transition(states[i], 1, states[i + 1]);
+        }
+        let nfa = b.build().unwrap();
+        let n = 2 * k;
+        let compiled = compile_slice(&nfa, n).unwrap();
+        assert_eq!(compiled.bdd.num_nodes(), 3, "terminals + one decision node");
+        assert_eq!(compiled.count(), BigUint::pow2(n - 1));
+    }
+
+    #[test]
+    fn decode_round_trip() {
+        let nfa = no_repeat_ternary();
+        let compiled = compile_slice(&nfa, 2).unwrap();
+        assert_eq!(compiled.bits_per_symbol, 2);
+        // Symbol codes: a=00, b=01, c=10; "ab" = 00 01.
+        let assignment = [false, false, false, true];
+        assert_eq!(compiled.decode(&assignment), Some(vec![0, 1]));
+        // Code 11 (=3) is invalid for a ternary alphabet.
+        let invalid = [true, true, false, false];
+        assert_eq!(compiled.decode(&invalid), None);
+    }
+
+    #[test]
+    fn compiled_function_agrees_with_membership() {
+        let nfa = contains_11();
+        let n = 6;
+        let compiled = compile_slice(&nfa, n).unwrap();
+        for idx in 0..(1u64 << n) {
+            let w = fpras_automata::Word::from_index(idx, n, 2);
+            let assignment: Vec<bool> = w.symbols().iter().map(|&s| s == 1).collect();
+            assert_eq!(
+                compiled.bdd.eval(compiled.root, &assignment),
+                nfa.accepts(&w),
+                "word index {idx}"
+            );
+        }
+    }
+}

@@ -1,0 +1,164 @@
+//! Exact model counting on a BDD.
+//!
+//! Counting is a single memoized traversal: each node's count is the sum
+//! of its children's counts, scaled by `2^gap` for the variables the
+//! child edge skips (a reduced BDD omits don't-care tests). Counts are
+//! [`BigUint`] — the functions compiled from NFA slices have up to `2^n`
+//! models, exactly the range that motivated the numeric substrate.
+
+use crate::manager::Bdd;
+use crate::node::NodeId;
+use fpras_numeric::BigUint;
+use std::collections::HashMap;
+
+/// Per-root counting context; reusable across roots of one manager.
+///
+/// The memo is keyed by node id only (counts depend on the node's own
+/// variable, not on where it is referenced), so counting many roots —
+/// e.g. every `(state, level)` function during an experiment — shares
+/// all interior work.
+pub struct CountContext<'a> {
+    bdd: &'a Bdd,
+    memo: HashMap<NodeId, BigUint>,
+}
+
+impl<'a> CountContext<'a> {
+    /// A fresh context over `bdd`.
+    pub fn new(bdd: &'a Bdd) -> Self {
+        CountContext { bdd, memo: HashMap::new() }
+    }
+
+    /// Number of satisfying assignments of `root` over all
+    /// `bdd.num_vars()` variables.
+    pub fn count(&mut self, root: NodeId) -> BigUint {
+        let below = self.count_below(root);
+        // Variables above the root are unconstrained.
+        &below << self.gap_to(root, 0)
+    }
+
+    /// Models over variables `var(node)..num_vars` (the node's own
+    /// variable included).
+    fn count_below(&mut self, node: NodeId) -> BigUint {
+        if node == NodeId::FALSE {
+            return BigUint::zero();
+        }
+        if node == NodeId::TRUE {
+            return BigUint::one();
+        }
+        if let Some(c) = self.memo.get(&node) {
+            return c.clone();
+        }
+        let (lo, hi) = self.bdd.children(node);
+        let var = self.bdd.var(node);
+        let lo_count = &self.count_below(lo) << self.gap_to(lo, var + 1);
+        let hi_count = &self.count_below(hi) << self.gap_to(hi, var + 1);
+        let total = &lo_count + &hi_count;
+        self.memo.insert(node, total.clone());
+        total
+    }
+
+    /// Number of don't-care variables skipped when an edge lands on
+    /// `child` while the next constrained variable would be `from`.
+    fn gap_to(&self, child: NodeId, from: u32) -> usize {
+        let child_var =
+            if child.is_terminal() { self.bdd.num_vars() as u32 } else { self.bdd.var(child) };
+        (child_var - from) as usize
+    }
+
+    /// Shared access to the underlying manager.
+    pub fn bdd(&self) -> &Bdd {
+        self.bdd
+    }
+
+    pub(crate) fn count_below_cached(&mut self, node: NodeId) -> BigUint {
+        self.count_below(node)
+    }
+
+    pub(crate) fn gap(&self, child: NodeId, from: u32) -> usize {
+        self.gap_to(child, from)
+    }
+}
+
+/// One-shot model count of `root` over all of `bdd`'s variables.
+pub fn model_count(bdd: &Bdd, root: NodeId) -> BigUint {
+    CountContext::new(bdd).count(root)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn terminals() {
+        let bdd = Bdd::new(3);
+        assert_eq!(model_count(&bdd, NodeId::FALSE), BigUint::zero());
+        assert_eq!(model_count(&bdd, NodeId::TRUE), BigUint::pow2(3));
+    }
+
+    #[test]
+    fn single_variable_halves_the_space() {
+        let mut bdd = Bdd::new(5);
+        for i in 0..5 {
+            let x = bdd.var_node(i).unwrap();
+            assert_eq!(model_count(&bdd, x), BigUint::pow2(4), "var {i}");
+        }
+    }
+
+    #[test]
+    fn disjunction_by_inclusion_exclusion() {
+        // |x0 ∨ x1| over 2 vars = 3.
+        let mut bdd = Bdd::new(2);
+        let x = bdd.var_node(0).unwrap();
+        let y = bdd.var_node(1).unwrap();
+        let f = bdd.or(x, y).unwrap();
+        assert_eq!(model_count(&bdd, f).to_u64(), Some(3));
+    }
+
+    #[test]
+    fn parity_has_exactly_half_the_models() {
+        for nvars in 1..=12u32 {
+            let mut bdd = Bdd::new(nvars as usize);
+            let mut acc = bdd.var_node(0).unwrap();
+            for i in 1..nvars {
+                let v = bdd.var_node(i).unwrap();
+                acc = bdd.xor(acc, v).unwrap();
+            }
+            assert_eq!(model_count(&bdd, acc), BigUint::pow2(nvars as usize - 1), "n={nvars}");
+        }
+    }
+
+    #[test]
+    fn count_complement_sums_to_space() {
+        let mut bdd = Bdd::new(6);
+        let x = bdd.var_node(0).unwrap();
+        let y = bdd.var_node(3).unwrap();
+        let z = bdd.var_node(5).unwrap();
+        let xy = bdd.and(x, y).unwrap();
+        let f = bdd.xor(xy, z).unwrap();
+        let nf = bdd.not(f).unwrap();
+        let total = &model_count(&bdd, f) + &model_count(&bdd, nf);
+        assert_eq!(total, BigUint::pow2(6));
+    }
+
+    #[test]
+    fn context_reuse_across_roots() {
+        let mut bdd = Bdd::new(4);
+        let x = bdd.var_node(0).unwrap();
+        let y = bdd.var_node(1).unwrap();
+        let f = bdd.and(x, y).unwrap();
+        let g = bdd.or(x, y).unwrap();
+        let mut ctx = CountContext::new(&bdd);
+        assert_eq!(ctx.count(f).to_u64(), Some(4));
+        assert_eq!(ctx.count(g).to_u64(), Some(12));
+        // Re-counting is stable.
+        assert_eq!(ctx.count(f).to_u64(), Some(4));
+    }
+
+    #[test]
+    fn huge_var_spaces_do_not_overflow() {
+        // TRUE over 500 vars: count is 2^500, far past u128.
+        let bdd = Bdd::new(500);
+        let c = model_count(&bdd, NodeId::TRUE);
+        assert_eq!(c, BigUint::pow2(500));
+    }
+}

@@ -1,0 +1,73 @@
+//! Graphviz export for BDDs (debugging and documentation).
+
+use crate::manager::Bdd;
+use crate::node::NodeId;
+use std::collections::HashSet;
+use std::fmt::Write;
+
+/// Renders the sub-DAG rooted at `root` in Graphviz DOT syntax: solid
+/// edges for the hi (true) branch, dashed for lo, box-shaped terminals.
+pub fn to_dot(bdd: &Bdd, root: NodeId) -> String {
+    let mut out = String::from("digraph bdd {\n  rankdir=TB;\n");
+    let mut seen: HashSet<NodeId> = HashSet::new();
+    let mut stack = vec![root];
+    while let Some(node) = stack.pop() {
+        if !seen.insert(node) {
+            continue;
+        }
+        if node.is_terminal() {
+            let label = if node == NodeId::TRUE { "1" } else { "0" };
+            writeln!(out, "  n{} [shape=box, label=\"{label}\"];", node.index()).unwrap();
+            continue;
+        }
+        let (lo, hi) = bdd.children(node);
+        writeln!(out, "  n{} [shape=circle, label=\"x{}\"];", node.index(), bdd.var(node))
+            .unwrap();
+        writeln!(out, "  n{} -> n{} [style=dashed];", node.index(), lo.index()).unwrap();
+        writeln!(out, "  n{} -> n{};", node.index(), hi.index()).unwrap();
+        stack.push(lo);
+        stack.push(hi);
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_terminals_and_edges() {
+        let mut bdd = Bdd::new(2);
+        let x = bdd.var_node(0).unwrap();
+        let y = bdd.var_node(1).unwrap();
+        let f = bdd.and(x, y).unwrap();
+        let dot = to_dot(&bdd, f);
+        assert!(dot.starts_with("digraph bdd {"));
+        assert!(dot.contains("label=\"x0\""));
+        assert!(dot.contains("label=\"x1\""));
+        assert!(dot.contains("label=\"1\""));
+        assert!(dot.contains("label=\"0\""));
+        assert!(dot.contains("style=dashed"));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn terminal_root_renders() {
+        let bdd = Bdd::new(1);
+        let dot = to_dot(&bdd, NodeId::TRUE);
+        assert!(dot.contains("label=\"1\""));
+        assert!(!dot.contains("label=\"0\""), "false terminal unreachable");
+    }
+
+    #[test]
+    fn shared_nodes_emitted_once() {
+        let mut bdd = Bdd::new(3);
+        let x = bdd.var_node(0).unwrap();
+        let y = bdd.var_node(1).unwrap();
+        let xor = bdd.xor(x, y).unwrap();
+        let dot = to_dot(&bdd, xor);
+        let count_x1 = dot.matches("label=\"x1\"").count();
+        assert_eq!(count_x1, 2, "xor has two distinct x1 nodes, each once");
+    }
+}

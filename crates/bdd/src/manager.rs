@@ -1,0 +1,366 @@
+//! The BDD manager: arena, unique table, and the `apply` algorithm.
+//!
+//! Standard Bryant-style ROBDD machinery. All functions built through one
+//! manager share structure (hash-consing), so semantic equality is
+//! pointer equality: `f == g` as functions iff the `NodeId`s are equal.
+//! That canonicity is what the tests lean on — e.g. De Morgan's law is
+//! checked as id equality, not by enumerating assignments.
+
+use crate::node::{Node, NodeId, TERMINAL_VAR};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Default ceiling on allocated nodes (~64 MB of nodes) — generous for
+/// every workload in this repository while still failing fast on
+/// genuinely exponential instances.
+pub const DEFAULT_NODE_BUDGET: usize = 1 << 22;
+
+/// Errors from BDD construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BddError {
+    /// The manager hit its node budget; the function being built has
+    /// (at this variable order) no representation within budget.
+    NodeBudget {
+        /// Configured ceiling that was exceeded.
+        budget: usize,
+    },
+}
+
+impl fmt::Display for BddError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BddError::NodeBudget { budget } => {
+                write!(f, "BDD exceeded its node budget of {budget} nodes")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BddError {}
+
+/// Binary boolean connectives handled by `apply`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+enum Op {
+    And,
+    Or,
+    Xor,
+}
+
+impl Op {
+    /// The connective on booleans — the base case of `apply`.
+    fn eval(self, a: bool, b: bool) -> bool {
+        match self {
+            Op::And => a && b,
+            Op::Or => a || b,
+            Op::Xor => a ^ b,
+        }
+    }
+
+    /// Shortcut result when only `a` is a terminal (or `None` if the
+    /// recursion must proceed). Exploits identities like `⊥ ∧ g = ⊥`.
+    fn absorb(self, a: NodeId) -> Option<Result<NodeId, ()>> {
+        match (self, a) {
+            (Op::And, NodeId::FALSE) => Some(Ok(NodeId::FALSE)),
+            (Op::And, NodeId::TRUE) => Some(Err(())), // other side
+            (Op::Or, NodeId::TRUE) => Some(Ok(NodeId::TRUE)),
+            (Op::Or, NodeId::FALSE) => Some(Err(())),
+            _ => None,
+        }
+    }
+}
+
+/// A reduced ordered BDD manager over variables `0..num_vars`.
+///
+/// Variable 0 is the topmost decision. Construct functions with
+/// [`Bdd::var`], combine with [`Bdd::and`]/[`Bdd::or`]/[`Bdd::xor`]/
+/// [`Bdd::not`]/[`Bdd::ite`], then count or sample via [`crate::count`]
+/// and [`crate::sample`].
+pub struct Bdd {
+    num_vars: u32,
+    nodes: Vec<Node>,
+    unique: HashMap<Node, NodeId>,
+    apply_cache: HashMap<(Op, NodeId, NodeId), NodeId>,
+    not_cache: HashMap<NodeId, NodeId>,
+    node_budget: usize,
+}
+
+impl Bdd {
+    /// A manager over `num_vars` variables with the default node budget.
+    pub fn new(num_vars: usize) -> Self {
+        Self::with_budget(num_vars, DEFAULT_NODE_BUDGET)
+    }
+
+    /// A manager with an explicit node budget (useful to make blow-up
+    /// tests cheap and to bound memory in experiments).
+    pub fn with_budget(num_vars: usize, node_budget: usize) -> Self {
+        let terminal = |id: NodeId| Node { var: TERMINAL_VAR, lo: id, hi: id };
+        Bdd {
+            num_vars: num_vars as u32,
+            nodes: vec![terminal(NodeId::FALSE), terminal(NodeId::TRUE)],
+            unique: HashMap::new(),
+            apply_cache: HashMap::new(),
+            not_cache: HashMap::new(),
+            node_budget,
+        }
+    }
+
+    /// Number of variables this manager was created with.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars as usize
+    }
+
+    /// Total nodes allocated so far, terminals included — the "size" that
+    /// experiment E13 reports against the determinization DP's width.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Decision variable of `node` ([`u32::MAX`] for terminals).
+    pub(crate) fn var(&self, node: NodeId) -> u32 {
+        self.nodes[node.index()].var
+    }
+
+    /// Children `(lo, hi)` of an inner node.
+    pub(crate) fn children(&self, node: NodeId) -> (NodeId, NodeId) {
+        let n = &self.nodes[node.index()];
+        (n.lo, n.hi)
+    }
+
+    /// The unique reduced node for "if `var` then `hi` else `lo`".
+    pub fn mk(&mut self, var: u32, lo: NodeId, hi: NodeId) -> Result<NodeId, BddError> {
+        debug_assert!(var < self.num_vars, "variable {var} out of range");
+        debug_assert!(self.var(lo) > var && self.var(hi) > var, "ordering violated at var {var}");
+        if lo == hi {
+            return Ok(lo); // reduction: redundant test
+        }
+        let node = Node { var, lo, hi };
+        if let Some(&id) = self.unique.get(&node) {
+            return Ok(id);
+        }
+        if self.nodes.len() >= self.node_budget {
+            return Err(BddError::NodeBudget { budget: self.node_budget });
+        }
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(node);
+        self.unique.insert(node, id);
+        Ok(id)
+    }
+
+    /// The single-variable function `x_i`.
+    pub fn var_node(&mut self, i: u32) -> Result<NodeId, BddError> {
+        self.mk(i, NodeId::FALSE, NodeId::TRUE)
+    }
+
+    /// The negated single-variable function `¬x_i`.
+    pub fn nvar_node(&mut self, i: u32) -> Result<NodeId, BddError> {
+        self.mk(i, NodeId::TRUE, NodeId::FALSE)
+    }
+
+    /// Conjunction `a ∧ b`.
+    pub fn and(&mut self, a: NodeId, b: NodeId) -> Result<NodeId, BddError> {
+        self.apply(Op::And, a, b)
+    }
+
+    /// Disjunction `a ∨ b`.
+    pub fn or(&mut self, a: NodeId, b: NodeId) -> Result<NodeId, BddError> {
+        self.apply(Op::Or, a, b)
+    }
+
+    /// Exclusive or `a ⊕ b`.
+    pub fn xor(&mut self, a: NodeId, b: NodeId) -> Result<NodeId, BddError> {
+        self.apply(Op::Xor, a, b)
+    }
+
+    /// Negation `¬a`.
+    pub fn not(&mut self, a: NodeId) -> Result<NodeId, BddError> {
+        if a.is_terminal() {
+            return Ok(if a == NodeId::TRUE { NodeId::FALSE } else { NodeId::TRUE });
+        }
+        if let Some(&r) = self.not_cache.get(&a) {
+            return Ok(r);
+        }
+        let (lo, hi) = self.children(a);
+        let var = self.var(a);
+        let nlo = self.not(lo)?;
+        let nhi = self.not(hi)?;
+        let r = self.mk(var, nlo, nhi)?;
+        self.not_cache.insert(a, r);
+        self.not_cache.insert(r, a); // involution: cache both directions
+        Ok(r)
+    }
+
+    /// If-then-else `(f ∧ g) ∨ (¬f ∧ h)`.
+    ///
+    /// Composed from the binary ops; the three-way apply cache of
+    /// industrial packages is not needed at this repository's scales.
+    pub fn ite(&mut self, f: NodeId, g: NodeId, h: NodeId) -> Result<NodeId, BddError> {
+        let nf = self.not(f)?;
+        let fg = self.and(f, g)?;
+        let nfh = self.and(nf, h)?;
+        self.or(fg, nfh)
+    }
+
+    /// Evaluates the function at a full assignment (`assignment[i]` is the
+    /// value of variable `i`).
+    pub fn eval(&self, node: NodeId, assignment: &[bool]) -> bool {
+        let mut cur = node;
+        while !cur.is_terminal() {
+            let n = &self.nodes[cur.index()];
+            cur = if assignment[n.var as usize] { n.hi } else { n.lo };
+        }
+        cur.terminal_value()
+    }
+
+    fn apply(&mut self, op: Op, a: NodeId, b: NodeId) -> Result<NodeId, BddError> {
+        if a.is_terminal() && b.is_terminal() {
+            let v = op.eval(a.terminal_value(), b.terminal_value());
+            return Ok(if v { NodeId::TRUE } else { NodeId::FALSE });
+        }
+        // Terminal absorption (⊥∧g, ⊤∨g, …) avoids cache traffic.
+        for (x, other) in [(a, b), (b, a)] {
+            if x.is_terminal() {
+                match op.absorb(x) {
+                    Some(Ok(result)) => return Ok(result),
+                    Some(Err(())) => return Ok(other),
+                    None => {}
+                }
+            }
+        }
+        // Commutative ops: normalize the key.
+        let key = if a <= b { (op, a, b) } else { (op, b, a) };
+        if let Some(&r) = self.apply_cache.get(&key) {
+            return Ok(r);
+        }
+        let (va, vb) = (self.var(a), self.var(b));
+        let top = va.min(vb);
+        let (a_lo, a_hi) = if va == top { self.children(a) } else { (a, a) };
+        let (b_lo, b_hi) = if vb == top { self.children(b) } else { (b, b) };
+        let lo = self.apply(op, a_lo, b_lo)?;
+        let hi = self.apply(op, a_hi, b_hi)?;
+        let r = self.mk(top, lo, hi)?;
+        self.apply_cache.insert(key, r);
+        Ok(r)
+    }
+}
+
+impl fmt::Debug for Bdd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Bdd(vars={}, nodes={})", self.num_vars, self.nodes.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_consing_gives_canonical_ids() {
+        let mut bdd = Bdd::new(2);
+        let x = bdd.var_node(0).unwrap();
+        let x_again = bdd.var_node(0).unwrap();
+        assert_eq!(x, x_again);
+        let y = bdd.var_node(1).unwrap();
+        let xy = bdd.and(x, y).unwrap();
+        let yx = bdd.and(y, x).unwrap();
+        assert_eq!(xy, yx, "commutativity must be structural");
+    }
+
+    #[test]
+    fn redundant_test_is_reduced() {
+        let mut bdd = Bdd::new(2);
+        let y = bdd.var_node(1).unwrap();
+        // "if x0 then y else y" is just y.
+        assert_eq!(bdd.mk(0, y, y).unwrap(), y);
+    }
+
+    #[test]
+    fn terminal_algebra() {
+        let mut bdd = Bdd::new(1);
+        let x = bdd.var_node(0).unwrap();
+        assert_eq!(bdd.and(NodeId::FALSE, x).unwrap(), NodeId::FALSE);
+        assert_eq!(bdd.and(NodeId::TRUE, x).unwrap(), x);
+        assert_eq!(bdd.or(NodeId::TRUE, x).unwrap(), NodeId::TRUE);
+        assert_eq!(bdd.or(NodeId::FALSE, x).unwrap(), x);
+        assert_eq!(bdd.xor(NodeId::FALSE, x).unwrap(), x);
+    }
+
+    #[test]
+    fn negation_is_involutive_and_demorgan_holds() {
+        let mut bdd = Bdd::new(3);
+        let x = bdd.var_node(0).unwrap();
+        let y = bdd.var_node(1).unwrap();
+        let z = bdd.var_node(2).unwrap();
+        let xy = bdd.and(x, y).unwrap();
+        let f = bdd.or(xy, z).unwrap();
+        let nf = bdd.not(f).unwrap();
+        assert_eq!(bdd.not(nf).unwrap(), f);
+
+        // ¬(x∧y) = ¬x ∨ ¬y, as id equality.
+        let lhs = bdd.not(xy).unwrap();
+        let nx = bdd.not(x).unwrap();
+        let ny = bdd.not(y).unwrap();
+        let rhs = bdd.or(nx, ny).unwrap();
+        assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn xor_is_negation_of_xnor() {
+        let mut bdd = Bdd::new(2);
+        let x = bdd.var_node(0).unwrap();
+        let y = bdd.var_node(1).unwrap();
+        let xor = bdd.xor(x, y).unwrap();
+        let ny = bdd.not(y).unwrap();
+        let xnor = bdd.xor(x, ny).unwrap();
+        assert_eq!(bdd.not(xor).unwrap(), xnor);
+    }
+
+    #[test]
+    fn ite_matches_definition() {
+        let mut bdd = Bdd::new(3);
+        let f = bdd.var_node(0).unwrap();
+        let g = bdd.var_node(1).unwrap();
+        let h = bdd.var_node(2).unwrap();
+        let ite = bdd.ite(f, g, h).unwrap();
+        for bits in 0..8u32 {
+            let a: Vec<bool> = (0..3).map(|i| bits >> i & 1 == 1).collect();
+            let expect = if a[0] { a[1] } else { a[2] };
+            assert_eq!(bdd.eval(ite, &a), expect, "assignment {a:?}");
+        }
+    }
+
+    #[test]
+    fn eval_walks_skipped_variables() {
+        let mut bdd = Bdd::new(4);
+        let f = bdd.var_node(3).unwrap(); // depends only on the last var
+        assert!(bdd.eval(f, &[false, true, false, true]));
+        assert!(!bdd.eval(f, &[true, true, true, false]));
+    }
+
+    #[test]
+    fn node_budget_is_enforced() {
+        // Parity of 16 variables needs ~2 nodes per level; a budget of 8
+        // cannot hold it.
+        let mut bdd = Bdd::with_budget(16, 8);
+        let mut acc = bdd.var_node(0).unwrap();
+        let err = (1..16).find_map(|i| {
+            let v = match bdd.var_node(i) {
+                Ok(v) => v,
+                Err(e) => return Some(e),
+            };
+            match bdd.xor(acc, v) {
+                Ok(next) => {
+                    acc = next;
+                    None
+                }
+                Err(e) => Some(e),
+            }
+        });
+        assert_eq!(err, Some(BddError::NodeBudget { budget: 8 }));
+    }
+
+    #[test]
+    fn num_nodes_counts_terminals() {
+        let bdd = Bdd::new(0);
+        assert_eq!(bdd.num_nodes(), 2);
+    }
+}

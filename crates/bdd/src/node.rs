@@ -1,0 +1,103 @@
+//! BDD node identifiers and the node representation.
+//!
+//! Nodes live in a single arena inside [`crate::Bdd`]; a [`NodeId`] is an
+//! index into that arena. The two terminals occupy slots 0 and 1 so that
+//! `NodeId` stays a bare `u32` — BDDs for wide automata reach millions of
+//! nodes, and a 16-byte node (vs 24+ for boxed children) keeps the unique
+//! table cache-friendly.
+
+use std::fmt;
+
+/// Index of a node in its [`crate::Bdd`] manager's arena.
+///
+/// Ids are only meaningful relative to the manager that created them;
+/// mixing ids across managers is a logic error (checked in debug builds
+/// where cheap).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub(crate) u32);
+
+impl NodeId {
+    /// The constant-false terminal (slot 0 in every manager).
+    pub const FALSE: NodeId = NodeId(0);
+    /// The constant-true terminal (slot 1 in every manager).
+    pub const TRUE: NodeId = NodeId(1);
+
+    /// True iff this is one of the two terminals.
+    pub fn is_terminal(self) -> bool {
+        self.0 < 2
+    }
+
+    /// For terminals: the boolean they denote.
+    ///
+    /// # Panics
+    /// Panics if the node is not a terminal.
+    pub fn terminal_value(self) -> bool {
+        assert!(self.is_terminal(), "terminal_value on inner node {self:?}");
+        self == NodeId::TRUE
+    }
+
+    /// Raw arena index (stable for the lifetime of the manager).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            NodeId::FALSE => write!(f, "⊥"),
+            NodeId::TRUE => write!(f, "⊤"),
+            NodeId(i) => write!(f, "n{i}"),
+        }
+    }
+}
+
+/// Sentinel variable index used for terminals: compares greater than any
+/// real variable, so `min(var(a), var(b))` in `apply` picks the right top
+/// variable without branching on terminal-ness.
+pub(crate) const TERMINAL_VAR: u32 = u32::MAX;
+
+/// One decision node: "if variable `var` then `hi` else `lo`".
+///
+/// Invariant (enforced by [`crate::Bdd::mk`]): `lo != hi`, and both
+/// children have strictly larger `var` (terminals have [`TERMINAL_VAR`]).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub(crate) struct Node {
+    pub var: u32,
+    pub lo: NodeId,
+    pub hi: NodeId,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn terminals_are_terminal() {
+        assert!(NodeId::FALSE.is_terminal());
+        assert!(NodeId::TRUE.is_terminal());
+        assert!(!NodeId(2).is_terminal());
+        assert!(!NodeId::FALSE.terminal_value());
+        assert!(NodeId::TRUE.terminal_value());
+    }
+
+    #[test]
+    #[should_panic(expected = "terminal_value")]
+    fn terminal_value_rejects_inner() {
+        NodeId(5).terminal_value();
+    }
+
+    #[test]
+    fn debug_formatting() {
+        assert_eq!(format!("{:?}", NodeId::FALSE), "⊥");
+        assert_eq!(format!("{:?}", NodeId::TRUE), "⊤");
+        assert_eq!(format!("{:?}", NodeId(7)), "n7");
+    }
+
+    #[test]
+    fn node_is_12_bytes() {
+        // The unique table hashes Node by value; keeping it at 12 bytes
+        // (three bare u32s) keeps both the arena and the table compact.
+        assert_eq!(std::mem::size_of::<Node>(), 12);
+    }
+}

@@ -1,0 +1,209 @@
+//! Exact uniform sampling of BDD models (and hence of `L(A_n)` words).
+//!
+//! The FPRAS's almost-uniform generator is only *approximately* uniform;
+//! the experiments need a gold-standard uniform sampler over the same
+//! language to separate algorithmic bias from finite-sample noise. The
+//! determinization-based [`fpras_automata::ExactSampler`] is one such
+//! reference; this module is a second, independent one: walk the BDD from
+//! the root, branching with probability proportional to each child's
+//! model count, and fill skipped (don't-care) variables with fair coins.
+
+use crate::compile::CompiledSlice;
+use crate::count::CountContext;
+use crate::manager::Bdd;
+use crate::node::NodeId;
+use fpras_automata::Word;
+use rand::{Rng, RngExt};
+
+/// Reusable uniform sampler over the models of one root.
+///
+/// Holds the counting memo, so construction costs one counting pass and
+/// each draw is `O(num_vars)` plus memo lookups.
+pub struct ModelSampler<'a> {
+    ctx: CountContext<'a>,
+    root: NodeId,
+}
+
+impl<'a> ModelSampler<'a> {
+    /// Prepares a sampler for `root`; returns `None` if the function is
+    /// unsatisfiable (there is nothing to sample).
+    pub fn new(bdd: &'a Bdd, root: NodeId) -> Option<Self> {
+        if root == NodeId::FALSE {
+            return None;
+        }
+        let mut ctx = CountContext::new(bdd);
+        ctx.count(root); // warm the memo
+        Some(ModelSampler { ctx, root })
+    }
+
+    /// Draws one model uniformly at random.
+    pub fn draw<R: Rng + ?Sized>(&mut self, rng: &mut R) -> Vec<bool> {
+        let num_vars = self.ctx.bdd().num_vars();
+        let mut assignment = vec![false; num_vars];
+        // Unconstrained variables above the root.
+        let root_var =
+            if self.root.is_terminal() { num_vars } else { self.ctx.bdd().var(self.root) as usize };
+        for slot in assignment.iter_mut().take(root_var) {
+            *slot = rng.random::<bool>();
+        }
+        let mut node = self.root;
+        while !node.is_terminal() {
+            let var = self.ctx.bdd().var(node);
+            let (lo, hi) = self.ctx.bdd().children(node);
+            let lo_weight = &self.ctx.count_below_cached(lo) << self.ctx.gap(lo, var + 1);
+            let hi_weight = &self.ctx.count_below_cached(hi) << self.ctx.gap(hi, var + 1);
+            // Both weights fit the branching ratio; BigUint::ratio keeps
+            // precision even when the counts themselves exceed f64 range.
+            let p_hi = hi_weight.ratio(&(&lo_weight + &hi_weight));
+            let take_hi = rng.random::<f64>() < p_hi;
+            assignment[var as usize] = take_hi;
+            let child = if take_hi { hi } else { lo };
+            // Don't-care variables between this node and the child.
+            let child_var = if child.is_terminal() {
+                num_vars
+            } else {
+                self.ctx.bdd().var(child) as usize
+            };
+            for slot in assignment.iter_mut().take(child_var).skip(var as usize + 1) {
+                *slot = rng.random::<bool>();
+            }
+            node = child;
+        }
+        debug_assert_eq!(node, NodeId::TRUE, "walk must end in the true terminal");
+        assignment
+    }
+}
+
+/// One-shot uniform model draw; `None` if `root` is unsatisfiable.
+pub fn sample_model<R: Rng + ?Sized>(bdd: &Bdd, root: NodeId, rng: &mut R) -> Option<Vec<bool>> {
+    ModelSampler::new(bdd, root).map(|mut s| s.draw(rng))
+}
+
+/// Draws a uniform word of `L(A_n)` from a compiled slice; `None` if the
+/// slice is empty.
+pub fn sample_word<R: Rng + ?Sized>(compiled: &CompiledSlice, rng: &mut R) -> Option<Word> {
+    let mut sampler = ModelSampler::new(&compiled.bdd, compiled.root)?;
+    let assignment = sampler.draw(rng);
+    let symbols = compiled
+        .decode(&assignment)
+        .expect("models of the compiled root always decode to valid words");
+    Some(Word::from_symbols(symbols))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::compile_slice;
+    use fpras_automata::{Alphabet, NfaBuilder};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use std::collections::HashMap;
+
+    #[test]
+    fn unsat_root_yields_none() {
+        let bdd = Bdd::new(3);
+        let mut rng = SmallRng::seed_from_u64(1);
+        assert!(sample_model(&bdd, NodeId::FALSE, &mut rng).is_none());
+    }
+
+    #[test]
+    fn tautology_sampling_is_uniform_over_all_assignments() {
+        let bdd = Bdd::new(3);
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut seen: HashMap<Vec<bool>, u64> = HashMap::new();
+        for _ in 0..8000 {
+            let m = sample_model(&bdd, NodeId::TRUE, &mut rng).unwrap();
+            *seen.entry(m).or_default() += 1;
+        }
+        assert_eq!(seen.len(), 8, "all 8 assignments must appear");
+        for (m, c) in &seen {
+            assert!((800..1200).contains(c), "assignment {m:?} drawn {c} times");
+        }
+    }
+
+    #[test]
+    fn samples_satisfy_the_function() {
+        let mut bdd = Bdd::new(4);
+        let x = bdd.var_node(0).unwrap();
+        let y = bdd.var_node(2).unwrap();
+        let f = bdd.xor(x, y).unwrap();
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut sampler = ModelSampler::new(&bdd, f).unwrap();
+        for _ in 0..500 {
+            let m = sampler.draw(&mut rng);
+            assert!(bdd.eval(f, &m));
+        }
+    }
+
+    #[test]
+    fn skewed_function_frequencies_match_model_shares() {
+        // f = x0 ∨ (x1 ∧ x2): 4 + 1 = 5 models of 8; x0-true models are 4/5.
+        let mut bdd = Bdd::new(3);
+        let x0 = bdd.var_node(0).unwrap();
+        let x1 = bdd.var_node(1).unwrap();
+        let x2 = bdd.var_node(2).unwrap();
+        let x12 = bdd.and(x1, x2).unwrap();
+        let f = bdd.or(x0, x12).unwrap();
+        let mut rng = SmallRng::seed_from_u64(4);
+        let mut sampler = ModelSampler::new(&bdd, f).unwrap();
+        let trials = 10_000;
+        let mut x0_true = 0u64;
+        for _ in 0..trials {
+            if sampler.draw(&mut rng)[0] {
+                x0_true += 1;
+            }
+        }
+        let share = x0_true as f64 / trials as f64;
+        assert!((share - 0.8).abs() < 0.02, "x0-true share {share}, want ≈0.8");
+    }
+
+    #[test]
+    fn sampled_words_are_accepted_and_cover_the_slice() {
+        // Words containing "11", n=5: 19 words (32 - 13 Fibonacci-free).
+        let mut b = NfaBuilder::new(Alphabet::binary());
+        let q0 = b.add_state();
+        let q1 = b.add_state();
+        let q2 = b.add_state();
+        b.set_initial(q0);
+        b.add_accepting(q2);
+        b.add_transition(q0, 0, q0);
+        b.add_transition(q0, 1, q0);
+        b.add_transition(q0, 1, q1);
+        b.add_transition(q1, 1, q2);
+        b.add_transition(q2, 0, q2);
+        b.add_transition(q2, 1, q2);
+        let nfa = b.build().unwrap();
+        let compiled = compile_slice(&nfa, 5).unwrap();
+        assert_eq!(compiled.count().to_u64(), Some(19));
+
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut seen: HashMap<String, u64> = HashMap::new();
+        for _ in 0..6000 {
+            let w = sample_word(&compiled, &mut rng).unwrap();
+            assert!(nfa.accepts(&w));
+            *seen.entry(w.display(nfa.alphabet())).or_default() += 1;
+        }
+        assert_eq!(seen.len(), 19, "every word of the slice must be hit");
+        let expected = 6000.0 / 19.0;
+        for (w, c) in &seen {
+            assert!(
+                (*c as f64) > 0.5 * expected && (*c as f64) < 1.6 * expected,
+                "word {w} drawn {c} times (expected ≈{expected:.0})"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_slice_yields_none() {
+        let mut b = NfaBuilder::new(Alphabet::binary());
+        let q0 = b.add_state();
+        let q1 = b.add_state();
+        b.set_initial(q0);
+        b.add_accepting(q1);
+        // No transitions: L(A_n) = ∅ for all n ≥ 1, and for n = 0 too.
+        let nfa = b.build().unwrap();
+        let compiled = compile_slice(&nfa, 3).unwrap();
+        let mut rng = SmallRng::seed_from_u64(6);
+        assert!(sample_word(&compiled, &mut rng).is_none());
+    }
+}

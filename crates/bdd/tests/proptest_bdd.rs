@@ -1,0 +1,128 @@
+//! Property tests for the BDD substrate.
+//!
+//! Two layers of evidence:
+//! 1. the boolean algebra is exercised against explicit truth tables over
+//!    small variable counts (canonicity means semantic laws must hold as
+//!    node-id equality);
+//! 2. the NFA-slice compiler is cross-checked against brute-force word
+//!    enumeration on random automata — two completely independent
+//!    counting paths that must agree bit-for-bit.
+
+use fpras_automata::exact::brute_force_count;
+use fpras_bdd::{compile_slice, model_count, Bdd, NodeId};
+use fpras_workloads::{random_nfa, RandomNfaConfig};
+use proptest::prelude::*;
+use rand::{rngs::SmallRng, SeedableRng};
+
+const VARS: usize = 4;
+
+/// Builds the BDD of an arbitrary truth table over `VARS` variables:
+/// bit `i` of `table` gives the function value on the assignment whose
+/// bit `j` is `(i >> j) & 1`.
+fn from_truth_table(bdd: &mut Bdd, table: u16) -> NodeId {
+    let mut f = NodeId::FALSE;
+    for row in 0..(1u32 << VARS) {
+        if table >> row & 1 == 0 {
+            continue;
+        }
+        let mut minterm = NodeId::TRUE;
+        for var in 0..VARS as u32 {
+            let lit = if row >> var & 1 == 1 {
+                bdd.var_node(var).unwrap()
+            } else {
+                bdd.nvar_node(var).unwrap()
+            };
+            minterm = bdd.and(minterm, lit).unwrap();
+        }
+        f = bdd.or(f, minterm).unwrap();
+    }
+    f
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Model count equals the truth table's popcount.
+    #[test]
+    fn count_matches_popcount(table: u16) {
+        let mut bdd = Bdd::new(VARS);
+        let f = from_truth_table(&mut bdd, table);
+        prop_assert_eq!(
+            model_count(&bdd, f).to_u64(),
+            Some(table.count_ones() as u64)
+        );
+    }
+
+    /// Evaluation reproduces the truth table row by row.
+    #[test]
+    fn eval_matches_truth_table(table: u16) {
+        let mut bdd = Bdd::new(VARS);
+        let f = from_truth_table(&mut bdd, table);
+        for row in 0..(1u32 << VARS) {
+            let assignment: Vec<bool> = (0..VARS).map(|j| row >> j & 1 == 1).collect();
+            prop_assert_eq!(bdd.eval(f, &assignment), table >> row & 1 == 1);
+        }
+    }
+
+    /// Binary connectives agree with bitwise truth-table arithmetic, as
+    /// structural equality of canonical BDDs.
+    #[test]
+    fn connectives_match_bitwise(a: u16, b: u16) {
+        let mut bdd = Bdd::new(VARS);
+        let fa = from_truth_table(&mut bdd, a);
+        let fb = from_truth_table(&mut bdd, b);
+
+        let and = bdd.and(fa, fb).unwrap();
+        prop_assert_eq!(and, from_truth_table(&mut bdd, a & b));
+
+        let or = bdd.or(fa, fb).unwrap();
+        prop_assert_eq!(or, from_truth_table(&mut bdd, a | b));
+
+        let xor = bdd.xor(fa, fb).unwrap();
+        prop_assert_eq!(xor, from_truth_table(&mut bdd, a ^ b));
+
+        let not = bdd.not(fa).unwrap();
+        prop_assert_eq!(not, from_truth_table(&mut bdd, !a));
+    }
+
+    /// `ite(f, g, h)` against its truth-table definition.
+    #[test]
+    fn ite_matches_bitwise(f: u16, g: u16, h: u16) {
+        let mut bdd = Bdd::new(VARS);
+        let nf_ = from_truth_table(&mut bdd, f);
+        let ng = from_truth_table(&mut bdd, g);
+        let nh = from_truth_table(&mut bdd, h);
+        let ite = bdd.ite(nf_, ng, nh).unwrap();
+        prop_assert_eq!(ite, from_truth_table(&mut bdd, (f & g) | (!f & h)));
+    }
+
+    /// Compiler vs brute force on random binary NFAs.
+    #[test]
+    fn compile_matches_brute_force_binary(
+        seed in 0u64..5_000,
+        m in 2usize..7,
+        n in 0usize..9,
+        density in 1.0f64..2.5,
+    ) {
+        let config = RandomNfaConfig { states: m, alphabet: 2, density, accepting: 1 };
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let nfa = random_nfa(&config, &mut rng);
+        let via_bdd = compile_slice(&nfa, n).unwrap().count();
+        prop_assert_eq!(via_bdd, brute_force_count(&nfa, n));
+    }
+
+    /// Compiler vs brute force on random ternary NFAs (exercises the
+    /// invalid-code padding of the bit-blasted encoding).
+    #[test]
+    fn compile_matches_brute_force_ternary(
+        seed in 0u64..5_000,
+        m in 2usize..6,
+        n in 0usize..6,
+    ) {
+        let config = RandomNfaConfig { states: m, alphabet: 3, density: 1.5, accepting: 1 };
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let nfa = random_nfa(&config, &mut rng);
+        let via_bdd = compile_slice(&nfa, n).unwrap().count();
+        prop_assert_eq!(via_bdd, brute_force_count(&nfa, n));
+    }
+}

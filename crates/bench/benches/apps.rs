@@ -1,0 +1,64 @@
+//! Criterion benches for the application pipelines (paper §1's
+//! motivating workloads): RPQ counting and the PQE reduction+count.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fpras_apps::pqe::{estimate_pqe, pqe_to_nfa, ProbDatabase, ProbTuple};
+use fpras_apps::rpq::{count_answers, Rpq};
+use fpras_workloads::{random_graph, RandomGraphConfig};
+use rand::{rngs::SmallRng, SeedableRng};
+
+fn bench_rpq(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rpq");
+    group.sample_size(10);
+    for nodes in [8usize, 16] {
+        let graph = random_graph(
+            &RandomGraphConfig { nodes, labels: 2, avg_degree: 2.5 },
+            &mut SmallRng::seed_from_u64(31),
+        );
+        let query = Rpq { source: 0, pattern: "(a|b)*a".into(), target: (nodes - 1) as u32 };
+        group.bench_with_input(BenchmarkId::from_parameter(nodes), &nodes, |b, _| {
+            let mut rng = SmallRng::seed_from_u64(32);
+            b.iter(|| count_answers(&graph, &query, 8, 0.3, 0.2, &mut rng).unwrap().total);
+        });
+    }
+    group.finish();
+}
+
+fn pqe_db(tuples_per_rel: usize) -> ProbDatabase {
+    let mut rng = SmallRng::seed_from_u64(33);
+    use rand::RngExt;
+    ProbDatabase {
+        adom: 4,
+        tuples: (0..2)
+            .map(|_| {
+                (0..tuples_per_rel)
+                    .map(|_| ProbTuple {
+                        src: rng.random_range(0..4),
+                        dst: rng.random_range(0..4),
+                        num: rng.random_range(1..4),
+                        bits: 2,
+                    })
+                    .collect()
+            })
+            .collect(),
+    }
+}
+
+fn bench_pqe(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pqe");
+    group.sample_size(10);
+    for tuples in [2usize, 4] {
+        let db = pqe_db(tuples);
+        group.bench_with_input(BenchmarkId::new("reduction", tuples), &tuples, |b, _| {
+            b.iter(|| pqe_to_nfa(&db).unwrap().0.num_states());
+        });
+        group.bench_with_input(BenchmarkId::new("estimate", tuples), &tuples, |b, _| {
+            let mut rng = SmallRng::seed_from_u64(34);
+            b.iter(|| estimate_pqe(&db, 0.3, 0.2, &mut rng).unwrap().probability);
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_rpq, bench_pqe);
+criterion_main!(benches);

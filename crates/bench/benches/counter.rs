@@ -1,0 +1,85 @@
+//! Criterion benches for the main FPRAS (experiments E2/E3/E4's
+//! micro-scale counterparts) and the head-to-head vs the ACJR-style
+//! baseline (E6).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fpras_baselines::{AcjrParams, AcjrRun};
+use fpras_core::{FprasRun, Params};
+use fpras_workloads::{random_nfa, RandomNfaConfig};
+use rand::{rngs::SmallRng, SeedableRng};
+
+fn bench_scaling_n(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scaling_n");
+    group.sample_size(10);
+    for n in [4usize, 8, 12] {
+        let nfa = random_nfa(
+            &RandomNfaConfig { states: 8, density: 1.6, ..Default::default() },
+            &mut SmallRng::seed_from_u64(1),
+        );
+        let params = Params::practical(0.3, 0.1, 8, n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let mut rng = SmallRng::seed_from_u64(2);
+            b.iter(|| FprasRun::run(&nfa, n, &params, &mut rng).unwrap().estimate());
+        });
+    }
+    group.finish();
+}
+
+fn bench_scaling_m(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scaling_m");
+    group.sample_size(10);
+    for m in [4usize, 8, 16] {
+        let nfa = random_nfa(
+            &RandomNfaConfig { states: m, density: 1.6, ..Default::default() },
+            &mut SmallRng::seed_from_u64(3),
+        );
+        let params = Params::practical(0.3, 0.1, m, 8);
+        group.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, _| {
+            let mut rng = SmallRng::seed_from_u64(4);
+            b.iter(|| FprasRun::run(&nfa, 8, &params, &mut rng).unwrap().estimate());
+        });
+    }
+    group.finish();
+}
+
+fn bench_scaling_eps(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scaling_eps");
+    group.sample_size(10);
+    let nfa = random_nfa(
+        &RandomNfaConfig { states: 8, density: 1.6, ..Default::default() },
+        &mut SmallRng::seed_from_u64(5),
+    );
+    for eps in [0.5f64, 0.3, 0.15] {
+        let params = Params::practical(eps, 0.1, 8, 8);
+        group.bench_with_input(BenchmarkId::from_parameter(eps), &eps, |b, _| {
+            let mut rng = SmallRng::seed_from_u64(6);
+            b.iter(|| FprasRun::run(&nfa, 8, &params, &mut rng).unwrap().estimate());
+        });
+    }
+    group.finish();
+}
+
+fn bench_vs_acjr(c: &mut Criterion) {
+    let mut group = c.benchmark_group("vs_acjr");
+    group.sample_size(10);
+    for m in [4usize, 12] {
+        let nfa = random_nfa(
+            &RandomNfaConfig { states: m, density: 1.6, ..Default::default() },
+            &mut SmallRng::seed_from_u64(7),
+        );
+        let ours = Params::practical(0.3, 0.1, m, 8);
+        group.bench_with_input(BenchmarkId::new("ours", m), &m, |b, _| {
+            let mut rng = SmallRng::seed_from_u64(8);
+            b.iter(|| FprasRun::run(&nfa, 8, &ours, &mut rng).unwrap().estimate());
+        });
+        let theirs = AcjrParams::practical(0.3, 0.1, m, 8);
+        group.bench_with_input(BenchmarkId::new("acjr", m), &m, |b, _| {
+            let mut rng = SmallRng::seed_from_u64(9);
+            b.iter(|| AcjrRun::run(&nfa, 8, &theirs, &mut rng).unwrap().estimate());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scaling_n, bench_scaling_m, bench_scaling_eps, bench_vs_acjr);
+criterion_main!(benches);

@@ -1,0 +1,91 @@
+//! Criterion benches for the substrates: bitset stepping, extended-range
+//! floats, big integers, exact counting and the baselines (E11's timing
+//! counterpart).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fpras_automata::exact::count_exact;
+use fpras_automata::{StateSet, StepMasks, Word};
+use fpras_baselines::naive_mc;
+use fpras_numeric::{BigUint, ExtFloat};
+use fpras_workloads::{families, random_nfa, RandomNfaConfig};
+use rand::{rngs::SmallRng, SeedableRng};
+use std::hint::black_box;
+
+fn bench_stateset(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stateset");
+    for m in [64usize, 512] {
+        let a = StateSet::from_iter(m, (0..m).step_by(3));
+        let b = StateSet::from_iter(m, (0..m).step_by(7));
+        group.bench_with_input(BenchmarkId::new("intersects", m), &m, |bench, _| {
+            bench.iter(|| black_box(&a).intersects(black_box(&b)));
+        });
+        group.bench_with_input(BenchmarkId::new("union_with", m), &m, |bench, _| {
+            bench.iter(|| {
+                let mut x = a.clone();
+                x.union_with(black_box(&b));
+                x
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_masks_reach(c: &mut Criterion) {
+    let mut group = c.benchmark_group("masks_reach");
+    for m in [8usize, 32] {
+        let nfa = random_nfa(
+            &RandomNfaConfig { states: m, density: 2.0, ..Default::default() },
+            &mut SmallRng::seed_from_u64(20),
+        );
+        let masks = StepMasks::new(&nfa);
+        let word = Word::from_index(0xA5A5, 16, 2);
+        group.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, _| {
+            b.iter(|| masks.reach(black_box(&word)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_numeric(c: &mut Criterion) {
+    let mut group = c.benchmark_group("numeric");
+    let a = ExtFloat::pow2(5000).scale(1.7);
+    let b = ExtFloat::pow2(4999).scale(1.3);
+    group.bench_function("extfloat_mul", |bench| {
+        bench.iter(|| black_box(a) * black_box(b));
+    });
+    group.bench_function("extfloat_add", |bench| {
+        bench.iter(|| black_box(a) + black_box(b));
+    });
+    let x = BigUint::pow(3, 500);
+    let y = BigUint::pow(7, 300);
+    group.bench_function("biguint_mul", |bench| {
+        bench.iter(|| black_box(&x) * black_box(&y));
+    });
+    group.bench_function("biguint_add", |bench| {
+        bench.iter(|| black_box(&x) + black_box(&y));
+    });
+    group.finish();
+}
+
+fn bench_exact_and_naive(c: &mut Criterion) {
+    let mut group = c.benchmark_group("baseline_counters");
+    group.sample_size(10);
+    // Exact determinization DP on a benign instance…
+    let benign = families::contains_substring(&[1, 0, 1]);
+    group.bench_function("exact_dp_benign", |b| {
+        b.iter(|| count_exact(black_box(&benign), 16).unwrap());
+    });
+    // …and on a determinization-hostile one (exponential width).
+    let hostile = families::kth_symbol_from_end(12);
+    group.bench_function("exact_dp_hostile", |b| {
+        b.iter(|| count_exact(black_box(&hostile), 16).unwrap());
+    });
+    group.bench_function("naive_mc_20k", |b| {
+        let mut rng = SmallRng::seed_from_u64(21);
+        b.iter(|| naive_mc(black_box(&benign), 16, 20_000, &mut rng).estimate);
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_stateset, bench_masks_reach, bench_numeric, bench_exact_and_naive);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Regenerates the EXPERIMENTS.md tables.
+//!
+//! Usage:
+//! ```text
+//! experiments [--quick] [e1 e2 … | all]
+//! ```
+//! With no selector, runs the full suite. `--quick` shrinks trial counts
+//! for smoke testing; EXPERIMENTS.md numbers come from the default mode.
+
+use fpras_bench::registry;
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let selected: Vec<String> = args.iter().filter(|a| !a.starts_with("--")).cloned().collect();
+    let run_all = selected.is_empty() || selected.iter().any(|s| s == "all");
+
+    let suite = registry();
+    let chosen: Vec<_> = suite
+        .iter()
+        .filter(|e| run_all || selected.iter().any(|s| s == e.id))
+        .collect();
+    if chosen.is_empty() {
+        eprintln!(
+            "unknown experiment selector; available: {}",
+            suite.iter().map(|e| e.id).collect::<Vec<_>>().join(", ")
+        );
+        std::process::exit(2);
+    }
+
+    println!("# Experiment run ({} mode)\n", if quick { "quick" } else { "full" });
+    let total = Instant::now();
+    for e in chosen {
+        let start = Instant::now();
+        let output = (e.run)(quick);
+        println!("{output}");
+        println!("\n_{} finished in {:.1?}_\n", e.id, start.elapsed());
+    }
+    println!("\n_Total: {:.1?}_", total.elapsed());
+}

@@ -1,0 +1,130 @@
+//! E1 — FPRAS accuracy contract (Theorem 3), and
+//! E9 — sampler rejection rate (Theorem 2(2)).
+
+use crate::table::{fnum, Table};
+use fpras_automata::exact::count_exact;
+use fpras_automata::Nfa;
+use fpras_core::{FprasRun, Params};
+use fpras_numeric::stats;
+use fpras_workloads::{families, random_nfa, RandomNfaConfig};
+use rand::{rngs::SmallRng, SeedableRng};
+
+/// Named instances with cheap exact counts.
+pub fn accuracy_instances() -> Vec<(String, Nfa, usize)> {
+    let mut rng = SmallRng::seed_from_u64(1000);
+    vec![
+        ("all-words".into(), families::all_words(), 14),
+        ("ones-mod-5".into(), families::ones_mod_k(5), 14),
+        ("contains-11".into(), families::contains_substring(&[1, 1]), 12),
+        ("kth-from-end-5".into(), families::kth_symbol_from_end(5), 12),
+        ("fibonacci".into(), families::no_consecutive_ones(), 16),
+        ("exactly-4-ones".into(), families::exactly_k_ones(4), 14),
+        (
+            "random-m10".into(),
+            random_nfa(&RandomNfaConfig { states: 10, density: 1.6, ..Default::default() }, &mut rng),
+            10,
+        ),
+    ]
+}
+
+/// E1: empirical check of `Pr[|L|/(1+ε) ≤ Est ≤ (1+ε)|L|] ≥ 1−δ`.
+pub fn e1_accuracy(quick: bool) -> String {
+    let eps = 0.3;
+    let delta = 0.1;
+    let trials = if quick { 8 } else { 40 };
+    let mut out = String::new();
+    out.push_str(&format!(
+        "### E1 — FPRAS accuracy (Theorem 3)\n\n\
+         Claim: estimate within `(1±ε)` of `|L(A_n)|` with probability `≥ 1−δ`.\n\
+         Setup: practical profile, ε = {eps}, δ = {delta}, {trials} seeded runs per instance.\n\n"
+    ));
+    let mut table = Table::new(vec![
+        "instance", "n", "exact", "mean est", "rel-err p50", "rel-err p95", "within ε", "target",
+    ]);
+    for (name, nfa, n) in accuracy_instances() {
+        let exact = count_exact(&nfa, n).expect("instances are exactly countable").to_f64();
+        let params = Params::practical(eps, delta, nfa.num_states(), n);
+        let mut errs = Vec::with_capacity(trials);
+        let mut ests = Vec::with_capacity(trials);
+        for seed in 0..trials as u64 {
+            let mut rng = SmallRng::seed_from_u64(7000 + seed);
+            let run = FprasRun::run(&nfa, n, &params, &mut rng).expect("run succeeds");
+            let est = run.estimate().to_f64();
+            ests.push(est);
+            errs.push((est - exact).abs() / exact);
+        }
+        let within = errs.iter().filter(|&&e| e <= eps).count() as f64 / trials as f64;
+        table.row(vec![
+            name,
+            n.to_string(),
+            fnum(exact),
+            fnum(stats::mean(&ests)),
+            fnum(stats::percentile(&errs, 50.0)),
+            fnum(stats::percentile(&errs, 95.0)),
+            format!("{:.0}%", within * 100.0),
+            format!("≥{:.0}%", (1.0 - delta) * 100.0),
+        ]);
+    }
+    out.push_str(&table.render());
+    out
+}
+
+/// E9: measured ⊥-rate of Algorithm 2 vs the Theorem 2(2) bound.
+pub fn e9_rejection(quick: bool) -> String {
+    let trials = if quick { 3 } else { 10 };
+    let e = std::f64::consts::E;
+    let worst_bound = 1.0 - 2.0 / (3.0 * e * e);
+    let typical = 1.0 - 2.0 / (3.0 * e);
+    let mut out = String::new();
+    out.push_str(&format!(
+        "### E9 — sampler rejection rate (Theorem 2(2))\n\n\
+         Claim: `Pr[sample() = ⊥] ≤ 1 − 2/(3e²) ≈ {worst_bound:.3}` per call; with accurate\n\
+         estimates the expected rate is `1 − 2/(3e) ≈ {typical:.3}`.\n\n"
+    ));
+    let mut table =
+        Table::new(vec!["instance", "n", "sample calls", "observed ⊥-rate", "φ>1 rate", "bound"]);
+    for (name, nfa, n) in accuracy_instances() {
+        let params = Params::practical(0.3, 0.1, nfa.num_states(), n);
+        let mut calls = 0u64;
+        let mut rejected = 0f64;
+        let mut phi = 0f64;
+        for seed in 0..trials as u64 {
+            let mut rng = SmallRng::seed_from_u64(9100 + seed);
+            let run = FprasRun::run(&nfa, n, &params, &mut rng).expect("run succeeds");
+            let s = run.stats();
+            calls += s.sample_calls;
+            rejected += (s.fail_rejected + s.fail_phi_gt_one + s.fail_dead_end) as f64;
+            phi += s.fail_phi_gt_one as f64;
+        }
+        table.row(vec![
+            name,
+            n.to_string(),
+            calls.to_string(),
+            fnum(rejected / calls.max(1) as f64),
+            fnum(phi / calls.max(1) as f64),
+            format!("≤{worst_bound:.3}"),
+        ]);
+    }
+    out.push_str(&table.render());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e1_produces_table() {
+        let out = e1_accuracy(true);
+        assert!(out.contains("E1"));
+        assert!(out.contains("all-words"));
+        assert!(out.contains("within ε"));
+    }
+
+    #[test]
+    fn e9_produces_table() {
+        let out = e9_rejection(true);
+        assert!(out.contains("E9"));
+        assert!(out.contains("⊥-rate"));
+    }
+}

@@ -1,0 +1,168 @@
+//! E2/E3/E4 — runtime scaling in `n`, `m` and `1/ε`.
+//!
+//! The paper's complexity bound is `Õ((m²n¹⁰ + m³n⁶)·ε⁻⁴·log²(1/δ))`
+//! (Theorem 3), driven by worst-case parameter formulas. The practical
+//! profile keeps the same structure with `√n`-scaled error splits, so
+//! the *measured* exponents land well below the worst case; each table
+//! reports the fitted log-log slope alongside the raw series, plus
+//! membership operations (the unit of the paper's accounting).
+
+use crate::table::{fdur, fnum, Table};
+use fpras_core::{FprasRun, Params};
+use fpras_numeric::stats::fit_power_law;
+use fpras_workloads::{random_nfa, RandomNfaConfig};
+use rand::{rngs::SmallRng, SeedableRng};
+use std::time::Instant;
+
+struct Point {
+    x: f64,
+    wall: f64,
+    ops: u64,
+    samples_per_cell: f64,
+}
+
+fn run_point(m: usize, n: usize, eps: f64, instance_seed: u64, run_seed: u64) -> Point {
+    let config = RandomNfaConfig { states: m, density: 1.6, ..Default::default() };
+    let nfa = random_nfa(&config, &mut SmallRng::seed_from_u64(instance_seed));
+    let params = Params::practical(eps, 0.1, m, n);
+    let mut rng = SmallRng::seed_from_u64(run_seed);
+    let start = Instant::now();
+    let run = FprasRun::run(&nfa, n, &params, &mut rng).expect("run succeeds");
+    let wall = start.elapsed().as_secs_f64();
+    Point {
+        x: 0.0,
+        wall,
+        ops: run.stats().membership_ops,
+        samples_per_cell: run.stats().samples_per_cell(),
+    }
+}
+
+fn render(
+    id: &str,
+    claim: &str,
+    x_name: &str,
+    points: Vec<Point>,
+) -> String {
+    let xs: Vec<f64> = points.iter().map(|p| p.x).collect();
+    let walls: Vec<f64> = points.iter().map(|p| p.wall).collect();
+    let ops: Vec<f64> = points.iter().map(|p| p.ops as f64).collect();
+    let mut out = format!("### {id}\n\n{claim}\n\n");
+    let mut table = Table::new(vec![x_name, "wall", "membership ops", "samples/cell"]);
+    for p in &points {
+        table.row(vec![
+            fnum(p.x),
+            fdur(std::time::Duration::from_secs_f64(p.wall)),
+            format!("{}", p.ops),
+            fnum(p.samples_per_cell),
+        ]);
+    }
+    out.push_str(&table.render());
+    if let Some(fit) = fit_power_law(&xs, &walls) {
+        out.push_str(&format!(
+            "\nFitted wall-time exponent in {x_name}: **{:.2}** (R² = {:.3}).\n",
+            fit.exponent, fit.r_squared
+        ));
+    }
+    if let Some(fit) = fit_power_law(&xs, &ops) {
+        out.push_str(&format!(
+            "Fitted membership-op exponent in {x_name}: **{:.2}** (R² = {:.3}).\n",
+            fit.exponent, fit.r_squared
+        ));
+    }
+    out
+}
+
+/// E2: scaling with word length `n` at fixed `m`.
+pub fn e2_scaling_n(quick: bool) -> String {
+    let m = 8;
+    let ns: &[usize] = if quick { &[4, 8, 12] } else { &[4, 6, 8, 12, 16, 20, 24] };
+    let points: Vec<Point> = ns
+        .iter()
+        .map(|&n| {
+            let mut p = run_point(m, n, 0.3, 2000, 3000 + n as u64);
+            p.x = n as f64;
+            p
+        })
+        .collect();
+    render(
+        "E2 — runtime vs n (Theorem 3)",
+        &format!(
+            "Claim: worst-case time grows polynomially in n (paper bound exponent 10 at\n\
+             paper constants); practical profile uses the √n error split (DESIGN.md D1).\n\
+             Setup: random NFA, m = {m}, ε = 0.3, δ = 0.1."
+        ),
+        "n",
+        points,
+    )
+}
+
+/// E3: scaling with state count `m` at fixed `n`, including the
+/// samples-per-state independence claim (paper §1).
+pub fn e3_scaling_m(quick: bool) -> String {
+    let n = 8;
+    let ms: &[usize] = if quick { &[4, 8, 16] } else { &[4, 6, 8, 12, 16, 24, 32] };
+    let points: Vec<Point> = ms
+        .iter()
+        .map(|&m| {
+            let mut p = run_point(m, n, 0.3, 2100 + m as u64, 3100 + m as u64);
+            p.x = m as f64;
+            p
+        })
+        .collect();
+    let mut out = render(
+        "E3 — runtime vs m (Theorem 3, §1)",
+        &format!(
+            "Claim: time grows as m²..m³; **samples per state stay independent of m**\n\
+             (the headline difference vs ACJR's O(m⁷n⁷/ε⁷) per-state budget).\n\
+             Setup: random NFAs, n = {n}, ε = 0.3, δ = 0.1."
+        ),
+        "m",
+        points,
+    );
+    out.push_str(
+        "\nThe samples/cell column is the measured check of the m-independence claim —\n\
+         it should stay flat across rows (ns is chosen by the profile from n and ε only).\n",
+    );
+    out
+}
+
+/// E4: scaling with accuracy `1/ε`.
+pub fn e4_scaling_eps(quick: bool) -> String {
+    let m = 8;
+    let n = 10;
+    let epss: &[f64] = if quick { &[0.5, 0.3, 0.2] } else { &[0.5, 0.4, 0.3, 0.2, 0.15, 0.1] };
+    let points: Vec<Point> = epss
+        .iter()
+        .map(|&eps| {
+            let mut p = run_point(m, n, eps, 2200, (3200.0 + 100.0 * eps) as u64);
+            p.x = 1.0 / eps;
+            p
+        })
+        .collect();
+    render(
+        "E4 — runtime vs 1/ε (Theorem 3)",
+        &format!(
+            "Claim: worst-case time grows as ε⁻⁴ (ε⁻² from trial counts × ε⁻² from sample\n\
+             budgets); stored samples grow as ε⁻² (ns = n/ε² in the practical profile).\n\
+             Setup: random NFA, m = {m}, n = {n}, δ = 0.1."
+        ),
+        "1/ε",
+        points,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaling_tables_render() {
+        let out = e2_scaling_n(true);
+        assert!(out.contains("E2"));
+        assert!(out.contains("Fitted wall-time exponent"));
+        let out = e3_scaling_m(true);
+        assert!(out.contains("samples/cell"));
+        let out = e4_scaling_eps(true);
+        assert!(out.contains("1/ε"));
+    }
+}

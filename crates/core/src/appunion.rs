@@ -1,0 +1,335 @@
+//! Algorithm 1: `AppUnion` — Monte-Carlo union-size estimation.
+//!
+//! Estimates `|T₁ ∪ … ∪ T_k|` given, per set, (a) a list of samples drawn
+//! from `T_i`, (b) a size estimate `sz_i`, and (c) a membership oracle.
+//! This is the paper's adaptation of Karp–Luby [12]: sample a pair
+//! `(σ, i)` from `U_multiple` (pick `i ∝ sz_i`, then take the next sample
+//! from `S_i`), and count it when `σ ∉ T_j` for all `j < i` — i.e. when
+//! the pair lies in `U_unique`. After `t` trials the output is
+//! `(Y/t)·Σ sz_i` (Theorem 1).
+//!
+//! The membership oracle is the stored reachable-state set of each
+//! sampled word (`σ ∈ T_j = L(p_jℓ)` iff `p_j ∈ reach(σ)`); the "does any
+//! earlier set contain σ" test of line 9 collapses to one bitset
+//! intersection against a precomputed prefix mask.
+
+use crate::params::{CursorPolicy, Params};
+use crate::run_stats::RunStats;
+use crate::sample_set::SampleSet;
+use fpras_automata::{StateId, StateSet};
+use fpras_numeric::{sample_weights, ExtFloat};
+use rand::{Rng, RngExt};
+
+/// One input set `T_i = L(p_iℓ)` for `AppUnion`.
+pub struct UnionSetInput<'a> {
+    /// Sampled list `S_i` (shared storage; consumed through a cursor).
+    pub samples: &'a SampleSet,
+    /// Size estimate `sz_i ≈ |T_i|`.
+    pub size_est: ExtFloat,
+    /// The predecessor state `p_i` identifying the set, used both for the
+    /// prefix masks and (by callers) for memo keys.
+    pub state: StateId,
+}
+
+/// Output of one `AppUnion` call plus diagnostics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UnionEstimate {
+    /// The size estimate for `|⋃ T_i|`.
+    pub value: ExtFloat,
+    /// Trials executed (may be fewer than requested under
+    /// [`CursorPolicy::PaperBreak`] when a sample list ran dry).
+    pub trials_run: usize,
+    /// True iff the paper's `break` path was taken.
+    pub broke_early: bool,
+}
+
+/// Runs Algorithm 1 over the given sets.
+///
+/// `eps`/`delta` are the call's accuracy/confidence, `eps_sz` the slack of
+/// the incoming size estimates (`β'` at the call sites), `universe` the
+/// NFA state count (for prefix masks). Empty sets (`sz_i = 0`) should be
+/// filtered by the caller; they would merely waste prefix-mask width.
+#[allow(clippy::too_many_arguments)] // mirrors Algorithm 1's parameter list
+pub fn app_union<R: Rng + ?Sized>(
+    params: &Params,
+    eps: f64,
+    delta: f64,
+    eps_sz: f64,
+    sets: &[UnionSetInput<'_>],
+    universe: usize,
+    rng: &mut R,
+    stats: &mut RunStats,
+) -> UnionEstimate {
+    stats.appunion_calls += 1;
+    if sets.is_empty() {
+        return UnionEstimate { value: ExtFloat::ZERO, trials_run: 0, broke_early: false };
+    }
+
+    // Σ sz and m̂ = ⌈Σ sz / max sz⌉ (line 2).
+    let total: ExtFloat = sets.iter().map(|s| s.size_est).sum();
+    if total.is_zero() {
+        return UnionEstimate { value: ExtFloat::ZERO, trials_run: 0, broke_early: false };
+    }
+    let max = sets
+        .iter()
+        .map(|s| s.size_est)
+        .fold(ExtFloat::ZERO, |acc, v| if v > acc { v } else { acc });
+    let m_hat = total.ratio(&max).ceil().max(1.0) as usize;
+    let t = params.appunion_trials(eps, delta, eps_sz, m_hat);
+
+    // Selection weights sz_i / Σ sz (line 6), renormalized through the
+    // maximum so extreme exponents survive the f64 conversion.
+    let weights: Vec<f64> = sets.iter().map(|s| s.size_est.ratio(&max)).collect();
+
+    // Prefix masks: prefix[i] = {p_0, …, p_{i-1}} (line 9's "∃ j < i").
+    let mut prefix = Vec::with_capacity(sets.len());
+    let mut acc = StateSet::empty(universe);
+    for s in sets {
+        prefix.push(acc.clone());
+        acc.insert(s.state as usize);
+    }
+
+    // Per-set cursors (line 7's deque), optionally rotated (D3).
+    let cursors: Vec<usize> = sets
+        .iter()
+        .map(|s| {
+            if params.rotate_cursor && !s.samples.is_empty() {
+                rng.random_range(0..s.samples.len())
+            } else {
+                0
+            }
+        })
+        .collect();
+    let mut consumed = vec![0usize; sets.len()];
+
+    let mut y: u64 = 0;
+    let mut trials_run = 0usize;
+    let mut broke_early = false;
+    for _ in 0..t {
+        let Some(i) = sample_weights(rng, &weights) else { break };
+        let list = sets[i].samples;
+        let len = list.len();
+        if len == 0 {
+            // A positive estimate with no samples: treat as the paper's
+            // exhausted-list break (can only arise under noise injection).
+            broke_early = true;
+            break;
+        }
+        match params.cursor {
+            CursorPolicy::PaperBreak => {
+                if consumed[i] >= len {
+                    broke_early = true;
+                    break;
+                }
+            }
+            CursorPolicy::Cyclic => {}
+        }
+        let idx = (cursors[i] + consumed[i]) % len;
+        consumed[i] += 1;
+        let entry = list.get(idx);
+        stats.membership_ops += 1;
+        if !entry.reach.intersects(&prefix[i]) {
+            y += 1;
+        }
+        trials_run += 1;
+    }
+
+    // Line 10: (Y/t)·Σ sz. The divisor is the *requested* t, matching the
+    // paper (an early break biases downward with negligible probability).
+    let value = if y == 0 { ExtFloat::ZERO } else { total.scale(y as f64 / t as f64) };
+    UnionEstimate { value, trials_run, broke_early }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sample_set::SampleEntry;
+    use fpras_automata::Word;
+    use rand::{rngs::SmallRng, SeedableRng};
+
+    /// Builds a sample set for a synthetic `T_i ⊆ {0..universe_words}`:
+    /// `count` uniform samples from the listed words, where each word's
+    /// "reach set" marks which synthetic sets contain it.
+    fn synthetic_set(
+        words_in_set: &[u64],
+        membership: impl Fn(u64) -> Vec<usize>,
+        count: usize,
+        universe: usize,
+        rng: &mut SmallRng,
+    ) -> SampleSet {
+        let mut s = SampleSet::empty();
+        for _ in 0..count {
+            let w = words_in_set[rng.random_range(0..words_in_set.len())];
+            s.push(SampleEntry {
+                word: Word::from_index(w, 8, 2),
+                reach: StateSet::from_iter(universe, membership(w)),
+            });
+        }
+        s
+    }
+
+    fn test_params() -> Params {
+        let mut p = Params::practical(0.2, 0.05, 8, 8);
+        p.rotate_cursor = false;
+        p
+    }
+
+    /// Two disjoint sets of sizes 60 and 40: union is 100.
+    #[test]
+    fn disjoint_sets() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let a: Vec<u64> = (0..60).collect();
+        let b: Vec<u64> = (100..140).collect();
+        let member = |w: u64| if w < 60 { vec![0] } else { vec![1] };
+        let sa = synthetic_set(&a, member, 400, 2, &mut rng);
+        let sb = synthetic_set(&b, member, 400, 2, &mut rng);
+        let params = test_params();
+        let sets = [
+            UnionSetInput { samples: &sa, size_est: ExtFloat::from_u64(60), state: 0 },
+            UnionSetInput { samples: &sb, size_est: ExtFloat::from_u64(40), state: 1 },
+        ];
+        let mut stats = RunStats::default();
+        let est = app_union(&params, 0.1, 0.01, 0.0, &sets, 2, &mut rng, &mut stats);
+        let v = est.value.to_f64();
+        assert!((90.0..110.0).contains(&v), "estimate {v}");
+        assert!(stats.membership_ops > 0);
+    }
+
+    /// Identical sets: union equals one set, not the sum.
+    #[test]
+    fn identical_sets_not_double_counted() {
+        let mut rng = SmallRng::seed_from_u64(13);
+        let words: Vec<u64> = (0..50).collect();
+        let member = |_w: u64| vec![0, 1];
+        let sa = synthetic_set(&words, member, 400, 2, &mut rng);
+        let sb = synthetic_set(&words, member, 400, 2, &mut rng);
+        let params = test_params();
+        let sets = [
+            UnionSetInput { samples: &sa, size_est: ExtFloat::from_u64(50), state: 0 },
+            UnionSetInput { samples: &sb, size_est: ExtFloat::from_u64(50), state: 1 },
+        ];
+        let mut stats = RunStats::default();
+        let est = app_union(&params, 0.1, 0.01, 0.0, &sets, 2, &mut rng, &mut stats);
+        let v = est.value.to_f64();
+        assert!((44.0..56.0).contains(&v), "estimate {v}");
+    }
+
+    /// Partial overlap: |A|=60, |B|=60, |A∩B|=20 → union 100.
+    #[test]
+    fn overlapping_sets() {
+        let mut rng = SmallRng::seed_from_u64(17);
+        let a: Vec<u64> = (0..60).collect();
+        let b: Vec<u64> = (40..100).collect();
+        let member = |w: u64| {
+            let mut v = Vec::new();
+            if w < 60 {
+                v.push(0);
+            }
+            if (40..100).contains(&w) {
+                v.push(1);
+            }
+            v
+        };
+        let sa = synthetic_set(&a, member, 600, 2, &mut rng);
+        let sb = synthetic_set(&b, member, 600, 2, &mut rng);
+        let params = test_params();
+        let sets = [
+            UnionSetInput { samples: &sa, size_est: ExtFloat::from_u64(60), state: 0 },
+            UnionSetInput { samples: &sb, size_est: ExtFloat::from_u64(60), state: 1 },
+        ];
+        let mut stats = RunStats::default();
+        let est = app_union(&params, 0.1, 0.01, 0.0, &sets, 2, &mut rng, &mut stats);
+        let v = est.value.to_f64();
+        assert!((88.0..112.0).contains(&v), "estimate {v}");
+    }
+
+    #[test]
+    fn empty_input_is_zero() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let params = test_params();
+        let mut stats = RunStats::default();
+        let est = app_union(&params, 0.1, 0.01, 0.0, &[], 2, &mut rng, &mut stats);
+        assert!(est.value.is_zero());
+        assert_eq!(est.trials_run, 0);
+    }
+
+    #[test]
+    fn zero_estimates_are_zero() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let params = test_params();
+        let s = SampleSet::empty();
+        let sets = [UnionSetInput { samples: &s, size_est: ExtFloat::ZERO, state: 0 }];
+        let mut stats = RunStats::default();
+        let est = app_union(&params, 0.1, 0.01, 0.0, &sets, 2, &mut rng, &mut stats);
+        assert!(est.value.is_zero());
+    }
+
+    /// PaperBreak with tiny sample lists must take the break path.
+    #[test]
+    fn paper_break_on_exhausted_list() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut params = test_params();
+        params.cursor = CursorPolicy::PaperBreak;
+        let words: Vec<u64> = (0..10).collect();
+        let s = synthetic_set(&words, |_| vec![0], 3, 1, &mut rng);
+        let sets = [UnionSetInput { samples: &s, size_est: ExtFloat::from_u64(10), state: 0 }];
+        let mut stats = RunStats::default();
+        let est = app_union(&params, 0.05, 0.01, 0.0, &sets, 1, &mut rng, &mut stats);
+        assert!(est.broke_early);
+        assert!(est.trials_run <= 3);
+    }
+
+    /// Cyclic cursor never breaks and reuses the stored list.
+    #[test]
+    fn cyclic_cursor_reuses() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let params = test_params();
+        let words: Vec<u64> = (0..10).collect();
+        let s = synthetic_set(&words, |_| vec![0], 3, 1, &mut rng);
+        let sets = [UnionSetInput { samples: &s, size_est: ExtFloat::from_u64(10), state: 0 }];
+        let mut stats = RunStats::default();
+        let est = app_union(&params, 0.05, 0.01, 0.0, &sets, 1, &mut rng, &mut stats);
+        assert!(!est.broke_early);
+        assert!(est.trials_run > 3);
+        // Single set: everything is unique, estimate = sz exactly.
+        assert!((est.value.to_f64() - 10.0).abs() < 1e-9);
+    }
+
+    /// Error shrinks as eps tightens (more trials).
+    #[test]
+    fn accuracy_improves_with_eps() {
+        let run = |eps: f64, seed: u64| {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let a: Vec<u64> = (0..128).collect();
+            let b: Vec<u64> = (64..192).collect();
+            let member = |w: u64| {
+                let mut v = Vec::new();
+                if w < 128 {
+                    v.push(0);
+                }
+                if w >= 64 {
+                    v.push(1);
+                }
+                v
+            };
+            let sa = synthetic_set(&a, member, 3000, 2, &mut rng);
+            let sb = synthetic_set(&b, member, 3000, 2, &mut rng);
+            let params = test_params();
+            let sets = [
+                UnionSetInput { samples: &sa, size_est: ExtFloat::from_u64(128), state: 0 },
+                UnionSetInput { samples: &sb, size_est: ExtFloat::from_u64(128), state: 1 },
+            ];
+            let mut stats = RunStats::default();
+            app_union(&params, eps, 0.01, 0.0, &sets, 2, &mut rng, &mut stats)
+                .value
+                .to_f64()
+        };
+        let errs = |eps: f64| -> f64 {
+            (0..10).map(|s| (run(eps, s) - 192.0).abs() / 192.0).sum::<f64>() / 10.0
+        };
+        let coarse = errs(0.5);
+        let fine = errs(0.05);
+        assert!(fine < coarse, "fine {fine} vs coarse {coarse}");
+        assert!(fine < 0.05, "fine error too large: {fine}");
+    }
+}

@@ -1,0 +1,531 @@
+//! Algorithm 3: the main FPRAS.
+//!
+//! Processes the unrolled automaton level by level. For each useful
+//! `(q, ℓ)` cell it first estimates `N(qℓ) = sz₀ + sz₁ (+ …)` from the
+//! per-symbol predecessor unions (lines 12–17), then fills the sample
+//! multiset `S(qℓ)` with up to `ns` words drawn by Algorithm 2, padding
+//! with a fixed witness word when fewer than `ns` samples arrive within
+//! `xns` attempts (lines 21–30). The returned estimate is `N(q_F^n)`.
+//!
+//! Normalizations applied before the DP (DESIGN.md D7):
+//! * the automaton is trimmed to useful states — if nothing remains the
+//!   count is 0;
+//! * multiple accepting states are folded into one (Fig. 1's w.l.o.g.);
+//! * `n = 0` is answered directly (`λ ∈ L(A)` iff the initial state
+//!   accepts).
+
+use crate::error::FprasError;
+use crate::params::Params;
+use crate::run_stats::RunStats;
+use crate::sample_set::{SampleEntry, SampleSet};
+use crate::sampler::sample_word;
+use crate::table::{MemoKey, RunTable, SampleOutcome, UnionMemo};
+use crate::{app_union, UnionSetInput};
+use fpras_automata::ops::{trim, with_single_accepting};
+use fpras_automata::{Nfa, StateId, StateSet, StepMasks, Unrolling, Word};
+use fpras_numeric::ExtFloat;
+use rand::{Rng, RngExt};
+use std::time::Instant;
+
+/// A completed FPRAS run: the estimate plus the full `(N, S)` table,
+/// which doubles as an almost-uniform generator for `L(A_n)`
+/// (see [`crate::generator::UniformGenerator`]).
+pub struct FprasRun {
+    /// The normalized automaton the DP ran on (trimmed, single accepting
+    /// state). `None` for degenerate runs (empty language or `n = 0`).
+    pub(crate) inner: Option<RunInner>,
+    pub(crate) n: usize,
+    pub(crate) estimate: ExtFloat,
+    pub(crate) params: Params,
+    pub(crate) stats: RunStats,
+    /// For `n = 0` runs: whether λ is accepted (the generator emits λ).
+    pub(crate) accepts_lambda: bool,
+}
+
+pub(crate) struct RunInner {
+    pub(crate) nfa: Nfa,
+    pub(crate) unroll: Unrolling,
+    pub(crate) table: RunTable,
+    pub(crate) memo: UnionMemo,
+    pub(crate) q_final: StateId,
+}
+
+impl FprasRun {
+    /// Runs the FPRAS on `nfa` for words of length `n`.
+    ///
+    /// Accepts any NFA (multiple accepting states are normalized away).
+    /// Randomness comes entirely from `rng`, so seeded runs are
+    /// reproducible.
+    pub fn run<R: Rng + ?Sized>(
+        nfa: &Nfa,
+        n: usize,
+        params: &Params,
+        rng: &mut R,
+    ) -> Result<FprasRun, FprasError> {
+        params.validate()?;
+        let start = Instant::now();
+
+        // n = 0: the DP is about positive-length words; answer directly.
+        if n == 0 {
+            let accepts = nfa.is_accepting(nfa.initial());
+            let stats = RunStats { wall: start.elapsed(), ..RunStats::default() };
+            return Ok(FprasRun {
+                inner: None,
+                n,
+                estimate: if accepts { ExtFloat::ONE } else { ExtFloat::ZERO },
+                params: params.clone(),
+                stats,
+                accepts_lambda: accepts,
+            });
+        }
+
+        // Normalize: trim, then fold accepting states (D7).
+        let Some(trimmed) = trim(nfa) else {
+            let stats = RunStats { wall: start.elapsed(), ..RunStats::default() };
+            return Ok(FprasRun {
+                inner: None,
+                n,
+                estimate: ExtFloat::ZERO,
+                params: params.clone(),
+                stats,
+                accepts_lambda: false,
+            });
+        };
+        let normalized = with_single_accepting(&trimmed);
+        let q_final = normalized
+            .accepting()
+            .iter()
+            .next()
+            .expect("normalized automaton has an accepting state") as StateId;
+
+        let unroll = Unrolling::new(&normalized, n);
+        if !unroll.language_nonempty() {
+            let stats = RunStats { wall: start.elapsed(), ..RunStats::default() };
+            return Ok(FprasRun {
+                inner: None,
+                n,
+                estimate: ExtFloat::ZERO,
+                params: params.clone(),
+                stats,
+                accepts_lambda: false,
+            });
+        }
+
+        let masks = StepMasks::new(&normalized);
+        let m = normalized.num_states();
+        let k = normalized.alphabet().size() as u8;
+        let mut table = RunTable::new(m, n);
+        let mut memo = UnionMemo::new();
+        let mut stats = RunStats::default();
+
+        // Level 0 (Algorithm 3 lines 6–10): N(I⁰) = 1, S(I⁰) = (λ, λ, …).
+        let init = normalized.initial() as usize;
+        {
+            let cell = table.cell_mut(0, init);
+            cell.n_est = ExtFloat::ONE;
+            cell.samples = SampleSet::repeated(
+                SampleEntry { word: Word::empty(), reach: StateSet::singleton(m, init) },
+                params.ns,
+            );
+        }
+
+        for ell in 1..=n {
+            for q in 0..m as StateId {
+                let reachable = unroll.reachable(ell).contains(q as usize);
+                let useful =
+                    reachable && (!params.trim_dead || unroll.alive(ell).contains(q as usize));
+                if !useful {
+                    stats.cells_skipped += 1;
+                    continue;
+                }
+                stats.cells_processed += 1;
+
+                // ---- Count phase (lines 12–17) ----
+                let eps_sz = params.eps_sz_at_level(params.beta_count, ell);
+                let mut n_est = ExtFloat::ZERO;
+                for sym in 0..k {
+                    let pred_set = StateSet::from_iter(
+                        m,
+                        normalized
+                            .predecessors(q, sym)
+                            .iter()
+                            .map(|&p| p as usize)
+                            .filter(|&p| unroll.reachable(ell - 1).contains(p)),
+                    );
+                    if pred_set.is_empty() {
+                        continue;
+                    }
+                    let inputs: Vec<UnionSetInput<'_>> = pred_set
+                        .iter()
+                        .filter_map(|p| {
+                            let cell = table.cell(ell - 1, p);
+                            if cell.n_est.is_zero() {
+                                None
+                            } else {
+                                Some(UnionSetInput {
+                                    samples: &cell.samples,
+                                    size_est: cell.n_est,
+                                    state: p as StateId,
+                                })
+                            }
+                        })
+                        .collect();
+                    let est = app_union(
+                        params,
+                        params.beta_count,
+                        params.delta_count_inner(),
+                        eps_sz,
+                        &inputs,
+                        m,
+                        rng,
+                        &mut stats,
+                    );
+                    // Seed the sampler's memo with the high-precision
+                    // count-phase value (DESIGN.md D4).
+                    if params.memoize_unions {
+                        memo.insert(MemoKey::new(ell - 1, &pred_set), est.value);
+                    }
+                    n_est = n_est + est.value;
+                }
+
+                // Noise injection (lines 16–19) — analysis artifact, only
+                // under the paper profile (DESIGN.md D2).
+                if params.inject_noise {
+                    let p_noise = params.eta / (2.0 * n as f64);
+                    if rng.random_bool(p_noise.clamp(0.0, 1.0)) {
+                        let u: f64 = rng.random_range(0.0..1.0);
+                        n_est = ExtFloat::pow2(ell as i64).scale(u);
+                    }
+                }
+
+                if n_est.is_zero() {
+                    // All union estimates came out zero — leave the cell
+                    // dead; downstream cells treat it as empty.
+                    continue;
+                }
+                table.cell_mut(ell, q as usize).n_est = n_est;
+
+                // ---- Sampling phase (lines 20–30) ----
+                let mut collected: Vec<SampleEntry> = Vec::with_capacity(params.ns);
+                let mut attempts = 0usize;
+                while collected.len() < params.ns && attempts < params.xns {
+                    attempts += 1;
+                    match sample_word(
+                        params, &normalized, &unroll, &table, &mut memo, n, q, ell, rng,
+                        &mut stats,
+                    ) {
+                        SampleOutcome::Word(w) => {
+                            let reach = masks.reach(&w);
+                            debug_assert!(
+                                reach.contains(q as usize),
+                                "sampled word must reach its cell's state"
+                            );
+                            collected.push(SampleEntry { word: w, reach });
+                        }
+                        SampleOutcome::DeadEnd => break,
+                        SampleOutcome::FailPhi | SampleOutcome::FailCoin => {}
+                    }
+                }
+                stats.samples_stored += collected.len() as u64;
+                let missing = params.ns - collected.len();
+                let cell = table.cell_mut(ell, q as usize);
+                let mut samples = SampleSet::empty();
+                for e in collected {
+                    samples.push(e);
+                }
+                if missing > 0 {
+                    let wit = unroll
+                        .witness(&normalized, q, ell)
+                        .expect("reachable cell must have a witness word");
+                    let reach = masks.reach(&wit);
+                    samples.pad(SampleEntry { word: wit, reach }, missing);
+                    stats.padded_cells += 1;
+                    stats.padded_entries += missing as u64;
+                }
+                cell.samples = samples;
+
+                if let Some(budget) = params.max_membership_ops {
+                    if stats.membership_ops > budget {
+                        return Err(FprasError::BudgetExceeded { ops: stats.membership_ops });
+                    }
+                }
+            }
+        }
+
+        let estimate = table.cell(n, q_final as usize).n_est;
+        stats.wall = start.elapsed();
+        Ok(FprasRun {
+            inner: Some(RunInner { nfa: normalized, unroll, table, memo, q_final }),
+            n,
+            estimate,
+            params: params.clone(),
+            stats,
+            accepts_lambda: nfa.is_accepting(nfa.initial()),
+        })
+    }
+
+    /// The estimate for `|L(A_n)|`.
+    pub fn estimate(&self) -> ExtFloat {
+        self.estimate
+    }
+
+    /// The word length this run targeted.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Run instrumentation.
+    pub fn stats(&self) -> &RunStats {
+        &self.stats
+    }
+
+    /// The parameters the run used.
+    pub fn params(&self) -> &Params {
+        &self.params
+    }
+
+    /// Per-cell estimate `N(qℓ)` of the *normalized* automaton, for
+    /// inspection and experiments. `None` for degenerate runs.
+    pub fn cell_estimate(&self, q: StateId, level: usize) -> Option<ExtFloat> {
+        self.inner.as_ref().map(|i| i.table.cell(level, q as usize).n_est)
+    }
+
+    /// Number of genuine samples stored at `(q, ℓ)` — the measured
+    /// counterpart of the paper's samples-per-state accounting.
+    pub fn cell_genuine_samples(&self, q: StateId, level: usize) -> Option<usize> {
+        self.inner.as_ref().map(|i| i.table.cell(level, q as usize).samples.genuine_len())
+    }
+
+    /// Estimates for *every* slice `|L(A_ℓ)|`, `ℓ ∈ 0..=n`, from the one
+    /// DP run — the unrolled table holds `N(q_F^ℓ)` for each level as a
+    /// by-product (an extension the paper's template makes free).
+    ///
+    /// `None` for degenerate runs (empty language at length `n`, or
+    /// `n = 0`), where only [`FprasRun::estimate`] is meaningful. The
+    /// level-0 entry is exact (`λ ∈ L(A)` is decidable directly).
+    pub fn slice_estimates(&self) -> Option<Vec<ExtFloat>> {
+        let inner = self.inner.as_ref()?;
+        let mut out = Vec::with_capacity(self.n + 1);
+        out.push(if self.accepts_lambda { ExtFloat::ONE } else { ExtFloat::ZERO });
+        for ell in 1..=self.n {
+            out.push(inner.table.cell(ell, inner.q_final as usize).n_est);
+        }
+        Some(out)
+    }
+
+    /// The normalized automaton's state count (after trimming and
+    /// accepting-state folding); `None` for degenerate runs.
+    pub fn normalized_states(&self) -> Option<usize> {
+        self.inner.as_ref().map(|i| i.nfa.num_states())
+    }
+
+    #[cfg(test)]
+    pub(crate) fn parts_for_test(&self) -> (&RunTable, &Nfa, &Unrolling) {
+        let inner = self.inner.as_ref().expect("test requires a non-degenerate run");
+        (&inner.table, &inner.nfa, &inner.unroll)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fpras_automata::exact::count_exact;
+    use fpras_automata::{Alphabet, NfaBuilder};
+    use rand::{rngs::SmallRng, SeedableRng};
+
+    fn all_words() -> Nfa {
+        let mut b = NfaBuilder::new(Alphabet::binary());
+        let q = b.add_state();
+        b.set_initial(q);
+        b.add_accepting(q);
+        b.add_transition(q, 0, q);
+        b.add_transition(q, 1, q);
+        b.build().unwrap()
+    }
+
+    fn contains_11() -> Nfa {
+        let mut b = NfaBuilder::new(Alphabet::binary());
+        let q0 = b.add_state();
+        let q1 = b.add_state();
+        let q2 = b.add_state();
+        b.set_initial(q0);
+        b.add_accepting(q2);
+        b.add_transition(q0, 0, q0);
+        b.add_transition(q0, 1, q0);
+        b.add_transition(q0, 1, q1);
+        b.add_transition(q1, 1, q2);
+        b.add_transition(q2, 0, q2);
+        b.add_transition(q2, 1, q2);
+        b.build().unwrap()
+    }
+
+    fn rel_err(est: ExtFloat, exact: u64) -> f64 {
+        (est.to_f64() - exact as f64).abs() / exact as f64
+    }
+
+    #[test]
+    fn n_zero_cases() {
+        let nfa = all_words(); // accepts λ
+        let params = Params::practical(0.3, 0.1, 1, 1);
+        let mut rng = SmallRng::seed_from_u64(0);
+        let run = FprasRun::run(&nfa, 0, &params, &mut rng).unwrap();
+        assert_eq!(run.estimate().to_f64(), 1.0);
+
+        let nfa = contains_11(); // does not accept λ
+        let run = FprasRun::run(&nfa, 0, &params, &mut rng).unwrap();
+        assert!(run.estimate().is_zero());
+    }
+
+    #[test]
+    fn empty_slice_is_zero() {
+        let nfa = contains_11();
+        let params = Params::practical(0.3, 0.1, 3, 1);
+        let mut rng = SmallRng::seed_from_u64(0);
+        // No length-1 word contains "11".
+        let run = FprasRun::run(&nfa, 1, &params, &mut rng).unwrap();
+        assert!(run.estimate().is_zero());
+    }
+
+    #[test]
+    fn all_words_estimate_is_tight() {
+        // Deterministic automaton: unions are singletons, so the only
+        // noise is Monte-Carlo; the estimate should be very close to 2^n.
+        let nfa = all_words();
+        let n = 10;
+        let params = Params::practical(0.2, 0.1, 1, n);
+        let mut rng = SmallRng::seed_from_u64(42);
+        let run = FprasRun::run(&nfa, n, &params, &mut rng).unwrap();
+        let err = rel_err(run.estimate(), 1 << n);
+        assert!(err < 0.2, "relative error {err}, estimate {}", run.estimate());
+    }
+
+    #[test]
+    fn contains_11_estimate_within_eps() {
+        let nfa = contains_11();
+        let n = 10;
+        let eps = 0.3;
+        let exact = count_exact(&nfa, n).unwrap().to_u64().unwrap();
+        let params = Params::practical(eps, 0.1, 3, n);
+        let mut rng = SmallRng::seed_from_u64(7);
+        let run = FprasRun::run(&nfa, n, &params, &mut rng).unwrap();
+        let err = rel_err(run.estimate(), exact);
+        assert!(err < eps, "relative error {err} vs eps {eps} (exact {exact}, est {})", run.estimate());
+        assert!(run.stats().sample_calls > 0);
+        assert!(run.stats().membership_ops > 0);
+    }
+
+    #[test]
+    fn budget_guard_trips() {
+        let nfa = contains_11();
+        let mut params = Params::practical(0.3, 0.1, 3, 8);
+        params.max_membership_ops = Some(10);
+        let mut rng = SmallRng::seed_from_u64(1);
+        match FprasRun::run(&nfa, 8, &params, &mut rng) {
+            Err(FprasError::BudgetExceeded { ops }) => assert!(ops > 10),
+            other => panic!("expected budget error, got estimate {:?}", other.map(|r| r.estimate())),
+        }
+    }
+
+    #[test]
+    fn invalid_params_rejected() {
+        let nfa = all_words();
+        let mut params = Params::practical(0.3, 0.1, 1, 4);
+        params.eps = 2.0;
+        let mut rng = SmallRng::seed_from_u64(1);
+        assert!(matches!(
+            FprasRun::run(&nfa, 4, &params, &mut rng),
+            Err(FprasError::InvalidParams(_))
+        ));
+    }
+
+    #[test]
+    fn reproducible_with_same_seed() {
+        let nfa = contains_11();
+        let params = Params::practical(0.3, 0.1, 3, 8);
+        let run = |seed: u64| {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            FprasRun::run(&nfa, 8, &params, &mut rng).unwrap().estimate()
+        };
+        assert_eq!(run(5), run(5));
+    }
+
+    #[test]
+    fn multi_accepting_normalized() {
+        // Words ending in 1 OR containing 11, as two accepting states.
+        let mut b = NfaBuilder::new(Alphabet::binary());
+        let q0 = b.add_state();
+        let q1 = b.add_state();
+        b.set_initial(q0);
+        b.add_accepting(q0);
+        b.add_accepting(q1);
+        b.add_transition(q0, 0, q0);
+        b.add_transition(q0, 1, q1);
+        b.add_transition(q1, 0, q0);
+        b.add_transition(q1, 1, q1);
+        let nfa = b.build().unwrap();
+        let n = 8;
+        let exact = count_exact(&nfa, n).unwrap().to_u64().unwrap();
+        assert_eq!(exact, 256); // this DFA accepts everything
+        let params = Params::practical(0.2, 0.1, 2, n);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let run = FprasRun::run(&nfa, n, &params, &mut rng).unwrap();
+        assert!(rel_err(run.estimate(), exact) < 0.2);
+    }
+
+    #[test]
+    fn paper_profile_runs_on_micro_instance() {
+        // The paper constants are enormous but finite for a 1-state, n=2
+        // instance; cap the sample budgets to keep the test fast while
+        // exercising the PaperBreak cursor and noise-injection paths.
+        // Paper formulas produce t ≈ 10⁵ trials per AppUnion call at
+        // this size; override the error split to keep the test fast while
+        // still exercising the PaperBreak cursor, noise injection and the
+        // no-memoization path. ns stays above the per-call consumption so
+        // the break path is the low-probability event the paper assumes.
+        let nfa = all_words();
+        let mut params = Params::paper(0.5, 0.3, 1, 2);
+        params.beta_count = 0.3;
+        params.beta_sample = 0.3;
+        params.ns = 2000;
+        params.xns = 16_000;
+        let mut rng = SmallRng::seed_from_u64(9);
+        let run = FprasRun::run(&nfa, 2, &params, &mut rng).unwrap();
+        let err = rel_err(run.estimate(), 4);
+        assert!(err < 0.5, "error {err}");
+    }
+
+    #[test]
+    fn slice_estimates_cover_all_levels() {
+        let nfa = contains_11();
+        let n = 8;
+        let params = Params::practical(0.25, 0.1, 3, n);
+        let mut rng = SmallRng::seed_from_u64(17);
+        let run = FprasRun::run(&nfa, n, &params, &mut rng).unwrap();
+        let slices = run.slice_estimates().unwrap();
+        assert_eq!(slices.len(), n + 1);
+        assert!(slices[0].is_zero(), "lambda is not in the language");
+        assert!(slices[1].is_zero(), "no length-1 word contains 11");
+        for (ell, slice) in slices.iter().enumerate().skip(2) {
+            let exact = count_exact(&nfa, ell).unwrap().to_f64();
+            let err = (slice.to_f64() - exact).abs() / exact;
+            assert!(err < 0.4, "level {ell}: err {err}");
+        }
+        assert_eq!(slices[n], run.estimate());
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let nfa = contains_11();
+        let params = Params::practical(0.3, 0.1, 3, 6);
+        let mut rng = SmallRng::seed_from_u64(11);
+        let run = FprasRun::run(&nfa, 6, &params, &mut rng).unwrap();
+        let s = run.stats();
+        assert!(s.cells_processed > 0);
+        assert!(s.appunion_calls > 0);
+        assert!(s.sample_success > 0);
+        assert!(s.samples_per_cell() > 0.0);
+        assert!(s.wall.as_nanos() > 0);
+        // Memoization should be getting hits under the practical profile.
+        assert!(s.memo_hits > 0);
+    }
+}

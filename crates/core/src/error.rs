@@ -1,0 +1,43 @@
+//! Error types for the FPRAS.
+
+use std::fmt;
+
+/// Errors from running the FPRAS.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FprasError {
+    /// A parameter was out of range (ε and δ must lie in `(0, 1)`, sample
+    /// budgets must be positive).
+    InvalidParams(String),
+    /// The configured membership-operation budget was exhausted before the
+    /// run finished.
+    BudgetExceeded {
+        /// Operations performed when the budget tripped.
+        ops: u64,
+    },
+}
+
+impl fmt::Display for FprasError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FprasError::InvalidParams(msg) => write!(f, "invalid parameters: {msg}"),
+            FprasError::BudgetExceeded { ops } => {
+                write!(f, "membership-operation budget exceeded after {ops} operations")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FprasError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = FprasError::InvalidParams("eps must be positive".into());
+        assert!(e.to_string().contains("eps must be positive"));
+        let b = FprasError::BudgetExceeded { ops: 42 };
+        assert!(b.to_string().contains("42"));
+    }
+}

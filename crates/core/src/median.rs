@@ -1,0 +1,169 @@
+//! Median-of-runs confidence amplification.
+//!
+//! The classic alternative to baking `log(1/δ)` into every internal
+//! budget: run the FPRAS with a constant confidence (δ₀ = 1/4) and take
+//! the median of `Θ(log 1/δ)` independent estimates. Each run lands in
+//! the `(1±ε)` window with probability ≥ 3/4, so the median leaves it
+//! only if half the runs fail — probability `exp(-Ω(k))` by Chernoff.
+//! Exposed both as a user-facing convenience and as the subject of an
+//! ablation (internal-δ vs median amplification cost, experiment E8).
+
+use crate::counter::FprasRun;
+use crate::error::FprasError;
+use crate::params::Params;
+use fpras_automata::Nfa;
+use fpras_numeric::ExtFloat;
+use rand::Rng;
+
+/// Result of a median-amplified estimate.
+#[derive(Debug, Clone)]
+pub struct MedianEstimate {
+    /// The median of the per-run estimates.
+    pub estimate: ExtFloat,
+    /// All per-run estimates, sorted ascending.
+    pub runs: Vec<ExtFloat>,
+    /// Total membership operations across runs.
+    pub total_membership_ops: u64,
+}
+
+/// Number of runs for confidence `delta`: the smallest odd
+/// `k ≥ 8·ln(1/δ)` (Chernoff with per-run failure probability 1/4).
+pub fn runs_needed(delta: f64) -> usize {
+    assert!(delta > 0.0 && delta < 1.0);
+    let k = (8.0 * (1.0 / delta).ln()).ceil() as usize;
+    k | 1 // round up to odd
+}
+
+/// Estimates `|L(A_n)|` with accuracy ε and confidence `1 − δ` by taking
+/// the median of independent practical-profile runs at δ₀ = 1/4.
+pub fn median_amplified<R: Rng + ?Sized>(
+    nfa: &Nfa,
+    n: usize,
+    eps: f64,
+    delta: f64,
+    rng: &mut R,
+) -> Result<MedianEstimate, FprasError> {
+    let k = runs_needed(delta);
+    let params = Params::practical(eps, 0.25, nfa.num_states(), n);
+    let mut runs = Vec::with_capacity(k);
+    let mut total_ops = 0u64;
+    for _ in 0..k {
+        let run = FprasRun::run(nfa, n, &params, rng)?;
+        total_ops += run.stats().membership_ops;
+        runs.push(run.estimate());
+    }
+    runs.sort_by(|a, b| a.partial_cmp(b).expect("estimates are non-negative and ordered"));
+    let estimate = runs[runs.len() / 2];
+    Ok(MedianEstimate { estimate, runs, total_membership_ops: total_ops })
+}
+
+/// Parallel variant of [`median_amplified`]: the independent runs are
+/// embarrassingly parallel, so they fan out over `threads` OS threads
+/// (each with its own seeded RNG derived from `seed`). Deterministic for
+/// a fixed `(seed, threads)` pair.
+pub fn median_amplified_parallel(
+    nfa: &Nfa,
+    n: usize,
+    eps: f64,
+    delta: f64,
+    seed: u64,
+    threads: usize,
+) -> Result<MedianEstimate, FprasError> {
+    use rand::SeedableRng;
+    let k = runs_needed(delta);
+    let threads = threads.clamp(1, k);
+    let params = Params::practical(eps, 0.25, nfa.num_states(), n);
+    let results: Vec<Result<(ExtFloat, u64), FprasError>> = std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(threads);
+        for t in 0..threads {
+            let params = &params;
+            handles.push(scope.spawn(move || {
+                let mut out = Vec::new();
+                let mut i = t;
+                while i < k {
+                    let mut rng =
+                        rand::rngs::SmallRng::seed_from_u64(seed.wrapping_add(i as u64));
+                    match FprasRun::run(nfa, n, params, &mut rng) {
+                        Ok(run) => out.push(Ok((run.estimate(), run.stats().membership_ops))),
+                        Err(e) => out.push(Err(e)),
+                    }
+                    i += threads;
+                }
+                out
+            }));
+        }
+        handles.into_iter().flat_map(|h| h.join().expect("worker panicked")).collect()
+    });
+    let mut runs = Vec::with_capacity(k);
+    let mut total_ops = 0u64;
+    for r in results {
+        let (est, ops) = r?;
+        total_ops += ops;
+        runs.push(est);
+    }
+    runs.sort_by(|a, b| a.partial_cmp(b).expect("estimates are non-negative and ordered"));
+    let estimate = runs[runs.len() / 2];
+    Ok(MedianEstimate { estimate, runs, total_membership_ops: total_ops })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fpras_automata::exact::count_exact;
+    use fpras_automata::{Alphabet, NfaBuilder};
+    use rand::{rngs::SmallRng, SeedableRng};
+
+    #[test]
+    fn runs_needed_is_odd_and_grows() {
+        assert_eq!(runs_needed(0.3) % 2, 1);
+        assert!(runs_needed(0.001) > runs_needed(0.1));
+    }
+
+    #[test]
+    fn parallel_median_matches_quality() {
+        let mut b = NfaBuilder::new(Alphabet::binary());
+        let q0 = b.add_state();
+        let q1 = b.add_state();
+        b.set_initial(q0);
+        b.add_accepting(q1);
+        for sym in [0, 1] {
+            b.add_transition(q0, sym, q0);
+        }
+        b.add_transition(q0, 1, q1);
+        let nfa = b.build().unwrap();
+        let n = 8;
+        let exact = count_exact(&nfa, n).unwrap().to_u64().unwrap() as f64;
+        let med = median_amplified_parallel(&nfa, n, 0.25, 0.3, 17, 4).unwrap();
+        let err = (med.estimate.to_f64() - exact).abs() / exact;
+        assert!(err < 0.25, "parallel median error {err}");
+        // Deterministic for fixed (seed, threads).
+        let again = median_amplified_parallel(&nfa, n, 0.25, 0.3, 17, 4).unwrap();
+        assert_eq!(med.estimate, again.estimate);
+    }
+
+    #[test]
+    fn median_close_to_exact() {
+        let mut b = NfaBuilder::new(Alphabet::binary());
+        let q0 = b.add_state();
+        let q1 = b.add_state();
+        b.set_initial(q0);
+        b.add_accepting(q1);
+        for sym in [0, 1] {
+            b.add_transition(q0, sym, q0);
+        }
+        b.add_transition(q0, 1, q1);
+        let nfa = b.build().unwrap(); // words ending in 1
+        let n = 8;
+        let exact = count_exact(&nfa, n).unwrap().to_u64().unwrap() as f64;
+        let mut rng = SmallRng::seed_from_u64(31);
+        let med = median_amplified(&nfa, n, 0.25, 0.3, &mut rng).unwrap();
+        let err = (med.estimate.to_f64() - exact).abs() / exact;
+        assert!(err < 0.25, "median error {err}");
+        assert_eq!(med.runs.len(), runs_needed(0.3));
+        assert!(med.total_membership_ops > 0);
+        // Sortedness of per-run estimates.
+        for w in med.runs.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+    }
+}

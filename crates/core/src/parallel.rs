@@ -1,0 +1,479 @@
+//! Level-parallel execution of Algorithm 3.
+//!
+//! The DP has a strict *level* dependency — `N(qℓ)` and `S(qℓ)` read only
+//! level `ℓ−1` (counts) and levels `< ℓ` (the sampler's recursion) — but
+//! no dependency *within* a level. This module exploits that: each level
+//! runs as two parallel passes over the states (counts, then samples)
+//! fanned out with `std::thread::scope`.
+//!
+//! **Determinism.** The serial runner threads one RNG through every cell,
+//! so its output depends on iteration order. Here every `(q, ℓ, phase)`
+//! cell derives its own RNG stream from the master seed (SplitMix64
+//! mixing), and the sampler's union memo is handled so no cell observes a
+//! sibling's same-level insertions: every cell starts from the level-start
+//! snapshot, and new entries merge back in state order after the pass.
+//! The result is bit-identical for any thread count — `threads = 1`
+//! reproduces `threads = 8` exactly — which makes the parallel runner
+//! testable and its speedup honestly attributable to scheduling alone.
+//! (It is a *different* random process from the serial runner; both
+//! satisfy the same `(ε, δ)` contract, which the tests check.)
+
+use crate::appunion::{app_union, UnionSetInput};
+use crate::counter::{FprasRun, RunInner};
+use crate::error::FprasError;
+use crate::params::Params;
+use crate::run_stats::RunStats;
+use crate::sample_set::{SampleEntry, SampleSet};
+use crate::sampler::sample_word;
+use crate::table::{MemoKey, RunTable, SampleOutcome, UnionMemo};
+use fpras_automata::ops::{trim, with_single_accepting};
+use fpras_automata::{StateId, StateSet, StepMasks, Unrolling, Word};
+use fpras_numeric::ExtFloat;
+use rand::{rngs::SmallRng, RngExt, SeedableRng};
+use std::time::Instant;
+
+/// SplitMix64 — a tiny, well-mixed hash for deriving per-cell seeds.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E3779B97F4A7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D049BB133111EB);
+    x ^ (x >> 31)
+}
+
+/// Independent RNG stream for one `(level, state, phase)` cell.
+fn cell_rng(master: u64, level: usize, q: StateId, phase: u64) -> SmallRng {
+    let mixed = splitmix64(
+        master ^ splitmix64((level as u64) << 32 | q as u64) ^ splitmix64(phase ^ 0xA5A5_5A5A),
+    );
+    SmallRng::seed_from_u64(mixed)
+}
+
+/// Maps `f` over `items` on up to `threads` scoped worker threads,
+/// returning outputs in input order (chunked statically, so the split is
+/// deterministic; `f` must not rely on cross-item state).
+fn chunked_map<T, U, F>(items: &[T], threads: usize, f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    let threads = threads.max(1).min(items.len().max(1));
+    if threads <= 1 {
+        return items.iter().map(&f).collect();
+    }
+    let chunk = items.len().div_ceil(threads);
+    let mut chunks_out: Vec<Vec<U>> = Vec::new();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = items
+            .chunks(chunk)
+            .map(|c| {
+                let f = &f;
+                s.spawn(move || c.iter().map(f).collect::<Vec<U>>())
+            })
+            .collect();
+        chunks_out = handles.into_iter().map(|h| h.join().expect("worker panicked")).collect();
+    });
+    chunks_out.into_iter().flatten().collect()
+}
+
+/// Output of one count-phase cell.
+struct CountOut {
+    q: StateId,
+    n_est: ExtFloat,
+    memo_seeds: Vec<(MemoKey, ExtFloat)>,
+    stats: RunStats,
+}
+
+/// Output of one sample-phase cell.
+struct SampleOut {
+    q: StateId,
+    samples: SampleSet,
+    genuine: usize,
+    padded: usize,
+    memo_new: Vec<(MemoKey, ExtFloat)>,
+    stats: RunStats,
+}
+
+/// Runs the FPRAS with level-synchronous parallelism over states.
+///
+/// Equivalent in contract to [`FprasRun::run`] (same `(ε, δ)` guarantee,
+/// same table/generator output shape); differs in taking a master seed
+/// instead of an `&mut Rng` so that per-cell streams can be derived.
+/// The returned run is bit-identical for any `threads ≥ 1`.
+///
+/// ```
+/// use fpras_automata::{Alphabet, NfaBuilder};
+/// use fpras_core::{run_parallel, Params};
+///
+/// let mut b = NfaBuilder::new(Alphabet::binary());
+/// let q = b.add_state();
+/// b.set_initial(q);
+/// b.add_accepting(q);
+/// b.add_transition(q, 0, q);
+/// b.add_transition(q, 1, q);
+/// let nfa = b.build().unwrap();
+///
+/// let params = Params::practical(0.3, 0.1, 1, 8);
+/// let two = run_parallel(&nfa, 8, &params, 7, 2).unwrap();
+/// let eight = run_parallel(&nfa, 8, &params, 7, 8).unwrap();
+/// assert_eq!(two.estimate().to_f64(), eight.estimate().to_f64());
+/// ```
+pub fn run_parallel(
+    nfa: &fpras_automata::Nfa,
+    n: usize,
+    params: &Params,
+    master_seed: u64,
+    threads: usize,
+) -> Result<FprasRun, FprasError> {
+    params.validate()?;
+    let start = Instant::now();
+    let degenerate = |estimate: ExtFloat, accepts_lambda: bool| FprasRun {
+        inner: None,
+        n,
+        estimate,
+        params: params.clone(),
+        stats: RunStats { wall: start.elapsed(), ..RunStats::default() },
+        accepts_lambda,
+    };
+
+    if n == 0 {
+        let accepts = nfa.is_accepting(nfa.initial());
+        let est = if accepts { ExtFloat::ONE } else { ExtFloat::ZERO };
+        return Ok(degenerate(est, accepts));
+    }
+    let Some(trimmed) = trim(nfa) else {
+        return Ok(degenerate(ExtFloat::ZERO, false));
+    };
+    let normalized = with_single_accepting(&trimmed);
+    let q_final = normalized
+        .accepting()
+        .iter()
+        .next()
+        .expect("normalized automaton has an accepting state") as StateId;
+    let unroll = Unrolling::new(&normalized, n);
+    if !unroll.language_nonempty() {
+        return Ok(degenerate(ExtFloat::ZERO, false));
+    }
+
+    let masks = StepMasks::new(&normalized);
+    let m = normalized.num_states();
+    let k = normalized.alphabet().size() as u8;
+    let mut table = RunTable::new(m, n);
+    let mut memo = UnionMemo::new();
+    let mut stats = RunStats::default();
+
+    let init = normalized.initial() as usize;
+    {
+        let cell = table.cell_mut(0, init);
+        cell.n_est = ExtFloat::ONE;
+        cell.samples = SampleSet::repeated(
+            SampleEntry { word: Word::empty(), reach: StateSet::singleton(m, init) },
+            params.ns,
+        );
+    }
+
+    for ell in 1..=n {
+        let useful: Vec<StateId> = (0..m as StateId)
+            .filter(|&q| {
+                let reachable = unroll.reachable(ell).contains(q as usize);
+                reachable && (!params.trim_dead || unroll.alive(ell).contains(q as usize))
+            })
+            .collect();
+        stats.cells_skipped += (m - useful.len()) as u64;
+        stats.cells_processed += useful.len() as u64;
+
+        // ---- Pass 1 (parallel): count phase ----
+        let counts: Vec<CountOut> = {
+            let table = &table;
+            let normalized = &normalized;
+            let unroll = &unroll;
+            chunked_map(&useful, threads, move |&q| {
+                let mut rng = cell_rng(master_seed, ell, q, 1);
+                let mut local = RunStats::default();
+                let mut memo_seeds = Vec::new();
+                let eps_sz = params.eps_sz_at_level(params.beta_count, ell);
+                let mut n_est = ExtFloat::ZERO;
+                for sym in 0..k {
+                    let pred_set = StateSet::from_iter(
+                        m,
+                        normalized
+                            .predecessors(q, sym)
+                            .iter()
+                            .map(|&p| p as usize)
+                            .filter(|&p| unroll.reachable(ell - 1).contains(p)),
+                    );
+                    if pred_set.is_empty() {
+                        continue;
+                    }
+                    let inputs: Vec<UnionSetInput<'_>> = pred_set
+                        .iter()
+                        .filter_map(|p| {
+                            let cell = table.cell(ell - 1, p);
+                            if cell.n_est.is_zero() {
+                                None
+                            } else {
+                                Some(UnionSetInput {
+                                    samples: &cell.samples,
+                                    size_est: cell.n_est,
+                                    state: p as StateId,
+                                })
+                            }
+                        })
+                        .collect();
+                    let est = app_union(
+                        params,
+                        params.beta_count,
+                        params.delta_count_inner(),
+                        eps_sz,
+                        &inputs,
+                        m,
+                        &mut rng,
+                        &mut local,
+                    );
+                    if params.memoize_unions {
+                        memo_seeds.push((MemoKey::new(ell - 1, &pred_set), est.value));
+                    }
+                    n_est = n_est + est.value;
+                }
+                if params.inject_noise {
+                    let p_noise = params.eta / (2.0 * n as f64);
+                    if rng.random_bool(p_noise.clamp(0.0, 1.0)) {
+                        let u: f64 = rng.random_range(0.0..1.0);
+                        n_est = ExtFloat::pow2(ell as i64).scale(u);
+                    }
+                }
+                CountOut { q, n_est, memo_seeds, stats: local }
+            })
+        };
+        // Merge pass 1 in state order (chunked_map preserves it).
+        for out in counts {
+            table.cell_mut(ell, out.q as usize).n_est = out.n_est;
+            stats.merge(&out.stats);
+            for (key, value) in out.memo_seeds {
+                memo.entry(key).or_insert(value);
+            }
+        }
+
+        // ---- Pass 2 (parallel): sampling phase ----
+        let live: Vec<StateId> =
+            useful.iter().copied().filter(|&q| !table.cell(ell, q as usize).n_est.is_zero()).collect();
+        let sampled: Vec<SampleOut> = {
+            let table = &table;
+            let normalized = &normalized;
+            let unroll = &unroll;
+            let masks = &masks;
+            let snapshot = &memo;
+            chunked_map(&live, threads, move |&q| {
+                let mut rng = cell_rng(master_seed, ell, q, 2);
+                let mut local = RunStats::default();
+                let mut local_memo = snapshot.clone();
+                let mut collected: Vec<SampleEntry> = Vec::with_capacity(params.ns);
+                let mut attempts = 0usize;
+                while collected.len() < params.ns && attempts < params.xns {
+                    attempts += 1;
+                    match sample_word(
+                        params, normalized, unroll, table, &mut local_memo, n, q, ell, &mut rng,
+                        &mut local,
+                    ) {
+                        SampleOutcome::Word(w) => {
+                            let reach = masks.reach(&w);
+                            collected.push(SampleEntry { word: w, reach });
+                        }
+                        SampleOutcome::DeadEnd => break,
+                        SampleOutcome::FailPhi | SampleOutcome::FailCoin => {}
+                    }
+                }
+                let genuine = collected.len();
+                let mut samples = SampleSet::empty();
+                for e in collected {
+                    samples.push(e);
+                }
+                let missing = params.ns - genuine;
+                if missing > 0 {
+                    let wit = unroll
+                        .witness(normalized, q, ell)
+                        .expect("reachable cell must have a witness word");
+                    let reach = masks.reach(&wit);
+                    samples.pad(SampleEntry { word: wit, reach }, missing);
+                }
+                let memo_new: Vec<(MemoKey, ExtFloat)> = local_memo
+                    .into_iter()
+                    .filter(|(key, _)| !snapshot.contains_key(key))
+                    .collect();
+                SampleOut { q, samples, genuine, padded: missing, memo_new, stats: local }
+            })
+        };
+        for out in sampled {
+            stats.merge(&out.stats);
+            stats.samples_stored += out.genuine as u64;
+            if out.padded > 0 {
+                stats.padded_cells += 1;
+                stats.padded_entries += out.padded as u64;
+            }
+            // HashMap iteration order is nondeterministic; sort the new
+            // entries so the first-wins merge is stable across runs.
+            let mut memo_new = out.memo_new;
+            memo_new.sort_by(|(a, _), (b, _)| a.level.cmp(&b.level).then(a.frontier.cmp(&b.frontier)));
+            for (key, value) in memo_new {
+                memo.entry(key).or_insert(value);
+            }
+            table.cell_mut(ell, out.q as usize).samples = out.samples;
+        }
+
+        if let Some(budget) = params.max_membership_ops {
+            if stats.membership_ops > budget {
+                return Err(FprasError::BudgetExceeded { ops: stats.membership_ops });
+            }
+        }
+    }
+
+    let estimate = table.cell(n, q_final as usize).n_est;
+    stats.wall = start.elapsed();
+    Ok(FprasRun {
+        inner: Some(RunInner { nfa: normalized, unroll, table, memo, q_final }),
+        n,
+        estimate,
+        params: params.clone(),
+        stats,
+        accepts_lambda: nfa.is_accepting(nfa.initial()),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::UniformGenerator;
+    use fpras_automata::exact::count_exact;
+    use fpras_automata::{Alphabet, Nfa, NfaBuilder};
+
+    fn contains_11() -> Nfa {
+        let mut b = NfaBuilder::new(Alphabet::binary());
+        let q0 = b.add_state();
+        let q1 = b.add_state();
+        let q2 = b.add_state();
+        b.set_initial(q0);
+        b.add_accepting(q2);
+        b.add_transition(q0, 0, q0);
+        b.add_transition(q0, 1, q0);
+        b.add_transition(q0, 1, q1);
+        b.add_transition(q1, 1, q2);
+        b.add_transition(q2, 0, q2);
+        b.add_transition(q2, 1, q2);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn deterministic_across_thread_counts() {
+        let nfa = contains_11();
+        let n = 10;
+        let params = Params::practical(0.3, 0.1, 3, n);
+        let runs: Vec<_> = [1usize, 2, 4, 7]
+            .iter()
+            .map(|&t| run_parallel(&nfa, n, &params, 99, t).unwrap())
+            .collect();
+        for pair in runs.windows(2) {
+            assert_eq!(
+                pair[0].estimate().to_f64(),
+                pair[1].estimate().to_f64(),
+                "estimates must be thread-count independent"
+            );
+            assert_eq!(pair[0].stats().samples_stored, pair[1].stats().samples_stored);
+            assert_eq!(pair[0].stats().membership_ops, pair[1].stats().membership_ops);
+            // Per-cell tables identical too.
+            for ell in 0..=n {
+                for q in 0..3u32 {
+                    assert_eq!(
+                        pair[0].cell_estimate(q, ell).map(|e| e.to_f64()),
+                        pair[1].cell_estimate(q, ell).map(|e| e.to_f64()),
+                        "cell ({q}, {ell})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let nfa = contains_11();
+        let params = Params::practical(0.3, 0.1, 3, 10);
+        let a = run_parallel(&nfa, 10, &params, 1, 4).unwrap();
+        let b = run_parallel(&nfa, 10, &params, 2, 4).unwrap();
+        // Estimates are both accurate but almost surely not identical.
+        assert_ne!(a.estimate().to_f64(), b.estimate().to_f64());
+    }
+
+    #[test]
+    fn accuracy_contract_holds() {
+        let nfa = contains_11();
+        let n = 12;
+        let eps = 0.3;
+        let exact = count_exact(&nfa, n).unwrap().to_f64();
+        let params = Params::practical(eps, 0.1, 3, n);
+        let mut within = 0;
+        for seed in 0..10u64 {
+            let run = run_parallel(&nfa, n, &params, seed, 4).unwrap();
+            let err = (run.estimate().to_f64() - exact).abs() / exact;
+            if err < eps {
+                within += 1;
+            }
+        }
+        assert!(within >= 9, "{within}/10 runs within eps");
+    }
+
+    #[test]
+    fn degenerate_cases() {
+        let nfa = contains_11();
+        let params = Params::practical(0.3, 0.1, 3, 4);
+        // n = 0: λ not accepted.
+        assert!(run_parallel(&nfa, 0, &params, 0, 4).unwrap().estimate().is_zero());
+        // Empty slice.
+        assert!(run_parallel(&nfa, 1, &params, 0, 4).unwrap().estimate().is_zero());
+    }
+
+    #[test]
+    fn budget_guard_trips() {
+        let nfa = contains_11();
+        let mut params = Params::practical(0.3, 0.1, 3, 8);
+        params.max_membership_ops = Some(10);
+        assert!(matches!(
+            run_parallel(&nfa, 8, &params, 1, 4),
+            Err(FprasError::BudgetExceeded { .. })
+        ));
+    }
+
+    #[test]
+    fn generator_works_on_parallel_run() {
+        let nfa = contains_11();
+        let n = 8;
+        let params = Params::practical(0.3, 0.1, 3, n);
+        let run = run_parallel(&nfa, n, &params, 5, 4).unwrap();
+        let mut generator = UniformGenerator::new(run);
+        let mut rng = SmallRng::seed_from_u64(6);
+        for _ in 0..20 {
+            let w = generator.generate(&mut rng).expect("language non-empty");
+            assert_eq!(w.len(), n);
+            assert!(nfa.accepts(&w));
+        }
+    }
+
+    #[test]
+    fn splitmix_streams_are_distinct() {
+        // Adjacent cells must not share streams.
+        let a = cell_rng(7, 1, 0, 1).random::<u64>();
+        let b = cell_rng(7, 1, 1, 1).random::<u64>();
+        let c = cell_rng(7, 2, 0, 1).random::<u64>();
+        let d = cell_rng(7, 1, 0, 2).random::<u64>();
+        let all = [a, b, c, d];
+        let distinct: std::collections::HashSet<_> = all.iter().collect();
+        assert_eq!(distinct.len(), all.len());
+    }
+
+    #[test]
+    fn chunked_map_preserves_order() {
+        let items: Vec<u32> = (0..103).collect();
+        for threads in [1, 2, 3, 8, 200] {
+            let out = chunked_map(&items, threads, |&x| x * 2);
+            assert_eq!(out, items.iter().map(|&x| x * 2).collect::<Vec<_>>(), "t={threads}");
+        }
+    }
+}

@@ -1,0 +1,123 @@
+//! Run instrumentation.
+//!
+//! The experiment harness reports more than wall time: sample counts per
+//! state (the paper's headline measure, §1), membership-oracle operations
+//! (the unit of the paper's complexity accounting, Theorem 1/3), sampler
+//! rejection rates (Theorem 2(2)) and padding frequency. Every counter
+//! lives here so the algorithms stay free of ad-hoc logging.
+
+use std::time::Duration;
+
+/// Counters collected during one FPRAS run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RunStats {
+    /// Membership-oracle operations (Algorithm 1 line 9 equivalents) —
+    /// the paper's unit of time complexity.
+    pub membership_ops: u64,
+    /// Total `AppUnion` invocations that ran trials (memo misses included,
+    /// memo hits excluded).
+    pub appunion_calls: u64,
+    /// Sampler union lookups answered from the memo (D4).
+    pub memo_hits: u64,
+    /// Sampler union lookups that had to run `AppUnion`.
+    pub memo_misses: u64,
+    /// Calls to `sample()` (Algorithm 3 line 23).
+    pub sample_calls: u64,
+    /// Calls that returned a word.
+    pub sample_success: u64,
+    /// Failures with `φ > 1` at the base (Theorem 2's `Fail₁`).
+    pub fail_phi_gt_one: u64,
+    /// Failures of the final coin flip (`Fail₂`).
+    pub fail_rejected: u64,
+    /// Failures because every branch estimate was zero (possible only
+    /// under noise injection or exhausted estimates).
+    pub fail_dead_end: u64,
+    /// Cells whose sample set needed padding (Algorithm 3 lines 27–30).
+    pub padded_cells: u64,
+    /// Padding entries appended in total.
+    pub padded_entries: u64,
+    /// Genuine (non-padding) samples stored across all cells.
+    pub samples_stored: u64,
+    /// (state, level) cells processed by the DP.
+    pub cells_processed: u64,
+    /// Cells skipped as unreachable or dead (D6).
+    pub cells_skipped: u64,
+    /// Wall-clock duration of the run.
+    pub wall: Duration,
+}
+
+impl RunStats {
+    /// Observed rejection rate of `sample()`; Theorem 2(2) bounds it by
+    /// `1 − 2/(3e²) ≈ 0.91` under paper parameters.
+    pub fn rejection_rate(&self) -> f64 {
+        if self.sample_calls == 0 {
+            return 0.0;
+        }
+        1.0 - self.sample_success as f64 / self.sample_calls as f64
+    }
+
+    /// Memo hit rate of the sampler's union lookups.
+    pub fn memo_hit_rate(&self) -> f64 {
+        let total = self.memo_hits + self.memo_misses;
+        if total == 0 {
+            return 0.0;
+        }
+        self.memo_hits as f64 / total as f64
+    }
+
+    /// Mean genuine samples stored per processed cell — the measured
+    /// counterpart of the paper's "samples per state" (§1).
+    pub fn samples_per_cell(&self) -> f64 {
+        if self.cells_processed == 0 {
+            return 0.0;
+        }
+        self.samples_stored as f64 / self.cells_processed as f64
+    }
+
+    /// Accumulates another run's counters (for aggregate reporting).
+    pub fn merge(&mut self, other: &RunStats) {
+        self.membership_ops += other.membership_ops;
+        self.appunion_calls += other.appunion_calls;
+        self.memo_hits += other.memo_hits;
+        self.memo_misses += other.memo_misses;
+        self.sample_calls += other.sample_calls;
+        self.sample_success += other.sample_success;
+        self.fail_phi_gt_one += other.fail_phi_gt_one;
+        self.fail_rejected += other.fail_rejected;
+        self.fail_dead_end += other.fail_dead_end;
+        self.padded_cells += other.padded_cells;
+        self.padded_entries += other.padded_entries;
+        self.samples_stored += other.samples_stored;
+        self.cells_processed += other.cells_processed;
+        self.cells_skipped += other.cells_skipped;
+        self.wall += other.wall;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates_with_zero_denominators() {
+        let s = RunStats::default();
+        assert_eq!(s.rejection_rate(), 0.0);
+        assert_eq!(s.memo_hit_rate(), 0.0);
+        assert_eq!(s.samples_per_cell(), 0.0);
+    }
+
+    #[test]
+    fn rejection_rate() {
+        let s = RunStats { sample_calls: 10, sample_success: 3, ..Default::default() };
+        assert!((s.rejection_rate() - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = RunStats { membership_ops: 5, sample_calls: 2, ..Default::default() };
+        let b = RunStats { membership_ops: 7, sample_calls: 1, ..Default::default() };
+        a.merge(&b);
+        assert_eq!(a.membership_ops, 12);
+        assert_eq!(a.sample_calls, 3);
+    }
+}

@@ -1,0 +1,150 @@
+//! Per-(state, level) sample storage — the paper's `S(qℓ)`.
+//!
+//! Each entry pairs a word from `L(qℓ)` with its *reachable-state set*
+//! `reach(w)`, which is what makes membership-oracle queries `O(1)`
+//! bit-tests (paper §4.3): `w ∈ L(pℓ)` iff `p ∈ reach(w)`.
+//!
+//! Padding (Algorithm 3 lines 27–30) repeats one fixed witness word; it
+//! is stored once with a repetition count rather than physically cloned.
+
+use fpras_automata::{StateSet, Word};
+
+/// One stored sample: a word plus its reachable-state set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SampleEntry {
+    /// A word in `L(qℓ)`.
+    pub word: Word,
+    /// States reachable from the initial state via `word`.
+    pub reach: StateSet,
+}
+
+/// The multiset `S(qℓ)`: genuine samples followed by logical padding.
+#[derive(Debug, Clone, Default)]
+pub struct SampleSet {
+    entries: Vec<SampleEntry>,
+    pad: Option<SampleEntry>,
+    pad_count: usize,
+}
+
+impl SampleSet {
+    /// The empty set (used for states with `L(qℓ) = ∅`).
+    pub fn empty() -> Self {
+        SampleSet::default()
+    }
+
+    /// A set consisting of one entry repeated `count` times — the shape of
+    /// the base case `S(I⁰) = (λ, λ, …)` and of pure-padding sets.
+    pub fn repeated(entry: SampleEntry, count: usize) -> Self {
+        SampleSet { entries: Vec::new(), pad: Some(entry), pad_count: count }
+    }
+
+    /// Appends one genuine sample.
+    pub fn push(&mut self, entry: SampleEntry) {
+        debug_assert_eq!(self.pad_count, 0, "cannot append after padding");
+        self.entries.push(entry);
+    }
+
+    /// Pads with `extra` repetitions of `entry` (Algorithm 3 lines 27–30).
+    pub fn pad(&mut self, entry: SampleEntry, extra: usize) {
+        debug_assert!(self.pad.is_none(), "pad may be applied once");
+        if extra > 0 {
+            self.pad = Some(entry);
+            self.pad_count = extra;
+        }
+    }
+
+    /// Number of genuine (non-padding) samples.
+    pub fn genuine_len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Total logical length including padding — the paper's `|S(qℓ)|`.
+    pub fn len(&self) -> usize {
+        self.entries.len() + self.pad_count
+    }
+
+    /// True iff no samples at all are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Logical indexing: genuine entries first, then the padding entry.
+    ///
+    /// # Panics
+    /// Panics if `idx >= self.len()`.
+    #[inline]
+    pub fn get(&self, idx: usize) -> &SampleEntry {
+        if idx < self.entries.len() {
+            &self.entries[idx]
+        } else {
+            debug_assert!(idx < self.len(), "sample index {idx} out of bounds {}", self.len());
+            self.pad.as_ref().expect("index beyond genuine entries requires padding")
+        }
+    }
+
+    /// Iterates over the logical multiset (padding repeated).
+    pub fn iter(&self) -> impl Iterator<Item = &SampleEntry> + '_ {
+        (0..self.len()).map(|i| self.get(i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(bit: u8) -> SampleEntry {
+        SampleEntry {
+            word: Word::from_symbols(vec![bit]),
+            reach: StateSet::singleton(4, bit as usize),
+        }
+    }
+
+    #[test]
+    fn empty_set() {
+        let s = SampleSet::empty();
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+        assert_eq!(s.genuine_len(), 0);
+    }
+
+    #[test]
+    fn push_then_get() {
+        let mut s = SampleSet::empty();
+        s.push(entry(0));
+        s.push(entry(1));
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.get(0).word.symbols(), &[0]);
+        assert_eq!(s.get(1).word.symbols(), &[1]);
+    }
+
+    #[test]
+    fn padding_is_logical() {
+        let mut s = SampleSet::empty();
+        s.push(entry(0));
+        s.pad(entry(1), 3);
+        assert_eq!(s.len(), 4);
+        assert_eq!(s.genuine_len(), 1);
+        for i in 1..4 {
+            assert_eq!(s.get(i).word.symbols(), &[1]);
+        }
+        assert_eq!(s.iter().count(), 4);
+    }
+
+    #[test]
+    fn repeated_base_case() {
+        let s = SampleSet::repeated(
+            SampleEntry { word: Word::empty(), reach: StateSet::singleton(4, 0) },
+            100,
+        );
+        assert_eq!(s.len(), 100);
+        assert_eq!(s.genuine_len(), 0);
+        assert!(s.get(99).word.is_empty());
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_bounds_get_panics() {
+        let s = SampleSet::empty();
+        let _ = s.get(0);
+    }
+}

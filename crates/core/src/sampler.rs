@@ -1,0 +1,229 @@
+//! Algorithm 2: the backward almost-uniform sampler.
+//!
+//! `sample(ℓ, Pℓ, w, φ, β, η)` extends the suffix `w` backwards, one
+//! symbol per level. At level `ℓ` with frontier `Pℓ` it estimates, for
+//! every symbol `b`, the size of `⋃_{p ∈ P_bℓ⁻¹} L(p^{ℓ-1})` where
+//! `P_b = ⋃_{p∈P} Pred(p, b)` (lines 9–11), picks `b` proportionally to
+//! those estimates (line 13), divides the carried probability `φ` by the
+//! branch probability and recurses. At the base it returns the built word
+//! with probability `φ` (lines 4–6); `φ > 1` is the `Fail₁` event, a
+//! tails coin is `Fail₂` (Theorem 2).
+//!
+//! The implementation is iterative (the recursion is a simple loop), uses
+//! [`ExtFloat`] for `φ` (which starts near `1/N(qℓ)`, far below `f64`
+//! range for large `n`), and optionally memoizes the union estimates per
+//! `(level, frontier)` — see DESIGN.md D4 and the `memoize_unions` knob.
+
+use crate::appunion::{app_union, UnionSetInput};
+use crate::params::Params;
+use crate::run_stats::RunStats;
+use crate::table::{MemoKey, RunTable, SampleOutcome, UnionMemo};
+use fpras_automata::{Nfa, StateId, StateSet, Unrolling, Word};
+use fpras_numeric::{sample_extfloat_weights, ExtFloat};
+use rand::{Rng, RngExt};
+
+/// Estimates `|⋃_{p ∈ frontier} L(p^level)|`, consulting and filling the
+/// memo when enabled.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn union_size<R: Rng + ?Sized>(
+    params: &Params,
+    table: &RunTable,
+    memo: &mut UnionMemo,
+    n_total: usize,
+    level: usize,
+    frontier: &StateSet,
+    rng: &mut R,
+    stats: &mut RunStats,
+) -> ExtFloat {
+    if params.memoize_unions {
+        if let Some(&v) = memo.get(&MemoKey::new(level, frontier)) {
+            stats.memo_hits += 1;
+            return v;
+        }
+        stats.memo_misses += 1;
+    }
+    let inputs: Vec<UnionSetInput<'_>> = frontier
+        .iter()
+        .filter_map(|p| {
+            let cell = table.cell(level, p);
+            if cell.n_est.is_zero() {
+                None
+            } else {
+                Some(UnionSetInput {
+                    samples: &cell.samples,
+                    size_est: cell.n_est,
+                    state: p as StateId,
+                })
+            }
+        })
+        .collect();
+    let eps_sz = params.eps_sz_at_level(params.beta_count, level + 1);
+    let est = app_union(
+        params,
+        params.beta_sample,
+        params.delta_sample_inner(n_total),
+        eps_sz,
+        &inputs,
+        table.num_states(),
+        rng,
+        stats,
+    );
+    if params.memoize_unions {
+        memo.insert(MemoKey::new(level, frontier), est.value);
+    }
+    est.value
+}
+
+/// Runs one trial of Algorithm 2 from the singleton frontier `{start}` at
+/// `level`, i.e. the call `sample(ℓ, {qℓ}, λ, γ₀, β, η)` of Algorithm 3
+/// line 23.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn sample_word<R: Rng + ?Sized>(
+    params: &Params,
+    nfa: &Nfa,
+    unroll: &Unrolling,
+    table: &RunTable,
+    memo: &mut UnionMemo,
+    n_total: usize,
+    start: StateId,
+    level: usize,
+    rng: &mut R,
+    stats: &mut RunStats,
+) -> SampleOutcome {
+    stats.sample_calls += 1;
+    let n_start = table.cell(level, start as usize).n_est;
+    if n_start.is_zero() {
+        stats.fail_dead_end += 1;
+        return SampleOutcome::DeadEnd;
+    }
+    // γ₀ = gamma_scale / N(qℓ) (Algorithm 3 line 23).
+    let mut phi = ExtFloat::from_f64(params.gamma_scale) / n_start;
+
+    let k = nfa.alphabet().size();
+    let mut frontier = StateSet::singleton(table.num_states(), start as usize);
+    let mut rev_syms: Vec<u8> = Vec::with_capacity(level);
+
+    for ell in (1..=level).rev() {
+        // Lines 8–11: per-symbol predecessor frontiers and union sizes.
+        let mut branch_sizes = Vec::with_capacity(k);
+        let mut branch_fronts = Vec::with_capacity(k);
+        for sym in 0..k as u8 {
+            let mut fb = nfa.step_back(&frontier, sym);
+            fb.intersect_with(unroll.reachable(ell - 1));
+            let sz = if fb.is_empty() {
+                ExtFloat::ZERO
+            } else {
+                union_size(params, table, memo, n_total, ell - 1, &fb, rng, stats)
+            };
+            branch_sizes.push(sz);
+            branch_fronts.push(fb);
+        }
+        let total: ExtFloat = branch_sizes.iter().copied().sum();
+        if total.is_zero() {
+            stats.fail_dead_end += 1;
+            return SampleOutcome::DeadEnd;
+        }
+        // Line 13: pick b with probability sz_b / Σ sz.
+        let Some(choice) = sample_extfloat_weights(rng, &branch_sizes) else {
+            stats.fail_dead_end += 1;
+            return SampleOutcome::DeadEnd;
+        };
+        // Line 16's recursive call carries φ / pr_b.
+        phi = phi * total / branch_sizes[choice];
+        rev_syms.push(choice as u8);
+        frontier = std::mem::replace(&mut branch_fronts[choice], StateSet::empty(0));
+    }
+
+    // Base case (lines 4–6). The frontier must contain the initial state:
+    // every chosen branch had a positive union estimate, and level-0
+    // estimates are positive only for the initial state.
+    debug_assert!(
+        frontier.contains(nfa.initial() as usize),
+        "sampled path must lead back to the initial state"
+    );
+    if phi > ExtFloat::ONE {
+        stats.fail_phi_gt_one += 1;
+        return SampleOutcome::FailPhi;
+    }
+    if rng.random_range(0.0..1.0) < phi.to_f64() {
+        stats.sample_success += 1;
+        SampleOutcome::Word(Word::from_reversed(rev_syms))
+    } else {
+        stats.fail_rejected += 1;
+        SampleOutcome::FailCoin
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::counter::FprasRun;
+    use fpras_automata::{Alphabet, NfaBuilder};
+    use rand::{rngs::SmallRng, SeedableRng};
+
+    /// End-to-end sampler behaviour is exercised through `FprasRun` (the
+    /// table must be populated level by level first); these tests focus on
+    /// the per-call contract.
+    fn all_words_nfa() -> Nfa {
+        let mut b = NfaBuilder::new(Alphabet::binary());
+        let q = b.add_state();
+        b.set_initial(q);
+        b.add_accepting(q);
+        b.add_transition(q, 0, q);
+        b.add_transition(q, 1, q);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn sampled_words_are_in_language() {
+        let nfa = all_words_nfa();
+        let params = Params::practical(0.3, 0.1, 1, 6);
+        let mut rng = SmallRng::seed_from_u64(5);
+        let run = FprasRun::run(&nfa, 6, &params, &mut rng).unwrap();
+        let (table, memo_nfa, unroll) = run.parts_for_test();
+        let mut memo = UnionMemo::new();
+        let mut stats = RunStats::default();
+        let mut successes = 0;
+        for _ in 0..200 {
+            match sample_word(
+                &params, memo_nfa, unroll, table, &mut memo, 6, 0, 6, &mut rng, &mut stats,
+            ) {
+                SampleOutcome::Word(w) => {
+                    assert_eq!(w.len(), 6);
+                    successes += 1;
+                }
+                SampleOutcome::FailPhi => panic!("phi > 1 should not occur with accurate N"),
+                _ => {}
+            }
+        }
+        // Acceptance ≈ gamma_scale ≈ 0.245 when estimates are accurate.
+        assert!(successes > 10, "successes {successes}");
+        assert_eq!(stats.sample_calls, 200);
+        assert_eq!(
+            stats.sample_success + stats.fail_rejected + stats.fail_phi_gt_one
+                + stats.fail_dead_end,
+            200
+        );
+    }
+
+    #[test]
+    fn dead_start_is_dead_end() {
+        let nfa = all_words_nfa();
+        let params = Params::practical(0.3, 0.1, 1, 4);
+        let mut rng = SmallRng::seed_from_u64(6);
+        let run = FprasRun::run(&nfa, 4, &params, &mut rng).unwrap();
+        let (table, memo_nfa, unroll) = run.parts_for_test();
+        let mut memo = UnionMemo::new();
+        let mut stats = RunStats::default();
+        // Level 2 cell exists, but ask from a table whose level-3 cells we
+        // pretend are dead by sampling a state id that was never populated:
+        // the all-words NFA has one state, so instead check a level with a
+        // zero estimate via a fresh table.
+        let empty_table = RunTable::new(1, 4);
+        let out = sample_word(
+            &params, memo_nfa, unroll, &empty_table, &mut memo, 4, 0, 4, &mut rng, &mut stats,
+        );
+        assert_eq!(out, SampleOutcome::DeadEnd);
+        let _ = table;
+    }
+}

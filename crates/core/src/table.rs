@@ -1,0 +1,131 @@
+//! The dynamic-programming table of Algorithm 3.
+//!
+//! One [`Cell`] per `(state q, level ℓ)` pair holds the count estimate
+//! `N(qℓ)` and the sample multiset `S(qℓ)`. The sampler's union memo
+//! (DESIGN.md D4) lives alongside: a map from `(level, frontier)` to the
+//! estimated size of `⋃_{p ∈ frontier} L(p^level)`, seeded by the count
+//! phase and extended lazily during sampling.
+
+use crate::sample_set::SampleSet;
+use fpras_automata::{StateSet, Word};
+use fpras_numeric::ExtFloat;
+use std::collections::HashMap;
+
+/// State of one `(q, ℓ)` cell.
+#[derive(Debug, Clone)]
+pub struct Cell {
+    /// The estimate `N(qℓ) ≈ |L(qℓ)|` (zero for unreachable/dead cells).
+    pub n_est: ExtFloat,
+    /// The sample multiset `S(qℓ)`.
+    pub samples: SampleSet,
+}
+
+/// The `(n+1) × m` table of cells.
+#[derive(Debug)]
+pub struct RunTable {
+    m: usize,
+    cells: Vec<Cell>,
+}
+
+impl RunTable {
+    /// Creates an all-zero table for `m` states and levels `0..=n`.
+    pub fn new(m: usize, n: usize) -> Self {
+        let mut cells = Vec::new();
+        cells.resize_with(m * (n + 1), || Cell { n_est: ExtFloat::ZERO, samples: SampleSet::empty() });
+        RunTable { m, cells }
+    }
+
+    /// Read access to `(q, ℓ)`.
+    #[inline]
+    pub fn cell(&self, level: usize, q: usize) -> &Cell {
+        &self.cells[level * self.m + q]
+    }
+
+    /// Write access to `(q, ℓ)`.
+    #[inline]
+    pub fn cell_mut(&mut self, level: usize, q: usize) -> &mut Cell {
+        &mut self.cells[level * self.m + q]
+    }
+
+    /// Number of states per level.
+    pub fn num_states(&self) -> usize {
+        self.m
+    }
+}
+
+/// Memo key: the level of the predecessor sets plus the frontier bits.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct MemoKey {
+    /// Level `ℓ` of the sets `L(pℓ)` being unioned.
+    pub level: u32,
+    /// Raw bitset words of the frontier.
+    pub frontier: Box<[u64]>,
+}
+
+impl MemoKey {
+    /// Builds a key from a frontier set.
+    pub fn new(level: usize, frontier: &StateSet) -> Self {
+        MemoKey { level: level as u32, frontier: frontier.words().into() }
+    }
+}
+
+/// Memoized union sizes for the sampler.
+pub type UnionMemo = HashMap<MemoKey, ExtFloat>;
+
+/// Outcome of one `sample()` invocation (Algorithm 2).
+#[derive(Debug, Clone, PartialEq)]
+pub enum SampleOutcome {
+    /// A word was produced.
+    Word(Word),
+    /// `φ > 1` at the base — Theorem 2's `Fail₁`.
+    FailPhi,
+    /// The final acceptance coin came up tails — `Fail₂`.
+    FailCoin,
+    /// Every branch estimate was zero; no word can be emitted from here.
+    DeadEnd,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_table_is_zero() {
+        let t = RunTable::new(3, 2);
+        for level in 0..=2 {
+            for q in 0..3 {
+                assert!(t.cell(level, q).n_est.is_zero());
+                assert!(t.cell(level, q).samples.is_empty());
+            }
+        }
+        assert_eq!(t.num_states(), 3);
+    }
+
+    #[test]
+    fn cell_addressing_is_disjoint() {
+        let mut t = RunTable::new(2, 2);
+        t.cell_mut(1, 0).n_est = ExtFloat::from_u64(7);
+        t.cell_mut(0, 1).n_est = ExtFloat::from_u64(9);
+        assert_eq!(t.cell(1, 0).n_est.to_f64(), 7.0);
+        assert_eq!(t.cell(0, 1).n_est.to_f64(), 9.0);
+        assert!(t.cell(1, 1).n_est.is_zero());
+    }
+
+    #[test]
+    fn memo_key_equality() {
+        let a = StateSet::from_iter(100, [3, 64]);
+        let b = StateSet::from_iter(100, [3, 64]);
+        let c = StateSet::from_iter(100, [3]);
+        assert_eq!(MemoKey::new(2, &a), MemoKey::new(2, &b));
+        assert_ne!(MemoKey::new(2, &a), MemoKey::new(3, &b));
+        assert_ne!(MemoKey::new(2, &a), MemoKey::new(2, &c));
+    }
+
+    #[test]
+    fn memo_round_trip() {
+        let mut memo = UnionMemo::new();
+        let f = StateSet::from_iter(10, [1, 2]);
+        memo.insert(MemoKey::new(1, &f), ExtFloat::from_u64(42));
+        assert_eq!(memo.get(&MemoKey::new(1, &f)).unwrap().to_f64(), 42.0);
+    }
+}

@@ -1,0 +1,594 @@
+//! Arbitrary-precision unsigned integers.
+//!
+//! Exact #NFA counts reach `2^n` for words of length `n`, so the exact
+//! counters in `fpras-automata` need integers wider than `u128`. The
+//! offline dependency set does not include a big-number crate, so this is
+//! a small, self-contained implementation: little-endian `u64` limbs with
+//! schoolbook multiplication. The FPRAS itself never touches `BigUint` on
+//! its hot path (it works in [`crate::ExtFloat`]); this type is used by
+//! ground-truth counters, workload bookkeeping and result formatting, so
+//! simplicity wins over asymptotic cleverness here.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, AddAssign, Mul, Shl, Sub};
+use std::str::FromStr;
+
+/// An arbitrary-precision unsigned integer.
+///
+/// Invariant: `limbs` is little-endian and never has trailing zero limbs;
+/// zero is represented by an empty limb vector.
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct BigUint {
+    limbs: Vec<u64>,
+}
+
+impl BigUint {
+    /// The value 0.
+    pub fn zero() -> Self {
+        BigUint { limbs: Vec::new() }
+    }
+
+    /// The value 1.
+    pub fn one() -> Self {
+        BigUint { limbs: vec![1] }
+    }
+
+    /// Builds from a `u64`.
+    pub fn from_u64(v: u64) -> Self {
+        if v == 0 {
+            Self::zero()
+        } else {
+            BigUint { limbs: vec![v] }
+        }
+    }
+
+    /// Builds from a `u128`.
+    pub fn from_u128(v: u128) -> Self {
+        let lo = v as u64;
+        let hi = (v >> 64) as u64;
+        let mut out = BigUint { limbs: vec![lo, hi] };
+        out.normalize();
+        out
+    }
+
+    /// `2^k`.
+    pub fn pow2(k: usize) -> Self {
+        let limb = k / 64;
+        let bit = k % 64;
+        let mut limbs = vec![0u64; limb + 1];
+        limbs[limb] = 1u64 << bit;
+        BigUint { limbs }
+    }
+
+    /// `base^exp` by repeated squaring.
+    pub fn pow(base: u64, exp: usize) -> Self {
+        let mut result = Self::one();
+        let mut b = Self::from_u64(base);
+        let mut e = exp;
+        while e > 0 {
+            if e & 1 == 1 {
+                result = &result * &b;
+            }
+            b = &b * &b;
+            e >>= 1;
+        }
+        result
+    }
+
+    /// True iff the value is 0.
+    pub fn is_zero(&self) -> bool {
+        self.limbs.is_empty()
+    }
+
+    /// Number of significant bits (0 for the value 0).
+    pub fn bit_len(&self) -> usize {
+        match self.limbs.last() {
+            None => 0,
+            Some(&top) => 64 * (self.limbs.len() - 1) + (64 - top.leading_zeros() as usize),
+        }
+    }
+
+    /// The value as `u64` if it fits.
+    pub fn to_u64(&self) -> Option<u64> {
+        match self.limbs.len() {
+            0 => Some(0),
+            1 => Some(self.limbs[0]),
+            _ => None,
+        }
+    }
+
+    /// The value as `u128` if it fits.
+    pub fn to_u128(&self) -> Option<u128> {
+        match self.limbs.len() {
+            0 => Some(0),
+            1 => Some(self.limbs[0] as u128),
+            2 => Some(self.limbs[0] as u128 | ((self.limbs[1] as u128) << 64)),
+            _ => None,
+        }
+    }
+
+    /// Nearest `f64`, `f64::INFINITY` if out of range.
+    ///
+    /// Uses the top 128 bits for the mantissa so the conversion is exact
+    /// up to `f64` precision regardless of magnitude.
+    pub fn to_f64(&self) -> f64 {
+        let bits = self.bit_len();
+        if bits == 0 {
+            return 0.0;
+        }
+        if bits <= 64 {
+            return self.limbs[0] as f64;
+        }
+        // Take the top two limbs and scale by the discarded bit count.
+        let top = self.limbs.len() - 1;
+        let hi = self.limbs[top] as f64;
+        let lo = self.limbs[top - 1] as f64;
+        let scale = (top - 1) * 64;
+        let val = hi * 2f64.powi(64) + lo;
+        if scale > 900 {
+            // Exceeds f64 exponent range once combined.
+            let log2 = val.log2() + scale as f64;
+            if log2 >= 1024.0 {
+                return f64::INFINITY;
+            }
+        }
+        val * 2f64.powi(scale as i32)
+    }
+
+    /// `log2` of the value as `f64`; `-inf` for 0.
+    pub fn log2(&self) -> f64 {
+        let bits = self.bit_len();
+        if bits == 0 {
+            return f64::NEG_INFINITY;
+        }
+        if bits <= 64 {
+            return (self.limbs[0] as f64).log2();
+        }
+        let top = self.limbs.len() - 1;
+        let hi = self.limbs[top] as f64;
+        let lo = self.limbs[top - 1] as f64;
+        (hi * 2f64.powi(64) + lo).log2() + ((top - 1) * 64) as f64
+    }
+
+    /// Checked subtraction; `None` if `other > self`.
+    pub fn checked_sub(&self, other: &BigUint) -> Option<BigUint> {
+        if self < other {
+            return None;
+        }
+        let mut limbs = self.limbs.clone();
+        let mut borrow = 0u64;
+        for (i, limb) in limbs.iter_mut().enumerate() {
+            let rhs = other.limbs.get(i).copied().unwrap_or(0);
+            let (v1, b1) = limb.overflowing_sub(rhs);
+            let (v2, b2) = v1.overflowing_sub(borrow);
+            *limb = v2;
+            borrow = (b1 as u64) + (b2 as u64);
+        }
+        debug_assert_eq!(borrow, 0);
+        let mut out = BigUint { limbs };
+        out.normalize();
+        Some(out)
+    }
+
+    /// Multiplies by a `u64` in place.
+    pub fn mul_u64(&self, rhs: u64) -> BigUint {
+        if rhs == 0 || self.is_zero() {
+            return Self::zero();
+        }
+        let mut limbs = Vec::with_capacity(self.limbs.len() + 1);
+        let mut carry = 0u128;
+        for &l in &self.limbs {
+            let prod = l as u128 * rhs as u128 + carry;
+            limbs.push(prod as u64);
+            carry = prod >> 64;
+        }
+        if carry != 0 {
+            limbs.push(carry as u64);
+        }
+        BigUint { limbs }
+    }
+
+    /// Divides by a `u64`, returning `(quotient, remainder)`.
+    ///
+    /// # Panics
+    /// Panics if `rhs == 0`.
+    pub fn div_rem_u64(&self, rhs: u64) -> (BigUint, u64) {
+        assert!(rhs != 0, "division by zero");
+        let mut quot = vec![0u64; self.limbs.len()];
+        let mut rem = 0u128;
+        for i in (0..self.limbs.len()).rev() {
+            let cur = (rem << 64) | self.limbs[i] as u128;
+            quot[i] = (cur / rhs as u128) as u64;
+            rem = cur % rhs as u128;
+        }
+        let mut q = BigUint { limbs: quot };
+        q.normalize();
+        (q, rem as u64)
+    }
+
+    /// Ratio `self / other` as `f64` (both interpreted exactly).
+    ///
+    /// Returns `f64::NAN` when both are zero and `f64::INFINITY` when only
+    /// the denominator is zero. Uses a log-space path for values outside
+    /// `f64` range.
+    pub fn ratio(&self, other: &BigUint) -> f64 {
+        if other.is_zero() {
+            return if self.is_zero() { f64::NAN } else { f64::INFINITY };
+        }
+        if self.is_zero() {
+            return 0.0;
+        }
+        if self.bit_len() < 1000 && other.bit_len() < 1000 {
+            return self.to_f64() / other.to_f64();
+        }
+        2f64.powf(self.log2() - other.log2())
+    }
+
+    fn normalize(&mut self) {
+        while self.limbs.last() == Some(&0) {
+            self.limbs.pop();
+        }
+    }
+}
+
+impl PartialOrd for BigUint {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for BigUint {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match self.limbs.len().cmp(&other.limbs.len()) {
+            Ordering::Equal => {}
+            ord => return ord,
+        }
+        for i in (0..self.limbs.len()).rev() {
+            match self.limbs[i].cmp(&other.limbs[i]) {
+                Ordering::Equal => {}
+                ord => return ord,
+            }
+        }
+        Ordering::Equal
+    }
+}
+
+impl Add for &BigUint {
+    type Output = BigUint;
+    fn add(self, rhs: &BigUint) -> BigUint {
+        let (long, short) = if self.limbs.len() >= rhs.limbs.len() {
+            (self, rhs)
+        } else {
+            (rhs, self)
+        };
+        let mut limbs = Vec::with_capacity(long.limbs.len() + 1);
+        let mut carry = 0u64;
+        for i in 0..long.limbs.len() {
+            let s = short.limbs.get(i).copied().unwrap_or(0);
+            let (v1, c1) = long.limbs[i].overflowing_add(s);
+            let (v2, c2) = v1.overflowing_add(carry);
+            limbs.push(v2);
+            carry = (c1 as u64) + (c2 as u64);
+        }
+        if carry != 0 {
+            limbs.push(carry);
+        }
+        BigUint { limbs }
+    }
+}
+
+impl Add for BigUint {
+    type Output = BigUint;
+    fn add(self, rhs: BigUint) -> BigUint {
+        &self + &rhs
+    }
+}
+
+impl AddAssign<&BigUint> for BigUint {
+    fn add_assign(&mut self, rhs: &BigUint) {
+        *self = &*self + rhs;
+    }
+}
+
+impl Sub for &BigUint {
+    type Output = BigUint;
+    fn sub(self, rhs: &BigUint) -> BigUint {
+        self.checked_sub(rhs).expect("BigUint subtraction underflow")
+    }
+}
+
+impl Mul for &BigUint {
+    type Output = BigUint;
+    fn mul(self, rhs: &BigUint) -> BigUint {
+        if self.is_zero() || rhs.is_zero() {
+            return BigUint::zero();
+        }
+        let mut limbs = vec![0u64; self.limbs.len() + rhs.limbs.len()];
+        for (i, &a) in self.limbs.iter().enumerate() {
+            let mut carry = 0u128;
+            for (j, &b) in rhs.limbs.iter().enumerate() {
+                let cur = limbs[i + j] as u128 + a as u128 * b as u128 + carry;
+                limbs[i + j] = cur as u64;
+                carry = cur >> 64;
+            }
+            let mut k = i + rhs.limbs.len();
+            while carry != 0 {
+                let cur = limbs[k] as u128 + carry;
+                limbs[k] = cur as u64;
+                carry = cur >> 64;
+                k += 1;
+            }
+        }
+        let mut out = BigUint { limbs };
+        out.normalize();
+        out
+    }
+}
+
+impl Mul for BigUint {
+    type Output = BigUint;
+    fn mul(self, rhs: BigUint) -> BigUint {
+        &self * &rhs
+    }
+}
+
+impl Shl<usize> for &BigUint {
+    type Output = BigUint;
+    fn shl(self, bits: usize) -> BigUint {
+        if self.is_zero() {
+            return BigUint::zero();
+        }
+        let limb_shift = bits / 64;
+        let bit_shift = bits % 64;
+        let mut limbs = vec![0u64; limb_shift];
+        if bit_shift == 0 {
+            limbs.extend_from_slice(&self.limbs);
+        } else {
+            let mut carry = 0u64;
+            for &l in &self.limbs {
+                limbs.push((l << bit_shift) | carry);
+                carry = l >> (64 - bit_shift);
+            }
+            if carry != 0 {
+                limbs.push(carry);
+            }
+        }
+        BigUint { limbs }
+    }
+}
+
+impl From<u64> for BigUint {
+    fn from(v: u64) -> Self {
+        Self::from_u64(v)
+    }
+}
+
+impl From<u128> for BigUint {
+    fn from(v: u128) -> Self {
+        Self::from_u128(v)
+    }
+}
+
+impl std::iter::Sum for BigUint {
+    fn sum<I: Iterator<Item = BigUint>>(iter: I) -> Self {
+        iter.fold(BigUint::zero(), |acc, x| &acc + &x)
+    }
+}
+
+impl fmt::Display for BigUint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return write!(f, "0");
+        }
+        // Peel 19 decimal digits at a time (largest power of ten in u64).
+        const CHUNK: u64 = 10_000_000_000_000_000_000;
+        let mut chunks = Vec::new();
+        let mut cur = self.clone();
+        while !cur.is_zero() {
+            let (q, r) = cur.div_rem_u64(CHUNK);
+            chunks.push(r);
+            cur = q;
+        }
+        let mut s = chunks.pop().unwrap().to_string();
+        for c in chunks.into_iter().rev() {
+            s.push_str(&format!("{c:019}"));
+        }
+        write!(f, "{s}")
+    }
+}
+
+impl fmt::Debug for BigUint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BigUint({self})")
+    }
+}
+
+/// Error returned when parsing a [`BigUint`] from a decimal string fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseBigUintError;
+
+impl fmt::Display for ParseBigUintError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid decimal string for BigUint")
+    }
+}
+
+impl std::error::Error for ParseBigUintError {}
+
+impl FromStr for BigUint {
+    type Err = ParseBigUintError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if s.is_empty() || !s.bytes().all(|b| b.is_ascii_digit()) {
+            return Err(ParseBigUintError);
+        }
+        let mut out = BigUint::zero();
+        for chunk in s.as_bytes().chunks(19) {
+            let digits = std::str::from_utf8(chunk).unwrap();
+            let val: u64 = digits.parse().map_err(|_| ParseBigUintError)?;
+            out = out.mul_u64(10u64.pow(chunk.len() as u32));
+            out += &BigUint::from_u64(val);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn zero_and_one() {
+        assert!(BigUint::zero().is_zero());
+        assert_eq!(BigUint::one().to_u64(), Some(1));
+        assert_eq!(BigUint::zero().bit_len(), 0);
+        assert_eq!(BigUint::one().bit_len(), 1);
+    }
+
+    #[test]
+    fn pow2_bit_len() {
+        for k in [0usize, 1, 63, 64, 65, 127, 128, 1000] {
+            let v = BigUint::pow2(k);
+            assert_eq!(v.bit_len(), k + 1, "2^{k}");
+        }
+    }
+
+    #[test]
+    fn pow_small() {
+        assert_eq!(BigUint::pow(2, 10).to_u64(), Some(1024));
+        assert_eq!(BigUint::pow(3, 4).to_u64(), Some(81));
+        assert_eq!(BigUint::pow(7, 0).to_u64(), Some(1));
+        assert_eq!(BigUint::pow(0, 5).to_u64(), Some(0));
+    }
+
+    #[test]
+    fn pow_large_matches_pow2() {
+        assert_eq!(BigUint::pow(2, 200), BigUint::pow2(200));
+    }
+
+    #[test]
+    fn display_round_trip_large() {
+        let v = BigUint::pow2(130);
+        let s = v.to_string();
+        assert_eq!(s, "1361129467683753853853498429727072845824");
+        assert_eq!(s.parse::<BigUint>().unwrap(), v);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!("".parse::<BigUint>().is_err());
+        assert!("12a".parse::<BigUint>().is_err());
+        assert!("-5".parse::<BigUint>().is_err());
+    }
+
+    #[test]
+    fn to_f64_huge_is_finite_or_inf() {
+        let v = BigUint::pow2(1500);
+        assert!(v.to_f64().is_infinite());
+        assert!((v.log2() - 1500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ratio_log_space() {
+        let a = BigUint::pow2(2000);
+        let b = BigUint::pow2(1999);
+        assert!((a.ratio(&b) - 2.0).abs() < 1e-9);
+        assert!((b.ratio(&a) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ratio_edge_cases() {
+        let z = BigUint::zero();
+        let one = BigUint::one();
+        assert!(z.ratio(&z).is_nan());
+        assert_eq!(one.ratio(&z), f64::INFINITY);
+        assert_eq!(z.ratio(&one), 0.0);
+    }
+
+    #[test]
+    fn checked_sub_underflow() {
+        let a = BigUint::from_u64(3);
+        let b = BigUint::from_u64(5);
+        assert!(a.checked_sub(&b).is_none());
+        assert_eq!(b.checked_sub(&a).unwrap().to_u64(), Some(2));
+    }
+
+    #[test]
+    fn shl_cross_limb() {
+        let v = BigUint::from_u64(0xFFFF_FFFF_FFFF_FFFF);
+        let shifted = &v << 4;
+        assert_eq!(shifted.to_u128(), Some(0xFFFF_FFFF_FFFF_FFFFu128 << 4));
+    }
+
+    #[test]
+    fn sum_iterator() {
+        let total: BigUint = (1u64..=100).map(BigUint::from_u64).sum();
+        assert_eq!(total.to_u64(), Some(5050));
+    }
+
+    proptest! {
+        #[test]
+        fn add_matches_u128(a in 0u64.., b in 0u64..) {
+            let big = &BigUint::from_u64(a) + &BigUint::from_u64(b);
+            prop_assert_eq!(big.to_u128(), Some(a as u128 + b as u128));
+        }
+
+        #[test]
+        fn mul_matches_u128(a in 0u64.., b in 0u64..) {
+            let big = &BigUint::from_u64(a) * &BigUint::from_u64(b);
+            prop_assert_eq!(big.to_u128(), Some(a as u128 * b as u128));
+        }
+
+        #[test]
+        fn sub_matches_u128(a in 0u128.., b in 0u128..) {
+            let (hi, lo) = if a >= b { (a, b) } else { (b, a) };
+            let big = BigUint::from_u128(hi).checked_sub(&BigUint::from_u128(lo)).unwrap();
+            prop_assert_eq!(big.to_u128(), Some(hi - lo));
+        }
+
+        #[test]
+        fn ord_matches_u128(a in 0u128.., b in 0u128..) {
+            prop_assert_eq!(
+                BigUint::from_u128(a).cmp(&BigUint::from_u128(b)),
+                a.cmp(&b)
+            );
+        }
+
+        #[test]
+        fn div_rem_matches_u128(a in 0u128.., b in 1u64..) {
+            let (q, r) = BigUint::from_u128(a).div_rem_u64(b);
+            prop_assert_eq!(q.to_u128(), Some(a / b as u128));
+            prop_assert_eq!(r as u128, a % b as u128);
+        }
+
+        #[test]
+        fn display_parse_round_trip(a in 0u128..) {
+            let v = BigUint::from_u128(a);
+            prop_assert_eq!(v.to_string().parse::<BigUint>().unwrap(), v);
+            prop_assert_eq!(BigUint::from_u128(a).to_string(), a.to_string());
+        }
+
+        #[test]
+        fn to_f64_accurate(a in 0u128..) {
+            let v = BigUint::from_u128(a).to_f64();
+            let expect = a as f64;
+            prop_assert!((v - expect).abs() <= expect * 1e-12);
+        }
+
+        #[test]
+        fn mul_u64_matches_mul(a in 0u128.., b in 0u64..) {
+            let via_mul = &BigUint::from_u128(a) * &BigUint::from_u64(b);
+            let via_mul_u64 = BigUint::from_u128(a).mul_u64(b);
+            prop_assert_eq!(via_mul, via_mul_u64);
+        }
+
+        #[test]
+        fn shl_matches_mul_pow2(a in 0u64.., k in 0usize..200) {
+            let via_shl = &BigUint::from_u64(a) << k;
+            let via_mul = &BigUint::from_u64(a) * &BigUint::pow2(k);
+            prop_assert_eq!(via_shl, via_mul);
+        }
+    }
+}

@@ -1,0 +1,115 @@
+//! Weighted index sampling.
+//!
+//! Both `AppUnion` (Algorithm 1, line 6: pick a set with probability
+//! `szᵢ/Σszⱼ`) and the backward sampler (Algorithm 2, line 13: pick the
+//! next symbol proportionally to the union estimates) need categorical
+//! draws over a handful of weights. The weight vectors here are tiny
+//! (bounded by the alphabet size or the in-degree of a state), so a linear
+//! cumulative scan beats alias-table setup.
+
+use crate::ExtFloat;
+use rand::{Rng, RngExt};
+
+/// Samples an index proportionally to non-negative `f64` weights.
+///
+/// Returns `None` if all weights are zero (or the slice is empty).
+pub fn sample_weights<R: Rng + ?Sized>(rng: &mut R, weights: &[f64]) -> Option<usize> {
+    debug_assert!(weights.iter().all(|&w| w >= 0.0 && w.is_finite()));
+    let total: f64 = weights.iter().sum();
+    if total <= 0.0 {
+        return None;
+    }
+    let mut target = rng.random_range(0.0..1.0) * total;
+    for (i, &w) in weights.iter().enumerate() {
+        target -= w;
+        if target < 0.0 {
+            return Some(i);
+        }
+    }
+    // Floating-point slack: fall back to the last non-zero weight.
+    weights.iter().rposition(|&w| w > 0.0)
+}
+
+/// Samples an index proportionally to [`ExtFloat`] weights.
+///
+/// The weights may individually exceed `f64` range; they are rescaled by
+/// the maximum exponent before the draw, which preserves the ratios
+/// exactly (weights more than ~2⁶⁴ below the maximum round to zero, which
+/// is far below any probability the algorithms care about).
+///
+/// Returns `None` if all weights are zero.
+pub fn sample_extfloat_weights<R: Rng + ?Sized>(
+    rng: &mut R,
+    weights: &[ExtFloat],
+) -> Option<usize> {
+    let max = weights
+        .iter()
+        .filter(|w| !w.is_zero())
+        .fold(ExtFloat::ZERO, |acc, w| if *w > acc { *w } else { acc });
+    if max.is_zero() {
+        return None;
+    }
+    let scaled: Vec<f64> = weights.iter().map(|w| w.ratio(&max)).collect();
+    sample_weights(rng, &scaled)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::SmallRng, SeedableRng};
+
+    #[test]
+    fn empty_and_zero_weights() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        assert_eq!(sample_weights(&mut rng, &[]), None);
+        assert_eq!(sample_weights(&mut rng, &[0.0, 0.0]), None);
+        assert_eq!(sample_extfloat_weights(&mut rng, &[ExtFloat::ZERO]), None);
+    }
+
+    #[test]
+    fn single_weight_always_chosen() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..100 {
+            assert_eq!(sample_weights(&mut rng, &[0.0, 3.0, 0.0]), Some(1));
+        }
+    }
+
+    #[test]
+    fn frequencies_match_weights() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let weights = [1.0, 2.0, 7.0];
+        let mut counts = [0usize; 3];
+        let trials = 60_000;
+        for _ in 0..trials {
+            counts[sample_weights(&mut rng, &weights).unwrap()] += 1;
+        }
+        for (i, &w) in weights.iter().enumerate() {
+            let expect = w / 10.0;
+            let got = counts[i] as f64 / trials as f64;
+            assert!((got - expect).abs() < 0.01, "index {i}: got {got}, expect {expect}");
+        }
+    }
+
+    #[test]
+    fn extfloat_weights_extreme_range() {
+        // 2^5000 vs 2^5001: ratios must survive the rescaling.
+        let mut rng = SmallRng::seed_from_u64(3);
+        let weights = [ExtFloat::pow2(5000), ExtFloat::pow2(5001)];
+        let mut counts = [0usize; 2];
+        let trials = 30_000;
+        for _ in 0..trials {
+            counts[sample_extfloat_weights(&mut rng, &weights).unwrap()] += 1;
+        }
+        let got = counts[1] as f64 / trials as f64;
+        assert!((got - 2.0 / 3.0).abs() < 0.02, "got {got}");
+    }
+
+    #[test]
+    fn extfloat_negligible_weight_never_dominates() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let weights = [ExtFloat::pow2(-10_000), ExtFloat::pow2(10_000)];
+        for _ in 0..100 {
+            assert_eq!(sample_extfloat_weights(&mut rng, &weights), Some(1));
+        }
+    }
+}

@@ -1,0 +1,316 @@
+//! The (VSet-automaton, document) → #NFA reduction.
+//!
+//! Fix a document `d` of length `n`. An answer tuple is determined by
+//! *which markers fire at which cut point* — there are `n+1` cut points
+//! (before each symbol and one at the end), and at each cut a set of
+//! opens and closes fires. Encode each cut's marker set as one symbol of
+//! the **marker alphabet** (`4^num_vars` symbols: an open mask and a
+//! close mask); an answer then *is* a word of length `n+1`.
+//!
+//! The compiled NFA accepts exactly the marker words some accepting run
+//! of the VSet-automaton produces on `d`: its states are pairs
+//! `(vset state, cut index)`, a transition on marker symbol `M` performs
+//! `M`'s operations (in any order — a small BFS) and then reads `d[i]`,
+//! and the final cut's symbol must lead into an accepting state. Several
+//! runs producing the same marker word collapse to the *same* accepted
+//! word — the reduction converts run-ambiguity into word-multiplicity,
+//! which is precisely what #NFA counts correctly and path counting does
+//! not.
+
+use crate::span::{Span, SpanTuple};
+use crate::vset::VSetAutomaton;
+use fpras_automata::alphabet::Alphabet;
+use fpras_automata::{Nfa, NfaBuilder, StateId, Word};
+use std::fmt;
+
+/// Errors from spanner compilation and decoding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpannerError {
+    /// The document contains a symbol outside the spanner's alphabet.
+    DocumentSymbol {
+        /// Offending position.
+        position: usize,
+    },
+    /// A marker word does not describe a well-formed tuple (a variable
+    /// opened twice, closed before opening, or left open). Possible only
+    /// for VSet-automata that are not functional.
+    MalformedTuple {
+        /// The variable at fault.
+        var: u8,
+    },
+}
+
+impl fmt::Display for SpannerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpannerError::DocumentSymbol { position } => {
+                write!(f, "document symbol at position {position} outside the spanner alphabet")
+            }
+            SpannerError::MalformedTuple { var } => {
+                write!(f, "marker word does not assign variable x{var} exactly once")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SpannerError {}
+
+/// A compiled spanner instance: the #NFA whose length-`(n+1)` slice is
+/// in bijection with the spanner's answers on the document.
+#[derive(Debug)]
+pub struct CompiledSpanner {
+    /// The reduced automaton over the marker alphabet.
+    pub nfa: Nfa,
+    /// Document length `n`.
+    pub doc_len: usize,
+    /// Number of spanner variables.
+    pub num_vars: usize,
+}
+
+impl CompiledSpanner {
+    /// The slice length whose words are the answers: `n + 1` cut points.
+    pub fn word_len(&self) -> usize {
+        self.doc_len + 1
+    }
+
+    /// Decodes an accepted marker word back into a span tuple.
+    ///
+    /// Fails with [`SpannerError::MalformedTuple`] if some variable is
+    /// not opened and closed exactly once (cannot happen for words of a
+    /// functional VSet-automaton's compiled language).
+    pub fn decode(&self, word: &Word) -> Result<SpanTuple, SpannerError> {
+        assert_eq!(word.len(), self.word_len(), "marker word must cover every cut point");
+        let v = self.num_vars;
+        let mut begin: Vec<Option<usize>> = vec![None; v];
+        let mut end: Vec<Option<usize>> = vec![None; v];
+        for (cut, &sym) in word.symbols().iter().enumerate() {
+            let (opens, closes) = decode_masks(sym, v);
+            for x in 0..v {
+                if opens >> x & 1 == 1 {
+                    if begin[x].is_some() {
+                        return Err(SpannerError::MalformedTuple { var: x as u8 });
+                    }
+                    begin[x] = Some(cut);
+                }
+                if closes >> x & 1 == 1 {
+                    if end[x].is_some() || begin[x].is_none() {
+                        return Err(SpannerError::MalformedTuple { var: x as u8 });
+                    }
+                    end[x] = Some(cut);
+                }
+            }
+        }
+        let mut spans = Vec::with_capacity(v);
+        for x in 0..v {
+            match (begin[x], end[x]) {
+                (Some(b), Some(e)) => spans.push(Span { begin: b, end: e }),
+                _ => return Err(SpannerError::MalformedTuple { var: x as u8 }),
+            }
+        }
+        Ok(SpanTuple { spans })
+    }
+}
+
+/// Splits a marker symbol into `(opens_mask, closes_mask)`.
+fn decode_masks(sym: u8, num_vars: usize) -> (usize, usize) {
+    let closes = (sym as usize) & ((1 << num_vars) - 1);
+    let opens = (sym as usize) >> num_vars;
+    (opens, closes)
+}
+
+/// Builds the marker alphabet for `num_vars` variables: symbol
+/// `closes | opens << num_vars`, with generated printable names.
+pub(crate) fn marker_alphabet(num_vars: usize) -> Alphabet {
+    let size = 1usize << (2 * num_vars);
+    let pool: Vec<char> = ('!'..='~').collect();
+    Alphabet::with_names(pool[..size].to_vec())
+}
+
+/// States of the VSet-automaton reachable from `q` by performing every
+/// operation in `(opens, closes)` exactly once, in any order.
+fn marker_reach(vset: &VSetAutomaton, q: StateId, opens: usize, closes: usize) -> Vec<StateId> {
+    // BFS over (state, remaining opens, remaining closes).
+    let mut seen = std::collections::HashSet::new();
+    let mut queue = vec![(q, opens, closes)];
+    let mut out = Vec::new();
+    seen.insert((q, opens, closes));
+    while let Some((s, o, c)) = queue.pop() {
+        if o == 0 && c == 0 {
+            out.push(s);
+            continue;
+        }
+        for x in 0..vset.num_vars {
+            if o >> x & 1 == 1 {
+                for &t in &vset.open[x][s as usize] {
+                    let key = (t, o & !(1 << x), c);
+                    if seen.insert(key) {
+                        queue.push(key);
+                    }
+                }
+            }
+            if c >> x & 1 == 1 {
+                for &t in &vset.close[x][s as usize] {
+                    let key = (t, o, c & !(1 << x));
+                    if seen.insert(key) {
+                        queue.push(key);
+                    }
+                }
+            }
+        }
+    }
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+/// Compiles `(vset, document)` into the answer-counting NFA.
+pub fn compile_spanner(
+    vset: &VSetAutomaton,
+    document: &Word,
+) -> Result<CompiledSpanner, SpannerError> {
+    for (position, &sym) in document.symbols().iter().enumerate() {
+        if (sym as usize) >= vset.alphabet.size() {
+            return Err(SpannerError::DocumentSymbol { position });
+        }
+    }
+    let n = document.len();
+    let m = vset.num_states;
+    let v = vset.num_vars;
+    let alphabet = marker_alphabet(v);
+    let num_marker_syms = alphabet.size() as u8;
+
+    let mut b = NfaBuilder::new(alphabet);
+    // State layout: (q, cut) at id cut·m + q, plus the single final state.
+    b.add_states(m * (n + 1) + 1);
+    let state = |q: StateId, cut: usize| -> StateId { (cut * m) as StateId + q };
+    let final_state = (m * (n + 1)) as StateId;
+    b.set_initial(state(vset.initial, 0));
+    b.add_accepting(final_state);
+
+    for cut in 0..=n {
+        for q in 0..m as StateId {
+            for sym in 0..num_marker_syms {
+                let (opens, closes) = decode_masks(sym, v);
+                let mids = marker_reach(vset, q, opens, closes);
+                if cut < n {
+                    let doc_sym = document.symbols()[cut];
+                    for r in mids {
+                        for &t in &vset.read[doc_sym as usize][r as usize] {
+                            b.add_transition(state(q, cut), sym, state(t, cut + 1));
+                        }
+                    }
+                } else if mids.iter().any(|&r| vset.is_accepting(r)) {
+                    b.add_transition(state(q, n), sym, final_state);
+                }
+            }
+        }
+    }
+    let nfa = b.build().expect("compiled spanner automaton is non-degenerate");
+    Ok(CompiledSpanner { nfa, doc_len: n, num_vars: v })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vset::VSetBuilder;
+    use fpras_automata::exact::count_exact;
+
+    /// `.* ⊢x 1+ x⊣ .*` — extract a non-empty all-ones span.
+    fn ones_span() -> VSetAutomaton {
+        let mut b = VSetBuilder::new(Alphabet::binary(), 1);
+        let s0 = b.add_state();
+        let s1 = b.add_state();
+        let s2 = b.add_state();
+        let s3 = b.add_state();
+        b.set_initial(s0);
+        b.add_accepting(s3);
+        for sym in [0, 1] {
+            b.read(s0, sym, s0);
+            b.read(s3, sym, s3);
+        }
+        b.open(s0, 0, s1);
+        b.read(s1, 1, s2);
+        b.read(s2, 1, s2);
+        b.close(s2, 0, s3);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn marker_alphabet_size() {
+        assert_eq!(marker_alphabet(0).size(), 1);
+        assert_eq!(marker_alphabet(1).size(), 4);
+        assert_eq!(marker_alphabet(2).size(), 16);
+        assert_eq!(marker_alphabet(3).size(), 64);
+    }
+
+    #[test]
+    fn mask_round_trip() {
+        for v in 1..=3usize {
+            for sym in 0..(1u8 << (2 * v)) {
+                let (o, c) = decode_masks(sym, v);
+                assert_eq!(((o << v) | c) as u8, sym);
+            }
+        }
+    }
+
+    #[test]
+    fn ones_span_counts_runs_of_ones() {
+        // Document 0 1 1 0 1: spans of 1s = [1,2) [1,3) [2,3) [4,5) → 4.
+        let vset = ones_span();
+        let doc = Word::from_symbols(vec![0, 1, 1, 0, 1]);
+        let compiled = compile_spanner(&vset, &doc).unwrap();
+        let count = count_exact(&compiled.nfa, compiled.word_len()).unwrap();
+        assert_eq!(count.to_u64(), Some(4));
+    }
+
+    #[test]
+    fn all_zero_document_has_no_answers() {
+        let vset = ones_span();
+        let doc = Word::from_symbols(vec![0, 0, 0]);
+        let compiled = compile_spanner(&vset, &doc).unwrap();
+        assert!(count_exact(&compiled.nfa, compiled.word_len()).unwrap().is_zero());
+    }
+
+    #[test]
+    fn empty_document_edge_case() {
+        let vset = ones_span();
+        let doc = Word::empty();
+        let compiled = compile_spanner(&vset, &doc).unwrap();
+        assert_eq!(compiled.word_len(), 1);
+        assert!(count_exact(&compiled.nfa, 1).unwrap().is_zero());
+    }
+
+    #[test]
+    fn document_symbol_validation() {
+        let vset = ones_span();
+        let doc = Word::from_symbols(vec![0, 7]);
+        assert_eq!(
+            compile_spanner(&vset, &doc).unwrap_err(),
+            SpannerError::DocumentSymbol { position: 1 }
+        );
+    }
+
+    #[test]
+    fn decode_rejects_malformed() {
+        let vset = ones_span();
+        let doc = Word::from_symbols(vec![1]);
+        let compiled = compile_spanner(&vset, &doc).unwrap();
+        // Symbol 0 = no ops at either cut: x never opened.
+        let bad = Word::from_symbols(vec![0, 0]);
+        assert_eq!(compiled.decode(&bad).unwrap_err(), SpannerError::MalformedTuple { var: 0 });
+        // Close before open.
+        let bad = Word::from_symbols(vec![1, 2]);
+        assert!(compiled.decode(&bad).is_err());
+    }
+
+    #[test]
+    fn decode_round_trip() {
+        let vset = ones_span();
+        let doc = Word::from_symbols(vec![1, 1]);
+        let compiled = compile_spanner(&vset, &doc).unwrap();
+        // Open at cut 0 (sym = 1<<1 = 2), close at cut 1 (sym = 1), nothing at cut 2.
+        let word = Word::from_symbols(vec![2, 1, 0]);
+        let tuple = compiled.decode(&word).unwrap();
+        assert_eq!(tuple.spans, vec![Span { begin: 0, end: 1 }]);
+    }
+}

@@ -1,0 +1,37 @@
+//! Document spanners: counting and sampling information-extraction
+//! results via #NFA.
+//!
+//! The paper's §1 lists information extraction among #NFA's application
+//! areas (ref \[4\]) — and counting the answers of a *document spanner*
+//! was the headline application of the Arenas–Croquevielle–Jayaram–
+//! Riveros FPRAS this paper accelerates. A spanner runs an automaton
+//! with *variable markers* over a document and extracts tuples of spans
+//! (intervals); one document can have exponentially many answer tuples,
+//! several runs can produce the *same* tuple (ambiguity!), and so
+//! counting answers is exactly the #NFA regime: easy to overcount, #P-
+//! hard to count, FPRAS-able to approximate.
+//!
+//! The pipeline:
+//!
+//! * [`vset`] — variable-set automata (`VSetAutomaton`): NFAs whose
+//!   transitions either read a document symbol or perform a marker
+//!   operation `⊢x` (open) / `x⊣` (close);
+//! * [`compile`] — the (automaton, document) → #NFA reduction: answers
+//!   of the spanner on a length-`n` document correspond one-to-one to
+//!   the length-`(n+1)` words of an NFA over the *marker-set alphabet*
+//!   (which set of opens/closes fires before each position);
+//! * [`count`] — exact counting, FPRAS estimation, and almost-uniform
+//!   sampling of answer tuples through that reduction.
+
+pub mod compile;
+pub mod count;
+pub mod span;
+pub mod vset;
+
+pub use compile::{compile_spanner, CompiledSpanner, SpannerError};
+pub use count::{
+    count_answers_exact, enumerate_answers, estimate_answers, sample_answers, SpannerEstimate,
+    SpannerFprasError,
+};
+pub use span::{Span, SpanTuple};
+pub use vset::{VSetAutomaton, VSetBuilder, VarId};

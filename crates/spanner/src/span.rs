@@ -1,0 +1,92 @@
+//! Spans and span tuples — the outputs of a document spanner.
+
+use std::fmt;
+
+/// A span `[begin, end)` over document positions (`0 ≤ begin ≤ end ≤ n`).
+///
+/// Matches the document-spanner literature's convention: a span selects
+/// the (possibly empty) substring between two cut points.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Span {
+    /// First selected position.
+    pub begin: usize,
+    /// One past the last selected position.
+    pub end: usize,
+}
+
+impl Span {
+    /// Length of the selected substring.
+    pub fn len(&self) -> usize {
+        self.end - self.begin
+    }
+
+    /// True iff the span selects the empty substring.
+    pub fn is_empty(&self) -> bool {
+        self.begin == self.end
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {})", self.begin, self.end)
+    }
+}
+
+/// One answer of a spanner: a span for every variable, indexed by
+/// [`crate::VarId`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SpanTuple {
+    /// `spans[x]` is variable `x`'s span.
+    pub spans: Vec<Span>,
+}
+
+impl SpanTuple {
+    /// Extracts the selected substrings from a document given as symbols.
+    pub fn project<'a, T>(&self, document: &'a [T]) -> Vec<&'a [T]> {
+        self.spans.iter().map(|s| &document[s.begin..s.end]).collect()
+    }
+}
+
+impl fmt::Display for SpanTuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, s) in self.spans.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "x{i}={s}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_geometry() {
+        let s = Span { begin: 2, end: 5 };
+        assert_eq!(s.len(), 3);
+        assert!(!s.is_empty());
+        assert!(Span { begin: 4, end: 4 }.is_empty());
+        assert_eq!(s.to_string(), "[2, 5)");
+    }
+
+    #[test]
+    fn tuple_projection() {
+        let doc = [1u8, 0, 1, 1, 0];
+        let t = SpanTuple {
+            spans: vec![Span { begin: 0, end: 2 }, Span { begin: 2, end: 4 }],
+        };
+        assert_eq!(t.project(&doc), vec![&[1u8, 0][..], &[1u8, 1][..]]);
+        assert_eq!(t.to_string(), "(x0=[0, 2), x1=[2, 4))");
+    }
+
+    #[test]
+    fn tuple_ordering_is_lexicographic() {
+        let a = SpanTuple { spans: vec![Span { begin: 0, end: 1 }] };
+        let b = SpanTuple { spans: vec![Span { begin: 0, end: 2 }] };
+        assert!(a < b);
+    }
+}

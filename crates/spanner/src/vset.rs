@@ -1,0 +1,298 @@
+//! Variable-set automata (VSet-automata) — the machine model of document
+//! spanners.
+//!
+//! A VSet-automaton is an NFA whose transitions either *read* one
+//! document symbol or perform a *marker operation*: open a variable
+//! (`⊢x`, the span's begin cut) or close it (`x⊣`, the end cut). An
+//! accepting run over a document induces a [`crate::SpanTuple`]; the
+//! spanner's answer set is the set of distinct tuples over all accepting
+//! runs — *distinct* being the operative word: many runs can induce the
+//! same tuple, which is why counting answers is #NFA-hard and why naive
+//! run counting overcounts.
+
+use fpras_automata::alphabet::{Alphabet, Symbol};
+use fpras_automata::StateId;
+use std::fmt;
+
+/// A variable identifier, dense in `0..num_vars`. At most
+/// [`MAX_VARS`] variables are supported (the compiled marker alphabet
+/// has `4^num_vars` symbols).
+pub type VarId = u8;
+
+/// Maximum supported variable count (marker alphabet size `4³ = 64`).
+pub const MAX_VARS: usize = 3;
+
+/// One VSet transition action.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum VAction {
+    /// Consume one document symbol.
+    Read(Symbol),
+    /// Open variable `x` (record the span begin at the current position).
+    Open(VarId),
+    /// Close variable `x` (record the span end at the current position).
+    Close(VarId),
+}
+
+/// A variable-set automaton.
+///
+/// Construct through [`VSetBuilder`]. The structure is deliberately
+/// lightweight — adjacency lists per action kind — because the heavy
+/// lifting happens after compilation to a plain [`fpras_automata::Nfa`].
+#[derive(Clone)]
+pub struct VSetAutomaton {
+    pub(crate) alphabet: Alphabet,
+    pub(crate) num_vars: usize,
+    pub(crate) num_states: usize,
+    pub(crate) initial: StateId,
+    pub(crate) accepting: Vec<bool>,
+    /// `read[sym][q]` = states reachable from `q` reading `sym`.
+    pub(crate) read: Vec<Vec<Vec<StateId>>>,
+    /// `open[x][q]` = states reachable from `q` via `⊢x`.
+    pub(crate) open: Vec<Vec<Vec<StateId>>>,
+    /// `close[x][q]` = states reachable from `q` via `x⊣`.
+    pub(crate) close: Vec<Vec<Vec<StateId>>>,
+}
+
+impl VSetAutomaton {
+    /// The document alphabet.
+    pub fn alphabet(&self) -> &Alphabet {
+        &self.alphabet
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// Number of states.
+    pub fn num_states(&self) -> usize {
+        self.num_states
+    }
+
+    /// The initial state.
+    pub fn initial(&self) -> StateId {
+        self.initial
+    }
+
+    /// True iff `q` is accepting.
+    pub fn is_accepting(&self, q: StateId) -> bool {
+        self.accepting[q as usize]
+    }
+}
+
+impl fmt::Debug for VSetAutomaton {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "VSetAutomaton(states={}, vars={}, alphabet={:?})",
+            self.num_states, self.num_vars, self.alphabet
+        )
+    }
+}
+
+/// Incremental constructor for [`VSetAutomaton`].
+///
+/// ```
+/// use fpras_spanner::VSetBuilder;
+/// use fpras_automata::Alphabet;
+///
+/// // Extract one span x of 1s: .* ⊢x 1+ x⊣ .*
+/// let mut b = VSetBuilder::new(Alphabet::binary(), 1);
+/// let s0 = b.add_state();
+/// let s1 = b.add_state();
+/// let s2 = b.add_state();
+/// let s3 = b.add_state();
+/// b.set_initial(s0);
+/// b.add_accepting(s3);
+/// for sym in [0, 1] {
+///     b.read(s0, sym, s0);
+///     b.read(s3, sym, s3);
+/// }
+/// b.open(s0, 0, s1);
+/// b.read(s1, 1, s2);
+/// b.read(s2, 1, s2);
+/// b.close(s2, 0, s3);
+/// let vset = b.build().unwrap();
+/// assert_eq!(vset.num_vars(), 1);
+/// ```
+#[derive(Clone, Debug)]
+pub struct VSetBuilder {
+    alphabet: Alphabet,
+    num_vars: usize,
+    num_states: usize,
+    initial: Option<StateId>,
+    accepting: Vec<StateId>,
+    transitions: Vec<(StateId, VAction, StateId)>,
+}
+
+/// Errors from [`VSetBuilder::build`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VSetBuildError {
+    /// The automaton has no states.
+    NoStates,
+    /// No accepting state was declared.
+    NoAcceptingStates,
+}
+
+impl fmt::Display for VSetBuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VSetBuildError::NoStates => write!(f, "VSet automaton must have at least one state"),
+            VSetBuildError::NoAcceptingStates => {
+                write!(f, "VSet automaton must have an accepting state")
+            }
+        }
+    }
+}
+
+impl std::error::Error for VSetBuildError {}
+
+impl VSetBuilder {
+    /// Starts an empty automaton over `alphabet` with `num_vars`
+    /// variables.
+    ///
+    /// # Panics
+    /// Panics if `num_vars` exceeds [`MAX_VARS`].
+    pub fn new(alphabet: Alphabet, num_vars: usize) -> Self {
+        assert!(num_vars <= MAX_VARS, "at most {MAX_VARS} variables supported, got {num_vars}");
+        VSetBuilder {
+            alphabet,
+            num_vars,
+            num_states: 0,
+            initial: None,
+            accepting: Vec::new(),
+            transitions: Vec::new(),
+        }
+    }
+
+    /// Adds one state, returning its id.
+    pub fn add_state(&mut self) -> StateId {
+        let id = self.num_states as StateId;
+        self.num_states += 1;
+        id
+    }
+
+    /// Declares the initial state.
+    pub fn set_initial(&mut self, q: StateId) {
+        assert!((q as usize) < self.num_states, "initial state {q} does not exist");
+        self.initial = Some(q);
+    }
+
+    /// Marks a state accepting.
+    pub fn add_accepting(&mut self, q: StateId) {
+        assert!((q as usize) < self.num_states, "accepting state {q} does not exist");
+        self.accepting.push(q);
+    }
+
+    /// Adds a read transition `from --sym--> to`.
+    pub fn read(&mut self, from: StateId, sym: Symbol, to: StateId) {
+        assert!((sym as usize) < self.alphabet.size(), "symbol {sym} outside alphabet");
+        self.push(from, VAction::Read(sym), to);
+    }
+
+    /// Adds an open-marker transition `from --⊢x--> to`.
+    pub fn open(&mut self, from: StateId, var: VarId, to: StateId) {
+        assert!((var as usize) < self.num_vars, "variable {var} out of range");
+        self.push(from, VAction::Open(var), to);
+    }
+
+    /// Adds a close-marker transition `from --x⊣--> to`.
+    pub fn close(&mut self, from: StateId, var: VarId, to: StateId) {
+        assert!((var as usize) < self.num_vars, "variable {var} out of range");
+        self.push(from, VAction::Close(var), to);
+    }
+
+    fn push(&mut self, from: StateId, action: VAction, to: StateId) {
+        assert!((from as usize) < self.num_states, "source state {from} does not exist");
+        assert!((to as usize) < self.num_states, "target state {to} does not exist");
+        self.transitions.push((from, action, to));
+    }
+
+    /// Finalizes the automaton.
+    pub fn build(self) -> Result<VSetAutomaton, VSetBuildError> {
+        if self.num_states == 0 {
+            return Err(VSetBuildError::NoStates);
+        }
+        if self.accepting.is_empty() {
+            return Err(VSetBuildError::NoAcceptingStates);
+        }
+        let m = self.num_states;
+        let k = self.alphabet.size();
+        let mut read = vec![vec![Vec::new(); m]; k];
+        let mut open = vec![vec![Vec::new(); m]; self.num_vars];
+        let mut close = vec![vec![Vec::new(); m]; self.num_vars];
+        for (from, action, to) in self.transitions {
+            let list = match action {
+                VAction::Read(sym) => &mut read[sym as usize][from as usize],
+                VAction::Open(x) => &mut open[x as usize][from as usize],
+                VAction::Close(x) => &mut close[x as usize][from as usize],
+            };
+            list.push(to);
+        }
+        for table in [&mut read, &mut open, &mut close] {
+            for per_state in table.iter_mut() {
+                for list in per_state.iter_mut() {
+                    list.sort_unstable();
+                    list.dedup();
+                }
+            }
+        }
+        let mut accepting = vec![false; m];
+        for q in self.accepting {
+            accepting[q as usize] = true;
+        }
+        Ok(VSetAutomaton {
+            alphabet: self.alphabet,
+            num_vars: self.num_vars,
+            num_states: m,
+            initial: self.initial.unwrap_or(0),
+            accepting,
+            read,
+            open,
+            close,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_validation() {
+        let b = VSetBuilder::new(Alphabet::binary(), 1);
+        assert_eq!(b.build().unwrap_err(), VSetBuildError::NoStates);
+        let mut b = VSetBuilder::new(Alphabet::binary(), 1);
+        b.add_state();
+        assert_eq!(b.build().unwrap_err(), VSetBuildError::NoAcceptingStates);
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 3 variables")]
+    fn too_many_vars_panics() {
+        VSetBuilder::new(Alphabet::binary(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "variable 2 out of range")]
+    fn var_out_of_range_panics() {
+        let mut b = VSetBuilder::new(Alphabet::binary(), 1);
+        let q = b.add_state();
+        b.open(q, 2, q);
+    }
+
+    #[test]
+    fn adjacency_is_deduplicated() {
+        let mut b = VSetBuilder::new(Alphabet::binary(), 1);
+        let q = b.add_state();
+        b.set_initial(q);
+        b.add_accepting(q);
+        b.read(q, 0, q);
+        b.read(q, 0, q);
+        b.open(q, 0, q);
+        let vset = b.build().unwrap();
+        assert_eq!(vset.read[0][0], vec![0]);
+        assert_eq!(vset.open[0][0], vec![0]);
+        assert!(vset.is_accepting(0));
+    }
+}

@@ -1,0 +1,91 @@
+//! Deliberately ambiguous NFAs.
+//!
+//! The whole difficulty of #NFA is ambiguity: an NFA can accept a word
+//! along exponentially many runs, so counting *paths* (easy, linear DP)
+//! wildly overcounts *words*. These constructions dial ambiguity up on
+//! purpose; tests and experiments use them to verify that every counter
+//! in the workspace counts words, not runs.
+
+use fpras_automata::ops;
+use fpras_automata::{Alphabet, Nfa, NfaBuilder};
+
+/// `copies` disjoint copies of the same sub-automaton (words containing
+/// `1`), glued under one initial state: every accepted word has at least
+/// `copies` accepting runs, while the language never changes.
+pub fn redundant_copies(copies: usize) -> Nfa {
+    assert!(copies >= 1);
+    let mut b = NfaBuilder::new(Alphabet::binary());
+    let init = b.add_state();
+    b.set_initial(init);
+    for _ in 0..copies {
+        // Copy: q_wait --1--> q_acc (self-loops on both).
+        let wait = b.add_state();
+        let acc = b.add_state();
+        for sym in [0, 1] {
+            b.add_transition(wait, sym, wait);
+            b.add_transition(acc, sym, acc);
+            b.add_transition(init, sym, wait);
+        }
+        b.add_transition(wait, 1, acc);
+        b.add_transition(init, 1, acc);
+        b.add_accepting(acc);
+    }
+    b.build().expect("redundant_copies is valid")
+}
+
+/// The union of `patterns.len()` substring matchers. Overlapping pattern
+/// languages create cross-branch ambiguity — exactly the situation where
+/// summing per-branch counts double-counts and the self-reducible-union
+/// machinery earns its keep.
+pub fn overlapping_union(patterns: &[&[u8]]) -> Nfa {
+    assert!(!patterns.is_empty());
+    let mut acc = crate::families::contains_substring(patterns[0]);
+    for p in &patterns[1..] {
+        acc = ops::union(&acc, &crate::families::contains_substring(p));
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fpras_automata::exact::{count_exact, count_paths};
+
+    #[test]
+    fn redundant_copies_language_independent_of_copies() {
+        let one = redundant_copies(1);
+        let five = redundant_copies(5);
+        for n in 0..=8 {
+            assert_eq!(
+                count_exact(&one, n).unwrap(),
+                count_exact(&five, n).unwrap(),
+                "n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn path_count_scales_with_copies() {
+        let one = redundant_copies(1);
+        let five = redundant_copies(5);
+        let p1 = count_paths(&one, 8);
+        let p5 = count_paths(&five, 8);
+        // Words are the same; runs are ~5x.
+        assert!(p5 > p1.mul_u64(4), "p1={p1}, p5={p5}");
+    }
+
+    #[test]
+    fn overlapping_union_counts_words_once() {
+        // "contains 11" ∪ "contains 1" = "contains 1": the union must not
+        // double-count words matched by both.
+        let u = overlapping_union(&[&[1, 1], &[1]]);
+        let just_one = crate::families::contains_substring(&[1]);
+        for n in 0..=8 {
+            assert_eq!(
+                count_exact(&u, n).unwrap(),
+                count_exact(&just_one, n).unwrap(),
+                "n={n}"
+            );
+        }
+    }
+}

@@ -1,0 +1,393 @@
+//! Structured NFA families with known counting behaviour.
+//!
+//! Accuracy experiments need ground truth; these families either have a
+//! closed-form `|L(A_n)|` or a small enough state space that the exact
+//! determinization DP is instant. Each constructor documents its language
+//! and count so test failures are diagnosable by inspection.
+
+use fpras_automata::{Alphabet, Nfa, NfaBuilder, StateId};
+use fpras_numeric::BigUint;
+
+/// All binary words: `|L(A_n)| = 2ⁿ` (1 state, deterministic).
+pub fn all_words() -> Nfa {
+    let mut b = NfaBuilder::new(Alphabet::binary());
+    let q = b.add_state();
+    b.set_initial(q);
+    b.add_accepting(q);
+    b.add_transition(q, 0, q);
+    b.add_transition(q, 1, q);
+    b.build().expect("all_words is valid")
+}
+
+/// Words whose number of `1`s is divisible by `k`:
+/// a `k`-state deterministic ring counter.
+pub fn ones_mod_k(k: usize) -> Nfa {
+    assert!(k >= 1, "modulus must be positive");
+    let mut b = NfaBuilder::new(Alphabet::binary());
+    let first = b.add_states(k);
+    b.set_initial(first);
+    b.add_accepting(first);
+    for i in 0..k as StateId {
+        b.add_transition(i, 0, i);
+        b.add_transition(i, 1, (i + 1) % k as StateId);
+    }
+    b.build().expect("ones_mod_k is valid")
+}
+
+/// Binary numbers (MSB first, leading zeros allowed) divisible by `k`:
+/// the classic `k`-state divisibility DFA.
+pub fn divisible_by(k: u32) -> Nfa {
+    assert!(k >= 1, "modulus must be positive");
+    let mut b = NfaBuilder::new(Alphabet::binary());
+    let first = b.add_states(k as usize);
+    b.set_initial(first);
+    b.add_accepting(first);
+    for r in 0..k {
+        b.add_transition(r, 0, (2 * r) % k);
+        b.add_transition(r, 1, (2 * r + 1) % k);
+    }
+    b.build().expect("divisible_by is valid")
+}
+
+/// Words containing `pattern` as a (contiguous) substring — the standard
+/// *nondeterministic* matcher: a guess-the-start NFA with
+/// `|pattern| + 1` states. Highly ambiguous: a word with many occurrences
+/// has many accepting runs, which is what separates #paths from #words.
+pub fn contains_substring(pattern: &[u8]) -> Nfa {
+    assert!(!pattern.is_empty(), "pattern must be non-empty");
+    assert!(pattern.iter().all(|&s| s < 2), "pattern must be binary");
+    let mut b = NfaBuilder::new(Alphabet::binary());
+    let start = b.add_state();
+    b.set_initial(start);
+    for sym in [0, 1] {
+        b.add_transition(start, sym, start);
+    }
+    let mut prev = start;
+    for &sym in pattern {
+        let next = b.add_state();
+        b.add_transition(prev, sym, next);
+        prev = next;
+    }
+    b.add_accepting(prev);
+    for sym in [0, 1] {
+        b.add_transition(prev, sym, prev);
+    }
+    b.build().expect("contains_substring is valid")
+}
+
+/// The singleton language `{1ⁿ}` at slice `n = length`:
+/// `|L(A_length)| = 1`, density `2^-length`. The nemesis of naive Monte
+/// Carlo (experiment E11).
+pub fn thin_chain(length: usize) -> Nfa {
+    assert!(length >= 1);
+    let mut b = NfaBuilder::new(Alphabet::binary());
+    let first = b.add_states(length + 1);
+    b.set_initial(first);
+    b.add_accepting(length as StateId);
+    for i in 0..length as StateId {
+        b.add_transition(i, 1, i + 1);
+    }
+    b.build().expect("thin_chain is valid")
+}
+
+/// Words ending in `1` followed by exactly `k-1` arbitrary symbols — the
+/// classic `2^k`-blow-up NFA (`k+1` states, but any equivalent DFA needs
+/// `2^k` states). Exercises the exact counter's exponential regime while
+/// the FPRAS stays polynomial (experiment E11).
+pub fn kth_symbol_from_end(k: usize) -> Nfa {
+    assert!(k >= 1);
+    let mut b = NfaBuilder::new(Alphabet::binary());
+    let start = b.add_state();
+    b.set_initial(start);
+    for sym in [0, 1] {
+        b.add_transition(start, sym, start);
+    }
+    let mut prev = start;
+    for i in 0..k {
+        let next = b.add_state();
+        if i == 0 {
+            b.add_transition(prev, 1, next); // the distinguished symbol
+        } else {
+            for sym in [0, 1] {
+                b.add_transition(prev, sym, next);
+            }
+        }
+        prev = next;
+    }
+    b.add_accepting(prev);
+    b.build().expect("kth_symbol_from_end is valid")
+}
+
+/// Closed-form count for [`kth_symbol_from_end`]: words of length `n`
+/// whose `k`-th symbol from the end is `1` number `2^{n-1}` for `n ≥ k`
+/// (and 0 otherwise).
+pub fn kth_symbol_from_end_count(k: usize, n: usize) -> BigUint {
+    if n < k {
+        BigUint::zero()
+    } else {
+        BigUint::pow2(n - 1)
+    }
+}
+
+/// NFA for "the two halves of a length-`2k` word differ somewhere":
+/// guess the mismatch position, remember the bit, skip `k-1` symbols,
+/// check the mirror bit differs. `O(k)` states, but *both* exact methods
+/// explode on its length-`2k` slice — the subset construction reaches
+/// `2^k` distinct subsets and the sequential-order BDD has `2^k` width at
+/// the middle cut (its complement is half-equality). The hard regime of
+/// experiments E11/E13, where only the FPRAS answers.
+pub fn halves_differ(k: usize) -> Nfa {
+    assert!(k >= 1);
+    let mut b = NfaBuilder::new(Alphabet::binary());
+    let start = b.add_state();
+    let sink = b.add_state();
+    b.set_initial(start);
+    b.add_accepting(sink);
+    for sym in [0, 1] {
+        b.add_transition(start, sym, start);
+        b.add_transition(sink, sym, sink);
+    }
+    for bit in [0u8, 1] {
+        let chain: Vec<_> = (0..k).map(|_| b.add_state()).collect();
+        b.add_transition(start, bit, chain[0]);
+        for j in 0..k - 1 {
+            for sym in [0, 1] {
+                b.add_transition(chain[j], sym, chain[j + 1]);
+            }
+        }
+        b.add_transition(chain[k - 1], 1 - bit, sink);
+    }
+    b.build().expect("halves_differ is valid")
+}
+
+/// Closed-form count for [`halves_differ`] at its native length `2k`:
+/// all words minus the `2^k` with equal halves, `2^{2k} − 2^k`.
+pub fn halves_differ_count(k: usize) -> BigUint {
+    BigUint::pow2(2 * k).checked_sub(&BigUint::pow2(k)).expect("2^{2k} ≥ 2^k")
+}
+
+/// Words with no two consecutive `1`s — the Fibonacci language:
+/// `|L(A_n)| = F(n+2)` (with `F(1) = F(2) = 1`). A 2-state DFA whose
+/// slice counts grow like `φⁿ ≈ 1.618ⁿ`: sparse enough to embarrass
+/// naive Monte Carlo at large `n`, structured enough for closed-form
+/// ground truth at any `n`.
+pub fn no_consecutive_ones() -> Nfa {
+    let mut b = NfaBuilder::new(Alphabet::binary());
+    let after0 = b.add_state();
+    let after1 = b.add_state();
+    b.set_initial(after0);
+    b.add_accepting(after0);
+    b.add_accepting(after1);
+    b.add_transition(after0, 0, after0);
+    b.add_transition(after0, 1, after1);
+    b.add_transition(after1, 0, after0);
+    b.build().expect("no_consecutive_ones is valid")
+}
+
+/// Closed-form count for [`no_consecutive_ones`]: the Fibonacci number
+/// `F(n+2)` in exact arithmetic.
+pub fn no_consecutive_ones_count(n: usize) -> BigUint {
+    let mut a = BigUint::one(); // F(1)
+    let mut b = BigUint::one(); // F(2)
+    for _ in 0..n {
+        let next = &a + &b;
+        a = b;
+        b = next;
+    }
+    b
+}
+
+/// Words with exactly `k` ones — a `(k+2)`-state counter DFA whose slice
+/// count is the binomial coefficient `C(n, k)`.
+pub fn exactly_k_ones(k: usize) -> Nfa {
+    let mut b = NfaBuilder::new(Alphabet::binary());
+    // States 0..=k count ones seen; state k+1 is the overflow sink.
+    let first = b.add_states(k + 2);
+    b.set_initial(first);
+    b.add_accepting(k as StateId);
+    let sink = (k + 1) as StateId;
+    for i in 0..=k as StateId {
+        b.add_transition(i, 0, i);
+        b.add_transition(i, 1, if i == k as StateId { sink } else { i + 1 });
+    }
+    for sym in [0, 1] {
+        b.add_transition(sink, sym, sink);
+    }
+    b.build().expect("exactly_k_ones is valid")
+}
+
+/// Closed-form count for [`exactly_k_ones`]: `C(n, k)` in exact
+/// arithmetic (`0` when `k > n`).
+pub fn exactly_k_ones_count(n: usize, k: usize) -> BigUint {
+    if k > n {
+        return BigUint::zero();
+    }
+    // C(n, k) = Π_{i=1..k} (n - k + i) / i, dividing at each step keeps
+    // intermediates integral.
+    let mut acc = BigUint::one();
+    for i in 1..=k {
+        acc = acc.mul_u64((n - k + i) as u64);
+        let (q, r) = acc.div_rem_u64(i as u64);
+        debug_assert_eq!(r, 0, "binomial intermediate must divide");
+        acc = q;
+    }
+    acc
+}
+
+/// Closed-form count for [`all_words`]: `2ⁿ`.
+pub fn all_words_count(n: usize) -> BigUint {
+    BigUint::pow2(n)
+}
+
+/// Closed-form count for [`thin_chain`] at its native length.
+pub fn thin_chain_count(length: usize, n: usize) -> BigUint {
+    if n == length {
+        BigUint::one()
+    } else {
+        BigUint::zero()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fpras_automata::exact::{brute_force_count, count_exact};
+
+    #[test]
+    fn all_words_counts() {
+        let nfa = all_words();
+        for n in 0..12 {
+            assert_eq!(count_exact(&nfa, n).unwrap(), all_words_count(n));
+        }
+    }
+
+    #[test]
+    fn ones_mod_k_matches_brute_force() {
+        for k in 1..=4usize {
+            let nfa = ones_mod_k(k);
+            for n in 0..=8 {
+                assert_eq!(
+                    count_exact(&nfa, n).unwrap(),
+                    brute_force_count(&nfa, n),
+                    "k={k}, n={n}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ones_mod_2_closed_form() {
+        // Even number of 1s: 2^{n-1} for n ≥ 1.
+        let nfa = ones_mod_k(2);
+        for n in 1..=10usize {
+            assert_eq!(count_exact(&nfa, n).unwrap(), BigUint::pow2(n - 1));
+        }
+    }
+
+    #[test]
+    fn divisible_by_3_small_cases() {
+        let nfa = divisible_by(3);
+        // Length 2: 00=0, 11=3 → 2 words.
+        assert_eq!(count_exact(&nfa, 2).unwrap().to_u64(), Some(2));
+        for n in 0..=8 {
+            assert_eq!(count_exact(&nfa, n).unwrap(), brute_force_count(&nfa, n));
+        }
+    }
+
+    #[test]
+    fn contains_substring_matches_brute_force() {
+        for pattern in [&[1u8, 1][..], &[1, 0, 1][..], &[0][..]] {
+            let nfa = contains_substring(pattern);
+            for n in 0..=8 {
+                assert_eq!(
+                    count_exact(&nfa, n).unwrap(),
+                    brute_force_count(&nfa, n),
+                    "pattern {pattern:?}, n={n}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn thin_chain_is_singleton() {
+        let nfa = thin_chain(10);
+        for n in 0..=12 {
+            assert_eq!(count_exact(&nfa, n).unwrap(), thin_chain_count(10, n), "n={n}");
+        }
+    }
+
+    #[test]
+    fn kth_symbol_closed_form() {
+        for k in 1..=5usize {
+            let nfa = kth_symbol_from_end(k);
+            for n in 0..=9 {
+                assert_eq!(
+                    count_exact(&nfa, n).unwrap(),
+                    kth_symbol_from_end_count(k, n),
+                    "k={k}, n={n}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fibonacci_closed_form() {
+        let nfa = no_consecutive_ones();
+        for n in 0..=16usize {
+            assert_eq!(
+                count_exact(&nfa, n).unwrap(),
+                no_consecutive_ones_count(n),
+                "n={n}"
+            );
+        }
+        // Spot values: F(2)=1, F(7)=13, F(12)=144.
+        assert_eq!(no_consecutive_ones_count(0).to_u64(), Some(1));
+        assert_eq!(no_consecutive_ones_count(5).to_u64(), Some(13));
+        assert_eq!(no_consecutive_ones_count(10).to_u64(), Some(144));
+    }
+
+    #[test]
+    fn fibonacci_large_n_exact_arithmetic() {
+        // F(302) has ~63 decimal digits — well past u128.
+        let c = no_consecutive_ones_count(300);
+        assert!(c.bit_len() > 200);
+        // Fibonacci recurrence holds in BigUint.
+        let sum = &no_consecutive_ones_count(298) + &no_consecutive_ones_count(299);
+        assert_eq!(c, sum);
+    }
+
+    #[test]
+    fn binomial_closed_form() {
+        for k in 0..=4usize {
+            let nfa = exactly_k_ones(k);
+            for n in 0..=10usize {
+                assert_eq!(
+                    count_exact(&nfa, n).unwrap(),
+                    exactly_k_ones_count(n, k),
+                    "n={n}, k={k}"
+                );
+            }
+        }
+        assert_eq!(exactly_k_ones_count(10, 3).to_u64(), Some(120));
+        assert_eq!(exactly_k_ones_count(52, 5).to_u64(), Some(2_598_960));
+        assert!(exactly_k_ones_count(3, 7).is_zero());
+    }
+
+    #[test]
+    fn halves_differ_closed_form() {
+        for k in 1..=5usize {
+            let nfa = halves_differ(k);
+            assert_eq!(count_exact(&nfa, 2 * k).unwrap(), halves_differ_count(k), "k={k}");
+            assert_eq!(count_exact(&nfa, 2 * k).unwrap(), brute_force_count(&nfa, 2 * k));
+        }
+    }
+
+    #[test]
+    fn kth_symbol_dfa_blowup() {
+        // The determinization width must grow exponentially with k.
+        use fpras_automata::exact::Determinization;
+        let w4 = Determinization::build(&kth_symbol_from_end(4), 12).unwrap().max_width();
+        let w8 = Determinization::build(&kth_symbol_from_end(8), 12).unwrap().max_width();
+        assert!(w8 >= 8 * w4 / 2, "w4={w4}, w8={w8}");
+    }
+}

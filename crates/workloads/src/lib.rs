@@ -1,0 +1,20 @@
+//! Instance generators for #NFA experiments.
+//!
+//! * [`families`] — structured automata with closed-form or cheaply
+//!   computable exact counts (ground truth for accuracy experiments);
+//! * [`random`] — seeded random NFAs with controlled density (scaling
+//!   sweeps E2–E4);
+//! * [`ambiguous`] — automata with many accepting runs per word (the
+//!   hazard #NFA counters must not fall for);
+//! * [`regex_corpus`] — realistic regex-derived instances;
+//! * [`graphs`] — random labeled graphs feeding the RPQ application.
+
+pub mod ambiguous;
+pub mod families;
+pub mod graphs;
+pub mod random;
+pub mod regex_corpus;
+
+pub use graphs::{random_graph, LabeledGraph, RandomGraphConfig};
+pub use random::{random_nfa, RandomNfaConfig};
+pub use regex_corpus::{binary_corpus, CorpusEntry};

@@ -1,0 +1,139 @@
+//! Seeded random NFA generation.
+//!
+//! The scaling experiments (E2–E4) sweep `m` and `n` over random
+//! automata. The generator controls transition density per
+//! (state, symbol) and guarantees a connected, non-degenerate instance:
+//! a random spanning path keeps every state reachable, and the accepting
+//! state is drawn from the reachable set.
+
+use fpras_automata::{Alphabet, Nfa, NfaBuilder, StateId};
+use rand::{Rng, RngExt};
+
+/// Configuration for [`random_nfa`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct RandomNfaConfig {
+    /// Number of states `m`.
+    pub states: usize,
+    /// Alphabet size `k`.
+    pub alphabet: usize,
+    /// Expected number of outgoing transitions per (state, symbol); 1.0
+    /// is sparse/deterministic-ish, `m` is complete.
+    pub density: f64,
+    /// Number of accepting states (at least 1).
+    pub accepting: usize,
+}
+
+impl Default for RandomNfaConfig {
+    fn default() -> Self {
+        RandomNfaConfig { states: 8, alphabet: 2, density: 1.5, accepting: 1 }
+    }
+}
+
+/// Generates a random NFA; identical seeds give identical automata.
+pub fn random_nfa<R: Rng + ?Sized>(config: &RandomNfaConfig, rng: &mut R) -> Nfa {
+    assert!(config.states >= 1);
+    assert!((1..=62).contains(&config.alphabet));
+    assert!(config.accepting >= 1);
+    let m = config.states;
+    let k = config.alphabet;
+    let mut b = NfaBuilder::new(Alphabet::of_size(k));
+    b.add_states(m);
+    b.set_initial(0);
+
+    // Backbone: a random path 0 → π(1) → … → π(m-1) on random symbols
+    // keeps every state reachable from the initial state.
+    let mut order: Vec<StateId> = (1..m as StateId).collect();
+    for i in (1..order.len()).rev() {
+        let j = rng.random_range(0..=i);
+        order.swap(i, j);
+    }
+    let mut prev: StateId = 0;
+    for &q in &order {
+        let sym = rng.random_range(0..k) as u8;
+        b.add_transition(prev, sym, q);
+        prev = q;
+    }
+
+    // Random transitions at the requested density.
+    let p = (config.density / m as f64).clamp(0.0, 1.0);
+    for q in 0..m as StateId {
+        for sym in 0..k as u8 {
+            for t in 0..m as StateId {
+                if rng.random_bool(p) {
+                    b.add_transition(q, sym, t);
+                }
+            }
+        }
+    }
+
+    // Accepting states: the last path state is always accepting so the
+    // automaton has long words; extras are uniform.
+    let last = *order.last().unwrap_or(&0);
+    b.add_accepting(last);
+    for _ in 1..config.accepting {
+        b.add_accepting(rng.random_range(0..m) as StateId);
+    }
+    b.build().expect("random construction is always valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fpras_automata::ops::reachable_states;
+    use rand::{rngs::SmallRng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let config = RandomNfaConfig { states: 12, ..Default::default() };
+        let a = random_nfa(&config, &mut SmallRng::seed_from_u64(5));
+        let b = random_nfa(&config, &mut SmallRng::seed_from_u64(5));
+        assert_eq!(a, b);
+        let c = random_nfa(&config, &mut SmallRng::seed_from_u64(6));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn all_states_reachable() {
+        for seed in 0..20 {
+            let config = RandomNfaConfig { states: 15, density: 1.0, ..Default::default() };
+            let nfa = random_nfa(&config, &mut SmallRng::seed_from_u64(seed));
+            assert_eq!(reachable_states(&nfa).len(), 15, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn density_controls_transition_count() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let sparse = random_nfa(
+            &RandomNfaConfig { states: 30, density: 0.5, ..Default::default() },
+            &mut rng,
+        );
+        let dense = random_nfa(
+            &RandomNfaConfig { states: 30, density: 6.0, ..Default::default() },
+            &mut rng,
+        );
+        assert!(dense.num_transitions() > 3 * sparse.num_transitions());
+    }
+
+    #[test]
+    fn respects_shape_parameters() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let nfa = random_nfa(
+            &RandomNfaConfig { states: 7, alphabet: 3, density: 2.0, accepting: 3 },
+            &mut rng,
+        );
+        assert_eq!(nfa.num_states(), 7);
+        assert_eq!(nfa.alphabet().size(), 3);
+        assert!(!nfa.accepting().is_empty());
+    }
+
+    #[test]
+    fn single_state_instance() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let nfa = random_nfa(
+            &RandomNfaConfig { states: 1, alphabet: 2, density: 2.0, accepting: 1 },
+            &mut rng,
+        );
+        assert_eq!(nfa.num_states(), 1);
+    }
+}

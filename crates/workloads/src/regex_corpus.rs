@@ -1,0 +1,98 @@
+//! A small corpus of realistic regex-derived instances.
+//!
+//! RPQ and information-extraction workloads compile regexes to NFAs
+//! (paper §1); this corpus covers the operator mix such compilations
+//! produce. Each entry carries a human-readable description for the
+//! experiment tables.
+
+use fpras_automata::regex::compile_regex;
+use fpras_automata::{Alphabet, Nfa};
+
+/// One corpus entry.
+pub struct CorpusEntry {
+    /// Identifier used in experiment tables.
+    pub name: &'static str,
+    /// The pattern source.
+    pub pattern: &'static str,
+    /// What the language models.
+    pub description: &'static str,
+    /// The compiled automaton.
+    pub nfa: Nfa,
+}
+
+/// Compiles the built-in binary-alphabet corpus.
+pub fn binary_corpus() -> Vec<CorpusEntry> {
+    let alphabet = Alphabet::binary();
+    let entries: [(&str, &str, &str); 8] = [
+        ("blocks", "(00|11)*", "words built from doubled symbols"),
+        ("sparse-ones", "(0*10*10*)*0*", "even number of 1s, arbitrary spacing"),
+        ("header", "1(0|1){3}0", "fixed-shape 5-bit header: 1···0"),
+        ("no-11", "(0|10)*1?", "words with no two adjacent 1s (Fibonacci counts)"),
+        ("flag-run", "0*1{2,4}0*", "a single run of two to four 1s"),
+        ("alt-tail", "(0|1)*(01|10)", "words ending in an alternation"),
+        ("framed", "11(0|1)*11", "payload framed by 11 markers"),
+        ("parity-ish", "((0|1)(0|1))*", "even-length words"),
+    ];
+    entries
+        .into_iter()
+        .map(|(name, pattern, description)| CorpusEntry {
+            name,
+            pattern,
+            description,
+            nfa: compile_regex(pattern, &alphabet).expect("corpus patterns are valid"),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fpras_automata::exact::{brute_force_count, count_exact};
+    use fpras_numeric::BigUint;
+
+    #[test]
+    fn corpus_compiles_and_counts() {
+        for entry in binary_corpus() {
+            for n in 0..=7 {
+                assert_eq!(
+                    count_exact(&entry.nfa, n).unwrap(),
+                    brute_force_count(&entry.nfa, n),
+                    "{} at n={n}",
+                    entry.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn no_11_gives_fibonacci() {
+        // #(length-n words with no adjacent 1s) = F(n+2).
+        let entry = binary_corpus().into_iter().find(|e| e.name == "no-11").unwrap();
+        let mut fib = vec![1u64, 2];
+        for i in 2..12 {
+            let next = fib[i - 1] + fib[i - 2];
+            fib.push(next);
+        }
+        for (n, &f) in fib.iter().enumerate().take(12).skip(1) {
+            assert_eq!(
+                count_exact(&entry.nfa, n).unwrap(),
+                BigUint::from_u64(f),
+                "n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn parity_ish_counts_even_lengths_only() {
+        let entry = binary_corpus().into_iter().find(|e| e.name == "parity-ish").unwrap();
+        assert_eq!(count_exact(&entry.nfa, 4).unwrap(), BigUint::pow2(4));
+        assert!(count_exact(&entry.nfa, 5).unwrap().is_zero());
+    }
+
+    #[test]
+    fn names_unique() {
+        let corpus = binary_corpus();
+        let names: std::collections::HashSet<_> = corpus.iter().map(|e| e.name).collect();
+        assert_eq!(names.len(), corpus.len());
+    }
+}

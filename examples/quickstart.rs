@@ -1,0 +1,52 @@
+//! Quickstart: build an NFA, estimate a slice count, sample witnesses.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use fpras_automata::exact::count_exact;
+use fpras_automata::{Alphabet, NfaBuilder};
+use fpras_core::{estimate_count, FprasRun, Params, UniformGenerator};
+use rand::{rngs::SmallRng, SeedableRng};
+
+fn main() {
+    // The language of binary words containing "11", as a 3-state NFA.
+    let mut b = NfaBuilder::new(Alphabet::binary());
+    let (q0, q1, q2) = (b.add_state(), b.add_state(), b.add_state());
+    b.set_initial(q0);
+    b.add_accepting(q2);
+    b.add_transition(q0, 0, q0);
+    b.add_transition(q0, 1, q0);
+    b.add_transition(q0, 1, q1);
+    b.add_transition(q1, 1, q2);
+    b.add_transition(q2, 0, q2);
+    b.add_transition(q2, 1, q2);
+    let nfa = b.build().expect("valid automaton");
+
+    let n = 24;
+    let (eps, delta) = (0.2, 0.05);
+
+    // Approximate |L(A_n)| with the FPRAS…
+    let result = estimate_count(&nfa, n, eps, delta, 42).expect("count");
+    println!("FPRAS estimate for n = {n}:  {}", result.estimate);
+    println!("  membership ops: {}", result.stats.membership_ops);
+    println!("  samples/cell:   {:.1}", result.stats.samples_per_cell());
+
+    // …and compare with the exact determinization DP (cheap here).
+    let exact = count_exact(&nfa, n).expect("exact");
+    let rel = (result.estimate.to_f64() - exact.to_f64()).abs() / exact.to_f64();
+    println!("exact count:                 {exact}");
+    println!("relative error:              {rel:.4}  (target ε = {eps})");
+
+    // The finished run is an almost-uniform generator over the language.
+    let params = Params::practical(eps, delta, nfa.num_states(), n);
+    let mut rng = SmallRng::seed_from_u64(7);
+    let run = FprasRun::run(&nfa, n, &params, &mut rng).expect("run");
+    let mut generator = UniformGenerator::new(run);
+    println!("\nfive almost-uniform samples from L(A_{n}):");
+    for _ in 0..5 {
+        let w = generator.generate(&mut rng).expect("language is non-empty");
+        assert!(nfa.accepts(&w));
+        println!("  {}", w.display(nfa.alphabet()));
+    }
+}

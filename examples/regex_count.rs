@@ -1,0 +1,42 @@
+//! Count regex matches by length — the information-extraction shape of
+//! #NFA (paper §1): how many length-n strings match a pattern?
+//!
+//! ```text
+//! cargo run --release --example regex_count -- '(0|10)*1?' 30
+//! ```
+//! (both arguments optional).
+
+use fpras_automata::exact::count_exact;
+use fpras_automata::regex::compile_regex;
+use fpras_automata::Alphabet;
+use fpras_core::estimate_count;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let pattern = args.first().map(String::as_str).unwrap_or("(0|10)*1?");
+    let max_n: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(30);
+
+    let alphabet = Alphabet::binary();
+    let nfa = match compile_regex(pattern, &alphabet) {
+        Ok(nfa) => nfa,
+        Err(e) => {
+            eprintln!("cannot compile pattern {pattern:?}: {e}");
+            std::process::exit(2);
+        }
+    };
+    println!("pattern {pattern:?} compiled to {} states / {} transitions", nfa.num_states(), nfa.num_transitions());
+    println!("{:<6} {:>16} {:>16} {:>10}", "n", "fpras estimate", "exact", "rel err");
+
+    for n in (0..=max_n).step_by(max_n.div_ceil(10).max(1)) {
+        let est = estimate_count(&nfa, n, 0.25, 0.1, 1234 + n as u64).expect("count").estimate;
+        let exact = count_exact(&nfa, n).expect("small pattern automata determinize cheaply");
+        let exact_f = exact.to_f64();
+        let err = if exact_f == 0.0 {
+            if est.is_zero() { 0.0 } else { f64::INFINITY }
+        } else {
+            (est.to_f64() - exact_f).abs() / exact_f
+        };
+        println!("{:<6} {:>16} {:>16} {:>10.4}", n, est.to_string(), exact.to_string(), err);
+    }
+    println!("\n(the default pattern is the no-adjacent-ones language: Fibonacci counts)");
+}

@@ -1,0 +1,57 @@
+//! Regular path queries on a small "social network" graph database —
+//! the paper's RPQ application (§1): count and sample the label words of
+//! paths matching a property-path regex.
+//!
+//! ```text
+//! cargo run --release --example rpq_social_network
+//! ```
+
+use fpras_apps::rpq::{count_answers, rpq_instance, sample_answer, Rpq};
+use fpras_automata::exact::count_exact;
+use fpras_workloads::LabeledGraph;
+use rand::{rngs::SmallRng, SeedableRng};
+
+fn main() {
+    // Nodes: 0 = alice, 1 = bob, 2 = carol, 3 = dave, 4 = erin.
+    // Labels: a = follows, b = blocks, c = messages.
+    let names = ["alice", "bob", "carol", "dave", "erin"];
+    let graph = LabeledGraph::new(
+        5,
+        3,
+        vec![
+            (0, 0, 1), // alice follows bob
+            (1, 0, 2), // bob follows carol
+            (2, 0, 3), // carol follows dave
+            (3, 0, 0), // dave follows alice (cycle!)
+            (0, 2, 2), // alice messages carol
+            (2, 1, 4), // carol blocks erin
+            (1, 2, 4), // bob messages erin
+            (4, 0, 1), // erin follows bob
+        ],
+    );
+
+    // "How many follows-chains of length ≤ 12, possibly ending with one
+    //  message, connect alice to erin?"
+    let query = Rpq { source: 0, pattern: "a*c?".into(), target: 4 };
+    let max_len = 12;
+    let mut rng = SmallRng::seed_from_u64(99);
+
+    println!("graph: {} nodes, {} edges; query {} --[{}]--> {}", graph.nodes, graph.edges.len(), names[query.source as usize], query.pattern, names[query.target as usize]);
+
+    let counts = count_answers(&graph, &query, max_len, 0.25, 0.1, &mut rng).expect("rpq count");
+    println!("\nestimated answers of length ≤ {max_len}: {}", counts.total);
+    println!("{:<8} {:>14} {:>12}", "length", "estimate", "exact");
+    let instance = rpq_instance(&graph, &query).expect("instance");
+    for (ell, est) in counts.per_length.iter().enumerate() {
+        let exact = count_exact(&instance, ell).expect("exact");
+        println!("{:<8} {:>14} {:>12}", ell, est.to_string(), exact.to_string());
+    }
+
+    println!("\nsampled answers (label words) of length 7:");
+    for _ in 0..4 {
+        match sample_answer(&graph, &query, 7, 0.25, 0.1, &mut rng).expect("sampler") {
+            Some(w) => println!("  {}", w.display(instance.alphabet())),
+            None => println!("  (no answers at this length)"),
+        }
+    }
+}

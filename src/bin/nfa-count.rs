@@ -1,0 +1,277 @@
+//! `nfa-count` — command-line approximate #NFA.
+//!
+//! ```text
+//! nfa-count --regex '(0|10)*1?' -n 40            # count regex matches
+//! nfa-count --file machine.nfa -n 64 --eps 0.1   # count an NFA's slice
+//! nfa-count --regex '1(0|1)*' -n 24 --sample 5   # also sample witnesses
+//! nfa-count --regex '0*' -n 12 --exact           # cross-check vs exact
+//! nfa-count --regex '0*1' -n 20 --method bdd     # exact via BDD
+//! nfa-count --regex '1*' -n 8 --enumerate 10     # list the first words
+//! nfa-count --file machine.nfa -n 8 --dot        # emit Graphviz and exit
+//! ```
+//!
+//! Methods: `fpras` (default, Algorithm 3), `parallel` (level-parallel
+//! FPRAS, see `--threads`), `path-is` (unbiased path importance
+//! sampling), `dp` (exact determinization DP), `bdd` (exact BDD model
+//! counting). The NFA file format is documented in
+//! `fpras_automata::parse`.
+
+use fpras_automata::exact::count_exact;
+use fpras_automata::{dot, enumerate_slice, parse, regex, Alphabet, Nfa};
+use fpras_baselines::path_importance_sampling;
+use fpras_core::{run_parallel, FprasRun, Params, UniformGenerator};
+use fpras_numeric::ExtFloat;
+use rand::{rngs::SmallRng, SeedableRng};
+
+struct Args {
+    regex: Option<String>,
+    file: Option<String>,
+    n: usize,
+    eps: f64,
+    delta: f64,
+    seed: u64,
+    sample: usize,
+    exact: bool,
+    method: Method,
+    threads: usize,
+    enumerate: usize,
+    dot: bool,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Method {
+    Fpras,
+    Parallel,
+    PathIs,
+    ExactDp,
+    ExactBdd,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: nfa-count (--regex PATTERN | --file PATH) -n LENGTH\n\
+         \t[--method fpras|parallel|path-is|dp|bdd] [--threads T=4]\n\
+         \t[--eps E=0.2] [--delta D=0.05] [--seed S=42] [--sample K]\n\
+         \t[--enumerate K] [--exact] [--dot]"
+    );
+    std::process::exit(2)
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        regex: None,
+        file: None,
+        n: usize::MAX,
+        eps: 0.2,
+        delta: 0.05,
+        seed: 42,
+        sample: 0,
+        exact: false,
+        method: Method::Fpras,
+        threads: 4,
+        enumerate: 0,
+        dot: false,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    let value = |i: &mut usize| -> String {
+        *i += 1;
+        argv.get(*i).cloned().unwrap_or_else(|| usage())
+    };
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--regex" => args.regex = Some(value(&mut i)),
+            "--file" => args.file = Some(value(&mut i)),
+            "-n" | "--length" => args.n = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--eps" => args.eps = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--delta" => args.delta = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--seed" => args.seed = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--sample" => args.sample = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--threads" => args.threads = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--enumerate" => args.enumerate = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--exact" => args.exact = true,
+            "--dot" => args.dot = true,
+            "--method" => {
+                args.method = match value(&mut i).as_str() {
+                    "fpras" => Method::Fpras,
+                    "parallel" => Method::Parallel,
+                    "path-is" => Method::PathIs,
+                    "dp" => Method::ExactDp,
+                    "bdd" => Method::ExactBdd,
+                    other => {
+                        eprintln!("unknown method {other:?}");
+                        usage()
+                    }
+                }
+            }
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument {other:?}");
+                usage()
+            }
+        }
+        i += 1;
+    }
+    if args.n == usize::MAX || (args.regex.is_none() == args.file.is_none()) {
+        usage();
+    }
+    args
+}
+
+fn load_nfa(args: &Args) -> Nfa {
+    if let Some(pattern) = &args.regex {
+        match regex::compile_regex(pattern, &Alphabet::binary()) {
+            Ok(nfa) => nfa,
+            Err(e) => {
+                eprintln!("cannot compile regex: {e}");
+                std::process::exit(1);
+            }
+        }
+    } else {
+        let path = args.file.as_ref().expect("validated");
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("cannot read {path}: {e}");
+                std::process::exit(1);
+            }
+        };
+        match parse::from_text(&text) {
+            Ok(nfa) => nfa,
+            Err(e) => {
+                eprintln!("cannot parse {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
+fn report_estimate(n: usize, estimate: ExtFloat) {
+    println!("estimate |L(A_{n})| ≈ {estimate}");
+    println!("  log2 ≈ {:.3}", estimate.log2());
+}
+
+fn main() {
+    let args = parse_args();
+    let nfa = load_nfa(&args);
+    eprintln!(
+        "automaton: {} states, {} transitions, alphabet {:?}",
+        nfa.num_states(),
+        nfa.num_transitions(),
+        nfa.alphabet()
+    );
+
+    if args.dot {
+        print!("{}", dot::to_dot(&nfa));
+        return;
+    }
+
+    if args.enumerate > 0 {
+        let words = enumerate_slice(&nfa, args.n, Some(args.enumerate));
+        println!("first {} word(s) of L(A_{}):", words.len(), args.n);
+        for w in &words {
+            println!("  {}", w.display(nfa.alphabet()));
+        }
+    }
+
+    let mut rng = SmallRng::seed_from_u64(args.seed);
+    // The FPRAS variants keep their run for sampling; other methods don't.
+    let mut fpras_run: Option<FprasRun> = None;
+    match args.method {
+        Method::Fpras | Method::Parallel => {
+            let params = Params::practical(args.eps, args.delta, nfa.num_states(), args.n);
+            let result = if args.method == Method::Fpras {
+                FprasRun::run(&nfa, args.n, &params, &mut rng)
+            } else {
+                run_parallel(&nfa, args.n, &params, args.seed, args.threads)
+            };
+            let run = match result {
+                Ok(run) => run,
+                Err(e) => {
+                    eprintln!("FPRAS failed: {e}");
+                    std::process::exit(1);
+                }
+            };
+            report_estimate(args.n, run.estimate());
+            eprintln!(
+                "  ({} membership ops, {:.1} samples/cell, {:?})",
+                run.stats().membership_ops,
+                run.stats().samples_per_cell(),
+                run.stats().wall
+            );
+            fpras_run = Some(run);
+        }
+        Method::PathIs => {
+            // Trial budget chosen like naive MC's: Chernoff at density 1.
+            let trials = ((3.0 * (2.0 / args.delta).ln()) / (args.eps * args.eps)).ceil() as u64;
+            match path_importance_sampling(&nfa, args.n, trials.max(100), &mut rng) {
+                Some(r) => {
+                    report_estimate(args.n, r.estimate);
+                    eprintln!(
+                        "  ({} trials, rel. std. error {:.4}, max ambiguity {:.0})",
+                        r.trials, r.rel_std_error, r.max_ambiguity
+                    );
+                    if r.rel_std_error > args.eps / 2.0 {
+                        eprintln!(
+                            "  warning: high variance — the instance is ambiguous; \
+                             prefer --method fpras"
+                        );
+                    }
+                }
+                None => report_estimate(args.n, ExtFloat::ZERO),
+            }
+        }
+        Method::ExactDp => match count_exact(&nfa, args.n) {
+            Ok(c) => println!("exact |L(A_{})| = {c}", args.n),
+            Err(e) => {
+                eprintln!("exact DP failed: {e}");
+                std::process::exit(1);
+            }
+        },
+        Method::ExactBdd => match fpras_bdd::compile_slice(&nfa, args.n) {
+            Ok(compiled) => {
+                println!("exact |L(A_{})| = {}", args.n, compiled.count());
+                eprintln!("  ({} BDD nodes)", compiled.bdd.num_nodes());
+            }
+            Err(e) => {
+                eprintln!("BDD compilation failed: {e}");
+                std::process::exit(1);
+            }
+        },
+    }
+
+    if args.exact {
+        if let Some(run) = &fpras_run {
+            match count_exact(&nfa, args.n) {
+                Ok(exact) => {
+                    let rel = if exact.is_zero() {
+                        if run.estimate().is_zero() { 0.0 } else { f64::INFINITY }
+                    } else {
+                        (run.estimate().to_f64() - exact.to_f64()).abs() / exact.to_f64()
+                    };
+                    println!("exact    |L(A_{})| = {exact}", args.n);
+                    println!("  relative error {rel:.5} (target ε = {})", args.eps);
+                }
+                Err(e) => eprintln!("exact counter unavailable: {e}"),
+            }
+        }
+    }
+
+    if args.sample > 0 {
+        if let Some(run) = fpras_run {
+            let mut generator = UniformGenerator::new(run);
+            println!("samples:");
+            for _ in 0..args.sample {
+                match generator.generate(&mut rng) {
+                    Some(w) => println!("  {}", w.display(nfa.alphabet())),
+                    None => {
+                        println!("  (language slice is empty)");
+                        break;
+                    }
+                }
+            }
+        } else {
+            eprintln!("--sample requires --method fpras or parallel");
+        }
+    }
+}

@@ -1,0 +1,37 @@
+//! # nfa-fpras
+//!
+//! A production-quality Rust implementation of *"A faster FPRAS for
+//! #NFA"* (Meel ⓡ Chakraborty ⓡ Mathur, PODS 2024): approximate counting
+//! and almost-uniform sampling for slices `L(A_n)` of regular languages,
+//! together with the substrates, baselines, workloads and applications
+//! needed to reproduce the paper's quantitative claims.
+//!
+//! This umbrella crate re-exports the workspace's public API:
+//!
+//! * [`automata`] — NFAs, regexes, exact counting/sampling ground truth;
+//! * [`bdd`] — ROBDD substrate: a second exact counter and exact sampler;
+//! * [`core`] — the paper's FPRAS (Algorithms 1–3) and generator;
+//! * [`baselines`] — ACJR-style FPRAS, naive Monte Carlo, exact methods;
+//! * [`workloads`] — instance generators;
+//! * [`apps`] — regular path queries, probabilistic query evaluation,
+//!   graph homomorphism, leakage estimation;
+//! * [`spanner`] — document spanners: counting/sampling extracted span
+//!   tuples (the information-extraction application);
+//! * [`numeric`] — big integers, extended-range floats, statistics.
+//!
+//! See `README.md` for a guided tour, `DESIGN.md` for the system
+//! inventory and faithfulness notes, and `EXPERIMENTS.md` for measured
+//! results against the paper's claims.
+
+pub use fpras_apps as apps;
+pub use fpras_automata as automata;
+pub use fpras_baselines as baselines;
+pub use fpras_bdd as bdd;
+pub use fpras_core as core;
+pub use fpras_numeric as numeric;
+pub use fpras_spanner as spanner;
+pub use fpras_workloads as workloads;
+
+// The most common entry points, flattened for convenience.
+pub use fpras_automata::{Alphabet, Nfa, NfaBuilder, Word};
+pub use fpras_core::{estimate_count, FprasRun, Params, UniformGenerator};

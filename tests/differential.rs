@@ -1,0 +1,88 @@
+//! Differential counting harness: every counter in the workspace against
+//! every other, over one randomized instance stream.
+//!
+//! The individual crates already cross-check pairwise; this test is the
+//! belt-and-braces sweep — if any two methods ever disagree on an exact
+//! value, or the randomized ones drift outside their contracts, it fails
+//! with the full instance description for replay.
+
+use fpras_automata::exact::{brute_force_count, count_exact};
+use fpras_automata::simulation::reduce;
+use fpras_automata::Dfa;
+use fpras_baselines::path_importance_sampling;
+use fpras_bdd::count_slice;
+use fpras_core::{run_parallel, FprasRun, Params};
+use fpras_workloads::{random_nfa, RandomNfaConfig};
+use rand::{rngs::SmallRng, SeedableRng};
+
+/// One instance: every exact method must agree bit-for-bit, and the
+/// randomized methods must respect their stated tolerances.
+fn check_instance(nfa: &fpras_automata::Nfa, n: usize, seed: u64, label: &str) {
+    // Exact methods.
+    let dp = count_exact(nfa, n).expect("dp");
+    let bdd = count_slice(nfa, n).expect("bdd");
+    assert_eq!(dp, bdd, "{label}: dp vs bdd");
+    let dfa = Dfa::determinize(nfa, 1 << 20).expect("dfa").count_slice(n);
+    assert_eq!(dp, dfa, "{label}: dp vs dfa");
+    if n <= 12 {
+        assert_eq!(dp, brute_force_count(nfa, n), "{label}: dp vs brute");
+    }
+    // Simulation quotient preserves every exact count.
+    let reduced = reduce(nfa);
+    assert_eq!(dp, count_exact(&reduced, n).expect("dp/reduced"), "{label}: reduced");
+
+    let exact = dp.to_f64();
+    if exact == 0.0 {
+        return; // randomized methods have nothing to estimate
+    }
+
+    // FPRAS, serial and parallel, at ε = 0.4 (loose: one run each).
+    let params = Params::practical(0.4, 0.1, nfa.num_states(), n);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let serial = FprasRun::run(nfa, n, &params, &mut rng).expect("serial").estimate().to_f64();
+    let parallel = run_parallel(nfa, n, &params, seed, 4).expect("parallel").estimate().to_f64();
+    for (name, est) in [("serial", serial), ("parallel", parallel)] {
+        let err = (est - exact).abs() / exact;
+        assert!(err < 0.6, "{label}: {name} fpras err {err} (est {est}, exact {exact})");
+    }
+
+    // Path importance sampling: unbiased; generous tolerance at a fixed
+    // budget (ambiguity-dependent variance).
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0xFF);
+    if let Some(r) = path_importance_sampling(nfa, n, 3000, &mut rng) {
+        let err = (r.estimate.to_f64() - exact).abs() / exact;
+        assert!(err < 1.0, "{label}: path-is err {err} (rse {})", r.rel_std_error);
+    }
+}
+
+#[test]
+fn differential_sweep_binary() {
+    let mut rng = SmallRng::seed_from_u64(31337);
+    for case in 0..12u64 {
+        let config = RandomNfaConfig {
+            states: 3 + (case % 6) as usize,
+            alphabet: 2,
+            density: 1.2 + (case % 3) as f64 * 0.5,
+            accepting: 1 + (case % 2) as usize,
+        };
+        let nfa = random_nfa(&config, &mut rng);
+        let n = 6 + (case % 5) as usize;
+        check_instance(&nfa, n, 9000 + case, &format!("case {case} ({config:?}, n={n})"));
+    }
+}
+
+#[test]
+fn differential_sweep_ternary() {
+    let mut rng = SmallRng::seed_from_u64(777);
+    for case in 0..6u64 {
+        let config = RandomNfaConfig {
+            states: 3 + (case % 4) as usize,
+            alphabet: 3,
+            density: 1.4,
+            accepting: 1,
+        };
+        let nfa = random_nfa(&config, &mut rng);
+        let n = 5 + (case % 3) as usize;
+        check_instance(&nfa, n, 9100 + case, &format!("ternary case {case} (n={n})"));
+    }
+}

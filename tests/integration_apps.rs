@@ -1,0 +1,157 @@
+//! End-to-end application pipelines: RPQ, PQE and leakage, each driven
+//! through the public umbrella API.
+
+use fpras_apps::pqe::{estimate_pqe, pqe_exact, ProbDatabase, ProbTuple};
+use fpras_apps::rpq::{count_answers, rpq_instance, sample_answer, Rpq};
+use fpras_apps::leakage::estimate_leakage;
+use fpras_automata::exact::count_exact;
+use fpras_automata::regex::compile_regex;
+use fpras_automata::Alphabet;
+use fpras_workloads::{random_graph, LabeledGraph, RandomGraphConfig};
+use rand::{rngs::SmallRng, SeedableRng};
+
+#[test]
+fn rpq_pipeline_on_random_graph() {
+    let mut rng = SmallRng::seed_from_u64(3);
+    let graph = random_graph(
+        &RandomGraphConfig { nodes: 10, labels: 2, avg_degree: 2.0 },
+        &mut rng,
+    );
+    let query = Rpq { source: 0, pattern: "(a|b)*a".into(), target: 9 };
+    let n = 10;
+    let instance = rpq_instance(&graph, &query).unwrap();
+    let exact: f64 = (0..=n).map(|ell| count_exact(&instance, ell).unwrap().to_f64()).sum();
+    let res = count_answers(&graph, &query, n, 0.3, 0.2, &mut rng).unwrap();
+    if exact == 0.0 {
+        assert!(res.total.is_zero());
+    } else {
+        let err = (res.total.to_f64() - exact).abs() / exact;
+        assert!(err < 0.35, "err {err} (exact {exact}, est {})", res.total);
+    }
+}
+
+#[test]
+fn rpq_sampling_respects_query() {
+    let graph = LabeledGraph::new(
+        4,
+        2,
+        vec![(0, 0, 1), (1, 1, 2), (2, 0, 3), (3, 1, 0), (0, 1, 3)],
+    );
+    let query = Rpq { source: 0, pattern: "(ab)*b?".into(), target: 3 };
+    let instance = rpq_instance(&graph, &query).unwrap();
+    let mut rng = SmallRng::seed_from_u64(5);
+    for n in 1..=8usize {
+        if count_exact(&instance, n).unwrap().is_zero() {
+            let got = sample_answer(&graph, &query, n, 0.3, 0.2, &mut rng).unwrap();
+            assert!(got.is_none(), "n={n} should have no answers");
+        } else {
+            let w = sample_answer(&graph, &query, n, 0.3, 0.2, &mut rng).unwrap().unwrap();
+            assert!(instance.accepts(&w), "n={n}: {w:?}");
+        }
+    }
+}
+
+#[test]
+fn pqe_matches_exact_on_random_databases() {
+    use rand::RngExt;
+    let mut rng = SmallRng::seed_from_u64(8);
+    let mut nontrivial = 0;
+    for case in 0..10 {
+        let tuples: Vec<Vec<ProbTuple>> = (0..2)
+            .map(|_| {
+                (0..3)
+                    .map(|_| ProbTuple {
+                        src: rng.random_range(0..4),
+                        dst: rng.random_range(0..4),
+                        num: rng.random_range(1..4),
+                        bits: 2,
+                    })
+                    .collect()
+            })
+            .collect();
+        let db = ProbDatabase { adom: 4, tuples };
+        let exact = pqe_exact(&db).unwrap();
+        let est = estimate_pqe(&db, 0.3, 0.2, &mut rng).unwrap();
+        if exact == 0.0 {
+            assert_eq!(est.probability, 0.0, "case {case}");
+        } else {
+            nontrivial += 1;
+            let err = (est.probability - exact).abs() / exact;
+            assert!(err < 0.35, "case {case}: err {err} (exact {exact}, est {})", est.probability);
+        }
+    }
+    assert!(nontrivial >= 3, "test instances too degenerate");
+}
+
+#[test]
+fn leakage_orders_sanitizers_correctly() {
+    let alphabet = Alphabet::binary();
+    let n = 16;
+    let mut rng = SmallRng::seed_from_u64(10);
+    let open = compile_regex("(0|1)*", &alphabet).unwrap();
+    let half = compile_regex("((0|1)0)*", &alphabet).unwrap();
+    let bits_open = estimate_leakage(&open, n, 0.2, 0.1, &mut rng).unwrap().unwrap().bits;
+    let bits_half = estimate_leakage(&half, n, 0.2, 0.1, &mut rng).unwrap().unwrap().bits;
+    assert!(bits_open > bits_half + 6.0, "open {bits_open} vs half {bits_half}");
+    assert!((bits_open - 16.0).abs() < 0.5);
+    assert!((bits_half - 8.0).abs() < 0.5);
+}
+
+#[test]
+fn homomorphism_pipeline_matches_exact() {
+    use fpras_apps::{estimate_hom, hom_exact, PathQuery, ProbEdge, ProbGraph};
+    use rand::RngExt;
+    let mut rng = SmallRng::seed_from_u64(12);
+    let mut nontrivial = 0;
+    for case in 0..8 {
+        let vertices = 5u32;
+        let labels: Vec<u32> = (0..2).collect();
+        let edges: Vec<ProbEdge> = (0..5)
+            .map(|_| ProbEdge {
+                src: rng.random_range(0..vertices),
+                dst: rng.random_range(0..vertices),
+                label: rng.random_range(0..2),
+                num: rng.random_range(1..4),
+                bits: 2,
+            })
+            .collect();
+        let g = ProbGraph { vertices, edges };
+        let q = PathQuery { labels };
+        let exact = hom_exact(&g, &q).unwrap();
+        let est = estimate_hom(&g, &q, 0.3, 0.2, &mut rng).unwrap();
+        if exact == 0.0 {
+            assert_eq!(est.probability, 0.0, "case {case}");
+        } else {
+            nontrivial += 1;
+            let err = (est.probability - exact).abs() / exact;
+            assert!(err < 0.35, "case {case}: err {err}");
+        }
+    }
+    assert!(nontrivial >= 2, "test instances too degenerate");
+}
+
+#[test]
+fn homomorphism_rejects_self_joins() {
+    use fpras_apps::{hom_exact, HomError, PathQuery, ProbEdge, ProbGraph};
+    let g = ProbGraph {
+        vertices: 2,
+        edges: vec![ProbEdge { src: 0, dst: 1, label: 4, num: 1, bits: 1 }],
+    };
+    let q = PathQuery { labels: vec![4, 4] };
+    assert!(matches!(hom_exact(&g, &q), Err(HomError::RepeatedLabel(4))));
+}
+
+#[test]
+fn umbrella_crate_reexports_work() {
+    // Compile-time check that the top-level facade exposes the pipeline.
+    use nfa_fpras::{estimate_count, Alphabet, NfaBuilder};
+    let mut b = NfaBuilder::new(Alphabet::binary());
+    let q = b.add_state();
+    b.set_initial(q);
+    b.add_accepting(q);
+    b.add_transition(q, 0, q);
+    b.add_transition(q, 1, q);
+    let nfa = b.build().unwrap();
+    let r = estimate_count(&nfa, 6, 0.4, 0.2, 1).unwrap();
+    assert!((r.estimate.to_f64() - 64.0).abs() / 64.0 < 0.4);
+}

@@ -1,0 +1,103 @@
+//! Cross-crate integration for the BDD substrate: three independent
+//! counting paths (determinization DP, BDD model counting, FPRAS) and
+//! two independent exact samplers must agree on shared workloads.
+
+use fpras_automata::exact::count_exact;
+use fpras_automata::ExactSampler;
+use fpras_bdd::{compile_slice, count_slice, sample_word};
+use fpras_core::estimate_count;
+use fpras_numeric::stats::tv_to_uniform;
+use fpras_workloads::{families, random_nfa, RandomNfaConfig};
+use rand::{rngs::SmallRng, SeedableRng};
+use std::collections::HashMap;
+
+#[test]
+fn bdd_matches_dp_on_families() {
+    let cases: Vec<(fpras_automata::Nfa, usize)> = vec![
+        (families::all_words(), 40),
+        (families::ones_mod_k(5), 17),
+        (families::divisible_by(7), 21),
+        (families::contains_substring(&[1, 0, 1]), 15),
+        (families::thin_chain(12), 12),
+        (families::kth_symbol_from_end(6), 14),
+    ];
+    for (nfa, n) in cases {
+        let via_dp = count_exact(&nfa, n).unwrap();
+        let via_bdd = count_slice(&nfa, n).unwrap();
+        assert_eq!(via_dp, via_bdd, "m={} n={n}", nfa.num_states());
+    }
+}
+
+#[test]
+fn bdd_matches_dp_on_random_batch() {
+    let mut rng = SmallRng::seed_from_u64(5150);
+    for case in 0..40 {
+        let config = RandomNfaConfig {
+            states: 3 + case % 8,
+            alphabet: if case % 3 == 0 { 3 } else { 2 },
+            density: 1.2 + (case % 4) as f64 * 0.4,
+            accepting: 1 + case % 2,
+        };
+        let nfa = random_nfa(&config, &mut rng);
+        let n = 4 + case % 9;
+        assert_eq!(
+            count_exact(&nfa, n).unwrap(),
+            count_slice(&nfa, n).unwrap(),
+            "case {case} ({config:?}, n={n})"
+        );
+    }
+}
+
+#[test]
+fn fpras_tracks_bdd_ground_truth() {
+    // The BDD as sole ground truth (no DP): FPRAS within ε.
+    let nfa = families::contains_substring(&[1, 1, 0]);
+    let n = 14;
+    let exact = count_slice(&nfa, n).unwrap().to_f64();
+    let est = estimate_count(&nfa, n, 0.25, 0.1, 99).unwrap().estimate.to_f64();
+    assert!((est - exact).abs() / exact < 0.25, "est {est} vs exact {exact}");
+}
+
+#[test]
+fn bdd_sampler_is_uniform_and_agrees_with_exact_sampler() {
+    let nfa = families::ones_mod_k(3);
+    let n = 8;
+    let support = count_exact(&nfa, n).unwrap().to_u64().unwrap() as usize;
+    let draws = 20_000;
+
+    let compiled = compile_slice(&nfa, n).unwrap();
+    let mut rng = SmallRng::seed_from_u64(61);
+    let mut counts: HashMap<u64, u64> = HashMap::new();
+    for _ in 0..draws {
+        let w = sample_word(&compiled, &mut rng).unwrap();
+        assert!(nfa.accepts(&w));
+        *counts.entry(w.to_index(2)).or_insert(0) += 1;
+    }
+    let tv_bdd = tv_to_uniform(&counts, support);
+
+    let exact = ExactSampler::new(&nfa, n).unwrap();
+    let mut counts: HashMap<u64, u64> = HashMap::new();
+    for w in exact.sample_many(&mut rng, draws) {
+        *counts.entry(w.to_index(2)).or_insert(0) += 1;
+    }
+    let tv_exact = tv_to_uniform(&counts, support);
+
+    // Both are exact samplers: each TV is pure finite-sample noise, so
+    // they must land within a small band of each other.
+    assert!(tv_bdd < 0.08, "bdd sampler TV {tv_bdd}");
+    assert!((tv_bdd - tv_exact).abs() < 0.05, "bdd {tv_bdd} vs exact {tv_exact}");
+}
+
+#[test]
+fn bdd_survives_where_subset_dp_blows_up() {
+    // "k-th symbol from the end": subset width 2^k. With k = 18 the DP
+    // under a tight cap fails, while the slice BDD is 3 nodes.
+    let k = 18;
+    let nfa = families::kth_symbol_from_end(k);
+    let n = 2 * k;
+    let dp = fpras_automata::exact::Determinization::build_capped(&nfa, n, 1 << 10);
+    assert!(dp.is_err(), "subset cap should trip at k={k}");
+    let compiled = compile_slice(&nfa, n).unwrap();
+    assert!(compiled.bdd.num_nodes() <= 3);
+    assert_eq!(compiled.count(), families::kth_symbol_from_end_count(k, n));
+}

@@ -1,0 +1,102 @@
+//! End-to-end tests of the `nfa-count` binary: every method flag, the
+//! enumerate/dot modes, and the error paths, driven through the real
+//! executable (`CARGO_BIN_EXE_nfa-count`).
+
+use std::process::Command;
+
+fn run(args: &[&str]) -> (String, String, bool) {
+    let out = Command::new(env!("CARGO_BIN_EXE_nfa-count"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.success(),
+    )
+}
+
+#[test]
+fn fpras_count_with_exact_crosscheck() {
+    let (stdout, stderr, ok) = run(&["--regex", "1(0|1)*", "-n", "12", "--exact", "--seed", "3"]);
+    assert!(ok, "stderr: {stderr}");
+    assert!(stdout.contains("estimate |L(A_12)|"), "{stdout}");
+    // Exactly half of all length-12 words start with 1.
+    assert!(stdout.contains("exact    |L(A_12)| = 2048"), "{stdout}");
+}
+
+#[test]
+fn bdd_method_is_exact() {
+    let (stdout, _, ok) = run(&["--regex", "1(0|1)*", "-n", "16", "--method", "bdd"]);
+    assert!(ok);
+    assert!(stdout.contains("exact |L(A_16)| = 32768"), "{stdout}");
+}
+
+#[test]
+fn dp_method_is_exact() {
+    let (stdout, _, ok) = run(&["--regex", "(0|1)*", "-n", "10", "--method", "dp"]);
+    assert!(ok);
+    assert!(stdout.contains("exact |L(A_10)| = 1024"), "{stdout}");
+}
+
+#[test]
+fn path_is_method_reports_variance() {
+    let (stdout, stderr, ok) =
+        run(&["--regex", "1(0|1)*", "-n", "10", "--method", "path-is", "--seed", "5"]);
+    assert!(ok);
+    assert!(stdout.contains("estimate |L(A_10)|"), "{stdout}");
+    assert!(stderr.contains("rel. std. error"), "{stderr}");
+}
+
+#[test]
+fn parallel_method_samples() {
+    let (stdout, _, ok) = run(&[
+        "--regex", "1(0|1)*", "-n", "10", "--method", "parallel", "--threads", "2", "--sample",
+        "3",
+    ]);
+    assert!(ok);
+    assert!(stdout.contains("samples:"), "{stdout}");
+    // Each sampled line is a 10-symbol binary word starting with 1.
+    let words: Vec<&str> = stdout
+        .lines()
+        .skip_while(|l| !l.contains("samples:"))
+        .skip(1)
+        .map(str::trim)
+        .filter(|l| !l.is_empty())
+        .collect();
+    assert_eq!(words.len(), 3);
+    for w in words {
+        assert_eq!(w.len(), 10, "{w}");
+        assert!(w.starts_with('1'), "{w}");
+    }
+}
+
+#[test]
+fn enumerate_lists_words() {
+    let (stdout, _, ok) = run(&["--regex", "1*", "-n", "4", "--enumerate", "5", "--method", "dp"]);
+    assert!(ok);
+    assert!(stdout.contains("first 1 word(s)"), "{stdout}");
+    assert!(stdout.contains("1111"), "{stdout}");
+}
+
+#[test]
+fn dot_export_is_graphviz() {
+    let (stdout, _, ok) = run(&["--regex", "01", "-n", "2", "--dot"]);
+    assert!(ok);
+    assert!(stdout.starts_with("digraph"), "{stdout}");
+}
+
+#[test]
+fn bad_usage_fails_fast() {
+    let (_, stderr, ok) = run(&["--regex", "1*"]); // missing -n
+    assert!(!ok);
+    assert!(stderr.contains("usage:"), "{stderr}");
+
+    let (_, stderr, ok) = run(&["--regex", "1*", "-n", "4", "--method", "quantum"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown method"), "{stderr}");
+
+    let (_, stderr, ok) = run(&["--regex", "((", "-n", "4"]);
+    assert!(!ok);
+    assert!(stderr.contains("cannot compile regex"), "{stderr}");
+}

@@ -1,0 +1,25 @@
+//! The shipped `.nfa` text format: the example file must parse, count
+//! correctly, and round-trip — this is the CLI's input contract.
+
+use fpras_automata::exact::count_exact;
+use fpras_automata::parse::{from_text, to_text};
+use fpras_core::estimate_count;
+
+const EXAMPLE: &str = include_str!("../examples/data/contains11.nfa");
+
+#[test]
+fn shipped_example_parses_and_counts() {
+    let nfa = from_text(EXAMPLE).expect("shipped example must parse");
+    assert_eq!(nfa.num_states(), 3);
+    // Known value: 880 words of length 10 contain "11".
+    assert_eq!(count_exact(&nfa, 10).unwrap().to_u64(), Some(880));
+    let est = estimate_count(&nfa, 10, 0.3, 0.1, 3).unwrap().estimate;
+    assert!((est.to_f64() - 880.0).abs() / 880.0 < 0.3);
+}
+
+#[test]
+fn shipped_example_round_trips() {
+    let nfa = from_text(EXAMPLE).unwrap();
+    let text = to_text(&nfa);
+    assert_eq!(from_text(&text).unwrap(), nfa);
+}

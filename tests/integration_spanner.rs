@@ -1,0 +1,93 @@
+//! Cross-crate integration for the spanner pipeline: the compiled
+//! reduction driven through every counting engine in the workspace —
+//! exact DP, BDD, path-IS (must overcount runs unless corrected),
+//! simulation-reduced, serial FPRAS and parallel FPRAS.
+
+use fpras_automata::exact::{count_exact, count_paths};
+use fpras_automata::simulation::reduce;
+use fpras_automata::{Alphabet, Word};
+use fpras_bdd::count_slice;
+use fpras_core::{run_parallel, Params};
+use fpras_spanner::{compile_spanner, count_answers_exact, enumerate_answers, VSetBuilder};
+use fpras_spanner::VSetAutomaton;
+
+/// `.* ⊢x 1+ x⊣ .*` duplicated into two redundant branches: every answer
+/// has ≥ 2 accepting runs.
+fn redundant_ones_span() -> VSetAutomaton {
+    let mut b = VSetBuilder::new(Alphabet::binary(), 1);
+    let init = b.add_state();
+    b.set_initial(init);
+    for sym in [0, 1] {
+        b.read(init, sym, init);
+    }
+    for _ in 0..2 {
+        let s1 = b.add_state();
+        let s2 = b.add_state();
+        let s3 = b.add_state();
+        b.add_accepting(s3);
+        b.open(init, 0, s1);
+        b.read(s1, 1, s2);
+        b.read(s2, 1, s2);
+        b.close(s2, 0, s3);
+        for sym in [0, 1] {
+            b.read(s3, sym, s3);
+        }
+    }
+    b.build().unwrap()
+}
+
+#[test]
+fn all_engines_agree_on_the_answer_count() {
+    let vset = redundant_ones_span();
+    let doc = Word::from_symbols(vec![1, 1, 0, 1, 1, 1, 0, 1]);
+    let compiled = compile_spanner(&vset, &doc).unwrap();
+    let len = compiled.word_len();
+
+    let truth = enumerate_answers(&vset, &doc).len() as u64;
+    assert!(truth > 0);
+
+    // Exact engines.
+    assert_eq!(count_exact(&compiled.nfa, len).unwrap().to_u64(), Some(truth), "dp");
+    assert_eq!(count_slice(&compiled.nfa, len).unwrap().to_u64(), Some(truth), "bdd");
+    let reduced = reduce(&compiled.nfa);
+    assert!(reduced.num_states() < compiled.nfa.num_states(), "redundancy must shrink");
+    assert_eq!(count_exact(&reduced, len).unwrap().to_u64(), Some(truth), "reduced dp");
+
+    // Runs strictly overcount (the redundancy is deliberate).
+    let runs = count_paths(&compiled.nfa, len).to_u64().unwrap();
+    assert!(runs >= 2 * truth, "runs {runs} vs answers {truth}");
+
+    // FPRAS engines within ε.
+    let params = Params::practical(0.25, 0.1, compiled.nfa.num_states(), len);
+    let par = run_parallel(&compiled.nfa, len, &params, 42, 4).unwrap();
+    let err = (par.estimate().to_f64() - truth as f64).abs() / truth as f64;
+    assert!(err < 0.25, "parallel fpras err {err}");
+}
+
+#[test]
+fn spanner_count_via_reduced_automaton_is_faster_shape() {
+    // The simulation quotient merges the redundant branches — the state
+    // count drops by roughly the branch factor.
+    let vset = redundant_ones_span();
+    let doc = Word::from_symbols(vec![1, 0, 1, 1]);
+    let compiled = compile_spanner(&vset, &doc).unwrap();
+    let reduced = reduce(&compiled.nfa);
+    assert!(
+        (reduced.num_states() as f64) < 0.8 * compiled.nfa.num_states() as f64,
+        "{} -> {}",
+        compiled.nfa.num_states(),
+        reduced.num_states()
+    );
+}
+
+#[test]
+fn answers_scale_quadratically_on_all_ones_documents() {
+    // For the single-span extractor on 1^n there are n(n+1)/2 non-empty
+    // spans; the redundant version extracts the same set.
+    let vset = redundant_ones_span();
+    for n in [2usize, 4, 8, 12] {
+        let doc = Word::from_symbols(vec![1; n]);
+        let count = count_answers_exact(&vset, &doc).unwrap().to_u64().unwrap();
+        assert_eq!(count, (n * (n + 1) / 2) as u64, "n={n}");
+    }
+}
