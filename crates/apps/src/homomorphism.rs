@@ -126,11 +126,8 @@ pub fn hom_to_database(graph: &ProbGraph, query: &PathQuery) -> Result<ProbDatab
             bits: e.bits,
         });
     }
-    let tuples = query
-        .labels
-        .iter()
-        .map(|l| by_label.get(l).cloned().unwrap_or_default())
-        .collect();
+    let tuples =
+        query.labels.iter().map(|l| by_label.get(l).cloned().unwrap_or_default()).collect();
     Ok(ProbDatabase { adom: graph.vertices, tuples })
 }
 
@@ -238,27 +235,19 @@ mod tests {
     #[test]
     fn two_hop_walk() {
         // 0 →a 1 →b 2, each Pr = 1/2: walk probability 1/4.
-        let g = ProbGraph {
-            vertices: 3,
-            edges: vec![edge(0, 1, 0, 1, 1), edge(1, 2, 1, 1, 1)],
-        };
+        let g = ProbGraph { vertices: 3, edges: vec![edge(0, 1, 0, 1, 1), edge(1, 2, 1, 1, 1)] };
         let q = PathQuery { labels: vec![0, 1] };
         assert!((hom_exact(&g, &q).unwrap() - 0.25).abs() < 1e-12);
         // The b-edge leaves from vertex 2, which no a-edge reaches: 0.
-        let disconnected = ProbGraph {
-            vertices: 4,
-            edges: vec![edge(0, 1, 0, 1, 1), edge(2, 3, 1, 1, 1)],
-        };
+        let disconnected =
+            ProbGraph { vertices: 4, edges: vec![edge(0, 1, 0, 1, 1), edge(2, 3, 1, 1, 1)] };
         assert_eq!(hom_exact(&disconnected, &q).unwrap(), 0.0);
     }
 
     #[test]
     fn parallel_witnesses_union() {
         // Two disjoint a-edges: Pr[∃ a-walk] = 1 − (1−p)(1−q).
-        let g = ProbGraph {
-            vertices: 4,
-            edges: vec![edge(0, 1, 5, 1, 2), edge(2, 3, 5, 3, 2)],
-        };
+        let g = ProbGraph { vertices: 4, edges: vec![edge(0, 1, 5, 1, 2), edge(2, 3, 5, 3, 2)] };
         let q = PathQuery { labels: vec![5] };
         let expect = 1.0 - (1.0 - 0.25) * (1.0 - 0.75);
         assert!((hom_exact(&g, &q).unwrap() - expect).abs() < 1e-12);
@@ -266,10 +255,7 @@ mod tests {
 
     #[test]
     fn irrelevant_labels_are_dropped() {
-        let g = ProbGraph {
-            vertices: 3,
-            edges: vec![edge(0, 1, 0, 1, 1), edge(1, 2, 99, 1, 4)],
-        };
+        let g = ProbGraph { vertices: 3, edges: vec![edge(0, 1, 0, 1, 1), edge(1, 2, 99, 1, 4)] };
         let q = PathQuery { labels: vec![0] };
         let db = hom_to_database(&g, &q).unwrap();
         assert_eq!(db.total_bits(), 1, "only the label-0 edge contributes coins");
@@ -279,10 +265,7 @@ mod tests {
     #[test]
     fn validation_errors() {
         let g = ProbGraph { vertices: 2, edges: vec![edge(0, 1, 3, 1, 1)] };
-        assert!(matches!(
-            hom_exact(&g, &PathQuery { labels: vec![] }),
-            Err(HomError::EmptyQuery)
-        ));
+        assert!(matches!(hom_exact(&g, &PathQuery { labels: vec![] }), Err(HomError::EmptyQuery)));
         assert!(matches!(
             hom_exact(&g, &PathQuery { labels: vec![3, 3] }),
             Err(HomError::RepeatedLabel(3))

@@ -20,5 +20,7 @@ pub use homomorphism::{
     ProbEdge, ProbGraph,
 };
 pub use leakage::{estimate_leakage, LeakageEstimate};
-pub use pqe::{estimate_pqe, pqe_exact, pqe_to_nfa, PqeError, PqeEstimate, ProbDatabase, ProbTuple};
+pub use pqe::{
+    estimate_pqe, pqe_exact, pqe_to_nfa, PqeError, PqeEstimate, ProbDatabase, ProbTuple,
+};
 pub use rpq::{count_answers, rpq_instance, sample_answer, Rpq, RpqCount, RpqError};

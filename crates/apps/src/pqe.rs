@@ -160,9 +160,7 @@ pub fn pqe_to_nfa(db: &ProbDatabase) -> Result<(Nfa, usize), PqeError> {
                     Carrier::At { layer: l, value } => l + 1 == layer && value == t.src,
                 };
                 // Skip-exit: the same carrier after the block.
-                let skip_exit = *next_carriers
-                    .entry(c)
-                    .or_insert_with(|| b.add_state());
+                let skip_exit = *next_carriers.entry(c).or_insert_with(|| b.add_state());
                 if usable {
                     // Commit-exit: path extended to t.dst — or SAT if this
                     // completes the query.
@@ -225,12 +223,12 @@ fn build_tuple_gadget(
         let mut next_greater = None;
 
         let wire = |b: &mut NfaBuilder,
-                        from: StateId,
-                        sym: u8,
-                        track: Track,
-                        next_eq: &mut Option<StateId>,
-                        next_less: &mut Option<StateId>,
-                        next_greater: &mut Option<StateId>| {
+                    from: StateId,
+                    sym: u8,
+                    track: Track,
+                    next_eq: &mut Option<StateId>,
+                    next_less: &mut Option<StateId>,
+                    next_greater: &mut Option<StateId>| {
             if last {
                 match track {
                     // Equal after all bits means value == s → absent.
@@ -270,7 +268,15 @@ fn build_tuple_gadget(
         }
         if let Some(greater) = greater_state {
             for sym in 0..2u8 {
-                wire(b, greater, sym, Track::Greater, &mut next_eq, &mut next_less, &mut next_greater);
+                wire(
+                    b,
+                    greater,
+                    sym,
+                    Track::Greater,
+                    &mut next_eq,
+                    &mut next_less,
+                    &mut next_greater,
+                );
             }
         }
         eq_state = next_eq;
@@ -390,10 +396,7 @@ mod tests {
     /// Pr[∃ path] = 1 − (1−p)(1−q).
     #[test]
     fn parallel_tuples() {
-        let db = ProbDatabase {
-            adom: 3,
-            tuples: vec![vec![tuple(0, 1, 1, 2), tuple(2, 1, 3, 2)]],
-        };
+        let db = ProbDatabase { adom: 3, tuples: vec![vec![tuple(0, 1, 1, 2), tuple(2, 1, 3, 2)]] };
         let p = 0.25;
         let q = 0.75;
         let expect = 1.0 - (1.0 - p) * (1.0 - q);

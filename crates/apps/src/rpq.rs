@@ -78,8 +78,7 @@ pub fn graph_to_nfa(graph: &LabeledGraph, source: u32, target: u32) -> Result<Nf
 /// words of length-`ℓ` query answers.
 pub fn rpq_instance(graph: &LabeledGraph, query: &Rpq) -> Result<Nfa, RpqError> {
     let graph_nfa = graph_to_nfa(graph, query.source, query.target)?;
-    let query_nfa =
-        compile_regex(&query.pattern, graph_nfa.alphabet()).map_err(RpqError::Regex)?;
+    let query_nfa = compile_regex(&query.pattern, graph_nfa.alphabet()).map_err(RpqError::Regex)?;
     Ok(product(&graph_nfa, &query_nfa))
 }
 
@@ -144,11 +143,7 @@ mod tests {
 
     /// A 4-node diamond: 0 -a-> 1 -b-> 3, 0 -a-> 2 -b-> 3, 3 -a-> 0.
     fn diamond() -> LabeledGraph {
-        LabeledGraph::new(
-            4,
-            2,
-            vec![(0, 0, 1), (1, 1, 3), (0, 0, 2), (2, 1, 3), (3, 0, 0)],
-        )
+        LabeledGraph::new(4, 2, vec![(0, 0, 1), (1, 1, 3), (0, 0, 2), (2, 1, 3), (3, 0, 0)])
     }
 
     #[test]
@@ -174,9 +169,7 @@ mod tests {
         let query = Rpq { source: 0, pattern: "(ab)+a?".into(), target: 3 };
         let n = 8;
         let instance = rpq_instance(&g, &query).unwrap();
-        let exact: f64 = (0..=n)
-            .map(|ell| count_exact(&instance, ell).unwrap().to_f64())
-            .sum();
+        let exact: f64 = (0..=n).map(|ell| count_exact(&instance, ell).unwrap().to_f64()).sum();
         let mut rng = SmallRng::seed_from_u64(40);
         let res = count_answers(&g, &query, n, 0.3, 0.2, &mut rng).unwrap();
         assert_eq!(res.per_length.len(), n + 1);

@@ -68,7 +68,10 @@ impl Dfa {
         Ok(Dfa {
             alphabet: nfa.alphabet().clone(),
             initial: 0,
-            accepting: StateSet::from_iter(subsets.len(), accepting_states.iter().map(|&q| q as usize)),
+            accepting: StateSet::from_iter(
+                subsets.len(),
+                accepting_states.iter().map(|&q| q as usize),
+            ),
             trans,
         })
     }
@@ -187,7 +190,8 @@ impl Dfa {
                         _ => {}
                     }
                 }
-                same && mapping.len() == next_class.iter().collect::<std::collections::HashSet<_>>().len()
+                same && mapping.len()
+                    == next_class.iter().collect::<std::collections::HashSet<_>>().len()
             };
             class = next_class;
             if stable {

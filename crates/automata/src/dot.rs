@@ -20,7 +20,8 @@ pub fn to_dot(nfa: &Nfa) -> String {
     }
     let _ = writeln!(out, "  __start -> q{};", nfa.initial());
     // Merge labels per (from, to) pair.
-    let mut labels: std::collections::BTreeMap<(u32, u32), Vec<char>> = std::collections::BTreeMap::new();
+    let mut labels: std::collections::BTreeMap<(u32, u32), Vec<char>> =
+        std::collections::BTreeMap::new();
     for (from, sym, to) in nfa.transitions() {
         labels.entry((from, to)).or_default().push(nfa.alphabet().name(sym));
     }

@@ -63,9 +63,7 @@ pub fn levenshtein_nfa(pattern: &[Symbol], max_dist: usize, alphabet: &Alphabet)
 
     // ε-closure of (i, e): the diagonal {(i+j, e+j)}.
     let closure = |i: usize, e: usize| {
-        (0..)
-            .map(move |j| (i + j, e + j))
-            .take_while(move |&(ci, ce)| ci <= len && ce <= max_dist)
+        (0..).map(move |j| (i + j, e + j)).take_while(move |&(ci, ce)| ci <= len && ce <= max_dist)
     };
 
     for i in 0..=len {

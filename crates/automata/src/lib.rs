@@ -50,7 +50,9 @@ pub use exact_sample::ExactSampler;
 pub use levenshtein::{edit_distance, levenshtein_nfa};
 pub use masks::StepMasks;
 pub use nfa::{Nfa, NfaBuilder, StateId};
-pub use simulation::{quotient_backward, quotient_forward, reduce, forward_simulation, backward_simulation};
+pub use simulation::{
+    backward_simulation, forward_simulation, quotient_backward, quotient_forward, reduce,
+};
 pub use stateset::StateSet;
 pub use unroll::Unrolling;
 pub use word::Word;

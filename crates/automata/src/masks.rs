@@ -36,8 +36,14 @@ impl StepMasks {
             let mut s_row = Vec::with_capacity(m);
             let mut p_row = Vec::with_capacity(m);
             for q in 0..m as u32 {
-                s_row.push(StateSet::from_iter(m, nfa.successors(q, sym).iter().map(|&t| t as usize)));
-                p_row.push(StateSet::from_iter(m, nfa.predecessors(q, sym).iter().map(|&t| t as usize)));
+                s_row.push(StateSet::from_iter(
+                    m,
+                    nfa.successors(q, sym).iter().map(|&t| t as usize),
+                ));
+                p_row.push(StateSet::from_iter(
+                    m,
+                    nfa.predecessors(q, sym).iter().map(|&t| t as usize),
+                ));
             }
             succ.push(s_row);
             pred.push(p_row);

@@ -289,7 +289,10 @@ impl NfaBuilder {
             alphabet: self.alphabet,
             num_states: self.num_states,
             initial,
-            accepting: StateSet::from_iter(self.num_states, self.accepting.iter().map(|&q| q as usize)),
+            accepting: StateSet::from_iter(
+                self.num_states,
+                self.accepting.iter().map(|&q| q as usize),
+            ),
             succ,
             pred,
             num_transitions,

@@ -68,9 +68,9 @@ pub fn from_text(text: &str) -> Result<Nfa, ParseNfaError> {
     let mut pending: Vec<(usize, String)> = Vec::new(); // lines before `states`
 
     let handle_line = |lineno: usize,
-                           fields: &[&str],
-                           alphabet: &mut Option<Alphabet>,
-                           builder: &mut Option<NfaBuilder>|
+                       fields: &[&str],
+                       alphabet: &mut Option<Alphabet>,
+                       builder: &mut Option<NfaBuilder>|
      -> Result<(), ParseNfaError> {
         match fields[0] {
             "alphabet" => {
@@ -134,9 +134,9 @@ pub fn from_text(text: &str) -> Result<Nfa, ParseNfaError> {
                             .next()
                             .filter(|_| fields[2].chars().count() == 1)
                             .ok_or_else(|| err(lineno, "symbol must be one character".into()))?;
-                        let sym = a
-                            .symbol(sym_char)
-                            .ok_or_else(|| err(lineno, format!("symbol {sym_char:?} not in alphabet")))?;
+                        let sym = a.symbol(sym_char).ok_or_else(|| {
+                            err(lineno, format!("symbol {sym_char:?} not in alphabet"))
+                        })?;
                         if (from as usize) >= b.num_states() || (to as usize) >= b.num_states() {
                             return Err(err(lineno, "transition endpoint out of range".into()));
                         }

@@ -311,13 +311,12 @@ impl Regex {
             Regex::Alt(arms) => arms.iter().any(|a| a.matches(word)),
             Regex::Star(inner) => {
                 word.is_empty()
-                    || (1..=word.len()).any(|k| inner.matches(&word[..k]) && self.matches(&word[k..]))
+                    || (1..=word.len())
+                        .any(|k| inner.matches(&word[..k]) && self.matches(&word[k..]))
             }
-            Regex::Plus(inner) => {
-                (1..=word.len()).any(|k| {
-                    inner.matches(&word[..k]) && Regex::Star(inner.clone()).matches(&word[k..])
-                })
-            }
+            Regex::Plus(inner) => (1..=word.len()).any(|k| {
+                inner.matches(&word[..k]) && Regex::Star(inner.clone()).matches(&word[k..])
+            }),
             Regex::Opt(inner) => word.is_empty() || inner.matches(word),
             Regex::Repeat(inner, lo, hi) => {
                 fn rep(inner: &Regex, count_min: usize, count_max: usize, word: &[Symbol]) -> bool {
@@ -382,10 +381,8 @@ fn matches_seq(parts: &[Regex], word: &[Symbol]) -> bool {
 /// not arise from parsing.
 pub fn compile_regex(pattern: &str, alphabet: &Alphabet) -> Result<Nfa, RegexError> {
     let re = Regex::parse(pattern, alphabet)?;
-    re.compile(alphabet).ok_or(RegexError {
-        position: 0,
-        message: "pattern denotes the empty language".into(),
-    })
+    re.compile(alphabet)
+        .ok_or(RegexError { position: 0, message: "pattern denotes the empty language".into() })
 }
 
 /// Thompson ε-NFA under construction.
@@ -519,7 +516,8 @@ impl EpsNfa {
         for &(a, b) in &self.eps {
             adj[a].push(b);
         }
-        let closures: Vec<Vec<usize>> = (0..self.num_states).map(|q| self.closure(&adj, q)).collect();
+        let closures: Vec<Vec<usize>> =
+            (0..self.num_states).map(|q| self.closure(&adj, q)).collect();
 
         let mut b = NfaBuilder::new(alphabet.clone());
         b.add_states(self.num_states);
@@ -660,13 +658,25 @@ mod tests {
     fn to_pattern_round_trips_named_cases() {
         let a = Alphabet::binary();
         for pattern in [
-            "0110", "01|10|11", "0*1+", "(01)*", "1?0?1", ".1.", "[01]1[1]",
-            "[^0]*", "1{3}", "(0|1){2,4}", "((0|1)0)*1?", "(0*|1*)(01)+", "",
+            "0110",
+            "01|10|11",
+            "0*1+",
+            "(01)*",
+            "1?0?1",
+            ".1.",
+            "[01]1[1]",
+            "[^0]*",
+            "1{3}",
+            "(0|1){2,4}",
+            "((0|1)0)*1?",
+            "(0*|1*)(01)+",
+            "",
         ] {
             let re = Regex::parse(pattern, &a).unwrap();
             let rendered = re.to_pattern(&a);
-            let reparsed = Regex::parse(&rendered, &a)
-                .unwrap_or_else(|e| panic!("{pattern:?} rendered to unparseable {rendered:?}: {e}"));
+            let reparsed = Regex::parse(&rendered, &a).unwrap_or_else(|e| {
+                panic!("{pattern:?} rendered to unparseable {rendered:?}: {e}")
+            });
             for n in 0..=5usize {
                 for idx in 0..(1u64 << n) {
                     let w = Word::from_index(idx, n, 2);

@@ -49,9 +49,7 @@ fn simulation(nfa: &Nfa, dir: Direction) -> Vec<StateSet> {
         .map(|q| {
             StateSet::from_iter(
                 m,
-                (0..m as StateId)
-                    .filter(|&p| !observes(q) || observes(p))
-                    .map(|p| p as usize),
+                (0..m as StateId).filter(|&p| !observes(q) || observes(p)).map(|p| p as usize),
             )
         })
         .collect();

@@ -19,10 +19,7 @@ pub struct StateSet {
 impl StateSet {
     /// The empty set over a universe of `universe` states.
     pub fn empty(universe: usize) -> Self {
-        StateSet {
-            universe: universe as u32,
-            words: vec![0; universe.div_ceil(64)],
-        }
+        StateSet { universe: universe as u32, words: vec![0; universe.div_ceil(64)] }
     }
 
     /// The singleton `{state}`.
@@ -62,7 +59,11 @@ impl StateSet {
     /// Panics (in debug builds) if `state` is outside the universe.
     #[inline]
     pub fn insert(&mut self, state: usize) {
-        debug_assert!(state < self.universe as usize, "state {state} outside universe {}", self.universe);
+        debug_assert!(
+            state < self.universe as usize,
+            "state {state} outside universe {}",
+            self.universe
+        );
         self.words[state / 64] |= 1u64 << (state % 64);
     }
 

@@ -196,7 +196,10 @@ mod tests {
                 match u.witness(&nfa, q, level) {
                     Some(w) => {
                         assert_eq!(w.len(), level);
-                        assert!(nfa.reach(&w).contains(q as usize), "witness {w:?} must reach q{q}");
+                        assert!(
+                            nfa.reach(&w).contains(q as usize),
+                            "witness {w:?} must reach q{q}"
+                        );
                         // Determinism.
                         assert_eq!(u.witness(&nfa, q, level), Some(w));
                     }

@@ -79,7 +79,10 @@ impl Word {
         let k = alphabet_size as u64;
         let mut idx: u64 = 0;
         for &s in &self.syms {
-            idx = idx.checked_mul(k).and_then(|v| v.checked_add(s as u64)).expect("word too long for u64 index");
+            idx = idx
+                .checked_mul(k)
+                .and_then(|v| v.checked_add(s as u64))
+                .expect("word too long for u64 index");
         }
         idx
     }

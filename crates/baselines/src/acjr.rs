@@ -95,7 +95,10 @@ impl AcjrParams {
 
     fn validate(&self) -> Result<(), FprasError> {
         if !(self.eps > 0.0 && self.eps < 1.0) {
-            return Err(FprasError::InvalidParams(format!("eps must be in (0,1), got {}", self.eps)));
+            return Err(FprasError::InvalidParams(format!(
+                "eps must be in (0,1), got {}",
+                self.eps
+            )));
         }
         if !(self.delta > 0.0 && self.delta < 1.0) {
             return Err(FprasError::InvalidParams(format!(
@@ -288,7 +291,15 @@ impl AcjrRun {
                 while collected.len() < params.ns && attempts < params.xns {
                     attempts += 1;
                     if let Some(w) = sample_once(
-                        params, &normalized, &unroll, &table, &mut memo, q, ell, rng, &mut stats,
+                        params,
+                        &normalized,
+                        &unroll,
+                        &table,
+                        &mut memo,
+                        q,
+                        ell,
+                        rng,
+                        &mut stats,
                     ) {
                         let reach = masks.reach(&w);
                         collected.push(SampleEntry { word: w, reach });

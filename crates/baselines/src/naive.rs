@@ -39,11 +39,8 @@ pub fn naive_mc<R: Rng + ?Sized>(nfa: &Nfa, n: usize, trials: u64, rng: &mut R) 
         }
     }
     let space = ExtFloat::from_f64(k as f64).powi_ext(n);
-    let estimate = if hits == 0 {
-        ExtFloat::ZERO
-    } else {
-        space.scale(hits as f64 / trials as f64)
-    };
+    let estimate =
+        if hits == 0 { ExtFloat::ZERO } else { space.scale(hits as f64 / trials as f64) };
     NaiveResult { estimate, hits, trials }
 }
 

@@ -106,10 +106,10 @@ impl<'a> PathSampler<'a> {
         let mut rev_syms = Vec::with_capacity(self.n);
         for ell in (1..=self.n).rev() {
             let k = self.nfa.alphabet().size() as u8;
-            let choices = (0..k).flat_map(|sym| {
-                self.nfa.predecessors(q, sym).iter().map(move |&p| (p, sym))
-            });
-            let (p, sym) = self.pick_weighted(rng, choices, |(p, _)| &self.fwd[ell - 1][p as usize]);
+            let choices =
+                (0..k).flat_map(|sym| self.nfa.predecessors(q, sym).iter().map(move |&p| (p, sym)));
+            let (p, sym) =
+                self.pick_weighted(rng, choices, |(p, _)| &self.fwd[ell - 1][p as usize]);
             rev_syms.push(sym);
             q = p;
         }
@@ -323,9 +323,8 @@ mod tests {
         // "1111": runs may switch to q1 at positions 1, 2 or 3... exact
         // value must match a hand count via the path DP restricted to the
         // word; cross-check against summing over all words instead.
-        let total: BigUint = (0..16u64)
-            .map(|idx| sampler.multiplicity(&Word::from_index(idx, 4, 2)))
-            .sum();
+        let total: BigUint =
+            (0..16u64).map(|idx| sampler.multiplicity(&Word::from_index(idx, 4, 2))).sum();
         assert_eq!(&total, sampler.total_paths());
     }
 

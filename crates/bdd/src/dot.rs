@@ -21,8 +21,7 @@ pub fn to_dot(bdd: &Bdd, root: NodeId) -> String {
             continue;
         }
         let (lo, hi) = bdd.children(node);
-        writeln!(out, "  n{} [shape=circle, label=\"x{}\"];", node.index(), bdd.var(node))
-            .unwrap();
+        writeln!(out, "  n{} [shape=circle, label=\"x{}\"];", node.index(), bdd.var(node)).unwrap();
         writeln!(out, "  n{} -> n{} [style=dashed];", node.index(), lo.index()).unwrap();
         writeln!(out, "  n{} -> n{};", node.index(), hi.index()).unwrap();
         stack.push(lo);

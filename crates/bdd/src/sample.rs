@@ -59,11 +59,8 @@ impl<'a> ModelSampler<'a> {
             assignment[var as usize] = take_hi;
             let child = if take_hi { hi } else { lo };
             // Don't-care variables between this node and the child.
-            let child_var = if child.is_terminal() {
-                num_vars
-            } else {
-                self.ctx.bdd().var(child) as usize
-            };
+            let child_var =
+                if child.is_terminal() { num_vars } else { self.ctx.bdd().var(child) as usize };
             for slot in assignment.iter_mut().take(child_var).skip(var as usize + 1) {
                 *slot = rng.random::<bool>();
             }

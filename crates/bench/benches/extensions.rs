@@ -121,5 +121,12 @@ fn bench_spanner(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_bdd, bench_path_is, bench_parallel, bench_simulation, bench_spanner);
+criterion_group!(
+    benches,
+    bench_bdd,
+    bench_path_is,
+    bench_parallel,
+    bench_simulation,
+    bench_spanner
+);
 criterion_main!(benches);

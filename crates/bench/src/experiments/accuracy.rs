@@ -21,7 +21,10 @@ pub fn accuracy_instances() -> Vec<(String, Nfa, usize)> {
         ("exactly-4-ones".into(), families::exactly_k_ones(4), 14),
         (
             "random-m10".into(),
-            random_nfa(&RandomNfaConfig { states: 10, density: 1.6, ..Default::default() }, &mut rng),
+            random_nfa(
+                &RandomNfaConfig { states: 10, density: 1.6, ..Default::default() },
+                &mut rng,
+            ),
             10,
         ),
     ]
@@ -39,7 +42,14 @@ pub fn e1_accuracy(quick: bool) -> String {
          Setup: practical profile, ε = {eps}, δ = {delta}, {trials} seeded runs per instance.\n\n"
     ));
     let mut table = Table::new(vec![
-        "instance", "n", "exact", "mean est", "rel-err p50", "rel-err p95", "within ε", "target",
+        "instance",
+        "n",
+        "exact",
+        "mean est",
+        "rel-err p50",
+        "rel-err p95",
+        "within ε",
+        "target",
     ]);
     for (name, nfa, n) in accuracy_instances() {
         let exact = count_exact(&nfa, n).expect("instances are exactly countable").to_f64();

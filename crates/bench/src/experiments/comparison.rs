@@ -22,7 +22,12 @@ pub fn e5_sample_budgets(_quick: bool) -> String {
          runnable practical profiles used in measured experiments.\n\n",
     );
     let mut table = Table::new(vec![
-        "m", "n", "ε", "ACJR κ⁷ (paper)", "ours ns (paper)", "ACJR ns (practical)",
+        "m",
+        "n",
+        "ε",
+        "ACJR κ⁷ (paper)",
+        "ours ns (paper)",
+        "ACJR ns (practical)",
         "ours ns (practical)",
     ]);
     for &(m, n, eps) in
@@ -68,7 +73,13 @@ pub fn e6_vs_acjr(quick: bool) -> String {
          with m. Setup: random NFAs, n = {n}, ε = {eps}, δ = {delta}, {trials} runs.\n\n"
     ));
     let mut table = Table::new(vec![
-        "m", "ours wall", "acjr wall", "ours ops", "acjr ops", "ours err", "acjr err",
+        "m",
+        "ours wall",
+        "acjr wall",
+        "ours ops",
+        "acjr ops",
+        "ours err",
+        "acjr err",
     ]);
     let mut series: Vec<(f64, f64, f64, f64, f64)> = Vec::new(); // m, ours wall, acjr wall, ours ops, acjr ops
     for &m in ms {
@@ -77,7 +88,9 @@ pub fn e6_vs_acjr(quick: bool) -> String {
         let exact = count_exact(&nfa, n).expect("small instances count exactly").to_f64();
         let mut acc = [(0.0f64, 0u64, 0.0f64); 2]; // (wall, ops, err) per method
         for seed in 0..trials as u64 {
-            for (slot, kind) in [CounterKind::Fpras, CounterKind::Acjr].iter().enumerate() {
+            for (slot, kind) in
+                [CounterKind::Fpras { threads: 0 }, CounterKind::Acjr].iter().enumerate()
+            {
                 let outp = run_counter(kind, &nfa, n, eps, delta, 6100 + seed).expect("run");
                 acc[slot].0 += outp.wall.as_secs_f64();
                 acc[slot].1 += outp.ops;
@@ -87,7 +100,13 @@ pub fn e6_vs_acjr(quick: bool) -> String {
             }
         }
         let t = trials as f64;
-        series.push((m as f64, acc[0].0 / t, acc[1].0 / t, acc[0].1 as f64 / t, acc[1].1 as f64 / t));
+        series.push((
+            m as f64,
+            acc[0].0 / t,
+            acc[1].0 / t,
+            acc[0].1 as f64 / t,
+            acc[1].1 as f64 / t,
+        ));
         table.row(vec![
             m.to_string(),
             fdur(std::time::Duration::from_secs_f64(acc[0].0 / t)),
@@ -141,26 +160,34 @@ pub fn e11_crossover(quick: bool) -> String {
     ];
     let naive_trials = if quick { 20_000 } else { 200_000 };
     let mut table = Table::new(vec![
-        "instance", "n", "exact", "fpras est", "fpras wall", "naive est", "naive wall",
-        "exact-dp wall", "dp width",
+        "instance",
+        "n",
+        "exact",
+        "fpras est",
+        "fpras wall",
+        "naive est",
+        "naive wall",
+        "exact-dp wall",
+        "dp width",
     ]);
     for (name, nfa, n) in instances {
-        let fp = run_counter(&CounterKind::Fpras, &nfa, n, 0.3, 0.1, 11_000).expect("fpras");
-        let nv = run_counter(&CounterKind::NaiveMc { trials: naive_trials }, &nfa, n, 0.3, 0.1, 11_001)
-            .expect("naive");
+        let fp = run_counter(&CounterKind::Fpras { threads: 0 }, &nfa, n, 0.3, 0.1, 11_000)
+            .expect("fpras");
+        let nv =
+            run_counter(&CounterKind::NaiveMc { trials: naive_trials }, &nfa, n, 0.3, 0.1, 11_001)
+                .expect("naive");
         let start = std::time::Instant::now();
         let dp = Determinization::build_capped(&nfa, n, 1 << 18);
         let dp_wall = start.elapsed();
         let (exact_str, dp_wall_str, width_str) = match &dp {
-            Ok(d) => (
-                fnum(d.slice_count(n).to_f64()),
-                fdur(dp_wall),
-                d.max_width().to_string(),
-            ),
+            Ok(d) => (fnum(d.slice_count(n).to_f64()), fdur(dp_wall), d.max_width().to_string()),
             Err(_) => ("—".to_string(), "—".to_string(), format!(">{}", 1 << 18)),
         };
-        let naive_est =
-            if nv.estimate.is_zero() { "— (0 hits)".to_string() } else { fnum(nv.estimate.to_f64()) };
+        let naive_est = if nv.estimate.is_zero() {
+            "— (0 hits)".to_string()
+        } else {
+            fnum(nv.estimate.to_f64())
+        };
         table.row(vec![
             name.to_string(),
             n.to_string(),

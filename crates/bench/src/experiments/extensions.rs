@@ -37,8 +37,15 @@ pub fn e12_path_is(quick: bool) -> String {
         ),
     ];
     let mut table = Table::new(vec![
-        "instance", "exact", "path-is est", "rse", "max amb", "pis wall", "fpras est",
-        "fpras err", "fpras wall",
+        "instance",
+        "exact",
+        "path-is est",
+        "rse",
+        "max amb",
+        "pis wall",
+        "fpras est",
+        "fpras err",
+        "fpras wall",
     ]);
     for (name, nfa) in instances {
         let exact = count_exact(&nfa, n).expect("small").to_f64();
@@ -94,17 +101,20 @@ pub fn e13_bdd_landscape(quick: bool) -> String {
     // methods must actually die, not merely sweat.
     let k_hard = if quick { 8 } else { 14 };
     let instances: Vec<(String, fpras_automata::Nfa, usize)> = vec![
-        (
-            format!("kth-from-end k={k_fixed}"),
-            families::kth_symbol_from_end(k_fixed),
-            2 * k_fixed,
-        ),
+        (format!("kth-from-end k={k_fixed}"), families::kth_symbol_from_end(k_fixed), 2 * k_fixed),
         (format!("halves-differ k={k_hard}"), families::halves_differ(k_hard), 2 * k_hard),
         ("contains-101".into(), families::contains_substring(&[1, 0, 1]), 24),
         ("divisible-by-7".into(), families::divisible_by(7), 24),
     ];
     let mut table = Table::new(vec![
-        "instance", "m", "n", "dp width", "dp wall", "bdd nodes", "bdd wall", "fpras log2",
+        "instance",
+        "m",
+        "n",
+        "dp width",
+        "dp wall",
+        "bdd nodes",
+        "bdd wall",
+        "fpras log2",
         "fpras wall",
     ]);
     for (name, nfa, n) in instances {
@@ -214,7 +224,13 @@ pub fn e15_reduction(quick: bool) -> String {
         ("ones-mod-5 (already minimal)".into(), families::ones_mod_k(5), 12),
     ];
     let mut table = Table::new(vec![
-        "instance", "m", "m reduced", "wall", "wall reduced", "est log2", "est log2 reduced",
+        "instance",
+        "m",
+        "m reduced",
+        "wall",
+        "wall reduced",
+        "est log2",
+        "est log2 reduced",
     ]);
     for (name, nfa, n) in instances {
         let started = Instant::now();
@@ -296,7 +312,13 @@ pub fn e16_spanner(quick: bool) -> String {
     };
     let lens: &[usize] = if quick { &[6, 10] } else { &[6, 10, 14, 18] };
     let mut table = Table::new(vec![
-        "doc len", "nfa states", "answers", "runs", "fpras est", "err", "fpras wall",
+        "doc len",
+        "nfa states",
+        "answers",
+        "runs",
+        "fpras est",
+        "err",
+        "fpras wall",
     ]);
     for &len in lens {
         // Mixed document: 1-runs separated by zeros.
@@ -308,11 +330,8 @@ pub fn e16_spanner(quick: bool) -> String {
         let mut rng = SmallRng::seed_from_u64(1600 + len as u64);
         let est = estimate_answers(&spanner, &doc, 0.25, 0.1, &mut rng).expect("fpras");
         let wall = started.elapsed();
-        let err = if answers == 0.0 {
-            0.0
-        } else {
-            (est.estimate.to_f64() - answers).abs() / answers
-        };
+        let err =
+            if answers == 0.0 { 0.0 } else { (est.estimate.to_f64() - answers).abs() / answers };
         table.row(vec![
             len.to_string(),
             est.nfa_states.to_string(),

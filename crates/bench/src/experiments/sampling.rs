@@ -113,7 +113,11 @@ pub fn e8_ablations(quick: bool) -> String {
         }),
     ];
     let mut table = Table::new(vec![
-        "variant", "mean rel-err", "TV to uniform", "mean wall", "mean membership ops",
+        "variant",
+        "mean rel-err",
+        "TV to uniform",
+        "mean wall",
+        "mean membership ops",
     ]);
     for (name, params) in variants {
         let mut errs = 0.0;

@@ -37,12 +37,7 @@ fn run_point(m: usize, n: usize, eps: f64, instance_seed: u64, run_seed: u64) ->
     }
 }
 
-fn render(
-    id: &str,
-    claim: &str,
-    x_name: &str,
-    points: Vec<Point>,
-) -> String {
+fn render(id: &str, claim: &str, x_name: &str, points: Vec<Point>) -> String {
     let xs: Vec<f64> = points.iter().map(|p| p.x).collect();
     let walls: Vec<f64> = points.iter().map(|p| p.wall).collect();
     let ops: Vec<f64> = points.iter().map(|p| p.ops as f64).collect();

@@ -99,7 +99,12 @@ pub fn e10_appunion(quick: bool) -> String {
          sets, 4096 elements each, overlap-controlled; per-set sample lists of 4000.\n\n",
     );
     let mut table = Table::new(vec![
-        "overlap", "ε", "mean rel-err (KL)", "p95 rel-err (KL)", "KL ops", "rel-err (exhaustive)",
+        "overlap",
+        "ε",
+        "mean rel-err (KL)",
+        "p95 rel-err (KL)",
+        "KL ops",
+        "rel-err (exhaustive)",
         "exhaustive ops",
     ]);
     for &overlap in &[0.0, 0.5, 0.9] {

@@ -1,0 +1,202 @@
+//! Machine-readable benchmark output.
+//!
+//! `experiments --json [PATH]` writes a `BENCH_counter.json` so later
+//! PRs have a perf trajectory to compare against: one record per
+//! `(instance, method, threads)` cell with wall time and the estimate.
+//! The encoder is hand-rolled (the workspace vendors no serde) and the
+//! schema is deliberately flat — downstream tooling should need nothing
+//! beyond a JSON array of objects.
+
+use fpras_baselines::{run_counter, CounterKind};
+use fpras_workloads::families;
+
+/// Default output path for [`write_counter_json`].
+pub const DEFAULT_JSON_PATH: &str = "BENCH_counter.json";
+
+/// One `(instance, method, threads)` measurement.
+#[derive(Debug, Clone)]
+pub struct CounterMeasurement {
+    /// Instance label (`family/n=…`).
+    pub instance: String,
+    /// Counter label from [`CounterKind::label`].
+    pub method: String,
+    /// Engine worker threads (0 = serial policy; exact methods report 0).
+    pub threads: usize,
+    /// Wall-clock seconds.
+    pub wall_seconds: f64,
+    /// The (estimated or exact) count as `f64`.
+    pub estimate: f64,
+    /// `log2` of the estimate (stable even when the count overflows
+    /// `f64`; negative infinity for zero).
+    pub estimate_log2: f64,
+    /// Membership/word operations attributed to the run.
+    pub ops: u64,
+}
+
+/// Runs the counter matrix the JSON report records: three instance
+/// families × the FPRAS engine at several thread counts × the exact DP
+/// as ground truth. `quick` shrinks instance sizes for smoke passes.
+pub fn counter_matrix(quick: bool, seed: u64) -> Vec<CounterMeasurement> {
+    let n = if quick { 10 } else { 14 };
+    let instances = [
+        ("contains-11", families::contains_substring(&[1, 1])),
+        ("ones-mod-4", families::ones_mod_k(4)),
+        ("div-by-5", families::divisible_by(5)),
+    ];
+    // threads = 0 is the Serial policy; ≥ 1 the Deterministic policy.
+    let fpras_threads = [0usize, 1, 2, 4, 8];
+    let mut out = Vec::new();
+    for (name, nfa) in &instances {
+        let instance = format!("{name}/n={n}");
+        for &threads in &fpras_threads {
+            let kind = CounterKind::Fpras { threads };
+            let r = run_counter(&kind, nfa, n, 0.25, 0.1, seed).expect("fpras run");
+            out.push(CounterMeasurement {
+                instance: instance.clone(),
+                method: kind.label().to_string(),
+                threads,
+                wall_seconds: r.wall.as_secs_f64(),
+                estimate: r.estimate.to_f64(),
+                estimate_log2: r.estimate.log2(),
+                ops: r.ops,
+            });
+        }
+        let exact = run_counter(&CounterKind::ExactDp, nfa, n, 0.25, 0.1, seed).expect("exact dp");
+        out.push(CounterMeasurement {
+            instance,
+            method: CounterKind::ExactDp.label().to_string(),
+            threads: 0,
+            wall_seconds: exact.wall.as_secs_f64(),
+            estimate: exact.estimate.to_f64(),
+            estimate_log2: exact.estimate.log2(),
+            ops: exact.ops,
+        });
+    }
+    out
+}
+
+/// Renders the measurements as a pretty-printed JSON array.
+pub fn to_json(measurements: &[CounterMeasurement]) -> String {
+    let mut s = String::from("[\n");
+    for (i, m) in measurements.iter().enumerate() {
+        s.push_str("  {");
+        s.push_str(&format!("\"instance\": {}, ", quote(&m.instance)));
+        s.push_str(&format!("\"method\": {}, ", quote(&m.method)));
+        s.push_str(&format!("\"threads\": {}, ", m.threads));
+        s.push_str(&format!("\"wall_seconds\": {}, ", number(m.wall_seconds)));
+        s.push_str(&format!("\"estimate\": {}, ", number(m.estimate)));
+        s.push_str(&format!("\"estimate_log2\": {}, ", number(m.estimate_log2)));
+        s.push_str(&format!("\"ops\": {}", m.ops));
+        s.push('}');
+        if i + 1 < measurements.len() {
+            s.push(',');
+        }
+        s.push('\n');
+    }
+    s.push_str("]\n");
+    s
+}
+
+/// Runs the matrix and writes it to `path` (or [`DEFAULT_JSON_PATH`]).
+/// Returns the resolved path.
+pub fn write_counter_json(path: Option<&str>, quick: bool, seed: u64) -> std::io::Result<String> {
+    let path = path.unwrap_or(DEFAULT_JSON_PATH).to_string();
+    let measurements = counter_matrix(quick, seed);
+    std::fs::write(&path, to_json(&measurements))?;
+    Ok(path)
+}
+
+/// JSON string escaping (the subset our labels can contain).
+fn quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Finite JSON numbers; infinities/NaN (possible for `log2(0)`) become
+/// `null` to keep the document valid.
+fn number(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_document_is_well_formed() {
+        let ms = vec![
+            CounterMeasurement {
+                instance: "i/n=4".into(),
+                method: "fpras(ours)".into(),
+                threads: 2,
+                wall_seconds: 0.25,
+                estimate: 12.0,
+                estimate_log2: 12f64.log2(),
+                ops: 99,
+            },
+            CounterMeasurement {
+                instance: "empty \"quoted\"".into(),
+                method: "exact-dp".into(),
+                threads: 0,
+                wall_seconds: 0.0,
+                estimate: 0.0,
+                estimate_log2: f64::NEG_INFINITY,
+                ops: 0,
+            },
+        ];
+        let doc = to_json(&ms);
+        assert!(doc.starts_with("[\n"));
+        assert!(doc.ends_with("]\n"));
+        assert!(doc.contains("\"threads\": 2"));
+        assert!(doc.contains("\\\"quoted\\\""));
+        // log2(0) must not produce invalid JSON.
+        assert!(doc.contains("\"estimate_log2\": null"));
+        assert_eq!(doc.matches('{').count(), 2);
+        assert_eq!(doc.matches('}').count(), 2);
+    }
+
+    #[test]
+    fn matrix_covers_methods_and_threads() {
+        let ms = counter_matrix(true, 7);
+        // 3 instances × (5 fpras thread settings + 1 exact).
+        assert_eq!(ms.len(), 18);
+        assert!(ms.iter().any(|m| m.method == "exact-dp"));
+        assert!(ms.iter().any(|m| m.threads == 8));
+        // Deterministic policy: identical estimates for threads 1/2/4/8.
+        for (name, _) in [("contains-11", ()), ("ones-mod-4", ()), ("div-by-5", ())] {
+            let dets: Vec<f64> = ms
+                .iter()
+                .filter(|m| m.instance.starts_with(name) && m.threads >= 1)
+                .map(|m| m.estimate)
+                .collect();
+            assert!(dets.windows(2).all(|w| w[0] == w[1]), "{name}: {dets:?}");
+        }
+        // And every FPRAS estimate is within the ε band of exact.
+        for (name, _) in [("contains-11", ()), ("ones-mod-4", ()), ("div-by-5", ())] {
+            let exact = ms
+                .iter()
+                .find(|m| m.instance.starts_with(name) && m.method == "exact-dp")
+                .expect("exact row")
+                .estimate;
+            for m in ms.iter().filter(|m| m.instance.starts_with(name) && m.method != "exact-dp") {
+                let err = (m.estimate - exact).abs() / exact;
+                assert!(err < 0.25, "{name} t={}: err {err}", m.threads);
+            }
+        }
+    }
+}

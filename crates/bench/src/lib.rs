@@ -11,6 +11,8 @@
 //! * `cargo bench` runs the Criterion micro/meso benchmarks.
 
 pub mod experiments;
+pub mod json;
 pub mod table;
 
 pub use experiments::{registry, Experiment};
+pub use json::{write_counter_json, CounterMeasurement, DEFAULT_JSON_PATH};

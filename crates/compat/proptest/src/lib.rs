@@ -1,0 +1,348 @@
+//! Vendored, dependency-free subset of the `proptest` crate API.
+//!
+//! The build environment has no network access to crates.io, so this
+//! workspace ships the slice of `proptest` it uses: the [`proptest!`]
+//! macro (both `pat in strategy` and `name: Type` argument forms),
+//! range/tuple/`collection::vec`/[`any`] strategies, `prop_assert!` /
+//! `prop_assert_eq!`, and [`ProptestConfig::with_cases`].
+//!
+//! Differences from upstream: cases are generated from a fixed seed (so
+//! failures reproduce deterministically) and there is **no shrinking** —
+//! a failing case panics with the generated inputs unreduced.
+
+use rand::{rngs::SmallRng, SeedableRng};
+use std::ops::{Range, RangeFrom, RangeInclusive};
+
+/// The RNG strategies draw from.
+pub type TestRng = SmallRng;
+
+/// Test-runner configuration (only `cases` is supported).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A value generator.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+    /// Produces one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! impl_int_strategies {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                use rand::RngExt;
+                rng.random_range(self.clone())
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                use rand::RngExt;
+                rng.random_range(self.clone())
+            }
+        }
+
+        impl Strategy for RangeFrom<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                use rand::RngExt;
+                rng.random_range(self.start..=<$t>::MAX)
+            }
+        }
+    )*};
+}
+
+impl_int_strategies!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        use rand::RngExt;
+        rng.random_range(self.clone())
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                #[allow(non_snake_case)]
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+
+/// A constant strategy (always yields a clone of its value).
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Types with a canonical whole-domain strategy ([`any`]).
+pub trait Arbitrary: Sized {
+    /// Generates an arbitrary value of the type.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                use rand::RngExt;
+                rng.random_range(<$t>::MIN..=<$t>::MAX)
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        use rand::RngExt;
+        rng.random::<bool>()
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        use rand::RngExt;
+        // Finite, sign-symmetric, spanning many magnitudes.
+        let mag: f64 = rng.random_range(-300.0..300.0);
+        let sign = if rng.random::<bool>() { 1.0 } else { -1.0 };
+        sign * 10f64.powf(mag)
+    }
+}
+
+/// Strategy returned by [`any`].
+pub struct AnyStrategy<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The whole-domain strategy for `T`.
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy(std::marker::PhantomData)
+}
+
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Strategy for `Vec<S::Value>` with length drawn from `sizes`.
+    pub struct VecStrategy<S: Strategy> {
+        element: S,
+        sizes: Range<usize>,
+    }
+
+    /// Generates vectors whose elements come from `element` and whose
+    /// length is uniform in `sizes`.
+    pub fn vec<S: Strategy>(element: S, sizes: Range<usize>) -> VecStrategy<S> {
+        assert!(sizes.start < sizes.end, "collection::vec: empty size range");
+        VecStrategy { element, sizes }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            use rand::RngExt;
+            let len = rng.random_range(self.sizes.clone());
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Just, ProptestConfig, Strategy,
+    };
+}
+
+/// Asserts a condition inside a property (panics on failure; no
+/// shrinking in this vendored subset).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Declares property tests.
+///
+/// Supports the two upstream argument forms used in this workspace:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(32))]
+///     #[test]
+///     fn from_strategies(x in 0u64..100, v in proptest::collection::vec(0u8..2, 1..5)) { … }
+///     #[test]
+///     fn from_types(word: u16) { … }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($config:expr)) => {};
+    (($config:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($pat:ident in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $config;
+            let mut rng = $crate::__new_test_rng(stringify!($name));
+            for case in 0..config.cases {
+                $(let $pat = $crate::Strategy::generate(&($strat), &mut rng);)+
+                let inputs =
+                    $crate::__fmt_inputs(&[$((stringify!($pat), format!("{:?}", $pat))),+]);
+                let run = || -> () { $body };
+                match ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(run)) {
+                    Ok(()) => {}
+                    Err(payload) => {
+                        eprintln!(
+                            "property {} failed at case {case}/{}; inputs: {inputs}",
+                            stringify!($name),
+                            config.cases,
+                        );
+                        ::std::panic::resume_unwind(payload);
+                    }
+                }
+            }
+        }
+        $crate::__proptest_items! { ($config) $($rest)* }
+    };
+    (($config:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($pat:ident : $ty:ty),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $crate::__proptest_items! {
+            ($config)
+            $(#[$meta])*
+            fn $name($($pat in $crate::any::<$ty>()),+) $body
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+pub fn __new_test_rng(name: &str) -> TestRng {
+    // Deterministic per-property stream: failures always reproduce.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    TestRng::seed_from_u64(h)
+}
+
+#[doc(hidden)]
+pub fn __fmt_inputs(inputs: &[(&str, String)]) -> String {
+    inputs.iter().map(|(k, v)| format!("{k} = {v}")).collect::<Vec<_>>().join(", ")
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(40))]
+
+        /// Range strategies respect bounds.
+        #[test]
+        fn ranges_in_bounds(x in 3u64..10, y in 0usize..4, f in 0.5f64..2.0) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!(y < 4);
+            prop_assert!((0.5..2.0).contains(&f));
+        }
+
+        /// Tuple and vec strategies compose.
+        #[test]
+        fn composite_strategies(
+            pairs in crate::collection::vec((0u32..6, 0u8..2), 1..30),
+            open in 0u64..,
+        ) {
+            prop_assert!(!pairs.is_empty() && pairs.len() < 30);
+            for (a, b) in &pairs {
+                prop_assert!(*a < 6 && *b < 2);
+            }
+            let _ = open;
+        }
+
+        /// Typed-argument form draws arbitrary values.
+        #[test]
+        fn typed_args(word: u16, flag: bool) {
+            prop_assert_eq!(u32::from(word) & 0xFFFF, u32::from(word));
+            prop_assert!(flag == (flag as u8 == 1));
+        }
+    }
+
+    #[test]
+    fn deterministic_per_property() {
+        let mut a = crate::__new_test_rng("p");
+        let mut b = crate::__new_test_rng("p");
+        use rand::{Rng, RngExt};
+        assert_eq!(a.next_u64(), b.next_u64());
+        assert_eq!(a.random_range(0..100u64), b.random_range(0..100u64));
+    }
+}

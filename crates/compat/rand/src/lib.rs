@@ -1,0 +1,325 @@
+//! Vendored, dependency-free subset of the `rand` crate API.
+//!
+//! The build environment has no network access to crates.io, so this
+//! workspace ships the slice of `rand` 0.9 it actually uses: the [`Rng`]
+//! / [`RngExt`] generation traits, [`SeedableRng`], and
+//! [`rngs::SmallRng`] (xoshiro256++, the same algorithm `rand` uses for
+//! `SmallRng` on 64-bit targets, with the same SplitMix64
+//! `seed_from_u64` expansion). Seeded streams are stable across
+//! platforms and releases — the FPRAS determinism tests depend on that.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Uniform generation over a range type. Implemented for `Range` and
+/// `RangeInclusive` of the integer types the workspace samples, plus
+/// `Range<f64>`.
+pub trait SampleRange<T> {
+    /// Draws one uniform value from the range. Panics on empty ranges.
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Types with a "standard" uniform distribution for [`Rng::random`].
+pub trait StandardRandom {
+    /// Draws one value: uniform over the full domain for integers,
+    /// uniform in `[0, 1)` for floats, a fair coin for `bool`.
+    fn standard<R: Rng + ?Sized>(rng: &mut R) -> Self;
+}
+
+/// The core generation trait: a source of uniform `u64`s. Used as the
+/// generic bound throughout the workspace (`R: Rng + ?Sized`); the
+/// convenience methods live on [`RngExt`] so call sites import that
+/// explicitly (`use rand::{Rng, RngExt}`).
+pub trait Rng {
+    /// The raw source: one uniform 64-bit word.
+    fn next_u64(&mut self) -> u64;
+
+    /// One uniform 32-bit word (upper half of [`Rng::next_u64`]).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+}
+
+/// Derived generation methods (`random`, `random_range`, `random_bool`),
+/// blanket-implemented for every [`Rng`]. Not object-safe — the
+/// workspace never uses `dyn Rng`.
+pub trait RngExt: Rng {
+    /// Draws from the standard distribution of `T`.
+    fn random<T: StandardRandom>(&mut self) -> T {
+        T::standard(self)
+    }
+
+    /// Draws uniformly from `range`; panics if the range is empty.
+    fn random_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_from(self)
+    }
+
+    /// Bernoulli draw: `true` with probability `p`.
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    fn random_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "random_bool: p = {p} out of [0, 1]");
+        self.random::<f64>() < p
+    }
+}
+
+impl<R: Rng + ?Sized> RngExt for R {}
+
+/// Seedable generators.
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed (SplitMix64-expanded).
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// SplitMix64 step: advances `*state` and returns the next output.
+/// Used to expand small seeds into full generator state (the same
+/// construction `rand` uses in `SeedableRng::seed_from_u64`).
+#[inline]
+pub(crate) fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+pub mod rngs {
+    use super::{splitmix64, Rng, SeedableRng};
+
+    /// xoshiro256++ — small, fast, and statistically solid; the same
+    /// algorithm upstream `rand` backs `SmallRng` with on 64-bit
+    /// platforms. Not cryptographically secure.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl SmallRng {
+        /// Builds from raw state; at least one word must be non-zero.
+        pub fn from_state(mut s: [u64; 4]) -> Self {
+            if s == [0; 4] {
+                // The all-zero state is a fixed point; nudge it.
+                s[0] = 0x9E37_79B9_7F4A_7C15;
+            }
+            SmallRng { s }
+        }
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut state = seed;
+            let s = [
+                splitmix64(&mut state),
+                splitmix64(&mut state),
+                splitmix64(&mut state),
+                splitmix64(&mut state),
+            ];
+            SmallRng::from_state(s)
+        }
+    }
+
+    impl Rng for SmallRng {
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// Uniform `u64` below `n` (Lemire's multiply-with-rejection; unbiased).
+#[inline]
+fn u64_below<R: Rng + ?Sized>(rng: &mut R, n: u64) -> u64 {
+    debug_assert!(n > 0);
+    let mut m = (rng.next_u64() as u128) * (n as u128);
+    let mut lo = m as u64;
+    if lo < n {
+        let threshold = n.wrapping_neg() % n;
+        while lo < threshold {
+            m = (rng.next_u64() as u128) * (n as u128);
+            lo = m as u64;
+        }
+    }
+    (m >> 64) as u64
+}
+
+/// Uniform `u128` below `n` (bitmask rejection; unbiased).
+#[inline]
+fn u128_below<R: Rng + ?Sized>(rng: &mut R, n: u128) -> u128 {
+    debug_assert!(n > 0);
+    if n <= u64::MAX as u128 {
+        return u64_below(rng, n as u64) as u128;
+    }
+    let mask = u128::MAX >> (n - 1).leading_zeros();
+    loop {
+        let x = ((rng.next_u64() as u128) << 64 | rng.next_u64() as u128) & mask;
+        if x < n {
+            return x;
+        }
+    }
+}
+
+macro_rules! impl_int_ranges {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            #[inline]
+            fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "random_range: empty range");
+                // Width modulo 2^128 is exact for every source type.
+                let span = (self.end as u128).wrapping_sub(self.start as u128);
+                self.start.wrapping_add(u128_below(rng, span) as $t)
+            }
+        }
+
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            #[inline]
+            fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "random_range: empty range");
+                let span = (end as u128).wrapping_sub(start as u128).wrapping_add(1);
+                if span == 0 {
+                    // Full 128-bit domain.
+                    return ((rng.next_u64() as u128) << 64 | rng.next_u64() as u128) as $t;
+                }
+                start.wrapping_add(u128_below(rng, span) as $t)
+            }
+        }
+    )*};
+}
+
+impl_int_ranges!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize);
+
+impl SampleRange<f64> for Range<f64> {
+    #[inline]
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "random_range: empty range");
+        let unit = f64::standard(rng);
+        self.start + unit * (self.end - self.start)
+    }
+}
+
+macro_rules! impl_standard_uint {
+    ($($t:ty),*) => {$(
+        impl StandardRandom for $t {
+            #[inline]
+            fn standard<R: Rng + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_standard_uint!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl StandardRandom for bool {
+    #[inline]
+    fn standard<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        // Use the high bit: xoshiro's low bits are its weakest.
+        rng.next_u64() >> 63 == 1
+    }
+}
+
+impl StandardRandom for f64 {
+    #[inline]
+    fn standard<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        // 53 random mantissa bits → uniform in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl StandardRandom for f32 {
+    #[inline]
+    fn standard<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::RngExt as _;
+    use super::*;
+
+    #[test]
+    fn seeded_streams_are_reproducible() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SmallRng::seed_from_u64(43);
+        assert_ne!(SmallRng::seed_from_u64(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let x: u64 = rng.random_range(10..20);
+            assert!((10..20).contains(&x));
+            let y: usize = rng.random_range(0..=3);
+            assert!(y <= 3);
+            let z: f64 = rng.random_range(-2.0..3.0);
+            assert!((-2.0..3.0).contains(&z));
+            let s: i32 = rng.random_range(-5..5);
+            assert!((-5..5).contains(&s));
+        }
+    }
+
+    #[test]
+    fn unit_f64_is_uniformish() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| rng.random::<f64>()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn random_bool_matches_probability() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let n = 100_000;
+        let hits = (0..n).filter(|_| rng.random_bool(0.25)).count();
+        let rate = hits as f64 / n as f64;
+        assert!((rate - 0.25).abs() < 0.01, "rate {rate}");
+        assert!(!rng.random_bool(0.0));
+        assert!(rng.random_bool(1.0));
+    }
+
+    #[test]
+    fn small_ranges_hit_every_value() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let mut seen = [false; 7];
+        for _ in 0..1000 {
+            seen[rng.random_range(0..7usize)] = true;
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn works_through_mut_references() {
+        fn takes_generic<R: Rng + ?Sized>(rng: &mut R) -> u64 {
+            rng.random_range(0..100u64)
+        }
+        let mut rng = SmallRng::seed_from_u64(3);
+        let _ = takes_generic(&mut rng);
+        let r = &mut rng;
+        let _ = takes_generic(r);
+    }
+}

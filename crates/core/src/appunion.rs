@@ -320,9 +320,7 @@ mod tests {
                 UnionSetInput { samples: &sb, size_est: ExtFloat::from_u64(128), state: 1 },
             ];
             let mut stats = RunStats::default();
-            app_union(&params, eps, 0.01, 0.0, &sets, 2, &mut rng, &mut stats)
-                .value
-                .to_f64()
+            app_union(&params, eps, 0.01, 0.0, &sets, 2, &mut rng, &mut stats).value.to_f64()
         };
         let errs = |eps: f64| -> f64 {
             (0..10).map(|s| (run(eps, s) - 192.0).abs() / 192.0).sum::<f64>() / 10.0

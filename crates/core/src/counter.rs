@@ -1,11 +1,11 @@
-//! Algorithm 3: the main FPRAS.
+//! Algorithm 3's public result type.
 //!
-//! Processes the unrolled automaton level by level. For each useful
-//! `(q, ℓ)` cell it first estimates `N(qℓ) = sz₀ + sz₁ (+ …)` from the
-//! per-symbol predecessor unions (lines 12–17), then fills the sample
-//! multiset `S(qℓ)` with up to `ns` words drawn by Algorithm 2, padding
-//! with a fixed witness word when fewer than `ns` samples arrive within
-//! `xns` attempts (lines 21–30). The returned estimate is `N(q_F^n)`.
+//! The DP itself lives in [`crate::engine`]: one level-synchronous loop
+//! (count pass, then sample pass per level) driven through a pluggable
+//! [`ExecutionPolicy`](crate::engine::ExecutionPolicy). [`FprasRun`] is
+//! what a finished run hands back — the estimate, instrumentation, and
+//! the full `(N, S)` table, which doubles as an almost-uniform generator
+//! for `L(A_n)` (see [`crate::generator::UniformGenerator`]).
 //!
 //! Normalizations applied before the DP (DESIGN.md D7):
 //! * the automaton is trimmed to useful states — if nothing remains the
@@ -14,22 +14,15 @@
 //! * `n = 0` is answered directly (`λ ∈ L(A)` iff the initial state
 //!   accepts).
 
+use crate::engine::{run_with_policy, RunInner, Serial};
 use crate::error::FprasError;
 use crate::params::Params;
 use crate::run_stats::RunStats;
-use crate::sample_set::{SampleEntry, SampleSet};
-use crate::sampler::sample_word;
-use crate::table::{MemoKey, RunTable, SampleOutcome, UnionMemo};
-use crate::{app_union, UnionSetInput};
-use fpras_automata::ops::{trim, with_single_accepting};
-use fpras_automata::{Nfa, StateId, StateSet, StepMasks, Unrolling, Word};
+use fpras_automata::{Nfa, StateId};
 use fpras_numeric::ExtFloat;
-use rand::{Rng, RngExt};
-use std::time::Instant;
+use rand::Rng;
 
-/// A completed FPRAS run: the estimate plus the full `(N, S)` table,
-/// which doubles as an almost-uniform generator for `L(A_n)`
-/// (see [`crate::generator::UniformGenerator`]).
+/// A completed FPRAS run: the estimate plus the full `(N, S)` table.
 pub struct FprasRun {
     /// The normalized automaton the DP ran on (trimmed, single accepting
     /// state). `None` for degenerate runs (empty language or `n = 0`).
@@ -42,226 +35,21 @@ pub struct FprasRun {
     pub(crate) accepts_lambda: bool,
 }
 
-pub(crate) struct RunInner {
-    pub(crate) nfa: Nfa,
-    pub(crate) unroll: Unrolling,
-    pub(crate) table: RunTable,
-    pub(crate) memo: UnionMemo,
-    pub(crate) q_final: StateId,
-}
-
 impl FprasRun {
-    /// Runs the FPRAS on `nfa` for words of length `n`.
+    /// Runs the FPRAS on `nfa` for words of length `n` with the
+    /// [`Serial`] policy: one caller RNG threaded through the cells.
     ///
     /// Accepts any NFA (multiple accepting states are normalized away).
     /// Randomness comes entirely from `rng`, so seeded runs are
-    /// reproducible.
+    /// reproducible. For the thread-count-independent parallel runner
+    /// see [`crate::engine::run_parallel`].
     pub fn run<R: Rng + ?Sized>(
         nfa: &Nfa,
         n: usize,
         params: &Params,
         rng: &mut R,
     ) -> Result<FprasRun, FprasError> {
-        params.validate()?;
-        let start = Instant::now();
-
-        // n = 0: the DP is about positive-length words; answer directly.
-        if n == 0 {
-            let accepts = nfa.is_accepting(nfa.initial());
-            let stats = RunStats { wall: start.elapsed(), ..RunStats::default() };
-            return Ok(FprasRun {
-                inner: None,
-                n,
-                estimate: if accepts { ExtFloat::ONE } else { ExtFloat::ZERO },
-                params: params.clone(),
-                stats,
-                accepts_lambda: accepts,
-            });
-        }
-
-        // Normalize: trim, then fold accepting states (D7).
-        let Some(trimmed) = trim(nfa) else {
-            let stats = RunStats { wall: start.elapsed(), ..RunStats::default() };
-            return Ok(FprasRun {
-                inner: None,
-                n,
-                estimate: ExtFloat::ZERO,
-                params: params.clone(),
-                stats,
-                accepts_lambda: false,
-            });
-        };
-        let normalized = with_single_accepting(&trimmed);
-        let q_final = normalized
-            .accepting()
-            .iter()
-            .next()
-            .expect("normalized automaton has an accepting state") as StateId;
-
-        let unroll = Unrolling::new(&normalized, n);
-        if !unroll.language_nonempty() {
-            let stats = RunStats { wall: start.elapsed(), ..RunStats::default() };
-            return Ok(FprasRun {
-                inner: None,
-                n,
-                estimate: ExtFloat::ZERO,
-                params: params.clone(),
-                stats,
-                accepts_lambda: false,
-            });
-        }
-
-        let masks = StepMasks::new(&normalized);
-        let m = normalized.num_states();
-        let k = normalized.alphabet().size() as u8;
-        let mut table = RunTable::new(m, n);
-        let mut memo = UnionMemo::new();
-        let mut stats = RunStats::default();
-
-        // Level 0 (Algorithm 3 lines 6–10): N(I⁰) = 1, S(I⁰) = (λ, λ, …).
-        let init = normalized.initial() as usize;
-        {
-            let cell = table.cell_mut(0, init);
-            cell.n_est = ExtFloat::ONE;
-            cell.samples = SampleSet::repeated(
-                SampleEntry { word: Word::empty(), reach: StateSet::singleton(m, init) },
-                params.ns,
-            );
-        }
-
-        for ell in 1..=n {
-            for q in 0..m as StateId {
-                let reachable = unroll.reachable(ell).contains(q as usize);
-                let useful =
-                    reachable && (!params.trim_dead || unroll.alive(ell).contains(q as usize));
-                if !useful {
-                    stats.cells_skipped += 1;
-                    continue;
-                }
-                stats.cells_processed += 1;
-
-                // ---- Count phase (lines 12–17) ----
-                let eps_sz = params.eps_sz_at_level(params.beta_count, ell);
-                let mut n_est = ExtFloat::ZERO;
-                for sym in 0..k {
-                    let pred_set = StateSet::from_iter(
-                        m,
-                        normalized
-                            .predecessors(q, sym)
-                            .iter()
-                            .map(|&p| p as usize)
-                            .filter(|&p| unroll.reachable(ell - 1).contains(p)),
-                    );
-                    if pred_set.is_empty() {
-                        continue;
-                    }
-                    let inputs: Vec<UnionSetInput<'_>> = pred_set
-                        .iter()
-                        .filter_map(|p| {
-                            let cell = table.cell(ell - 1, p);
-                            if cell.n_est.is_zero() {
-                                None
-                            } else {
-                                Some(UnionSetInput {
-                                    samples: &cell.samples,
-                                    size_est: cell.n_est,
-                                    state: p as StateId,
-                                })
-                            }
-                        })
-                        .collect();
-                    let est = app_union(
-                        params,
-                        params.beta_count,
-                        params.delta_count_inner(),
-                        eps_sz,
-                        &inputs,
-                        m,
-                        rng,
-                        &mut stats,
-                    );
-                    // Seed the sampler's memo with the high-precision
-                    // count-phase value (DESIGN.md D4).
-                    if params.memoize_unions {
-                        memo.insert(MemoKey::new(ell - 1, &pred_set), est.value);
-                    }
-                    n_est = n_est + est.value;
-                }
-
-                // Noise injection (lines 16–19) — analysis artifact, only
-                // under the paper profile (DESIGN.md D2).
-                if params.inject_noise {
-                    let p_noise = params.eta / (2.0 * n as f64);
-                    if rng.random_bool(p_noise.clamp(0.0, 1.0)) {
-                        let u: f64 = rng.random_range(0.0..1.0);
-                        n_est = ExtFloat::pow2(ell as i64).scale(u);
-                    }
-                }
-
-                if n_est.is_zero() {
-                    // All union estimates came out zero — leave the cell
-                    // dead; downstream cells treat it as empty.
-                    continue;
-                }
-                table.cell_mut(ell, q as usize).n_est = n_est;
-
-                // ---- Sampling phase (lines 20–30) ----
-                let mut collected: Vec<SampleEntry> = Vec::with_capacity(params.ns);
-                let mut attempts = 0usize;
-                while collected.len() < params.ns && attempts < params.xns {
-                    attempts += 1;
-                    match sample_word(
-                        params, &normalized, &unroll, &table, &mut memo, n, q, ell, rng,
-                        &mut stats,
-                    ) {
-                        SampleOutcome::Word(w) => {
-                            let reach = masks.reach(&w);
-                            debug_assert!(
-                                reach.contains(q as usize),
-                                "sampled word must reach its cell's state"
-                            );
-                            collected.push(SampleEntry { word: w, reach });
-                        }
-                        SampleOutcome::DeadEnd => break,
-                        SampleOutcome::FailPhi | SampleOutcome::FailCoin => {}
-                    }
-                }
-                stats.samples_stored += collected.len() as u64;
-                let missing = params.ns - collected.len();
-                let cell = table.cell_mut(ell, q as usize);
-                let mut samples = SampleSet::empty();
-                for e in collected {
-                    samples.push(e);
-                }
-                if missing > 0 {
-                    let wit = unroll
-                        .witness(&normalized, q, ell)
-                        .expect("reachable cell must have a witness word");
-                    let reach = masks.reach(&wit);
-                    samples.pad(SampleEntry { word: wit, reach }, missing);
-                    stats.padded_cells += 1;
-                    stats.padded_entries += missing as u64;
-                }
-                cell.samples = samples;
-
-                if let Some(budget) = params.max_membership_ops {
-                    if stats.membership_ops > budget {
-                        return Err(FprasError::BudgetExceeded { ops: stats.membership_ops });
-                    }
-                }
-            }
-        }
-
-        let estimate = table.cell(n, q_final as usize).n_est;
-        stats.wall = start.elapsed();
-        Ok(FprasRun {
-            inner: Some(RunInner { nfa: normalized, unroll, table, memo, q_final }),
-            n,
-            estimate,
-            params: params.clone(),
-            stats,
-            accepts_lambda: nfa.is_accepting(nfa.initial()),
-        })
+        run_with_policy(nfa, n, params, &mut Serial::new(rng))
     }
 
     /// The estimate for `|L(A_n)|`.
@@ -320,7 +108,9 @@ impl FprasRun {
     }
 
     #[cfg(test)]
-    pub(crate) fn parts_for_test(&self) -> (&RunTable, &Nfa, &Unrolling) {
+    pub(crate) fn parts_for_test(
+        &self,
+    ) -> (&crate::table::RunTable, &Nfa, &fpras_automata::Unrolling) {
         let inner = self.inner.as_ref().expect("test requires a non-degenerate run");
         (&inner.table, &inner.nfa, &inner.unroll)
     }
@@ -409,7 +199,11 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(7);
         let run = FprasRun::run(&nfa, n, &params, &mut rng).unwrap();
         let err = rel_err(run.estimate(), exact);
-        assert!(err < eps, "relative error {err} vs eps {eps} (exact {exact}, est {})", run.estimate());
+        assert!(
+            err < eps,
+            "relative error {err} vs eps {eps} (exact {exact}, est {})",
+            run.estimate()
+        );
         assert!(run.stats().sample_calls > 0);
         assert!(run.stats().membership_ops > 0);
     }
@@ -422,7 +216,9 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(1);
         match FprasRun::run(&nfa, 8, &params, &mut rng) {
             Err(FprasError::BudgetExceeded { ops }) => assert!(ops > 10),
-            other => panic!("expected budget error, got estimate {:?}", other.map(|r| r.estimate())),
+            other => {
+                panic!("expected budget error, got estimate {:?}", other.map(|r| r.estimate()))
+            }
         }
     }
 
@@ -475,10 +271,7 @@ mod tests {
     #[test]
     fn paper_profile_runs_on_micro_instance() {
         // The paper constants are enormous but finite for a 1-state, n=2
-        // instance; cap the sample budgets to keep the test fast while
-        // exercising the PaperBreak cursor and noise-injection paths.
-        // Paper formulas produce t ≈ 10⁵ trials per AppUnion call at
-        // this size; override the error split to keep the test fast while
+        // instance; override the error split to keep the test fast while
         // still exercising the PaperBreak cursor, noise injection and the
         // no-memoization path. ns stays above the per-call consumption so
         // the break path is the low-probability event the paper assumes.

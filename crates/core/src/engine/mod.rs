@@ -1,0 +1,510 @@
+//! The level-synchronous execution engine for Algorithm 3.
+//!
+//! The paper's DP has a strict *level* structure: `N(qℓ)` and `S(qℓ)`
+//! read only levels `< ℓ`, never same-level siblings. The engine owns
+//! that schedule once — normalization, the `(n+1) × m` [`RunTable`], the
+//! shared [`UnionMemo`], and the per-level **two-pass** loop (a count
+//! pass over all useful cells, then a sample pass over the live ones) —
+//! and delegates *how* the per-cell work of a pass is executed to a
+//! pluggable [`ExecutionPolicy`](crate::engine::policy::ExecutionPolicy):
+//!
+//! * [`Serial`](crate::engine::policy::Serial) threads one caller RNG
+//!   through the cells in state order — the classic single-threaded run;
+//! * [`Deterministic`](crate::engine::policy::Deterministic) fans each
+//!   pass out over scoped threads with per-cell SplitMix64 RNG streams,
+//!   bit-identical for every thread count.
+//!
+//! Every cell computation (`count_cell`, `sample_cell`) lives here and is
+//! shared by both policies, so future optimizations — batched union
+//! estimation, cross-cell sharing à la de Colnet & Meel, cache-aware
+//! scheduling — land in exactly one place.
+//!
+//! # Memo discipline
+//!
+//! The sampler's union memo follows a single level-snapshot/merge rule:
+//!
+//! 1. the count pass never reads the memo; its per-symbol union
+//!    estimates are returned as *seeds* and merged first-wins in state
+//!    order (count-phase values are the high-precision tier, DESIGN.md
+//!    D4);
+//! 2. the sample pass starts every cell from the level-start snapshot
+//!    (plus the count seeds); entries a cell adds are merged back
+//!    first-wins in a canonical order after the pass, so no cell ever
+//!    observes a same-level sibling's insertions.
+//!
+//! The [`Serial`](crate::engine::policy::Serial) policy implements rule 2
+//! degenerately (cells *may* reuse earlier same-level insertions — with
+//! one RNG stream there is no determinism to protect and the extra hits
+//! are free), which is the documented difference between the two
+//! policies' random processes. Both satisfy the same `(ε, δ)` contract.
+
+pub mod policy;
+
+use crate::counter::FprasRun;
+use crate::error::FprasError;
+use crate::params::Params;
+use crate::run_stats::RunStats;
+use crate::sample_set::{SampleEntry, SampleSet};
+use crate::sampler::sample_word;
+use crate::table::{MemoKey, RunTable, SampleOutcome, UnionMemo};
+use crate::{app_union, UnionSetInput};
+use fpras_automata::ops::{trim, with_single_accepting};
+use fpras_automata::{Nfa, StateId, StateSet, StepMasks, Unrolling, Word};
+use fpras_numeric::ExtFloat;
+use rand::{Rng, RngExt};
+use std::time::Instant;
+
+pub use policy::{Deterministic, ExecutionPolicy, Serial};
+
+/// The normalized state a finished run keeps: the trimmed automaton
+/// (single accepting state `q_final`), its unrolling, the filled
+/// `(N, S)` table, and the union memo the generator keeps extending.
+pub(crate) struct RunInner {
+    pub(crate) nfa: Nfa,
+    pub(crate) unroll: Unrolling,
+    pub(crate) table: RunTable,
+    pub(crate) memo: UnionMemo,
+    pub(crate) q_final: StateId,
+}
+
+/// Immutable per-run context handed to policies and cell computations.
+pub struct EngineCtx<'a> {
+    /// Resolved run parameters.
+    pub params: &'a Params,
+    /// The *normalized* automaton (trimmed, single accepting state).
+    pub nfa: &'a Nfa,
+    /// Level-reachability of the unrolled automaton.
+    pub unroll: &'a Unrolling,
+    /// Per-symbol transition masks for fast `reach()` checks.
+    pub masks: &'a StepMasks,
+    /// Target word length.
+    pub n: usize,
+    /// Normalized state count.
+    pub m: usize,
+    /// Alphabet size.
+    pub k: u8,
+}
+
+/// Output of one count-pass cell.
+pub struct CountOut {
+    /// The cell's state.
+    pub q: StateId,
+    /// The estimate `N(qℓ)`.
+    pub n_est: ExtFloat,
+    /// `(level − 1, predecessor frontier) → estimate` seeds for the
+    /// sampler memo (empty unless `params.memoize_unions`).
+    pub memo_seeds: Vec<(MemoKey, ExtFloat)>,
+    /// Counters attributable to this cell.
+    pub stats: RunStats,
+}
+
+/// Output of one sample-pass cell.
+pub struct SampleOut {
+    /// The cell's state.
+    pub q: StateId,
+    /// The filled sample multiset `S(qℓ)` (padded to `ns`).
+    pub samples: SampleSet,
+    /// Genuine (non-padding) samples collected.
+    pub genuine: usize,
+    /// Padding entries appended.
+    pub padded: usize,
+    /// Counters attributable to this cell.
+    pub stats: RunStats,
+}
+
+/// Count pass for one `(q, ℓ)` cell (Algorithm 3 lines 12–19): sums the
+/// per-symbol predecessor-union estimates, optionally injects the
+/// paper's analysis noise.
+pub fn count_cell<R: Rng + ?Sized>(
+    ctx: &EngineCtx<'_>,
+    table: &RunTable,
+    ell: usize,
+    q: StateId,
+    rng: &mut R,
+) -> CountOut {
+    let params = ctx.params;
+    let mut stats = RunStats::default();
+    let mut memo_seeds = Vec::new();
+    let eps_sz = params.eps_sz_at_level(params.beta_count, ell);
+    let mut n_est = ExtFloat::ZERO;
+    for sym in 0..ctx.k {
+        let pred_set = StateSet::from_iter(
+            ctx.m,
+            ctx.nfa
+                .predecessors(q, sym)
+                .iter()
+                .map(|&p| p as usize)
+                .filter(|&p| ctx.unroll.reachable(ell - 1).contains(p)),
+        );
+        if pred_set.is_empty() {
+            continue;
+        }
+        let inputs: Vec<UnionSetInput<'_>> = pred_set
+            .iter()
+            .filter_map(|p| {
+                let cell = table.cell(ell - 1, p);
+                if cell.n_est.is_zero() {
+                    None
+                } else {
+                    Some(UnionSetInput {
+                        samples: &cell.samples,
+                        size_est: cell.n_est,
+                        state: p as StateId,
+                    })
+                }
+            })
+            .collect();
+        let est = app_union(
+            params,
+            params.beta_count,
+            params.delta_count_inner(),
+            eps_sz,
+            &inputs,
+            ctx.m,
+            rng,
+            &mut stats,
+        );
+        // Seed the sampler's memo with the high-precision count-phase
+        // value (DESIGN.md D4); merged first-wins by the engine.
+        if params.memoize_unions {
+            memo_seeds.push((MemoKey::new(ell - 1, &pred_set), est.value));
+        }
+        n_est = n_est + est.value;
+    }
+
+    // Noise injection (lines 16–19) — analysis artifact, only under the
+    // paper profile (DESIGN.md D2).
+    if params.inject_noise {
+        let p_noise = params.eta / (2.0 * ctx.n as f64);
+        if rng.random_bool(p_noise.clamp(0.0, 1.0)) {
+            let u: f64 = rng.random_range(0.0..1.0);
+            n_est = ExtFloat::pow2(ell as i64).scale(u);
+        }
+    }
+
+    CountOut { q, n_est, memo_seeds, stats }
+}
+
+/// Sample pass for one `(q, ℓ)` cell (Algorithm 3 lines 20–30): draws up
+/// to `ns` words by Algorithm 2 within `xns` attempts, padding with the
+/// cell's witness word when short.
+pub fn sample_cell<R: Rng + ?Sized>(
+    ctx: &EngineCtx<'_>,
+    table: &RunTable,
+    memo: &mut UnionMemo,
+    ell: usize,
+    q: StateId,
+    rng: &mut R,
+) -> SampleOut {
+    let params = ctx.params;
+    let mut stats = RunStats::default();
+    let mut collected: Vec<SampleEntry> = Vec::with_capacity(params.ns);
+    let mut attempts = 0usize;
+    while collected.len() < params.ns && attempts < params.xns {
+        attempts += 1;
+        match sample_word(params, ctx.nfa, ctx.unroll, table, memo, ctx.n, q, ell, rng, &mut stats)
+        {
+            SampleOutcome::Word(w) => {
+                let reach = ctx.masks.reach(&w);
+                debug_assert!(
+                    reach.contains(q as usize),
+                    "sampled word must reach its cell's state"
+                );
+                collected.push(SampleEntry { word: w, reach });
+            }
+            SampleOutcome::DeadEnd => break,
+            SampleOutcome::FailPhi | SampleOutcome::FailCoin => {}
+        }
+    }
+    let genuine = collected.len();
+    let mut samples = SampleSet::empty();
+    for e in collected {
+        samples.push(e);
+    }
+    let padded = params.ns - genuine;
+    if padded > 0 {
+        let wit =
+            ctx.unroll.witness(ctx.nfa, q, ell).expect("reachable cell must have a witness word");
+        let reach = ctx.masks.reach(&wit);
+        samples.pad(SampleEntry { word: wit, reach }, padded);
+    }
+    SampleOut { q, samples, genuine, padded, stats }
+}
+
+/// Aborts the run once the membership-op budget is exceeded.
+fn check_budget(params: &Params, stats: &RunStats) -> Result<(), FprasError> {
+    if let Some(budget) = params.max_membership_ops {
+        if stats.membership_ops > budget {
+            return Err(FprasError::BudgetExceeded { ops: stats.membership_ops });
+        }
+    }
+    Ok(())
+}
+
+/// Runs the FPRAS on `nfa` for words of length `n` under `policy`.
+///
+/// This is the single entry point behind [`FprasRun::run`] (Serial
+/// policy) and [`run_parallel`] (Deterministic policy); direct callers
+/// can plug any [`ExecutionPolicy`].
+pub fn run_with_policy<P: ExecutionPolicy>(
+    nfa: &Nfa,
+    n: usize,
+    params: &Params,
+    policy: &mut P,
+) -> Result<FprasRun, FprasError> {
+    params.validate()?;
+    let start = Instant::now();
+    let degenerate = |estimate: ExtFloat, accepts_lambda: bool| FprasRun {
+        inner: None,
+        n,
+        estimate,
+        params: params.clone(),
+        stats: RunStats { wall: start.elapsed(), ..RunStats::default() },
+        accepts_lambda,
+    };
+
+    // n = 0: the DP is about positive-length words; answer directly.
+    if n == 0 {
+        let accepts = nfa.is_accepting(nfa.initial());
+        let est = if accepts { ExtFloat::ONE } else { ExtFloat::ZERO };
+        return Ok(degenerate(est, accepts));
+    }
+
+    // Normalize: trim, then fold accepting states (DESIGN.md D7).
+    let Some(trimmed) = trim(nfa) else {
+        return Ok(degenerate(ExtFloat::ZERO, false));
+    };
+    let normalized = with_single_accepting(&trimmed);
+    let q_final =
+        normalized.accepting().iter().next().expect("normalized automaton has an accepting state")
+            as StateId;
+    let unroll = Unrolling::new(&normalized, n);
+    if !unroll.language_nonempty() {
+        return Ok(degenerate(ExtFloat::ZERO, false));
+    }
+
+    let masks = StepMasks::new(&normalized);
+    let m = normalized.num_states();
+    let ctx = EngineCtx {
+        params,
+        nfa: &normalized,
+        unroll: &unroll,
+        masks: &masks,
+        n,
+        m,
+        k: normalized.alphabet().size() as u8,
+    };
+
+    let mut table = RunTable::new(m, n);
+    let mut memo = UnionMemo::new();
+    let mut stats = RunStats::default();
+
+    // Level 0 (Algorithm 3 lines 6–10): N(I⁰) = 1, S(I⁰) = (λ, λ, …).
+    let init = normalized.initial() as usize;
+    {
+        let cell = table.cell_mut(0, init);
+        cell.n_est = ExtFloat::ONE;
+        cell.samples = SampleSet::repeated(
+            SampleEntry { word: Word::empty(), reach: StateSet::singleton(m, init) },
+            params.ns,
+        );
+    }
+
+    for ell in 1..=n {
+        let useful: Vec<StateId> = (0..m as StateId)
+            .filter(|&q| {
+                let reachable = unroll.reachable(ell).contains(q as usize);
+                reachable && (!params.trim_dead || unroll.alive(ell).contains(q as usize))
+            })
+            .collect();
+        stats.cells_skipped += (m - useful.len()) as u64;
+        stats.cells_processed += useful.len() as u64;
+
+        // Remaining op budget, offered to the policy so it can stop a
+        // pass early (a truncated pass is detected by the check below).
+        let ops_remaining =
+            params.max_membership_ops.map(|b| b.saturating_sub(stats.membership_ops));
+
+        // ---- Pass 1: count phase ----
+        let counts = policy.count_pass(&ctx, ell, &useful, &table, ops_remaining);
+        debug_assert!(counts.len() <= useful.len(), "count pass output exceeds cell list");
+        let count_truncated = counts.len() < useful.len();
+        for out in counts {
+            table.cell_mut(ell, out.q as usize).n_est = out.n_est;
+            stats.merge(&out.stats);
+            // First-wins in state order: deterministic regardless of how
+            // the pass was scheduled.
+            for (key, value) in out.memo_seeds {
+                memo.entry(key).or_insert(value);
+            }
+        }
+        check_budget(params, &stats)?;
+        debug_assert!(!count_truncated, "a pass may only stop early when the budget is spent");
+
+        // ---- Pass 2: sample phase (live cells only) ----
+        let live: Vec<StateId> = useful
+            .iter()
+            .copied()
+            .filter(|&q| !table.cell(ell, q as usize).n_est.is_zero())
+            .collect();
+        let ops_remaining =
+            params.max_membership_ops.map(|b| b.saturating_sub(stats.membership_ops));
+        let sampled = policy.sample_pass(&ctx, ell, &live, &table, &mut memo, ops_remaining);
+        debug_assert!(sampled.len() <= live.len(), "sample pass output exceeds cell list");
+        let sample_truncated = sampled.len() < live.len();
+        for out in sampled {
+            stats.merge(&out.stats);
+            stats.samples_stored += out.genuine as u64;
+            if out.padded > 0 {
+                stats.padded_cells += 1;
+                stats.padded_entries += out.padded as u64;
+            }
+            table.cell_mut(ell, out.q as usize).samples = out.samples;
+        }
+        check_budget(params, &stats)?;
+        debug_assert!(!sample_truncated, "a pass may only stop early when the budget is spent");
+    }
+
+    let estimate = table.cell(n, q_final as usize).n_est;
+    stats.wall = start.elapsed();
+    Ok(FprasRun {
+        inner: Some(RunInner { nfa: normalized, unroll, table, memo, q_final }),
+        n,
+        estimate,
+        params: params.clone(),
+        stats,
+        accepts_lambda: nfa.is_accepting(nfa.initial()),
+    })
+}
+
+/// Runs the FPRAS with level-synchronous parallelism over states.
+///
+/// Contract-equivalent to [`FprasRun::run`] (same `(ε, δ)` guarantee,
+/// same table/generator output shape); differs in taking a master seed
+/// instead of an `&mut Rng` so that per-cell streams can be derived.
+/// The returned run is **bit-identical for any `threads ≥ 1`**.
+///
+/// ```
+/// use fpras_automata::{Alphabet, NfaBuilder};
+/// use fpras_core::{run_parallel, Params};
+///
+/// let mut b = NfaBuilder::new(Alphabet::binary());
+/// let q = b.add_state();
+/// b.set_initial(q);
+/// b.add_accepting(q);
+/// b.add_transition(q, 0, q);
+/// b.add_transition(q, 1, q);
+/// let nfa = b.build().unwrap();
+///
+/// let params = Params::practical(0.3, 0.1, 1, 8);
+/// let two = run_parallel(&nfa, 8, &params, 7, 2).unwrap();
+/// let eight = run_parallel(&nfa, 8, &params, 7, 8).unwrap();
+/// assert_eq!(two.estimate().to_f64(), eight.estimate().to_f64());
+/// ```
+pub fn run_parallel(
+    nfa: &Nfa,
+    n: usize,
+    params: &Params,
+    master_seed: u64,
+    threads: usize,
+) -> Result<FprasRun, FprasError> {
+    run_with_policy(nfa, n, params, &mut Deterministic::new(master_seed, threads))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::UniformGenerator;
+    use fpras_automata::{Alphabet, NfaBuilder};
+    use rand::{rngs::SmallRng, SeedableRng};
+
+    fn contains_11() -> Nfa {
+        let mut b = NfaBuilder::new(Alphabet::binary());
+        let q0 = b.add_state();
+        let q1 = b.add_state();
+        let q2 = b.add_state();
+        b.set_initial(q0);
+        b.add_accepting(q2);
+        b.add_transition(q0, 0, q0);
+        b.add_transition(q0, 1, q0);
+        b.add_transition(q0, 1, q1);
+        b.add_transition(q1, 1, q2);
+        b.add_transition(q2, 0, q2);
+        b.add_transition(q2, 1, q2);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let nfa = contains_11();
+        let params = Params::practical(0.3, 0.1, 3, 10);
+        let a = run_parallel(&nfa, 10, &params, 1, 4).unwrap();
+        let b = run_parallel(&nfa, 10, &params, 2, 4).unwrap();
+        // Estimates are both accurate but almost surely not identical.
+        assert_ne!(a.estimate().to_f64(), b.estimate().to_f64());
+    }
+
+    #[test]
+    fn degenerate_cases() {
+        let nfa = contains_11();
+        let params = Params::practical(0.3, 0.1, 3, 4);
+        // n = 0: λ not accepted.
+        assert!(run_parallel(&nfa, 0, &params, 0, 4).unwrap().estimate().is_zero());
+        // Empty slice.
+        assert!(run_parallel(&nfa, 1, &params, 0, 4).unwrap().estimate().is_zero());
+    }
+
+    #[test]
+    fn budget_guard_trips() {
+        let nfa = contains_11();
+        let mut params = Params::practical(0.3, 0.1, 3, 8);
+        params.max_membership_ops = Some(10);
+        assert!(matches!(
+            run_parallel(&nfa, 8, &params, 1, 4),
+            Err(FprasError::BudgetExceeded { .. })
+        ));
+    }
+
+    #[test]
+    fn serial_budget_stops_within_a_cell_not_a_level() {
+        // The Serial policy honors the remaining-op budget per cell: on
+        // a multi-cell level it must abort after the first offending
+        // cell, so its reported overshoot is at most one cell's work —
+        // strictly less than the Deterministic policy, which finishes
+        // the whole pass (per-pass granularity, see policy docs).
+        let nfa = contains_11();
+        let mut params = Params::practical(0.3, 0.1, 3, 8);
+        params.max_membership_ops = Some(10);
+        let serial_ops = {
+            let mut rng = SmallRng::seed_from_u64(1);
+            match FprasRun::run(&nfa, 8, &params, &mut rng) {
+                Err(FprasError::BudgetExceeded { ops }) => ops,
+                other => panic!("expected budget error, got {:?}", other.map(|r| r.estimate())),
+            }
+        };
+        let parallel_ops = match run_parallel(&nfa, 8, &params, 1, 4) {
+            Err(FprasError::BudgetExceeded { ops }) => ops,
+            other => panic!("expected budget error, got {:?}", other.map(|r| r.estimate())),
+        };
+        assert!(serial_ops > 10, "guard must still report the overshooting total");
+        assert!(
+            serial_ops < parallel_ops,
+            "serial ({serial_ops} ops) must stop before a full pass ({parallel_ops} ops)"
+        );
+    }
+
+    #[test]
+    fn generator_works_on_parallel_run() {
+        let nfa = contains_11();
+        let n = 8;
+        let params = Params::practical(0.3, 0.1, 3, n);
+        let run = run_parallel(&nfa, n, &params, 5, 4).unwrap();
+        let mut generator = UniformGenerator::new(run);
+        let mut rng = SmallRng::seed_from_u64(6);
+        for _ in 0..20 {
+            let w = generator.generate(&mut rng).expect("language non-empty");
+            assert_eq!(w.len(), n);
+            assert!(nfa.accepts(&w));
+        }
+    }
+}

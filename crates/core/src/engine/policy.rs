@@ -1,0 +1,305 @@
+//! Execution policies: *how* the engine's two per-level passes run.
+//!
+//! The engine fixes the schedule (count pass, then sample pass, both in
+//! state order) and the merge discipline; a policy decides scheduling
+//! within a pass — which thread runs which cell, and where each cell's
+//! randomness comes from. Policies must return outputs in the same
+//! order as the input cell list.
+
+use super::{count_cell, sample_cell, CountOut, EngineCtx, SampleOut};
+use crate::table::{MemoKey, UnionMemo};
+use fpras_automata::StateId;
+use fpras_numeric::ExtFloat;
+use rand::{rngs::SmallRng, Rng, SeedableRng};
+
+/// RNG-stream tag for the count pass.
+const PHASE_COUNT: u64 = 1;
+/// RNG-stream tag for the sample pass.
+const PHASE_SAMPLE: u64 = 2;
+
+/// How the per-cell work of one engine pass is executed.
+///
+/// `ops_remaining` is the membership-op budget left before the engine
+/// aborts with `BudgetExceeded` (`None` = unbounded). A policy **may**
+/// stop scheduling further cells once the ops accumulated in its
+/// returned outputs exceed it, returning a truncated (prefix) output
+/// list — the engine detects the overrun right after the merge, so
+/// truncation can only make an already-doomed run fail faster, never
+/// change a successful result.
+pub trait ExecutionPolicy {
+    /// Short label for diagnostics and experiment tables.
+    fn name(&self) -> &'static str;
+
+    /// Runs the count pass over `cells` at level `ell`, returning one
+    /// [`CountOut`] per cell **in input order** (a prefix if the pass
+    /// stops early on budget exhaustion).
+    fn count_pass(
+        &mut self,
+        ctx: &EngineCtx<'_>,
+        ell: usize,
+        cells: &[StateId],
+        table: &crate::table::RunTable,
+        ops_remaining: Option<u64>,
+    ) -> Vec<CountOut>;
+
+    /// Runs the sample pass over the live `cells` at level `ell`,
+    /// returning one [`SampleOut`] per cell **in input order** (a
+    /// prefix if the pass stops early on budget exhaustion). The policy
+    /// owns the memo-update discipline for the pass (the engine only
+    /// hands over the shared memo).
+    fn sample_pass(
+        &mut self,
+        ctx: &EngineCtx<'_>,
+        ell: usize,
+        cells: &[StateId],
+        table: &crate::table::RunTable,
+        memo: &mut UnionMemo,
+        ops_remaining: Option<u64>,
+    ) -> Vec<SampleOut>;
+}
+
+/// True once `used` ops have exhausted an `ops_remaining` budget.
+fn budget_spent(used: u64, ops_remaining: Option<u64>) -> bool {
+    ops_remaining.is_some_and(|b| used > b)
+}
+
+/// Single-threaded execution with one caller-provided RNG threaded
+/// through the cells in state order. The sample pass mutates the shared
+/// memo directly, so later cells reuse earlier same-level insertions —
+/// free extra hits, and with one stream there is no cross-cell
+/// determinism to protect.
+pub struct Serial<'r, R: Rng + ?Sized> {
+    rng: &'r mut R,
+}
+
+impl<'r, R: Rng + ?Sized> Serial<'r, R> {
+    /// Wraps the caller's RNG.
+    pub fn new(rng: &'r mut R) -> Self {
+        Serial { rng }
+    }
+}
+
+impl<R: Rng + ?Sized> ExecutionPolicy for Serial<'_, R> {
+    fn name(&self) -> &'static str {
+        "serial"
+    }
+
+    fn count_pass(
+        &mut self,
+        ctx: &EngineCtx<'_>,
+        ell: usize,
+        cells: &[StateId],
+        table: &crate::table::RunTable,
+        ops_remaining: Option<u64>,
+    ) -> Vec<CountOut> {
+        // Per-cell budget granularity: stop as soon as the pass has
+        // burned through the remaining op budget (the engine then
+        // reports BudgetExceeded without paying for the rest of the
+        // level).
+        let mut used = 0u64;
+        let mut outs = Vec::with_capacity(cells.len());
+        for &q in cells {
+            let out = count_cell(ctx, table, ell, q, self.rng);
+            used += out.stats.membership_ops;
+            outs.push(out);
+            if budget_spent(used, ops_remaining) {
+                break;
+            }
+        }
+        outs
+    }
+
+    fn sample_pass(
+        &mut self,
+        ctx: &EngineCtx<'_>,
+        ell: usize,
+        cells: &[StateId],
+        table: &crate::table::RunTable,
+        memo: &mut UnionMemo,
+        ops_remaining: Option<u64>,
+    ) -> Vec<SampleOut> {
+        let mut used = 0u64;
+        let mut outs = Vec::with_capacity(cells.len());
+        for &q in cells {
+            let out = sample_cell(ctx, table, memo, ell, q, self.rng);
+            used += out.stats.membership_ops;
+            outs.push(out);
+            if budget_spent(used, ops_remaining) {
+                break;
+            }
+        }
+        outs
+    }
+}
+
+/// Deterministic multi-threaded execution: every `(level, state, phase)`
+/// cell derives its own RNG stream from the master seed via SplitMix64
+/// mixing, and each pass fans out over up to `threads` scoped OS
+/// threads. The sample pass gives every cell the level-start memo
+/// snapshot and merges new entries back in a canonical order, so the
+/// output is **bit-identical for any thread count** — `threads = 1`
+/// reproduces `threads = 8` exactly, which makes the speedup honestly
+/// attributable to scheduling alone.
+pub struct Deterministic {
+    master_seed: u64,
+    threads: usize,
+}
+
+impl Deterministic {
+    /// A policy drawing per-cell streams from `master_seed`, running on
+    /// up to `threads` (≥ 1) worker threads.
+    pub fn new(master_seed: u64, threads: usize) -> Self {
+        Deterministic { master_seed, threads: threads.max(1) }
+    }
+
+    /// The configured thread cap.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The master seed.
+    pub fn master_seed(&self) -> u64 {
+        self.master_seed
+    }
+}
+
+impl ExecutionPolicy for Deterministic {
+    fn name(&self) -> &'static str {
+        "deterministic"
+    }
+
+    // Budget note: the Deterministic policy always completes its pass —
+    // cooperative mid-pass cancellation across workers would make the
+    // reported op totals depend on thread scheduling, breaking the
+    // bit-identity contract on the error path. Pass granularity matches
+    // the pre-engine parallel runner; the engine still aborts between
+    // passes, so a blown budget costs at most one pass, not one level.
+    fn count_pass(
+        &mut self,
+        ctx: &EngineCtx<'_>,
+        ell: usize,
+        cells: &[StateId],
+        table: &crate::table::RunTable,
+        _ops_remaining: Option<u64>,
+    ) -> Vec<CountOut> {
+        let seed = self.master_seed;
+        chunked_map(cells, self.threads, |&q| {
+            let mut rng = cell_rng(seed, ell, q, PHASE_COUNT);
+            count_cell(ctx, table, ell, q, &mut rng)
+        })
+    }
+
+    fn sample_pass(
+        &mut self,
+        ctx: &EngineCtx<'_>,
+        ell: usize,
+        cells: &[StateId],
+        table: &crate::table::RunTable,
+        memo: &mut UnionMemo,
+        _ops_remaining: Option<u64>,
+    ) -> Vec<SampleOut> {
+        let seed = self.master_seed;
+        let snapshot: &UnionMemo = memo;
+        let mut outs: Vec<(SampleOut, Vec<(MemoKey, ExtFloat)>)> =
+            chunked_map(cells, self.threads, |&q| {
+                let mut rng = cell_rng(seed, ell, q, PHASE_SAMPLE);
+                let mut local_memo = snapshot.clone();
+                let out = sample_cell(ctx, table, &mut local_memo, ell, q, &mut rng);
+                let memo_new: Vec<(MemoKey, ExtFloat)> =
+                    local_memo.into_iter().filter(|(key, _)| !snapshot.contains_key(key)).collect();
+                (out, memo_new)
+            });
+        // HashMap iteration order is nondeterministic; sort each cell's
+        // new entries so the first-wins merge is stable across runs and
+        // thread counts.
+        let mut results = Vec::with_capacity(outs.len());
+        for (out, mut memo_new) in outs.drain(..) {
+            memo_new
+                .sort_by(|(a, _), (b, _)| a.level.cmp(&b.level).then(a.frontier.cmp(&b.frontier)));
+            for (key, value) in memo_new {
+                memo.entry(key).or_insert(value);
+            }
+            results.push(out);
+        }
+        results
+    }
+}
+
+/// SplitMix64 — a tiny, well-mixed hash for deriving per-cell seeds.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E3779B97F4A7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D049BB133111EB);
+    x ^ (x >> 31)
+}
+
+/// Independent RNG stream for one `(level, state, phase)` cell.
+pub(crate) fn cell_rng(master: u64, level: usize, q: StateId, phase: u64) -> SmallRng {
+    let mixed = splitmix64(
+        master ^ splitmix64((level as u64) << 32 | q as u64) ^ splitmix64(phase ^ 0xA5A5_5A5A),
+    );
+    SmallRng::seed_from_u64(mixed)
+}
+
+/// Maps `f` over `items` on up to `threads` scoped worker threads,
+/// returning outputs in input order (chunked statically, so the split is
+/// deterministic; `f` must not rely on cross-item state).
+pub(crate) fn chunked_map<T, U, F>(items: &[T], threads: usize, f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    let threads = threads.max(1).min(items.len().max(1));
+    if threads <= 1 {
+        return items.iter().map(&f).collect();
+    }
+    let chunk = items.len().div_ceil(threads);
+    let mut chunks_out: Vec<Vec<U>> = Vec::new();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = items
+            .chunks(chunk)
+            .map(|c| {
+                let f = &f;
+                s.spawn(move || c.iter().map(f).collect::<Vec<U>>())
+            })
+            .collect();
+        chunks_out = handles.into_iter().map(|h| h.join().expect("worker panicked")).collect();
+    });
+    chunks_out.into_iter().flatten().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::RngExt;
+
+    #[test]
+    fn splitmix_streams_are_distinct() {
+        // Adjacent cells must not share streams.
+        let a = cell_rng(7, 1, 0, 1).random::<u64>();
+        let b = cell_rng(7, 1, 1, 1).random::<u64>();
+        let c = cell_rng(7, 2, 0, 1).random::<u64>();
+        let d = cell_rng(7, 1, 0, 2).random::<u64>();
+        let all = [a, b, c, d];
+        let distinct: std::collections::HashSet<_> = all.iter().collect();
+        assert_eq!(distinct.len(), all.len());
+    }
+
+    #[test]
+    fn chunked_map_preserves_order() {
+        let items: Vec<u32> = (0..103).collect();
+        for threads in [1, 2, 3, 8, 200] {
+            let out = chunked_map(&items, threads, |&x| x * 2);
+            assert_eq!(out, items.iter().map(|&x| x * 2).collect::<Vec<_>>(), "t={threads}");
+        }
+    }
+
+    #[test]
+    fn deterministic_clamps_thread_count() {
+        let p = Deterministic::new(5, 0);
+        assert_eq!(p.threads(), 1);
+        assert_eq!(p.master_seed(), 5);
+        assert_eq!(p.name(), "deterministic");
+    }
+}

@@ -48,7 +48,8 @@
 //! |---|---|
 //! | [`appunion`] | Algorithm 1 (`AppUnion`, Theorem 1) |
 //! | [`sampler`] | Algorithm 2 (`sample`, Theorem 2) |
-//! | [`counter`] | Algorithm 3 (main FPRAS, Theorem 3) |
+//! | [`engine`] | Algorithm 3's level-synchronous DP, one code path behind pluggable [`Serial`]/[`Deterministic`] execution policies |
+//! | [`counter`] | Algorithm 3's result type ([`FprasRun`], Theorem 3) |
 //! | [`params`] | parameter derivations (paper + practical profiles) |
 //! | [`generator`] | counting↔sampling inter-reducibility (§1.1) |
 //! | [`median`] | median-of-runs confidence amplification |
@@ -58,10 +59,10 @@
 
 pub mod appunion;
 pub mod counter;
+pub mod engine;
 pub mod error;
 pub mod generator;
 pub mod median;
-pub mod parallel;
 pub mod params;
 pub mod run_stats;
 pub mod sample_set;
@@ -70,10 +71,10 @@ pub mod table;
 
 pub use appunion::{app_union, UnionEstimate, UnionSetInput};
 pub use counter::FprasRun;
+pub use engine::{run_parallel, run_with_policy, Deterministic, ExecutionPolicy, Serial};
 pub use error::FprasError;
 pub use generator::UniformGenerator;
 pub use median::{median_amplified, median_amplified_parallel, runs_needed, MedianEstimate};
-pub use parallel::run_parallel;
 pub use params::{CursorPolicy, Params, Profile};
 pub use run_stats::RunStats;
 pub use sample_set::{SampleEntry, SampleSet};
@@ -178,11 +179,8 @@ mod tests {
     #[test]
     fn count_up_to_handles_empty_top_slice() {
         // Even-length language at odd n: top slice empty, shorter ones not.
-        let nfa = fpras_automata::regex::compile_regex(
-            "((0|1)(0|1))*",
-            &Alphabet::binary(),
-        )
-        .unwrap();
+        let nfa =
+            fpras_automata::regex::compile_regex("((0|1)(0|1))*", &Alphabet::binary()).unwrap();
         let got = estimate_count_up_to(&nfa, 5, 0.3, 0.1, 6).unwrap().to_f64();
         // 1 + 4 + 16 = 21 (lengths 0, 2, 4).
         assert!((got - 21.0).abs() / 21.0 < 0.35, "got {got}");

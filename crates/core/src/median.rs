@@ -81,8 +81,7 @@ pub fn median_amplified_parallel(
                 let mut out = Vec::new();
                 let mut i = t;
                 while i < k {
-                    let mut rng =
-                        rand::rngs::SmallRng::seed_from_u64(seed.wrapping_add(i as u64));
+                    let mut rng = rand::rngs::SmallRng::seed_from_u64(seed.wrapping_add(i as u64));
                     match FprasRun::run(nfa, n, params, &mut rng) {
                         Ok(run) => out.push(Ok((run.estimate(), run.stats().membership_ops))),
                         Err(e) => out.push(Err(e)),

@@ -176,7 +176,10 @@ impl Params {
     /// Validates ranges; returns a descriptive error on misuse.
     pub fn validate(&self) -> Result<(), FprasError> {
         if !(self.eps > 0.0 && self.eps < 1.0) {
-            return Err(FprasError::InvalidParams(format!("eps must be in (0,1), got {}", self.eps)));
+            return Err(FprasError::InvalidParams(format!(
+                "eps must be in (0,1), got {}",
+                self.eps
+            )));
         }
         if !(self.delta > 0.0 && self.delta < 1.0) {
             return Err(FprasError::InvalidParams(format!(

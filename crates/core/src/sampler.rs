@@ -200,7 +200,9 @@ mod tests {
         assert!(successes > 10, "successes {successes}");
         assert_eq!(stats.sample_calls, 200);
         assert_eq!(
-            stats.sample_success + stats.fail_rejected + stats.fail_phi_gt_one
+            stats.sample_success
+                + stats.fail_rejected
+                + stats.fail_phi_gt_one
                 + stats.fail_dead_end,
             200
         );
@@ -221,7 +223,16 @@ mod tests {
         // zero estimate via a fresh table.
         let empty_table = RunTable::new(1, 4);
         let out = sample_word(
-            &params, memo_nfa, unroll, &empty_table, &mut memo, 4, 0, 4, &mut rng, &mut stats,
+            &params,
+            memo_nfa,
+            unroll,
+            &empty_table,
+            &mut memo,
+            4,
+            0,
+            4,
+            &mut rng,
+            &mut stats,
         );
         assert_eq!(out, SampleOutcome::DeadEnd);
         let _ = table;

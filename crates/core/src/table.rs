@@ -31,7 +31,10 @@ impl RunTable {
     /// Creates an all-zero table for `m` states and levels `0..=n`.
     pub fn new(m: usize, n: usize) -> Self {
         let mut cells = Vec::new();
-        cells.resize_with(m * (n + 1), || Cell { n_est: ExtFloat::ZERO, samples: SampleSet::empty() });
+        cells.resize_with(m * (n + 1), || Cell {
+            n_est: ExtFloat::ZERO,
+            samples: SampleSet::empty(),
+        });
         RunTable { m, cells }
     }
 

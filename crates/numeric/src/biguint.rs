@@ -257,11 +257,8 @@ impl Ord for BigUint {
 impl Add for &BigUint {
     type Output = BigUint;
     fn add(self, rhs: &BigUint) -> BigUint {
-        let (long, short) = if self.limbs.len() >= rhs.limbs.len() {
-            (self, rhs)
-        } else {
-            (rhs, self)
-        };
+        let (long, short) =
+            if self.limbs.len() >= rhs.limbs.len() { (self, rhs) } else { (rhs, self) };
         let mut limbs = Vec::with_capacity(long.limbs.len() + 1);
         let mut carry = 0u64;
         for i in 0..long.limbs.len() {

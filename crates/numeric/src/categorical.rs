@@ -42,10 +42,13 @@ pub fn sample_extfloat_weights<R: Rng + ?Sized>(
     rng: &mut R,
     weights: &[ExtFloat],
 ) -> Option<usize> {
-    let max = weights
-        .iter()
-        .filter(|w| !w.is_zero())
-        .fold(ExtFloat::ZERO, |acc, w| if *w > acc { *w } else { acc });
+    let max = weights.iter().filter(|w| !w.is_zero()).fold(ExtFloat::ZERO, |acc, w| {
+        if *w > acc {
+            *w
+        } else {
+            acc
+        }
+    });
     if max.is_zero() {
         return None;
     }

@@ -229,11 +229,7 @@ impl Mul for ExtFloat {
         if self.is_zero() || rhs.is_zero() {
             return ExtFloat::ZERO;
         }
-        ExtFloat {
-            mantissa: self.mantissa * rhs.mantissa,
-            exp: self.exp + rhs.exp,
-        }
-        .normalized()
+        ExtFloat { mantissa: self.mantissa * rhs.mantissa, exp: self.exp + rhs.exp }.normalized()
     }
 }
 
@@ -244,11 +240,7 @@ impl Div for ExtFloat {
         if self.is_zero() {
             return ExtFloat::ZERO;
         }
-        ExtFloat {
-            mantissa: self.mantissa / rhs.mantissa,
-            exp: self.exp - rhs.exp,
-        }
-        .normalized()
+        ExtFloat { mantissa: self.mantissa / rhs.mantissa, exp: self.exp - rhs.exp }.normalized()
     }
 }
 

@@ -44,10 +44,7 @@ use std::collections::BTreeSet;
 /// let doc = Word::from_symbols(vec![1, 0, 1, 1]);
 /// assert_eq!(count_answers_exact(&vset, &doc).unwrap().to_u64(), Some(3));
 /// ```
-pub fn count_answers_exact(
-    vset: &VSetAutomaton,
-    document: &Word,
-) -> Result<BigUint, SpannerError> {
+pub fn count_answers_exact(vset: &VSetAutomaton, document: &Word) -> Result<BigUint, SpannerError> {
     let compiled = compile_spanner(vset, document)?;
     Ok(count_exact(&compiled.nfa, compiled.word_len())
         .expect("document-scale instances stay under the subset cap"))
@@ -263,11 +260,7 @@ mod tests {
                 let doc = Word::from_symbols(doc_syms.clone());
                 let exact = count_answers_exact(&vset, &doc).unwrap();
                 let enumerated = enumerate_answers(&vset, &doc);
-                assert_eq!(
-                    exact.to_u64().unwrap() as usize,
-                    enumerated.len(),
-                    "doc {doc_syms:?}"
-                );
+                assert_eq!(exact.to_u64().unwrap() as usize, enumerated.len(), "doc {doc_syms:?}");
             }
         }
     }

@@ -76,9 +76,7 @@ mod tests {
     #[test]
     fn tuple_projection() {
         let doc = [1u8, 0, 1, 1, 0];
-        let t = SpanTuple {
-            spans: vec![Span { begin: 0, end: 2 }, Span { begin: 2, end: 4 }],
-        };
+        let t = SpanTuple { spans: vec![Span { begin: 0, end: 2 }, Span { begin: 2, end: 4 }] };
         assert_eq!(t.project(&doc), vec![&[1u8, 0][..], &[1u8, 1][..]]);
         assert_eq!(t.to_string(), "(x0=[0, 2), x1=[2, 4))");
     }

@@ -56,11 +56,7 @@ mod tests {
         let one = redundant_copies(1);
         let five = redundant_copies(5);
         for n in 0..=8 {
-            assert_eq!(
-                count_exact(&one, n).unwrap(),
-                count_exact(&five, n).unwrap(),
-                "n={n}"
-            );
+            assert_eq!(count_exact(&one, n).unwrap(), count_exact(&five, n).unwrap(), "n={n}");
         }
     }
 
@@ -81,11 +77,7 @@ mod tests {
         let u = overlapping_union(&[&[1, 1], &[1]]);
         let just_one = crate::families::contains_substring(&[1]);
         for n in 0..=8 {
-            assert_eq!(
-                count_exact(&u, n).unwrap(),
-                count_exact(&just_one, n).unwrap(),
-                "n={n}"
-            );
+            assert_eq!(count_exact(&u, n).unwrap(), count_exact(&just_one, n).unwrap(), "n={n}");
         }
     }
 }

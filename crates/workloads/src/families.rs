@@ -334,11 +334,7 @@ mod tests {
     fn fibonacci_closed_form() {
         let nfa = no_consecutive_ones();
         for n in 0..=16usize {
-            assert_eq!(
-                count_exact(&nfa, n).unwrap(),
-                no_consecutive_ones_count(n),
-                "n={n}"
-            );
+            assert_eq!(count_exact(&nfa, n).unwrap(), no_consecutive_ones_count(n), "n={n}");
         }
         // Spot values: F(2)=1, F(7)=13, F(12)=144.
         assert_eq!(no_consecutive_ones_count(0).to_u64(), Some(1));

@@ -35,10 +35,7 @@ impl LabeledGraph {
 
     /// Outgoing edges of a node.
     pub fn out_edges(&self, node: u32) -> impl Iterator<Item = (u8, u32)> + '_ {
-        self.edges
-            .iter()
-            .filter(move |&&(f, _, _)| f == node)
-            .map(|&(_, l, t)| (l, t))
+        self.edges.iter().filter(move |&&(f, _, _)| f == node).map(|&(_, l, t)| (l, t))
     }
 }
 

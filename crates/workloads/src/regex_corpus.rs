@@ -74,11 +74,7 @@ mod tests {
             fib.push(next);
         }
         for (n, &f) in fib.iter().enumerate().take(12).skip(1) {
-            assert_eq!(
-                count_exact(&entry.nfa, n).unwrap(),
-                BigUint::from_u64(f),
-                "n={n}"
-            );
+            assert_eq!(count_exact(&entry.nfa, n).unwrap(), BigUint::from_u64(f), "n={n}");
         }
     }
 

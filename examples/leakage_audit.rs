@@ -38,5 +38,9 @@ fn main() {
             None => println!("{:<16} {:>12} {:>14}   {}", name, "none", "-inf", description),
         }
     }
-    println!("\npassthrough should leak ≈ {n} bits, mask-odd-bits ≈ {}, rate-limited ≈ {}", n / 2, n / 4);
+    println!(
+        "\npassthrough should leak ≈ {n} bits, mask-odd-bits ≈ {}, rate-limited ≈ {}",
+        n / 2,
+        n / 4
+    );
 }

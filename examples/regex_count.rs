@@ -24,7 +24,11 @@ fn main() {
             std::process::exit(2);
         }
     };
-    println!("pattern {pattern:?} compiled to {} states / {} transitions", nfa.num_states(), nfa.num_transitions());
+    println!(
+        "pattern {pattern:?} compiled to {} states / {} transitions",
+        nfa.num_states(),
+        nfa.num_transitions()
+    );
     println!("{:<6} {:>16} {:>16} {:>10}", "n", "fpras estimate", "exact", "rel err");
 
     for n in (0..=max_n).step_by(max_n.div_ceil(10).max(1)) {
@@ -32,7 +36,11 @@ fn main() {
         let exact = count_exact(&nfa, n).expect("small pattern automata determinize cheaply");
         let exact_f = exact.to_f64();
         let err = if exact_f == 0.0 {
-            if est.is_zero() { 0.0 } else { f64::INFINITY }
+            if est.is_zero() {
+                0.0
+            } else {
+                f64::INFINITY
+            }
         } else {
             (est.to_f64() - exact_f).abs() / exact_f
         };

@@ -36,7 +36,14 @@ fn main() {
     let max_len = 12;
     let mut rng = SmallRng::seed_from_u64(99);
 
-    println!("graph: {} nodes, {} edges; query {} --[{}]--> {}", graph.nodes, graph.edges.len(), names[query.source as usize], query.pattern, names[query.target as usize]);
+    println!(
+        "graph: {} nodes, {} edges; query {} --[{}]--> {}",
+        graph.nodes,
+        graph.edges.len(),
+        names[query.source as usize],
+        query.pattern,
+        names[query.target as usize]
+    );
 
     let counts = count_answers(&graph, &query, max_len, 0.25, 0.1, &mut rng).expect("rpq count");
     println!("\nestimated answers of length ≤ {max_len}: {}", counts.total);

@@ -45,9 +45,8 @@ fn main() {
     let mut rng = SmallRng::seed_from_u64(314);
 
     // A synthetic "log line" with several 1-runs.
-    let doc = Word::from_symbols(
-        (0..18).map(|i| u8::from(i % 5 != 0 && i % 7 != 2)).collect::<Vec<_>>(),
-    );
+    let doc =
+        Word::from_symbols((0..18).map(|i| u8::from(i % 5 != 0 && i % 7 != 2)).collect::<Vec<_>>());
     println!("document ({} symbols): {}", doc.len(), doc.display(&Alphabet::binary()));
 
     let exact = count_answers_exact(&spanner, &doc).expect("exact");

@@ -22,10 +22,7 @@ fn main() {
     let params = Params::practical(0.2, 0.05, nfa.num_states(), n);
     let mut rng = SmallRng::seed_from_u64(2718);
     let run = FprasRun::run(&nfa, n, &params, &mut rng).expect("run");
-    println!(
-        "estimate {} vs exact {support}; generator rejection stats follow",
-        run.estimate()
-    );
+    println!("estimate {} vs exact {support}; generator rejection stats follow", run.estimate());
     let mut generator = UniformGenerator::new(run);
 
     let draws = 40_000;
@@ -46,7 +43,9 @@ fn main() {
 
     let tv = tv_to_uniform(&counts, support);
     println!("\nempirical TV distance to uniform: {tv:.4}");
-    println!("rejection rate: {:.3} (Theorem 2(2) bound: ≤ {:.3})",
+    println!(
+        "rejection rate: {:.3} (Theorem 2(2) bound: ≤ {:.3})",
         generator.run().stats().rejection_rate(),
-        1.0 - 2.0 / (3.0 * std::f64::consts::E * std::f64::consts::E));
+        1.0 - 2.0 / (3.0 * std::f64::consts::E * std::f64::consts::E)
+    );
 }

@@ -10,11 +10,13 @@
 //! nfa-count --file machine.nfa -n 8 --dot        # emit Graphviz and exit
 //! ```
 //!
-//! Methods: `fpras` (default, Algorithm 3), `parallel` (level-parallel
-//! FPRAS, see `--threads`), `path-is` (unbiased path importance
-//! sampling), `dp` (exact determinization DP), `bdd` (exact BDD model
-//! counting). The NFA file format is documented in
-//! `fpras_automata::parse`.
+//! Methods: `fpras` (default, Algorithm 3 through the level-synchronous
+//! engine — `--threads 0` runs the Serial policy, `--threads T ≥ 1` the
+//! Deterministic policy on `T` workers with output independent of `T`),
+//! `path-is` (unbiased path importance sampling), `dp` (exact
+//! determinization DP), `bdd` (exact BDD model counting). `parallel` is
+//! accepted as a deprecated alias for `fpras` with multi-threading. The
+//! NFA file format is documented in `fpras_automata::parse`.
 
 use fpras_automata::exact::count_exact;
 use fpras_automata::{dot, enumerate_slice, parse, regex, Alphabet, Nfa};
@@ -33,7 +35,7 @@ struct Args {
     sample: usize,
     exact: bool,
     method: Method,
-    threads: usize,
+    threads: Option<usize>,
     enumerate: usize,
     dot: bool,
 }
@@ -41,7 +43,6 @@ struct Args {
 #[derive(Clone, Copy, PartialEq, Eq)]
 enum Method {
     Fpras,
-    Parallel,
     PathIs,
     ExactDp,
     ExactBdd,
@@ -50,9 +51,13 @@ enum Method {
 fn usage() -> ! {
     eprintln!(
         "usage: nfa-count (--regex PATTERN | --file PATH) -n LENGTH\n\
-         \t[--method fpras|parallel|path-is|dp|bdd] [--threads T=4]\n\
+         \t[--method fpras|path-is|dp|bdd] [--threads T=0]\n\
          \t[--eps E=0.2] [--delta D=0.05] [--seed S=42] [--sample K]\n\
-         \t[--enumerate K] [--exact] [--dot]"
+         \t[--enumerate K] [--exact] [--dot]\n\
+         \n\
+         --threads 0 runs the FPRAS engine's Serial policy; T >= 1 runs\n\
+         the Deterministic policy on T workers (output depends only on\n\
+         --seed, never on T)."
     );
     std::process::exit(2)
 }
@@ -68,7 +73,7 @@ fn parse_args() -> Args {
         sample: 0,
         exact: false,
         method: Method::Fpras,
-        threads: 4,
+        threads: None,
         enumerate: 0,
         dot: false,
     };
@@ -87,14 +92,25 @@ fn parse_args() -> Args {
             "--delta" => args.delta = value(&mut i).parse().unwrap_or_else(|_| usage()),
             "--seed" => args.seed = value(&mut i).parse().unwrap_or_else(|_| usage()),
             "--sample" => args.sample = value(&mut i).parse().unwrap_or_else(|_| usage()),
-            "--threads" => args.threads = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--threads" => args.threads = Some(value(&mut i).parse().unwrap_or_else(|_| usage())),
             "--enumerate" => args.enumerate = value(&mut i).parse().unwrap_or_else(|_| usage()),
             "--exact" => args.exact = true,
             "--dot" => args.dot = true,
             "--method" => {
                 args.method = match value(&mut i).as_str() {
                     "fpras" => Method::Fpras,
-                    "parallel" => Method::Parallel,
+                    "parallel" => {
+                        // Deprecated alias: same engine, Deterministic
+                        // policy; honor an explicit --threads if given.
+                        eprintln!(
+                            "note: --method parallel is deprecated; use \
+                             --method fpras --threads T"
+                        );
+                        if args.threads.is_none() {
+                            args.threads = Some(4);
+                        }
+                        Method::Fpras
+                    }
                     "path-is" => Method::PathIs,
                     "dp" => Method::ExactDp,
                     "bdd" => Method::ExactBdd,
@@ -178,12 +194,16 @@ fn main() {
     // The FPRAS variants keep their run for sampling; other methods don't.
     let mut fpras_run: Option<FprasRun> = None;
     match args.method {
-        Method::Fpras | Method::Parallel => {
+        Method::Fpras => {
             let params = Params::practical(args.eps, args.delta, nfa.num_states(), args.n);
-            let result = if args.method == Method::Fpras {
+            let threads = args.threads.unwrap_or(0);
+            // threads = 0: Serial policy (one RNG threaded through the
+            // DP); threads ≥ 1: Deterministic policy, bit-identical for
+            // every thread count.
+            let result = if threads == 0 {
                 FprasRun::run(&nfa, args.n, &params, &mut rng)
             } else {
-                run_parallel(&nfa, args.n, &params, args.seed, args.threads)
+                run_parallel(&nfa, args.n, &params, args.seed, threads)
             };
             let run = match result {
                 Ok(run) => run,
@@ -194,7 +214,12 @@ fn main() {
             };
             report_estimate(args.n, run.estimate());
             eprintln!(
-                "  ({} membership ops, {:.1} samples/cell, {:?})",
+                "  ({} policy, {} membership ops, {:.1} samples/cell, {:?})",
+                if threads == 0 {
+                    "serial".to_string()
+                } else {
+                    format!("deterministic×{threads}")
+                },
                 run.stats().membership_ops,
                 run.stats().samples_per_cell(),
                 run.stats().wall
@@ -245,7 +270,11 @@ fn main() {
             match count_exact(&nfa, args.n) {
                 Ok(exact) => {
                     let rel = if exact.is_zero() {
-                        if run.estimate().is_zero() { 0.0 } else { f64::INFINITY }
+                        if run.estimate().is_zero() {
+                            0.0
+                        } else {
+                            f64::INFINITY
+                        }
                     } else {
                         (run.estimate().to_f64() - exact.to_f64()).abs() / exact.to_f64()
                     };
@@ -271,7 +300,7 @@ fn main() {
                 }
             }
         } else {
-            eprintln!("--sample requires --method fpras or parallel");
+            eprintln!("--sample requires --method fpras");
         }
     }
 }

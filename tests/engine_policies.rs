@@ -1,0 +1,118 @@
+//! Engine policy contracts (the tentpole refactor's acceptance tests):
+//!
+//! * the `Deterministic` policy is **bit-identical** across
+//!   `threads = 1/2/8` on seeded runs — table, stats, and estimate;
+//! * both the `Serial` and `Deterministic` policies meet the `(ε, δ)`
+//!   accuracy contract on small instances with exact ground truth;
+//! * `run_parallel(…, threads = 1)` and the serial API flow through the
+//!   same engine code path (`run_with_policy`).
+
+use fpras_automata::exact::count_exact;
+use fpras_core::{run_parallel, run_with_policy, Deterministic, FprasRun, Params, Serial};
+use fpras_workloads::families;
+use rand::{rngs::SmallRng, SeedableRng};
+
+#[test]
+fn deterministic_policy_bit_identical_across_1_2_8_threads() {
+    for (label, nfa, n) in [
+        ("contains-11", families::contains_substring(&[1, 1]), 10usize),
+        ("ones-mod-3", families::ones_mod_k(3), 9),
+    ] {
+        let m = nfa.num_states();
+        let params = Params::practical(0.3, 0.1, m, n);
+        for seed in [7u64, 99] {
+            let runs: Vec<_> = [1usize, 2, 8]
+                .iter()
+                .map(|&t| run_parallel(&nfa, n, &params, seed, t).unwrap())
+                .collect();
+            for (i, run) in runs.iter().enumerate().skip(1) {
+                assert_eq!(
+                    runs[0].estimate().to_f64(),
+                    run.estimate().to_f64(),
+                    "{label} seed {seed}: estimate differs at thread setting #{i}"
+                );
+                // Bit-identity is stronger than the final estimate: the
+                // whole random process must match, so compare the
+                // instrumentation counters and the full cell table.
+                assert_eq!(runs[0].stats().membership_ops, run.stats().membership_ops);
+                assert_eq!(runs[0].stats().sample_calls, run.stats().sample_calls);
+                assert_eq!(runs[0].stats().samples_stored, run.stats().samples_stored);
+                assert_eq!(runs[0].stats().memo_hits, run.stats().memo_hits);
+                for ell in 0..=n {
+                    for q in 0..m as u32 {
+                        assert_eq!(
+                            runs[0].cell_estimate(q, ell).map(|e| e.to_f64()),
+                            run.cell_estimate(q, ell).map(|e| e.to_f64()),
+                            "{label} seed {seed}: cell ({q}, {ell})"
+                        );
+                        assert_eq!(
+                            runs[0].cell_genuine_samples(q, ell),
+                            run.cell_genuine_samples(q, ell),
+                            "{label} seed {seed}: samples at ({q}, {ell})"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn serial_policy_meets_eps_delta_on_exact_ground_truth() {
+    policy_accuracy_sweep(|nfa, n, params, seed| {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        FprasRun::run(nfa, n, params, &mut rng).unwrap().estimate().to_f64()
+    });
+}
+
+#[test]
+fn deterministic_policy_meets_eps_delta_on_exact_ground_truth() {
+    policy_accuracy_sweep(|nfa, n, params, seed| {
+        run_parallel(nfa, n, params, seed, 4).unwrap().estimate().to_f64()
+    });
+}
+
+/// Runs the given estimator over small instances with known counts;
+/// with δ = 0.1 per run, 10 seeds per instance must land within ε at
+/// least 9 times (the expected failure count is 1).
+fn policy_accuracy_sweep(estimate: impl Fn(&fpras_automata::Nfa, usize, &Params, u64) -> f64) {
+    let eps = 0.3;
+    for (label, nfa, n) in [
+        ("contains-11", families::contains_substring(&[1, 1]), 10usize),
+        ("ones-mod-4", families::ones_mod_k(4), 10),
+        ("div-by-5", families::divisible_by(5), 10),
+    ] {
+        let exact = count_exact(&nfa, n).unwrap().to_f64();
+        assert!(exact > 0.0, "{label}: test instance must be non-empty");
+        let params = Params::practical(eps, 0.1, nfa.num_states(), n);
+        let runs = 10;
+        let within = (0..runs)
+            .filter(|&seed| {
+                let est = estimate(&nfa, n, &params, 1000 + seed);
+                (est - exact).abs() / exact < eps
+            })
+            .count();
+        assert!(within >= 9, "{label}: only {within}/{runs} runs within ε = {eps}");
+    }
+}
+
+#[test]
+fn serial_api_and_threads_1_share_the_engine() {
+    // Both public entry points are thin wrappers over run_with_policy;
+    // re-running through the policy objects must reproduce them exactly.
+    let nfa = families::contains_substring(&[1, 0, 1]);
+    let n = 9;
+    let params = Params::practical(0.3, 0.1, nfa.num_states(), n);
+
+    let mut rng_a = SmallRng::seed_from_u64(4);
+    let mut rng_b = SmallRng::seed_from_u64(4);
+    let serial_api = FprasRun::run(&nfa, n, &params, &mut rng_a).unwrap();
+    let serial_policy = run_with_policy(&nfa, n, &params, &mut Serial::new(&mut rng_b)).unwrap();
+    assert_eq!(serial_api.estimate().to_f64(), serial_policy.estimate().to_f64());
+    assert_eq!(serial_api.stats().membership_ops, serial_policy.stats().membership_ops);
+
+    let parallel_fn = run_parallel(&nfa, n, &params, 4, 1).unwrap();
+    let parallel_policy = run_with_policy(&nfa, n, &params, &mut Deterministic::new(4, 1)).unwrap();
+    assert_eq!(parallel_fn.estimate().to_f64(), parallel_policy.estimate().to_f64());
+    assert_eq!(parallel_fn.stats().membership_ops, parallel_policy.stats().membership_ops);
+}

@@ -1,9 +1,9 @@
 //! End-to-end application pipelines: RPQ, PQE and leakage, each driven
 //! through the public umbrella API.
 
+use fpras_apps::leakage::estimate_leakage;
 use fpras_apps::pqe::{estimate_pqe, pqe_exact, ProbDatabase, ProbTuple};
 use fpras_apps::rpq::{count_answers, rpq_instance, sample_answer, Rpq};
-use fpras_apps::leakage::estimate_leakage;
 use fpras_automata::exact::count_exact;
 use fpras_automata::regex::compile_regex;
 use fpras_automata::Alphabet;
@@ -13,10 +13,8 @@ use rand::{rngs::SmallRng, SeedableRng};
 #[test]
 fn rpq_pipeline_on_random_graph() {
     let mut rng = SmallRng::seed_from_u64(3);
-    let graph = random_graph(
-        &RandomGraphConfig { nodes: 10, labels: 2, avg_degree: 2.0 },
-        &mut rng,
-    );
+    let graph =
+        random_graph(&RandomGraphConfig { nodes: 10, labels: 2, avg_degree: 2.0 }, &mut rng);
     let query = Rpq { source: 0, pattern: "(a|b)*a".into(), target: 9 };
     let n = 10;
     let instance = rpq_instance(&graph, &query).unwrap();
@@ -32,11 +30,8 @@ fn rpq_pipeline_on_random_graph() {
 
 #[test]
 fn rpq_sampling_respects_query() {
-    let graph = LabeledGraph::new(
-        4,
-        2,
-        vec![(0, 0, 1), (1, 1, 2), (2, 0, 3), (3, 1, 0), (0, 1, 3)],
-    );
+    let graph =
+        LabeledGraph::new(4, 2, vec![(0, 0, 1), (1, 1, 2), (2, 0, 3), (3, 1, 0), (0, 1, 3)]);
     let query = Rpq { source: 0, pattern: "(ab)*b?".into(), target: 3 };
     let instance = rpq_instance(&graph, &query).unwrap();
     let mut rng = SmallRng::seed_from_u64(5);

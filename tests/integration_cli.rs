@@ -5,10 +5,8 @@
 use std::process::Command;
 
 fn run(args: &[&str]) -> (String, String, bool) {
-    let out = Command::new(env!("CARGO_BIN_EXE_nfa-count"))
-        .args(args)
-        .output()
-        .expect("binary runs");
+    let out =
+        Command::new(env!("CARGO_BIN_EXE_nfa-count")).args(args).output().expect("binary runs");
     (
         String::from_utf8_lossy(&out.stdout).into_owned(),
         String::from_utf8_lossy(&out.stderr).into_owned(),
@@ -49,9 +47,17 @@ fn path_is_method_reports_variance() {
 }
 
 #[test]
-fn parallel_method_samples() {
+fn threaded_fpras_samples() {
     let (stdout, _, ok) = run(&[
-        "--regex", "1(0|1)*", "-n", "10", "--method", "parallel", "--threads", "2", "--sample",
+        "--regex",
+        "1(0|1)*",
+        "-n",
+        "10",
+        "--method",
+        "fpras",
+        "--threads",
+        "2",
+        "--sample",
         "3",
     ]);
     assert!(ok);
@@ -69,6 +75,32 @@ fn parallel_method_samples() {
         assert_eq!(w.len(), 10, "{w}");
         assert!(w.starts_with('1'), "{w}");
     }
+}
+
+#[test]
+fn thread_count_does_not_change_cli_output() {
+    // --threads selects the engine's Deterministic policy: stdout must
+    // depend only on the seed, never on the worker count.
+    let base = ["--regex", "1(0|1)*1", "-n", "12", "--method", "fpras", "--seed", "13"];
+    let with = |t: &str| {
+        let mut args = base.to_vec();
+        args.extend_from_slice(&["--threads", t]);
+        let (stdout, stderr, ok) = run(&args);
+        assert!(ok, "stderr: {stderr}");
+        stdout
+    };
+    let one = with("1");
+    assert_eq!(one, with("2"));
+    assert_eq!(one, with("8"));
+}
+
+#[test]
+fn parallel_alias_still_accepted() {
+    let (stdout, stderr, ok) =
+        run(&["--regex", "1(0|1)*", "-n", "8", "--method", "parallel", "--seed", "3"]);
+    assert!(ok, "stderr: {stderr}");
+    assert!(stdout.contains("estimate |L(A_8)|"), "{stdout}");
+    assert!(stderr.contains("deprecated"), "{stderr}");
 }
 
 #[test]

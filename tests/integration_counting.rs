@@ -93,10 +93,7 @@ fn huge_n_beyond_f64_range() {
 fn error_paths_are_reported() {
     let nfa = families::all_words();
     // Invalid eps.
-    assert!(matches!(
-        estimate_count(&nfa, 4, 0.0, 0.1, 1),
-        Err(FprasError::InvalidParams(_))
-    ));
+    assert!(matches!(estimate_count(&nfa, 4, 0.0, 0.1, 1), Err(FprasError::InvalidParams(_))));
     // Budget guard.
     let mut params = Params::practical(0.3, 0.1, 1, 12);
     params.max_membership_ops = Some(1);
@@ -110,11 +107,9 @@ fn error_paths_are_reported() {
 #[test]
 fn zero_language_detected_without_sampling() {
     // Unsatisfiable slice: even-length language at odd n.
-    let nfa = fpras_automata::regex::compile_regex(
-        "((0|1)(0|1))*",
-        &fpras_automata::Alphabet::binary(),
-    )
-    .unwrap();
+    let nfa =
+        fpras_automata::regex::compile_regex("((0|1)(0|1))*", &fpras_automata::Alphabet::binary())
+            .unwrap();
     let r = estimate_count(&nfa, 9, 0.3, 0.1, 5).unwrap();
     assert!(r.estimate.is_zero());
     assert_eq!(r.stats.sample_calls, 0, "degenerate run must not sample");

@@ -11,12 +11,7 @@ use rand::{rngs::SmallRng, SeedableRng};
 fn thread_count_is_invisible_on_random_nfas() {
     let mut rng = SmallRng::seed_from_u64(404);
     for case in 0..5 {
-        let config = RandomNfaConfig {
-            states: 5 + case,
-            alphabet: 2,
-            density: 1.6,
-            accepting: 1,
-        };
+        let config = RandomNfaConfig { states: 5 + case, alphabet: 2, density: 1.6, accepting: 1 };
         let nfa = random_nfa(&config, &mut rng);
         let n = 8;
         let params = Params::practical(0.3, 0.1, nfa.num_states(), n);

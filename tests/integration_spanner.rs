@@ -8,8 +8,8 @@ use fpras_automata::simulation::reduce;
 use fpras_automata::{Alphabet, Word};
 use fpras_bdd::count_slice;
 use fpras_core::{run_parallel, Params};
-use fpras_spanner::{compile_spanner, count_answers_exact, enumerate_answers, VSetBuilder};
 use fpras_spanner::VSetAutomaton;
+use fpras_spanner::{compile_spanner, count_answers_exact, enumerate_answers, VSetBuilder};
 
 /// `.* ⊢x 1+ x⊣ .*` duplicated into two redundant branches: every answer
 /// has ≥ 2 accepting runs.
