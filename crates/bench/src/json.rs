@@ -3,9 +3,12 @@
 //! `experiments --json [PATH]` writes a `BENCH_counter.json` so later
 //! PRs have a perf trajectory to compare against: one record per
 //! `(instance, method, threads)` cell with wall time and the estimate.
-//! The encoder is hand-rolled (the workspace vendors no serde) and the
-//! schema is deliberately flat — downstream tooling should need nothing
-//! beyond a JSON array of objects.
+//! The FPRAS rows include an `fpras(unbatched)` control — same seed,
+//! bit-identical estimate, batched union estimation disabled — so the
+//! batching layer's saving (`ops` and `cells_deduped`) is recorded in
+//! every trajectory snapshot. The encoder is hand-rolled (the workspace
+//! vendors no serde) and the schema is deliberately flat — downstream
+//! tooling should need nothing beyond a JSON array of objects.
 
 use fpras_baselines::{run_counter, CounterKind};
 use fpras_workloads::families;
@@ -31,6 +34,8 @@ pub struct CounterMeasurement {
     pub estimate_log2: f64,
     /// Membership/word operations attributed to the run.
     pub ops: u64,
+    /// `(cell, symbol)` pairs deduplicated by batched union estimation.
+    pub cells_deduped: u64,
 }
 
 /// Runs the counter matrix the JSON report records: three instance
@@ -44,12 +49,15 @@ pub fn counter_matrix(quick: bool, seed: u64) -> Vec<CounterMeasurement> {
         ("div-by-5", families::divisible_by(5)),
     ];
     // threads = 0 is the Serial policy; ≥ 1 the Deterministic policy.
-    let fpras_threads = [0usize, 1, 2, 4, 8];
+    // The `(threads, batch = false)` rows are the unbatched controls:
+    // bit-identical estimates, more work (ops), zero dedup.
+    let fpras_settings =
+        [(0usize, true), (1, true), (2, true), (4, true), (8, true), (0, false), (4, false)];
     let mut out = Vec::new();
     for (name, nfa) in &instances {
         let instance = format!("{name}/n={n}");
-        for &threads in &fpras_threads {
-            let kind = CounterKind::Fpras { threads };
+        for &(threads, batch) in &fpras_settings {
+            let kind = CounterKind::Fpras { threads, batch };
             let r = run_counter(&kind, nfa, n, 0.25, 0.1, seed).expect("fpras run");
             out.push(CounterMeasurement {
                 instance: instance.clone(),
@@ -59,6 +67,7 @@ pub fn counter_matrix(quick: bool, seed: u64) -> Vec<CounterMeasurement> {
                 estimate: r.estimate.to_f64(),
                 estimate_log2: r.estimate.log2(),
                 ops: r.ops,
+                cells_deduped: r.cells_deduped,
             });
         }
         let exact = run_counter(&CounterKind::ExactDp, nfa, n, 0.25, 0.1, seed).expect("exact dp");
@@ -70,6 +79,7 @@ pub fn counter_matrix(quick: bool, seed: u64) -> Vec<CounterMeasurement> {
             estimate: exact.estimate.to_f64(),
             estimate_log2: exact.estimate.log2(),
             ops: exact.ops,
+            cells_deduped: 0,
         });
     }
     out
@@ -86,7 +96,8 @@ pub fn to_json(measurements: &[CounterMeasurement]) -> String {
         s.push_str(&format!("\"wall_seconds\": {}, ", number(m.wall_seconds)));
         s.push_str(&format!("\"estimate\": {}, ", number(m.estimate)));
         s.push_str(&format!("\"estimate_log2\": {}, ", number(m.estimate_log2)));
-        s.push_str(&format!("\"ops\": {}", m.ops));
+        s.push_str(&format!("\"ops\": {}, ", m.ops));
+        s.push_str(&format!("\"cells_deduped\": {}", m.cells_deduped));
         s.push('}');
         if i + 1 < measurements.len() {
             s.push(',');
@@ -148,6 +159,7 @@ mod tests {
                 estimate: 12.0,
                 estimate_log2: 12f64.log2(),
                 ops: 99,
+                cells_deduped: 7,
             },
             CounterMeasurement {
                 instance: "empty \"quoted\"".into(),
@@ -157,12 +169,14 @@ mod tests {
                 estimate: 0.0,
                 estimate_log2: f64::NEG_INFINITY,
                 ops: 0,
+                cells_deduped: 0,
             },
         ];
         let doc = to_json(&ms);
         assert!(doc.starts_with("[\n"));
         assert!(doc.ends_with("]\n"));
         assert!(doc.contains("\"threads\": 2"));
+        assert!(doc.contains("\"cells_deduped\": 7"));
         assert!(doc.contains("\\\"quoted\\\""));
         // log2(0) must not produce invalid JSON.
         assert!(doc.contains("\"estimate_log2\": null"));
@@ -173,11 +187,13 @@ mod tests {
     #[test]
     fn matrix_covers_methods_and_threads() {
         let ms = counter_matrix(true, 7);
-        // 3 instances × (5 fpras thread settings + 1 exact).
-        assert_eq!(ms.len(), 18);
+        // 3 instances × (7 fpras settings + 1 exact).
+        assert_eq!(ms.len(), 24);
         assert!(ms.iter().any(|m| m.method == "exact-dp"));
         assert!(ms.iter().any(|m| m.threads == 8));
-        // Deterministic policy: identical estimates for threads 1/2/4/8.
+        assert!(ms.iter().any(|m| m.method == "fpras(unbatched)"));
+        // Deterministic policy: identical estimates for threads 1/2/4/8,
+        // batched or not (batching shares work, never changes output).
         for (name, _) in [("contains-11", ()), ("ones-mod-4", ()), ("div-by-5", ())] {
             let dets: Vec<f64> = ms
                 .iter()
@@ -185,6 +201,24 @@ mod tests {
                 .map(|m| m.estimate)
                 .collect();
             assert!(dets.windows(2).all(|w| w[0] == w[1]), "{name}: {dets:?}");
+            // The unbatched control re-runs shared estimations: same
+            // estimate, strictly more membership ops on these fixtures.
+            let batched = ms
+                .iter()
+                .find(|m| {
+                    m.instance.starts_with(name) && m.method == "fpras(ours)" && m.threads == 0
+                })
+                .expect("batched serial row");
+            let unbatched = ms
+                .iter()
+                .find(|m| {
+                    m.instance.starts_with(name) && m.method == "fpras(unbatched)" && m.threads == 0
+                })
+                .expect("unbatched serial row");
+            assert_eq!(batched.estimate, unbatched.estimate, "{name}");
+            assert!(batched.cells_deduped > 0, "{name}: dedup must fire");
+            assert_eq!(unbatched.cells_deduped, 0, "{name}");
+            assert!(batched.ops < unbatched.ops, "{name}: batching must save ops");
         }
         // And every FPRAS estimate is within the ε band of exact.
         for (name, _) in [("contains-11", ()), ("ones-mod-4", ()), ("div-by-5", ())] {

@@ -16,6 +16,7 @@
 use crate::params::{CursorPolicy, Params};
 use crate::run_stats::RunStats;
 use crate::sample_set::SampleSet;
+use crate::table::RunTable;
 use fpras_automata::{StateId, StateSet};
 use fpras_numeric::{sample_weights, ExtFloat};
 use rand::{Rng, RngExt};
@@ -29,6 +30,34 @@ pub struct UnionSetInput<'a> {
     /// The predecessor state `p_i` identifying the set, used both for the
     /// prefix masks and (by callers) for memo keys.
     pub state: StateId,
+}
+
+/// Builds the `AppUnion` inputs for estimating
+/// `|⋃_{p ∈ frontier} L(p^level)|` from the DP table: one input per
+/// frontier state with a positive estimate (zero-estimate sets carry no
+/// mass and would only waste prefix-mask width). Shared by the sampler's
+/// `union_size` and the engine's batched count pass so every union
+/// estimate in the system is built from the same rule.
+pub fn frontier_inputs<'a>(
+    table: &'a RunTable,
+    level: usize,
+    frontier: &StateSet,
+) -> Vec<UnionSetInput<'a>> {
+    frontier
+        .iter()
+        .filter_map(|p| {
+            let cell = table.cell(level, p);
+            if cell.n_est.is_zero() {
+                None
+            } else {
+                Some(UnionSetInput {
+                    samples: &cell.samples,
+                    size_est: cell.n_est,
+                    state: p as StateId,
+                })
+            }
+        })
+        .collect()
 }
 
 /// Output of one `AppUnion` call plus diagnostics.

@@ -14,19 +14,29 @@
 //!   pass out over scoped threads with per-cell SplitMix64 RNG streams,
 //!   bit-identical for every thread count.
 //!
-//! Every cell computation (`count_cell`, `sample_cell`) lives here and is
-//! shared by both policies, so future optimizations — batched union
-//! estimation, cross-cell sharing à la de Colnet & Meel, cache-aware
-//! scheduling — land in exactly one place.
+//! Every per-level computation (`run_group`, `assemble_count_cell`,
+//! `sample_cell`) lives here and is shared by both policies, so
+//! optimizations land in exactly one place.
+//!
+//! # Batched union estimation (D8)
+//!
+//! The count pass does not run `AppUnion` per `(cell, symbol)` pair any
+//! more: the engine first builds a [`LevelPlan`](batch::LevelPlan) that
+//! groups pairs by their canonical predecessor-frontier key, the policy
+//! estimates each *group* once (on an RNG stream derived from the
+//! frontier, not the cell), and per-cell counts are assembled by summing
+//! the shared group estimates. `Params::batch_unions = false` re-runs
+//! the identical estimation once per member pair instead — same streams,
+//! same output, strictly more work — which is the honest unbatched
+//! baseline the benches compare against. See `engine/batch.rs`.
 //!
 //! # Memo discipline
 //!
 //! The sampler's union memo follows a single level-snapshot/merge rule:
 //!
-//! 1. the count pass never reads the memo; its per-symbol union
-//!    estimates are returned as *seeds* and merged first-wins in state
-//!    order (count-phase values are the high-precision tier, DESIGN.md
-//!    D4);
+//! 1. the count pass never reads the memo; its per-group union
+//!    estimates are merged first-wins in canonical group order
+//!    (count-phase values are the high-precision tier, DESIGN.md D4);
 //! 2. the sample pass starts every cell from the level-start snapshot
 //!    (plus the count seeds); entries a cell adds are merged back
 //!    first-wins in a canonical order after the pass, so no cell ever
@@ -38,22 +48,25 @@
 //! are free), which is the documented difference between the two
 //! policies' random processes. Both satisfy the same `(ε, δ)` contract.
 
+pub mod batch;
 pub mod policy;
 
+use crate::app_union;
+use crate::appunion::frontier_inputs;
 use crate::counter::FprasRun;
 use crate::error::FprasError;
 use crate::params::Params;
 use crate::run_stats::RunStats;
 use crate::sample_set::{SampleEntry, SampleSet};
 use crate::sampler::sample_word;
-use crate::table::{MemoKey, RunTable, SampleOutcome, UnionMemo};
-use crate::{app_union, UnionSetInput};
+use crate::table::{RunTable, SampleOutcome, UnionMemo};
 use fpras_automata::ops::{trim, with_single_accepting};
 use fpras_automata::{Nfa, StateId, StateSet, StepMasks, Unrolling, Word};
 use fpras_numeric::ExtFloat;
-use rand::{Rng, RngExt};
+use rand::{rngs::SmallRng, Rng, RngExt};
 use std::time::Instant;
 
+pub use batch::{FrontierGroup, LevelPlan};
 pub use policy::{Deterministic, ExecutionPolicy, Serial};
 
 /// The normalized state a finished run keeps: the trimmed automaton
@@ -85,17 +98,35 @@ pub struct EngineCtx<'a> {
     pub k: u8,
 }
 
-/// Output of one count-pass cell.
+/// Output of one count-pass cell. Estimation counters live on the
+/// group outputs ([`GroupOut::stats`]); assembly itself does no
+/// countable work.
 pub struct CountOut {
     /// The cell's state.
     pub q: StateId,
     /// The estimate `N(qℓ)`.
     pub n_est: ExtFloat,
-    /// `(level − 1, predecessor frontier) → estimate` seeds for the
-    /// sampler memo (empty unless `params.memoize_unions`).
-    pub memo_seeds: Vec<(MemoKey, ExtFloat)>,
-    /// Counters attributable to this cell.
+}
+
+/// Output of one frontier group's union estimation.
+pub struct GroupOut {
+    /// The shared estimate of `|⋃_{p ∈ frontier} L(p^{ℓ-1})|`, fanned
+    /// out to every member `(cell, symbol)` pair and seeded into the
+    /// sampler memo under the group's key.
+    pub estimate: ExtFloat,
+    /// Counters attributable to this group's estimation work.
     pub stats: RunStats,
+}
+
+/// Output of one level's count pass: one [`GroupOut`] per plan group and
+/// one [`CountOut`] per cell (both in canonical order; either list is a
+/// prefix when the pass stopped early on budget exhaustion — a truncated
+/// pass returns *no* cells, since a cell needs all its groups).
+pub struct CountPass {
+    /// Per-group estimation results, in plan order.
+    pub groups: Vec<GroupOut>,
+    /// Per-cell assembled counts, in cell order (empty on truncation).
+    pub cells: Vec<CountOut>,
 }
 
 /// Output of one sample-pass cell.
@@ -112,64 +143,64 @@ pub struct SampleOut {
     pub stats: RunStats,
 }
 
-/// Count pass for one `(q, ℓ)` cell (Algorithm 3 lines 12–19): sums the
-/// per-symbol predecessor-union estimates, optionally injects the
-/// paper's analysis noise.
-pub fn count_cell<R: Rng + ?Sized>(
+/// Estimates one frontier group's union size (Algorithm 3 line 15 for
+/// every member `(cell, symbol)` pair at once).
+///
+/// Under `params.batch_unions` the estimation runs once; otherwise it is
+/// re-run once per member pair on a *clone* of the group RNG — identical
+/// draws, identical estimate, the per-pair cost the batched path saves.
+/// Group RNGs are derived from the frontier (never the member cells), so
+/// this function is the reason batching cannot change the output.
+pub fn run_group(
     ctx: &EngineCtx<'_>,
     table: &RunTable,
     ell: usize,
-    q: StateId,
-    rng: &mut R,
-) -> CountOut {
+    group: &FrontierGroup,
+    rng: &SmallRng,
+) -> GroupOut {
     let params = ctx.params;
     let mut stats = RunStats::default();
-    let mut memo_seeds = Vec::new();
     let eps_sz = params.eps_sz_at_level(params.beta_count, ell);
-    let mut n_est = ExtFloat::ZERO;
-    for sym in 0..ctx.k {
-        let pred_set = StateSet::from_iter(
-            ctx.m,
-            ctx.nfa
-                .predecessors(q, sym)
-                .iter()
-                .map(|&p| p as usize)
-                .filter(|&p| ctx.unroll.reachable(ell - 1).contains(p)),
-        );
-        if pred_set.is_empty() {
-            continue;
-        }
-        let inputs: Vec<UnionSetInput<'_>> = pred_set
-            .iter()
-            .filter_map(|p| {
-                let cell = table.cell(ell - 1, p);
-                if cell.n_est.is_zero() {
-                    None
-                } else {
-                    Some(UnionSetInput {
-                        samples: &cell.samples,
-                        size_est: cell.n_est,
-                        state: p as StateId,
-                    })
-                }
-            })
-            .collect();
-        let est = app_union(
+    let inputs = frontier_inputs(table, ell - 1, &group.frontier);
+    let repeats = if params.batch_unions { 1 } else { group.members };
+    let mut estimate = ExtFloat::ZERO;
+    for _ in 0..repeats {
+        let mut r = rng.clone();
+        estimate = app_union(
             params,
             params.beta_count,
             params.delta_count_inner(),
             eps_sz,
             &inputs,
             ctx.m,
-            rng,
+            &mut r,
             &mut stats,
-        );
-        // Seed the sampler's memo with the high-precision count-phase
-        // value (DESIGN.md D4); merged first-wins by the engine.
-        if params.memoize_unions {
-            memo_seeds.push((MemoKey::new(ell - 1, &pred_set), est.value));
-        }
-        n_est = n_est + est.value;
+        )
+        .value;
+        stats.batch.unions_run += 1;
+    }
+    // Pairs beyond the `repeats` executed were answered by sharing.
+    let shared = u64::from(group.members) - u64::from(repeats);
+    stats.batch.cells_deduped += shared;
+    stats.batch.unions_skipped += shared;
+    GroupOut { estimate, stats }
+}
+
+/// Assembles one cell's count from the level's shared group estimates
+/// (Algorithm 3 lines 12–19): sums the per-symbol estimates, optionally
+/// injects the paper's analysis noise.
+pub fn assemble_count_cell<R: Rng + ?Sized>(
+    ctx: &EngineCtx<'_>,
+    ell: usize,
+    q: StateId,
+    groups_of_cell: &[Option<usize>],
+    estimates: &[ExtFloat],
+    rng: &mut R,
+) -> CountOut {
+    let params = ctx.params;
+    let mut n_est = ExtFloat::ZERO;
+    for gi in groups_of_cell.iter().flatten() {
+        n_est = n_est + estimates[*gi];
     }
 
     // Noise injection (lines 16–19) — analysis artifact, only under the
@@ -182,7 +213,7 @@ pub fn count_cell<R: Rng + ?Sized>(
         }
     }
 
-    CountOut { q, n_est, memo_seeds, stats }
+    CountOut { q, n_est }
 }
 
 /// Sample pass for one `(q, ℓ)` cell (Algorithm 3 lines 20–30): draws up
@@ -325,18 +356,35 @@ pub fn run_with_policy<P: ExecutionPolicy>(
         let ops_remaining =
             params.max_membership_ops.map(|b| b.saturating_sub(stats.membership_ops));
 
-        // ---- Pass 1: count phase ----
-        let counts = policy.count_pass(&ctx, ell, &useful, &table, ops_remaining);
-        debug_assert!(counts.len() <= useful.len(), "count pass output exceeds cell list");
-        let count_truncated = counts.len() < useful.len();
-        for out in counts {
-            table.cell_mut(ell, out.q as usize).n_est = out.n_est;
+        // ---- Pass 1: count phase (batched over frontier groups) ----
+        let plan = LevelPlan::build(&ctx, ell, &useful);
+        stats.batch.groups_formed += plan.groups().len() as u64;
+        stats.batch.unions_skipped += plan.empty_pairs();
+        let pass = policy.count_pass(&ctx, &plan, &table, ops_remaining);
+        debug_assert!(pass.groups.len() <= plan.groups().len(), "count pass exceeds group list");
+        debug_assert!(pass.cells.len() <= useful.len(), "count pass output exceeds cell list");
+        let count_truncated = pass.cells.len() < useful.len();
+        for (gi, out) in pass.groups.iter().enumerate() {
             stats.merge(&out.stats);
-            // First-wins in state order: deterministic regardless of how
-            // the pass was scheduled.
-            for (key, value) in out.memo_seeds {
-                memo.entry(key).or_insert(value);
+            // Seed the sampler's memo with the high-precision count-phase
+            // value (DESIGN.md D4), first-wins in canonical group order:
+            // deterministic regardless of how the pass was scheduled.
+            if params.memoize_unions {
+                memo.entry(plan.key(gi).clone()).or_insert(out.estimate);
             }
+        }
+        // The plan's static dedup count and the pass's dynamic
+        // accounting are two definitions of the same quantity; a
+        // complete batched pass must reconcile them exactly.
+        debug_assert!(
+            count_truncated
+                || !params.batch_unions
+                || pass.groups.iter().map(|g| g.stats.batch.cells_deduped).sum::<u64>()
+                    == plan.deduped_pairs(),
+            "plan and pass disagree on deduplicated pairs"
+        );
+        for out in pass.cells {
+            table.cell_mut(ell, out.q as usize).n_est = out.n_est;
         }
         check_budget(params, &stats)?;
         debug_assert!(!count_truncated, "a pass may only stop early when the budget is spent");
@@ -466,15 +514,27 @@ mod tests {
     }
 
     #[test]
-    fn serial_budget_stops_within_a_cell_not_a_level() {
-        // The Serial policy honors the remaining-op budget per cell: on
-        // a multi-cell level it must abort after the first offending
-        // cell, so its reported overshoot is at most one cell's work —
-        // strictly less than the Deterministic policy, which finishes
-        // the whole pass (per-pass granularity, see policy docs).
+    fn serial_budget_stops_within_a_pass_not_a_level() {
+        // The Serial policy honors the remaining-op budget per frontier
+        // group: on a multi-group level it must abort after the first
+        // offending group, so its reported overshoot is at most one
+        // group's work — strictly less than the Deterministic policy,
+        // which finishes the whole pass (per-pass granularity, see
+        // policy docs). Level 1 always has exactly one group (frontiers
+        // live inside reach(0) = {init}), so probe its cost first and
+        // set the budget to trip inside level 2, where contains-11 has
+        // two groups ({q0} and {q1}).
         let nfa = contains_11();
         let mut params = Params::practical(0.3, 0.1, 3, 8);
-        params.max_membership_ops = Some(10);
+        params.max_membership_ops = Some(1);
+        let level_one_ops = {
+            let mut rng = SmallRng::seed_from_u64(1);
+            match FprasRun::run(&nfa, 8, &params, &mut rng) {
+                Err(FprasError::BudgetExceeded { ops }) => ops,
+                other => panic!("expected budget error, got {:?}", other.map(|r| r.estimate())),
+            }
+        };
+        params.max_membership_ops = Some(level_one_ops + 1);
         let serial_ops = {
             let mut rng = SmallRng::seed_from_u64(1);
             match FprasRun::run(&nfa, 8, &params, &mut rng) {
@@ -486,7 +546,7 @@ mod tests {
             Err(FprasError::BudgetExceeded { ops }) => ops,
             other => panic!("expected budget error, got {:?}", other.map(|r| r.estimate())),
         };
-        assert!(serial_ops > 10, "guard must still report the overshooting total");
+        assert!(serial_ops > level_one_ops + 1, "guard must still report the overshooting total");
         assert!(
             serial_ops < parallel_ops,
             "serial ({serial_ops} ops) must stop before a full pass ({parallel_ops} ops)"

@@ -1,21 +1,31 @@
 //! Execution policies: *how* the engine's two per-level passes run.
 //!
-//! The engine fixes the schedule (count pass, then sample pass, both in
-//! state order) and the merge discipline; a policy decides scheduling
-//! within a pass — which thread runs which cell, and where each cell's
-//! randomness comes from. Policies must return outputs in the same
-//! order as the input cell list.
+//! The engine fixes the schedule (count pass over the level's frontier
+//! groups then its cells, sample pass in state order) and the merge
+//! discipline; a policy decides scheduling within a pass — which thread
+//! runs which unit of work, and where each unit's randomness comes from.
+//! Policies must return outputs in the same order as the input lists.
+//!
+//! Count-pass randomness is **frontier-keyed** for both policies: the
+//! RNG stream feeding a group's union estimation is derived from the
+//! group (its canonical [`MemoKey::rng_tag`] under `Deterministic`, one
+//! sub-seed drawn per group in canonical order under `Serial`), never
+//! from a member cell. That is what makes batched and unbatched count
+//! passes bit-identical — see `engine/batch.rs`.
 
-use super::{count_cell, sample_cell, CountOut, EngineCtx, SampleOut};
+use super::{assemble_count_cell, run_group, sample_cell, CountPass, EngineCtx, SampleOut};
+use crate::engine::LevelPlan;
 use crate::table::{MemoKey, UnionMemo};
 use fpras_automata::StateId;
 use fpras_numeric::ExtFloat;
-use rand::{rngs::SmallRng, Rng, SeedableRng};
+use rand::{rngs::SmallRng, Rng, RngExt, SeedableRng};
 
-/// RNG-stream tag for the count pass.
+/// RNG-stream tag for per-cell count-pass draws (noise injection).
 const PHASE_COUNT: u64 = 1;
 /// RNG-stream tag for the sample pass.
 const PHASE_SAMPLE: u64 = 2;
+/// RNG-stream tag for frontier-group union estimations.
+const PHASE_GROUP: u64 = 3;
 
 /// How the per-cell work of one engine pass is executed.
 ///
@@ -30,17 +40,18 @@ pub trait ExecutionPolicy {
     /// Short label for diagnostics and experiment tables.
     fn name(&self) -> &'static str;
 
-    /// Runs the count pass over `cells` at level `ell`, returning one
-    /// [`CountOut`] per cell **in input order** (a prefix if the pass
-    /// stops early on budget exhaustion).
+    /// Runs the count pass for one level's [`LevelPlan`]: one
+    /// [`GroupOut`](super::GroupOut) per frontier group and one
+    /// [`CountOut`](super::CountOut) per cell, both **in plan order**.
+    /// A pass that stops early on budget exhaustion returns a prefix of
+    /// the groups and **no** cells (a cell needs all its groups).
     fn count_pass(
         &mut self,
         ctx: &EngineCtx<'_>,
-        ell: usize,
-        cells: &[StateId],
+        plan: &LevelPlan,
         table: &crate::table::RunTable,
         ops_remaining: Option<u64>,
-    ) -> Vec<CountOut>;
+    ) -> CountPass;
 
     /// Runs the sample pass over the live `cells` at level `ell`,
     /// returning one [`SampleOut`] per cell **in input order** (a
@@ -87,26 +98,42 @@ impl<R: Rng + ?Sized> ExecutionPolicy for Serial<'_, R> {
     fn count_pass(
         &mut self,
         ctx: &EngineCtx<'_>,
-        ell: usize,
-        cells: &[StateId],
+        plan: &LevelPlan,
         table: &crate::table::RunTable,
         ops_remaining: Option<u64>,
-    ) -> Vec<CountOut> {
-        // Per-cell budget granularity: stop as soon as the pass has
+    ) -> CountPass {
+        let ell = plan.level();
+        // One sub-seed per group, drawn in canonical order — the same
+        // main-stream consumption whether batching is on or off, so the
+        // two modes stay bit-identical through the later passes too.
+        // Per-group budget granularity: stop as soon as the pass has
         // burned through the remaining op budget (the engine then
         // reports BudgetExceeded without paying for the rest of the
         // level).
         let mut used = 0u64;
-        let mut outs = Vec::with_capacity(cells.len());
-        for &q in cells {
-            let out = count_cell(ctx, table, ell, q, self.rng);
+        let mut groups = Vec::with_capacity(plan.groups().len());
+        for group in plan.groups() {
+            let rng = SmallRng::seed_from_u64(self.rng.random::<u64>());
+            let out = run_group(ctx, table, ell, group, &rng);
             used += out.stats.membership_ops;
-            outs.push(out);
+            groups.push(out);
             if budget_spent(used, ops_remaining) {
                 break;
             }
         }
-        outs
+        let cells = if groups.len() < plan.groups().len() {
+            Vec::new() // truncated: the engine aborts right after the merge
+        } else {
+            let estimates: Vec<ExtFloat> = groups.iter().map(|g| g.estimate).collect();
+            plan.cells()
+                .iter()
+                .enumerate()
+                .map(|(i, &q)| {
+                    assemble_count_cell(ctx, ell, q, plan.cell_groups(i), &estimates, self.rng)
+                })
+                .collect()
+        };
+        CountPass { groups, cells }
     }
 
     fn sample_pass(
@@ -177,16 +204,29 @@ impl ExecutionPolicy for Deterministic {
     fn count_pass(
         &mut self,
         ctx: &EngineCtx<'_>,
-        ell: usize,
-        cells: &[StateId],
+        plan: &LevelPlan,
         table: &crate::table::RunTable,
         _ops_remaining: Option<u64>,
-    ) -> Vec<CountOut> {
+    ) -> CountPass {
         let seed = self.master_seed;
-        chunked_map(cells, self.threads, |&q| {
+        let ell = plan.level();
+        // Group RNG streams are keyed by the frontier's canonical tag —
+        // independent of both scheduling and the member cells, so any
+        // thread count (and batched vs unbatched) produces identical
+        // estimates.
+        let indices: Vec<usize> = (0..plan.groups().len()).collect();
+        let groups = chunked_map(&indices, self.threads, |&gi| {
+            let rng = group_rng(seed, plan.key(gi).rng_tag());
+            run_group(ctx, table, ell, &plan.groups()[gi], &rng)
+        });
+        let estimates: Vec<ExtFloat> = groups.iter().map(|g| g.estimate).collect();
+        let cell_indices: Vec<usize> = (0..plan.cells().len()).collect();
+        let cells = chunked_map(&cell_indices, self.threads, |&i| {
+            let q = plan.cells()[i];
             let mut rng = cell_rng(seed, ell, q, PHASE_COUNT);
-            count_cell(ctx, table, ell, q, &mut rng)
-        })
+            assemble_count_cell(ctx, ell, q, plan.cell_groups(i), &estimates, &mut rng)
+        });
+        CountPass { groups, cells }
     }
 
     fn sample_pass(
@@ -238,6 +278,14 @@ pub(crate) fn cell_rng(master: u64, level: usize, q: StateId, phase: u64) -> Sma
     let mixed = splitmix64(
         master ^ splitmix64((level as u64) << 32 | q as u64) ^ splitmix64(phase ^ 0xA5A5_5A5A),
     );
+    SmallRng::seed_from_u64(mixed)
+}
+
+/// Independent RNG stream for one frontier group, keyed by the group's
+/// canonical tag ([`MemoKey::rng_tag`]) — the tag already mixes the
+/// level, so only the master seed and phase are added here.
+pub(crate) fn group_rng(master: u64, tag: u64) -> SmallRng {
+    let mixed = splitmix64(master ^ splitmix64(tag) ^ splitmix64(PHASE_GROUP ^ 0xA5A5_5A5A));
     SmallRng::seed_from_u64(mixed)
 }
 

@@ -69,14 +69,16 @@ pub mod sample_set;
 pub mod sampler;
 pub mod table;
 
-pub use appunion::{app_union, UnionEstimate, UnionSetInput};
+pub use appunion::{app_union, frontier_inputs, UnionEstimate, UnionSetInput};
 pub use counter::FprasRun;
-pub use engine::{run_parallel, run_with_policy, Deterministic, ExecutionPolicy, Serial};
+pub use engine::{
+    run_parallel, run_with_policy, Deterministic, ExecutionPolicy, FrontierGroup, LevelPlan, Serial,
+};
 pub use error::FprasError;
 pub use generator::UniformGenerator;
 pub use median::{median_amplified, median_amplified_parallel, runs_needed, MedianEstimate};
 pub use params::{CursorPolicy, Params, Profile};
-pub use run_stats::RunStats;
+pub use run_stats::{BatchStats, RunStats};
 pub use sample_set::{SampleEntry, SampleSet};
 pub use table::SampleOutcome;
 

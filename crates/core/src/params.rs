@@ -94,6 +94,12 @@ pub struct Params {
     /// Skip (state, level) cells that cannot participate in an accepting
     /// length-`n` run (D6).
     pub trim_dead: bool,
+    /// Share count-phase union estimates across `(cell, symbol)` pairs
+    /// with identical predecessor frontiers (D8). The estimate RNG is
+    /// keyed by the frontier either way, so toggling this knob changes
+    /// *work*, never output: `false` re-runs the identical estimation
+    /// once per pair (the honest unbatched baseline for benchmarks).
+    pub batch_unions: bool,
     /// Optional hard cap on membership operations; the run aborts with
     /// [`FprasError::BudgetExceeded`] when exceeded.
     pub max_membership_ops: Option<u64>,
@@ -133,6 +139,7 @@ impl Params {
             rotate_cursor: false,
             cursor: CursorPolicy::PaperBreak,
             trim_dead: false,
+            batch_unions: false,
             max_membership_ops: None,
         }
     }
@@ -169,6 +176,7 @@ impl Params {
             rotate_cursor: true,
             cursor: CursorPolicy::Cyclic,
             trim_dead: true,
+            batch_unions: true,
             max_membership_ops: None,
         }
     }

@@ -8,6 +8,50 @@
 
 use std::time::Duration;
 
+/// Counters for the batched union-estimation layer (engine `LevelPlan`).
+///
+/// The count pass groups `(cell, symbol)` pairs by their predecessor
+/// frontier and runs `AppUnion` once per distinct group; these counters
+/// record how much work that sharing saved. Invariant (checked in the
+/// engine-policy tests): over a whole run,
+/// `unions_run + unions_skipped == cells_processed × alphabet size` —
+/// every pair is either estimated, answered by a groupmate's estimate,
+/// or trivially empty.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BatchStats {
+    /// Distinct non-empty predecessor frontiers formed across all count
+    /// passes (one union estimation is due per group).
+    pub groups_formed: u64,
+    /// `(cell, symbol)` pairs that shared a group with an earlier pair
+    /// and reused its estimate instead of re-running `AppUnion`
+    /// (zero when batching is disabled).
+    pub cells_deduped: u64,
+    /// `AppUnion` executions performed by count passes.
+    pub unions_run: u64,
+    /// `(cell, symbol)` pairs that needed no execution of their own:
+    /// deduplicated groupmates plus pairs with an empty frontier.
+    pub unions_skipped: u64,
+}
+
+impl BatchStats {
+    /// Fraction of non-trivial pairs answered by sharing.
+    pub fn dedup_rate(&self) -> f64 {
+        let pairs = self.unions_run + self.cells_deduped;
+        if pairs == 0 {
+            return 0.0;
+        }
+        self.cells_deduped as f64 / pairs as f64
+    }
+
+    /// Accumulates another pass's counters.
+    pub fn merge(&mut self, other: &BatchStats) {
+        self.groups_formed += other.groups_formed;
+        self.cells_deduped += other.cells_deduped;
+        self.unions_run += other.unions_run;
+        self.unions_skipped += other.unions_skipped;
+    }
+}
+
 /// Counters collected during one FPRAS run.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct RunStats {
@@ -42,6 +86,8 @@ pub struct RunStats {
     pub cells_processed: u64,
     /// Cells skipped as unreachable or dead (D6).
     pub cells_skipped: u64,
+    /// Batched union-estimation counters (D8).
+    pub batch: BatchStats,
     /// Wall-clock duration of the run.
     pub wall: Duration,
 }
@@ -90,6 +136,7 @@ impl RunStats {
         self.samples_stored += other.samples_stored;
         self.cells_processed += other.cells_processed;
         self.cells_skipped += other.cells_skipped;
+        self.batch.merge(&other.batch);
         self.wall += other.wall;
     }
 }
@@ -119,5 +166,34 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.membership_ops, 12);
         assert_eq!(a.sample_calls, 3);
+    }
+
+    #[test]
+    fn batch_merge_and_dedup_rate() {
+        let mut a = RunStats {
+            batch: BatchStats {
+                groups_formed: 2,
+                cells_deduped: 1,
+                unions_run: 2,
+                unions_skipped: 2,
+            },
+            ..Default::default()
+        };
+        let b = RunStats {
+            batch: BatchStats {
+                groups_formed: 1,
+                cells_deduped: 2,
+                unions_run: 1,
+                unions_skipped: 2,
+            },
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.batch.groups_formed, 3);
+        assert_eq!(a.batch.cells_deduped, 3);
+        assert_eq!(a.batch.unions_run, 3);
+        assert_eq!(a.batch.unions_skipped, 4);
+        assert!((a.batch.dedup_rate() - 0.5).abs() < 1e-12);
+        assert_eq!(BatchStats::default().dedup_rate(), 0.0);
     }
 }

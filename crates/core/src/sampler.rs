@@ -14,7 +14,7 @@
 //! range for large `n`), and optionally memoizes the union estimates per
 //! `(level, frontier)` — see DESIGN.md D4 and the `memoize_unions` knob.
 
-use crate::appunion::{app_union, UnionSetInput};
+use crate::appunion::{app_union, frontier_inputs};
 use crate::params::Params;
 use crate::run_stats::RunStats;
 use crate::table::{MemoKey, RunTable, SampleOutcome, UnionMemo};
@@ -42,21 +42,7 @@ pub(crate) fn union_size<R: Rng + ?Sized>(
         }
         stats.memo_misses += 1;
     }
-    let inputs: Vec<UnionSetInput<'_>> = frontier
-        .iter()
-        .filter_map(|p| {
-            let cell = table.cell(level, p);
-            if cell.n_est.is_zero() {
-                None
-            } else {
-                Some(UnionSetInput {
-                    samples: &cell.samples,
-                    size_est: cell.n_est,
-                    state: p as StateId,
-                })
-            }
-        })
-        .collect();
+    let inputs = frontier_inputs(table, level, frontier);
     let eps_sz = params.eps_sz_at_level(params.beta_count, level + 1);
     let est = app_union(
         params,

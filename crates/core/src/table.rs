@@ -57,6 +57,13 @@ impl RunTable {
 }
 
 /// Memo key: the level of the predecessor sets plus the frontier bits.
+///
+/// This is also the canonical *sharing* key of the batched
+/// union-estimation layer (DESIGN.md D8): every `(cell, symbol)` pair
+/// whose predecessor frontier produces the same `MemoKey` shares one
+/// `AppUnion` execution, one memo entry, and — via [`MemoKey::rng_tag`]
+/// — one RNG stream, which is what makes batched and unbatched count
+/// passes bit-identical.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct MemoKey {
     /// Level `ℓ` of the sets `L(pℓ)` being unioned.
@@ -65,10 +72,35 @@ pub struct MemoKey {
     pub frontier: Box<[u64]>,
 }
 
+/// SplitMix64 finalizer (the same mixer the engine's per-cell streams
+/// use), duplicated here so the key can hash itself without a dependency
+/// on the policy layer.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E3779B97F4A7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D049BB133111EB);
+    x ^ (x >> 31)
+}
+
 impl MemoKey {
     /// Builds a key from a frontier set.
     pub fn new(level: usize, frontier: &StateSet) -> Self {
         MemoKey { level: level as u32, frontier: frontier.words().into() }
+    }
+
+    /// A 64-bit canonical tag of `(level, frontier)`, used to derive the
+    /// union-estimation RNG stream for this frontier. A congruence by
+    /// construction: equal frontiers (however assembled) have equal raw
+    /// bitset words, hence equal tags. Trailing zero words are skipped so
+    /// the tag is independent of the bitset's allocated width.
+    pub fn rng_tag(&self) -> u64 {
+        let mut acc = splitmix64(0x5DE5_C0DE ^ u64::from(self.level));
+        for (i, &w) in self.frontier.iter().enumerate() {
+            if w != 0 {
+                acc = splitmix64(acc ^ w.wrapping_add(splitmix64(i as u64)));
+            }
+        }
+        acc
     }
 }
 
@@ -122,6 +154,18 @@ mod tests {
         assert_eq!(MemoKey::new(2, &a), MemoKey::new(2, &b));
         assert_ne!(MemoKey::new(2, &a), MemoKey::new(3, &b));
         assert_ne!(MemoKey::new(2, &a), MemoKey::new(2, &c));
+    }
+
+    #[test]
+    fn rng_tag_is_a_congruence() {
+        // Equal frontiers → equal tags, independent of universe width.
+        let a = StateSet::from_iter(100, [3, 64]);
+        let b = StateSet::from_iter(200, [3, 64]);
+        assert_eq!(MemoKey::new(2, &a).rng_tag(), MemoKey::new(2, &b).rng_tag());
+        // Different level or frontier → (almost surely) different tags.
+        assert_ne!(MemoKey::new(2, &a).rng_tag(), MemoKey::new(3, &a).rng_tag());
+        let c = StateSet::from_iter(100, [3]);
+        assert_ne!(MemoKey::new(2, &a).rng_tag(), MemoKey::new(2, &c).rng_tag());
     }
 
     #[test]

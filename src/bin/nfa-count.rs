@@ -21,7 +21,7 @@
 use fpras_automata::exact::count_exact;
 use fpras_automata::{dot, enumerate_slice, parse, regex, Alphabet, Nfa};
 use fpras_baselines::path_importance_sampling;
-use fpras_core::{run_parallel, FprasRun, Params, UniformGenerator};
+use fpras_core::{run_parallel, FprasRun, Params, RunStats, UniformGenerator};
 use fpras_numeric::ExtFloat;
 use rand::{rngs::SmallRng, SeedableRng};
 
@@ -38,6 +38,8 @@ struct Args {
     threads: Option<usize>,
     enumerate: usize,
     dot: bool,
+    stats: bool,
+    no_batch: bool,
 }
 
 #[derive(Clone, Copy, PartialEq, Eq)]
@@ -53,11 +55,14 @@ fn usage() -> ! {
         "usage: nfa-count (--regex PATTERN | --file PATH) -n LENGTH\n\
          \t[--method fpras|path-is|dp|bdd] [--threads T=0]\n\
          \t[--eps E=0.2] [--delta D=0.05] [--seed S=42] [--sample K]\n\
-         \t[--enumerate K] [--exact] [--dot]\n\
+         \t[--enumerate K] [--exact] [--dot] [--stats] [--no-batch]\n\
          \n\
          --threads 0 runs the FPRAS engine's Serial policy; T >= 1 runs\n\
          the Deterministic policy on T workers (output depends only on\n\
-         --seed, never on T)."
+         --seed, never on T). --no-batch disables batched union\n\
+         estimation (same output, more work; for benchmarking).\n\
+         --stats prints the full run counters, including the batching\n\
+         layer's dedup numbers."
     );
     std::process::exit(2)
 }
@@ -76,6 +81,8 @@ fn parse_args() -> Args {
         threads: None,
         enumerate: 0,
         dot: false,
+        stats: false,
+        no_batch: false,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -96,6 +103,8 @@ fn parse_args() -> Args {
             "--enumerate" => args.enumerate = value(&mut i).parse().unwrap_or_else(|_| usage()),
             "--exact" => args.exact = true,
             "--dot" => args.dot = true,
+            "--stats" => args.stats = true,
+            "--no-batch" => args.no_batch = true,
             "--method" => {
                 args.method = match value(&mut i).as_str() {
                     "fpras" => Method::Fpras,
@@ -129,6 +138,10 @@ fn parse_args() -> Args {
         i += 1;
     }
     if args.n == usize::MAX || (args.regex.is_none() == args.file.is_none()) {
+        usage();
+    }
+    if args.method != Method::Fpras && (args.stats || args.no_batch) {
+        eprintln!("--stats and --no-batch require --method fpras");
         usage();
     }
     args
@@ -167,6 +180,26 @@ fn report_estimate(n: usize, estimate: ExtFloat) {
     println!("  log2 ≈ {:.3}", estimate.log2());
 }
 
+/// `--stats`: the full run counters, one per line (machine-greppable).
+fn report_stats(s: &RunStats) {
+    println!("stats:");
+    println!("  membership ops       {}", s.membership_ops);
+    println!("  appunion calls       {}", s.appunion_calls);
+    println!("  memo hit rate        {:.4}", s.memo_hit_rate());
+    println!("  sample calls         {}", s.sample_calls);
+    println!("  rejection rate       {:.4}", s.rejection_rate());
+    println!("  samples per cell     {:.2}", s.samples_per_cell());
+    println!("  cells processed      {}", s.cells_processed);
+    println!("  cells skipped        {}", s.cells_skipped);
+    println!("  padded cells         {}", s.padded_cells);
+    println!("  batch groups formed  {}", s.batch.groups_formed);
+    println!("  batch cells deduped  {}", s.batch.cells_deduped);
+    println!("  batch unions run     {}", s.batch.unions_run);
+    println!("  batch unions skipped {}", s.batch.unions_skipped);
+    println!("  batch dedup rate     {:.4}", s.batch.dedup_rate());
+    println!("  wall                 {:?}", s.wall);
+}
+
 fn main() {
     let args = parse_args();
     let nfa = load_nfa(&args);
@@ -195,7 +228,10 @@ fn main() {
     let mut fpras_run: Option<FprasRun> = None;
     match args.method {
         Method::Fpras => {
-            let params = Params::practical(args.eps, args.delta, nfa.num_states(), args.n);
+            let mut params = Params::practical(args.eps, args.delta, nfa.num_states(), args.n);
+            if args.no_batch {
+                params.batch_unions = false;
+            }
             let threads = args.threads.unwrap_or(0);
             // threads = 0: Serial policy (one RNG threaded through the
             // DP); threads ≥ 1: Deterministic policy, bit-identical for
@@ -224,6 +260,9 @@ fn main() {
                 run.stats().samples_per_cell(),
                 run.stats().wall
             );
+            if args.stats {
+                report_stats(run.stats());
+            }
             fpras_run = Some(run);
         }
         Method::PathIs => {

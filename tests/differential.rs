@@ -8,11 +8,11 @@
 
 use fpras_automata::exact::{brute_force_count, count_exact};
 use fpras_automata::simulation::reduce;
-use fpras_automata::Dfa;
+use fpras_automata::{Dfa, Nfa, NfaBuilder};
 use fpras_baselines::path_importance_sampling;
 use fpras_bdd::count_slice;
 use fpras_core::{run_parallel, FprasRun, Params};
-use fpras_workloads::{random_nfa, RandomNfaConfig};
+use fpras_workloads::{families, random_nfa, RandomNfaConfig};
 use rand::{rngs::SmallRng, SeedableRng};
 
 /// One instance: every exact method must agree bit-for-bit, and the
@@ -68,6 +68,76 @@ fn differential_sweep_binary() {
         let nfa = random_nfa(&config, &mut rng);
         let n = 6 + (case % 5) as usize;
         check_instance(&nfa, n, 9000 + case, &format!("case {case} ({config:?}, n={n})"));
+    }
+}
+
+/// Explicitly unrolls `nfa` to horizon `n`: state `(ℓ, q)` is
+/// `ℓ * m + q`, transitions only advance a level. The language slice at
+/// length `n` is unchanged, but every level's states now carry their own
+/// copies of the original predecessor structure — the classic skew shape
+/// where one frontier (the copies of a hub state) dominates a level.
+fn unroll_nfa(nfa: &Nfa, n: usize) -> Nfa {
+    let m = nfa.num_states();
+    let mut b = NfaBuilder::new(nfa.alphabet().clone());
+    b.add_states(m * (n + 1));
+    b.set_initial(nfa.initial());
+    for f in nfa.accepting().iter() {
+        b.add_accepting((n * m + f) as u32);
+    }
+    for ell in 0..n {
+        for (from, sym, to) in nfa.transitions() {
+            b.add_transition(ell as u32 * m as u32 + from, sym, (ell + 1) as u32 * m as u32 + to);
+        }
+    }
+    b.build().expect("unrolled automaton is well-formed")
+}
+
+/// Skew fixtures: instances where many `(cell, symbol)` pairs per level
+/// share one dominating predecessor frontier, so the batched
+/// union-estimation layer must actually fire (`cells_deduped > 0`) —
+/// and batched/unbatched runs must stay bit-identical while doing
+/// strictly less work.
+#[test]
+fn differential_skew_fixtures_dedup_fires() {
+    let n = 10;
+    let dense = random_nfa(
+        &RandomNfaConfig { states: 6, alphabet: 2, density: 3.0, accepting: 1 },
+        &mut SmallRng::seed_from_u64(4242),
+    );
+    let fixtures: [(&str, Nfa); 3] = [
+        ("unrolled-contains-11", unroll_nfa(&families::contains_substring(&[1, 1]), n)),
+        ("dense-random", dense),
+        ("ones-mod-4", families::ones_mod_k(4)),
+    ];
+    for (label, nfa) in &fixtures {
+        let exact = count_exact(nfa, n).expect("exact").to_f64();
+        assert!(exact > 0.0, "{label}: fixture must be non-empty");
+        let mut batched = Params::practical(0.3, 0.1, nfa.num_states(), n);
+        batched.batch_unions = true;
+        let mut unbatched = batched.clone();
+        unbatched.batch_unions = false;
+        for seed in [5u64, 6] {
+            let b = run_parallel(nfa, n, &batched, seed, 4).expect("batched run");
+            let u = run_parallel(nfa, n, &unbatched, seed, 4).expect("unbatched run");
+            // Dedup fires, and sharing work changes nothing else.
+            assert!(
+                b.stats().batch.cells_deduped > 0,
+                "{label} seed {seed}: dedup must fire on a skew fixture"
+            );
+            assert_eq!(
+                b.estimate().to_f64(),
+                u.estimate().to_f64(),
+                "{label} seed {seed}: batched vs unbatched estimate"
+            );
+            assert_eq!(u.stats().batch.cells_deduped, 0, "{label} seed {seed}");
+            assert!(
+                b.stats().membership_ops < u.stats().membership_ops,
+                "{label} seed {seed}: batched must do strictly fewer ops"
+            );
+            // And the shared estimate is still within the (loose) band.
+            let err = (b.estimate().to_f64() - exact).abs() / exact;
+            assert!(err < 0.5, "{label} seed {seed}: err {err} vs exact {exact}");
+        }
     }
 }
 

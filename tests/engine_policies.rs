@@ -8,7 +8,9 @@
 //!   same engine code path (`run_with_policy`).
 
 use fpras_automata::exact::count_exact;
-use fpras_core::{run_parallel, run_with_policy, Deterministic, FprasRun, Params, Serial};
+use fpras_core::{
+    run_parallel, run_with_policy, Deterministic, FprasRun, Params, RunStats, Serial,
+};
 use fpras_workloads::families;
 use rand::{rngs::SmallRng, SeedableRng};
 
@@ -93,6 +95,70 @@ fn policy_accuracy_sweep(estimate: impl Fn(&fpras_automata::Nfa, usize, &Params,
             })
             .count();
         assert!(within >= 9, "{label}: only {within}/{runs} runs within ε = {eps}");
+    }
+}
+
+/// Closes the silent stats gap: `RunStats` was never asserted against
+/// structural invariants before the batching layer made double-counting
+/// an easy bug to write. Every `(cell, symbol)` pair of every count pass
+/// must be accounted for exactly once — either its union estimate ran,
+/// or it was skipped (deduplicated onto a groupmate, or trivially
+/// empty): `unions_run + unions_skipped == cells_processed × k`.
+fn assert_stats_invariants(stats: &RunStats, k: u64, label: &str) {
+    let pairs = stats.cells_processed * k;
+    assert_eq!(
+        stats.batch.unions_run + stats.batch.unions_skipped,
+        pairs,
+        "{label}: every (cell, symbol) pair must be estimated or skipped \
+         ({} run + {} skipped vs {} pairs)",
+        stats.batch.unions_run,
+        stats.batch.unions_skipped,
+        pairs
+    );
+    // Deduplicated pairs are a subset of the skipped ones.
+    assert!(
+        stats.batch.cells_deduped <= stats.batch.unions_skipped,
+        "{label}: deduped {} exceeds skipped {}",
+        stats.batch.cells_deduped,
+        stats.batch.unions_skipped
+    );
+    // Groups cannot outnumber executed estimations in batched mode nor
+    // pairs in any mode.
+    assert!(stats.batch.groups_formed <= pairs, "{label}: groups exceed pairs");
+    // The count pass runs AppUnion exactly unions_run times; the rest of
+    // appunion_calls belong to the sampler's memo misses.
+    assert_eq!(
+        stats.appunion_calls,
+        stats.batch.unions_run + stats.memo_misses,
+        "{label}: appunion accounting"
+    );
+}
+
+#[test]
+fn run_stats_union_invariants_hold_for_all_paths() {
+    for (label, nfa, n) in [
+        ("contains-11", families::contains_substring(&[1, 1]), 10usize),
+        ("div-by-5", families::divisible_by(5), 9),
+    ] {
+        let k = nfa.alphabet().size() as u64;
+        for batch in [true, false] {
+            let mut params = Params::practical(0.3, 0.1, nfa.num_states(), n);
+            params.batch_unions = batch;
+            let mut rng = SmallRng::seed_from_u64(17);
+            let serial = FprasRun::run(&nfa, n, &params, &mut rng).unwrap();
+            assert_stats_invariants(serial.stats(), k, &format!("{label}/serial/batch={batch}"));
+            let det = run_parallel(&nfa, n, &params, 17, 4).unwrap();
+            assert_stats_invariants(det.stats(), k, &format!("{label}/det/batch={batch}"));
+            if batch {
+                assert!(
+                    serial.stats().batch.cells_deduped > 0,
+                    "{label}: these fixtures share frontiers, dedup must fire"
+                );
+            } else {
+                assert_eq!(serial.stats().batch.cells_deduped, 0, "{label}");
+                assert_eq!(det.stats().batch.cells_deduped, 0, "{label}");
+            }
+        }
     }
 }
 

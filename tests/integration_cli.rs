@@ -24,6 +24,41 @@ fn fpras_count_with_exact_crosscheck() {
 }
 
 #[test]
+fn stats_flag_reports_batching_counters() {
+    let args = ["--regex", "(0|1)*11(0|1)*", "-n", "10", "--stats", "--seed", "7"];
+    let (stdout, stderr, ok) = run(&args);
+    assert!(ok, "stderr: {stderr}");
+    assert!(stdout.contains("batch groups formed"), "{stdout}");
+    assert!(stdout.contains("batch cells deduped"), "{stdout}");
+    let grab = |key: &str| -> u64 {
+        stdout
+            .lines()
+            .find(|l| l.trim_start().starts_with(key))
+            .and_then(|l| l.rsplit(' ').next())
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| panic!("missing {key} in {stdout}"))
+    };
+    assert!(grab("batch cells deduped") > 0, "dedup must fire on contains-11");
+    // --no-batch: same estimate line, zero dedup, more unions run.
+    let mut unbatched_args = args.to_vec();
+    unbatched_args.push("--no-batch");
+    let (stdout2, _, ok2) = run(&unbatched_args);
+    assert!(ok2);
+    let estimate = |s: &str| s.lines().find(|l| l.starts_with("estimate")).map(String::from);
+    assert_eq!(estimate(&stdout), estimate(&stdout2), "batching must not change the estimate");
+    assert!(stdout2.contains("batch cells deduped  0"), "{stdout2}");
+}
+
+#[test]
+fn stats_and_no_batch_are_fpras_only() {
+    for flag in ["--stats", "--no-batch"] {
+        let (_, stderr, ok) = run(&["--regex", "1*", "-n", "8", "--method", "dp", flag]);
+        assert!(!ok, "{flag} with --method dp must be a usage error");
+        assert!(stderr.contains("require --method fpras"), "{stderr}");
+    }
+}
+
+#[test]
 fn bdd_method_is_exact() {
     let (stdout, _, ok) = run(&["--regex", "1(0|1)*", "-n", "16", "--method", "bdd"]);
     assert!(ok);
