@@ -141,7 +141,7 @@ pub fn hom_to_nfa(graph: &ProbGraph, query: &PathQuery) -> Result<(Nfa, usize), 
 /// Exact homomorphism probability by world enumeration over the
 /// *relevant* edges (`O(2^{#relevant})`) — ground truth for tests.
 ///
-/// Unlike routing through [`pqe_exact`], this walks the graph directly
+/// Unlike routing through [`pqe_exact`](crate::pqe::pqe_exact), this walks the graph directly
 /// (layered reachability over present edges), so it independently checks
 /// the graph→database lowering.
 pub fn hom_exact(graph: &ProbGraph, query: &PathQuery) -> Result<f64, HomError> {

@@ -5,7 +5,7 @@
 //! `Q = ∃x₀…x_k. R₁(x₀,x₁) ∧ … ∧ R_k(x_{k-1},x_k)`, PQE asks for the
 //! probability that a random sub-database (every tuple kept
 //! independently with its probability) satisfies `Q`. PQE is #P-hard
-//! even for such queries; van Bremen–Meel [17] reduce it to #NFA.
+//! even for such queries; van Bremen–Meel \[17\] reduce it to #NFA.
 //!
 //! This module implements the reduction for **dyadic** tuple
 //! probabilities `p_t = s_t / 2^{b_t}` (DESIGN.md §5): a possible world

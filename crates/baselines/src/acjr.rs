@@ -29,7 +29,13 @@
 use fpras_automata::ops::{trim, with_single_accepting};
 use fpras_automata::{Nfa, StateId, StateSet, StepMasks, Unrolling, Word};
 use fpras_core::sample_set::{SampleEntry, SampleSet};
-use fpras_core::table::{MemoKey, RunTable, UnionMemo};
+use fpras_core::table::{MemoKey, RunTable};
+use std::collections::HashMap;
+
+/// The baseline keeps its own flat memo; the engine's leveled
+/// copy-on-write [`fpras_core::UnionMemo`] is an FPRAS-side
+/// optimization the baseline deliberately does not share.
+type UnionMemo = HashMap<MemoKey, ExtFloat>;
 use fpras_core::{FprasError, RunStats};
 use fpras_numeric::{sample_extfloat_weights, ExtFloat};
 use rand::{Rng, RngExt};

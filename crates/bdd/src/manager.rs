@@ -72,7 +72,7 @@ impl Op {
 /// A reduced ordered BDD manager over variables `0..num_vars`.
 ///
 /// Variable 0 is the topmost decision. Construct functions with
-/// [`Bdd::var`], combine with [`Bdd::and`]/[`Bdd::or`]/[`Bdd::xor`]/
+/// [`Bdd::var_node`], combine with [`Bdd::and`]/[`Bdd::or`]/[`Bdd::xor`]/
 /// [`Bdd::not`]/[`Bdd::ite`], then count or sample via [`crate::count`]
 /// and [`crate::sample`].
 pub struct Bdd {

@@ -3,10 +3,12 @@
 //! `experiments --json [PATH]` writes a `BENCH_counter.json` so later
 //! PRs have a perf trajectory to compare against: one record per
 //! `(instance, method, threads)` cell with wall time and the estimate.
-//! The FPRAS rows include an `fpras(unbatched)` control — same seed,
-//! bit-identical estimate, batched union estimation disabled — so the
-//! batching layer's saving (`ops` and `cells_deduped`) is recorded in
-//! every trajectory snapshot. The encoder is hand-rolled (the workspace
+//! The FPRAS rows include `fpras(unbatched)` and `fpras(unshared)`
+//! controls — same seed, bit-identical estimate, batched union
+//! estimation (D8) resp. sample-pass frontier sharing (D9) disabled —
+//! so both sharing layers' savings (`ops`, `cells_deduped`,
+//! `preestimate_hits`, `memo_entries_shared`) are recorded in every
+//! trajectory snapshot. The encoder is hand-rolled (the workspace
 //! vendors no serde) and the schema is deliberately flat — downstream
 //! tooling should need nothing beyond a JSON array of objects.
 
@@ -36,6 +38,12 @@ pub struct CounterMeasurement {
     pub ops: u64,
     /// `(cell, symbol)` pairs deduplicated by batched union estimation.
     pub cells_deduped: u64,
+    /// Sampler union lookups answered by pre-estimated shared entries
+    /// (D9; zero for unshared controls and exact methods).
+    pub preestimate_hits: u64,
+    /// Memo base entries shared (not cloned) across copy-on-write
+    /// sample-pass snapshots (zero for serial and exact rows).
+    pub memo_entries_shared: u64,
 }
 
 /// Runs the counter matrix the JSON report records: three instance
@@ -49,15 +57,27 @@ pub fn counter_matrix(quick: bool, seed: u64) -> Vec<CounterMeasurement> {
         ("div-by-5", families::divisible_by(5)),
     ];
     // threads = 0 is the Serial policy; ≥ 1 the Deterministic policy.
-    // The `(threads, batch = false)` rows are the unbatched controls:
-    // bit-identical estimates, more work (ops), zero dedup.
-    let fpras_settings =
-        [(0usize, true), (1, true), (2, true), (4, true), (8, true), (0, false), (4, false)];
+    // The `batch = false` rows are the unbatched controls (bit-identical
+    // estimates, strictly more ops, zero dedup) and the `share = false`
+    // rows the unshared controls (bit-identical estimates, equal-or-more
+    // estimation work, zero pre-estimate hits — the pre-pass pays off on
+    // levels where several cells miss the same frontier).
+    let fpras_settings = [
+        (0usize, true, true),
+        (1, true, true),
+        (2, true, true),
+        (4, true, true),
+        (8, true, true),
+        (0, false, true),
+        (4, false, true),
+        (0, true, false),
+        (4, true, false),
+    ];
     let mut out = Vec::new();
     for (name, nfa) in &instances {
         let instance = format!("{name}/n={n}");
-        for &(threads, batch) in &fpras_settings {
-            let kind = CounterKind::Fpras { threads, batch };
+        for &(threads, batch, share) in &fpras_settings {
+            let kind = CounterKind::Fpras { threads, batch, share };
             let r = run_counter(&kind, nfa, n, 0.25, 0.1, seed).expect("fpras run");
             out.push(CounterMeasurement {
                 instance: instance.clone(),
@@ -68,6 +88,8 @@ pub fn counter_matrix(quick: bool, seed: u64) -> Vec<CounterMeasurement> {
                 estimate_log2: r.estimate.log2(),
                 ops: r.ops,
                 cells_deduped: r.cells_deduped,
+                preestimate_hits: r.preestimate_hits,
+                memo_entries_shared: r.memo_entries_shared,
             });
         }
         let exact = run_counter(&CounterKind::ExactDp, nfa, n, 0.25, 0.1, seed).expect("exact dp");
@@ -80,6 +102,8 @@ pub fn counter_matrix(quick: bool, seed: u64) -> Vec<CounterMeasurement> {
             estimate_log2: exact.estimate.log2(),
             ops: exact.ops,
             cells_deduped: 0,
+            preestimate_hits: 0,
+            memo_entries_shared: 0,
         });
     }
     out
@@ -97,7 +121,9 @@ pub fn to_json(measurements: &[CounterMeasurement]) -> String {
         s.push_str(&format!("\"estimate\": {}, ", number(m.estimate)));
         s.push_str(&format!("\"estimate_log2\": {}, ", number(m.estimate_log2)));
         s.push_str(&format!("\"ops\": {}, ", m.ops));
-        s.push_str(&format!("\"cells_deduped\": {}", m.cells_deduped));
+        s.push_str(&format!("\"cells_deduped\": {}, ", m.cells_deduped));
+        s.push_str(&format!("\"preestimate_hits\": {}, ", m.preestimate_hits));
+        s.push_str(&format!("\"memo_entries_shared\": {}", m.memo_entries_shared));
         s.push('}');
         if i + 1 < measurements.len() {
             s.push(',');
@@ -160,6 +186,8 @@ mod tests {
                 estimate_log2: 12f64.log2(),
                 ops: 99,
                 cells_deduped: 7,
+                preestimate_hits: 3,
+                memo_entries_shared: 120,
             },
             CounterMeasurement {
                 instance: "empty \"quoted\"".into(),
@@ -170,6 +198,8 @@ mod tests {
                 estimate_log2: f64::NEG_INFINITY,
                 ops: 0,
                 cells_deduped: 0,
+                preestimate_hits: 0,
+                memo_entries_shared: 0,
             },
         ];
         let doc = to_json(&ms);
@@ -177,6 +207,8 @@ mod tests {
         assert!(doc.ends_with("]\n"));
         assert!(doc.contains("\"threads\": 2"));
         assert!(doc.contains("\"cells_deduped\": 7"));
+        assert!(doc.contains("\"preestimate_hits\": 3"));
+        assert!(doc.contains("\"memo_entries_shared\": 120"));
         assert!(doc.contains("\\\"quoted\\\""));
         // log2(0) must not produce invalid JSON.
         assert!(doc.contains("\"estimate_log2\": null"));
@@ -187,11 +219,12 @@ mod tests {
     #[test]
     fn matrix_covers_methods_and_threads() {
         let ms = counter_matrix(true, 7);
-        // 3 instances × (7 fpras settings + 1 exact).
-        assert_eq!(ms.len(), 24);
+        // 3 instances × (9 fpras settings + 1 exact).
+        assert_eq!(ms.len(), 30);
         assert!(ms.iter().any(|m| m.method == "exact-dp"));
         assert!(ms.iter().any(|m| m.threads == 8));
         assert!(ms.iter().any(|m| m.method == "fpras(unbatched)"));
+        assert!(ms.iter().any(|m| m.method == "fpras(unshared)"));
         // Deterministic policy: identical estimates for threads 1/2/4/8,
         // batched or not (batching shares work, never changes output).
         for (name, _) in [("contains-11", ()), ("ones-mod-4", ()), ("div-by-5", ())] {
@@ -219,6 +252,15 @@ mod tests {
             assert!(batched.cells_deduped > 0, "{name}: dedup must fire");
             assert_eq!(unbatched.cells_deduped, 0, "{name}");
             assert!(batched.ops < unbatched.ops, "{name}: batching must save ops");
+            // The unshared control: same estimate, no pre-estimate hits.
+            let unshared = ms
+                .iter()
+                .find(|m| {
+                    m.instance.starts_with(name) && m.method == "fpras(unshared)" && m.threads == 0
+                })
+                .expect("unshared serial row");
+            assert_eq!(batched.estimate, unshared.estimate, "{name}: share knob is work-only");
+            assert_eq!(unshared.preestimate_hits, 0, "{name}");
         }
         // And every FPRAS estimate is within the ε band of exact.
         for (name, _) in [("contains-11", ()), ("ones-mod-4", ()), ("div-by-5", ())] {

@@ -219,7 +219,7 @@ macro_rules! prop_assert_ne {
 ///
 /// Supports the two upstream argument forms used in this workspace:
 ///
-/// ```ignore
+/// ```text
 /// proptest! {
 ///     #![proptest_config(ProptestConfig::with_cases(32))]
 ///     #[test]

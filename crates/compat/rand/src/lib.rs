@@ -18,7 +18,7 @@ pub trait SampleRange<T> {
     fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> T;
 }
 
-/// Types with a "standard" uniform distribution for [`Rng::random`].
+/// Types with a "standard" uniform distribution for [`RngExt::random`].
 pub trait StandardRandom {
     /// Draws one value: uniform over the full domain for integers,
     /// uniform in `[0, 1)` for floats, a fair coin for `bool`.

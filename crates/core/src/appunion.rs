@@ -2,7 +2,7 @@
 //!
 //! Estimates `|T₁ ∪ … ∪ T_k|` given, per set, (a) a list of samples drawn
 //! from `T_i`, (b) a size estimate `sz_i`, and (c) a membership oracle.
-//! This is the paper's adaptation of Karp–Luby [12]: sample a pair
+//! This is the paper's adaptation of Karp–Luby \[12\]: sample a pair
 //! `(σ, i)` from `U_multiple` (pick `i ∝ sz_i`, then take the next sample
 //! from `S_i`), and count it when `σ ∉ T_j` for all `j < i` — i.e. when
 //! the pair lies in `U_unique`. After `t` trials the output is

@@ -192,6 +192,7 @@ mod tests {
             n,
             m: normalized.num_states(),
             k: 2,
+            sampler_seed: 99,
         };
         let cells: Vec<StateId> = (0..normalized.num_states() as StateId)
             .filter(|&q| unroll.reachable(1).contains(q as usize))
@@ -218,6 +219,7 @@ mod tests {
             n,
             m: normalized.num_states(),
             k: 2,
+            sampler_seed: 99,
         };
         // A deep level where reach() is full: q0 on 0/1 and q1 on 1 all
         // see {q0}; q2 sees {q1, q2} on 1 and {q2} on 0 → 3 groups.

@@ -6,11 +6,11 @@
 //! shared [`UnionMemo`], and the per-level **two-pass** loop (a count
 //! pass over all useful cells, then a sample pass over the live ones) —
 //! and delegates *how* the per-cell work of a pass is executed to a
-//! pluggable [`ExecutionPolicy`](crate::engine::policy::ExecutionPolicy):
+//! pluggable [`ExecutionPolicy`]:
 //!
-//! * [`Serial`](crate::engine::policy::Serial) threads one caller RNG
+//! * [`Serial`] threads one caller RNG
 //!   through the cells in state order — the classic single-threaded run;
-//! * [`Deterministic`](crate::engine::policy::Deterministic) fans each
+//! * [`Deterministic`] fans each
 //!   pass out over scoped threads with per-cell SplitMix64 RNG streams,
 //!   bit-identical for every thread count.
 //!
@@ -21,7 +21,7 @@
 //! # Batched union estimation (D8)
 //!
 //! The count pass does not run `AppUnion` per `(cell, symbol)` pair any
-//! more: the engine first builds a [`LevelPlan`](batch::LevelPlan) that
+//! more: the engine first builds a [`LevelPlan`] that
 //! groups pairs by their canonical predecessor-frontier key, the policy
 //! estimates each *group* once (on an RNG stream derived from the
 //! frontier, not the cell), and per-cell counts are assembled by summing
@@ -30,25 +30,40 @@
 //! same output, strictly more work — which is the honest unbatched
 //! baseline the benches compare against. See `engine/batch.rs`.
 //!
-//! # Memo discipline
+//! # Memo lifecycle (D9)
 //!
-//! The sampler's union memo follows a single level-snapshot/merge rule:
+//! The sampler's union memo is the leveled copy-on-write [`UnionMemo`]
+//! (`engine/memo.rs`); its per-level snapshot → overlay →
+//! canonical-merge flow — who seeds which tier, when the overlay is
+//! committed into the shared base layer, and why per-cell views are
+//! O(1) `Arc` clones instead of full map copies — is specified once,
+//! with a diagram, in **DESIGN.md §2.2 "The memo lifecycle"**. In
+//! short: count seeds and the sharing pre-pass fill the overlay, the
+//! engine commits before the sample pass, `Deterministic` cells sample
+//! against O(1) snapshots and merge their overlays back first-wins in
+//! canonical key order, and `Serial` mutates the shared memo directly
+//! (free same-level reuse; with one RNG stream there is no cross-cell
+//! determinism to protect). Both policies satisfy the same `(ε, δ)`
+//! contract.
 //!
-//! 1. the count pass never reads the memo; its per-group union
-//!    estimates are merged first-wins in canonical group order
-//!    (count-phase values are the high-precision tier, DESIGN.md D4);
-//! 2. the sample pass starts every cell from the level-start snapshot
-//!    (plus the count seeds); entries a cell adds are merged back
-//!    first-wins in a canonical order after the pass, so no cell ever
-//!    observes a same-level sibling's insertions.
+//! # Sample-pass frontier sharing (D9)
 //!
-//! The [`Serial`](crate::engine::policy::Serial) policy implements rule 2
-//! degenerately (cells *may* reuse earlier same-level insertions — with
-//! one RNG stream there is no determinism to protect and the extra hits
-//! are free), which is the documented difference between the two
-//! policies' random processes. Both satisfy the same `(ε, δ)` contract.
+//! Mirroring D8 for the sample pass: sampler-side union randomness is
+//! frontier-keyed whenever memoization is on (see `sampler.rs`), so
+//! before each sample pass the engine can pre-estimate the level's hot
+//! sampler frontiers once — the depth-two predecessor frontiers
+//! reachable from the live cells' count-pass groups — and seed the
+//! shared layer ([`MemoTier::Shared`]). Per-cell sampling then hits the
+//! memo instead of re-running `AppUnion` per cell.
+//! `Params::share_sampler_frontiers = false` skips the pre-pass; cells
+//! lazily recompute bit-identical values — same output, equal or more
+//! work (on thin levels every hot frontier is missed at most once
+//! anyway; the pre-pass pays off when several cells would miss the
+//! same frontier, and can even over-estimate branches no walk takes) —
+//! the honest unshared baseline, exactly like `batch_unions`.
 
 pub mod batch;
+pub mod memo;
 pub mod policy;
 
 use crate::app_union;
@@ -58,15 +73,17 @@ use crate::error::FprasError;
 use crate::params::Params;
 use crate::run_stats::RunStats;
 use crate::sample_set::{SampleEntry, SampleSet};
-use crate::sampler::sample_word;
-use crate::table::{RunTable, SampleOutcome, UnionMemo};
+use crate::sampler::{estimate_frontier_union, sample_word};
+use crate::table::{MemoKey, RunTable, SampleOutcome};
 use fpras_automata::ops::{trim, with_single_accepting};
 use fpras_automata::{Nfa, StateId, StateSet, StepMasks, Unrolling, Word};
 use fpras_numeric::ExtFloat;
 use rand::{rngs::SmallRng, Rng, RngExt};
+use std::collections::HashSet;
 use std::time::Instant;
 
 pub use batch::{FrontierGroup, LevelPlan};
+pub use memo::{MemoEntry, MemoTier, UnionMemo};
 pub use policy::{Deterministic, ExecutionPolicy, Serial};
 
 /// The normalized state a finished run keeps: the trimmed automaton
@@ -77,6 +94,10 @@ pub(crate) struct RunInner {
     pub(crate) unroll: Unrolling,
     pub(crate) table: RunTable,
     pub(crate) memo: UnionMemo,
+    /// Seed of the run's frontier-keyed sampler union streams (D9); the
+    /// generator keeps using it so post-run memo misses stay congruent
+    /// with in-run estimates.
+    pub(crate) sampler_seed: u64,
     pub(crate) q_final: StateId,
 }
 
@@ -96,6 +117,11 @@ pub struct EngineCtx<'a> {
     pub m: usize,
     /// Alphabet size.
     pub k: u8,
+    /// Per-run seed of the frontier-keyed sampler union streams (D9):
+    /// drawn once by the policy ([`ExecutionPolicy::sampler_union_seed`])
+    /// so lazy sampler estimates and the sharing pre-pass derive
+    /// identical per-frontier randomness.
+    pub sampler_seed: u64,
 }
 
 /// Output of one count-pass cell. Estimation counters live on the
@@ -233,8 +259,19 @@ pub fn sample_cell<R: Rng + ?Sized>(
     let mut attempts = 0usize;
     while collected.len() < params.ns && attempts < params.xns {
         attempts += 1;
-        match sample_word(params, ctx.nfa, ctx.unroll, table, memo, ctx.n, q, ell, rng, &mut stats)
-        {
+        match sample_word(
+            params,
+            ctx.nfa,
+            ctx.unroll,
+            table,
+            memo,
+            ctx.n,
+            q,
+            ell,
+            ctx.sampler_seed,
+            rng,
+            &mut stats,
+        ) {
             SampleOutcome::Word(w) => {
                 let reach = ctx.masks.reach(&w);
                 debug_assert!(
@@ -260,6 +297,99 @@ pub fn sample_cell<R: Rng + ?Sized>(
         samples.pad(SampleEntry { word: wit, reach }, padded);
     }
     SampleOut { q, samples, genuine, padded, stats }
+}
+
+/// The sample-pass frontier-sharing pre-pass (DESIGN.md D9): estimates
+/// each of the level's *hot* sampler frontiers once and seeds the shared
+/// memo layer before any cell samples.
+///
+/// Hot frontiers are the depth-two predecessor frontiers a sampler walk
+/// from a live cell can query on its second backward step:
+/// `step_back(F, b) ∩ reach(ℓ−2)` for every count-pass frontier group
+/// `F` referenced by a live cell with a positive union estimate, and
+/// every symbol `b`. (Depth-one frontiers are the count-pass groups
+/// themselves, already seeded at [`MemoTier::Count`]; deeper frontiers
+/// depend on random branch choices and stay lazy.) Estimates run on the
+/// frontier-keyed sampler streams, so a cell that would have estimated
+/// the frontier lazily computes the identical value — sharing changes
+/// work, never output.
+///
+/// Budget granularity matches the Serial policy's passes: once the ops
+/// accumulated in `stats` exhaust `ops_remaining`, the pre-pass stops
+/// scheduling further estimations (the engine aborts with
+/// `BudgetExceeded` right after, so truncation only makes a doomed run
+/// fail faster, never changes a successful one).
+#[allow(clippy::too_many_arguments)]
+fn share_sampler_frontiers(
+    ctx: &EngineCtx<'_>,
+    plan: &LevelPlan,
+    table: &RunTable,
+    memo: &mut UnionMemo,
+    ell: usize,
+    live: &[StateId],
+    ops_remaining: Option<u64>,
+    stats: &mut RunStats,
+) {
+    // The depth-two expansion needs a level ℓ−2 to land on.
+    if ell < 2 {
+        return;
+    }
+    let mut is_live = vec![false; ctx.m];
+    for &q in live {
+        is_live[q as usize] = true;
+    }
+    // Groups referenced by at least one live cell, in canonical order.
+    let mut group_used = vec![false; plan.groups().len()];
+    for (i, &q) in plan.cells().iter().enumerate() {
+        if is_live[q as usize] {
+            for gi in plan.cell_groups(i).iter().flatten() {
+                group_used[*gi] = true;
+            }
+        }
+    }
+    let ops_at_entry = stats.membership_ops;
+    let budget_spent =
+        |stats: &RunStats| ops_remaining.is_some_and(|b| stats.membership_ops - ops_at_entry > b);
+    let mut seen: HashSet<MemoKey> = HashSet::new();
+    'groups: for (gi, group) in plan.groups().iter().enumerate() {
+        if !group_used[gi] {
+            continue;
+        }
+        // The sampler only descends into branches with a positive union
+        // estimate; a zero-valued group's successors are never queried.
+        if memo.get(plan.key(gi)).is_none_or(|e| e.value.is_zero()) {
+            continue;
+        }
+        for sym in 0..ctx.k {
+            let mut fb = ctx.nfa.step_back(&group.frontier, sym);
+            fb.intersect_with(ctx.unroll.reachable(ell - 2));
+            if fb.is_empty() {
+                continue;
+            }
+            let key = MemoKey::new(ell - 2, &fb);
+            if !seen.insert(key.clone()) {
+                continue;
+            }
+            if memo.contains_key(&key) {
+                stats.share.keys_already_seeded += 1;
+                continue;
+            }
+            let est = estimate_frontier_union(
+                ctx.params,
+                table,
+                ctx.n,
+                &key,
+                &fb,
+                ctx.sampler_seed,
+                stats,
+            );
+            memo.insert_first_wins(key, est, MemoTier::Shared);
+            stats.share.frontiers_preestimated += 1;
+            if budget_spent(stats) {
+                break 'groups;
+            }
+        }
+    }
 }
 
 /// Aborts the run once the membership-op budget is exceeded.
@@ -316,6 +446,10 @@ pub fn run_with_policy<P: ExecutionPolicy>(
 
     let masks = StepMasks::new(&normalized);
     let m = normalized.num_states();
+    // One seed per run for the frontier-keyed sampler union streams
+    // (D9): Serial draws it from the caller RNG, Deterministic derives
+    // it from the master seed.
+    let sampler_seed = policy.sampler_union_seed();
     let ctx = EngineCtx {
         params,
         nfa: &normalized,
@@ -324,6 +458,7 @@ pub fn run_with_policy<P: ExecutionPolicy>(
         n,
         m,
         k: normalized.alphabet().size() as u8,
+        sampler_seed,
     };
 
     let mut table = RunTable::new(m, n);
@@ -370,7 +505,7 @@ pub fn run_with_policy<P: ExecutionPolicy>(
             // value (DESIGN.md D4), first-wins in canonical group order:
             // deterministic regardless of how the pass was scheduled.
             if params.memoize_unions {
-                memo.entry(plan.key(gi).clone()).or_insert(out.estimate);
+                memo.insert_first_wins(plan.key(gi).clone(), out.estimate, MemoTier::Count);
             }
         }
         // The plan's static dedup count and the pass's dynamic
@@ -389,12 +524,36 @@ pub fn run_with_policy<P: ExecutionPolicy>(
         check_budget(params, &stats)?;
         debug_assert!(!count_truncated, "a pass may only stop early when the budget is spent");
 
-        // ---- Pass 2: sample phase (live cells only) ----
+        // ---- Sharing pre-pass (D9): seed the hot sampler frontiers ----
         let live: Vec<StateId> = useful
             .iter()
             .copied()
             .filter(|&q| !table.cell(ell, q as usize).n_est.is_zero())
             .collect();
+        if params.share_sampler_frontiers && params.memoize_unions {
+            let ops_remaining =
+                params.max_membership_ops.map(|b| b.saturating_sub(stats.membership_ops));
+            share_sampler_frontiers(
+                &ctx,
+                &plan,
+                &table,
+                &mut memo,
+                ell,
+                &live,
+                ops_remaining,
+                &mut stats,
+            );
+            check_budget(params, &stats)?;
+        }
+
+        // Commit the level's seeds (count tier + shared tier, plus the
+        // previous level's sampler insertions) into the immutable base
+        // layer, so the whole sample pass shares one O(1) snapshot.
+        let promoted = memo.commit();
+        stats.memo.commits += 1;
+        stats.memo.entries_promoted += promoted as u64;
+
+        // ---- Pass 2: sample phase (live cells only) ----
         let ops_remaining =
             params.max_membership_ops.map(|b| b.saturating_sub(stats.membership_ops));
         let sampled = policy.sample_pass(&ctx, ell, &live, &table, &mut memo, ops_remaining);
@@ -416,7 +575,7 @@ pub fn run_with_policy<P: ExecutionPolicy>(
     let estimate = table.cell(n, q_final as usize).n_est;
     stats.wall = start.elapsed();
     Ok(FprasRun {
-        inner: Some(RunInner { nfa: normalized, unroll, table, memo, q_final }),
+        inner: Some(RunInner { nfa: normalized, unroll, table, memo, sampler_seed, q_final }),
         n,
         estimate,
         params: params.clone(),
@@ -511,6 +670,36 @@ mod tests {
             run_parallel(&nfa, 8, &params, 1, 4),
             Err(FprasError::BudgetExceeded { .. })
         ));
+    }
+
+    #[test]
+    fn share_pre_pass_honors_budget_granularity() {
+        // The sharing pre-pass must stop scheduling estimations once the
+        // remaining op budget is spent, like the Serial policy's passes:
+        // with a budget that dies inside the pre-pass, the reported
+        // overshoot must stay below the cost of the level's full
+        // pre-pass + sample pass (which an unbounded pre-pass would
+        // approach on a wide level).
+        let nfa = contains_11();
+        let n = 8;
+        let mut params = Params::practical(0.3, 0.1, 3, n);
+        assert!(params.share_sampler_frontiers);
+        // Unbounded run: total ops with the pre-pass fully executed.
+        let total = {
+            let mut rng = SmallRng::seed_from_u64(2);
+            FprasRun::run(&nfa, n, &params, &mut rng).unwrap().stats().membership_ops
+        };
+        // Tight budget: trips during an early level. The overshoot must
+        // stay bounded by one unit of work, far below the full total.
+        params.max_membership_ops = Some(total / 50);
+        let mut rng = SmallRng::seed_from_u64(2);
+        match FprasRun::run(&nfa, n, &params, &mut rng) {
+            Err(FprasError::BudgetExceeded { ops }) => {
+                assert!(ops > total / 50, "guard must report the overshooting total");
+                assert!(ops < total / 2, "budget abort must not run anywhere near the full run");
+            }
+            other => panic!("expected budget error, got {:?}", other.map(|r| r.estimate())),
+        }
     }
 
     #[test]

@@ -14,11 +14,17 @@
 //! passes bit-identical — see `engine/batch.rs`.
 
 use super::{assemble_count_cell, run_group, sample_cell, CountPass, EngineCtx, SampleOut};
+use crate::engine::memo::{MemoEntry, UnionMemo};
 use crate::engine::LevelPlan;
-use crate::table::{MemoKey, UnionMemo};
+use crate::table::MemoKey;
 use fpras_automata::StateId;
 use fpras_numeric::ExtFloat;
 use rand::{rngs::SmallRng, Rng, RngExt, SeedableRng};
+
+// The complete registry of RNG-stream phase tags. Every derived stream
+// in the engine mixes exactly one of these (xor'd with PHASE_SALT)
+// into its seed; keeping the registry in one place is what guarantees
+// two streams never collide. Do not reuse a number.
 
 /// RNG-stream tag for per-cell count-pass draws (noise injection).
 const PHASE_COUNT: u64 = 1;
@@ -26,6 +32,15 @@ const PHASE_COUNT: u64 = 1;
 const PHASE_SAMPLE: u64 = 2;
 /// RNG-stream tag for frontier-group union estimations.
 const PHASE_GROUP: u64 = 3;
+/// RNG-stream tag for frontier-keyed sampler union estimations (used
+/// by `sampler::sampler_union_rng`, D9).
+pub(crate) const PHASE_SAMPLER_UNION: u64 = 4;
+/// Salt for [`Deterministic`]'s per-run sampler union seed (the
+/// sampler's frontier-keyed streams mix [`PHASE_SAMPLER_UNION`] on top
+/// of it).
+const PHASE_SAMPLER_SEED: u64 = 5;
+/// Salt xor'd into every phase tag before mixing.
+pub(crate) const PHASE_SALT: u64 = 0xA5A5_5A5A;
 
 /// How the per-cell work of one engine pass is executed.
 ///
@@ -39,6 +54,12 @@ const PHASE_GROUP: u64 = 3;
 pub trait ExecutionPolicy {
     /// Short label for diagnostics and experiment tables.
     fn name(&self) -> &'static str;
+
+    /// The per-run seed of the sampler's frontier-keyed union streams
+    /// (DESIGN.md D9). Called once by the engine before the level loop;
+    /// `Serial` draws it from its caller RNG, `Deterministic` derives it
+    /// from the master seed so it stays independent of thread count.
+    fn sampler_union_seed(&mut self) -> u64;
 
     /// Runs the count pass for one level's [`LevelPlan`]: one
     /// [`GroupOut`](super::GroupOut) per frontier group and one
@@ -93,6 +114,10 @@ impl<'r, R: Rng + ?Sized> Serial<'r, R> {
 impl<R: Rng + ?Sized> ExecutionPolicy for Serial<'_, R> {
     fn name(&self) -> &'static str {
         "serial"
+    }
+
+    fn sampler_union_seed(&mut self) -> u64 {
+        self.rng.random()
     }
 
     fn count_pass(
@@ -195,6 +220,10 @@ impl ExecutionPolicy for Deterministic {
         "deterministic"
     }
 
+    fn sampler_union_seed(&mut self) -> u64 {
+        splitmix64(self.master_seed ^ splitmix64(PHASE_SAMPLER_SEED ^ PHASE_SALT))
+    }
+
     // Budget note: the Deterministic policy always completes its pass —
     // cooperative mid-pass cancellation across workers would make the
     // reported op totals depend on thread scheduling, breaking the
@@ -239,25 +268,34 @@ impl ExecutionPolicy for Deterministic {
         _ops_remaining: Option<u64>,
     ) -> Vec<SampleOut> {
         let seed = self.master_seed;
-        let snapshot: &UnionMemo = memo;
-        let mut outs: Vec<(SampleOut, Vec<(MemoKey, ExtFloat)>)> =
+        // The engine committed before this pass, so every per-cell view
+        // is an O(1) Arc clone of the level-start base layer — no cell
+        // pays an O(memo) deep copy any more (DESIGN.md §2.2). The
+        // entries a cell inserts live in its own thin overlay.
+        let base_len = memo.base_len() as u64;
+        let snapshot = memo.snapshot();
+        let mut outs: Vec<(SampleOut, Vec<(MemoKey, MemoEntry)>)> =
             chunked_map(cells, self.threads, |&q| {
                 let mut rng = cell_rng(seed, ell, q, PHASE_SAMPLE);
-                let mut local_memo = snapshot.clone();
-                let out = sample_cell(ctx, table, &mut local_memo, ell, q, &mut rng);
-                let memo_new: Vec<(MemoKey, ExtFloat)> =
-                    local_memo.into_iter().filter(|(key, _)| !snapshot.contains_key(key)).collect();
+                let mut local_memo = snapshot.snapshot();
+                let mut out = sample_cell(ctx, table, &mut local_memo, ell, q, &mut rng);
+                let memo_new = local_memo.into_overlay();
+                out.stats.memo.snapshots += 1;
+                out.stats.memo.entries_shared += base_len;
+                out.stats.memo.overlay_entries += memo_new.len() as u64;
                 (out, memo_new)
             });
         // HashMap iteration order is nondeterministic; sort each cell's
         // new entries so the first-wins merge is stable across runs and
-        // thread counts.
+        // thread counts. (With frontier-keyed sampler streams the values
+        // are key-determined anyway; the canonical order keeps the memo
+        // bit-stable even if that ever changes.)
         let mut results = Vec::with_capacity(outs.len());
         for (out, mut memo_new) in outs.drain(..) {
             memo_new
                 .sort_by(|(a, _), (b, _)| a.level.cmp(&b.level).then(a.frontier.cmp(&b.frontier)));
-            for (key, value) in memo_new {
-                memo.entry(key).or_insert(value);
+            for (key, entry) in memo_new {
+                memo.insert_entry_first_wins(key, entry);
             }
             results.push(out);
         }
@@ -276,7 +314,7 @@ fn splitmix64(mut x: u64) -> u64 {
 /// Independent RNG stream for one `(level, state, phase)` cell.
 pub(crate) fn cell_rng(master: u64, level: usize, q: StateId, phase: u64) -> SmallRng {
     let mixed = splitmix64(
-        master ^ splitmix64((level as u64) << 32 | q as u64) ^ splitmix64(phase ^ 0xA5A5_5A5A),
+        master ^ splitmix64((level as u64) << 32 | q as u64) ^ splitmix64(phase ^ PHASE_SALT),
     );
     SmallRng::seed_from_u64(mixed)
 }
@@ -285,7 +323,7 @@ pub(crate) fn cell_rng(master: u64, level: usize, q: StateId, phase: u64) -> Sma
 /// canonical tag ([`MemoKey::rng_tag`]) — the tag already mixes the
 /// level, so only the master seed and phase are added here.
 pub(crate) fn group_rng(master: u64, tag: u64) -> SmallRng {
-    let mixed = splitmix64(master ^ splitmix64(tag) ^ splitmix64(PHASE_GROUP ^ 0xA5A5_5A5A));
+    let mixed = splitmix64(master ^ splitmix64(tag) ^ splitmix64(PHASE_GROUP ^ PHASE_SALT));
     SmallRng::seed_from_u64(mixed)
 }
 

@@ -74,6 +74,7 @@ impl UniformGenerator {
                 n,
                 q_final,
                 n,
+                inner.sampler_seed,
                 rng,
                 &mut self.run.stats,
             ) {

@@ -57,6 +57,8 @@
 //! Faithfulness deviations are catalogued in `DESIGN.md` §3 and are all
 //! switchable through [`Params`].
 
+#![warn(missing_docs)]
+
 pub mod appunion;
 pub mod counter;
 pub mod engine;
@@ -72,13 +74,14 @@ pub mod table;
 pub use appunion::{app_union, frontier_inputs, UnionEstimate, UnionSetInput};
 pub use counter::FprasRun;
 pub use engine::{
-    run_parallel, run_with_policy, Deterministic, ExecutionPolicy, FrontierGroup, LevelPlan, Serial,
+    run_parallel, run_with_policy, Deterministic, ExecutionPolicy, FrontierGroup, LevelPlan,
+    MemoEntry, MemoTier, Serial, UnionMemo,
 };
 pub use error::FprasError;
 pub use generator::UniformGenerator;
 pub use median::{median_amplified, median_amplified_parallel, runs_needed, MedianEstimate};
 pub use params::{CursorPolicy, Params, Profile};
-pub use run_stats::{BatchStats, RunStats};
+pub use run_stats::{BatchStats, MemoStats, RunStats, ShareStats};
 pub use sample_set::{SampleEntry, SampleSet};
 pub use table::SampleOutcome;
 

@@ -100,6 +100,14 @@ pub struct Params {
     /// *work*, never output: `false` re-runs the identical estimation
     /// once per pair (the honest unbatched baseline for benchmarks).
     pub batch_unions: bool,
+    /// Pre-estimate each level's hot sampler frontiers once before the
+    /// sample pass and seed the shared memo layer (D9), so per-cell
+    /// sampling hits the memo instead of re-running `AppUnion`. Sampler
+    /// union estimation is frontier-keyed whenever `memoize_unions` is
+    /// on, so toggling this knob changes *work*, never output — the
+    /// sample-pass mirror of [`Params::batch_unions`]. Ignored (no
+    /// pre-pass runs) when `memoize_unions` is off.
+    pub share_sampler_frontiers: bool,
     /// Optional hard cap on membership operations; the run aborts with
     /// [`FprasError::BudgetExceeded`] when exceeded.
     pub max_membership_ops: Option<u64>,
@@ -140,6 +148,7 @@ impl Params {
             cursor: CursorPolicy::PaperBreak,
             trim_dead: false,
             batch_unions: false,
+            share_sampler_frontiers: false,
             max_membership_ops: None,
         }
     }
@@ -177,6 +186,7 @@ impl Params {
             cursor: CursorPolicy::Cyclic,
             trim_dead: true,
             batch_unions: true,
+            share_sampler_frontiers: true,
             max_membership_ops: None,
         }
     }

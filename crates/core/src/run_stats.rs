@@ -52,6 +52,72 @@ impl BatchStats {
     }
 }
 
+/// Counters for the leveled copy-on-write union memo (DESIGN.md §2.2).
+///
+/// Before PR 3 the `Deterministic` sample pass deep-cloned the whole
+/// level-start memo once per cell; with the copy-on-write layout a
+/// per-cell view is an `Arc` clone of the committed base layer and only
+/// the thin overlay of new insertions is ever copied. `entries_shared`
+/// measures the clone volume the flat layout would have paid (base
+/// entries × snapshots); `overlay_entries` is the O(overlay) work that
+/// remains.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemoStats {
+    /// Overlay → base commits performed (one per processed level).
+    pub commits: u64,
+    /// Entries promoted from the overlay into the base layer across all
+    /// commits (count seeds + shared pre-estimates + sampler inserts).
+    pub entries_promoted: u64,
+    /// O(1) per-cell snapshots taken by the `Deterministic` sample pass
+    /// (the `Serial` policy mutates the shared memo and takes none).
+    pub snapshots: u64,
+    /// Base-layer entries shared (not copied) across those snapshots —
+    /// exactly the entry-clone volume the flat memo used to pay.
+    pub entries_shared: u64,
+    /// Entries inserted into per-cell overlays and merged back
+    /// canonically after the pass.
+    pub overlay_entries: u64,
+}
+
+impl MemoStats {
+    /// Accumulates another pass's counters.
+    pub fn merge(&mut self, other: &MemoStats) {
+        self.commits += other.commits;
+        self.entries_promoted += other.entries_promoted;
+        self.snapshots += other.snapshots;
+        self.entries_shared += other.entries_shared;
+        self.overlay_entries += other.overlay_entries;
+    }
+}
+
+/// Counters for sample-pass frontier sharing (DESIGN.md D9).
+///
+/// Before each sample pass the engine pre-estimates the level's hot
+/// sampler frontiers once (frontier-keyed RNG, like the batched count
+/// pass) and seeds the shared memo layer, so per-cell sampling hits the
+/// memo instead of re-running `AppUnion` per cell.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShareStats {
+    /// Hot sampler frontiers estimated by the pre-pass (one `AppUnion`
+    /// each, at sampler precision).
+    pub frontiers_preestimated: u64,
+    /// Sampler union lookups answered by a pre-estimated (shared-tier)
+    /// memo entry.
+    pub preestimate_hits: u64,
+    /// Hot frontiers the pre-pass skipped because a count-phase seed or
+    /// an earlier level already covered the key.
+    pub keys_already_seeded: u64,
+}
+
+impl ShareStats {
+    /// Accumulates another pass's counters.
+    pub fn merge(&mut self, other: &ShareStats) {
+        self.frontiers_preestimated += other.frontiers_preestimated;
+        self.preestimate_hits += other.preestimate_hits;
+        self.keys_already_seeded += other.keys_already_seeded;
+    }
+}
+
 /// Counters collected during one FPRAS run.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct RunStats {
@@ -88,6 +154,10 @@ pub struct RunStats {
     pub cells_skipped: u64,
     /// Batched union-estimation counters (D8).
     pub batch: BatchStats,
+    /// Copy-on-write memo counters (§2.2).
+    pub memo: MemoStats,
+    /// Sample-pass frontier-sharing counters (D9).
+    pub share: ShareStats,
     /// Wall-clock duration of the run.
     pub wall: Duration,
 }
@@ -137,6 +207,8 @@ impl RunStats {
         self.cells_processed += other.cells_processed;
         self.cells_skipped += other.cells_skipped;
         self.batch.merge(&other.batch);
+        self.memo.merge(&other.memo);
+        self.share.merge(&other.share);
         self.wall += other.wall;
     }
 }
@@ -166,6 +238,49 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.membership_ops, 12);
         assert_eq!(a.sample_calls, 3);
+    }
+
+    #[test]
+    fn memo_and_share_merge_accumulate() {
+        let mut a = RunStats {
+            memo: MemoStats {
+                commits: 1,
+                entries_promoted: 3,
+                snapshots: 2,
+                entries_shared: 10,
+                overlay_entries: 4,
+            },
+            share: ShareStats {
+                frontiers_preestimated: 2,
+                preestimate_hits: 5,
+                keys_already_seeded: 1,
+            },
+            ..Default::default()
+        };
+        let b = RunStats {
+            memo: MemoStats {
+                commits: 2,
+                entries_promoted: 1,
+                snapshots: 3,
+                entries_shared: 20,
+                overlay_entries: 1,
+            },
+            share: ShareStats {
+                frontiers_preestimated: 1,
+                preestimate_hits: 2,
+                keys_already_seeded: 0,
+            },
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.memo.commits, 3);
+        assert_eq!(a.memo.entries_promoted, 4);
+        assert_eq!(a.memo.snapshots, 5);
+        assert_eq!(a.memo.entries_shared, 30);
+        assert_eq!(a.memo.overlay_entries, 5);
+        assert_eq!(a.share.frontiers_preestimated, 3);
+        assert_eq!(a.share.preestimate_hits, 7);
+        assert_eq!(a.share.keys_already_seeded, 1);
     }
 
     #[test]

@@ -13,14 +13,71 @@
 //! [`ExtFloat`] for `φ` (which starts near `1/N(qℓ)`, far below `f64`
 //! range for large `n`), and optionally memoizes the union estimates per
 //! `(level, frontier)` — see DESIGN.md D4 and the `memoize_unions` knob.
+//!
+//! # Frontier-keyed union randomness (D9)
+//!
+//! When memoization is on, the `AppUnion` randomness for a sampler-side
+//! union estimate is derived from the **frontier key**
+//! ([`MemoKey::rng_tag`] mixed with a per-run sampler seed), never from
+//! the calling cell's stream — the same congruence trick the batched
+//! count pass uses (DESIGN.md D8). Any cell that estimates a given
+//! frontier therefore computes the *identical* value, which is what lets
+//! the engine pre-estimate hot frontiers once per level and share them
+//! (`Params::share_sampler_frontiers`) without changing a single output
+//! bit. With memoization off (paper profile) every query draws fresh
+//! randomness from the caller's stream, preserving the paper's
+//! independent-estimates reading.
 
 use crate::appunion::{app_union, frontier_inputs};
+use crate::engine::memo::{MemoTier, UnionMemo};
+use crate::engine::policy::{PHASE_SALT, PHASE_SAMPLER_UNION};
 use crate::params::Params;
 use crate::run_stats::RunStats;
-use crate::table::{MemoKey, RunTable, SampleOutcome, UnionMemo};
+use crate::table::{splitmix64, MemoKey, RunTable, SampleOutcome};
 use fpras_automata::{Nfa, StateId, StateSet, Unrolling, Word};
 use fpras_numeric::{sample_extfloat_weights, ExtFloat};
-use rand::{Rng, RngExt};
+use rand::{rngs::SmallRng, Rng, RngExt, SeedableRng};
+
+/// Independent RNG stream for one sampler union estimation, keyed by the
+/// frontier's canonical tag and the run's sampler seed. A congruence:
+/// equal frontiers (however assembled, in whichever cell) get identical
+/// draws, so lazy per-cell estimation and the engine's shared pre-pass
+/// compute bit-identical values.
+pub(crate) fn sampler_union_rng(sampler_seed: u64, tag: u64) -> SmallRng {
+    let mixed =
+        splitmix64(sampler_seed ^ splitmix64(tag) ^ splitmix64(PHASE_SAMPLER_UNION ^ PHASE_SALT));
+    SmallRng::seed_from_u64(mixed)
+}
+
+/// Runs one sampler-precision `AppUnion` for `frontier` at `key.level`
+/// on the frontier-keyed stream. The single definition shared by the
+/// sampler's lazy miss path and the engine's sharing pre-pass — the
+/// reason pre-estimation cannot change the output.
+pub(crate) fn estimate_frontier_union(
+    params: &Params,
+    table: &RunTable,
+    n_total: usize,
+    key: &MemoKey,
+    frontier: &StateSet,
+    sampler_seed: u64,
+    stats: &mut RunStats,
+) -> ExtFloat {
+    let level = key.level as usize;
+    let inputs = frontier_inputs(table, level, frontier);
+    let eps_sz = params.eps_sz_at_level(params.beta_count, level + 1);
+    let mut rng = sampler_union_rng(sampler_seed, key.rng_tag());
+    app_union(
+        params,
+        params.beta_sample,
+        params.delta_sample_inner(n_total),
+        eps_sz,
+        &inputs,
+        table.num_states(),
+        &mut rng,
+        stats,
+    )
+    .value
+}
 
 /// Estimates `|⋃_{p ∈ frontier} L(p^level)|`, consulting and filling the
 /// memo when enabled.
@@ -32,19 +89,30 @@ pub(crate) fn union_size<R: Rng + ?Sized>(
     n_total: usize,
     level: usize,
     frontier: &StateSet,
+    sampler_seed: u64,
     rng: &mut R,
     stats: &mut RunStats,
 ) -> ExtFloat {
     if params.memoize_unions {
-        if let Some(&v) = memo.get(&MemoKey::new(level, frontier)) {
+        let key = MemoKey::new(level, frontier);
+        if let Some(entry) = memo.get(&key) {
             stats.memo_hits += 1;
-            return v;
+            if entry.tier == MemoTier::Shared {
+                stats.share.preestimate_hits += 1;
+            }
+            return entry.value;
         }
         stats.memo_misses += 1;
+        let est =
+            estimate_frontier_union(params, table, n_total, &key, frontier, sampler_seed, stats);
+        memo.insert_first_wins(key, est, MemoTier::Sampler);
+        return est;
     }
+    // Paper path (D4 off): a fresh estimate from the caller's stream on
+    // every query — the paper's independent-draws reading.
     let inputs = frontier_inputs(table, level, frontier);
     let eps_sz = params.eps_sz_at_level(params.beta_count, level + 1);
-    let est = app_union(
+    app_union(
         params,
         params.beta_sample,
         params.delta_sample_inner(n_total),
@@ -53,11 +121,8 @@ pub(crate) fn union_size<R: Rng + ?Sized>(
         table.num_states(),
         rng,
         stats,
-    );
-    if params.memoize_unions {
-        memo.insert(MemoKey::new(level, frontier), est.value);
-    }
-    est.value
+    )
+    .value
 }
 
 /// Runs one trial of Algorithm 2 from the singleton frontier `{start}` at
@@ -73,6 +138,7 @@ pub(crate) fn sample_word<R: Rng + ?Sized>(
     n_total: usize,
     start: StateId,
     level: usize,
+    sampler_seed: u64,
     rng: &mut R,
     stats: &mut RunStats,
 ) -> SampleOutcome {
@@ -99,7 +165,7 @@ pub(crate) fn sample_word<R: Rng + ?Sized>(
             let sz = if fb.is_empty() {
                 ExtFloat::ZERO
             } else {
-                union_size(params, table, memo, n_total, ell - 1, &fb, rng, stats)
+                union_size(params, table, memo, n_total, ell - 1, &fb, sampler_seed, rng, stats)
             };
             branch_sizes.push(sz);
             branch_fronts.push(fb);
@@ -172,7 +238,7 @@ mod tests {
         let mut successes = 0;
         for _ in 0..200 {
             match sample_word(
-                &params, memo_nfa, unroll, table, &mut memo, 6, 0, 6, &mut rng, &mut stats,
+                &params, memo_nfa, unroll, table, &mut memo, 6, 0, 6, 99, &mut rng, &mut stats,
             ) {
                 SampleOutcome::Word(w) => {
                     assert_eq!(w.len(), 6);
@@ -217,6 +283,7 @@ mod tests {
             4,
             0,
             4,
+            99,
             &mut rng,
             &mut stats,
         );

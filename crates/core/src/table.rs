@@ -2,14 +2,15 @@
 //!
 //! One [`Cell`] per `(state q, level ℓ)` pair holds the count estimate
 //! `N(qℓ)` and the sample multiset `S(qℓ)`. The sampler's union memo
-//! (DESIGN.md D4) lives alongside: a map from `(level, frontier)` to the
-//! estimated size of `⋃_{p ∈ frontier} L(p^level)`, seeded by the count
-//! phase and extended lazily during sampling.
+//! (DESIGN.md D4) lives alongside — keyed by the [`MemoKey`] defined
+//! here, stored in the leveled copy-on-write
+//! [`UnionMemo`](crate::engine::memo::UnionMemo), seeded by the count
+//! phase and the sharing pre-pass, and extended lazily during sampling
+//! (DESIGN.md §2.2).
 
 use crate::sample_set::SampleSet;
 use fpras_automata::{StateSet, Word};
 use fpras_numeric::ExtFloat;
-use std::collections::HashMap;
 
 /// State of one `(q, ℓ)` cell.
 #[derive(Debug, Clone)]
@@ -74,8 +75,9 @@ pub struct MemoKey {
 
 /// SplitMix64 finalizer (the same mixer the engine's per-cell streams
 /// use), duplicated here so the key can hash itself without a dependency
-/// on the policy layer.
-fn splitmix64(mut x: u64) -> u64 {
+/// on the policy layer. Shared with the sampler's frontier-keyed union
+/// streams (DESIGN.md D9).
+pub(crate) fn splitmix64(mut x: u64) -> u64 {
     x = x.wrapping_add(0x9E3779B97F4A7C15);
     x = (x ^ (x >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
     x = (x ^ (x >> 27)).wrapping_mul(0x94D049BB133111EB);
@@ -103,9 +105,6 @@ impl MemoKey {
         acc
     }
 }
-
-/// Memoized union sizes for the sampler.
-pub type UnionMemo = HashMap<MemoKey, ExtFloat>;
 
 /// Outcome of one `sample()` invocation (Algorithm 2).
 #[derive(Debug, Clone, PartialEq)]
@@ -166,13 +165,5 @@ mod tests {
         assert_ne!(MemoKey::new(2, &a).rng_tag(), MemoKey::new(3, &a).rng_tag());
         let c = StateSet::from_iter(100, [3]);
         assert_ne!(MemoKey::new(2, &a).rng_tag(), MemoKey::new(2, &c).rng_tag());
-    }
-
-    #[test]
-    fn memo_round_trip() {
-        let mut memo = UnionMemo::new();
-        let f = StateSet::from_iter(10, [1, 2]);
-        memo.insert(MemoKey::new(1, &f), ExtFloat::from_u64(42));
-        assert_eq!(memo.get(&MemoKey::new(1, &f)).unwrap().to_f64(), 42.0);
     }
 }

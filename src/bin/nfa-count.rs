@@ -40,6 +40,7 @@ struct Args {
     dot: bool,
     stats: bool,
     no_batch: bool,
+    no_share: bool,
 }
 
 #[derive(Clone, Copy, PartialEq, Eq)]
@@ -56,13 +57,15 @@ fn usage() -> ! {
          \t[--method fpras|path-is|dp|bdd] [--threads T=0]\n\
          \t[--eps E=0.2] [--delta D=0.05] [--seed S=42] [--sample K]\n\
          \t[--enumerate K] [--exact] [--dot] [--stats] [--no-batch]\n\
+         \t[--no-share]\n\
          \n\
          --threads 0 runs the FPRAS engine's Serial policy; T >= 1 runs\n\
          the Deterministic policy on T workers (output depends only on\n\
          --seed, never on T). --no-batch disables batched union\n\
-         estimation (same output, more work; for benchmarking).\n\
-         --stats prints the full run counters, including the batching\n\
-         layer's dedup numbers."
+         estimation and --no-share disables sample-pass frontier\n\
+         sharing (same output, more work; for benchmarking).\n\
+         --stats prints the full run counters, including the batching,\n\
+         memo, and sharing layers' numbers."
     );
     std::process::exit(2)
 }
@@ -83,6 +86,7 @@ fn parse_args() -> Args {
         dot: false,
         stats: false,
         no_batch: false,
+        no_share: false,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -105,6 +109,7 @@ fn parse_args() -> Args {
             "--dot" => args.dot = true,
             "--stats" => args.stats = true,
             "--no-batch" => args.no_batch = true,
+            "--no-share" => args.no_share = true,
             "--method" => {
                 args.method = match value(&mut i).as_str() {
                     "fpras" => Method::Fpras,
@@ -140,8 +145,8 @@ fn parse_args() -> Args {
     if args.n == usize::MAX || (args.regex.is_none() == args.file.is_none()) {
         usage();
     }
-    if args.method != Method::Fpras && (args.stats || args.no_batch) {
-        eprintln!("--stats and --no-batch require --method fpras");
+    if args.method != Method::Fpras && (args.stats || args.no_batch || args.no_share) {
+        eprintln!("--stats, --no-batch and --no-share require --method fpras");
         usage();
     }
     args
@@ -197,6 +202,14 @@ fn report_stats(s: &RunStats) {
     println!("  batch unions run     {}", s.batch.unions_run);
     println!("  batch unions skipped {}", s.batch.unions_skipped);
     println!("  batch dedup rate     {:.4}", s.batch.dedup_rate());
+    println!("  memo commits         {}", s.memo.commits);
+    println!("  memo promoted        {}", s.memo.entries_promoted);
+    println!("  memo snapshots       {}", s.memo.snapshots);
+    println!("  memo entries shared  {}", s.memo.entries_shared);
+    println!("  memo overlay entries {}", s.memo.overlay_entries);
+    println!("  share pre-estimated  {}", s.share.frontiers_preestimated);
+    println!("  share pre-est hits   {}", s.share.preestimate_hits);
+    println!("  share already seeded {}", s.share.keys_already_seeded);
     println!("  wall                 {:?}", s.wall);
 }
 
@@ -231,6 +244,9 @@ fn main() {
             let mut params = Params::practical(args.eps, args.delta, nfa.num_states(), args.n);
             if args.no_batch {
                 params.batch_unions = false;
+            }
+            if args.no_share {
+                params.share_sampler_frontiers = false;
             }
             let threads = args.threads.unwrap_or(0);
             // threads = 0: Serial policy (one RNG threaded through the

@@ -137,6 +137,62 @@ fn differential_skew_fixtures_dedup_fires() {
             // And the shared estimate is still within the (loose) band.
             let err = (b.estimate().to_f64() - exact).abs() / exact;
             assert!(err < 0.5, "{label} seed {seed}: err {err} vs exact {exact}");
+
+            // Sample-pass frontier sharing (D9) on the same skew shapes:
+            // pre-estimation fires and its entries are consumed, the
+            // copy-on-write memo shares the base layer instead of deep
+            // cloning it per cell, and turning sharing off reproduces the
+            // run bit-for-bit with strictly more sampler-side work.
+            let mut unshared_params = batched.clone();
+            unshared_params.share_sampler_frontiers = false;
+            let s = run_parallel(nfa, n, &unshared_params, seed, 4).expect("unshared run");
+            if *label == "ones-mod-4" {
+                // Deterministic automaton: every depth-two frontier is a
+                // singleton the count pass already seeded — the pre-pass
+                // must inspect them and find nothing left to estimate.
+                assert!(
+                    b.stats().share.keys_already_seeded > 0,
+                    "{label} seed {seed}: pre-pass must at least inspect hot frontiers"
+                );
+            } else {
+                assert!(
+                    b.stats().share.frontiers_preestimated > 0,
+                    "{label} seed {seed}: sharing pre-pass must fire on a skew fixture"
+                );
+                assert!(
+                    b.stats().share.preestimate_hits > 0,
+                    "{label} seed {seed}: pre-estimated frontiers must be consumed"
+                );
+            }
+            assert_eq!(
+                b.estimate().to_f64(),
+                s.estimate().to_f64(),
+                "{label} seed {seed}: shared vs unshared estimate"
+            );
+            assert_eq!(s.stats().share.frontiers_preestimated, 0, "{label} seed {seed}");
+            if *label != "ones-mod-4" {
+                assert!(
+                    b.stats().memo_misses < s.stats().memo_misses,
+                    "{label} seed {seed}: sharing must convert per-cell misses into hits"
+                );
+            }
+            assert!(
+                b.stats().memo.snapshots > 0 && b.stats().memo.entries_shared > 0,
+                "{label} seed {seed}: CoW snapshots must share the base layer"
+            );
+            // Promoted-entry accounting: sharing can only add the
+            // pre-estimated keys that no cell ended up querying (a
+            // queried hot key is promoted either way — as a shared seed
+            // or as a lazy sampler insert).
+            assert!(
+                s.stats().memo.entries_promoted <= b.stats().memo.entries_promoted
+                    && b.stats().memo.entries_promoted
+                        <= s.stats().memo.entries_promoted + b.stats().share.frontiers_preestimated,
+                "{label} seed {seed}: promoted-entry envelope (shared {}, unshared {}, pre {})",
+                b.stats().memo.entries_promoted,
+                s.stats().memo.entries_promoted,
+                b.stats().share.frontiers_preestimated
+            );
         }
     }
 }

@@ -126,11 +126,22 @@ fn assert_stats_invariants(stats: &RunStats, k: u64, label: &str) {
     // pairs in any mode.
     assert!(stats.batch.groups_formed <= pairs, "{label}: groups exceed pairs");
     // The count pass runs AppUnion exactly unions_run times; the rest of
-    // appunion_calls belong to the sampler's memo misses.
+    // appunion_calls belong to the sampler's memo misses and the
+    // sharing pre-pass's frontier pre-estimations (D9).
     assert_eq!(
         stats.appunion_calls,
-        stats.batch.unions_run + stats.memo_misses,
+        stats.batch.unions_run + stats.memo_misses + stats.share.frontiers_preestimated,
         "{label}: appunion accounting"
+    );
+    // Pre-estimated entries can only be consumed if they were produced.
+    if stats.share.frontiers_preestimated == 0 {
+        assert_eq!(stats.share.preestimate_hits, 0, "{label}: hits without pre-estimates");
+    }
+    // Copy-on-write memo accounting: snapshots are per-(cell, level) and
+    // every snapshot shares the whole base layer instead of cloning it.
+    assert!(
+        stats.memo.entries_promoted >= stats.share.frontiers_preestimated,
+        "{label}: promoted entries must cover the shared seeds"
     );
 }
 
@@ -153,6 +164,37 @@ fn run_stats_union_invariants_hold_for_all_paths() {
                 assert!(
                     serial.stats().batch.cells_deduped > 0,
                     "{label}: these fixtures share frontiers, dedup must fire"
+                );
+                // Sample-pass sharing (on by default in the practical
+                // profile) must engage: every hot frontier is either
+                // pre-estimated or found already seeded. On deterministic
+                // automata (div-by-5) all depth-two frontiers are
+                // singletons the count pass already seeded — zero
+                // pre-estimates is the correct outcome there; the
+                // nondeterministic fixture must produce genuinely new
+                // shared entries and the Deterministic policy's cells
+                // must consume them.
+                assert!(
+                    serial.stats().share.frontiers_preestimated
+                        + serial.stats().share.keys_already_seeded
+                        > 0,
+                    "{label}: sharing pre-pass must inspect hot frontiers"
+                );
+                if label == "contains-11" {
+                    assert!(
+                        serial.stats().share.frontiers_preestimated > 0,
+                        "{label}: sharing pre-pass must estimate hot frontiers"
+                    );
+                    assert!(
+                        det.stats().share.preestimate_hits > 0,
+                        "{label}: deterministic cells must hit pre-estimated entries"
+                    );
+                }
+                // And no cell deep-cloned the memo: every snapshot shared
+                // the base layer.
+                assert!(
+                    det.stats().memo.snapshots > 0 && det.stats().memo.entries_shared > 0,
+                    "{label}: CoW snapshots must be taken and share the base"
                 );
             } else {
                 assert_eq!(serial.stats().batch.cells_deduped, 0, "{label}");

@@ -39,6 +39,10 @@ fn stats_flag_reports_batching_counters() {
             .unwrap_or_else(|| panic!("missing {key} in {stdout}"))
     };
     assert!(grab("batch cells deduped") > 0, "dedup must fire on contains-11");
+    // The memo/sharing layers (D9) report through the same surface.
+    assert!(stdout.contains("memo snapshots"), "{stdout}");
+    assert!(grab("share pre-estimated") > 0, "sharing must fire on contains-11");
+    assert!(grab("share pre-est hits") > 0, "pre-estimates must be consumed");
     // --no-batch: same estimate line, zero dedup, more unions run.
     let mut unbatched_args = args.to_vec();
     unbatched_args.push("--no-batch");
@@ -47,11 +51,19 @@ fn stats_flag_reports_batching_counters() {
     let estimate = |s: &str| s.lines().find(|l| l.starts_with("estimate")).map(String::from);
     assert_eq!(estimate(&stdout), estimate(&stdout2), "batching must not change the estimate");
     assert!(stdout2.contains("batch cells deduped  0"), "{stdout2}");
+    // --no-share: still the same estimate, but no pre-estimation at all.
+    let mut unshared_args = args.to_vec();
+    unshared_args.push("--no-share");
+    let (stdout3, _, ok3) = run(&unshared_args);
+    assert!(ok3);
+    assert_eq!(estimate(&stdout), estimate(&stdout3), "sharing must not change the estimate");
+    assert!(stdout3.contains("share pre-estimated  0"), "{stdout3}");
+    assert!(stdout3.contains("share pre-est hits   0"), "{stdout3}");
 }
 
 #[test]
 fn stats_and_no_batch_are_fpras_only() {
-    for flag in ["--stats", "--no-batch"] {
+    for flag in ["--stats", "--no-batch", "--no-share"] {
         let (_, stderr, ok) = run(&["--regex", "1*", "-n", "8", "--method", "dp", flag]);
         assert!(!ok, "{flag} with --method dp must be a usage error");
         assert!(stderr.contains("require --method fpras"), "{stderr}");

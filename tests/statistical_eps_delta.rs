@@ -12,7 +12,8 @@
 //!
 //! Every estimator path the engine exposes runs over the same fixtures:
 //! Serial and Deterministic policies, each with batched union estimation
-//! on and off. The small smoke versions run in tier-1; the heavyweight
+//! on and off, plus unshared controls for the sample-pass frontier
+//! sharing layer (D9). The small smoke versions run in tier-1; the heavyweight
 //! versions are `#[ignore]`d locally and executed by the CI job
 //! `cargo test --release -- --ignored`.
 
@@ -63,26 +64,30 @@ type Estimator = dyn Fn(&Nfa, usize, &Params, u64) -> f64;
 
 /// Every engine path the harness locks down, as (name, estimator).
 fn estimator_paths() -> Vec<(&'static str, Box<Estimator>)> {
-    let serial = |batch: bool| {
+    let serial = |batch: bool, share: bool| {
         move |nfa: &Nfa, n: usize, params: &Params, seed: u64| {
             let mut p = params.clone();
             p.batch_unions = batch;
+            p.share_sampler_frontiers = share;
             let mut rng = SmallRng::seed_from_u64(seed);
             FprasRun::run(nfa, n, &p, &mut rng).expect("run").estimate().to_f64()
         }
     };
-    let deterministic = |batch: bool| {
+    let deterministic = |batch: bool, share: bool| {
         move |nfa: &Nfa, n: usize, params: &Params, seed: u64| {
             let mut p = params.clone();
             p.batch_unions = batch;
+            p.share_sampler_frontiers = share;
             run_parallel(nfa, n, &p, seed, 4).expect("run").estimate().to_f64()
         }
     };
     vec![
-        ("serial+batched", Box::new(serial(true))),
-        ("serial+unbatched", Box::new(serial(false))),
-        ("deterministic+batched", Box::new(deterministic(true))),
-        ("deterministic+unbatched", Box::new(deterministic(false))),
+        ("serial+batched", Box::new(serial(true, true))),
+        ("serial+unbatched", Box::new(serial(false, true))),
+        ("serial+unshared", Box::new(serial(true, false))),
+        ("deterministic+batched", Box::new(deterministic(true, true))),
+        ("deterministic+unbatched", Box::new(deterministic(false, true))),
+        ("deterministic+unshared", Box::new(deterministic(true, false))),
     ]
 }
 
