@@ -2,13 +2,17 @@
 //!
 //! Usage:
 //! ```text
-//! experiments [--quick] [--json [PATH]] [e1 e2 … | all]
+//! experiments [--quick] [--json [PATH]] [--scaling-smoke] [e1 e2 … | all]
 //! ```
 //! With no selector, runs the full suite. `--quick` shrinks trial counts
 //! for smoke testing; EXPERIMENTS.md numbers come from the default mode.
 //! `--json` additionally writes the machine-readable counter matrix
 //! (`BENCH_counter.json` unless a path follows the flag) and skips the
 //! Markdown suite when no experiment selector is given alongside it.
+//! `--scaling-smoke` runs only the work-stealing scaling guard (D10):
+//! one wide fixture at `threads = 1` vs `threads = 4`, exiting nonzero
+//! when multi-threading has regressed to flat scaling (skipped on
+//! single-CPU hosts, where the comparison is physically vacuous).
 
 use fpras_bench::registry;
 use std::time::Instant;
@@ -24,11 +28,13 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     let mut json: Option<Option<String>> = None;
+    let mut scaling = false;
     let mut selected: Vec<String> = Vec::new();
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--quick" => {}
+            "--scaling-smoke" => scaling = true,
             "--json" => {
                 // Optional path operand: the next arg, unless it is a
                 // flag or an experiment selector.
@@ -46,6 +52,19 @@ fn main() {
             other => selected.push(other.to_string()),
         }
         i += 1;
+    }
+
+    if scaling {
+        match fpras_bench::scaling_smoke(quick, 42) {
+            Ok(msg) => {
+                println!("scaling smoke: {msg}");
+                return;
+            }
+            Err(msg) => {
+                eprintln!("scaling smoke FAILED: {msg}");
+                std::process::exit(1);
+            }
+        }
     }
 
     if let Some(path) = &json {

@@ -13,7 +13,8 @@
 //! tooling should need nothing beyond a JSON array of objects.
 
 use fpras_baselines::{run_counter, CounterKind};
-use fpras_workloads::families;
+use fpras_workloads::{families, random_nfa, RandomNfaConfig};
+use rand::{rngs::SmallRng, SeedableRng};
 
 /// Default output path for [`write_counter_json`].
 pub const DEFAULT_JSON_PATH: &str = "BENCH_counter.json";
@@ -44,11 +45,88 @@ pub struct CounterMeasurement {
     /// Memo base entries shared (not cloned) across copy-on-write
     /// sample-pass snapshots (zero for serial and exact rows).
     pub memo_entries_shared: u64,
+    /// Chunks the work-stealing executor moved between workers (D10;
+    /// zero for serial/exact rows — scheduling evidence, varies run to
+    /// run by design).
+    pub pool_steals: u64,
+    /// Parallel efficiency `wall₁ / (wallₜ · t)` against the same
+    /// instance's `fpras(ours)` `threads = 1` row (1.0 = ideal linear
+    /// scaling; `None` for serial, control, and exact rows). Interpret
+    /// together with `host_cpus`: a 1-CPU recorder is physically capped
+    /// at `1/t`.
+    pub parallel_efficiency: Option<f64>,
+    /// Hardware threads available on the recording host
+    /// (`std::thread::available_parallelism`) — the honest ceiling for
+    /// the efficiency column.
+    pub host_cpus: usize,
 }
 
-/// Runs the counter matrix the JSON report records: three instance
-/// families × the FPRAS engine at several thread counts × the exact DP
-/// as ground truth. `quick` shrinks instance sizes for smoke passes.
+/// Hardware threads on the recording host.
+fn host_cpus() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// One measured row (efficiency is filled in per instance afterwards).
+fn measure(
+    instance: &str,
+    kind: &CounterKind,
+    nfa: &fpras_automata::Nfa,
+    n: usize,
+    eps: f64,
+    seed: u64,
+) -> CounterMeasurement {
+    let threads = match kind {
+        CounterKind::Fpras { threads, .. } => *threads,
+        _ => 0,
+    };
+    let r = run_counter(kind, nfa, n, eps, 0.1, seed).expect("counter run");
+    CounterMeasurement {
+        instance: instance.to_string(),
+        method: kind.label().to_string(),
+        threads,
+        wall_seconds: r.wall.as_secs_f64(),
+        estimate: r.estimate.to_f64(),
+        estimate_log2: r.estimate.log2(),
+        ops: r.ops,
+        cells_deduped: r.cells_deduped,
+        preestimate_hits: r.preestimate_hits,
+        memo_entries_shared: r.memo_entries_shared,
+        pool_steals: r.pool_steals,
+        parallel_efficiency: None,
+        host_cpus: host_cpus(),
+    }
+}
+
+/// Fills `parallel_efficiency` for every `fpras(ours)` row with
+/// `threads ≥ 1`, relative to the same instance's `threads = 1` row:
+/// `wall₁ / (wallₜ · t)`.
+fn fill_parallel_efficiency(rows: &mut [CounterMeasurement]) {
+    let baselines: Vec<(String, f64)> = rows
+        .iter()
+        .filter(|m| m.method == "fpras(ours)" && m.threads == 1)
+        .map(|m| (m.instance.clone(), m.wall_seconds))
+        .collect();
+    for m in rows.iter_mut() {
+        if m.method != "fpras(ours)" || m.threads < 1 {
+            continue;
+        }
+        if let Some((_, wall1)) = baselines.iter().find(|(i, _)| *i == m.instance) {
+            if m.wall_seconds > 0.0 {
+                m.parallel_efficiency = Some(wall1 / (m.wall_seconds * m.threads as f64));
+            }
+        }
+    }
+}
+
+/// Runs the counter matrix the JSON report records: three small
+/// instance families × the FPRAS engine at several thread counts (plus
+/// unbatched/unshared controls) × the exact DP as ground truth, and two
+/// **large skewed instances** where the sample pass is hot — a wide
+/// dense random NFA (the work-stealing pool engages on every level) and
+/// a deeply unrolled automaton (3 live cells per level: the
+/// sequential-fallback cutoff keeps thread overhead at zero) — at
+/// threads 1/2/4/8 with a `parallel_efficiency` column. `quick` shrinks
+/// instance sizes for smoke passes.
 pub fn counter_matrix(quick: bool, seed: u64) -> Vec<CounterMeasurement> {
     let n = if quick { 10 } else { 14 };
     let instances = [
@@ -78,34 +156,43 @@ pub fn counter_matrix(quick: bool, seed: u64) -> Vec<CounterMeasurement> {
         let instance = format!("{name}/n={n}");
         for &(threads, batch, share) in &fpras_settings {
             let kind = CounterKind::Fpras { threads, batch, share };
-            let r = run_counter(&kind, nfa, n, 0.25, 0.1, seed).expect("fpras run");
-            out.push(CounterMeasurement {
-                instance: instance.clone(),
-                method: kind.label().to_string(),
-                threads,
-                wall_seconds: r.wall.as_secs_f64(),
-                estimate: r.estimate.to_f64(),
-                estimate_log2: r.estimate.log2(),
-                ops: r.ops,
-                cells_deduped: r.cells_deduped,
-                preestimate_hits: r.preestimate_hits,
-                memo_entries_shared: r.memo_entries_shared,
-            });
+            out.push(measure(&instance, &kind, nfa, n, 0.25, seed));
         }
-        let exact = run_counter(&CounterKind::ExactDp, nfa, n, 0.25, 0.1, seed).expect("exact dp");
-        out.push(CounterMeasurement {
-            instance,
-            method: CounterKind::ExactDp.label().to_string(),
-            threads: 0,
-            wall_seconds: exact.wall.as_secs_f64(),
-            estimate: exact.estimate.to_f64(),
-            estimate_log2: exact.estimate.log2(),
-            ops: exact.ops,
-            cells_deduped: 0,
-            preestimate_hits: 0,
-            memo_entries_shared: 0,
-        });
+        out.push(measure(&instance, &CounterKind::ExactDp, nfa, n, 0.25, seed));
     }
+
+    // Large skewed instances (D10): the n = 14 fixtures above finish in
+    // ~0.1 s — spawn overhead and skew are invisible there. These are
+    // sized so the per-level passes carry real work.
+    let (dense_m, dense_n, unroll_n) = if quick { (24, 12, 20) } else { (48, 20, 64) };
+    let dense = random_nfa(
+        &RandomNfaConfig { states: dense_m, alphabet: 2, density: 2.5, accepting: 2 },
+        &mut SmallRng::seed_from_u64(seed ^ 0xD10),
+    );
+    let large: [(String, fpras_automata::Nfa, usize, f64); 2] = [
+        (format!("dense-random-{dense_m}/n={dense_n}"), dense, dense_n, 0.4),
+        (
+            format!("unrolled-contains-11/n={unroll_n}"),
+            families::unrolled(&families::contains_substring(&[1, 1]), unroll_n),
+            unroll_n,
+            0.3,
+        ),
+    ];
+    for (instance, nfa, n, eps) in &large {
+        // One discarded warmup run per instance: the first run on a
+        // fresh working-set shape pays allocator/cache warmup that
+        // would otherwise inflate every later row's efficiency against
+        // the t = 1 baseline.
+        let warmup = CounterKind::Fpras { threads: 1, batch: true, share: true };
+        let _ = run_counter(&warmup, nfa, *n, *eps, 0.1, seed);
+        for threads in [1usize, 2, 4, 8] {
+            let kind = CounterKind::Fpras { threads, batch: true, share: true };
+            out.push(measure(instance, &kind, nfa, *n, *eps, seed));
+        }
+        out.push(measure(instance, &CounterKind::ExactDp, nfa, *n, *eps, seed));
+    }
+
+    fill_parallel_efficiency(&mut out);
     out
 }
 
@@ -123,7 +210,13 @@ pub fn to_json(measurements: &[CounterMeasurement]) -> String {
         s.push_str(&format!("\"ops\": {}, ", m.ops));
         s.push_str(&format!("\"cells_deduped\": {}, ", m.cells_deduped));
         s.push_str(&format!("\"preestimate_hits\": {}, ", m.preestimate_hits));
-        s.push_str(&format!("\"memo_entries_shared\": {}", m.memo_entries_shared));
+        s.push_str(&format!("\"memo_entries_shared\": {}, ", m.memo_entries_shared));
+        s.push_str(&format!("\"pool_steals\": {}, ", m.pool_steals));
+        s.push_str(&format!(
+            "\"parallel_efficiency\": {}, ",
+            m.parallel_efficiency.map_or("null".to_string(), number)
+        ));
+        s.push_str(&format!("\"host_cpus\": {}", m.host_cpus));
         s.push('}');
         if i + 1 < measurements.len() {
             s.push(',');
@@ -132,6 +225,59 @@ pub fn to_json(measurements: &[CounterMeasurement]) -> String {
     }
     s.push_str("]\n");
     s
+}
+
+/// CI guard for the work-stealing executor's scaling (D10): runs the
+/// wide dense fixture at `threads = 1` and `threads = 4` and fails when
+/// the 4-thread wall time is not below **0.9×** the single-thread wall
+/// (loose on purpose: it exists to catch a regression back to flat
+/// scaling, not to certify an efficiency figure). Estimates must also
+/// stay bit-identical across the two runs.
+///
+/// On hosts without real parallelism (< 2 hardware threads) the wall
+/// comparison is physically vacuous — four time-sliced workers cannot
+/// beat one — so the check reports a skip (`Ok` with a message) and the
+/// bit-identity comparison still runs.
+pub fn scaling_smoke(quick: bool, seed: u64) -> Result<String, String> {
+    let (m, n, eps) = if quick { (24, 10, 0.4) } else { (48, 16, 0.4) };
+    let nfa = random_nfa(
+        &RandomNfaConfig { states: m, alphabet: 2, density: 2.5, accepting: 2 },
+        &mut SmallRng::seed_from_u64(seed ^ 0xD10),
+    );
+    let run = |threads: usize| {
+        let kind = CounterKind::Fpras { threads, batch: true, share: true };
+        run_counter(&kind, &nfa, n, eps, 0.1, seed).expect("scaling fixture run")
+    };
+    // Discarded warmup, like `counter_matrix`: the first run on a fresh
+    // working-set shape pays allocator/cache warmup, and a cold t = 1
+    // baseline would bias the guard toward false-passing (an inflated
+    // w1 can hide a regression to flat scaling).
+    let _ = run(1);
+    let one = run(1);
+    let four = run(4);
+    if one.estimate != four.estimate {
+        return Err(format!(
+            "threads=1 and threads=4 estimates differ: {} vs {}",
+            one.estimate.to_f64(),
+            four.estimate.to_f64()
+        ));
+    }
+    let (w1, w4) = (one.wall.as_secs_f64(), four.wall.as_secs_f64());
+    let cpus = host_cpus();
+    let summary = format!(
+        "dense-random-{m}/n={n}: wall t=1 {w1:.3}s, t=4 {w4:.3}s \
+         (ratio {:.3}, host cpus {cpus}, steals {})",
+        w4 / w1,
+        four.pool_steals
+    );
+    if cpus < 2 {
+        return Ok(format!("SKIP wall check (single-CPU host): {summary}"));
+    }
+    if w4 < 0.9 * w1 {
+        Ok(summary)
+    } else {
+        Err(format!("threads=4 must beat 0.9× threads=1: {summary}"))
+    }
 }
 
 /// Runs the matrix and writes it to `path` (or [`DEFAULT_JSON_PATH`]).
@@ -188,6 +334,9 @@ mod tests {
                 cells_deduped: 7,
                 preestimate_hits: 3,
                 memo_entries_shared: 120,
+                pool_steals: 5,
+                parallel_efficiency: Some(0.5),
+                host_cpus: 4,
             },
             CounterMeasurement {
                 instance: "empty \"quoted\"".into(),
@@ -200,6 +349,9 @@ mod tests {
                 cells_deduped: 0,
                 preestimate_hits: 0,
                 memo_entries_shared: 0,
+                pool_steals: 0,
+                parallel_efficiency: None,
+                host_cpus: 4,
             },
         ];
         let doc = to_json(&ms);
@@ -209,6 +361,10 @@ mod tests {
         assert!(doc.contains("\"cells_deduped\": 7"));
         assert!(doc.contains("\"preestimate_hits\": 3"));
         assert!(doc.contains("\"memo_entries_shared\": 120"));
+        assert!(doc.contains("\"pool_steals\": 5"));
+        assert!(doc.contains("\"parallel_efficiency\": 0.5"));
+        assert!(doc.contains("\"parallel_efficiency\": null"));
+        assert!(doc.contains("\"host_cpus\": 4"));
         assert!(doc.contains("\\\"quoted\\\""));
         // log2(0) must not produce invalid JSON.
         assert!(doc.contains("\"estimate_log2\": null"));
@@ -219,12 +375,32 @@ mod tests {
     #[test]
     fn matrix_covers_methods_and_threads() {
         let ms = counter_matrix(true, 7);
-        // 3 instances × (9 fpras settings + 1 exact).
-        assert_eq!(ms.len(), 30);
+        // 3 small instances × (9 fpras settings + 1 exact) + 2 large
+        // instances × (4 thread counts + 1 exact).
+        assert_eq!(ms.len(), 40);
         assert!(ms.iter().any(|m| m.method == "exact-dp"));
         assert!(ms.iter().any(|m| m.threads == 8));
         assert!(ms.iter().any(|m| m.method == "fpras(unbatched)"));
         assert!(ms.iter().any(|m| m.method == "fpras(unshared)"));
+        // The large skewed instances are present, thread-identical, and
+        // carry the efficiency column on every threads ≥ 1 row.
+        for prefix in ["dense-random-", "unrolled-contains-11"] {
+            let rows: Vec<_> = ms.iter().filter(|m| m.instance.starts_with(prefix)).collect();
+            assert_eq!(rows.len(), 5, "{prefix}");
+            let dets: Vec<f64> =
+                rows.iter().filter(|m| m.threads >= 1).map(|m| m.estimate).collect();
+            assert_eq!(dets.len(), 4, "{prefix}");
+            assert!(dets.windows(2).all(|w| w[0] == w[1]), "{prefix}: {dets:?}");
+            for m in rows.iter().filter(|m| m.method == "fpras(ours)") {
+                assert!(m.parallel_efficiency.is_some(), "{prefix} t={}", m.threads);
+            }
+            // Against exact ground truth (the ε band of the large rows).
+            let exact = rows.iter().find(|m| m.method == "exact-dp").expect("exact row").estimate;
+            for m in rows.iter().filter(|m| m.method != "exact-dp") {
+                let err = (m.estimate - exact).abs() / exact;
+                assert!(err < 0.5, "{prefix} t={}: err {err}", m.threads);
+            }
+        }
         // Deterministic policy: identical estimates for threads 1/2/4/8,
         // batched or not (batching shares work, never changes output).
         for (name, _) in [("contains-11", ()), ("ones-mod-4", ()), ("div-by-5", ())] {

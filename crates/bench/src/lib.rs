@@ -15,4 +15,4 @@ pub mod json;
 pub mod table;
 
 pub use experiments::{registry, Experiment};
-pub use json::{write_counter_json, CounterMeasurement, DEFAULT_JSON_PATH};
+pub use json::{scaling_smoke, write_counter_json, CounterMeasurement, DEFAULT_JSON_PATH};

@@ -11,8 +11,11 @@
 //! * [`Serial`] threads one caller RNG
 //!   through the cells in state order — the classic single-threaded run;
 //! * [`Deterministic`] fans each
-//!   pass out over scoped threads with per-cell SplitMix64 RNG streams,
-//!   bit-identical for every thread count.
+//!   pass out over its persistent work-stealing [`Pool`]
+//!   (`engine/pool.rs`, D10) with per-cell SplitMix64 RNG streams —
+//!   workers are spawned once per policy, parked between passes, and
+//!   rebalance skewed levels by stealing chunks; bit-identical for
+//!   every thread count and schedule.
 //!
 //! Every per-level computation (`run_group`, `assemble_count_cell`,
 //! `sample_cell`) lives here and is shared by both policies, so
@@ -65,6 +68,7 @@
 pub mod batch;
 pub mod memo;
 pub mod policy;
+pub mod pool;
 
 use crate::app_union;
 use crate::appunion::frontier_inputs;
@@ -73,7 +77,7 @@ use crate::error::FprasError;
 use crate::params::Params;
 use crate::run_stats::RunStats;
 use crate::sample_set::{SampleEntry, SampleSet};
-use crate::sampler::{estimate_frontier_union, sample_word};
+use crate::sampler::sample_word;
 use crate::table::{MemoKey, RunTable, SampleOutcome};
 use fpras_automata::ops::{trim, with_single_accepting};
 use fpras_automata::{Nfa, StateId, StateSet, StepMasks, Unrolling, Word};
@@ -85,6 +89,7 @@ use std::time::Instant;
 pub use batch::{FrontierGroup, LevelPlan};
 pub use memo::{MemoEntry, MemoTier, UnionMemo};
 pub use policy::{Deterministic, ExecutionPolicy, Serial};
+pub use pool::Pool;
 
 /// The normalized state a finished run keeps: the trimmed automaton
 /// (single accepting state `q_final`), its unrolling, the filled
@@ -153,6 +158,25 @@ pub struct CountPass {
     pub groups: Vec<GroupOut>,
     /// Per-cell assembled counts, in cell order (empty on truncation).
     pub cells: Vec<CountOut>,
+}
+
+/// One hot sampler frontier the sharing pre-pass (D9) should estimate:
+/// collected by the engine in canonical order, estimated by the policy
+/// ([`ExecutionPolicy::share_pass`]) on the frontier-keyed sampler
+/// streams.
+pub struct ShareJob {
+    /// The memo key the estimate will be seeded under.
+    pub key: MemoKey,
+    /// The frontier itself (the key stores only its raw bitset words).
+    pub frontier: StateSet,
+}
+
+/// Output of one sharing pre-pass estimation.
+pub struct ShareOut {
+    /// The sampler-precision union estimate for the job's frontier.
+    pub estimate: ExtFloat,
+    /// Counters attributable to this estimation.
+    pub stats: RunStats,
 }
 
 /// Output of one sample-pass cell.
@@ -299,9 +323,9 @@ pub fn sample_cell<R: Rng + ?Sized>(
     SampleOut { q, samples, genuine, padded, stats }
 }
 
-/// The sample-pass frontier-sharing pre-pass (DESIGN.md D9): estimates
-/// each of the level's *hot* sampler frontiers once and seeds the shared
-/// memo layer before any cell samples.
+/// Collects the sample-pass frontier-sharing pre-pass's work list
+/// (DESIGN.md D9): the level's *hot* sampler frontiers, in canonical
+/// order, that are not yet memoized.
 ///
 /// Hot frontiers are the depth-two predecessor frontiers a sampler walk
 /// from a live cell can query on its second backward step:
@@ -309,30 +333,23 @@ pub fn sample_cell<R: Rng + ?Sized>(
 /// `F` referenced by a live cell with a positive union estimate, and
 /// every symbol `b`. (Depth-one frontiers are the count-pass groups
 /// themselves, already seeded at [`MemoTier::Count`]; deeper frontiers
-/// depend on random branch choices and stay lazy.) Estimates run on the
-/// frontier-keyed sampler streams, so a cell that would have estimated
-/// the frontier lazily computes the identical value — sharing changes
-/// work, never output.
-///
-/// Budget granularity matches the Serial policy's passes: once the ops
-/// accumulated in `stats` exhaust `ops_remaining`, the pre-pass stops
-/// scheduling further estimations (the engine aborts with
-/// `BudgetExceeded` right after, so truncation only makes a doomed run
-/// fail faster, never changes a successful one).
-#[allow(clippy::too_many_arguments)]
-fn share_sampler_frontiers(
+/// depend on random branch choices and stay lazy.) Collection is pure
+/// set arithmetic — no membership ops — so the budget only constrains
+/// the estimations themselves, which the policy runs
+/// ([`ExecutionPolicy::share_pass`]) on the frontier-keyed sampler
+/// streams: a cell that would have estimated the frontier lazily
+/// computes the identical value, so sharing changes work, never output.
+fn collect_share_jobs(
     ctx: &EngineCtx<'_>,
     plan: &LevelPlan,
-    table: &RunTable,
-    memo: &mut UnionMemo,
+    memo: &UnionMemo,
     ell: usize,
     live: &[StateId],
-    ops_remaining: Option<u64>,
     stats: &mut RunStats,
-) {
+) -> Vec<ShareJob> {
     // The depth-two expansion needs a level ℓ−2 to land on.
     if ell < 2 {
-        return;
+        return Vec::new();
     }
     let mut is_live = vec![false; ctx.m];
     for &q in live {
@@ -347,11 +364,9 @@ fn share_sampler_frontiers(
             }
         }
     }
-    let ops_at_entry = stats.membership_ops;
-    let budget_spent =
-        |stats: &RunStats| ops_remaining.is_some_and(|b| stats.membership_ops - ops_at_entry > b);
     let mut seen: HashSet<MemoKey> = HashSet::new();
-    'groups: for (gi, group) in plan.groups().iter().enumerate() {
+    let mut jobs = Vec::new();
+    for (gi, group) in plan.groups().iter().enumerate() {
         if !group_used[gi] {
             continue;
         }
@@ -374,22 +389,10 @@ fn share_sampler_frontiers(
                 stats.share.keys_already_seeded += 1;
                 continue;
             }
-            let est = estimate_frontier_union(
-                ctx.params,
-                table,
-                ctx.n,
-                &key,
-                &fb,
-                ctx.sampler_seed,
-                stats,
-            );
-            memo.insert_first_wins(key, est, MemoTier::Shared);
-            stats.share.frontiers_preestimated += 1;
-            if budget_spent(stats) {
-                break 'groups;
-            }
+            jobs.push(ShareJob { key, frontier: fb });
         }
     }
+    jobs
 }
 
 /// Aborts the run once the membership-op budget is exceeded.
@@ -531,19 +534,22 @@ pub fn run_with_policy<P: ExecutionPolicy>(
             .filter(|&q| !table.cell(ell, q as usize).n_est.is_zero())
             .collect();
         if params.share_sampler_frontiers && params.memoize_unions {
+            let jobs = collect_share_jobs(&ctx, &plan, &memo, ell, &live, &mut stats);
             let ops_remaining =
                 params.max_membership_ops.map(|b| b.saturating_sub(stats.membership_ops));
-            share_sampler_frontiers(
-                &ctx,
-                &plan,
-                &table,
-                &mut memo,
-                ell,
-                &live,
-                ops_remaining,
-                &mut stats,
-            );
+            let outs = policy.share_pass(&ctx, &jobs, &table, ops_remaining);
+            debug_assert!(outs.len() <= jobs.len(), "share pass output exceeds job list");
+            let share_truncated = outs.len() < jobs.len();
+            // `zip` realizes the prefix semantics: a truncated pass
+            // seeds only what it estimated, and the budget check below
+            // aborts before any cell could observe the difference.
+            for (job, out) in jobs.iter().zip(outs) {
+                stats.merge(&out.stats);
+                memo.insert_first_wins(job.key.clone(), out.estimate, MemoTier::Shared);
+                stats.share.frontiers_preestimated += 1;
+            }
             check_budget(params, &stats)?;
+            debug_assert!(!share_truncated, "a pass may only stop early when the budget is spent");
         }
 
         // Commit the level's seeds (count tier + shared tier, plus the
@@ -573,6 +579,10 @@ pub fn run_with_policy<P: ExecutionPolicy>(
     }
 
     let estimate = table.cell(n, q_final as usize).n_est;
+    // Executor evidence (D10): drained once per run. Scheduling-only —
+    // everything above is bit-identical for any thread count; these
+    // counters record how the work actually spread over the workers.
+    stats.pool = policy.take_pool_stats();
     stats.wall = start.elapsed();
     Ok(FprasRun {
         inner: Some(RunInner { nfa: normalized, unroll, table, memo, sampler_seed, q_final }),

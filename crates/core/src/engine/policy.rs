@@ -13,9 +13,15 @@
 //! from a member cell. That is what makes batched and unbatched count
 //! passes bit-identical — see `engine/batch.rs`.
 
-use super::{assemble_count_cell, run_group, sample_cell, CountPass, EngineCtx, SampleOut};
+use super::{
+    assemble_count_cell, run_group, sample_cell, CountPass, EngineCtx, SampleOut, ShareJob,
+    ShareOut,
+};
 use crate::engine::memo::{MemoEntry, UnionMemo};
+use crate::engine::pool::Pool;
 use crate::engine::LevelPlan;
+use crate::run_stats::{PoolStats, RunStats};
+use crate::sampler::estimate_frontier_union;
 use crate::table::MemoKey;
 use fpras_automata::StateId;
 use fpras_numeric::ExtFloat;
@@ -88,6 +94,27 @@ pub trait ExecutionPolicy {
         memo: &mut UnionMemo,
         ops_remaining: Option<u64>,
     ) -> Vec<SampleOut>;
+
+    /// Runs the sample-pass frontier-sharing pre-pass (D9) over the
+    /// engine-collected hot-frontier `jobs`, returning one [`ShareOut`]
+    /// per job **in input order** (a prefix if the pass stops early on
+    /// budget exhaustion). Estimates run on the frontier-keyed sampler
+    /// streams, so scheduling cannot change the values — which is what
+    /// lets `Deterministic` fan the pre-pass out over its pool.
+    fn share_pass(
+        &mut self,
+        ctx: &EngineCtx<'_>,
+        jobs: &[ShareJob],
+        table: &crate::table::RunTable,
+        ops_remaining: Option<u64>,
+    ) -> Vec<ShareOut>;
+
+    /// Drains the policy's executor statistics (D10). The engine calls
+    /// this once per run and stores the result in `RunStats::pool`;
+    /// policies without an executor report nothing.
+    fn take_pool_stats(&mut self) -> PoolStats {
+        PoolStats::default()
+    }
 }
 
 /// True once `used` ops have exhausted an `ops_remaining` budget.
@@ -182,31 +209,71 @@ impl<R: Rng + ?Sized> ExecutionPolicy for Serial<'_, R> {
         }
         outs
     }
+
+    fn share_pass(
+        &mut self,
+        ctx: &EngineCtx<'_>,
+        jobs: &[ShareJob],
+        table: &crate::table::RunTable,
+        ops_remaining: Option<u64>,
+    ) -> Vec<ShareOut> {
+        // Per-estimation budget granularity, like the other Serial
+        // passes: stop scheduling as soon as the accumulated ops spend
+        // the remaining budget. Estimates come from the frontier-keyed
+        // sampler streams, not the caller RNG, so the main stream is
+        // untouched here.
+        let mut used = 0u64;
+        let mut outs = Vec::with_capacity(jobs.len());
+        for job in jobs {
+            let mut stats = RunStats::default();
+            let estimate = estimate_frontier_union(
+                ctx.params,
+                table,
+                ctx.n,
+                &job.key,
+                &job.frontier,
+                ctx.sampler_seed,
+                &mut stats,
+            );
+            used += stats.membership_ops;
+            outs.push(ShareOut { estimate, stats });
+            if budget_spent(used, ops_remaining) {
+                break;
+            }
+        }
+        outs
+    }
 }
 
 /// Deterministic multi-threaded execution: every `(level, state, phase)`
 /// cell derives its own RNG stream from the master seed via SplitMix64
-/// mixing, and each pass fans out over up to `threads` scoped OS
-/// threads. The sample pass gives every cell the level-start memo
-/// snapshot and merges new entries back in a canonical order, so the
-/// output is **bit-identical for any thread count** — `threads = 1`
-/// reproduces `threads = 8` exactly, which makes the speedup honestly
-/// attributable to scheduling alone.
+/// mixing, and each pass fans out over the policy's persistent
+/// work-stealing [`Pool`] (`engine/pool.rs`): workers are spawned once
+/// per policy, parked between passes, and balance skewed levels by
+/// stealing `steal_chunk`-sized chunks from each other's ranges. The
+/// sample pass gives every cell the level-start memo snapshot and
+/// merges new entries back in a canonical order, so the output is
+/// **bit-identical for any thread count and any schedule** —
+/// `threads = 1` reproduces `threads = 8` exactly, which makes the
+/// speedup honestly attributable to scheduling alone.
 pub struct Deterministic {
     master_seed: u64,
-    threads: usize,
+    pool: Pool,
 }
 
 impl Deterministic {
     /// A policy drawing per-cell streams from `master_seed`, running on
-    /// up to `threads` (≥ 1) worker threads.
+    /// up to `threads` (≥ 1) worker threads. The pool's `threads − 1`
+    /// OS workers are spawned here and live until the policy is
+    /// dropped; `threads = 1` spawns nothing and runs every pass
+    /// inline.
     pub fn new(master_seed: u64, threads: usize) -> Self {
-        Deterministic { master_seed, threads: threads.max(1) }
+        Deterministic { master_seed, pool: Pool::new(threads.max(1)) }
     }
 
     /// The configured thread cap.
     pub fn threads(&self) -> usize {
-        self.threads
+        self.pool.threads()
     }
 
     /// The master seed.
@@ -239,18 +306,26 @@ impl ExecutionPolicy for Deterministic {
     ) -> CountPass {
         let seed = self.master_seed;
         let ell = plan.level();
+        let chunk = ctx.params.steal_chunk;
         // Group RNG streams are keyed by the frontier's canonical tag —
         // independent of both scheduling and the member cells, so any
         // thread count (and batched vs unbatched) produces identical
-        // estimates.
+        // estimates. Group cost is dominated by AppUnion trials, the
+        // skewed part of the count pass, so worker ops are attributed
+        // here; cell assembly is summation only.
         let indices: Vec<usize> = (0..plan.groups().len()).collect();
-        let groups = chunked_map(&indices, self.threads, |&gi| {
-            let rng = group_rng(seed, plan.key(gi).rng_tag());
-            run_group(ctx, table, ell, &plan.groups()[gi], &rng)
-        });
+        let groups = self.pool.map_with_ops(
+            &indices,
+            chunk,
+            |&gi| {
+                let rng = group_rng(seed, plan.key(gi).rng_tag());
+                run_group(ctx, table, ell, &plan.groups()[gi], &rng)
+            },
+            |g| g.stats.membership_ops,
+        );
         let estimates: Vec<ExtFloat> = groups.iter().map(|g| g.estimate).collect();
         let cell_indices: Vec<usize> = (0..plan.cells().len()).collect();
-        let cells = chunked_map(&cell_indices, self.threads, |&i| {
+        let cells = self.pool.map(&cell_indices, chunk, |&i| {
             let q = plan.cells()[i];
             let mut rng = cell_rng(seed, ell, q, PHASE_COUNT);
             assemble_count_cell(ctx, ell, q, plan.cell_groups(i), &estimates, &mut rng)
@@ -274,8 +349,10 @@ impl ExecutionPolicy for Deterministic {
         // entries a cell inserts live in its own thin overlay.
         let base_len = memo.base_len() as u64;
         let snapshot = memo.snapshot();
-        let mut outs: Vec<(SampleOut, Vec<(MemoKey, MemoEntry)>)> =
-            chunked_map(cells, self.threads, |&q| {
+        let mut outs: Vec<(SampleOut, Vec<(MemoKey, MemoEntry)>)> = self.pool.map_with_ops(
+            cells,
+            ctx.params.steal_chunk,
+            |&q| {
                 let mut rng = cell_rng(seed, ell, q, PHASE_SAMPLE);
                 let mut local_memo = snapshot.snapshot();
                 let mut out = sample_cell(ctx, table, &mut local_memo, ell, q, &mut rng);
@@ -284,7 +361,9 @@ impl ExecutionPolicy for Deterministic {
                 out.stats.memo.entries_shared += base_len;
                 out.stats.memo.overlay_entries += memo_new.len() as u64;
                 (out, memo_new)
-            });
+            },
+            |(out, _)| out.stats.membership_ops,
+        );
         // HashMap iteration order is nondeterministic; sort each cell's
         // new entries so the first-wins merge is stable across runs and
         // thread counts. (With frontier-keyed sampler streams the values
@@ -300,6 +379,42 @@ impl ExecutionPolicy for Deterministic {
             results.push(out);
         }
         results
+    }
+
+    // The pre-pass shares the count/sample passes' granularity choice:
+    // it always completes (cooperative mid-pass cancellation would make
+    // error-path op totals depend on scheduling). Estimates are
+    // frontier-keyed, so fanning them out cannot change any value a
+    // lazily-estimating cell would have computed.
+    fn share_pass(
+        &mut self,
+        ctx: &EngineCtx<'_>,
+        jobs: &[ShareJob],
+        table: &crate::table::RunTable,
+        _ops_remaining: Option<u64>,
+    ) -> Vec<ShareOut> {
+        self.pool.map_with_ops(
+            jobs,
+            ctx.params.steal_chunk,
+            |job| {
+                let mut stats = RunStats::default();
+                let estimate = estimate_frontier_union(
+                    ctx.params,
+                    table,
+                    ctx.n,
+                    &job.key,
+                    &job.frontier,
+                    ctx.sampler_seed,
+                    &mut stats,
+                );
+                ShareOut { estimate, stats }
+            },
+            |out| out.stats.membership_ops,
+        )
+    }
+
+    fn take_pool_stats(&mut self) -> PoolStats {
+        self.pool.take_stats()
     }
 }
 
@@ -327,34 +442,6 @@ pub(crate) fn group_rng(master: u64, tag: u64) -> SmallRng {
     SmallRng::seed_from_u64(mixed)
 }
 
-/// Maps `f` over `items` on up to `threads` scoped worker threads,
-/// returning outputs in input order (chunked statically, so the split is
-/// deterministic; `f` must not rely on cross-item state).
-pub(crate) fn chunked_map<T, U, F>(items: &[T], threads: usize, f: F) -> Vec<U>
-where
-    T: Sync,
-    U: Send,
-    F: Fn(&T) -> U + Sync,
-{
-    let threads = threads.max(1).min(items.len().max(1));
-    if threads <= 1 {
-        return items.iter().map(&f).collect();
-    }
-    let chunk = items.len().div_ceil(threads);
-    let mut chunks_out: Vec<Vec<U>> = Vec::new();
-    std::thread::scope(|s| {
-        let handles: Vec<_> = items
-            .chunks(chunk)
-            .map(|c| {
-                let f = &f;
-                s.spawn(move || c.iter().map(f).collect::<Vec<U>>())
-            })
-            .collect();
-        chunks_out = handles.into_iter().map(|h| h.join().expect("worker panicked")).collect();
-    });
-    chunks_out.into_iter().flatten().collect()
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -370,15 +457,6 @@ mod tests {
         let all = [a, b, c, d];
         let distinct: std::collections::HashSet<_> = all.iter().collect();
         assert_eq!(distinct.len(), all.len());
-    }
-
-    #[test]
-    fn chunked_map_preserves_order() {
-        let items: Vec<u32> = (0..103).collect();
-        for threads in [1, 2, 3, 8, 200] {
-            let out = chunked_map(&items, threads, |&x| x * 2);
-            assert_eq!(out, items.iter().map(|&x| x * 2).collect::<Vec<_>>(), "t={threads}");
-        }
     }
 
     #[test]

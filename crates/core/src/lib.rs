@@ -75,13 +75,13 @@ pub use appunion::{app_union, frontier_inputs, UnionEstimate, UnionSetInput};
 pub use counter::FprasRun;
 pub use engine::{
     run_parallel, run_with_policy, Deterministic, ExecutionPolicy, FrontierGroup, LevelPlan,
-    MemoEntry, MemoTier, Serial, UnionMemo,
+    MemoEntry, MemoTier, Pool, Serial, UnionMemo,
 };
 pub use error::FprasError;
 pub use generator::UniformGenerator;
 pub use median::{median_amplified, median_amplified_parallel, runs_needed, MedianEstimate};
 pub use params::{CursorPolicy, Params, Profile};
-pub use run_stats::{BatchStats, MemoStats, RunStats, ShareStats};
+pub use run_stats::{BatchStats, MemoStats, PoolStats, RunStats, ShareStats};
 pub use sample_set::{SampleEntry, SampleSet};
 pub use table::SampleOutcome;
 

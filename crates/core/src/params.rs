@@ -108,6 +108,15 @@ pub struct Params {
     /// sample-pass mirror of [`Params::batch_unions`]. Ignored (no
     /// pre-pass runs) when `memoize_unions` is off.
     pub share_sampler_frontiers: bool,
+    /// Work items the executor claims per cursor interaction (D10): the
+    /// granularity of both normal claiming and stealing in the
+    /// `Deterministic` policy's work-stealing pool, and the
+    /// sequential-fallback cutoff (passes with fewer items than
+    /// `threads × steal_chunk` run inline instead of waking workers).
+    /// Scheduling-only: any value produces bit-identical output. Small
+    /// values balance skewed levels better; larger values cut atomic
+    /// traffic on uniform ones.
+    pub steal_chunk: usize,
     /// Optional hard cap on membership operations; the run aborts with
     /// [`FprasError::BudgetExceeded`] when exceeded.
     pub max_membership_ops: Option<u64>,
@@ -149,6 +158,7 @@ impl Params {
             trim_dead: false,
             batch_unions: false,
             share_sampler_frontiers: false,
+            steal_chunk: 2,
             max_membership_ops: None,
         }
     }
@@ -187,6 +197,7 @@ impl Params {
             trim_dead: true,
             batch_unions: true,
             share_sampler_frontiers: true,
+            steal_chunk: 2,
             max_membership_ops: None,
         }
     }
@@ -224,6 +235,9 @@ impl Params {
             if !(v > 0.0 && v.is_finite()) {
                 return Err(FprasError::InvalidParams(format!("{name} must be positive, got {v}")));
             }
+        }
+        if self.steal_chunk == 0 {
+            return Err(FprasError::InvalidParams("steal_chunk must be positive".into()));
         }
         if self.gamma_scale > 1.0 {
             return Err(FprasError::InvalidParams(format!(
@@ -342,6 +356,9 @@ mod tests {
         assert!(p.validate().is_err());
         let mut p = Params::practical(0.3, 0.05, 8, 8);
         p.gamma_scale = 1.5;
+        assert!(p.validate().is_err());
+        let mut p = Params::practical(0.3, 0.05, 8, 8);
+        p.steal_chunk = 0;
         assert!(p.validate().is_err());
     }
 

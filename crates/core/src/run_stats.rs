@@ -118,6 +118,86 @@ impl ShareStats {
     }
 }
 
+/// Counters for the work-stealing executor (`engine/pool.rs`, D10).
+///
+/// Unlike every other stat block, these are **scheduling evidence**,
+/// not part of the run's deterministic output: which worker ran how
+/// many items and how many chunks were stolen depend on OS timing by
+/// design. The run's *results* stay bit-identical for any thread count
+/// (the executor's contract); these counters record how evenly the
+/// work spread, which is exactly what the old static chunking could
+/// not guarantee on skewed levels.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Passes fanned out over the pool's workers.
+    pub parallel_passes: u64,
+    /// Passes that took the sequential cutoff (fewer items than
+    /// `threads × steal_chunk`) and ran inline on the caller.
+    pub sequential_passes: u64,
+    /// Items executed across all parallel passes.
+    pub parallel_items: u64,
+    /// Items executed inline by sequential-cutoff passes.
+    pub sequential_items: u64,
+    /// Chunks a worker claimed from another worker's range.
+    pub steals: u64,
+    /// Items run per worker (index 0 = the calling thread), summed over
+    /// all parallel passes.
+    pub worker_items: Vec<u64>,
+    /// Membership ops run per worker, summed over all parallel passes —
+    /// the skew evidence: static chunking leaves these unbounded apart,
+    /// stealing pulls them together.
+    pub worker_ops: Vec<u64>,
+}
+
+impl PoolStats {
+    /// Adds one pass's per-worker counters (resizing on first use).
+    pub fn fold_workers(
+        &mut self,
+        items: impl IntoIterator<Item = u64>,
+        ops: impl IntoIterator<Item = u64>,
+    ) {
+        for (w, v) in items.into_iter().enumerate() {
+            if self.worker_items.len() <= w {
+                self.worker_items.resize(w + 1, 0);
+            }
+            self.worker_items[w] += v;
+        }
+        for (w, v) in ops.into_iter().enumerate() {
+            if self.worker_ops.len() <= w {
+                self.worker_ops.resize(w + 1, 0);
+            }
+            self.worker_ops[w] += v;
+        }
+    }
+
+    /// Max/min per-worker op ratio over all parallel passes — the
+    /// balance evidence. `None` when no parallel pass ran or ops were
+    /// never attributed; infinity when some worker ran zero ops while
+    /// another worked (possible when workers time-slice a single
+    /// hardware thread: one worker can legally drain everything).
+    pub fn ops_balance_ratio(&self) -> Option<f64> {
+        let max = self.worker_ops.iter().copied().max()?;
+        let min = self.worker_ops.iter().copied().min()?;
+        if max == 0 {
+            return None;
+        }
+        if min == 0 {
+            return Some(f64::INFINITY);
+        }
+        Some(max as f64 / min as f64)
+    }
+
+    /// Accumulates another run's counters.
+    pub fn merge(&mut self, other: &PoolStats) {
+        self.parallel_passes += other.parallel_passes;
+        self.sequential_passes += other.sequential_passes;
+        self.parallel_items += other.parallel_items;
+        self.sequential_items += other.sequential_items;
+        self.steals += other.steals;
+        self.fold_workers(other.worker_items.iter().copied(), other.worker_ops.iter().copied());
+    }
+}
+
 /// Counters collected during one FPRAS run.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct RunStats {
@@ -158,6 +238,9 @@ pub struct RunStats {
     pub memo: MemoStats,
     /// Sample-pass frontier-sharing counters (D9).
     pub share: ShareStats,
+    /// Work-stealing executor counters (D10; scheduling evidence only —
+    /// see [`PoolStats`]).
+    pub pool: PoolStats,
     /// Wall-clock duration of the run.
     pub wall: Duration,
 }
@@ -209,6 +292,7 @@ impl RunStats {
         self.batch.merge(&other.batch);
         self.memo.merge(&other.memo);
         self.share.merge(&other.share);
+        self.pool.merge(&other.pool);
         self.wall += other.wall;
     }
 }
@@ -281,6 +365,42 @@ mod tests {
         assert_eq!(a.share.frontiers_preestimated, 3);
         assert_eq!(a.share.preestimate_hits, 7);
         assert_eq!(a.share.keys_already_seeded, 1);
+    }
+
+    #[test]
+    fn pool_merge_and_balance_ratio() {
+        let mut a = PoolStats {
+            parallel_passes: 2,
+            sequential_passes: 1,
+            parallel_items: 20,
+            sequential_items: 3,
+            steals: 4,
+            worker_items: vec![12, 8],
+            worker_ops: vec![100, 50],
+        };
+        let b = PoolStats {
+            parallel_passes: 1,
+            sequential_passes: 0,
+            parallel_items: 10,
+            sequential_items: 0,
+            steals: 1,
+            worker_items: vec![4, 3, 3],
+            worker_ops: vec![10, 20, 30],
+        };
+        a.merge(&b);
+        assert_eq!(a.parallel_passes, 3);
+        assert_eq!(a.sequential_passes, 1);
+        assert_eq!(a.parallel_items, 30);
+        assert_eq!(a.steals, 5);
+        assert_eq!(a.worker_items, vec![16, 11, 3]);
+        assert_eq!(a.worker_ops, vec![110, 70, 30]);
+        assert!((a.ops_balance_ratio().unwrap() - 110.0 / 30.0).abs() < 1e-12);
+        // Degenerate shapes.
+        assert_eq!(PoolStats::default().ops_balance_ratio(), None);
+        let idle = PoolStats { worker_ops: vec![0, 0], ..Default::default() };
+        assert_eq!(idle.ops_balance_ratio(), None);
+        let starved = PoolStats { worker_ops: vec![5, 0], ..Default::default() };
+        assert_eq!(starved.ops_balance_ratio(), Some(f64::INFINITY));
     }
 
     #[test]

@@ -19,6 +19,34 @@ pub fn all_words() -> Nfa {
     b.build().expect("all_words is valid")
 }
 
+/// Explicitly unrolls `nfa` to horizon `n`: state `(ℓ, q)` is
+/// `ℓ·m + q`, transitions only advance a level, and only level-`n`
+/// copies of accepting states accept. The length-`n` slice is unchanged
+/// (`|L(A'_n)| = |L(A_n)|`), but the automaton is `(n+1)·m` states wide
+/// and every level's cells carry their own copies of the original
+/// predecessor structure — the classic *skew* shape (one hub state's
+/// copies dominate each level) that stresses frontier sharing and
+/// work-stealing schedulers. Shorter slices are empty.
+pub fn unrolled(nfa: &Nfa, n: usize) -> Nfa {
+    let m = nfa.num_states();
+    let mut b = NfaBuilder::new(nfa.alphabet().clone());
+    b.add_states(m * (n + 1));
+    b.set_initial(nfa.initial());
+    for f in nfa.accepting().iter() {
+        b.add_accepting((n * m + f) as StateId);
+    }
+    for ell in 0..n {
+        for (from, sym, to) in nfa.transitions() {
+            b.add_transition(
+                ell as StateId * m as StateId + from,
+                sym,
+                (ell + 1) as StateId * m as StateId + to,
+            );
+        }
+    }
+    b.build().expect("unrolled automaton is well-formed")
+}
+
 /// Words whose number of `1`s is divisible by `k`:
 /// a `k`-state deterministic ring counter.
 pub fn ones_mod_k(k: usize) -> Nfa {
@@ -375,6 +403,20 @@ mod tests {
             let nfa = halves_differ(k);
             assert_eq!(count_exact(&nfa, 2 * k).unwrap(), halves_differ_count(k), "k={k}");
             assert_eq!(count_exact(&nfa, 2 * k).unwrap(), brute_force_count(&nfa, 2 * k));
+        }
+    }
+
+    #[test]
+    fn unrolled_preserves_the_top_slice() {
+        let base = contains_substring(&[1, 1]);
+        for n in [4usize, 7] {
+            let un = unrolled(&base, n);
+            assert_eq!(un.num_states(), base.num_states() * (n + 1));
+            assert_eq!(count_exact(&un, n).unwrap(), count_exact(&base, n).unwrap(), "n={n}");
+            // Shorter slices cannot reach the level-n accepting copies.
+            if n > 0 {
+                assert_eq!(count_exact(&un, n - 1).unwrap(), BigUint::from_u64(0));
+            }
         }
     }
 

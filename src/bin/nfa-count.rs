@@ -41,6 +41,7 @@ struct Args {
     stats: bool,
     no_batch: bool,
     no_share: bool,
+    steal_chunk: Option<usize>,
 }
 
 #[derive(Clone, Copy, PartialEq, Eq)]
@@ -57,15 +58,17 @@ fn usage() -> ! {
          \t[--method fpras|path-is|dp|bdd] [--threads T=0]\n\
          \t[--eps E=0.2] [--delta D=0.05] [--seed S=42] [--sample K]\n\
          \t[--enumerate K] [--exact] [--dot] [--stats] [--no-batch]\n\
-         \t[--no-share]\n\
+         \t[--no-share] [--steal-chunk C=2]\n\
          \n\
          --threads 0 runs the FPRAS engine's Serial policy; T >= 1 runs\n\
          the Deterministic policy on T workers (output depends only on\n\
          --seed, never on T). --no-batch disables batched union\n\
          estimation and --no-share disables sample-pass frontier\n\
          sharing (same output, more work; for benchmarking).\n\
+         --steal-chunk sets the work-stealing executor's claim\n\
+         granularity (scheduling-only: any value is bit-identical).\n\
          --stats prints the full run counters, including the batching,\n\
-         memo, and sharing layers' numbers."
+         memo, sharing, and executor layers' numbers."
     );
     std::process::exit(2)
 }
@@ -87,6 +90,7 @@ fn parse_args() -> Args {
         stats: false,
         no_batch: false,
         no_share: false,
+        steal_chunk: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -110,6 +114,9 @@ fn parse_args() -> Args {
             "--stats" => args.stats = true,
             "--no-batch" => args.no_batch = true,
             "--no-share" => args.no_share = true,
+            "--steal-chunk" => {
+                args.steal_chunk = Some(value(&mut i).parse().unwrap_or_else(|_| usage()))
+            }
             "--method" => {
                 args.method = match value(&mut i).as_str() {
                     "fpras" => Method::Fpras,
@@ -145,8 +152,10 @@ fn parse_args() -> Args {
     if args.n == usize::MAX || (args.regex.is_none() == args.file.is_none()) {
         usage();
     }
-    if args.method != Method::Fpras && (args.stats || args.no_batch || args.no_share) {
-        eprintln!("--stats, --no-batch and --no-share require --method fpras");
+    if args.method != Method::Fpras
+        && (args.stats || args.no_batch || args.no_share || args.steal_chunk.is_some())
+    {
+        eprintln!("--stats, --no-batch, --no-share and --steal-chunk require --method fpras");
         usage();
     }
     args
@@ -210,6 +219,17 @@ fn report_stats(s: &RunStats) {
     println!("  share pre-estimated  {}", s.share.frontiers_preestimated);
     println!("  share pre-est hits   {}", s.share.preestimate_hits);
     println!("  share already seeded {}", s.share.keys_already_seeded);
+    println!("  pool parallel passes {}", s.pool.parallel_passes);
+    println!("  pool parallel items  {}", s.pool.parallel_items);
+    println!("  pool sequential pass {}", s.pool.sequential_passes);
+    println!("  pool sequential item {}", s.pool.sequential_items);
+    println!("  pool steals          {}", s.pool.steals);
+    println!("  pool worker items    {:?}", s.pool.worker_items);
+    println!("  pool worker ops      {:?}", s.pool.worker_ops);
+    match s.pool.ops_balance_ratio() {
+        Some(r) => println!("  pool ops balance     {r:.3}"),
+        None => println!("  pool ops balance     n/a"),
+    }
     println!("  wall                 {:?}", s.wall);
 }
 
@@ -247,6 +267,9 @@ fn main() {
             }
             if args.no_share {
                 params.share_sampler_frontiers = false;
+            }
+            if let Some(chunk) = args.steal_chunk {
+                params.steal_chunk = chunk;
             }
             let threads = args.threads.unwrap_or(0);
             // threads = 0: Serial policy (one RNG threaded through the

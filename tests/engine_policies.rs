@@ -15,7 +15,7 @@ use fpras_workloads::families;
 use rand::{rngs::SmallRng, SeedableRng};
 
 #[test]
-fn deterministic_policy_bit_identical_across_1_2_8_threads() {
+fn deterministic_policy_bit_identical_across_1_2_8_16_threads() {
     for (label, nfa, n) in [
         ("contains-11", families::contains_substring(&[1, 1]), 10usize),
         ("ones-mod-3", families::ones_mod_k(3), 9),
@@ -23,7 +23,11 @@ fn deterministic_policy_bit_identical_across_1_2_8_threads() {
         let m = nfa.num_states();
         let params = Params::practical(0.3, 0.1, m, n);
         for seed in [7u64, 99] {
-            let runs: Vec<_> = [1usize, 2, 8]
+            // threads = 16 oversubscribes every host this runs on — the
+            // work-stealing pool must stay bit-identical even when
+            // workers outnumber both the hardware and most levels'
+            // items (the sequential cutoff then eats whole passes).
+            let runs: Vec<_> = [1usize, 2, 8, 16]
                 .iter()
                 .map(|&t| run_parallel(&nfa, n, &params, seed, t).unwrap())
                 .collect();
@@ -202,6 +206,45 @@ fn run_stats_union_invariants_hold_for_all_paths() {
             }
         }
     }
+}
+
+#[test]
+fn pool_stats_surface_matches_the_policy() {
+    // Serial runs never touch the executor; Deterministic runs account
+    // for every scheduled item exactly once, either on the pool or on
+    // the sequential-cutoff path.
+    let narrow = families::contains_substring(&[1, 1]);
+    let n = 10;
+    let params = Params::practical(0.3, 0.1, narrow.num_states(), n);
+    let mut rng = SmallRng::seed_from_u64(3);
+    let serial = FprasRun::run(&narrow, n, &params, &mut rng).unwrap();
+    assert_eq!(serial.stats().pool, fpras_core::PoolStats::default(), "serial has no pool");
+
+    let det = run_parallel(&narrow, n, &params, 3, 4).unwrap();
+    let pool = &det.stats().pool;
+    assert!(pool.parallel_items + pool.sequential_items > 0, "passes must be recorded");
+    assert_eq!(pool.worker_items.iter().sum::<u64>(), pool.parallel_items, "item attribution");
+    // contains-11 normalizes to ≤ 4 states: every pass is below the
+    // threads × steal_chunk = 8 cutoff, so nothing may wake the pool.
+    assert_eq!(pool.parallel_passes, 0, "tiny levels must take the sequential cutoff");
+    assert_eq!(pool.steals, 0);
+
+    // A wide instance must actually engage the pool.
+    let wide = fpras_workloads::random_nfa(
+        &fpras_workloads::RandomNfaConfig { states: 24, alphabet: 2, density: 2.0, accepting: 2 },
+        &mut SmallRng::seed_from_u64(71),
+    );
+    let params = Params::practical(0.4, 0.1, wide.num_states(), 8);
+    let det = run_parallel(&wide, 8, &params, 5, 4).unwrap();
+    let pool = &det.stats().pool;
+    assert!(pool.parallel_passes > 0, "wide levels must fan out: {pool:?}");
+    assert_eq!(pool.worker_items.iter().sum::<u64>(), pool.parallel_items);
+    // Worker-attributed ops are a subset of the run's membership ops
+    // (cell assembly and sequential passes are not attributed).
+    assert!(
+        pool.worker_ops.iter().sum::<u64>() <= det.stats().membership_ops,
+        "attributed ops cannot exceed the run total"
+    );
 }
 
 #[test]

@@ -59,13 +59,49 @@ fn stats_flag_reports_batching_counters() {
     assert_eq!(estimate(&stdout), estimate(&stdout3), "sharing must not change the estimate");
     assert!(stdout3.contains("share pre-estimated  0"), "{stdout3}");
     assert!(stdout3.contains("share pre-est hits   0"), "{stdout3}");
+    // The executor layer (D10) reports through the same surface; a
+    // serial run never touches the pool.
+    assert!(stdout.contains("pool parallel passes"), "{stdout}");
+    assert!(stdout.contains("pool steals"), "{stdout}");
+    assert_eq!(grab("pool parallel passes"), 0, "serial runs have no pool");
+}
+
+#[test]
+fn steal_chunk_flag_is_scheduling_only() {
+    // Different chunk sizes (including one forcing the sequential
+    // cutoff everywhere) must reproduce the threaded estimate exactly.
+    let base = ["--regex", "(0|1)*11(0|1)*", "-n", "10", "--seed", "7", "--threads", "4"];
+    let estimate = |s: &str| s.lines().find(|l| l.starts_with("estimate")).map(String::from);
+    let (stdout, stderr, ok) = run(&base);
+    assert!(ok, "stderr: {stderr}");
+    for chunk in ["1", "3", "1000"] {
+        let mut args = base.to_vec();
+        args.extend_from_slice(&["--steal-chunk", chunk]);
+        let (stdout2, stderr2, ok2) = run(&args);
+        assert!(ok2, "stderr: {stderr2}");
+        assert_eq!(
+            estimate(&stdout),
+            estimate(&stdout2),
+            "steal chunk {chunk} must not change the estimate"
+        );
+    }
+    // Chunk 0 is rejected by parameter validation.
+    let mut args = base.to_vec();
+    args.extend_from_slice(&["--steal-chunk", "0"]);
+    let (_, stderr0, ok0) = run(&args);
+    assert!(!ok0, "steal chunk 0 must be rejected");
+    assert!(stderr0.contains("steal_chunk"), "{stderr0}");
 }
 
 #[test]
 fn stats_and_no_batch_are_fpras_only() {
-    for flag in ["--stats", "--no-batch", "--no-share"] {
-        let (_, stderr, ok) = run(&["--regex", "1*", "-n", "8", "--method", "dp", flag]);
-        assert!(!ok, "{flag} with --method dp must be a usage error");
+    for flags in
+        [&["--stats"][..], &["--no-batch"][..], &["--no-share"][..], &["--steal-chunk", "4"][..]]
+    {
+        let mut args = vec!["--regex", "1*", "-n", "8", "--method", "dp"];
+        args.extend_from_slice(flags);
+        let (_, stderr, ok) = run(&args);
+        assert!(!ok, "{flags:?} with --method dp must be a usage error");
         assert!(stderr.contains("require --method fpras"), "{stderr}");
     }
 }
