@@ -24,44 +24,60 @@ pub struct Unrolling {
     n: usize,
     /// `reach[ℓ]` = states with a length-`ℓ` path from the initial state.
     reach: Vec<StateSet>,
-    /// `alive[ℓ]` = states with a length-`(n-ℓ)` path to an accepting state.
-    alive: Vec<StateSet>,
+    /// `dist[d]` = states with a length-`d` path to an accepting state,
+    /// so `alive(ℓ) = dist[n-ℓ]`. Indexing by *distance* instead of by
+    /// level makes both families prefix-stable under horizon growth:
+    /// [`Unrolling::extend_to`] only appends, it never recomputes.
+    dist: Vec<StateSet>,
 }
 
 impl Unrolling {
     /// Computes both families in `O(n·|Δ|)`.
     pub fn new(nfa: &Nfa, n: usize) -> Self {
-        let m = nfa.num_states();
-        let k = nfa.alphabet().size() as u8;
-
-        let mut reach = Vec::with_capacity(n + 1);
-        reach.push(StateSet::singleton(m, nfa.initial() as usize));
-        for ell in 1..=n {
-            let prev = &reach[ell - 1];
-            let mut cur = StateSet::empty(m);
-            for sym in 0..k {
-                cur.union_with(&nfa.step(prev, sym));
-            }
-            reach.push(cur);
-        }
-
-        let mut alive = vec![StateSet::empty(m); n + 1];
-        alive[n] = nfa.accepting().clone();
-        for ell in (0..n).rev() {
-            let next = alive[ell + 1].clone();
-            let mut cur = StateSet::empty(m);
-            for sym in 0..k {
-                cur.union_with(&nfa.step_back(&next, sym));
-            }
-            alive[ell] = cur;
-        }
-
-        Unrolling { n, reach, alive }
+        let mut u = Unrolling {
+            n: 0,
+            reach: vec![StateSet::singleton(nfa.num_states(), nfa.initial() as usize)],
+            dist: vec![nfa.accepting().clone()],
+        };
+        u.extend_to(nfa, n);
+        u
     }
 
     /// The horizon `n`.
     pub fn horizon(&self) -> usize {
         self.n
+    }
+
+    /// Extends the view to a larger horizon `n` in place (no-op when the
+    /// horizon is already `≥ n`), in `O((n − old) · |Δ|)`.
+    ///
+    /// Both families are stored horizon-independently — `reach` is the
+    /// forward closure from the initial state, `dist` the backward
+    /// closure from the accepting set, indexed by distance — so
+    /// extension appends the missing entries and keeps every existing
+    /// set verbatim. Only the *interpretation* of `alive(ℓ)` (distance
+    /// `n − ℓ`) shifts with the horizon, which is why incremental
+    /// engine runs (`QuerySession`, DESIGN.md D11) must not consult it.
+    pub fn extend_to(&mut self, nfa: &Nfa, n: usize) {
+        if n <= self.n {
+            return;
+        }
+        let m = nfa.num_states();
+        let k = nfa.alphabet().size() as u8;
+        let closure = |sets: &mut Vec<StateSet>, step: &dyn Fn(&StateSet, u8) -> StateSet| {
+            sets.reserve(n - sets.len() + 1);
+            while sets.len() <= n {
+                let prev = sets.last().expect("families always hold index 0");
+                let mut cur = StateSet::empty(m);
+                for sym in 0..k {
+                    cur.union_with(&step(prev, sym));
+                }
+                sets.push(cur);
+            }
+        };
+        closure(&mut self.reach, &|set, sym| nfa.step(set, sym));
+        closure(&mut self.dist, &|set, sym| nfa.step_back(set, sym));
+        self.n = n;
     }
 
     /// States `q` with `L(qℓ) ≠ ∅`.
@@ -71,19 +87,19 @@ impl Unrolling {
 
     /// States that can reach the accepting set in exactly `n - ℓ` steps.
     pub fn alive(&self, level: usize) -> &StateSet {
-        &self.alive[level]
+        &self.dist[self.n - level]
     }
 
     /// True iff `qℓ` is both reachable and alive — i.e. the state copy
     /// participates in some accepting length-`n` run.
     pub fn useful(&self, q: StateId, level: usize) -> bool {
-        self.reach[level].contains(q as usize) && self.alive[level].contains(q as usize)
+        self.reach[level].contains(q as usize) && self.alive(level).contains(q as usize)
     }
 
     /// True iff `L(A_n)` is non-empty.
     pub fn language_nonempty(&self) -> bool {
         let mut last = self.reach[self.n].clone();
-        last.intersect_with(&self.alive[self.n]);
+        last.intersect_with(self.alive(self.n));
         !last.is_empty()
     }
 
@@ -221,6 +237,43 @@ mod tests {
         // Witness for q2 at level 2 must be "11" (only option).
         let w = u.witness(&nfa, 2, 2).unwrap();
         assert_eq!(w.symbols(), &[1, 1]);
+    }
+
+    #[test]
+    fn extend_to_matches_fresh_unrolling() {
+        let nfa = contains_11();
+        // Grow 0 → 3 → 7 and compare against fresh views at each stop:
+        // reach must be extended in place (prefix-stable), alive must be
+        // recomputed for the new horizon.
+        let mut grown = Unrolling::new(&nfa, 0);
+        for horizon in [3usize, 7] {
+            grown.extend_to(&nfa, horizon);
+            let fresh = Unrolling::new(&nfa, horizon);
+            assert_eq!(grown.horizon(), horizon);
+            for ell in 0..=horizon {
+                assert_eq!(
+                    grown.reachable(ell).iter().collect::<Vec<_>>(),
+                    fresh.reachable(ell).iter().collect::<Vec<_>>(),
+                    "reach at {ell}/{horizon}"
+                );
+                assert_eq!(
+                    grown.alive(ell).iter().collect::<Vec<_>>(),
+                    fresh.alive(ell).iter().collect::<Vec<_>>(),
+                    "alive at {ell}/{horizon}"
+                );
+                for q in 0..3u32 {
+                    assert_eq!(
+                        grown.witness(&nfa, q, ell),
+                        fresh.witness(&nfa, q, ell),
+                        "witness at ({q}, {ell})"
+                    );
+                }
+            }
+            assert_eq!(grown.language_nonempty(), fresh.language_nonempty());
+        }
+        // Shrinking is a no-op.
+        grown.extend_to(&nfa, 2);
+        assert_eq!(grown.horizon(), 7);
     }
 
     #[test]

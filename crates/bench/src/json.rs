@@ -59,6 +59,16 @@ pub struct CounterMeasurement {
     /// (`std::thread::available_parallelism`) — the honest ceiling for
     /// the efficiency column.
     pub host_cpus: usize,
+    /// Queries answered by this row (1 for plain single-run rows; the
+    /// trace length for query-trace rows).
+    pub queries_served: u64,
+    /// DP levels answered from an existing session checkpoint instead
+    /// of being rebuilt (query-trace session rows only; zero for
+    /// single-run rows and the fresh-per-query control).
+    pub levels_reused: u64,
+    /// Amortized microseconds per query (`None` for single-run rows —
+    /// the per-query framing only means something over a trace).
+    pub us_per_query: Option<f64>,
 }
 
 /// Hardware threads on the recording host.
@@ -94,7 +104,132 @@ fn measure(
         pool_steals: r.pool_steals,
         parallel_efficiency: None,
         host_cpus: host_cpus(),
+        queries_served: 1,
+        levels_reused: 0,
+        us_per_query: None,
     }
+}
+
+/// The query-trace bench family: one mixed-length stream over two
+/// automata, served once through a [`ServiceRegistry`] (one session per
+/// automaton, levels reused across related lengths) and once by the
+/// fresh-run-per-query control (what a stateless deployment pays).
+/// Both modes answer every query with the **same** Deterministic seed,
+/// so their per-query estimates are bit-identical — the session rows
+/// differ only in `wall`/`ops`/`levels_reused`, which is exactly the
+/// amortization evidence. Single-threaded on purpose: the recording
+/// host has 1 CPU, so the honest claim is level reuse, not thread
+/// scaling.
+fn service_trace_rows(quick: bool, seed: u64) -> Vec<CounterMeasurement> {
+    use fpras_core::service::{ServiceRegistry, SessionPolicy};
+    use fpras_core::{run_parallel, Params};
+    use fpras_workloads::{query_trace, QueryTraceConfig};
+    use std::time::Instant;
+
+    let (queries, max_len) = if quick { (16, 10) } else { (40, 14) };
+    let automata = [families::contains_substring(&[1, 1]), families::ones_mod_k(4)];
+    let config = QueryTraceConfig {
+        queries,
+        automata: automata.len(),
+        min_len: 4,
+        max_len,
+        repeat_bias: 0.6,
+    };
+    let trace = query_trace(&config, &mut SmallRng::seed_from_u64(seed ^ 0x7ACE));
+    let params: Vec<Params> = automata
+        .iter()
+        .map(|nfa| Params::for_session(0.25, 0.1, nfa.num_states(), max_len))
+        .collect();
+    let policy = SessionPolicy::Deterministic { seed, threads: 1 };
+    let instance = format!("query-trace/q={queries}");
+
+    // Session mode: one registry, one session per automaton. Keys are
+    // precomputed so the serving loop never re-hashes an automaton.
+    let keys: Vec<_> = automata
+        .iter()
+        .zip(&params)
+        .map(|(nfa, p)| fpras_core::service::SessionKey::new(nfa, p, &policy))
+        .collect();
+    let mut registry = ServiceRegistry::new(automata.len());
+    let start = Instant::now();
+    let mut last = fpras_numeric::ExtFloat::ZERO;
+    for q in &trace {
+        let session = registry
+            .session_with_key(
+                keys[q.automaton].clone(),
+                &automata[q.automaton],
+                &params[q.automaton],
+                &policy,
+            )
+            .expect("session params are valid by construction");
+        last = session.estimate(q.len).expect("trace runs without a budget");
+    }
+    let session_wall = start.elapsed();
+    let totals = registry.session_totals();
+    let mut session_ops = 0;
+    for (i, nfa) in automata.iter().enumerate() {
+        session_ops += registry
+            .session(nfa, &params[i], &policy)
+            .expect("session already cached")
+            .run_stats()
+            .membership_ops;
+    }
+    let session_row = CounterMeasurement {
+        instance: instance.clone(),
+        method: "session(trace)".into(),
+        threads: 1,
+        wall_seconds: session_wall.as_secs_f64(),
+        estimate: last.to_f64(),
+        estimate_log2: last.log2(),
+        ops: session_ops,
+        cells_deduped: 0,
+        preestimate_hits: 0,
+        memo_entries_shared: 0,
+        pool_steals: 0,
+        parallel_efficiency: None,
+        host_cpus: host_cpus(),
+        queries_served: totals.queries_served,
+        levels_reused: totals.levels_reused,
+        us_per_query: Some(session_wall.as_secs_f64() * 1e6 / queries as f64),
+    };
+
+    // Control: a fresh engine run per query, same seed and params — the
+    // estimates match the session rows bit for bit (D11); only the work
+    // differs.
+    let start = Instant::now();
+    let mut control_ops = 0;
+    let mut last_control = fpras_numeric::ExtFloat::ZERO;
+    for q in &trace {
+        let run = run_parallel(&automata[q.automaton], q.len, &params[q.automaton], seed, 1)
+            .expect("control run");
+        control_ops += run.stats().membership_ops;
+        last_control = run.estimate();
+    }
+    let control_wall = start.elapsed();
+    assert_eq!(
+        last.to_f64(),
+        last_control.to_f64(),
+        "session and fresh-per-query answers must be bit-identical (D11)"
+    );
+    let control_row = CounterMeasurement {
+        instance,
+        method: "fresh-per-query".into(),
+        threads: 1,
+        wall_seconds: control_wall.as_secs_f64(),
+        estimate: last_control.to_f64(),
+        estimate_log2: last_control.log2(),
+        ops: control_ops,
+        cells_deduped: 0,
+        preestimate_hits: 0,
+        memo_entries_shared: 0,
+        pool_steals: 0,
+        parallel_efficiency: None,
+        host_cpus: host_cpus(),
+        queries_served: queries as u64,
+        levels_reused: 0,
+        us_per_query: Some(control_wall.as_secs_f64() * 1e6 / queries as f64),
+    };
+    vec![session_row, control_row]
 }
 
 /// Fills `parallel_efficiency` for every `fpras(ours)` row with
@@ -193,6 +328,10 @@ pub fn counter_matrix(quick: bool, seed: u64) -> Vec<CounterMeasurement> {
     }
 
     fill_parallel_efficiency(&mut out);
+
+    // Query-trace family (service layer): amortized per-query cost with
+    // level reuse vs. the fresh-run-per-query control.
+    out.extend(service_trace_rows(quick, seed));
     out
 }
 
@@ -216,7 +355,13 @@ pub fn to_json(measurements: &[CounterMeasurement]) -> String {
             "\"parallel_efficiency\": {}, ",
             m.parallel_efficiency.map_or("null".to_string(), number)
         ));
-        s.push_str(&format!("\"host_cpus\": {}", m.host_cpus));
+        s.push_str(&format!("\"host_cpus\": {}, ", m.host_cpus));
+        s.push_str(&format!("\"queries_served\": {}, ", m.queries_served));
+        s.push_str(&format!("\"levels_reused\": {}, ", m.levels_reused));
+        s.push_str(&format!(
+            "\"us_per_query\": {}",
+            m.us_per_query.map_or("null".to_string(), number)
+        ));
         s.push('}');
         if i + 1 < measurements.len() {
             s.push(',');
@@ -337,6 +482,9 @@ mod tests {
                 pool_steals: 5,
                 parallel_efficiency: Some(0.5),
                 host_cpus: 4,
+                queries_served: 12,
+                levels_reused: 30,
+                us_per_query: Some(125.5),
             },
             CounterMeasurement {
                 instance: "empty \"quoted\"".into(),
@@ -352,6 +500,9 @@ mod tests {
                 pool_steals: 0,
                 parallel_efficiency: None,
                 host_cpus: 4,
+                queries_served: 1,
+                levels_reused: 0,
+                us_per_query: None,
             },
         ];
         let doc = to_json(&ms);
@@ -365,6 +516,10 @@ mod tests {
         assert!(doc.contains("\"parallel_efficiency\": 0.5"));
         assert!(doc.contains("\"parallel_efficiency\": null"));
         assert!(doc.contains("\"host_cpus\": 4"));
+        assert!(doc.contains("\"queries_served\": 12"));
+        assert!(doc.contains("\"levels_reused\": 30"));
+        assert!(doc.contains("\"us_per_query\": 125.5"));
+        assert!(doc.contains("\"us_per_query\": null"));
         assert!(doc.contains("\\\"quoted\\\""));
         // log2(0) must not produce invalid JSON.
         assert!(doc.contains("\"estimate_log2\": null"));
@@ -376,8 +531,23 @@ mod tests {
     fn matrix_covers_methods_and_threads() {
         let ms = counter_matrix(true, 7);
         // 3 small instances × (9 fpras settings + 1 exact) + 2 large
-        // instances × (4 thread counts + 1 exact).
-        assert_eq!(ms.len(), 40);
+        // instances × (4 thread counts + 1 exact) + 2 query-trace rows.
+        assert_eq!(ms.len(), 42);
+        // Query-trace family: the session row must show real level
+        // reuse and beat the fresh-run-per-query control on amortized
+        // per-query cost — reuse is a strict work reduction, so this
+        // holds even on a single-CPU recorder.
+        let session = ms.iter().find(|m| m.method == "session(trace)").expect("session row");
+        let control = ms.iter().find(|m| m.method == "fresh-per-query").expect("control row");
+        assert_eq!(session.instance, control.instance);
+        assert_eq!(session.queries_served, control.queries_served);
+        assert!(session.levels_reused > 0, "trace must reuse levels");
+        assert_eq!(control.levels_reused, 0);
+        assert_eq!(session.estimate, control.estimate, "answers must be bit-identical (D11)");
+        assert!(session.ops < control.ops, "reuse must save membership ops");
+        let (s_us, c_us) =
+            (session.us_per_query.expect("amortized"), control.us_per_query.expect("amortized"));
+        assert!(s_us < c_us, "session {s_us} µs/query must beat control {c_us} µs/query");
         assert!(ms.iter().any(|m| m.method == "exact-dp"));
         assert!(ms.iter().any(|m| m.threads == 8));
         assert!(ms.iter().any(|m| m.method == "fpras(unbatched)"));

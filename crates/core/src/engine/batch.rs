@@ -189,7 +189,6 @@ mod tests {
             nfa: &normalized,
             unroll: &unroll,
             masks: &masks,
-            n,
             m: normalized.num_states(),
             k: 2,
             sampler_seed: 99,
@@ -216,7 +215,6 @@ mod tests {
             nfa: &normalized,
             unroll: &unroll,
             masks: &masks,
-            n,
             m: normalized.num_states(),
             k: 2,
             sampler_seed: 99,

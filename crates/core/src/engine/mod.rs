@@ -116,8 +116,6 @@ pub struct EngineCtx<'a> {
     pub unroll: &'a Unrolling,
     /// Per-symbol transition masks for fast `reach()` checks.
     pub masks: &'a StepMasks,
-    /// Target word length.
-    pub n: usize,
     /// Normalized state count.
     pub m: usize,
     /// Alphabet size.
@@ -254,9 +252,12 @@ pub fn assemble_count_cell<R: Rng + ?Sized>(
     }
 
     // Noise injection (lines 16–19) — analysis artifact, only under the
-    // paper profile (DESIGN.md D2).
+    // paper profile (DESIGN.md D2). The length entering the probability
+    // is the params' derivation length, not the run horizon, so the
+    // draw is identical whether the level is built fresh or by an
+    // extending session (D11).
     if params.inject_noise {
-        let p_noise = params.eta / (2.0 * ctx.n as f64);
+        let p_noise = params.eta / (2.0 * params.n_hint as f64);
         if rng.random_bool(p_noise.clamp(0.0, 1.0)) {
             let u: f64 = rng.random_range(0.0..1.0);
             n_est = ExtFloat::pow2(ell as i64).scale(u);
@@ -289,7 +290,6 @@ pub fn sample_cell<R: Rng + ?Sized>(
             ctx.unroll,
             table,
             memo,
-            ctx.n,
             q,
             ell,
             ctx.sampler_seed,
@@ -405,6 +405,150 @@ fn check_budget(params: &Params, stats: &RunStats) -> Result<(), FprasError> {
     Ok(())
 }
 
+/// Runs one level of the DP: the count pass over the level's frontier
+/// groups and cells, the sharing pre-pass, the memo commit, and the
+/// sample pass over the live cells.
+///
+/// This is the loop body of [`run_with_policy`], extracted so a
+/// checkpointed run ([`crate::service::QuerySession`]) can resume at
+/// level `built + 1` and execute *exactly* the code a fresh run would —
+/// the whole bit-identity argument of DESIGN.md D11 rests on the two
+/// paths sharing this one function. Everything it reads is a function
+/// of `(params, level, table, memo)` — never of the run's current
+/// horizon — provided `params.trim_dead` is off (the alive-set filter
+/// is the one horizon-dependent input; sessions reject it).
+pub(crate) fn run_level<P: ExecutionPolicy>(
+    ctx: &EngineCtx<'_>,
+    table: &mut RunTable,
+    memo: &mut UnionMemo,
+    stats: &mut RunStats,
+    ell: usize,
+    policy: &mut P,
+) -> Result<(), FprasError> {
+    let params = ctx.params;
+    let m = ctx.m;
+    let unroll = ctx.unroll;
+    let useful: Vec<StateId> = (0..m as StateId)
+        .filter(|&q| {
+            let reachable = unroll.reachable(ell).contains(q as usize);
+            reachable && (!params.trim_dead || unroll.alive(ell).contains(q as usize))
+        })
+        .collect();
+    stats.cells_skipped += (m - useful.len()) as u64;
+    stats.cells_processed += useful.len() as u64;
+
+    // Remaining op budget, offered to the policy so it can stop a
+    // pass early (a truncated pass is detected by the check below).
+    let ops_remaining = params.max_membership_ops.map(|b| b.saturating_sub(stats.membership_ops));
+
+    // ---- Pass 1: count phase (batched over frontier groups) ----
+    let plan = LevelPlan::build(ctx, ell, &useful);
+    stats.batch.groups_formed += plan.groups().len() as u64;
+    stats.batch.unions_skipped += plan.empty_pairs();
+    let pass = policy.count_pass(ctx, &plan, table, ops_remaining);
+    debug_assert!(pass.groups.len() <= plan.groups().len(), "count pass exceeds group list");
+    debug_assert!(pass.cells.len() <= useful.len(), "count pass output exceeds cell list");
+    let count_truncated = pass.cells.len() < useful.len();
+    for (gi, out) in pass.groups.iter().enumerate() {
+        stats.merge(&out.stats);
+        // Seed the sampler's memo with the high-precision count-phase
+        // value (DESIGN.md D4), first-wins in canonical group order:
+        // deterministic regardless of how the pass was scheduled.
+        if params.memoize_unions {
+            memo.insert_first_wins(plan.key(gi).clone(), out.estimate, MemoTier::Count);
+        }
+    }
+    // The plan's static dedup count and the pass's dynamic
+    // accounting are two definitions of the same quantity; a
+    // complete batched pass must reconcile them exactly.
+    debug_assert!(
+        count_truncated
+            || !params.batch_unions
+            || pass.groups.iter().map(|g| g.stats.batch.cells_deduped).sum::<u64>()
+                == plan.deduped_pairs(),
+        "plan and pass disagree on deduplicated pairs"
+    );
+    for out in pass.cells {
+        table.cell_mut(ell, out.q as usize).n_est = out.n_est;
+    }
+    check_budget(params, stats)?;
+    debug_assert!(!count_truncated, "a pass may only stop early when the budget is spent");
+
+    // ---- Sharing pre-pass (D9): seed the hot sampler frontiers ----
+    let live: Vec<StateId> =
+        useful.iter().copied().filter(|&q| !table.cell(ell, q as usize).n_est.is_zero()).collect();
+    if params.share_sampler_frontiers && params.memoize_unions {
+        let jobs = collect_share_jobs(ctx, &plan, memo, ell, &live, stats);
+        let ops_remaining =
+            params.max_membership_ops.map(|b| b.saturating_sub(stats.membership_ops));
+        let outs = policy.share_pass(ctx, &jobs, table, ops_remaining);
+        debug_assert!(outs.len() <= jobs.len(), "share pass output exceeds job list");
+        let share_truncated = outs.len() < jobs.len();
+        // `zip` realizes the prefix semantics: a truncated pass
+        // seeds only what it estimated, and the budget check below
+        // aborts before any cell could observe the difference.
+        for (job, out) in jobs.iter().zip(outs) {
+            stats.merge(&out.stats);
+            memo.insert_first_wins(job.key.clone(), out.estimate, MemoTier::Shared);
+            stats.share.frontiers_preestimated += 1;
+        }
+        check_budget(params, stats)?;
+        debug_assert!(!share_truncated, "a pass may only stop early when the budget is spent");
+    }
+
+    // Commit the level's seeds (count tier + shared tier, plus the
+    // previous level's sampler insertions) into the immutable base
+    // layer, so the whole sample pass shares one O(1) snapshot.
+    let promoted = memo.commit();
+    stats.memo.commits += 1;
+    stats.memo.entries_promoted += promoted as u64;
+
+    // ---- Pass 2: sample phase (live cells only) ----
+    let ops_remaining = params.max_membership_ops.map(|b| b.saturating_sub(stats.membership_ops));
+    let sampled = policy.sample_pass(ctx, ell, &live, table, memo, ops_remaining);
+    debug_assert!(sampled.len() <= live.len(), "sample pass output exceeds cell list");
+    let sample_truncated = sampled.len() < live.len();
+    for out in sampled {
+        stats.merge(&out.stats);
+        stats.samples_stored += out.genuine as u64;
+        if out.padded > 0 {
+            stats.padded_cells += 1;
+            stats.padded_entries += out.padded as u64;
+        }
+        table.cell_mut(ell, out.q as usize).samples = out.samples;
+    }
+    check_budget(params, stats)?;
+    debug_assert!(!sample_truncated, "a pass may only stop early when the budget is spent");
+    Ok(())
+}
+
+/// Normalizes an automaton for the DP (DESIGN.md D7): trims to useful
+/// states and folds the accepting states into one. Returns `None` when
+/// trimming leaves nothing (the language is empty at every length > 0).
+/// Shared by fresh runs and sessions so both run the DP on the same
+/// automaton.
+pub(crate) fn normalize_for_run(nfa: &Nfa) -> Option<(Nfa, StateId)> {
+    let trimmed = trim(nfa)?;
+    let normalized = with_single_accepting(&trimmed);
+    let q_final =
+        normalized.accepting().iter().next().expect("normalized automaton has an accepting state")
+            as StateId;
+    Some((normalized, q_final))
+}
+
+/// Writes level 0 of the DP (Algorithm 3 lines 6–10):
+/// `N(I⁰) = 1, S(I⁰) = (λ, λ, …)`. Shared by fresh runs and sessions.
+pub(crate) fn seed_level_zero(table: &mut RunTable, normalized: &Nfa, params: &Params) {
+    let m = normalized.num_states();
+    let init = normalized.initial() as usize;
+    let cell = table.cell_mut(0, init);
+    cell.n_est = ExtFloat::ONE;
+    cell.samples = SampleSet::repeated(
+        SampleEntry { word: Word::empty(), reach: StateSet::singleton(m, init) },
+        params.ns,
+    );
+}
+
 /// Runs the FPRAS on `nfa` for words of length `n` under `policy`.
 ///
 /// This is the single entry point behind [`FprasRun::run`] (Serial
@@ -417,6 +561,18 @@ pub fn run_with_policy<P: ExecutionPolicy>(
     policy: &mut P,
 ) -> Result<FprasRun, FprasError> {
     params.validate()?;
+    // The error-budget splits (sampler δ, noise probability) are pinned
+    // to the length the params were derived for (`Params::n_hint`,
+    // D11). Running *longer* than that would silently loosen the
+    // promised (ε, δ); refuse loudly instead. Shorter runs only
+    // tighten the split and stay allowed.
+    if n > params.n_hint {
+        return Err(FprasError::InvalidParams(format!(
+            "run length {n} exceeds the length these params were derived for \
+             (n_hint = {}); rebuild Params for the target length",
+            params.n_hint
+        )));
+    }
     let start = Instant::now();
     let degenerate = |estimate: ExtFloat, accepts_lambda: bool| FprasRun {
         inner: None,
@@ -435,13 +591,9 @@ pub fn run_with_policy<P: ExecutionPolicy>(
     }
 
     // Normalize: trim, then fold accepting states (DESIGN.md D7).
-    let Some(trimmed) = trim(nfa) else {
+    let Some((normalized, q_final)) = normalize_for_run(nfa) else {
         return Ok(degenerate(ExtFloat::ZERO, false));
     };
-    let normalized = with_single_accepting(&trimmed);
-    let q_final =
-        normalized.accepting().iter().next().expect("normalized automaton has an accepting state")
-            as StateId;
     let unroll = Unrolling::new(&normalized, n);
     if !unroll.language_nonempty() {
         return Ok(degenerate(ExtFloat::ZERO, false));
@@ -453,12 +605,14 @@ pub fn run_with_policy<P: ExecutionPolicy>(
     // (D9): Serial draws it from the caller RNG, Deterministic derives
     // it from the master seed.
     let sampler_seed = policy.sampler_union_seed();
+    // Deliberately no run-horizon field: per-level work must be a
+    // function of `(Params, level, table, memo)` alone, or resumed
+    // sessions could not be bit-identical to fresh runs (D11).
     let ctx = EngineCtx {
         params,
         nfa: &normalized,
         unroll: &unroll,
         masks: &masks,
-        n,
         m,
         k: normalized.alphabet().size() as u8,
         sampler_seed,
@@ -468,114 +622,10 @@ pub fn run_with_policy<P: ExecutionPolicy>(
     let mut memo = UnionMemo::new();
     let mut stats = RunStats::default();
 
-    // Level 0 (Algorithm 3 lines 6–10): N(I⁰) = 1, S(I⁰) = (λ, λ, …).
-    let init = normalized.initial() as usize;
-    {
-        let cell = table.cell_mut(0, init);
-        cell.n_est = ExtFloat::ONE;
-        cell.samples = SampleSet::repeated(
-            SampleEntry { word: Word::empty(), reach: StateSet::singleton(m, init) },
-            params.ns,
-        );
-    }
+    seed_level_zero(&mut table, &normalized, params);
 
     for ell in 1..=n {
-        let useful: Vec<StateId> = (0..m as StateId)
-            .filter(|&q| {
-                let reachable = unroll.reachable(ell).contains(q as usize);
-                reachable && (!params.trim_dead || unroll.alive(ell).contains(q as usize))
-            })
-            .collect();
-        stats.cells_skipped += (m - useful.len()) as u64;
-        stats.cells_processed += useful.len() as u64;
-
-        // Remaining op budget, offered to the policy so it can stop a
-        // pass early (a truncated pass is detected by the check below).
-        let ops_remaining =
-            params.max_membership_ops.map(|b| b.saturating_sub(stats.membership_ops));
-
-        // ---- Pass 1: count phase (batched over frontier groups) ----
-        let plan = LevelPlan::build(&ctx, ell, &useful);
-        stats.batch.groups_formed += plan.groups().len() as u64;
-        stats.batch.unions_skipped += plan.empty_pairs();
-        let pass = policy.count_pass(&ctx, &plan, &table, ops_remaining);
-        debug_assert!(pass.groups.len() <= plan.groups().len(), "count pass exceeds group list");
-        debug_assert!(pass.cells.len() <= useful.len(), "count pass output exceeds cell list");
-        let count_truncated = pass.cells.len() < useful.len();
-        for (gi, out) in pass.groups.iter().enumerate() {
-            stats.merge(&out.stats);
-            // Seed the sampler's memo with the high-precision count-phase
-            // value (DESIGN.md D4), first-wins in canonical group order:
-            // deterministic regardless of how the pass was scheduled.
-            if params.memoize_unions {
-                memo.insert_first_wins(plan.key(gi).clone(), out.estimate, MemoTier::Count);
-            }
-        }
-        // The plan's static dedup count and the pass's dynamic
-        // accounting are two definitions of the same quantity; a
-        // complete batched pass must reconcile them exactly.
-        debug_assert!(
-            count_truncated
-                || !params.batch_unions
-                || pass.groups.iter().map(|g| g.stats.batch.cells_deduped).sum::<u64>()
-                    == plan.deduped_pairs(),
-            "plan and pass disagree on deduplicated pairs"
-        );
-        for out in pass.cells {
-            table.cell_mut(ell, out.q as usize).n_est = out.n_est;
-        }
-        check_budget(params, &stats)?;
-        debug_assert!(!count_truncated, "a pass may only stop early when the budget is spent");
-
-        // ---- Sharing pre-pass (D9): seed the hot sampler frontiers ----
-        let live: Vec<StateId> = useful
-            .iter()
-            .copied()
-            .filter(|&q| !table.cell(ell, q as usize).n_est.is_zero())
-            .collect();
-        if params.share_sampler_frontiers && params.memoize_unions {
-            let jobs = collect_share_jobs(&ctx, &plan, &memo, ell, &live, &mut stats);
-            let ops_remaining =
-                params.max_membership_ops.map(|b| b.saturating_sub(stats.membership_ops));
-            let outs = policy.share_pass(&ctx, &jobs, &table, ops_remaining);
-            debug_assert!(outs.len() <= jobs.len(), "share pass output exceeds job list");
-            let share_truncated = outs.len() < jobs.len();
-            // `zip` realizes the prefix semantics: a truncated pass
-            // seeds only what it estimated, and the budget check below
-            // aborts before any cell could observe the difference.
-            for (job, out) in jobs.iter().zip(outs) {
-                stats.merge(&out.stats);
-                memo.insert_first_wins(job.key.clone(), out.estimate, MemoTier::Shared);
-                stats.share.frontiers_preestimated += 1;
-            }
-            check_budget(params, &stats)?;
-            debug_assert!(!share_truncated, "a pass may only stop early when the budget is spent");
-        }
-
-        // Commit the level's seeds (count tier + shared tier, plus the
-        // previous level's sampler insertions) into the immutable base
-        // layer, so the whole sample pass shares one O(1) snapshot.
-        let promoted = memo.commit();
-        stats.memo.commits += 1;
-        stats.memo.entries_promoted += promoted as u64;
-
-        // ---- Pass 2: sample phase (live cells only) ----
-        let ops_remaining =
-            params.max_membership_ops.map(|b| b.saturating_sub(stats.membership_ops));
-        let sampled = policy.sample_pass(&ctx, ell, &live, &table, &mut memo, ops_remaining);
-        debug_assert!(sampled.len() <= live.len(), "sample pass output exceeds cell list");
-        let sample_truncated = sampled.len() < live.len();
-        for out in sampled {
-            stats.merge(&out.stats);
-            stats.samples_stored += out.genuine as u64;
-            if out.padded > 0 {
-                stats.padded_cells += 1;
-                stats.padded_entries += out.padded as u64;
-            }
-            table.cell_mut(ell, out.q as usize).samples = out.samples;
-        }
-        check_budget(params, &stats)?;
-        debug_assert!(!sample_truncated, "a pass may only stop early when the budget is spent");
+        run_level(&ctx, &mut table, &mut memo, &mut stats, ell, policy)?;
     }
 
     let estimate = table.cell(n, q_final as usize).n_est;

@@ -229,7 +229,6 @@ impl<R: Rng + ?Sized> ExecutionPolicy for Serial<'_, R> {
             let estimate = estimate_frontier_union(
                 ctx.params,
                 table,
-                ctx.n,
                 &job.key,
                 &job.frontier,
                 ctx.sampler_seed,
@@ -401,7 +400,6 @@ impl ExecutionPolicy for Deterministic {
                 let estimate = estimate_frontier_union(
                     ctx.params,
                     table,
-                    ctx.n,
                     &job.key,
                     &job.frontier,
                     ctx.sampler_seed,

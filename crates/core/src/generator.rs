@@ -71,7 +71,6 @@ impl UniformGenerator {
                 &inner.unroll,
                 &inner.table,
                 &mut inner.memo,
-                n,
                 q_final,
                 n,
                 inner.sampler_seed,

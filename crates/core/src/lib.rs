@@ -69,6 +69,7 @@ pub mod params;
 pub mod run_stats;
 pub mod sample_set;
 pub mod sampler;
+pub mod service;
 pub mod table;
 
 pub use appunion::{app_union, frontier_inputs, UnionEstimate, UnionSetInput};
@@ -83,6 +84,9 @@ pub use median::{median_amplified, median_amplified_parallel, runs_needed, Media
 pub use params::{CursorPolicy, Params, Profile};
 pub use run_stats::{BatchStats, MemoStats, PoolStats, RunStats, ShareStats};
 pub use sample_set::{SampleEntry, SampleSet};
+pub use service::{
+    nfa_fingerprint, QuerySession, ServiceRegistry, ServiceStats, SessionPolicy, SessionStats,
+};
 pub use table::SampleOutcome;
 
 use fpras_automata::Nfa;

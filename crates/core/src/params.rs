@@ -94,6 +94,17 @@ pub struct Params {
     /// Skip (state, level) cells that cannot participate in an accepting
     /// length-`n` run (D6).
     pub trim_dead: bool,
+    /// The word length these parameters were derived for (`max(n, 1)` at
+    /// construction). Every place the algorithms consult "the" length
+    /// for an error-budget split — the sampler-internal δ split
+    /// ([`Params::delta_sample_inner`]) and the noise probability
+    /// `η/2n` — reads this field, **never** the run's current horizon.
+    /// That makes per-level work a function of `(Params, level)` alone,
+    /// which is what lets a [`QuerySession`](crate::service::QuerySession)
+    /// extend a run to a larger length and stay bit-identical to a
+    /// fresh run there (DESIGN.md D11). For plain runs this equals the
+    /// `n` the params were built for, so nothing changes.
+    pub n_hint: usize,
     /// Share count-phase union estimates across `(cell, symbol)` pairs
     /// with identical predecessor frontiers (D8). The estimate RNG is
     /// keyed by the frontier either way, so toggling this knob changes
@@ -156,6 +167,7 @@ impl Params {
             rotate_cursor: false,
             cursor: CursorPolicy::PaperBreak,
             trim_dead: false,
+            n_hint: n.max(1),
             batch_unions: false,
             share_sampler_frontiers: false,
             steal_chunk: 2,
@@ -195,11 +207,24 @@ impl Params {
             rotate_cursor: true,
             cursor: CursorPolicy::Cyclic,
             trim_dead: true,
+            n_hint: n.max(1),
             batch_unions: true,
             share_sampler_frontiers: true,
             steal_chunk: 2,
             max_membership_ops: None,
         }
+    }
+
+    /// Practical-profile parameters for a long-lived
+    /// [`QuerySession`](crate::service::QuerySession): identical to
+    /// [`Params::practical`] except that horizon-dependent dead-state
+    /// trimming (D6) is disabled — which cells level `ℓ` processes must
+    /// not depend on how far the session has been extended, or resumed
+    /// runs could not be bit-identical to fresh ones (DESIGN.md D11).
+    /// `n` here is the *largest* length the session is expected to
+    /// serve; it sizes `ns`/`xns` and pins [`Params::n_hint`].
+    pub fn for_session(eps: f64, delta: f64, m: usize, n: usize) -> Self {
+        Params { trim_dead: false, ..Params::practical(eps, delta, m, n) }
     }
 
     /// Validates ranges; returns a descriptive error on misuse.
@@ -238,6 +263,11 @@ impl Params {
         }
         if self.steal_chunk == 0 {
             return Err(FprasError::InvalidParams("steal_chunk must be positive".into()));
+        }
+        if self.n_hint == 0 {
+            return Err(FprasError::InvalidParams(
+                "n_hint must be positive (constructors pin it to max(n, 1))".into(),
+            ));
         }
         if self.gamma_scale > 1.0 {
             return Err(FprasError::InvalidParams(format!(
@@ -287,9 +317,53 @@ impl Params {
 
     /// δ passed to sampler-internal `AppUnion` calls (Algorithm 2 line 2:
     /// the sampler is invoked with confidence `η/(2·xns)` and splits it
-    /// over its `≤ 4n` union calls).
-    pub fn delta_sample_inner(&self, n: usize) -> f64 {
-        (self.eta / (2.0 * self.xns as f64) / (4.0 * n.max(1) as f64)).max(1e-12)
+    /// over its `≤ 4n` union calls, with `n` read from [`Params::n_hint`]
+    /// so the split never depends on the run's current horizon).
+    pub fn delta_sample_inner(&self) -> f64 {
+        (self.eta / (2.0 * self.xns as f64) / (4.0 * self.n_hint.max(1) as f64)).max(1e-12)
+    }
+
+    /// A 64-bit fingerprint of every field that influences a run's
+    /// output, used (together with an automaton fingerprint) as the
+    /// session-cache key of the
+    /// [`ServiceRegistry`](crate::service::ServiceRegistry). Floats are
+    /// hashed by their bit patterns, so two `Params` collide only when
+    /// they are numerically identical.
+    pub fn fingerprint(&self) -> u64 {
+        let mut acc: u64 = 0x5E55_10F1;
+        let mut mix = |v: u64| {
+            acc = crate::table::splitmix64(acc ^ crate::table::splitmix64(v));
+        };
+        for f in [
+            self.eps,
+            self.delta,
+            self.beta_count,
+            self.beta_sample,
+            self.eta,
+            self.appunion_c,
+            self.thresh_c,
+            self.gamma_scale,
+        ] {
+            mix(f.to_bits());
+        }
+        for u in [self.ns as u64, self.xns as u64, self.n_hint as u64, self.steal_chunk as u64] {
+            mix(u);
+        }
+        let bools = [
+            self.inject_noise,
+            self.memoize_unions,
+            self.rotate_cursor,
+            self.cursor == CursorPolicy::Cyclic,
+            self.trim_dead,
+            self.batch_unions,
+            self.share_sampler_frontiers,
+        ];
+        mix(bools.iter().fold(0u64, |a, &b| (a << 1) | b as u64));
+        // Separate discriminant and payload: folding None into a
+        // sentinel payload would collide with the Some of that value.
+        mix(self.max_membership_ops.is_some() as u64);
+        mix(self.max_membership_ops.unwrap_or(0));
+        acc
     }
 }
 
@@ -394,5 +468,62 @@ mod tests {
     fn custom_marker() {
         let p = Params::practical(0.3, 0.05, 8, 8).into_custom();
         assert_eq!(p.profile, Profile::Custom);
+    }
+
+    #[test]
+    fn n_hint_pins_the_derivation_length() {
+        // Both constructors record the n they derived for, clamped ≥ 1,
+        // and the sampler δ split reads the field, never a runtime n —
+        // the horizon-independence D11 rests on.
+        assert_eq!(Params::practical(0.3, 0.05, 8, 12).n_hint, 12);
+        assert_eq!(Params::paper(0.3, 0.05, 8, 12).n_hint, 12);
+        assert_eq!(Params::practical(0.3, 0.05, 8, 0).n_hint, 1);
+        let a = Params::practical(0.3, 0.05, 8, 12);
+        let mut b = a.clone();
+        b.n_hint = 24;
+        assert!(b.delta_sample_inner() < a.delta_sample_inner());
+        b.n_hint = 0;
+        assert!(b.validate().is_err());
+    }
+
+    #[test]
+    fn for_session_is_practical_minus_trimming() {
+        let session = Params::for_session(0.3, 0.05, 8, 12);
+        let practical = Params::practical(0.3, 0.05, 8, 12);
+        assert!(!session.trim_dead);
+        assert_eq!(Params { trim_dead: true, ..session.clone() }, practical);
+        session.validate().unwrap();
+    }
+
+    #[test]
+    fn fingerprint_separates_output_relevant_fields() {
+        let base = Params::for_session(0.3, 0.05, 8, 12);
+        assert_eq!(base.fingerprint(), base.clone().fingerprint());
+        // Every output-relevant field must move the fingerprint.
+        let mut eps = base.clone();
+        eps.eps = 0.31;
+        let mut ns = base.clone();
+        ns.ns += 1;
+        let mut hint = base.clone();
+        hint.n_hint += 1;
+        let mut memo = base.clone();
+        memo.memoize_unions = !memo.memoize_unions;
+        let mut budget = base.clone();
+        budget.max_membership_ops = Some(1_000_000);
+        // The adversarial case a sentinel encoding would collide on:
+        // Some(value-that-maps-to-the-None-sentinel) vs None.
+        let mut budget_edge = base.clone();
+        budget_edge.max_membership_ops = Some(u64::MAX ^ 0x1);
+        assert_ne!(base.fingerprint(), budget_edge.fingerprint());
+        let prints = [
+            base.fingerprint(),
+            eps.fingerprint(),
+            ns.fingerprint(),
+            hint.fingerprint(),
+            memo.fingerprint(),
+            budget.fingerprint(),
+        ];
+        let distinct: std::collections::HashSet<_> = prints.iter().collect();
+        assert_eq!(distinct.len(), prints.len(), "{prints:?}");
     }
 }

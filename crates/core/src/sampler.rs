@@ -56,7 +56,6 @@ pub(crate) fn sampler_union_rng(sampler_seed: u64, tag: u64) -> SmallRng {
 pub(crate) fn estimate_frontier_union(
     params: &Params,
     table: &RunTable,
-    n_total: usize,
     key: &MemoKey,
     frontier: &StateSet,
     sampler_seed: u64,
@@ -69,7 +68,7 @@ pub(crate) fn estimate_frontier_union(
     app_union(
         params,
         params.beta_sample,
-        params.delta_sample_inner(n_total),
+        params.delta_sample_inner(),
         eps_sz,
         &inputs,
         table.num_states(),
@@ -86,7 +85,6 @@ pub(crate) fn union_size<R: Rng + ?Sized>(
     params: &Params,
     table: &RunTable,
     memo: &mut UnionMemo,
-    n_total: usize,
     level: usize,
     frontier: &StateSet,
     sampler_seed: u64,
@@ -103,8 +101,7 @@ pub(crate) fn union_size<R: Rng + ?Sized>(
             return entry.value;
         }
         stats.memo_misses += 1;
-        let est =
-            estimate_frontier_union(params, table, n_total, &key, frontier, sampler_seed, stats);
+        let est = estimate_frontier_union(params, table, &key, frontier, sampler_seed, stats);
         memo.insert_first_wins(key, est, MemoTier::Sampler);
         return est;
     }
@@ -115,7 +112,7 @@ pub(crate) fn union_size<R: Rng + ?Sized>(
     app_union(
         params,
         params.beta_sample,
-        params.delta_sample_inner(n_total),
+        params.delta_sample_inner(),
         eps_sz,
         &inputs,
         table.num_states(),
@@ -135,7 +132,6 @@ pub(crate) fn sample_word<R: Rng + ?Sized>(
     unroll: &Unrolling,
     table: &RunTable,
     memo: &mut UnionMemo,
-    n_total: usize,
     start: StateId,
     level: usize,
     sampler_seed: u64,
@@ -165,7 +161,7 @@ pub(crate) fn sample_word<R: Rng + ?Sized>(
             let sz = if fb.is_empty() {
                 ExtFloat::ZERO
             } else {
-                union_size(params, table, memo, n_total, ell - 1, &fb, sampler_seed, rng, stats)
+                union_size(params, table, memo, ell - 1, &fb, sampler_seed, rng, stats)
             };
             branch_sizes.push(sz);
             branch_fronts.push(fb);
@@ -238,7 +234,7 @@ mod tests {
         let mut successes = 0;
         for _ in 0..200 {
             match sample_word(
-                &params, memo_nfa, unroll, table, &mut memo, 6, 0, 6, 99, &mut rng, &mut stats,
+                &params, memo_nfa, unroll, table, &mut memo, 0, 6, 99, &mut rng, &mut stats,
             ) {
                 SampleOutcome::Word(w) => {
                     assert_eq!(w.len(), 6);
@@ -280,7 +276,6 @@ mod tests {
             unroll,
             &empty_table,
             &mut memo,
-            4,
             0,
             4,
             99,

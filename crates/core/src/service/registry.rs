@@ -1,0 +1,350 @@
+//! LRU session cache: mixed-automaton query streams become cache hits.
+
+use crate::error::FprasError;
+use crate::params::Params;
+use crate::service::session::{QuerySession, SessionStats};
+use crate::service::SessionPolicy;
+use crate::table::splitmix64;
+use fpras_automata::Nfa;
+
+/// A 64-bit fingerprint of an automaton's exact structure (alphabet
+/// size, states, initial/accepting sets, and the full transition list).
+///
+/// Two automata collide only when they are structurally identical as
+/// built — isomorphic-but-relabelled automata hash differently, which
+/// is the right granularity for a session cache (a relabelled automaton
+/// would produce a differently-normalized run anyway).
+pub fn nfa_fingerprint(nfa: &Nfa) -> u64 {
+    let mut acc: u64 = 0x0F0A_F1D0;
+    let mut mix = |v: u64| {
+        acc = splitmix64(acc ^ splitmix64(v));
+    };
+    mix(nfa.alphabet().size() as u64);
+    mix(nfa.num_states() as u64);
+    mix(nfa.initial() as u64);
+    for q in nfa.accepting().iter() {
+        mix(q as u64 + 1);
+    }
+    mix(u64::MAX); // separator: accepting list vs transition list
+    for (from, sym, to) in nfa.transitions() {
+        mix(((from as u64) << 40) | ((sym as u64) << 32) | to as u64);
+    }
+    acc
+}
+
+/// The cache key of one session: automaton × parameters × policy.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct SessionKey {
+    /// [`nfa_fingerprint`] of the automaton.
+    pub nfa: u64,
+    /// [`Params::fingerprint`] of the parameters.
+    pub params: u64,
+    /// The execution policy (seed and thread count included).
+    pub policy: SessionPolicy,
+}
+
+impl SessionKey {
+    /// Fingerprints `(nfa, params, policy)` into a cache key. Hashing
+    /// walks the automaton's full transition list — `O(m + |Δ|)` — so
+    /// high-QPS callers should compute the key once per automaton and
+    /// use [`ServiceRegistry::session_with_key`] on the hot path.
+    pub fn new(nfa: &Nfa, params: &Params, policy: &SessionPolicy) -> Self {
+        SessionKey {
+            nfa: nfa_fingerprint(nfa),
+            params: params.fingerprint(),
+            policy: policy.normalized(),
+        }
+    }
+}
+
+/// Registry-level accounting: session churn plus the aggregate of every
+/// session's query counters (evicted sessions included).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Sessions compiled from scratch (registry misses).
+    pub sessions_created: u64,
+    /// Queries routed to an existing session (registry hits).
+    pub session_hits: u64,
+    /// Sessions evicted by the LRU policy.
+    pub sessions_evicted: u64,
+    /// Poisoned sessions dropped on lookup and replaced by a fresh
+    /// compile (a budget abort must not brick its cache key forever).
+    pub sessions_recycled: u64,
+}
+
+/// An LRU cache of [`QuerySession`]s keyed by [`SessionKey`].
+///
+/// The serving front door: hand it every incoming `(A, params, policy,
+/// n)` query and it routes to the matching session, compiling one only
+/// on a miss and evicting the least-recently-used session at capacity.
+///
+/// ```
+/// use fpras_automata::{Alphabet, NfaBuilder};
+/// use fpras_core::service::{ServiceRegistry, SessionPolicy};
+/// use fpras_core::Params;
+///
+/// let mut b = NfaBuilder::new(Alphabet::binary());
+/// let q = b.add_state();
+/// b.set_initial(q);
+/// b.add_accepting(q);
+/// b.add_transition(q, 0, q);
+/// b.add_transition(q, 1, q);
+/// let nfa = b.build().unwrap();
+///
+/// let mut registry = ServiceRegistry::new(4);
+/// let params = Params::for_session(0.3, 0.1, 1, 12);
+/// let policy = SessionPolicy::Deterministic { seed: 1, threads: 1 };
+/// let a = registry.session(&nfa, &params, &policy).unwrap().estimate(8).unwrap();
+/// // Same key: the second call is a hit and reuses all 8 levels.
+/// let b2 = registry.session(&nfa, &params, &policy).unwrap().estimate(8).unwrap();
+/// assert_eq!(a, b2);
+/// assert_eq!(registry.stats().sessions_created, 1);
+/// assert_eq!(registry.stats().session_hits, 1);
+/// ```
+pub struct ServiceRegistry {
+    capacity: usize,
+    clock: u64,
+    slots: Vec<Slot>,
+    stats: ServiceStats,
+    /// Query counters of evicted sessions, folded in at eviction so
+    /// [`ServiceRegistry::session_totals`] never loses history.
+    retired: SessionStats,
+}
+
+struct Slot {
+    key: SessionKey,
+    session: QuerySession,
+    last_used: u64,
+}
+
+impl ServiceRegistry {
+    /// A registry holding at most `capacity ≥ 1` live sessions.
+    pub fn new(capacity: usize) -> Self {
+        ServiceRegistry {
+            capacity: capacity.max(1),
+            clock: 0,
+            slots: Vec::new(),
+            stats: ServiceStats::default(),
+            retired: SessionStats::default(),
+        }
+    }
+
+    /// The maximum number of live sessions.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Live sessions currently cached.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True when no session is cached.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Registry churn counters.
+    pub fn stats(&self) -> &ServiceStats {
+        &self.stats
+    }
+
+    /// Aggregate query accounting over every session the registry ever
+    /// owned (live ones plus retired history) — the amortization
+    /// evidence (`levels_reused` vs `levels_built`) for a whole trace.
+    pub fn session_totals(&self) -> SessionStats {
+        let mut total = self.retired;
+        for slot in &self.slots {
+            total.merge(slot.session.stats());
+        }
+        total
+    }
+
+    /// Routes to the session for `(nfa, params, policy)`, compiling it
+    /// on a miss (and evicting the least-recently-used session when the
+    /// registry is full). Construction errors (invalid params,
+    /// `trim_dead`) propagate without disturbing the cache.
+    ///
+    /// Fingerprints the automaton on every call (`O(m + |Δ|)`);
+    /// high-QPS callers should build the [`SessionKey`] once per
+    /// automaton and use [`ServiceRegistry::session_with_key`].
+    pub fn session(
+        &mut self,
+        nfa: &Nfa,
+        params: &Params,
+        policy: &SessionPolicy,
+    ) -> Result<&mut QuerySession, FprasError> {
+        self.session_with_key(SessionKey::new(nfa, params, policy), nfa, params, policy)
+    }
+
+    /// [`ServiceRegistry::session`] with a caller-precomputed key — the
+    /// hot lookup path: a repeat query for an already-built length then
+    /// costs O(live sessions) key comparisons plus an O(1) table read,
+    /// with no re-hashing of the automaton. The caller is responsible
+    /// for the key actually fingerprinting `(nfa, params, policy)`
+    /// (compute it with [`SessionKey::new`]); a mismatched key aliases
+    /// or duplicates cache entries but cannot corrupt a session.
+    pub fn session_with_key(
+        &mut self,
+        key: SessionKey,
+        nfa: &Nfa,
+        params: &Params,
+        policy: &SessionPolicy,
+    ) -> Result<&mut QuerySession, FprasError> {
+        self.clock += 1;
+        if let Some(i) = self.slots.iter().position(|s| s.key == key) {
+            if self.slots[i].session.is_poisoned() {
+                // A poisoned session can never serve again; drop it so
+                // the miss path below recompiles a fresh one instead of
+                // failing this key forever.
+                let recycled = self.slots.swap_remove(i);
+                self.retired.merge(recycled.session.stats());
+                self.stats.sessions_recycled += 1;
+            } else {
+                self.stats.session_hits += 1;
+                self.slots[i].last_used = self.clock;
+                return Ok(&mut self.slots[i].session);
+            }
+        }
+        let session = QuerySession::new(nfa, params.clone(), policy.clone())?;
+        if self.slots.len() >= self.capacity {
+            let (lru, _) = self
+                .slots
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, s)| s.last_used)
+                .expect("capacity ≥ 1 and the registry is full");
+            let evicted = self.slots.swap_remove(lru);
+            self.retired.merge(evicted.session.stats());
+            self.stats.sessions_evicted += 1;
+        }
+        self.stats.sessions_created += 1;
+        self.slots.push(Slot { key, session, last_used: self.clock });
+        Ok(&mut self.slots.last_mut().expect("just pushed").session)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fpras_automata::{Alphabet, NfaBuilder};
+
+    fn all_words() -> Nfa {
+        let mut b = NfaBuilder::new(Alphabet::binary());
+        let q = b.add_state();
+        b.set_initial(q);
+        b.add_accepting(q);
+        b.add_transition(q, 0, q);
+        b.add_transition(q, 1, q);
+        b.build().unwrap()
+    }
+
+    fn ones_only() -> Nfa {
+        let mut b = NfaBuilder::new(Alphabet::binary());
+        let q = b.add_state();
+        b.set_initial(q);
+        b.add_accepting(q);
+        b.add_transition(q, 1, q);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn fingerprints_distinguish_structures() {
+        assert_ne!(nfa_fingerprint(&all_words()), nfa_fingerprint(&ones_only()));
+        assert_eq!(nfa_fingerprint(&all_words()), nfa_fingerprint(&all_words()));
+        let p1 = Params::for_session(0.3, 0.1, 1, 8);
+        let p2 = Params::for_session(0.3, 0.1, 1, 9);
+        assert_ne!(p1.fingerprint(), p2.fingerprint());
+        assert_eq!(p1.fingerprint(), p1.clone().fingerprint());
+        let mut p3 = p1.clone();
+        p3.batch_unions = !p3.batch_unions;
+        assert_ne!(p1.fingerprint(), p3.fingerprint());
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut registry = ServiceRegistry::new(2);
+        let params = Params::for_session(0.4, 0.1, 1, 6);
+        let a = all_words();
+        let b = ones_only();
+        let pol = |seed| SessionPolicy::Deterministic { seed, threads: 1 };
+        registry.session(&a, &params, &pol(1)).unwrap().estimate(4).unwrap();
+        registry.session(&b, &params, &pol(1)).unwrap().estimate(4).unwrap();
+        // Touch `a` so `b` is the LRU, then insert a third key.
+        registry.session(&a, &params, &pol(1)).unwrap();
+        registry.session(&a, &params, &pol(2)).unwrap().estimate(4).unwrap();
+        assert_eq!(registry.len(), 2);
+        assert_eq!(registry.stats().sessions_created, 3);
+        assert_eq!(registry.stats().sessions_evicted, 1);
+        assert_eq!(registry.stats().session_hits, 1);
+        // `b` was evicted: asking for it again is a miss (and evicts in
+        // turn), but its query history survives in the totals.
+        registry.session(&b, &params, &pol(1)).unwrap();
+        assert_eq!(registry.stats().sessions_created, 4);
+        let totals = registry.session_totals();
+        assert_eq!(totals.queries_served, 3);
+        assert_eq!(totals.levels_built, 12);
+    }
+
+    #[test]
+    fn hit_reuses_built_levels() {
+        let mut registry = ServiceRegistry::new(4);
+        let params = Params::for_session(0.4, 0.1, 1, 10);
+        let nfa = all_words();
+        let policy = SessionPolicy::Serial { seed: 3 };
+        registry.session(&nfa, &params, &policy).unwrap().estimate(10).unwrap();
+        registry.session(&nfa, &params, &policy).unwrap().estimate(7).unwrap();
+        let totals = registry.session_totals();
+        assert_eq!(totals.levels_built, 10);
+        assert_eq!(totals.levels_reused, 7);
+        assert_eq!(registry.stats().session_hits, 1);
+    }
+
+    #[test]
+    fn thread_count_zero_and_one_share_a_key() {
+        // Deterministic { threads: 0 } is clamped to 1 everywhere it
+        // means something, so the two spellings must alias one session.
+        let nfa = all_words();
+        let params = Params::for_session(0.4, 0.1, 1, 6);
+        let zero = SessionPolicy::Deterministic { seed: 5, threads: 0 };
+        let one = SessionPolicy::Deterministic { seed: 5, threads: 1 };
+        assert_eq!(SessionKey::new(&nfa, &params, &zero), SessionKey::new(&nfa, &params, &one));
+        let mut registry = ServiceRegistry::new(4);
+        registry.session(&nfa, &params, &zero).unwrap().estimate(4).unwrap();
+        registry.session(&nfa, &params, &one).unwrap().estimate(4).unwrap();
+        assert_eq!(registry.stats().sessions_created, 1);
+        assert_eq!(registry.stats().session_hits, 1);
+        // Different seeds or real thread counts still never alias.
+        let other = SessionPolicy::Deterministic { seed: 5, threads: 2 };
+        assert_ne!(SessionKey::new(&nfa, &params, &one), SessionKey::new(&nfa, &params, &other));
+    }
+
+    #[test]
+    fn poisoned_sessions_are_recycled_on_lookup() {
+        let mut registry = ServiceRegistry::new(2);
+        let nfa = all_words();
+        let mut params = Params::for_session(0.4, 0.1, 1, 8);
+        params.max_membership_ops = Some(1);
+        let policy = SessionPolicy::Serial { seed: 2 };
+        // First query blows the (absurd) budget and poisons the session.
+        assert!(registry.session(&nfa, &params, &policy).unwrap().estimate(8).is_err());
+        // The key must not be bricked: the next lookup recompiles.
+        let session = registry.session(&nfa, &params, &policy).unwrap();
+        assert!(!session.is_poisoned());
+        assert_eq!(registry.stats().sessions_recycled, 1);
+        assert_eq!(registry.stats().sessions_created, 2);
+        assert_eq!(registry.stats().session_hits, 0);
+        assert_eq!(registry.len(), 1);
+    }
+
+    #[test]
+    fn construction_error_leaves_cache_intact() {
+        let mut registry = ServiceRegistry::new(2);
+        let mut bad = Params::for_session(0.3, 0.1, 1, 4);
+        bad.eps = -1.0;
+        let err = registry.session(&all_words(), &bad, &SessionPolicy::Serial { seed: 0 });
+        assert!(err.is_err());
+        assert!(registry.is_empty());
+        assert_eq!(registry.stats().sessions_created, 0);
+    }
+}

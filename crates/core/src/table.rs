@@ -55,6 +55,24 @@ impl RunTable {
     pub fn num_states(&self) -> usize {
         self.m
     }
+
+    /// Highest level the table has room for (the `n` of `0..=n`).
+    pub fn max_level(&self) -> usize {
+        self.cells.len() / self.m - 1
+    }
+
+    /// Extends the table with zeroed cells up to level `n` (no-op when
+    /// it already reaches that far). Existing cells are untouched, so a
+    /// checkpointed run can grow its horizon in place
+    /// ([`QuerySession`](crate::service::QuerySession), DESIGN.md D11).
+    pub fn grow(&mut self, n: usize) {
+        if n > self.max_level() {
+            self.cells.resize_with(self.m * (n + 1), || Cell {
+                n_est: ExtFloat::ZERO,
+                samples: SampleSet::empty(),
+            });
+        }
+    }
 }
 
 /// Memo key: the level of the predecessor sets plus the frontier bits.
@@ -143,6 +161,25 @@ mod tests {
         assert_eq!(t.cell(1, 0).n_est.to_f64(), 7.0);
         assert_eq!(t.cell(0, 1).n_est.to_f64(), 9.0);
         assert!(t.cell(1, 1).n_est.is_zero());
+    }
+
+    #[test]
+    fn grow_extends_with_zeroes_and_keeps_cells() {
+        let mut t = RunTable::new(2, 1);
+        assert_eq!(t.max_level(), 1);
+        t.cell_mut(1, 1).n_est = ExtFloat::from_u64(5);
+        t.grow(3);
+        assert_eq!(t.max_level(), 3);
+        assert_eq!(t.cell(1, 1).n_est.to_f64(), 5.0);
+        for level in 2..=3 {
+            for q in 0..2 {
+                assert!(t.cell(level, q).n_est.is_zero());
+                assert!(t.cell(level, q).samples.is_empty());
+            }
+        }
+        // Shrinking is a no-op.
+        t.grow(0);
+        assert_eq!(t.max_level(), 3);
     }
 
     #[test]

@@ -7,14 +7,18 @@
 //! * [`ambiguous`] — automata with many accepting runs per word (the
 //!   hazard #NFA counters must not fall for);
 //! * [`regex_corpus`] — realistic regex-derived instances;
-//! * [`graphs`] — random labeled graphs feeding the RPQ application.
+//! * [`graphs`] — random labeled graphs feeding the RPQ application;
+//! * [`traces`] — mixed-automaton query streams with repeat locality
+//!   (the service layer's workload).
 
 pub mod ambiguous;
 pub mod families;
 pub mod graphs;
 pub mod random;
 pub mod regex_corpus;
+pub mod traces;
 
 pub use graphs::{random_graph, LabeledGraph, RandomGraphConfig};
 pub use random::{random_nfa, RandomNfaConfig};
 pub use regex_corpus::{binary_corpus, CorpusEntry};
+pub use traces::{query_trace, QueryTraceConfig, TraceQuery};

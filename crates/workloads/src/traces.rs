@@ -1,0 +1,123 @@
+//! Query-trace generation for the service layer.
+//!
+//! The session benchmarks (`fpras-bench` query-trace family,
+//! `examples/query_session.rs`) need realistic *query streams*, not
+//! single instances: many `(automaton, length)` requests with the
+//! temporal locality real traffic has — popular lengths get re-asked,
+//! new lengths arrive near previously seen ones, and a handful of
+//! automata dominate. [`query_trace`] produces such a stream,
+//! deterministically from a seed.
+
+use rand::{Rng, RngExt};
+
+/// Configuration for [`query_trace`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryTraceConfig {
+    /// Number of queries in the trace.
+    pub queries: usize,
+    /// Number of distinct automata the trace mixes (queries carry an
+    /// index `0..automata`; the caller maps indices to instances).
+    pub automata: usize,
+    /// Smallest length a query may ask for.
+    pub min_len: usize,
+    /// Largest length a query may ask for.
+    pub max_len: usize,
+    /// Probability that a query repeats an already-seen
+    /// `(automaton, length)` pair instead of drawing a fresh length —
+    /// the temporal locality a session cache amortizes. `0.0` is an
+    /// adversarial all-fresh stream, `1.0` re-asks the first query
+    /// forever.
+    pub repeat_bias: f64,
+}
+
+impl Default for QueryTraceConfig {
+    fn default() -> Self {
+        QueryTraceConfig { queries: 40, automata: 2, min_len: 4, max_len: 16, repeat_bias: 0.5 }
+    }
+}
+
+/// One query of a trace: ask automaton `automaton` for length `len`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceQuery {
+    /// Index of the automaton being queried (`0..config.automata`).
+    pub automaton: usize,
+    /// The slice length asked for.
+    pub len: usize,
+}
+
+/// Generates a mixed-automaton query stream with repeat locality;
+/// identical seeds give identical traces.
+///
+/// Each query picks an automaton uniformly, then with probability
+/// `repeat_bias` re-asks a uniformly chosen *earlier* query of the same
+/// automaton (falling back to a fresh draw when there is none), and
+/// otherwise draws a fresh length uniformly from
+/// `min_len..=max_len`.
+pub fn query_trace<R: Rng + ?Sized>(config: &QueryTraceConfig, rng: &mut R) -> Vec<TraceQuery> {
+    assert!(config.automata >= 1, "need at least one automaton");
+    assert!(config.min_len <= config.max_len, "empty length range");
+    let mut seen: Vec<Vec<usize>> = vec![Vec::new(); config.automata];
+    let mut out = Vec::with_capacity(config.queries);
+    for _ in 0..config.queries {
+        let automaton = rng.random_range(0..config.automata);
+        let history = &seen[automaton];
+        let len = if !history.is_empty() && rng.random_range(0.0..1.0) < config.repeat_bias {
+            history[rng.random_range(0..history.len())]
+        } else {
+            rng.random_range(config.min_len..=config.max_len)
+        };
+        seen[automaton].push(len);
+        out.push(TraceQuery { automaton, len });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::SmallRng, SeedableRng};
+    use std::collections::HashSet;
+
+    #[test]
+    fn trace_is_deterministic_and_in_range() {
+        let config = QueryTraceConfig::default();
+        let a = query_trace(&config, &mut SmallRng::seed_from_u64(7));
+        let b = query_trace(&config, &mut SmallRng::seed_from_u64(7));
+        assert_eq!(a, b);
+        assert_eq!(a.len(), config.queries);
+        for q in &a {
+            assert!(q.automaton < config.automata);
+            assert!((config.min_len..=config.max_len).contains(&q.len));
+        }
+    }
+
+    #[test]
+    fn repeat_bias_creates_locality() {
+        let config = QueryTraceConfig {
+            queries: 200,
+            automata: 2,
+            min_len: 1,
+            max_len: 1000,
+            repeat_bias: 0.7,
+        };
+        let trace = query_trace(&config, &mut SmallRng::seed_from_u64(1));
+        let distinct: HashSet<_> = trace.iter().map(|q| (q.automaton, q.len)).collect();
+        // With 1000 possible lengths and 70% repeats, the distinct set
+        // must be far smaller than the trace.
+        assert!(distinct.len() < 120, "distinct {}", distinct.len());
+        // And an all-fresh trace must not collapse like that.
+        let fresh = query_trace(
+            &QueryTraceConfig { repeat_bias: 0.0, ..config },
+            &mut SmallRng::seed_from_u64(1),
+        );
+        let fresh_distinct: HashSet<_> = fresh.iter().map(|q| (q.automaton, q.len)).collect();
+        assert!(fresh_distinct.len() > 150, "distinct {}", fresh_distinct.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty length range")]
+    fn bad_range_panics() {
+        let config = QueryTraceConfig { min_len: 5, max_len: 4, ..Default::default() };
+        query_trace(&config, &mut SmallRng::seed_from_u64(0));
+    }
+}

@@ -1,0 +1,71 @@
+//! One automaton, many lengths, one session: incremental level reuse.
+//!
+//! ```text
+//! cargo run --release --example query_session
+//! ```
+//!
+//! Opens a [`QuerySession`] on the `contains11` fixture
+//! (`examples/data/contains11.nfa`) and answers a sweep of lengths in a
+//! deliberately mixed order. The session builds each DP level exactly
+//! once — a query for a longer slice *extends* the checkpointed run,
+//! a query for a shorter one is a table read — and the example prints,
+//! per query, how many levels were built vs. reused.
+//!
+//! The load-bearing invariant (DESIGN.md D11): every answer is
+//! **bit-identical** to a fresh engine run at that length under the
+//! same seed and policy, which this example asserts for each query
+//! while paying the fresh-run cost only here, for the comparison — the
+//! session itself never rebuilds a finished level.
+
+use fpras_automata::parse;
+use fpras_core::service::{QuerySession, SessionPolicy};
+use fpras_core::{run_parallel, Params};
+
+const FIXTURE: &str = include_str!("data/contains11.nfa");
+
+fn main() {
+    let nfa = parse::from_text(FIXTURE).expect("fixture parses");
+    let max_n = 24;
+    let seed = 7;
+    let params = Params::for_session(0.3, 0.1, nfa.num_states(), max_n);
+    let policy = SessionPolicy::Deterministic { seed, threads: 1 };
+    let mut session = QuerySession::new(&nfa, params.clone(), policy).expect("valid params");
+
+    println!("query session over contains-11 (seed {seed}, max n {max_n})");
+    println!(
+        "{:>5}  {:>14}  {:>12}  {:>13}  {:>13}",
+        "n", "estimate", "log2", "levels built", "levels reused"
+    );
+    let sweep = [8usize, 4, 16, 12, 24, 16, 6, 20];
+    let mut built_before = 0;
+    for n in sweep {
+        let est = session.estimate(n).expect("no budget configured");
+        let built_now = session.stats().levels_built;
+        let reused_now = session.stats().levels_reused;
+        println!(
+            "{n:>5}  {:>14.5e}  {:>12.3}  {:>13}  {:>13}",
+            est.to_f64(),
+            est.log2(),
+            built_now - built_before,
+            reused_now,
+        );
+        built_before = built_now;
+
+        // The invariant that makes the subsystem safe: the session's
+        // answer is bit-identical to a fresh run at n.
+        let fresh = run_parallel(&nfa, n, &params, seed, 1).expect("fresh run");
+        assert_eq!(est, fresh.estimate(), "session must equal fresh run at n = {n}");
+    }
+
+    let s = session.stats();
+    println!(
+        "\ntotal: {} queries, {} levels built once, {} reused ({:.0}% of query demand)",
+        s.queries_served,
+        s.levels_built,
+        s.levels_reused,
+        100.0 * s.reuse_rate(),
+    );
+    assert_eq!(s.levels_built, max_n as u64, "each level is built exactly once");
+    assert!(s.levels_reused > s.levels_built, "the sweep reuses more than it builds");
+    println!("every answer was bit-identical to a fresh engine run (D11) ✓");
+}

@@ -8,6 +8,8 @@
 //! nfa-count --regex '0*1' -n 20 --method bdd     # exact via BDD
 //! nfa-count --regex '1*' -n 8 --enumerate 10     # list the first words
 //! nfa-count --file machine.nfa -n 8 --dot        # emit Graphviz and exit
+//! nfa-count query --regex '1(0|1)*' --lengths 8,4,12   # one session, many lengths
+//! echo 'estimate 16' | nfa-count serve --regex '1*'    # stdin query loop
 //! ```
 //!
 //! Methods: `fpras` (default, Algorithm 3 through the level-synchronous
@@ -17,10 +19,16 @@
 //! determinization DP), `bdd` (exact BDD model counting). `parallel` is
 //! accepted as a deprecated alias for `fpras` with multi-threading. The
 //! NFA file format is documented in `fpras_automata::parse`.
+//!
+//! The `serve` and `query` subcommands answer many lengths from **one**
+//! `fpras_core::service::QuerySession` (levels built once, reused by
+//! every related query; answers bit-identical to fresh runs — DESIGN.md
+//! D11).
 
 use fpras_automata::exact::count_exact;
 use fpras_automata::{dot, enumerate_slice, parse, regex, Alphabet, Nfa};
 use fpras_baselines::path_importance_sampling;
+use fpras_core::service::{QuerySession, SessionPolicy};
 use fpras_core::{run_parallel, FprasRun, Params, RunStats, UniformGenerator};
 use fpras_numeric::ExtFloat;
 use rand::{rngs::SmallRng, SeedableRng};
@@ -161,8 +169,10 @@ fn parse_args() -> Args {
     args
 }
 
-fn load_nfa(args: &Args) -> Nfa {
-    if let Some(pattern) = &args.regex {
+/// Loads the automaton from `--regex` or `--file` (exactly one is set,
+/// enforced by both argument parsers).
+fn load_automaton(regex_pattern: Option<&str>, file: Option<&str>) -> Nfa {
+    if let Some(pattern) = regex_pattern {
         match regex::compile_regex(pattern, &Alphabet::binary()) {
             Ok(nfa) => nfa,
             Err(e) => {
@@ -171,7 +181,7 @@ fn load_nfa(args: &Args) -> Nfa {
             }
         }
     } else {
-        let path = args.file.as_ref().expect("validated");
+        let path = file.expect("validated");
         let text = match std::fs::read_to_string(path) {
             Ok(t) => t,
             Err(e) => {
@@ -233,9 +243,244 @@ fn report_stats(s: &RunStats) {
     println!("  wall                 {:?}", s.wall);
 }
 
+/// Shared flags of the `serve`/`query` subcommands.
+struct ServiceArgs {
+    regex: Option<String>,
+    file: Option<String>,
+    eps: f64,
+    delta: f64,
+    seed: u64,
+    threads: usize,
+    /// Largest length the session's parameters are derived for
+    /// (`query` raises it to the largest requested length).
+    max_n: usize,
+    lengths: Vec<usize>,
+    stats: bool,
+}
+
+fn service_usage(cmd: &str) -> ! {
+    eprintln!(
+        "usage: nfa-count {cmd} (--regex PATTERN | --file PATH)\n\
+         \t{}[--eps E=0.2] [--delta D=0.05] [--seed S=42]\n\
+         \t[--threads T=0] [--max-n N=64] [--stats]\n\
+         \n\
+         One QuerySession serves every length: levels are built once and\n\
+         reused by later queries; answers are bit-identical to a fresh\n\
+         run at the same length under the same --seed and --threads.\n\
+         --max-n sizes the error-budget split and is a hard cap: lengths\n\
+         above it are refused (`query` raises it to max(--lengths)\n\
+         automatically).{}",
+        if cmd == "query" { "--lengths N1,N2,… " } else { "" },
+        if cmd == "serve" {
+            "\n\nserve reads queries from stdin, one per line:\n\
+             \testimate N | range A B | sample N [COUNT] | stats | quit"
+        } else {
+            ""
+        }
+    );
+    std::process::exit(2)
+}
+
+fn parse_service_args(cmd: &str, argv: &[String]) -> ServiceArgs {
+    let mut args = ServiceArgs {
+        regex: None,
+        file: None,
+        eps: 0.2,
+        delta: 0.05,
+        seed: 42,
+        threads: 0,
+        max_n: 64,
+        lengths: Vec::new(),
+        stats: false,
+    };
+    let mut i = 0;
+    let value = |i: &mut usize| -> String {
+        *i += 1;
+        argv.get(*i).cloned().unwrap_or_else(|| service_usage(cmd))
+    };
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--regex" => args.regex = Some(value(&mut i)),
+            "--file" => args.file = Some(value(&mut i)),
+            "--eps" => args.eps = value(&mut i).parse().unwrap_or_else(|_| service_usage(cmd)),
+            "--delta" => args.delta = value(&mut i).parse().unwrap_or_else(|_| service_usage(cmd)),
+            "--seed" => args.seed = value(&mut i).parse().unwrap_or_else(|_| service_usage(cmd)),
+            "--threads" => {
+                args.threads = value(&mut i).parse().unwrap_or_else(|_| service_usage(cmd))
+            }
+            "--max-n" => args.max_n = value(&mut i).parse().unwrap_or_else(|_| service_usage(cmd)),
+            "--stats" => args.stats = true,
+            "--lengths" if cmd == "query" => {
+                args.lengths = value(&mut i)
+                    .split(',')
+                    .map(|s| s.trim().parse().unwrap_or_else(|_| service_usage(cmd)))
+                    .collect();
+            }
+            "--help" | "-h" => service_usage(cmd),
+            other => {
+                eprintln!("unknown argument {other:?}");
+                service_usage(cmd)
+            }
+        }
+        i += 1;
+    }
+    if args.regex.is_none() == args.file.is_none() {
+        service_usage(cmd);
+    }
+    if cmd == "query" && args.lengths.is_empty() {
+        eprintln!("query requires --lengths");
+        service_usage(cmd);
+    }
+    args
+}
+
+/// Builds the session for a `serve`/`query` invocation. Parameter
+/// checking is [`QuerySession::new`]'s job (the one shared
+/// [`Params::validate`] path); this only maps its error to a usage
+/// exit, before any level is built.
+fn open_session(args: &ServiceArgs, nfa: &Nfa) -> QuerySession {
+    let params = Params::for_session(args.eps, args.delta, nfa.num_states(), args.max_n);
+    let policy = if args.threads == 0 {
+        SessionPolicy::Serial { seed: args.seed }
+    } else {
+        SessionPolicy::Deterministic { seed: args.seed, threads: args.threads }
+    };
+    match QuerySession::new(nfa, params, policy) {
+        Ok(session) => session,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn print_session_summary(session: &QuerySession) {
+    let s = session.stats();
+    println!(
+        "session: queries={} levels_built={} levels_reused={} reuse_rate={:.3}",
+        s.queries_served,
+        s.levels_built,
+        s.levels_reused,
+        s.reuse_rate()
+    );
+}
+
+/// The shared `serve`/`query` exit report: the reuse summary and, under
+/// `--stats`, the build counters merged with the sample-serving work
+/// (tracked apart so serving never spends the build budget).
+fn finish_session(session: &QuerySession, stats: bool) {
+    print_session_summary(session);
+    if stats {
+        let mut merged = session.run_stats().clone();
+        merged.merge(session.query_run_stats());
+        report_stats(&merged);
+    }
+}
+
+/// `nfa-count query`: one session answers a list of lengths in order.
+fn query_main(argv: &[String]) {
+    let mut args = parse_service_args("query", argv);
+    args.max_n = args.max_n.max(args.lengths.iter().copied().max().unwrap_or(0));
+    let nfa = load_automaton(args.regex.as_deref(), args.file.as_deref());
+    let mut session = open_session(&args, &nfa);
+    for &n in &args.lengths {
+        match session.estimate(n) {
+            Ok(est) => println!("estimate |L(A_{n})| ≈ {est} (log2 ≈ {:.3})", est.log2()),
+            Err(e) => {
+                eprintln!("query n={n} failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    finish_session(&session, args.stats);
+}
+
+/// `nfa-count serve`: a stdin-driven query loop over one session.
+fn serve_main(argv: &[String]) {
+    let args = parse_service_args("serve", argv);
+    let nfa = load_automaton(args.regex.as_deref(), args.file.as_deref());
+    let mut session = open_session(&args, &nfa);
+    let mut sample_rng = SmallRng::seed_from_u64(args.seed ^ 0x05A3_F1E5);
+    eprintln!("serving (estimate N | range A B | sample N [COUNT] | stats | quit)");
+    let stdin = std::io::stdin();
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match stdin.read_line(&mut line) {
+            Ok(0) | Err(_) => break, // EOF
+            Ok(_) => {}
+        }
+        let mut words = line.split_whitespace();
+        let Some(cmd) = words.next() else { continue };
+        let parse_n = |w: Option<&str>| w.and_then(|s| s.parse::<usize>().ok());
+        match cmd {
+            "estimate" => match parse_n(words.next()) {
+                Some(n) => match session.estimate(n) {
+                    Ok(est) => println!("estimate {n} = {est} (log2 {:.3})", est.log2()),
+                    Err(e) => println!("error: {e}"),
+                },
+                None => println!("error: usage: estimate N"),
+            },
+            "range" => match (parse_n(words.next()), parse_n(words.next())) {
+                (Some(a), Some(b)) if a <= b => match session.estimate_range(a..=b) {
+                    Ok(slices) => {
+                        for (ell, est) in (a..=b).zip(slices) {
+                            println!("estimate {ell} = {est} (log2 {:.3})", est.log2());
+                        }
+                    }
+                    Err(e) => println!("error: {e}"),
+                },
+                _ => println!("error: usage: range A B (A <= B)"),
+            },
+            "sample" => match parse_n(words.next()) {
+                Some(n) => {
+                    let count = parse_n(words.next()).unwrap_or(1).max(1);
+                    for _ in 0..count {
+                        match session.sample(n, &mut sample_rng) {
+                            Ok(Some(w)) => println!("sample {n} = {}", w.display(nfa.alphabet())),
+                            // None is ambiguous: an empty slice can
+                            // never yield a word (stop), exhausted
+                            // retries are transient (keep drawing).
+                            Ok(None) => match session.slice_is_empty(n) {
+                                Ok(true) => {
+                                    println!("sample {n} = (empty slice)");
+                                    break;
+                                }
+                                Ok(false) => println!("sample {n} = (retries exhausted)"),
+                                Err(e) => {
+                                    println!("error: {e}");
+                                    break;
+                                }
+                            },
+                            Err(e) => {
+                                println!("error: {e}");
+                                break;
+                            }
+                        }
+                    }
+                }
+                None => println!("error: usage: sample N [COUNT]"),
+            },
+            "stats" => print_session_summary(&session),
+            "quit" | "exit" => break,
+            other => println!("error: unknown command {other:?}"),
+        }
+    }
+    finish_session(&session, args.stats);
+}
+
 fn main() {
+    // Subcommand dispatch: `serve` and `query` are the service surface;
+    // anything else is the classic one-shot CLI.
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match argv.first().map(String::as_str) {
+        Some("serve") => return serve_main(&argv[1..]),
+        Some("query") => return query_main(&argv[1..]),
+        _ => {}
+    }
+
     let args = parse_args();
-    let nfa = load_nfa(&args);
+    let nfa = load_automaton(args.regex.as_deref(), args.file.as_deref());
     eprintln!(
         "automaton: {} states, {} transitions, alphabet {:?}",
         nfa.num_states(),
@@ -270,6 +515,12 @@ fn main() {
             }
             if let Some(chunk) = args.steal_chunk {
                 params.steal_chunk = chunk;
+            }
+            // One checker for every surface (engine, sessions, CLI):
+            // fail fast with a clean message instead of a mid-run error.
+            if let Err(e) = params.validate() {
+                eprintln!("{e}");
+                std::process::exit(2);
             }
             let threads = args.threads.unwrap_or(0);
             // threads = 0: Serial policy (one RNG threaded through the

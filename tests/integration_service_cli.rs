@@ -1,0 +1,155 @@
+//! End-to-end tests of the `nfa-count serve`/`query` service surface:
+//! one session answering many lengths, reuse accounting, the stdin
+//! query loop, and the centralized parameter validation.
+
+use std::io::Write;
+use std::process::{Command, Stdio};
+
+fn run(args: &[&str]) -> (String, String, bool) {
+    let out =
+        Command::new(env!("CARGO_BIN_EXE_nfa-count")).args(args).output().expect("binary runs");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.success(),
+    )
+}
+
+fn run_with_stdin(args: &[&str], input: &str) -> (String, String, bool) {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_nfa-count"))
+        .args(args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("binary spawns");
+    child.stdin.as_mut().expect("stdin piped").write_all(input.as_bytes()).expect("stdin write");
+    let out = child.wait_with_output().expect("binary runs");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.success(),
+    )
+}
+
+fn estimate_line<'a>(stdout: &'a str, needle: &str) -> &'a str {
+    stdout.lines().find(|l| l.contains(needle)).unwrap_or_else(|| panic!("no {needle}: {stdout}"))
+}
+
+#[test]
+fn query_serves_lengths_from_one_session() {
+    let (stdout, stderr, ok) = run(&[
+        "query",
+        "--regex",
+        "1(0|1)*",
+        "--lengths",
+        "8,4,12,8",
+        "--seed",
+        "9",
+        "--threads",
+        "2",
+    ]);
+    assert!(ok, "stderr: {stderr}");
+    // Deterministic language: |L(A_n)| = 2^{n-1} exactly for this toy.
+    assert!(stdout.contains("estimate |L(A_8)|"), "{stdout}");
+    assert!(stdout.contains("estimate |L(A_4)|"), "{stdout}");
+    assert!(stdout.contains("estimate |L(A_12)|"), "{stdout}");
+    // 12 levels built once; 8 + 4 + 8 reused by the other queries.
+    assert!(stdout.contains("queries=4"), "{stdout}");
+    assert!(stdout.contains("levels_built=12"), "{stdout}");
+    assert!(stdout.contains("levels_reused=20"), "{stdout}");
+}
+
+#[test]
+fn query_answers_do_not_depend_on_query_order() {
+    // The session invariant (D11) surfaced through the CLI: asking for
+    // n = 10 after a smaller length returns the byte-identical line a
+    // lone n = 10 query produces (same seed, same policy).
+    let base = ["query", "--regex", "(0|1)*11(0|1)*", "--seed", "4", "--max-n", "10"];
+    let lone = {
+        let mut a = base.to_vec();
+        a.extend_from_slice(&["--lengths", "10"]);
+        run(&a)
+    };
+    let mixed = {
+        let mut a = base.to_vec();
+        a.extend_from_slice(&["--lengths", "3,7,10"]);
+        run(&a)
+    };
+    assert!(lone.2 && mixed.2, "{} {}", lone.1, mixed.1);
+    assert_eq!(
+        estimate_line(&lone.0, "|L(A_10)|"),
+        estimate_line(&mixed.0, "|L(A_10)|"),
+        "extension must be bit-identical to a fresh run"
+    );
+    // And the Deterministic policy is thread-count independent too.
+    let threaded = {
+        let mut a = base.to_vec();
+        a.extend_from_slice(&["--lengths", "3,7,10", "--threads", "1"]);
+        run(&a)
+    };
+    let threaded4 = {
+        let mut a = base.to_vec();
+        a.extend_from_slice(&["--lengths", "3,7,10", "--threads", "4"]);
+        run(&a)
+    };
+    assert!(threaded.2 && threaded4.2);
+    assert_eq!(
+        estimate_line(&threaded.0, "|L(A_10)|"),
+        estimate_line(&threaded4.0, "|L(A_10)|"),
+        "thread count must not change session answers"
+    );
+}
+
+#[test]
+fn serve_loop_answers_stdin_queries() {
+    let input = "estimate 6\nrange 4 6\nsample 6 2\nbogus\nstats\nquit\n";
+    let (stdout, stderr, ok) =
+        run_with_stdin(&["serve", "--regex", "(0|1)*11(0|1)*", "--seed", "5"], input);
+    assert!(ok, "stderr: {stderr}");
+    assert!(stdout.contains("estimate 6 = "), "{stdout}");
+    assert!(stdout.contains("estimate 4 = "), "{stdout}");
+    assert!(stdout.contains("estimate 5 = "), "{stdout}");
+    assert!(stdout.contains("sample 6 = "), "{stdout}");
+    assert!(stdout.contains("error: unknown command"), "{stdout}");
+    assert!(stdout.contains("levels_built=6"), "{stdout}");
+    // Sampled words come from L(A_6): length 6, containing "11".
+    for line in stdout.lines().filter(|l| l.starts_with("sample 6 = ")) {
+        let word = line.rsplit(' ').next().unwrap();
+        assert_eq!(word.len(), 6, "{line}");
+        assert!(word.contains("11"), "{line}");
+    }
+    // `range` reuses the levels `estimate 6` built: only reuse grows.
+    assert!(stdout.contains("levels_reused="), "{stdout}");
+}
+
+#[test]
+fn serve_handles_eof_without_quit() {
+    let (stdout, _, ok) =
+        run_with_stdin(&["serve", "--regex", "1*", "--seed", "1"], "estimate 3\n");
+    assert!(ok);
+    assert!(stdout.contains("estimate 3 = 1"), "{stdout}");
+    assert!(stdout.contains("session: queries=1"), "{stdout}");
+}
+
+#[test]
+fn invalid_params_rejected_by_all_surfaces() {
+    // The one Params::validate() checker answers for the legacy CLI,
+    // the service subcommands, and QuerySession::new alike.
+    let (_, stderr, ok) = run(&["--regex", "1*", "-n", "4", "--eps", "3.0"]);
+    assert!(!ok);
+    assert!(stderr.contains("invalid parameters"), "{stderr}");
+    let (_, stderr2, ok2) = run(&["query", "--regex", "1*", "--lengths", "4", "--eps", "0.0"]);
+    assert!(!ok2);
+    assert!(stderr2.contains("invalid parameters"), "{stderr2}");
+    let (_, stderr3, ok3) = run_with_stdin(&["serve", "--regex", "1*", "--delta", "2.0"], "");
+    assert!(!ok3);
+    assert!(stderr3.contains("invalid parameters"), "{stderr3}");
+}
+
+#[test]
+fn query_requires_lengths() {
+    let (_, stderr, ok) = run(&["query", "--regex", "1*"]);
+    assert!(!ok);
+    assert!(stderr.contains("--lengths"), "{stderr}");
+}
