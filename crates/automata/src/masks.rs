@@ -3,24 +3,39 @@
 //! The paper's complexity analysis (§4.3) amortizes membership-oracle
 //! calls by precomputing, for every sampled string `w`, the set of states
 //! reachable via `w`; subsequent oracle queries are then `O(1)`. This
-//! module supplies the machinery: one [`StateSet`] per `(symbol, state)`
+//! module supplies the machinery: one bitset row per `(symbol, state)`
 //! holding its successors (resp. predecessors), so a set-valued step is a
 //! word-wide OR per member state instead of a pointer chase per
 //! transition.
+//!
+//! The rows live in two flat **symbol-major word arenas** (`succ_words`,
+//! `pred_words`), not a `Vec<Vec<StateSet>>`: the row for `(sym, q)`
+//! starts at `(sym·m + q)·stride` where `stride = ⌈m/64⌉`. One
+//! contiguous allocation per direction keeps the per-member ORs on
+//! cache-adjacent memory and lets the engine borrow raw rows
+//! (`pred_row`) without constructing sets. The in-place kernels
+//! [`StepMasks::step_into`] / [`StepMasks::step_back_into`] write into a
+//! caller-owned output set, so the sampler's per-symbol inner loop
+//! allocates nothing; [`StepMasks::step`] / [`StepMasks::step_back`]
+//! remain as allocating conveniences.
 
 use crate::alphabet::Symbol;
 use crate::nfa::Nfa;
 use crate::stateset::StateSet;
 use crate::word::Word;
 
-/// Bit-parallel stepping tables for one NFA.
+/// Bit-parallel stepping tables for one NFA, backed by flat word arenas.
 #[derive(Clone, Debug)]
 pub struct StepMasks {
     universe: usize,
-    /// `succ[sym][q]` = successor set of `q` on `sym`, as a bitset.
-    succ: Vec<Vec<StateSet>>,
-    /// `pred[sym][q]` = predecessor set of `q` on `sym`, as a bitset.
-    pred: Vec<Vec<StateSet>>,
+    /// Words per row: `⌈universe/64⌉`.
+    stride: usize,
+    /// Alphabet size.
+    k: usize,
+    /// Successor rows, symbol-major: row `(sym, q)` at `(sym·m + q)·stride`.
+    succ_words: Vec<u64>,
+    /// Predecessor rows, same layout.
+    pred_words: Vec<u64>,
     initial: usize,
     accepting: StateSet,
 }
@@ -30,28 +45,26 @@ impl StepMasks {
     pub fn new(nfa: &Nfa) -> Self {
         let m = nfa.num_states();
         let k = nfa.alphabet().size();
-        let mut succ = Vec::with_capacity(k);
-        let mut pred = Vec::with_capacity(k);
+        let stride = m.div_ceil(64);
+        let mut succ_words = vec![0u64; k * m * stride];
+        let mut pred_words = vec![0u64; k * m * stride];
         for sym in 0..k as u8 {
-            let mut s_row = Vec::with_capacity(m);
-            let mut p_row = Vec::with_capacity(m);
             for q in 0..m as u32 {
-                s_row.push(StateSet::from_iter(
-                    m,
-                    nfa.successors(q, sym).iter().map(|&t| t as usize),
-                ));
-                p_row.push(StateSet::from_iter(
-                    m,
-                    nfa.predecessors(q, sym).iter().map(|&t| t as usize),
-                ));
+                let at = (sym as usize * m + q as usize) * stride;
+                for &t in nfa.successors(q, sym) {
+                    succ_words[at + t as usize / 64] |= 1u64 << (t % 64);
+                }
+                for &t in nfa.predecessors(q, sym) {
+                    pred_words[at + t as usize / 64] |= 1u64 << (t % 64);
+                }
             }
-            succ.push(s_row);
-            pred.push(p_row);
         }
         StepMasks {
             universe: m,
-            succ,
-            pred,
+            stride,
+            k,
+            succ_words,
+            pred_words,
             initial: nfa.initial() as usize,
             accepting: nfa.accepting().clone(),
         }
@@ -62,44 +75,77 @@ impl StepMasks {
         self.universe
     }
 
-    /// One forward step from `from` on `sym`.
+    /// Alphabet size the tables were built for.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The NFA's initial state.
+    pub fn initial(&self) -> usize {
+        self.initial
+    }
+
+    /// The arena row of `q`'s predecessors on `sym`, as raw words.
+    #[inline]
+    pub fn pred_row(&self, sym: Symbol, q: usize) -> &[u64] {
+        let at = (sym as usize * self.universe + q) * self.stride;
+        &self.pred_words[at..at + self.stride]
+    }
+
+    /// One forward step from `from` on `sym`, written into `out`
+    /// (cleared first). `out` must range over the same universe.
+    #[inline]
+    pub fn step_into(&self, from: &StateSet, sym: Symbol, out: &mut StateSet) {
+        out.clear();
+        let base = sym as usize * self.universe * self.stride;
+        for q in from.iter() {
+            let at = base + q * self.stride;
+            out.union_with_words(&self.succ_words[at..at + self.stride]);
+        }
+    }
+
+    /// One backward step from `of` on `sym`, written into `out`
+    /// (cleared first): `P_b = ⋃_{p∈P} Pred(p, b)`, Algorithm 2 line 9.
+    #[inline]
+    pub fn step_back_into(&self, of: &StateSet, sym: Symbol, out: &mut StateSet) {
+        out.clear();
+        let base = sym as usize * self.universe * self.stride;
+        for q in of.iter() {
+            let at = base + q * self.stride;
+            out.union_with_words(&self.pred_words[at..at + self.stride]);
+        }
+    }
+
+    /// One forward step from `from` on `sym` (allocating convenience).
     #[inline]
     pub fn step(&self, from: &StateSet, sym: Symbol) -> StateSet {
         let mut out = StateSet::empty(self.universe);
-        let row = &self.succ[sym as usize];
-        for q in from.iter() {
-            out.union_with(&row[q]);
-        }
+        self.step_into(from, sym, &mut out);
         out
     }
 
-    /// One backward step from `of` on `sym`
-    /// (`P_b = ⋃_{p∈P} Pred(p, b)`, Algorithm 2 line 9).
+    /// One backward step from `of` on `sym` (allocating convenience).
     #[inline]
     pub fn step_back(&self, of: &StateSet, sym: Symbol) -> StateSet {
         let mut out = StateSet::empty(self.universe);
-        let row = &self.pred[sym as usize];
-        for q in of.iter() {
-            out.union_with(&row[q]);
-        }
+        self.step_back_into(of, sym, &mut out);
         out
     }
 
     /// States reachable from the initial state via `word` — the value the
     /// membership oracle stores per sampled string.
     pub fn reach(&self, word: &Word) -> StateSet {
-        let mut cur = StateSet::singleton(self.universe, self.initial);
-        for &sym in word.symbols() {
-            cur = self.step(&cur, sym);
-        }
-        cur
+        self.reach_from(&StateSet::singleton(self.universe, self.initial), word)
     }
 
     /// States reachable via `word` starting from an arbitrary set.
     pub fn reach_from(&self, start: &StateSet, word: &Word) -> StateSet {
+        // Double-buffered: two sets for the whole walk, not one per step.
         let mut cur = start.clone();
+        let mut next = StateSet::empty(self.universe);
         for &sym in word.symbols() {
-            cur = self.step(&cur, sym);
+            self.step_into(&cur, sym, &mut next);
+            std::mem::swap(&mut cur, &mut next);
         }
         cur
     }
@@ -142,6 +188,36 @@ mod tests {
             for sym in 0..2u8 {
                 assert_eq!(masks.step(&set, sym), nfa.step(&set, sym));
                 assert_eq!(masks.step_back(&set, sym), nfa.step_back(&set, sym));
+            }
+        }
+    }
+
+    #[test]
+    fn into_kernels_match_and_clear_stale_bits() {
+        let nfa = contains_11();
+        let masks = StepMasks::new(&nfa);
+        let set = StateSet::from_iter(3, [0, 1]);
+        // Pre-fill the output with garbage: step_into must clear it.
+        let mut out = StateSet::full(3);
+        masks.step_into(&set, 1, &mut out);
+        assert_eq!(out, nfa.step(&set, 1));
+        let mut back = StateSet::full(3);
+        masks.step_back_into(&set, 1, &mut back);
+        assert_eq!(back, nfa.step_back(&set, 1));
+    }
+
+    #[test]
+    fn pred_row_matches_step_back_of_singleton() {
+        let nfa = contains_11();
+        let masks = StepMasks::new(&nfa);
+        for sym in 0..2u8 {
+            for q in 0..3usize {
+                let single = StateSet::singleton(3, q);
+                assert_eq!(
+                    masks.step_back(&single, sym).words(),
+                    masks.pred_row(sym, q),
+                    "sym {sym} q {q}"
+                );
             }
         }
     }

@@ -147,6 +147,36 @@ impl StateSet {
         &self.words
     }
 
+    /// In-place union with a raw word slice (an arena row covering the
+    /// same universe). The kernel form of [`StateSet::union_with`]: the
+    /// flat-arena callers ([`crate::StepMasks`], the interner) keep rows
+    /// as bare `&[u64]` and must not materialize a `StateSet` per row.
+    #[inline]
+    pub fn union_with_words(&mut self, row: &[u64]) {
+        debug_assert_eq!(self.words.len(), row.len());
+        for (a, b) in self.words.iter_mut().zip(row) {
+            *a |= b;
+        }
+    }
+
+    /// True iff the set shares a state with a raw word slice over the
+    /// same universe — [`StateSet::intersects`] against an arena row.
+    #[inline]
+    pub fn intersects_words(&self, row: &[u64]) -> bool {
+        debug_assert_eq!(self.words.len(), row.len());
+        self.words.iter().zip(row).any(|(a, b)| a & b != 0)
+    }
+
+    /// Copies `other`'s members into `self` without allocating (both
+    /// sets must range over the same universe). `clone_from` would also
+    /// avoid the allocation, but only when the capacities already match;
+    /// this form asserts the invariant the hot loops rely on.
+    #[inline]
+    pub fn copy_from(&mut self, other: &StateSet) {
+        debug_assert_eq!(self.universe, other.universe);
+        self.words.copy_from_slice(&other.words);
+    }
+
     fn trim_tail(&mut self) {
         let extra = self.words.len() * 64 - self.universe as usize;
         if extra > 0 {
@@ -259,6 +289,22 @@ mod tests {
         let s = StateSet::singleton(128, 127);
         assert_eq!(s.len(), 1);
         assert!(s.contains(127));
+    }
+
+    #[test]
+    fn word_slice_kernels_match_set_ops() {
+        let a = StateSet::from_iter(130, [1, 64, 129]);
+        let b = StateSet::from_iter(130, [64, 65]);
+        let mut u = a.clone();
+        u.union_with_words(b.words());
+        let mut expect = a.clone();
+        expect.union_with(&b);
+        assert_eq!(u, expect);
+        assert_eq!(a.intersects_words(b.words()), a.intersects(&b));
+        assert!(!a.intersects_words(StateSet::from_iter(130, [2, 66]).words()));
+        let mut c = StateSet::full(130);
+        c.copy_from(&a);
+        assert_eq!(c, a);
     }
 
     proptest! {

@@ -29,13 +29,18 @@
 use fpras_automata::ops::{trim, with_single_accepting};
 use fpras_automata::{Nfa, StateId, StateSet, StepMasks, Unrolling, Word};
 use fpras_core::sample_set::{SampleEntry, SampleSet};
-use fpras_core::table::{MemoKey, RunTable};
+use fpras_core::table::RunTable;
 use std::collections::HashMap;
 
-/// The baseline keeps its own flat memo; the engine's leveled
-/// copy-on-write [`fpras_core::UnionMemo`] is an FPRAS-side
-/// optimization the baseline deliberately does not share.
-type UnionMemo = HashMap<MemoKey, ExtFloat>;
+/// The baseline keeps its own flat memo keyed by `(level, frontier
+/// words)`; the engine's interned ids and leveled copy-on-write
+/// [`fpras_core::UnionMemo`] are FPRAS-side optimizations the baseline
+/// deliberately does not share.
+type UnionMemo = HashMap<(u32, Box<[u64]>), ExtFloat>;
+
+fn memo_key(level: usize, frontier: &StateSet) -> (u32, Box<[u64]>) {
+    (level as u32, frontier.words().into())
+}
 use fpras_core::{FprasError, RunStats};
 use fpras_numeric::{sample_extfloat_weights, ExtFloat};
 use rand::{Rng, RngExt};
@@ -180,13 +185,13 @@ fn memo_union(
     universe: usize,
     stats: &mut RunStats,
 ) -> ExtFloat {
-    if let Some(&v) = memo.get(&MemoKey::new(level, frontier)) {
+    if let Some(&v) = memo.get(&memo_key(level, frontier)) {
         stats.memo_hits += 1;
         return v;
     }
     stats.memo_misses += 1;
     let v = exhaustive_union(table, level, frontier, universe, stats);
-    memo.insert(MemoKey::new(level, frontier), v);
+    memo.insert(memo_key(level, frontier), v);
     v
 }
 

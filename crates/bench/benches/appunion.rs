@@ -4,7 +4,9 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use fpras_automata::{StateSet, Word};
 use fpras_core::sample_set::{SampleEntry, SampleSet};
-use fpras_core::{app_union, FprasRun, Params, RunStats, UniformGenerator, UnionSetInput};
+use fpras_core::{
+    app_union, FprasRun, Params, RunStats, UniformGenerator, UnionScratch, UnionSetInput,
+};
 use fpras_numeric::ExtFloat;
 use fpras_workloads::families;
 use rand::{rngs::SmallRng, RngExt, SeedableRng};
@@ -33,6 +35,7 @@ fn bench_appunion(c: &mut Criterion) {
         let params = Params::practical(0.2, 0.05, 8, 8);
         group.bench_with_input(BenchmarkId::from_parameter(eps), &eps, |b, &eps| {
             let mut rng = SmallRng::seed_from_u64(11);
+            let mut scratch = UnionScratch::new();
             b.iter(|| {
                 let inputs: Vec<UnionSetInput<'_>> = sets
                     .iter()
@@ -44,7 +47,8 @@ fn bench_appunion(c: &mut Criterion) {
                     })
                     .collect();
                 let mut stats = RunStats::default();
-                app_union(&params, eps, 0.05, 0.0, &inputs, 8, &mut rng, &mut stats).value
+                app_union(&params, eps, 0.05, 0.0, &inputs, 8, &mut rng, &mut scratch, &mut stats)
+                    .value
             });
         });
     }

@@ -1,0 +1,151 @@
+//! Criterion benches for the interned-frontier hot-path kernels (§2.5):
+//! intern lookup, the `StepMasks` flat-arena step kernels, the
+//! `AppUnion` prefix-mask build shape, and the full trial loop with a
+//! reused [`UnionScratch`]. These are the pieces the count/sample/share
+//! passes execute millions of times per run; `cargo bench --bench
+//! kernels` tracks their per-call cost so a regression to per-key
+//! allocation shows up as a step change.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fpras_automata::{StateSet, StepMasks, Word};
+use fpras_core::sample_set::{SampleEntry, SampleSet};
+use fpras_core::{app_union, FrontierInterner, Params, RunStats, UnionScratch, UnionSetInput};
+use fpras_numeric::ExtFloat;
+use fpras_workloads::{random_nfa, RandomNfaConfig};
+use rand::{rngs::SmallRng, RngExt, SeedableRng};
+
+/// Distinct pseudo-random frontiers over `universe` states.
+fn frontiers(universe: usize, count: usize, seed: u64) -> Vec<StateSet> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| {
+            StateSet::from_iter(universe, (0..universe).filter(|_| rng.random_range(0..4u8) == 0))
+        })
+        .collect()
+}
+
+/// Intern-hit lookup: the per-key cost every memo probe, plan build,
+/// and share pre-pass pays after a frontier's first appearance.
+fn bench_intern(c: &mut Criterion) {
+    let mut group = c.benchmark_group("intern_lookup");
+    for universe in [48usize, 192] {
+        let sets = frontiers(universe, 64, 21);
+        let interner = FrontierInterner::new(universe);
+        for s in &sets {
+            interner.intern(3, s); // warm: every bench probe is a hit
+        }
+        group.bench_with_input(BenchmarkId::from_parameter(universe), &universe, |b, _| {
+            let mut i = 0usize;
+            b.iter(|| {
+                let key = interner.intern(3, &sets[i % sets.len()]);
+                i += 1;
+                key.rng_tag()
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Forward/backward step on the flat predecessor-mask arena — the
+/// inner kernel of `LevelPlan::build` and the sampler's branch loop.
+fn bench_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("step_into");
+    for states in [48usize, 192] {
+        let nfa = random_nfa(
+            &RandomNfaConfig { states, alphabet: 2, density: 2.5, accepting: 2 },
+            &mut SmallRng::seed_from_u64(7),
+        );
+        let masks = StepMasks::new(&nfa);
+        let from = StateSet::from_iter(states, (0..states).step_by(3));
+        let mut out = StateSet::empty(states);
+        group.bench_with_input(BenchmarkId::new("forward", states), &states, |b, _| {
+            b.iter(|| {
+                masks.step_into(&from, 1, &mut out);
+                out.len()
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("backward", states), &states, |b, _| {
+            b.iter(|| {
+                masks.step_back_into(&from, 1, &mut out);
+                out.len()
+            });
+        });
+    }
+    group.finish();
+}
+
+/// The `AppUnion` prefix-mask build shape: one flat `k × stride` word
+/// buffer where block `i` is the union of sets `0..i` — block `i`
+/// copies block `i − 1` and sets one bit (no per-set allocation).
+fn bench_prefix_masks(c: &mut Criterion) {
+    let mut group = c.benchmark_group("prefix_mask_build");
+    for (k, universe) in [(8usize, 64usize), (32, 256)] {
+        let stride = universe.div_ceil(64);
+        let states: Vec<usize> = (0..k).map(|i| (i * 37) % universe).collect();
+        let mut prefix: Vec<u64> = Vec::new();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("k={k}/m={universe}")),
+            &k,
+            |b, _| {
+                b.iter(|| {
+                    prefix.clear();
+                    prefix.resize(k * stride, 0);
+                    for i in 1..k {
+                        let (done, rest) = prefix.split_at_mut(i * stride);
+                        rest[..stride].copy_from_slice(&done[(i - 1) * stride..]);
+                        let p = states[i - 1];
+                        rest[p / 64] |= 1u64 << (p % 64);
+                    }
+                    prefix[k * stride - 1]
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+/// The full `AppUnion` trial loop with a reused scratch — the dominant
+/// cost of every count pass and sampler memo miss.
+fn bench_appunion_trials(c: &mut Criterion) {
+    let mut group = c.benchmark_group("appunion_trial_loop");
+    let k = 8usize;
+    let mut rng = SmallRng::seed_from_u64(31);
+    let sets: Vec<(SampleSet, u64)> = (0..k)
+        .map(|i| {
+            let mut s = SampleSet::empty();
+            for _ in 0..2000 {
+                let w = rng.random_range(0..4096u64);
+                s.push(SampleEntry {
+                    word: Word::from_index(w, 12, 2),
+                    reach: StateSet::from_iter(k, [i, (i + w as usize) % k]),
+                });
+            }
+            (s, 4096)
+        })
+        .collect();
+    let inputs: Vec<UnionSetInput<'_>> = sets
+        .iter()
+        .enumerate()
+        .map(|(i, (s, sz))| UnionSetInput {
+            samples: s,
+            size_est: ExtFloat::from_u64(*sz),
+            state: i as u32,
+        })
+        .collect();
+    let params = Params::practical(0.2, 0.05, k, 8);
+    for eps in [0.3f64, 0.1] {
+        group.bench_with_input(BenchmarkId::from_parameter(eps), &eps, |b, &eps| {
+            let mut rng = SmallRng::seed_from_u64(11);
+            let mut scratch = UnionScratch::new();
+            b.iter(|| {
+                let mut stats = RunStats::default();
+                app_union(&params, eps, 0.05, 0.0, &inputs, k, &mut rng, &mut scratch, &mut stats)
+                    .value
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_intern, bench_step, bench_prefix_masks, bench_appunion_trials);
+criterion_main!(benches);

@@ -8,7 +8,7 @@
 use crate::table::{fnum, Table};
 use fpras_automata::{StateSet, Word};
 use fpras_core::sample_set::{SampleEntry, SampleSet};
-use fpras_core::{app_union, Params, RunStats, UnionSetInput};
+use fpras_core::{app_union, Params, RunStats, UnionScratch, UnionSetInput};
 use fpras_numeric::{stats, ExtFloat};
 use rand::{rngs::SmallRng, RngExt, SeedableRng};
 
@@ -64,7 +64,17 @@ fn karp_luby_estimate(family: &Family, eps: f64, seed: u64) -> (f64, u64) {
         .collect();
     let mut stats = RunStats::default();
     let mut rng = SmallRng::seed_from_u64(seed);
-    let est = app_union(&params, eps, 0.05, 0.0, &inputs, family.sets.len(), &mut rng, &mut stats);
+    let est = app_union(
+        &params,
+        eps,
+        0.05,
+        0.0,
+        &inputs,
+        family.sets.len(),
+        &mut rng,
+        &mut UnionScratch::new(),
+        &mut stats,
+    );
     (est.value.to_f64(), stats.membership_ops)
 }
 

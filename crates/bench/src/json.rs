@@ -49,6 +49,13 @@ pub struct CounterMeasurement {
     /// zero for serial/exact rows — scheduling evidence, varies run to
     /// run by design).
     pub pool_steals: u64,
+    /// Distinct frontiers hash-consed by the run's interner (§2.5;
+    /// zero for exact and baseline rows).
+    pub distinct_frontiers: u64,
+    /// Frontier-key constructions answered by an existing interned
+    /// entry — the allocations the pre-interner hot path paid per key
+    /// (zero for exact and baseline rows).
+    pub intern_hits: u64,
     /// Parallel efficiency `wall₁ / (wallₜ · t)` against the same
     /// instance's `fpras(ours)` `threads = 1` row (1.0 = ideal linear
     /// scaling; `None` for serial, control, and exact rows). Interpret
@@ -102,6 +109,8 @@ fn measure(
         preestimate_hits: r.preestimate_hits,
         memo_entries_shared: r.memo_entries_shared,
         pool_steals: r.pool_steals,
+        distinct_frontiers: r.distinct_frontiers,
+        intern_hits: r.intern_hits,
         parallel_efficiency: None,
         host_cpus: host_cpus(),
         queries_served: 1,
@@ -186,6 +195,8 @@ fn service_trace_rows(quick: bool, seed: u64) -> Vec<CounterMeasurement> {
         preestimate_hits: 0,
         memo_entries_shared: 0,
         pool_steals: 0,
+        distinct_frontiers: 0,
+        intern_hits: 0,
         parallel_efficiency: None,
         host_cpus: host_cpus(),
         queries_served: totals.queries_served,
@@ -223,6 +234,8 @@ fn service_trace_rows(quick: bool, seed: u64) -> Vec<CounterMeasurement> {
         preestimate_hits: 0,
         memo_entries_shared: 0,
         pool_steals: 0,
+        distinct_frontiers: 0,
+        intern_hits: 0,
         parallel_efficiency: None,
         host_cpus: host_cpus(),
         queries_served: queries as u64,
@@ -351,6 +364,8 @@ pub fn to_json(measurements: &[CounterMeasurement]) -> String {
         s.push_str(&format!("\"preestimate_hits\": {}, ", m.preestimate_hits));
         s.push_str(&format!("\"memo_entries_shared\": {}, ", m.memo_entries_shared));
         s.push_str(&format!("\"pool_steals\": {}, ", m.pool_steals));
+        s.push_str(&format!("\"distinct_frontiers\": {}, ", m.distinct_frontiers));
+        s.push_str(&format!("\"intern_hits\": {}, ", m.intern_hits));
         s.push_str(&format!(
             "\"parallel_efficiency\": {}, ",
             m.parallel_efficiency.map_or("null".to_string(), number)
@@ -480,6 +495,8 @@ mod tests {
                 preestimate_hits: 3,
                 memo_entries_shared: 120,
                 pool_steals: 5,
+                distinct_frontiers: 11,
+                intern_hits: 42,
                 parallel_efficiency: Some(0.5),
                 host_cpus: 4,
                 queries_served: 12,
@@ -498,6 +515,8 @@ mod tests {
                 preestimate_hits: 0,
                 memo_entries_shared: 0,
                 pool_steals: 0,
+                distinct_frontiers: 0,
+                intern_hits: 0,
                 parallel_efficiency: None,
                 host_cpus: 4,
                 queries_served: 1,
@@ -513,6 +532,8 @@ mod tests {
         assert!(doc.contains("\"preestimate_hits\": 3"));
         assert!(doc.contains("\"memo_entries_shared\": 120"));
         assert!(doc.contains("\"pool_steals\": 5"));
+        assert!(doc.contains("\"distinct_frontiers\": 11"));
+        assert!(doc.contains("\"intern_hits\": 42"));
         assert!(doc.contains("\"parallel_efficiency\": 0.5"));
         assert!(doc.contains("\"parallel_efficiency\": null"));
         assert!(doc.contains("\"host_cpus\": 4"));
@@ -550,6 +571,15 @@ mod tests {
         assert!(s_us < c_us, "session {s_us} µs/query must beat control {c_us} µs/query");
         assert!(ms.iter().any(|m| m.method == "exact-dp"));
         assert!(ms.iter().any(|m| m.threads == 8));
+        // Interner evidence (§2.5): the dense-random family re-keys the
+        // same frontiers constantly, so its FPRAS rows must show both
+        // distinct frontiers and repeat-intern hits.
+        let dense = ms
+            .iter()
+            .find(|m| m.instance.starts_with("dense-random-") && m.method == "fpras(ours)")
+            .expect("dense fpras row");
+        assert!(dense.distinct_frontiers > 0, "interner must store frontiers");
+        assert!(dense.intern_hits > 0, "dense-random must re-intern frontiers");
         assert!(ms.iter().any(|m| m.method == "fpras(unbatched)"));
         assert!(ms.iter().any(|m| m.method == "fpras(unshared)"));
         // The large skewed instances are present, thread-identical, and

@@ -18,7 +18,7 @@ use crate::run_stats::RunStats;
 use crate::sample_set::SampleSet;
 use crate::table::RunTable;
 use fpras_automata::{StateId, StateSet};
-use fpras_numeric::{sample_weights, ExtFloat};
+use fpras_numeric::{ExtFloat, WeightTable};
 use rand::{Rng, RngExt};
 
 /// One input set `T_i = L(p_iℓ)` for `AppUnion`.
@@ -72,12 +72,40 @@ pub struct UnionEstimate {
     pub broke_early: bool,
 }
 
+/// Reusable working memory for [`app_union`]: the selection weights, the
+/// prefix masks (one flat word buffer, not one `StateSet` per input
+/// set), and the per-set cursor state. A fresh scratch is equivalent to
+/// a reused one — every buffer is cleared and rebuilt per call — so
+/// callers thread one scratch through an entire pass and the trial loop
+/// runs allocation-free.
+#[derive(Debug, Default)]
+pub struct UnionScratch {
+    /// Selection weights `sz_i / max sz` (line 6).
+    weights: Vec<f64>,
+    /// Flat prefix-mask buffer: block `i` (words
+    /// `[i·stride, (i+1)·stride)`) holds `{p_0, …, p_{i-1}}`.
+    prefix: Vec<u64>,
+    /// Per-set cursor starting offsets (line 7's deque heads).
+    cursors: Vec<usize>,
+    /// Samples consumed per set.
+    consumed: Vec<usize>,
+}
+
+impl UnionScratch {
+    /// An empty scratch; buffers grow to fit on first use.
+    pub fn new() -> Self {
+        UnionScratch::default()
+    }
+}
+
 /// Runs Algorithm 1 over the given sets.
 ///
 /// `eps`/`delta` are the call's accuracy/confidence, `eps_sz` the slack of
 /// the incoming size estimates (`β'` at the call sites), `universe` the
 /// NFA state count (for prefix masks). Empty sets (`sz_i = 0`) should be
 /// filtered by the caller; they would merely waste prefix-mask width.
+/// `scratch` is caller-owned working memory (see [`UnionScratch`]); its
+/// prior contents never influence the result.
 #[allow(clippy::too_many_arguments)] // mirrors Algorithm 1's parameter list
 pub fn app_union<R: Rng + ?Sized>(
     params: &Params,
@@ -87,6 +115,7 @@ pub fn app_union<R: Rng + ?Sized>(
     sets: &[UnionSetInput<'_>],
     universe: usize,
     rng: &mut R,
+    scratch: &mut UnionScratch,
     stats: &mut RunStats,
 ) -> UnionEstimate {
     stats.appunion_calls += 1;
@@ -106,36 +135,45 @@ pub fn app_union<R: Rng + ?Sized>(
     let m_hat = total.ratio(&max).ceil().max(1.0) as usize;
     let t = params.appunion_trials(eps, delta, eps_sz, m_hat);
 
-    // Selection weights sz_i / Σ sz (line 6), renormalized through the
-    // maximum so extreme exponents survive the f64 conversion.
-    let weights: Vec<f64> = sets.iter().map(|s| s.size_est.ratio(&max)).collect();
+    let UnionScratch { weights, prefix, cursors, consumed } = scratch;
 
-    // Prefix masks: prefix[i] = {p_0, …, p_{i-1}} (line 9's "∃ j < i").
-    let mut prefix = Vec::with_capacity(sets.len());
-    let mut acc = StateSet::empty(universe);
-    for s in sets {
-        prefix.push(acc.clone());
-        acc.insert(s.state as usize);
+    // Selection weights sz_i / Σ sz (line 6), renormalized through the
+    // maximum so extreme exponents survive the f64 conversion. The total
+    // is hoisted into a `WeightTable` so the trial loop does not re-sum
+    // the vector per draw (draw-identical to `sample_weights`).
+    weights.clear();
+    weights.extend(sets.iter().map(|s| s.size_est.ratio(&max)));
+    let table = WeightTable::new(weights);
+
+    // Prefix masks: block i = {p_0, …, p_{i-1}} (line 9's "∃ j < i"),
+    // built incrementally: copy block i-1, set bit p_{i-1}.
+    let stride = universe.div_ceil(64);
+    prefix.clear();
+    prefix.resize(sets.len() * stride, 0);
+    for i in 1..sets.len() {
+        let (done, rest) = prefix.split_at_mut(i * stride);
+        rest[..stride].copy_from_slice(&done[(i - 1) * stride..]);
+        let p = sets[i - 1].state as usize;
+        rest[p / 64] |= 1u64 << (p % 64);
     }
 
     // Per-set cursors (line 7's deque), optionally rotated (D3).
-    let cursors: Vec<usize> = sets
-        .iter()
-        .map(|s| {
-            if params.rotate_cursor && !s.samples.is_empty() {
-                rng.random_range(0..s.samples.len())
-            } else {
-                0
-            }
-        })
-        .collect();
-    let mut consumed = vec![0usize; sets.len()];
+    cursors.clear();
+    cursors.extend(sets.iter().map(|s| {
+        if params.rotate_cursor && !s.samples.is_empty() {
+            rng.random_range(0..s.samples.len())
+        } else {
+            0
+        }
+    }));
+    consumed.clear();
+    consumed.resize(sets.len(), 0);
 
     let mut y: u64 = 0;
     let mut trials_run = 0usize;
     let mut broke_early = false;
     for _ in 0..t {
-        let Some(i) = sample_weights(rng, &weights) else { break };
+        let Some(i) = table.sample(rng) else { break };
         let list = sets[i].samples;
         let len = list.len();
         if len == 0 {
@@ -157,7 +195,7 @@ pub fn app_union<R: Rng + ?Sized>(
         consumed[i] += 1;
         let entry = list.get(idx);
         stats.membership_ops += 1;
-        if !entry.reach.intersects(&prefix[i]) {
+        if !entry.reach.intersects_words(&prefix[i * stride..(i + 1) * stride]) {
             y += 1;
         }
         trials_run += 1;
@@ -218,7 +256,17 @@ mod tests {
             UnionSetInput { samples: &sb, size_est: ExtFloat::from_u64(40), state: 1 },
         ];
         let mut stats = RunStats::default();
-        let est = app_union(&params, 0.1, 0.01, 0.0, &sets, 2, &mut rng, &mut stats);
+        let est = app_union(
+            &params,
+            0.1,
+            0.01,
+            0.0,
+            &sets,
+            2,
+            &mut rng,
+            &mut UnionScratch::new(),
+            &mut stats,
+        );
         let v = est.value.to_f64();
         assert!((90.0..110.0).contains(&v), "estimate {v}");
         assert!(stats.membership_ops > 0);
@@ -238,7 +286,17 @@ mod tests {
             UnionSetInput { samples: &sb, size_est: ExtFloat::from_u64(50), state: 1 },
         ];
         let mut stats = RunStats::default();
-        let est = app_union(&params, 0.1, 0.01, 0.0, &sets, 2, &mut rng, &mut stats);
+        let est = app_union(
+            &params,
+            0.1,
+            0.01,
+            0.0,
+            &sets,
+            2,
+            &mut rng,
+            &mut UnionScratch::new(),
+            &mut stats,
+        );
         let v = est.value.to_f64();
         assert!((44.0..56.0).contains(&v), "estimate {v}");
     }
@@ -267,7 +325,17 @@ mod tests {
             UnionSetInput { samples: &sb, size_est: ExtFloat::from_u64(60), state: 1 },
         ];
         let mut stats = RunStats::default();
-        let est = app_union(&params, 0.1, 0.01, 0.0, &sets, 2, &mut rng, &mut stats);
+        let est = app_union(
+            &params,
+            0.1,
+            0.01,
+            0.0,
+            &sets,
+            2,
+            &mut rng,
+            &mut UnionScratch::new(),
+            &mut stats,
+        );
         let v = est.value.to_f64();
         assert!((88.0..112.0).contains(&v), "estimate {v}");
     }
@@ -277,7 +345,17 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(1);
         let params = test_params();
         let mut stats = RunStats::default();
-        let est = app_union(&params, 0.1, 0.01, 0.0, &[], 2, &mut rng, &mut stats);
+        let est = app_union(
+            &params,
+            0.1,
+            0.01,
+            0.0,
+            &[],
+            2,
+            &mut rng,
+            &mut UnionScratch::new(),
+            &mut stats,
+        );
         assert!(est.value.is_zero());
         assert_eq!(est.trials_run, 0);
     }
@@ -289,7 +367,17 @@ mod tests {
         let s = SampleSet::empty();
         let sets = [UnionSetInput { samples: &s, size_est: ExtFloat::ZERO, state: 0 }];
         let mut stats = RunStats::default();
-        let est = app_union(&params, 0.1, 0.01, 0.0, &sets, 2, &mut rng, &mut stats);
+        let est = app_union(
+            &params,
+            0.1,
+            0.01,
+            0.0,
+            &sets,
+            2,
+            &mut rng,
+            &mut UnionScratch::new(),
+            &mut stats,
+        );
         assert!(est.value.is_zero());
     }
 
@@ -303,7 +391,17 @@ mod tests {
         let s = synthetic_set(&words, |_| vec![0], 3, 1, &mut rng);
         let sets = [UnionSetInput { samples: &s, size_est: ExtFloat::from_u64(10), state: 0 }];
         let mut stats = RunStats::default();
-        let est = app_union(&params, 0.05, 0.01, 0.0, &sets, 1, &mut rng, &mut stats);
+        let est = app_union(
+            &params,
+            0.05,
+            0.01,
+            0.0,
+            &sets,
+            1,
+            &mut rng,
+            &mut UnionScratch::new(),
+            &mut stats,
+        );
         assert!(est.broke_early);
         assert!(est.trials_run <= 3);
     }
@@ -317,11 +415,73 @@ mod tests {
         let s = synthetic_set(&words, |_| vec![0], 3, 1, &mut rng);
         let sets = [UnionSetInput { samples: &s, size_est: ExtFloat::from_u64(10), state: 0 }];
         let mut stats = RunStats::default();
-        let est = app_union(&params, 0.05, 0.01, 0.0, &sets, 1, &mut rng, &mut stats);
+        let est = app_union(
+            &params,
+            0.05,
+            0.01,
+            0.0,
+            &sets,
+            1,
+            &mut rng,
+            &mut UnionScratch::new(),
+            &mut stats,
+        );
         assert!(!est.broke_early);
         assert!(est.trials_run > 3);
         // Single set: everything is unique, estimate = sz exactly.
         assert!((est.value.to_f64() - 10.0).abs() < 1e-9);
+    }
+
+    /// Reusing one scratch across calls is bit-identical to fresh
+    /// scratches: every buffer is rebuilt per call, so stale contents
+    /// (including leftovers from a *larger* input) never leak.
+    #[test]
+    fn scratch_reuse_is_transparent() {
+        let mut setup_rng = SmallRng::seed_from_u64(23);
+        let a: Vec<u64> = (0..60).collect();
+        let b: Vec<u64> = (100..140).collect();
+        let member = |w: u64| if w < 60 { vec![0] } else { vec![1] };
+        let sa = synthetic_set(&a, member, 200, 3, &mut setup_rng);
+        let sb = synthetic_set(&b, member, 200, 3, &mut setup_rng);
+        let params = test_params();
+        let two = [
+            UnionSetInput { samples: &sa, size_est: ExtFloat::from_u64(60), state: 0 },
+            UnionSetInput { samples: &sb, size_est: ExtFloat::from_u64(40), state: 2 },
+        ];
+        let one = [UnionSetInput { samples: &sa, size_est: ExtFloat::from_u64(60), state: 0 }];
+        let mut stats = RunStats::default();
+        // Reused scratch: big call first, then a smaller one.
+        let mut shared = UnionScratch::new();
+        let mut rng = SmallRng::seed_from_u64(29);
+        let big = app_union(&params, 0.2, 0.05, 0.0, &two, 3, &mut rng, &mut shared, &mut stats);
+        let small = app_union(&params, 0.2, 0.05, 0.0, &one, 3, &mut rng, &mut shared, &mut stats);
+        // Fresh scratch per call, identical RNG stream.
+        let mut rng2 = SmallRng::seed_from_u64(29);
+        let big2 = app_union(
+            &params,
+            0.2,
+            0.05,
+            0.0,
+            &two,
+            3,
+            &mut rng2,
+            &mut UnionScratch::new(),
+            &mut stats,
+        );
+        let small2 = app_union(
+            &params,
+            0.2,
+            0.05,
+            0.0,
+            &one,
+            3,
+            &mut rng2,
+            &mut UnionScratch::new(),
+            &mut stats,
+        );
+        assert_eq!(big, big2);
+        assert_eq!(small, small2);
+        assert_eq!(rng.random::<u64>(), rng2.random::<u64>());
     }
 
     /// Error shrinks as eps tightens (more trials).
@@ -349,7 +509,19 @@ mod tests {
                 UnionSetInput { samples: &sb, size_est: ExtFloat::from_u64(128), state: 1 },
             ];
             let mut stats = RunStats::default();
-            app_union(&params, eps, 0.01, 0.0, &sets, 2, &mut rng, &mut stats).value.to_f64()
+            app_union(
+                &params,
+                eps,
+                0.01,
+                0.0,
+                &sets,
+                2,
+                &mut rng,
+                &mut UnionScratch::new(),
+                &mut stats,
+            )
+            .value
+            .to_f64()
         };
         let errs = |eps: f64| -> f64 {
             (0..10).map(|s| (run(eps, s) - 192.0).abs() / 192.0).sum::<f64>() / 10.0

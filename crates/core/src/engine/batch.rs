@@ -35,7 +35,7 @@
 //! `N(qℓ)` sums such terms (see DESIGN.md D8 for the full argument).
 
 use super::EngineCtx;
-use crate::table::MemoKey;
+use crate::table::{BuildKeyHasher, MemoKey};
 use fpras_automata::{StateId, StateSet};
 use std::collections::HashMap;
 
@@ -76,7 +76,7 @@ impl LevelPlan {
     pub fn build(ctx: &EngineCtx<'_>, ell: usize, cells: &[StateId]) -> LevelPlan {
         let mut groups: Vec<FrontierGroup> = Vec::new();
         let mut keys: Vec<MemoKey> = Vec::new();
-        let mut index: HashMap<MemoKey, usize> = HashMap::new();
+        let mut index: HashMap<MemoKey, usize, BuildKeyHasher> = HashMap::default();
         let mut cell_groups = Vec::with_capacity(cells.len());
         let mut empty_pairs = 0u64;
         for &q in cells {
@@ -95,8 +95,8 @@ impl LevelPlan {
                     per_sym.push(None);
                     continue;
                 }
-                let key = MemoKey::new(ell - 1, &frontier);
-                let gi = *index.entry(key.clone()).or_insert_with(|| {
+                let key = ctx.interner.intern(ell - 1, &frontier);
+                let gi = *index.entry(key).or_insert_with(|| {
                     groups.push(FrontierGroup { frontier, members: 0 });
                     keys.push(key);
                     groups.len() - 1
@@ -130,9 +130,10 @@ impl LevelPlan {
     }
 
     /// The memo key for group `gi` — also the sampler-memo key its
-    /// estimate is seeded under.
-    pub fn key(&self, gi: usize) -> &MemoKey {
-        &self.keys[gi]
+    /// estimate is seeded under. Keys are `Copy` integer triples, so
+    /// this returns by value.
+    pub fn key(&self, gi: usize) -> MemoKey {
+        self.keys[gi]
     }
 
     /// `(cell, symbol)` pairs that share a group with an earlier pair.
@@ -149,6 +150,7 @@ impl LevelPlan {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::intern::FrontierInterner;
     use crate::params::Params;
     use fpras_automata::{ops, Alphabet, Nfa, NfaBuilder, StepMasks, Unrolling};
 
@@ -168,12 +170,13 @@ mod tests {
         b.build().unwrap()
     }
 
-    fn ctx_parts(nfa: &Nfa, n: usize) -> (Nfa, Unrolling, StepMasks) {
+    fn ctx_parts(nfa: &Nfa, n: usize) -> (Nfa, Unrolling, StepMasks, FrontierInterner) {
         let trimmed = ops::trim(nfa).expect("non-empty");
         let normalized = ops::with_single_accepting(&trimmed);
         let unroll = Unrolling::new(&normalized, n);
         let masks = StepMasks::new(&normalized);
-        (normalized, unroll, masks)
+        let interner = FrontierInterner::new(normalized.num_states());
+        (normalized, unroll, masks, interner)
     }
 
     #[test]
@@ -182,13 +185,14 @@ mod tests {
         // so every non-empty pair collapses onto the same singleton.
         let nfa = contains_11();
         let n = 6;
-        let (normalized, unroll, masks) = ctx_parts(&nfa, n);
+        let (normalized, unroll, masks, interner) = ctx_parts(&nfa, n);
         let params = Params::practical(0.3, 0.1, normalized.num_states(), n);
         let ctx = EngineCtx {
             params: &params,
             nfa: &normalized,
             unroll: &unroll,
             masks: &masks,
+            interner: &interner,
             m: normalized.num_states(),
             k: 2,
             sampler_seed: 99,
@@ -208,13 +212,14 @@ mod tests {
     fn groups_are_canonical_and_cover_all_pairs() {
         let nfa = contains_11();
         let n = 8;
-        let (normalized, unroll, masks) = ctx_parts(&nfa, n);
+        let (normalized, unroll, masks, interner) = ctx_parts(&nfa, n);
         let params = Params::practical(0.3, 0.1, normalized.num_states(), n);
         let ctx = EngineCtx {
             params: &params,
             nfa: &normalized,
             unroll: &unroll,
             masks: &masks,
+            interner: &interner,
             m: normalized.num_states(),
             k: 2,
             sampler_seed: 99,

@@ -29,7 +29,7 @@
 //! sampler insertions, so the tier order doubles as the precision
 //! order, DESIGN.md D4).
 
-use crate::table::MemoKey;
+use crate::table::{BuildKeyHasher, MemoKey};
 use fpras_numeric::ExtFloat;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -66,9 +66,9 @@ pub struct MemoEntry {
 #[derive(Debug, Clone, Default)]
 pub struct UnionMemo {
     /// The committed, immutable level-start layer (shared by snapshots).
-    base: Arc<HashMap<MemoKey, MemoEntry>>,
+    base: Arc<HashMap<MemoKey, MemoEntry, BuildKeyHasher>>,
     /// Entries inserted since the last [`UnionMemo::commit`].
-    overlay: HashMap<MemoKey, MemoEntry>,
+    overlay: HashMap<MemoKey, MemoEntry, BuildKeyHasher>,
 }
 
 impl UnionMemo {
@@ -136,7 +136,7 @@ impl UnionMemo {
             "snapshot of an uncommitted memo would miss {} overlay entries",
             self.overlay.len()
         );
-        UnionMemo { base: Arc::clone(&self.base), overlay: HashMap::new() }
+        UnionMemo { base: Arc::clone(&self.base), overlay: HashMap::default() }
     }
 
     /// Consumes the memo and returns its overlay — exactly the entries
@@ -171,10 +171,17 @@ impl UnionMemo {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::intern::FrontierInterner;
     use fpras_automata::StateSet;
+    use std::sync::OnceLock;
 
+    /// Tests share one interner so equal member lists map to equal keys
+    /// across separate `key()` calls, as they would within one run.
     fn key(level: usize, members: &[usize]) -> MemoKey {
-        MemoKey::new(level, &StateSet::from_iter(16, members.iter().copied()))
+        static INTERNER: OnceLock<FrontierInterner> = OnceLock::new();
+        INTERNER
+            .get_or_init(|| FrontierInterner::new(16))
+            .intern(level, &StateSet::from_iter(16, members.iter().copied()))
     }
 
     #[test]

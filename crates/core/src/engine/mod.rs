@@ -71,14 +71,15 @@ pub mod policy;
 pub mod pool;
 
 use crate::app_union;
-use crate::appunion::frontier_inputs;
+use crate::appunion::{frontier_inputs, UnionScratch};
 use crate::counter::FprasRun;
 use crate::error::FprasError;
+use crate::intern::FrontierInterner;
 use crate::params::Params;
 use crate::run_stats::RunStats;
 use crate::sample_set::{SampleEntry, SampleSet};
-use crate::sampler::sample_word;
-use crate::table::{MemoKey, RunTable, SampleOutcome};
+use crate::sampler::{sample_word, SamplerEnv, SamplerScratch};
+use crate::table::{BuildKeyHasher, MemoKey, RunTable, SampleOutcome};
 use fpras_automata::ops::{trim, with_single_accepting};
 use fpras_automata::{Nfa, StateId, StateSet, StepMasks, Unrolling, Word};
 use fpras_numeric::ExtFloat;
@@ -99,6 +100,13 @@ pub(crate) struct RunInner {
     pub(crate) unroll: Unrolling,
     pub(crate) table: RunTable,
     pub(crate) memo: UnionMemo,
+    /// Stepping arenas of the normalized automaton, kept so the
+    /// generator's sampler walks reuse the run's kernels.
+    pub(crate) masks: StepMasks,
+    /// The run's frontier interner: post-run sampler walks keep
+    /// interning against it, so memo keys stay consistent with the ids
+    /// minted during the run.
+    pub(crate) interner: FrontierInterner,
     /// Seed of the run's frontier-keyed sampler union streams (D9); the
     /// generator keeps using it so post-run memo misses stay congruent
     /// with in-run estimates.
@@ -116,6 +124,9 @@ pub struct EngineCtx<'a> {
     pub unroll: &'a Unrolling,
     /// Per-symbol transition masks for fast `reach()` checks.
     pub masks: &'a StepMasks,
+    /// The run's frontier interner: every memo/sharing key is minted
+    /// here (dense ids, cached RNG tags — DESIGN.md §2.5).
+    pub interner: &'a FrontierInterner,
     /// Normalized state count.
     pub m: usize,
     /// Alphabet size.
@@ -165,7 +176,7 @@ pub struct CountPass {
 pub struct ShareJob {
     /// The memo key the estimate will be seeded under.
     pub key: MemoKey,
-    /// The frontier itself (the key stores only its raw bitset words).
+    /// The frontier itself (the key carries only the interned id).
     pub frontier: StateSet,
 }
 
@@ -205,6 +216,7 @@ pub fn run_group(
     ell: usize,
     group: &FrontierGroup,
     rng: &SmallRng,
+    scratch: &mut UnionScratch,
 ) -> GroupOut {
     let params = ctx.params;
     let mut stats = RunStats::default();
@@ -222,6 +234,7 @@ pub fn run_group(
             &inputs,
             ctx.m,
             &mut r,
+            scratch,
             &mut stats,
         )
         .value;
@@ -270,32 +283,29 @@ pub fn assemble_count_cell<R: Rng + ?Sized>(
 /// Sample pass for one `(q, ℓ)` cell (Algorithm 3 lines 20–30): draws up
 /// to `ns` words by Algorithm 2 within `xns` attempts, padding with the
 /// cell's witness word when short.
-pub fn sample_cell<R: Rng + ?Sized>(
+pub(crate) fn sample_cell<R: Rng + ?Sized>(
     ctx: &EngineCtx<'_>,
     table: &RunTable,
     memo: &mut UnionMemo,
     ell: usize,
     q: StateId,
     rng: &mut R,
+    scratch: &mut SamplerScratch,
 ) -> SampleOut {
     let params = ctx.params;
+    let env = SamplerEnv {
+        params,
+        masks: ctx.masks,
+        unroll: ctx.unroll,
+        interner: ctx.interner,
+        sampler_seed: ctx.sampler_seed,
+    };
     let mut stats = RunStats::default();
     let mut collected: Vec<SampleEntry> = Vec::with_capacity(params.ns);
     let mut attempts = 0usize;
     while collected.len() < params.ns && attempts < params.xns {
         attempts += 1;
-        match sample_word(
-            params,
-            ctx.nfa,
-            ctx.unroll,
-            table,
-            memo,
-            q,
-            ell,
-            ctx.sampler_seed,
-            rng,
-            &mut stats,
-        ) {
+        match sample_word(&env, table, memo, q, ell, rng, scratch, &mut stats) {
             SampleOutcome::Word(w) => {
                 let reach = ctx.masks.reach(&w);
                 debug_assert!(
@@ -364,32 +374,35 @@ fn collect_share_jobs(
             }
         }
     }
-    let mut seen: HashSet<MemoKey> = HashSet::new();
+    let mut seen: HashSet<MemoKey, BuildKeyHasher> = HashSet::default();
     let mut jobs = Vec::new();
+    // One probe buffer for the whole scan: only frontiers that become
+    // jobs are materialized.
+    let mut fb = StateSet::empty(ctx.m);
     for (gi, group) in plan.groups().iter().enumerate() {
         if !group_used[gi] {
             continue;
         }
         // The sampler only descends into branches with a positive union
         // estimate; a zero-valued group's successors are never queried.
-        if memo.get(plan.key(gi)).is_none_or(|e| e.value.is_zero()) {
+        if memo.get(&plan.key(gi)).is_none_or(|e| e.value.is_zero()) {
             continue;
         }
         for sym in 0..ctx.k {
-            let mut fb = ctx.nfa.step_back(&group.frontier, sym);
+            ctx.masks.step_back_into(&group.frontier, sym, &mut fb);
             fb.intersect_with(ctx.unroll.reachable(ell - 2));
             if fb.is_empty() {
                 continue;
             }
-            let key = MemoKey::new(ell - 2, &fb);
-            if !seen.insert(key.clone()) {
+            let key = ctx.interner.intern(ell - 2, &fb);
+            if !seen.insert(key) {
                 continue;
             }
             if memo.contains_key(&key) {
                 stats.share.keys_already_seeded += 1;
                 continue;
             }
-            jobs.push(ShareJob { key, frontier: fb });
+            jobs.push(ShareJob { key, frontier: fb.clone() });
         }
     }
     jobs
@@ -455,7 +468,7 @@ pub(crate) fn run_level<P: ExecutionPolicy>(
         // value (DESIGN.md D4), first-wins in canonical group order:
         // deterministic regardless of how the pass was scheduled.
         if params.memoize_unions {
-            memo.insert_first_wins(plan.key(gi).clone(), out.estimate, MemoTier::Count);
+            memo.insert_first_wins(plan.key(gi), out.estimate, MemoTier::Count);
         }
     }
     // The plan's static dedup count and the pass's dynamic
@@ -489,7 +502,7 @@ pub(crate) fn run_level<P: ExecutionPolicy>(
         // aborts before any cell could observe the difference.
         for (job, out) in jobs.iter().zip(outs) {
             stats.merge(&out.stats);
-            memo.insert_first_wins(job.key.clone(), out.estimate, MemoTier::Shared);
+            memo.insert_first_wins(job.key, out.estimate, MemoTier::Shared);
             stats.share.frontiers_preestimated += 1;
         }
         check_budget(params, stats)?;
@@ -601,6 +614,8 @@ pub fn run_with_policy<P: ExecutionPolicy>(
 
     let masks = StepMasks::new(&normalized);
     let m = normalized.num_states();
+    // One interner per run: every memo/sharing key below is minted here.
+    let interner = FrontierInterner::new(m);
     // One seed per run for the frontier-keyed sampler union streams
     // (D9): Serial draws it from the caller RNG, Deterministic derives
     // it from the master seed.
@@ -613,6 +628,7 @@ pub fn run_with_policy<P: ExecutionPolicy>(
         nfa: &normalized,
         unroll: &unroll,
         masks: &masks,
+        interner: &interner,
         m,
         k: normalized.alphabet().size() as u8,
         sampler_seed,
@@ -633,9 +649,20 @@ pub fn run_with_policy<P: ExecutionPolicy>(
     // everything above is bit-identical for any thread count; these
     // counters record how the work actually spread over the workers.
     stats.pool = policy.take_pool_stats();
+    // Interner evidence (§2.5): snapshot of the run's key traffic.
+    stats.intern = interner.stats();
     stats.wall = start.elapsed();
     Ok(FprasRun {
-        inner: Some(RunInner { nfa: normalized, unroll, table, memo, sampler_seed, q_final }),
+        inner: Some(RunInner {
+            nfa: normalized,
+            unroll,
+            table,
+            memo,
+            masks,
+            interner,
+            sampler_seed,
+            q_final,
+        }),
         n,
         estimate,
         params: params.clone(),

@@ -17,15 +17,28 @@ use super::{
     assemble_count_cell, run_group, sample_cell, CountPass, EngineCtx, SampleOut, ShareJob,
     ShareOut,
 };
+use crate::appunion::UnionScratch;
 use crate::engine::memo::{MemoEntry, UnionMemo};
 use crate::engine::pool::Pool;
 use crate::engine::LevelPlan;
 use crate::run_stats::{PoolStats, RunStats};
-use crate::sampler::estimate_frontier_union;
+use crate::sampler::{estimate_frontier_union, SamplerScratch};
 use crate::table::MemoKey;
 use fpras_automata::StateId;
 use fpras_numeric::ExtFloat;
 use rand::{rngs::SmallRng, Rng, RngExt, SeedableRng};
+use std::cell::RefCell;
+
+thread_local! {
+    /// Per-worker `AppUnion` scratch for the pool-scheduled passes. The
+    /// pool's closures are `Fn + Sync`, so mutable per-worker state
+    /// lives in thread-locals; scratch contents never influence results
+    /// (every buffer is rebuilt per call), so reuse across passes, runs
+    /// and policies is safe by construction.
+    static UNION_SCRATCH: RefCell<UnionScratch> = RefCell::new(UnionScratch::new());
+    /// Per-worker sampler scratch, same reasoning.
+    static SAMPLER_SCRATCH: RefCell<SamplerScratch> = RefCell::new(SamplerScratch::new());
+}
 
 // The complete registry of RNG-stream phase tags. Every derived stream
 // in the engine mixes exactly one of these (xor'd with PHASE_SALT)
@@ -163,10 +176,11 @@ impl<R: Rng + ?Sized> ExecutionPolicy for Serial<'_, R> {
         // reports BudgetExceeded without paying for the rest of the
         // level).
         let mut used = 0u64;
+        let mut scratch = UnionScratch::new();
         let mut groups = Vec::with_capacity(plan.groups().len());
         for group in plan.groups() {
             let rng = SmallRng::seed_from_u64(self.rng.random::<u64>());
-            let out = run_group(ctx, table, ell, group, &rng);
+            let out = run_group(ctx, table, ell, group, &rng, &mut scratch);
             used += out.stats.membership_ops;
             groups.push(out);
             if budget_spent(used, ops_remaining) {
@@ -198,9 +212,10 @@ impl<R: Rng + ?Sized> ExecutionPolicy for Serial<'_, R> {
         ops_remaining: Option<u64>,
     ) -> Vec<SampleOut> {
         let mut used = 0u64;
+        let mut scratch = SamplerScratch::new();
         let mut outs = Vec::with_capacity(cells.len());
         for &q in cells {
-            let out = sample_cell(ctx, table, memo, ell, q, self.rng);
+            let out = sample_cell(ctx, table, memo, ell, q, self.rng, &mut scratch);
             used += out.stats.membership_ops;
             outs.push(out);
             if budget_spent(used, ops_remaining) {
@@ -223,15 +238,17 @@ impl<R: Rng + ?Sized> ExecutionPolicy for Serial<'_, R> {
         // sampler streams, not the caller RNG, so the main stream is
         // untouched here.
         let mut used = 0u64;
+        let mut scratch = UnionScratch::new();
         let mut outs = Vec::with_capacity(jobs.len());
         for job in jobs {
             let mut stats = RunStats::default();
             let estimate = estimate_frontier_union(
                 ctx.params,
                 table,
-                &job.key,
+                job.key,
                 &job.frontier,
                 ctx.sampler_seed,
+                &mut scratch,
                 &mut stats,
             );
             used += stats.membership_ops;
@@ -318,7 +335,9 @@ impl ExecutionPolicy for Deterministic {
             chunk,
             |&gi| {
                 let rng = group_rng(seed, plan.key(gi).rng_tag());
-                run_group(ctx, table, ell, &plan.groups()[gi], &rng)
+                UNION_SCRATCH.with(|s| {
+                    run_group(ctx, table, ell, &plan.groups()[gi], &rng, &mut s.borrow_mut())
+                })
             },
             |g| g.stats.membership_ops,
         );
@@ -354,7 +373,9 @@ impl ExecutionPolicy for Deterministic {
             |&q| {
                 let mut rng = cell_rng(seed, ell, q, PHASE_SAMPLE);
                 let mut local_memo = snapshot.snapshot();
-                let mut out = sample_cell(ctx, table, &mut local_memo, ell, q, &mut rng);
+                let mut out = SAMPLER_SCRATCH.with(|s| {
+                    sample_cell(ctx, table, &mut local_memo, ell, q, &mut rng, &mut s.borrow_mut())
+                });
                 let memo_new = local_memo.into_overlay();
                 out.stats.memo.snapshots += 1;
                 out.stats.memo.entries_shared += base_len;
@@ -367,11 +388,17 @@ impl ExecutionPolicy for Deterministic {
         // new entries so the first-wins merge is stable across runs and
         // thread counts. (With frontier-keyed sampler streams the values
         // are key-determined anyway; the canonical order keeps the memo
-        // bit-stable even if that ever changes.)
+        // bit-stable even if that ever changes.) Sort by frontier
+        // *content*, not id: ids are handed out in intern order, which
+        // depends on worker scheduling once the sample pass interns
+        // lazily.
         let mut results = Vec::with_capacity(outs.len());
         for (out, mut memo_new) in outs.drain(..) {
-            memo_new
-                .sort_by(|(a, _), (b, _)| a.level.cmp(&b.level).then(a.frontier.cmp(&b.frontier)));
+            memo_new.sort_by(|(a, _), (b, _)| {
+                a.level()
+                    .cmp(&b.level())
+                    .then_with(|| ctx.interner.compare(a.frontier(), b.frontier()))
+            });
             for (key, entry) in memo_new {
                 memo.insert_entry_first_wins(key, entry);
             }
@@ -397,14 +424,17 @@ impl ExecutionPolicy for Deterministic {
             ctx.params.steal_chunk,
             |job| {
                 let mut stats = RunStats::default();
-                let estimate = estimate_frontier_union(
-                    ctx.params,
-                    table,
-                    &job.key,
-                    &job.frontier,
-                    ctx.sampler_seed,
-                    &mut stats,
-                );
+                let estimate = UNION_SCRATCH.with(|s| {
+                    estimate_frontier_union(
+                        ctx.params,
+                        table,
+                        job.key,
+                        &job.frontier,
+                        ctx.sampler_seed,
+                        &mut s.borrow_mut(),
+                        &mut stats,
+                    )
+                });
                 ShareOut { estimate, stats }
             },
             |out| out.stats.membership_ops,

@@ -9,6 +9,7 @@
 //! counterpart of the paper's regular-path-query *sampling* application.
 
 use crate::counter::FprasRun;
+use crate::sampler::{SamplerEnv, SamplerScratch};
 use crate::table::SampleOutcome;
 use fpras_automata::Word;
 use rand::Rng;
@@ -28,12 +29,14 @@ pub const DEFAULT_RETRY_LIMIT: usize = 400;
 pub struct UniformGenerator {
     run: FprasRun,
     retry_limit: usize,
+    /// Reusable sampler buffers: allocated once, rebuilt per draw.
+    scratch: SamplerScratch,
 }
 
 impl UniformGenerator {
     /// Builds a generator from a finished run.
     pub fn new(run: FprasRun) -> Self {
-        UniformGenerator { run, retry_limit: DEFAULT_RETRY_LIMIT }
+        UniformGenerator { run, retry_limit: DEFAULT_RETRY_LIMIT, scratch: SamplerScratch::new() }
     }
 
     /// Overrides the per-draw retry limit.
@@ -64,17 +67,22 @@ impl UniformGenerator {
         };
         let n = self.run.n;
         let q_final = inner.q_final;
+        let env = SamplerEnv {
+            params: &self.run.params,
+            masks: &inner.masks,
+            unroll: &inner.unroll,
+            interner: &inner.interner,
+            sampler_seed: inner.sampler_seed,
+        };
         for _ in 0..self.retry_limit {
             match crate::sampler::sample_word(
-                &self.run.params,
-                &inner.nfa,
-                &inner.unroll,
+                &env,
                 &inner.table,
                 &mut inner.memo,
                 q_final,
                 n,
-                inner.sampler_seed,
                 rng,
+                &mut self.scratch,
                 &mut self.run.stats,
             ) {
                 SampleOutcome::Word(w) => return Some(w),

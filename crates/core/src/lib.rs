@@ -49,6 +49,7 @@
 //! | [`appunion`] | Algorithm 1 (`AppUnion`, Theorem 1) |
 //! | [`sampler`] | Algorithm 2 (`sample`, Theorem 2) |
 //! | [`engine`] | Algorithm 3's level-synchronous DP, one code path behind pluggable [`Serial`]/[`Deterministic`] execution policies |
+//! | [`intern`] | frontier hash-consing: dense ids + one word arena behind every sharing/memo key (DESIGN.md §2.5) |
 //! | [`counter`] | Algorithm 3's result type ([`FprasRun`], Theorem 3) |
 //! | [`params`] | parameter derivations (paper + practical profiles) |
 //! | [`generator`] | counting↔sampling inter-reducibility (§1.1) |
@@ -64,6 +65,7 @@ pub mod counter;
 pub mod engine;
 pub mod error;
 pub mod generator;
+pub mod intern;
 pub mod median;
 pub mod params;
 pub mod run_stats;
@@ -72,7 +74,7 @@ pub mod sampler;
 pub mod service;
 pub mod table;
 
-pub use appunion::{app_union, frontier_inputs, UnionEstimate, UnionSetInput};
+pub use appunion::{app_union, frontier_inputs, UnionEstimate, UnionScratch, UnionSetInput};
 pub use counter::FprasRun;
 pub use engine::{
     run_parallel, run_with_policy, Deterministic, ExecutionPolicy, FrontierGroup, LevelPlan,
@@ -80,6 +82,7 @@ pub use engine::{
 };
 pub use error::FprasError;
 pub use generator::UniformGenerator;
+pub use intern::{FrontierId, FrontierInterner, InternStats};
 pub use median::{median_amplified, median_amplified_parallel, runs_needed, MedianEstimate};
 pub use params::{CursorPolicy, Params, Profile};
 pub use run_stats::{BatchStats, MemoStats, PoolStats, RunStats, ShareStats};

@@ -6,6 +6,7 @@
 //! rejection rates (Theorem 2(2)) and padding frequency. Every counter
 //! lives here so the algorithms stay free of ad-hoc logging.
 
+use crate::intern::InternStats;
 use std::time::Duration;
 
 /// Counters for the batched union-estimation layer (engine `LevelPlan`).
@@ -241,6 +242,9 @@ pub struct RunStats {
     /// Work-stealing executor counters (D10; scheduling evidence only —
     /// see [`PoolStats`]).
     pub pool: PoolStats,
+    /// Frontier-interner counters (§2.5): distinct frontiers, hash-cons
+    /// hits and arena footprint for the run's `FrontierInterner`.
+    pub intern: InternStats,
     /// Wall-clock duration of the run.
     pub wall: Duration,
 }
@@ -293,6 +297,7 @@ impl RunStats {
         self.memo.merge(&other.memo);
         self.share.merge(&other.share);
         self.pool.merge(&other.pool);
+        self.intern.merge(&other.intern);
         self.wall += other.wall;
     }
 }

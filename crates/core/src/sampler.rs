@@ -13,6 +13,10 @@
 //! [`ExtFloat`] for `φ` (which starts near `1/N(qℓ)`, far below `f64`
 //! range for large `n`), and optionally memoizes the union estimates per
 //! `(level, frontier)` — see DESIGN.md D4 and the `memoize_unions` knob.
+//! The per-level inner loop is allocation-free: backward steps run
+//! through the [`StepMasks`] arena kernels into reusable frontier
+//! buffers, and all working memory lives in a caller-owned
+//! `SamplerScratch` threaded through every call.
 //!
 //! # Frontier-keyed union randomness (D9)
 //!
@@ -28,15 +32,71 @@
 //! randomness from the caller's stream, preserving the paper's
 //! independent-estimates reading.
 
-use crate::appunion::{app_union, frontier_inputs};
+use crate::appunion::{app_union, frontier_inputs, UnionScratch};
 use crate::engine::memo::{MemoTier, UnionMemo};
 use crate::engine::policy::{PHASE_SALT, PHASE_SAMPLER_UNION};
+use crate::intern::FrontierInterner;
 use crate::params::Params;
 use crate::run_stats::RunStats;
 use crate::table::{splitmix64, MemoKey, RunTable, SampleOutcome};
-use fpras_automata::{Nfa, StateId, StateSet, Unrolling, Word};
-use fpras_numeric::{sample_extfloat_weights, ExtFloat};
+use fpras_automata::{StateId, StateSet, StepMasks, Unrolling, Word};
+use fpras_numeric::{sample_extfloat_weights_with, ExtFloat};
 use rand::{rngs::SmallRng, Rng, RngExt, SeedableRng};
+
+/// The read-only context one sampler invocation runs against: the
+/// resolved parameters, the normalized automaton's stepping arenas, the
+/// unrolling's reachability filter, the run's frontier interner, and the
+/// frontier-keyed union seed. Bundled so the deep call chain
+/// (`sample_word` → `union_size` → `estimate_frontier_union`) passes one
+/// reference instead of six.
+pub(crate) struct SamplerEnv<'a> {
+    /// Resolved run parameters.
+    pub params: &'a Params,
+    /// Bit-parallel stepping arenas of the normalized NFA.
+    pub masks: &'a StepMasks,
+    /// Level-indexed reachable-state filter.
+    pub unroll: &'a Unrolling,
+    /// The run's frontier interner (memo keys, RNG tags).
+    pub interner: &'a FrontierInterner,
+    /// Seed of the frontier-keyed union streams (D9).
+    pub sampler_seed: u64,
+}
+
+/// Reusable working memory for [`sample_word`]: the walked frontier, the
+/// per-symbol branch buffers, the reversed symbol trail, the categorical
+/// draw's rescale buffer, and the nested `AppUnion` scratch. Sized
+/// lazily to the automaton on first use; a fresh scratch is equivalent
+/// to a reused one, so callers keep one per worker and a whole sample
+/// pass allocates only for the successful words it returns.
+pub(crate) struct SamplerScratch {
+    frontier: StateSet,
+    branch_fronts: Vec<StateSet>,
+    branch_sizes: Vec<ExtFloat>,
+    rev_syms: Vec<u8>,
+    scaled: Vec<f64>,
+    union: UnionScratch,
+}
+
+impl SamplerScratch {
+    /// An empty scratch; buffers are sized on first `sample_word` call.
+    pub(crate) fn new() -> Self {
+        SamplerScratch {
+            frontier: StateSet::empty(0),
+            branch_fronts: Vec::new(),
+            branch_sizes: Vec::new(),
+            rev_syms: Vec::new(),
+            scaled: Vec::new(),
+            union: UnionScratch::new(),
+        }
+    }
+
+    fn ensure(&mut self, universe: usize, k: usize) {
+        if self.frontier.universe() != universe || self.branch_fronts.len() != k {
+            self.frontier = StateSet::empty(universe);
+            self.branch_fronts = (0..k).map(|_| StateSet::empty(universe)).collect();
+        }
+    }
+}
 
 /// Independent RNG stream for one sampler union estimation, keyed by the
 /// frontier's canonical tag and the run's sampler seed. A congruence:
@@ -49,19 +109,20 @@ pub(crate) fn sampler_union_rng(sampler_seed: u64, tag: u64) -> SmallRng {
     SmallRng::seed_from_u64(mixed)
 }
 
-/// Runs one sampler-precision `AppUnion` for `frontier` at `key.level`
+/// Runs one sampler-precision `AppUnion` for `frontier` at `key.level()`
 /// on the frontier-keyed stream. The single definition shared by the
 /// sampler's lazy miss path and the engine's sharing pre-pass — the
 /// reason pre-estimation cannot change the output.
 pub(crate) fn estimate_frontier_union(
     params: &Params,
     table: &RunTable,
-    key: &MemoKey,
+    key: MemoKey,
     frontier: &StateSet,
     sampler_seed: u64,
+    scratch: &mut UnionScratch,
     stats: &mut RunStats,
 ) -> ExtFloat {
-    let level = key.level as usize;
+    let level = key.level() as usize;
     let inputs = frontier_inputs(table, level, frontier);
     let eps_sz = params.eps_sz_at_level(params.beta_count, level + 1);
     let mut rng = sampler_union_rng(sampler_seed, key.rng_tag());
@@ -73,6 +134,7 @@ pub(crate) fn estimate_frontier_union(
         &inputs,
         table.num_states(),
         &mut rng,
+        scratch,
         stats,
     )
     .value
@@ -82,17 +144,18 @@ pub(crate) fn estimate_frontier_union(
 /// memo when enabled.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn union_size<R: Rng + ?Sized>(
-    params: &Params,
+    env: &SamplerEnv<'_>,
     table: &RunTable,
     memo: &mut UnionMemo,
     level: usize,
     frontier: &StateSet,
-    sampler_seed: u64,
     rng: &mut R,
+    scratch: &mut UnionScratch,
     stats: &mut RunStats,
 ) -> ExtFloat {
+    let params = env.params;
     if params.memoize_unions {
-        let key = MemoKey::new(level, frontier);
+        let key = env.interner.intern(level, frontier);
         if let Some(entry) = memo.get(&key) {
             stats.memo_hits += 1;
             if entry.tier == MemoTier::Shared {
@@ -101,7 +164,8 @@ pub(crate) fn union_size<R: Rng + ?Sized>(
             return entry.value;
         }
         stats.memo_misses += 1;
-        let est = estimate_frontier_union(params, table, &key, frontier, sampler_seed, stats);
+        let est =
+            estimate_frontier_union(params, table, key, frontier, env.sampler_seed, scratch, stats);
         memo.insert_first_wins(key, est, MemoTier::Sampler);
         return est;
     }
@@ -117,6 +181,7 @@ pub(crate) fn union_size<R: Rng + ?Sized>(
         &inputs,
         table.num_states(),
         rng,
+        scratch,
         stats,
     )
     .value
@@ -127,15 +192,13 @@ pub(crate) fn union_size<R: Rng + ?Sized>(
 /// line 23.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn sample_word<R: Rng + ?Sized>(
-    params: &Params,
-    nfa: &Nfa,
-    unroll: &Unrolling,
+    env: &SamplerEnv<'_>,
     table: &RunTable,
     memo: &mut UnionMemo,
     start: StateId,
     level: usize,
-    sampler_seed: u64,
     rng: &mut R,
+    scratch: &mut SamplerScratch,
     stats: &mut RunStats,
 ) -> SampleOutcome {
     stats.sample_calls += 1;
@@ -145,48 +208,64 @@ pub(crate) fn sample_word<R: Rng + ?Sized>(
         return SampleOutcome::DeadEnd;
     }
     // γ₀ = gamma_scale / N(qℓ) (Algorithm 3 line 23).
-    let mut phi = ExtFloat::from_f64(params.gamma_scale) / n_start;
+    let mut phi = ExtFloat::from_f64(env.params.gamma_scale) / n_start;
 
-    let k = nfa.alphabet().size();
-    let mut frontier = StateSet::singleton(table.num_states(), start as usize);
-    let mut rev_syms: Vec<u8> = Vec::with_capacity(level);
+    let k = env.masks.k();
+    scratch.ensure(table.num_states(), k);
+    scratch.frontier.clear();
+    scratch.frontier.insert(start as usize);
+    scratch.rev_syms.clear();
 
     for ell in (1..=level).rev() {
         // Lines 8–11: per-symbol predecessor frontiers and union sizes.
-        let mut branch_sizes = Vec::with_capacity(k);
-        let mut branch_fronts = Vec::with_capacity(k);
+        scratch.branch_sizes.clear();
         for sym in 0..k as u8 {
-            let mut fb = nfa.step_back(&frontier, sym);
-            fb.intersect_with(unroll.reachable(ell - 1));
+            env.masks.step_back_into(
+                &scratch.frontier,
+                sym,
+                &mut scratch.branch_fronts[sym as usize],
+            );
+            let fb = &mut scratch.branch_fronts[sym as usize];
+            fb.intersect_with(env.unroll.reachable(ell - 1));
             let sz = if fb.is_empty() {
                 ExtFloat::ZERO
             } else {
-                union_size(params, table, memo, ell - 1, &fb, sampler_seed, rng, stats)
+                union_size(
+                    env,
+                    table,
+                    memo,
+                    ell - 1,
+                    &scratch.branch_fronts[sym as usize],
+                    rng,
+                    &mut scratch.union,
+                    stats,
+                )
             };
-            branch_sizes.push(sz);
-            branch_fronts.push(fb);
+            scratch.branch_sizes.push(sz);
         }
-        let total: ExtFloat = branch_sizes.iter().copied().sum();
+        let total: ExtFloat = scratch.branch_sizes.iter().copied().sum();
         if total.is_zero() {
             stats.fail_dead_end += 1;
             return SampleOutcome::DeadEnd;
         }
         // Line 13: pick b with probability sz_b / Σ sz.
-        let Some(choice) = sample_extfloat_weights(rng, &branch_sizes) else {
+        let Some(choice) =
+            sample_extfloat_weights_with(rng, &scratch.branch_sizes, &mut scratch.scaled)
+        else {
             stats.fail_dead_end += 1;
             return SampleOutcome::DeadEnd;
         };
         // Line 16's recursive call carries φ / pr_b.
-        phi = phi * total / branch_sizes[choice];
-        rev_syms.push(choice as u8);
-        frontier = std::mem::replace(&mut branch_fronts[choice], StateSet::empty(0));
+        phi = phi * total / scratch.branch_sizes[choice];
+        scratch.rev_syms.push(choice as u8);
+        scratch.frontier.copy_from(&scratch.branch_fronts[choice]);
     }
 
     // Base case (lines 4–6). The frontier must contain the initial state:
     // every chosen branch had a positive union estimate, and level-0
     // estimates are positive only for the initial state.
     debug_assert!(
-        frontier.contains(nfa.initial() as usize),
+        scratch.frontier.contains(env.masks.initial()),
         "sampled path must lead back to the initial state"
     );
     if phi > ExtFloat::ONE {
@@ -195,7 +274,9 @@ pub(crate) fn sample_word<R: Rng + ?Sized>(
     }
     if rng.random_range(0.0..1.0) < phi.to_f64() {
         stats.sample_success += 1;
-        SampleOutcome::Word(Word::from_reversed(rev_syms))
+        // The one allocation of a successful trial: the returned word
+        // must own its symbols.
+        SampleOutcome::Word(Word::from_reversed(scratch.rev_syms.clone()))
     } else {
         stats.fail_rejected += 1;
         SampleOutcome::FailCoin
@@ -206,7 +287,7 @@ pub(crate) fn sample_word<R: Rng + ?Sized>(
 mod tests {
     use super::*;
     use crate::counter::FprasRun;
-    use fpras_automata::{Alphabet, NfaBuilder};
+    use fpras_automata::{Alphabet, Nfa, NfaBuilder};
     use rand::{rngs::SmallRng, SeedableRng};
 
     /// End-to-end sampler behaviour is exercised through `FprasRun` (the
@@ -229,13 +310,21 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(5);
         let run = FprasRun::run(&nfa, 6, &params, &mut rng).unwrap();
         let (table, memo_nfa, unroll) = run.parts_for_test();
+        let masks = StepMasks::new(memo_nfa);
+        let interner = FrontierInterner::new(table.num_states());
+        let env = SamplerEnv {
+            params: &params,
+            masks: &masks,
+            unroll,
+            interner: &interner,
+            sampler_seed: 99,
+        };
         let mut memo = UnionMemo::new();
+        let mut scratch = SamplerScratch::new();
         let mut stats = RunStats::default();
         let mut successes = 0;
         for _ in 0..200 {
-            match sample_word(
-                &params, memo_nfa, unroll, table, &mut memo, 0, 6, 99, &mut rng, &mut stats,
-            ) {
+            match sample_word(&env, table, &mut memo, 0, 6, &mut rng, &mut scratch, &mut stats) {
                 SampleOutcome::Word(w) => {
                     assert_eq!(w.len(), 6);
                     successes += 1;
@@ -263,25 +352,25 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(6);
         let run = FprasRun::run(&nfa, 4, &params, &mut rng).unwrap();
         let (table, memo_nfa, unroll) = run.parts_for_test();
+        let masks = StepMasks::new(memo_nfa);
+        let interner = FrontierInterner::new(table.num_states());
+        let env = SamplerEnv {
+            params: &params,
+            masks: &masks,
+            unroll,
+            interner: &interner,
+            sampler_seed: 99,
+        };
         let mut memo = UnionMemo::new();
+        let mut scratch = SamplerScratch::new();
         let mut stats = RunStats::default();
         // Level 2 cell exists, but ask from a table whose level-3 cells we
         // pretend are dead by sampling a state id that was never populated:
         // the all-words NFA has one state, so instead check a level with a
         // zero estimate via a fresh table.
         let empty_table = RunTable::new(1, 4);
-        let out = sample_word(
-            &params,
-            memo_nfa,
-            unroll,
-            &empty_table,
-            &mut memo,
-            0,
-            4,
-            99,
-            &mut rng,
-            &mut stats,
-        );
+        let out =
+            sample_word(&env, &empty_table, &mut memo, 0, 4, &mut rng, &mut scratch, &mut stats);
         assert_eq!(out, SampleOutcome::DeadEnd);
         let _ = table;
     }

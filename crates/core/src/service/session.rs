@@ -6,9 +6,10 @@ use crate::engine::{
 };
 use crate::error::FprasError;
 use crate::generator::DEFAULT_RETRY_LIMIT;
+use crate::intern::FrontierInterner;
 use crate::params::Params;
 use crate::run_stats::RunStats;
-use crate::sampler::sample_word;
+use crate::sampler::{sample_word, SamplerEnv, SamplerScratch};
 use crate::service::SessionPolicy;
 use crate::table::{RunTable, SampleOutcome};
 use fpras_automata::{Nfa, StateId, StepMasks, Unrolling, Word};
@@ -60,10 +61,17 @@ struct SessionInner {
     nfa: Nfa,
     masks: StepMasks,
     unroll: Unrolling,
+    /// The session-lifetime frontier interner: ids stay stable across
+    /// extensions, so memo keys minted at level `k` keep working when a
+    /// later query extends the run (the bit-identity invariant only
+    /// needs the *tags*, which are content-keyed either way).
+    interner: FrontierInterner,
     table: RunTable,
     memo: UnionMemo,
     sampler_seed: u64,
     q_final: StateId,
+    /// Reusable sampler buffers for `sample` queries.
+    scratch: SamplerScratch,
     /// Levels `1..=built` are finished (level 0 is seeded at creation).
     built: usize,
 }
@@ -184,15 +192,18 @@ impl QuerySession {
                 }
             };
             let masks = StepMasks::new(&normalized);
+            let interner = FrontierInterner::new(normalized.num_states());
             let mut table = RunTable::new(normalized.num_states(), 0);
             seed_level_zero(&mut table, &normalized, &params);
             SessionInner {
                 masks,
                 unroll: Unrolling::new(&normalized, 0),
+                interner,
                 table,
                 memo: UnionMemo::new(),
                 sampler_seed,
                 q_final,
+                scratch: SamplerScratch::new(),
                 built: 0,
                 nfa: normalized,
             }
@@ -301,7 +312,8 @@ impl QuerySession {
             return Ok(());
         }
         let start = std::time::Instant::now();
-        let SessionInner { nfa, masks, unroll, table, memo, sampler_seed, built, .. } = inner;
+        let SessionInner { nfa, masks, unroll, interner, table, memo, sampler_seed, built, .. } =
+            inner;
         unroll.extend_to(nfa, n);
         table.grow(n);
         let ctx = EngineCtx {
@@ -309,6 +321,7 @@ impl QuerySession {
             nfa,
             unroll,
             masks,
+            interner,
             m: nfa.num_states(),
             k: nfa.alphabet().size() as u8,
             sampler_seed: *sampler_seed,
@@ -346,6 +359,9 @@ impl QuerySession {
                 self.run_stats.pool.merge(&drained);
             }
         }
+        // Snapshot (not merge): the interner is cumulative over the
+        // session's whole life, so the latest reading is the total.
+        self.run_stats.intern = interner.stats();
         self.run_stats.wall += start.elapsed();
         if result.is_err() {
             self.poisoned = true;
@@ -455,17 +471,22 @@ impl QuerySession {
         };
         let start = std::time::Instant::now();
         let mut out = Ok(None);
+        let env = SamplerEnv {
+            params: &self.params,
+            masks: &inner.masks,
+            unroll: &inner.unroll,
+            interner: &inner.interner,
+            sampler_seed: inner.sampler_seed,
+        };
         for _ in 0..self.retry_limit {
             match sample_word(
-                &self.params,
-                &inner.nfa,
-                &inner.unroll,
+                &env,
                 &inner.table,
                 &mut inner.memo,
                 inner.q_final,
                 n,
-                inner.sampler_seed,
                 rng,
+                &mut inner.scratch,
                 &mut self.query_stats,
             ) {
                 SampleOutcome::Word(w) => {

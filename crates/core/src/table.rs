@@ -8,8 +8,9 @@
 //! phase and the sharing pre-pass, and extended lazily during sampling
 //! (DESIGN.md §2.2).
 
+use crate::intern::FrontierId;
 use crate::sample_set::SampleSet;
-use fpras_automata::{StateSet, Word};
+use fpras_automata::Word;
 use fpras_numeric::ExtFloat;
 
 /// State of one `(q, ℓ)` cell.
@@ -75,7 +76,8 @@ impl RunTable {
     }
 }
 
-/// Memo key: the level of the predecessor sets plus the frontier bits.
+/// Memo key: the level of the predecessor sets plus the interned
+/// frontier id, with the frontier's canonical RNG tag cached inside.
 ///
 /// This is also the canonical *sharing* key of the batched
 /// union-estimation layer (DESIGN.md D8): every `(cell, symbol)` pair
@@ -83,18 +85,43 @@ impl RunTable {
 /// `AppUnion` execution, one memo entry, and — via [`MemoKey::rng_tag`]
 /// — one RNG stream, which is what makes batched and unbatched count
 /// passes bit-identical.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+///
+/// Keys are built only by
+/// [`FrontierInterner::intern`](crate::intern::FrontierInterner::intern),
+/// which hash-conses the frontier's bitset words into a dense
+/// [`FrontierId`] (equal content ⇔ equal id, per interner) and computes
+/// the tag once at intern time. The key itself is a `Copy` integer
+/// triple: map probes hash two integers instead of re-walking a boxed
+/// word slice, and constructing a key allocates nothing.
+#[derive(Debug, Clone, Copy)]
 pub struct MemoKey {
     /// Level `ℓ` of the sets `L(pℓ)` being unioned.
-    pub level: u32,
-    /// Raw bitset words of the frontier.
-    pub frontier: Box<[u64]>,
+    level: u32,
+    /// Interned id of the frontier's content.
+    frontier: FrontierId,
+    /// Cached canonical tag of `(level, frontier content)` — derived
+    /// data, excluded from equality and hashing.
+    tag: u64,
+}
+
+impl PartialEq for MemoKey {
+    fn eq(&self, other: &Self) -> bool {
+        self.level == other.level && self.frontier == other.frontier
+    }
+}
+
+impl Eq for MemoKey {}
+
+impl std::hash::Hash for MemoKey {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        state.write_u64((u64::from(self.level) << 32) | self.frontier.index() as u64);
+    }
 }
 
 /// SplitMix64 finalizer (the same mixer the engine's per-cell streams
-/// use), duplicated here so the key can hash itself without a dependency
-/// on the policy layer. Shared with the sampler's frontier-keyed union
-/// streams (DESIGN.md D9).
+/// use), duplicated here so the key layer has no dependency on the
+/// policy layer. Shared with the sampler's frontier-keyed union streams
+/// (DESIGN.md D9) and the interner's tag fold.
 pub(crate) fn splitmix64(mut x: u64) -> u64 {
     x = x.wrapping_add(0x9E3779B97F4A7C15);
     x = (x ^ (x >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
@@ -103,26 +130,62 @@ pub(crate) fn splitmix64(mut x: u64) -> u64 {
 }
 
 impl MemoKey {
-    /// Builds a key from a frontier set.
-    pub fn new(level: usize, frontier: &StateSet) -> Self {
-        MemoKey { level: level as u32, frontier: frontier.words().into() }
+    /// Assembles a key from interner-produced parts. Only the interner
+    /// calls this; going through it is what guarantees the id/content
+    /// bijection the `Eq`/`Hash` impls rely on.
+    pub(crate) fn from_parts(level: u32, frontier: FrontierId, tag: u64) -> Self {
+        MemoKey { level, frontier, tag }
     }
 
-    /// A 64-bit canonical tag of `(level, frontier)`, used to derive the
-    /// union-estimation RNG stream for this frontier. A congruence by
-    /// construction: equal frontiers (however assembled) have equal raw
-    /// bitset words, hence equal tags. Trailing zero words are skipped so
-    /// the tag is independent of the bitset's allocated width.
+    /// Level `ℓ` of the sets `L(pℓ)` being unioned.
+    pub fn level(&self) -> u32 {
+        self.level
+    }
+
+    /// The interned id of the frontier's content.
+    pub fn frontier(&self) -> FrontierId {
+        self.frontier
+    }
+
+    /// The 64-bit canonical tag of `(level, frontier)`, used to derive
+    /// the union-estimation RNG stream for this frontier. A congruence
+    /// by construction: equal frontiers (however assembled) have equal
+    /// raw bitset words, hence equal tags — see
+    /// [`frontier_tag`](crate::intern) for the fold, which skips
+    /// trailing zero words so the tag is independent of the bitset's
+    /// allocated width. Computed once at intern time and cached here.
     pub fn rng_tag(&self) -> u64 {
-        let mut acc = splitmix64(0x5DE5_C0DE ^ u64::from(self.level));
-        for (i, &w) in self.frontier.iter().enumerate() {
-            if w != 0 {
-                acc = splitmix64(acc ^ w.wrapping_add(splitmix64(i as u64)));
-            }
-        }
-        acc
+        self.tag
     }
 }
+
+/// A `std::hash::Hasher` specialized for the integer keys of the hot
+/// maps (memo layers, level-plan index, share-pass dedup): one
+/// SplitMix64 round per written word, no byte-buffer state. `MemoKey`
+/// hashes itself as a single `u64`, so a probe is one mix instead of
+/// SipHash over a boxed slice.
+#[derive(Debug, Default)]
+pub(crate) struct KeyHasher(u64);
+
+impl std::hash::Hasher for KeyHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        // Fallback for non-integer keys (unused on the hot path).
+        for &b in bytes {
+            self.0 = splitmix64(self.0 ^ u64::from(b));
+        }
+    }
+
+    fn write_u64(&mut self, x: u64) {
+        self.0 = splitmix64(self.0 ^ x);
+    }
+}
+
+/// `BuildHasher` plugging [`KeyHasher`] into `HashMap`/`HashSet`.
+pub(crate) type BuildKeyHasher = std::hash::BuildHasherDefault<KeyHasher>;
 
 /// Outcome of one `sample()` invocation (Algorithm 2).
 #[derive(Debug, Clone, PartialEq)]
@@ -140,6 +203,7 @@ pub enum SampleOutcome {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use fpras_automata::StateSet;
 
     #[test]
     fn fresh_table_is_zero() {
@@ -184,23 +248,43 @@ mod tests {
 
     #[test]
     fn memo_key_equality() {
+        let interner = crate::intern::FrontierInterner::new(100);
         let a = StateSet::from_iter(100, [3, 64]);
         let b = StateSet::from_iter(100, [3, 64]);
         let c = StateSet::from_iter(100, [3]);
-        assert_eq!(MemoKey::new(2, &a), MemoKey::new(2, &b));
-        assert_ne!(MemoKey::new(2, &a), MemoKey::new(3, &b));
-        assert_ne!(MemoKey::new(2, &a), MemoKey::new(2, &c));
+        assert_eq!(interner.intern(2, &a), interner.intern(2, &b));
+        assert_ne!(interner.intern(2, &a), interner.intern(3, &b));
+        assert_ne!(interner.intern(2, &a), interner.intern(2, &c));
     }
 
     #[test]
     fn rng_tag_is_a_congruence() {
-        // Equal frontiers → equal tags, independent of universe width.
+        // Equal frontiers → equal tags, independent of universe width
+        // (separate interners, since each is fixed-universe).
+        let narrow = crate::intern::FrontierInterner::new(100);
+        let wide = crate::intern::FrontierInterner::new(200);
         let a = StateSet::from_iter(100, [3, 64]);
         let b = StateSet::from_iter(200, [3, 64]);
-        assert_eq!(MemoKey::new(2, &a).rng_tag(), MemoKey::new(2, &b).rng_tag());
+        assert_eq!(narrow.intern(2, &a).rng_tag(), wide.intern(2, &b).rng_tag());
         // Different level or frontier → (almost surely) different tags.
-        assert_ne!(MemoKey::new(2, &a).rng_tag(), MemoKey::new(3, &a).rng_tag());
+        assert_ne!(narrow.intern(2, &a).rng_tag(), narrow.intern(3, &a).rng_tag());
         let c = StateSet::from_iter(100, [3]);
-        assert_ne!(MemoKey::new(2, &a).rng_tag(), MemoKey::new(2, &c).rng_tag());
+        assert_ne!(narrow.intern(2, &a).rng_tag(), narrow.intern(2, &c).rng_tag());
+    }
+
+    #[test]
+    fn key_hasher_mixes_integers() {
+        use std::hash::{BuildHasher, Hash};
+        let build = BuildKeyHasher::default();
+        let interner = crate::intern::FrontierInterner::new(64);
+        let a = interner.intern(1, &StateSet::from_iter(64, [5]));
+        let b = interner.intern(2, &StateSet::from_iter(64, [5]));
+        let hash = |k: &MemoKey| {
+            let mut h = build.build_hasher();
+            k.hash(&mut h);
+            std::hash::Hasher::finish(&h)
+        };
+        assert_eq!(hash(&a), hash(&a));
+        assert_ne!(hash(&a), hash(&b));
     }
 }

@@ -8,7 +8,7 @@
 
 use fpras_automata::{StateSet, Word};
 use fpras_core::sample_set::{SampleEntry, SampleSet};
-use fpras_core::{app_union, Params, RunStats, UnionSetInput};
+use fpras_core::{app_union, Params, RunStats, UnionScratch, UnionSetInput};
 use fpras_numeric::ExtFloat;
 use proptest::prelude::*;
 use rand::{rngs::SmallRng, RngExt, SeedableRng};
@@ -73,7 +73,7 @@ proptest! {
             .collect();
         let mut stats = RunStats::default();
         let mut rng = SmallRng::seed_from_u64(seed.wrapping_mul(31).wrapping_add(7));
-        let est = app_union(&params, 0.1, 0.02, 0.0, &inputs, raw.len(), &mut rng, &mut stats);
+        let est = app_union(&params, 0.1, 0.02, 0.0, &inputs, raw.len(), &mut rng, &mut UnionScratch::new(), &mut stats);
         let got = est.value.to_f64();
         let err = (got - exact as f64).abs() / exact as f64;
         // ε = 0.1 plus stored-sample resolution; 0.5 leaves ~5σ headroom.
@@ -99,7 +99,7 @@ proptest! {
             .collect();
         let mut stats = RunStats::default();
         let mut rng = SmallRng::seed_from_u64(seed);
-        let est = app_union(&params, 0.3, 0.05, 0.0, &inputs, raw.len(), &mut rng, &mut stats);
+        let est = app_union(&params, 0.3, 0.05, 0.0, &inputs, raw.len(), &mut rng, &mut UnionScratch::new(), &mut stats);
         // (Y/t)·Σsz with Y ≤ t can never exceed Σsz — a hard invariant.
         prop_assert!(est.value.to_f64() <= total as f64 * (1.0 + 1e-9));
     }
@@ -121,7 +121,7 @@ proptest! {
         }];
         let mut stats = RunStats::default();
         let mut rng = SmallRng::seed_from_u64(seed);
-        let est = app_union(&params, 0.3, 0.05, 0.0, &inputs, 1, &mut rng, &mut stats);
+        let est = app_union(&params, 0.3, 0.05, 0.0, &inputs, 1, &mut rng, &mut UnionScratch::new(), &mut stats);
         prop_assert!((est.value.to_f64() - len as f64).abs() < 1e-9);
     }
 }

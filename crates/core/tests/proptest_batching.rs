@@ -16,8 +16,7 @@
 //!   frontiers produce distinct keys.
 
 use fpras_automata::StateSet;
-use fpras_core::table::MemoKey;
-use fpras_core::{run_parallel, FprasRun, Params};
+use fpras_core::{run_parallel, FprasRun, FrontierInterner, Params};
 use fpras_workloads::{random_nfa, RandomNfaConfig};
 use proptest::prelude::*;
 use rand::{rngs::SmallRng, SeedableRng};
@@ -103,18 +102,22 @@ proptest! {
         level in 0usize..30,
     ) {
         // Same members, any insertion order, any universe padding ⇒ the
-        // same canonical key and the same RNG tag.
+        // same canonical key (within one interner) and the same RNG tag
+        // (even across interners over different universes).
         let mut members = members;
         let universe = 128;
+        let interner = FrontierInterner::new(universe);
+        let wide = FrontierInterner::new(universe + padding);
         let forward = StateSet::from_iter(universe, members.iter().copied());
         members.reverse();
         let backward = StateSet::from_iter(universe, members.iter().copied());
         let padded = StateSet::from_iter(universe + padding, members.iter().copied());
-        let k_fwd = MemoKey::new(level, &forward);
-        let k_bwd = MemoKey::new(level, &backward);
+        let k_fwd = interner.intern(level, &forward);
+        let k_bwd = interner.intern(level, &backward);
         prop_assert_eq!(&k_fwd, &k_bwd);
+        prop_assert_eq!(k_fwd.frontier(), k_bwd.frontier());
         prop_assert_eq!(k_fwd.rng_tag(), k_bwd.rng_tag());
-        prop_assert_eq!(k_fwd.rng_tag(), MemoKey::new(level, &padded).rng_tag());
+        prop_assert_eq!(k_fwd.rng_tag(), wide.intern(level, &padded).rng_tag());
 
         // Changing the membership changes the key (and, for distinct
         // sets, the tag — splitmix collisions at 64 bits would be a bug
@@ -122,10 +125,13 @@ proptest! {
         let different: Vec<usize> = members.iter().map(|&s| (s + 1) % 121).collect();
         if StateSet::from_iter(universe, different.iter().copied()) != forward {
             let other = StateSet::from_iter(universe, different.iter().copied());
-            prop_assert_ne!(&k_fwd, &MemoKey::new(level, &other));
-            prop_assert_ne!(k_fwd.rng_tag(), MemoKey::new(level, &other).rng_tag());
+            prop_assert_ne!(&k_fwd, &interner.intern(level, &other));
+            prop_assert_ne!(k_fwd.rng_tag(), interner.intern(level, &other).rng_tag());
         }
-        // And so does the level.
-        prop_assert_ne!(k_fwd.rng_tag(), MemoKey::new(level + 1, &forward).rng_tag());
+        // And so does the level (equal content shares one id there —
+        // ids are content-only — but the tags must differ).
+        let bumped = interner.intern(level + 1, &forward);
+        prop_assert_eq!(k_fwd.frontier(), bumped.frontier());
+        prop_assert_ne!(k_fwd.rng_tag(), bumped.rng_tag());
     }
 }

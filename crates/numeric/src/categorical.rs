@@ -30,6 +30,53 @@ pub fn sample_weights<R: Rng + ?Sized>(rng: &mut R, weights: &[f64]) -> Option<u
     weights.iter().rposition(|&w| w > 0.0)
 }
 
+/// A weight vector with its total precomputed, for repeated categorical
+/// draws over the *same* weights.
+///
+/// [`sample_weights`] re-sums the whole vector on every call — fine for
+/// one-shot draws, pure waste inside `AppUnion`'s trial loop, which
+/// draws thousands of times from one fixed vector. `WeightTable` hoists
+/// the summation; [`WeightTable::sample`] keeps the scalar subtraction
+/// loop of `sample_weights` verbatim (same total, same fold order, same
+/// fallback), so the two produce **bit-identical** draw sequences from
+/// any RNG state — a property the `table_matches_sample_weights`
+/// proptest pins down.
+pub struct WeightTable<'a> {
+    weights: &'a [f64],
+    total: f64,
+}
+
+impl<'a> WeightTable<'a> {
+    /// Precomputes the total of `weights`.
+    pub fn new(weights: &'a [f64]) -> Self {
+        debug_assert!(weights.iter().all(|&w| w >= 0.0 && w.is_finite()));
+        WeightTable { weights, total: weights.iter().sum() }
+    }
+
+    /// True iff every weight is zero (or the slice is empty): no draw is
+    /// possible and [`WeightTable::sample`] will return `None`.
+    pub fn is_zero(&self) -> bool {
+        self.total <= 0.0
+    }
+
+    /// Samples an index proportionally to the table's weights — the
+    /// draw-identical counterpart of [`sample_weights`].
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<usize> {
+        if self.total <= 0.0 {
+            return None;
+        }
+        let mut target = rng.random_range(0.0..1.0) * self.total;
+        for (i, &w) in self.weights.iter().enumerate() {
+            target -= w;
+            if target < 0.0 {
+                return Some(i);
+            }
+        }
+        // Floating-point slack: fall back to the last non-zero weight.
+        self.weights.iter().rposition(|&w| w > 0.0)
+    }
+}
+
 /// Samples an index proportionally to [`ExtFloat`] weights.
 ///
 /// The weights may individually exceed `f64` range; they are rescaled by
@@ -52,14 +99,70 @@ pub fn sample_extfloat_weights<R: Rng + ?Sized>(
     if max.is_zero() {
         return None;
     }
-    let scaled: Vec<f64> = weights.iter().map(|w| w.ratio(&max)).collect();
-    sample_weights(rng, &scaled)
+    let mut scaled = Vec::new();
+    sample_extfloat_weights_with(rng, weights, &mut scaled)
+}
+
+/// [`sample_extfloat_weights`] with a caller-owned scratch buffer for the
+/// rescaled weights, so repeated draws (one per sampler level per symbol)
+/// allocate nothing. `buf` is cleared and refilled; the draw sequence is
+/// identical to the allocating form.
+pub fn sample_extfloat_weights_with<R: Rng + ?Sized>(
+    rng: &mut R,
+    weights: &[ExtFloat],
+    buf: &mut Vec<f64>,
+) -> Option<usize> {
+    let max = weights.iter().filter(|w| !w.is_zero()).fold(ExtFloat::ZERO, |acc, w| {
+        if *w > acc {
+            *w
+        } else {
+            acc
+        }
+    });
+    if max.is_zero() {
+        return None;
+    }
+    buf.clear();
+    buf.extend(weights.iter().map(|w| w.ratio(&max)));
+    sample_weights(rng, buf)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
     use rand::{rngs::SmallRng, SeedableRng};
+
+    proptest! {
+        /// The whole point of `WeightTable`: for any weight vector and
+        /// any RNG seed, a sequence of table draws is bit-identical to a
+        /// sequence of `sample_weights` calls (same indices *and* same
+        /// RNG state consumed).
+        #[test]
+        fn table_matches_sample_weights(
+            weights in proptest::collection::vec(0.0f64..1e12, 0..12),
+            seed in any::<u64>(),
+        ) {
+            let mut a = SmallRng::seed_from_u64(seed);
+            let mut b = SmallRng::seed_from_u64(seed);
+            let table = WeightTable::new(&weights);
+            for _ in 0..16 {
+                prop_assert_eq!(table.sample(&mut a), sample_weights(&mut b, &weights));
+            }
+            // Identical RNG states after the draws.
+            prop_assert_eq!(a.random::<u64>(), b.random::<u64>());
+        }
+    }
+
+    #[test]
+    fn table_zero_and_empty() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        assert!(WeightTable::new(&[]).is_zero());
+        assert_eq!(WeightTable::new(&[]).sample(&mut rng), None);
+        assert!(WeightTable::new(&[0.0, 0.0]).is_zero());
+        assert_eq!(WeightTable::new(&[0.0, 0.0]).sample(&mut rng), None);
+        assert!(!WeightTable::new(&[0.0, 2.0]).is_zero());
+    }
 
     #[test]
     fn empty_and_zero_weights() {
@@ -91,6 +194,21 @@ mod tests {
             let got = counts[i] as f64 / trials as f64;
             assert!((got - expect).abs() < 0.01, "index {i}: got {got}, expect {expect}");
         }
+    }
+
+    #[test]
+    fn with_buffer_matches_allocating_form() {
+        let weights = [ExtFloat::from_u64(3), ExtFloat::ZERO, ExtFloat::pow2(300)];
+        let mut a = SmallRng::seed_from_u64(17);
+        let mut b = SmallRng::seed_from_u64(17);
+        let mut buf = Vec::new();
+        for _ in 0..32 {
+            assert_eq!(
+                sample_extfloat_weights_with(&mut a, &weights, &mut buf),
+                sample_extfloat_weights(&mut b, &weights)
+            );
+        }
+        assert_eq!(a.random::<u64>(), b.random::<u64>());
     }
 
     #[test]

@@ -22,5 +22,7 @@ pub mod extfloat;
 pub mod stats;
 
 pub use biguint::BigUint;
-pub use categorical::{sample_extfloat_weights, sample_weights};
+pub use categorical::{
+    sample_extfloat_weights, sample_extfloat_weights_with, sample_weights, WeightTable,
+};
 pub use extfloat::ExtFloat;

@@ -236,6 +236,9 @@ fn report_stats(s: &RunStats) {
     println!("  pool steals          {}", s.pool.steals);
     println!("  pool worker items    {:?}", s.pool.worker_items);
     println!("  pool worker ops      {:?}", s.pool.worker_ops);
+    println!("  intern distinct      {}", s.intern.distinct_frontiers);
+    println!("  intern hits          {}", s.intern.intern_hits);
+    println!("  intern arena bytes   {}", s.intern.arena_bytes);
     match s.pool.ops_balance_ratio() {
         Some(r) => println!("  pool ops balance     {r:.3}"),
         None => println!("  pool ops balance     n/a"),
