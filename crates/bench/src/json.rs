@@ -76,6 +76,21 @@ pub struct CounterMeasurement {
     /// Amortized microseconds per query (`None` for single-run rows —
     /// the per-query framing only means something over a trace).
     pub us_per_query: Option<f64>,
+    /// Median per-query latency in microseconds (load-harness rows
+    /// only; `None` elsewhere). Unlike `us_per_query` this is a real
+    /// per-query distribution statistic, not an amortized mean.
+    pub p50_us: Option<f64>,
+    /// 99th-percentile per-query latency in microseconds (load-harness
+    /// rows only). The tail the mean hides: cold builds and extensions
+    /// land here, reuse hits land at p50.
+    pub p99_us: Option<f64>,
+    /// Queries and opens turned away or aborted by the admission
+    /// controller (level-quota denials + per-query budget aborts; zero
+    /// for unquota'd rows).
+    pub quota_rejections: u64,
+    /// `levels_reused / (levels_built + levels_reused)` over the row's
+    /// whole trace (`None` for single-run rows).
+    pub reuse_rate: Option<f64>,
 }
 
 /// Hardware threads on the recording host.
@@ -116,6 +131,10 @@ fn measure(
         queries_served: 1,
         levels_reused: 0,
         us_per_query: None,
+        p50_us: None,
+        p99_us: None,
+        quota_rejections: 0,
+        reuse_rate: None,
     }
 }
 
@@ -143,6 +162,7 @@ fn service_trace_rows(quick: bool, seed: u64) -> Vec<CounterMeasurement> {
         min_len: 4,
         max_len,
         repeat_bias: 0.6,
+        hot_automaton_bias: 0.0,
     };
     let trace = query_trace(&config, &mut SmallRng::seed_from_u64(seed ^ 0x7ACE));
     let params: Vec<Params> = automata
@@ -202,6 +222,10 @@ fn service_trace_rows(quick: bool, seed: u64) -> Vec<CounterMeasurement> {
         queries_served: totals.queries_served,
         levels_reused: totals.levels_reused,
         us_per_query: Some(session_wall.as_secs_f64() * 1e6 / queries as f64),
+        p50_us: None,
+        p99_us: None,
+        quota_rejections: 0,
+        reuse_rate: Some(totals.reuse_rate()),
     };
 
     // Control: a fresh engine run per query, same seed and params — the
@@ -241,6 +265,10 @@ fn service_trace_rows(quick: bool, seed: u64) -> Vec<CounterMeasurement> {
         queries_served: queries as u64,
         levels_reused: 0,
         us_per_query: Some(control_wall.as_secs_f64() * 1e6 / queries as f64),
+        p50_us: None,
+        p99_us: None,
+        quota_rejections: 0,
+        reuse_rate: Some(0.0),
     };
     vec![session_row, control_row]
 }
@@ -345,6 +373,9 @@ pub fn counter_matrix(quick: bool, seed: u64) -> Vec<CounterMeasurement> {
     // Query-trace family (service layer): amortized per-query cost with
     // level reuse vs. the fresh-run-per-query control.
     out.extend(service_trace_rows(quick, seed));
+    // Load harness (serving front-end): p50/p99 latency, reuse rate,
+    // and quota shedding over a large mixed-tenant trace.
+    out.extend(crate::load::load_harness_rows(quick, seed));
     out
 }
 
@@ -374,9 +405,13 @@ pub fn to_json(measurements: &[CounterMeasurement]) -> String {
         s.push_str(&format!("\"queries_served\": {}, ", m.queries_served));
         s.push_str(&format!("\"levels_reused\": {}, ", m.levels_reused));
         s.push_str(&format!(
-            "\"us_per_query\": {}",
+            "\"us_per_query\": {}, ",
             m.us_per_query.map_or("null".to_string(), number)
         ));
+        s.push_str(&format!("\"p50_us\": {}, ", m.p50_us.map_or("null".to_string(), number)));
+        s.push_str(&format!("\"p99_us\": {}, ", m.p99_us.map_or("null".to_string(), number)));
+        s.push_str(&format!("\"quota_rejections\": {}, ", m.quota_rejections));
+        s.push_str(&format!("\"reuse_rate\": {}", m.reuse_rate.map_or("null".to_string(), number)));
         s.push('}');
         if i + 1 < measurements.len() {
             s.push(',');
@@ -502,6 +537,10 @@ mod tests {
                 queries_served: 12,
                 levels_reused: 30,
                 us_per_query: Some(125.5),
+                p50_us: Some(6.25),
+                p99_us: Some(980.0),
+                quota_rejections: 17,
+                reuse_rate: Some(0.625),
             },
             CounterMeasurement {
                 instance: "empty \"quoted\"".into(),
@@ -522,6 +561,10 @@ mod tests {
                 queries_served: 1,
                 levels_reused: 0,
                 us_per_query: None,
+                p50_us: None,
+                p99_us: None,
+                quota_rejections: 0,
+                reuse_rate: None,
             },
         ];
         let doc = to_json(&ms);
@@ -541,6 +584,12 @@ mod tests {
         assert!(doc.contains("\"levels_reused\": 30"));
         assert!(doc.contains("\"us_per_query\": 125.5"));
         assert!(doc.contains("\"us_per_query\": null"));
+        assert!(doc.contains("\"p50_us\": 6.25"));
+        assert!(doc.contains("\"p50_us\": null"));
+        assert!(doc.contains("\"p99_us\": 980"));
+        assert!(doc.contains("\"quota_rejections\": 17"));
+        assert!(doc.contains("\"reuse_rate\": 0.625"));
+        assert!(doc.contains("\"reuse_rate\": null"));
         assert!(doc.contains("\\\"quoted\\\""));
         // log2(0) must not produce invalid JSON.
         assert!(doc.contains("\"estimate_log2\": null"));
@@ -552,8 +601,16 @@ mod tests {
     fn matrix_covers_methods_and_threads() {
         let ms = counter_matrix(true, 7);
         // 3 small instances × (9 fpras settings + 1 exact) + 2 large
-        // instances × (4 thread counts + 1 exact) + 2 query-trace rows.
-        assert_eq!(ms.len(), 42);
+        // instances × (4 thread counts + 1 exact) + 2 query-trace rows
+        // + 2 load-harness rows.
+        assert_eq!(ms.len(), 44);
+        // Load harness: latency distribution recorded, reuse nonzero,
+        // and only the quota'd row sheds queries.
+        let load = ms.iter().find(|m| m.method == "session(load)").expect("load row");
+        let quotad = ms.iter().find(|m| m.method == "session(load+quota)").expect("load+quota row");
+        assert!(load.p50_us.is_some() && load.p99_us.is_some());
+        assert!(load.levels_reused > 0 && load.quota_rejections == 0);
+        assert!(quotad.quota_rejections > 0, "tight ledger must show rejections");
         // Query-trace family: the session row must show real level
         // reuse and beat the fresh-run-per-query control on amortized
         // per-query cost — reuse is a strict work reduction, so this

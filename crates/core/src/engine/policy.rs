@@ -272,9 +272,15 @@ impl<R: Rng + ?Sized> ExecutionPolicy for Serial<'_, R> {
 /// **bit-identical for any thread count and any schedule** —
 /// `threads = 1` reproduces `threads = 8` exactly, which makes the
 /// speedup honestly attributable to scheduling alone.
+///
+/// The pool handle is an [`Arc`](std::sync::Arc): a serving front-end
+/// can hand many policies (one per session extension) the **same**
+/// parked-worker set via [`Deterministic::with_pool`] instead of
+/// spawning a fleet per session — which pool ran a pass is pure
+/// scheduling, so sharing cannot change any output (D10/D13).
 pub struct Deterministic {
     master_seed: u64,
-    pool: Pool,
+    pool: std::sync::Arc<Pool>,
 }
 
 impl Deterministic {
@@ -284,7 +290,16 @@ impl Deterministic {
     /// dropped; `threads = 1` spawns nothing and runs every pass
     /// inline.
     pub fn new(master_seed: u64, threads: usize) -> Self {
-        Deterministic { master_seed, pool: Pool::new(threads.max(1)) }
+        Deterministic::with_pool(master_seed, std::sync::Arc::new(Pool::new(threads.max(1))))
+    }
+
+    /// A policy running on a caller-shared [`Pool`] instead of spawning
+    /// its own workers. The pool's worker count takes the place of the
+    /// `threads` knob; since scheduling never reaches the output
+    /// (module docs of `engine/pool.rs`), a run on a shared pool is
+    /// bit-identical to the same seed on a private pool of any size.
+    pub fn with_pool(master_seed: u64, pool: std::sync::Arc<Pool>) -> Self {
+        Deterministic { master_seed, pool }
     }
 
     /// The configured thread cap.

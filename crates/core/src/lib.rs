@@ -88,7 +88,8 @@ pub use params::{CursorPolicy, Params, Profile};
 pub use run_stats::{BatchStats, MemoStats, PoolStats, RunStats, ShareStats};
 pub use sample_set::{SampleEntry, SampleSet};
 pub use service::{
-    nfa_fingerprint, QuerySession, ServiceRegistry, ServiceStats, SessionPolicy, SessionStats,
+    nfa_fingerprint, AdmissionController, QuerySession, QuotaConfig, QuotaDenied, QuotaStats,
+    ServiceRegistry, ServiceStats, SessionPolicy, SessionStats,
 };
 pub use table::SampleOutcome;
 

@@ -45,9 +45,11 @@
 //! `proptest_service.rs` enforces the invariant for both policies over
 //! random automata and random query orders.
 
+mod quota;
 mod registry;
 mod session;
 
+pub use quota::{AdmissionController, QuotaConfig, QuotaDenied, QuotaStats};
 pub use registry::{nfa_fingerprint, ServiceRegistry, ServiceStats, SessionKey};
 pub use session::{QuerySession, SessionStats};
 

@@ -1,0 +1,248 @@
+//! Admission control for the serving front-end: per-tenant quotas that
+//! turn resource exhaustion into polite denials instead of process
+//! death or unbounded level building.
+//!
+//! The serving loop (`nfa-count serve`) multiplexes many tenants onto
+//! one [`ServiceRegistry`](crate::service::ServiceRegistry) and one
+//! shared worker pool, so one tenant's pathological automaton or
+//! absurd horizon must not starve the rest. An [`AdmissionController`]
+//! holds the [`QuotaConfig`] limits and the running [`QuotaStats`], and
+//! is consulted at three points in a query's life:
+//!
+//! 1. **`open`** — [`AdmissionController::admit_session`] caps how many
+//!    named sessions one server holds open;
+//! 2. **pre-query** — [`AdmissionController::admit_levels`] caps the
+//!    cumulative DP levels a tenant may build (the dominant memory and
+//!    compute cost), denying an `estimate n` whose extension would
+//!    blow the ledger *before* any work happens;
+//! 3. **in-query** — [`AdmissionController::per_query_ops_cap`] derives
+//!    the membership-op budget to install on the session
+//!    ([`QuerySession::set_build_ops_budget`](crate::service::QuerySession::set_build_ops_budget))
+//!    so a single runaway query aborts mid-build instead of running
+//!    forever; the resulting
+//!    [`FprasError::BudgetExceeded`](crate::FprasError::BudgetExceeded)
+//!    is reported via [`AdmissionController::record_budget_abort`] and
+//!    the poisoned session is recycled by the registry.
+//!
+//! None of this can change a served value: quotas only decide *whether*
+//! a query runs, and the op budget can only abort a run (D11 — a
+//! completed answer is bit-identical with or without a budget).
+
+use std::fmt;
+
+/// Per-tenant resource limits for a serving front-end. Every limit is
+/// optional; `None` means unlimited, and [`QuotaConfig::default`] is
+/// fully unlimited (admission always succeeds).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QuotaConfig {
+    /// Maximum simultaneously open named sessions per server.
+    pub max_sessions: Option<usize>,
+    /// Maximum cumulative DP levels one tenant may build across all of
+    /// its queries (recycled sessions included — the ledger outlives
+    /// the session that spent it).
+    pub max_total_levels: Option<u64>,
+    /// Maximum membership ops one query may spend building levels
+    /// before it is aborted ([`crate::FprasError::BudgetExceeded`]).
+    pub max_query_ops: Option<u64>,
+}
+
+impl QuotaConfig {
+    /// True when every limit is `None` — admission is a no-op.
+    pub fn is_unlimited(&self) -> bool {
+        self.max_sessions.is_none()
+            && self.max_total_levels.is_none()
+            && self.max_query_ops.is_none()
+    }
+}
+
+/// Why admission was denied. Rendered (via `Display`) onto the serve
+/// loop's `error:` line, so messages are one-line and client-readable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QuotaDenied {
+    /// `open` would exceed [`QuotaConfig::max_sessions`].
+    Sessions {
+        /// Sessions currently open.
+        open: usize,
+        /// The configured cap.
+        limit: usize,
+    },
+    /// The query's extension would exceed
+    /// [`QuotaConfig::max_total_levels`] for this tenant.
+    Levels {
+        /// Levels the tenant has already built.
+        used: u64,
+        /// Levels this query would additionally build.
+        needed: u64,
+        /// The configured cap.
+        limit: u64,
+    },
+}
+
+impl fmt::Display for QuotaDenied {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QuotaDenied::Sessions { open, limit } => {
+                write!(f, "session quota exceeded ({open} open, limit {limit})")
+            }
+            QuotaDenied::Levels { used, needed, limit } => {
+                write!(f, "level quota exceeded ({used} built + {needed} needed > limit {limit})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for QuotaDenied {}
+
+/// Running admission counters, reported in `serve --stats` output and
+/// the bench load harness's `quota_rejections` column.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QuotaStats {
+    /// `open` commands denied by [`QuotaConfig::max_sessions`].
+    pub sessions_rejected: u64,
+    /// Queries denied up front by [`QuotaConfig::max_total_levels`].
+    pub queries_rejected: u64,
+    /// Queries aborted mid-build by [`QuotaConfig::max_query_ops`]
+    /// (each one poisons its session, which the registry recycles).
+    pub budget_aborts: u64,
+}
+
+impl QuotaStats {
+    /// Every query or open the quota machinery turned away or aborted —
+    /// the single number the bench JSON records.
+    pub fn quota_rejections(&self) -> u64 {
+        self.sessions_rejected + self.queries_rejected + self.budget_aborts
+    }
+}
+
+/// The quota gatekeeper one serving front-end owns: checks limits,
+/// counts denials. Stateless beyond its counters — callers supply the
+/// current usage (open session count, tenant level ledger) so the
+/// controller cannot drift from the registry's ground truth.
+#[derive(Debug, Clone, Default)]
+pub struct AdmissionController {
+    config: QuotaConfig,
+    stats: QuotaStats,
+}
+
+impl AdmissionController {
+    /// A controller enforcing `config`.
+    pub fn new(config: QuotaConfig) -> Self {
+        AdmissionController { config, stats: QuotaStats::default() }
+    }
+
+    /// The limits this controller enforces.
+    pub fn config(&self) -> &QuotaConfig {
+        &self.config
+    }
+
+    /// Denials and aborts so far.
+    pub fn stats(&self) -> &QuotaStats {
+        &self.stats
+    }
+
+    /// Admits or denies opening one more session when `open_sessions`
+    /// are already open. A denial is counted in
+    /// [`QuotaStats::sessions_rejected`].
+    pub fn admit_session(&mut self, open_sessions: usize) -> Result<(), QuotaDenied> {
+        match self.config.max_sessions {
+            Some(limit) if open_sessions >= limit => {
+                self.stats.sessions_rejected += 1;
+                Err(QuotaDenied::Sessions { open: open_sessions, limit })
+            }
+            _ => Ok(()),
+        }
+    }
+
+    /// Admits or denies a query that would grow a tenant's cumulative
+    /// level ledger from `tenant_levels_built` by `levels_needed`.
+    /// Queries answered entirely from finished levels pass
+    /// `levels_needed = 0` and are always admitted — reuse is free by
+    /// design. A denial is counted in [`QuotaStats::queries_rejected`].
+    pub fn admit_levels(
+        &mut self,
+        tenant_levels_built: u64,
+        levels_needed: u64,
+    ) -> Result<(), QuotaDenied> {
+        match self.config.max_total_levels {
+            Some(limit) if tenant_levels_built.saturating_add(levels_needed) > limit => {
+                self.stats.queries_rejected += 1;
+                Err(QuotaDenied::Levels { used: tenant_levels_built, needed: levels_needed, limit })
+            }
+            _ => Ok(()),
+        }
+    }
+
+    /// The absolute membership-op ceiling to install on a session that
+    /// has already spent `ops_so_far`, or `None` when per-query ops are
+    /// unlimited. Install it with
+    /// [`QuerySession::set_build_ops_budget`](crate::service::QuerySession::set_build_ops_budget)
+    /// *before* each query so every query gets the same allowance
+    /// regardless of how much the session spent on earlier ones.
+    pub fn per_query_ops_cap(&self, ops_so_far: u64) -> Option<u64> {
+        self.config.max_query_ops.map(|per_query| ops_so_far.saturating_add(per_query))
+    }
+
+    /// Records one budget-aborted query
+    /// ([`QuotaStats::budget_aborts`]). The serve loop calls this when
+    /// a query returns
+    /// [`FprasError::BudgetExceeded`](crate::FprasError::BudgetExceeded)
+    /// under an installed per-query cap.
+    pub fn record_budget_abort(&mut self) {
+        self.stats.budget_aborts += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_config_admits_everything() {
+        let mut ctl = AdmissionController::new(QuotaConfig::default());
+        assert!(ctl.config().is_unlimited());
+        assert!(ctl.admit_session(usize::MAX).is_ok());
+        assert!(ctl.admit_levels(u64::MAX, u64::MAX).is_ok());
+        assert_eq!(ctl.per_query_ops_cap(123), None);
+        assert_eq!(ctl.stats().quota_rejections(), 0);
+    }
+
+    #[test]
+    fn session_cap_denies_at_limit() {
+        let cfg = QuotaConfig { max_sessions: Some(2), ..QuotaConfig::default() };
+        let mut ctl = AdmissionController::new(cfg);
+        assert!(ctl.admit_session(0).is_ok());
+        assert!(ctl.admit_session(1).is_ok());
+        let denied = ctl.admit_session(2).unwrap_err();
+        assert_eq!(denied, QuotaDenied::Sessions { open: 2, limit: 2 });
+        assert_eq!(denied.to_string(), "session quota exceeded (2 open, limit 2)");
+        assert_eq!(ctl.stats().sessions_rejected, 1);
+        assert_eq!(ctl.stats().quota_rejections(), 1);
+    }
+
+    #[test]
+    fn level_ledger_denies_overflowing_extension_but_admits_reuse() {
+        let cfg = QuotaConfig { max_total_levels: Some(10), ..QuotaConfig::default() };
+        let mut ctl = AdmissionController::new(cfg);
+        assert!(ctl.admit_levels(0, 10).is_ok());
+        assert!(ctl.admit_levels(10, 0).is_ok(), "pure reuse is free");
+        let denied = ctl.admit_levels(10, 1).unwrap_err();
+        assert_eq!(denied, QuotaDenied::Levels { used: 10, needed: 1, limit: 10 });
+        assert_eq!(denied.to_string(), "level quota exceeded (10 built + 1 needed > limit 10)");
+        // Saturating add: a preposterous request cannot wrap to admitted.
+        assert!(ctl.admit_levels(u64::MAX, u64::MAX).is_err());
+        assert_eq!(ctl.stats().queries_rejected, 2);
+    }
+
+    #[test]
+    fn per_query_cap_is_relative_to_ops_already_spent() {
+        let cfg = QuotaConfig { max_query_ops: Some(1000), ..QuotaConfig::default() };
+        let mut ctl = AdmissionController::new(cfg);
+        assert_eq!(ctl.per_query_ops_cap(0), Some(1000));
+        assert_eq!(ctl.per_query_ops_cap(5000), Some(6000));
+        assert_eq!(ctl.per_query_ops_cap(u64::MAX), Some(u64::MAX));
+        ctl.record_budget_abort();
+        ctl.record_budget_abort();
+        assert_eq!(ctl.stats().budget_aborts, 2);
+        assert_eq!(ctl.stats().quota_rejections(), 2);
+    }
+}

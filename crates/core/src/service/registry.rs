@@ -1,11 +1,13 @@
 //! LRU session cache: mixed-automaton query streams become cache hits.
 
+use crate::engine::Pool;
 use crate::error::FprasError;
 use crate::params::Params;
 use crate::service::session::{QuerySession, SessionStats};
 use crate::service::SessionPolicy;
 use crate::table::splitmix64;
 use fpras_automata::Nfa;
+use std::sync::Arc;
 
 /// A 64-bit fingerprint of an automaton's exact structure (alphabet
 /// size, states, initial/accepting sets, and the full transition list).
@@ -70,6 +72,14 @@ pub struct ServiceStats {
     /// Poisoned sessions dropped on lookup and replaced by a fresh
     /// compile (a budget abort must not brick its cache key forever).
     pub sessions_recycled: u64,
+    /// Shared work-stealing pools compiled (one per distinct thread
+    /// count, however many Deterministic sessions multiplex onto them —
+    /// D13's "single worker set" evidence is this staying at 1 while
+    /// `sessions_created` climbs).
+    pub pools_created: u64,
+    /// OS worker threads spawned across every shared pool (`threads-1`
+    /// per pool; the caller doubles as worker 0).
+    pub pool_workers_spawned: u64,
 }
 
 /// An LRU cache of [`QuerySession`]s keyed by [`SessionKey`].
@@ -109,6 +119,12 @@ pub struct ServiceRegistry {
     /// Query counters of evicted sessions, folded in at eviction so
     /// [`ServiceRegistry::session_totals`] never loses history.
     retired: SessionStats,
+    /// Shared executors keyed by thread count: every Deterministic
+    /// session the registry compiles multiplexes onto the one pool for
+    /// its thread count instead of spawning a private worker fleet, so
+    /// idle sessions pin zero threads (D13). Scheduling is invisible to
+    /// output (D10), so sharing cannot perturb any served value.
+    pools: Vec<(usize, Arc<Pool>)>,
 }
 
 struct Slot {
@@ -126,6 +142,7 @@ impl ServiceRegistry {
             slots: Vec::new(),
             stats: ServiceStats::default(),
             retired: SessionStats::default(),
+            pools: Vec::new(),
         }
     }
 
@@ -191,7 +208,24 @@ impl ServiceRegistry {
         params: &Params,
         policy: &SessionPolicy,
     ) -> Result<&mut QuerySession, FprasError> {
+        self.session_with_key_recycled(key, nfa, params, policy).map(|(s, _)| s)
+    }
+
+    /// [`ServiceRegistry::session_with_key`], additionally reporting
+    /// whether this lookup dropped a poisoned predecessor (`true` means
+    /// the returned session is a fresh recompile replacing a
+    /// budget-aborted one). Serving front-ends use the flag to surface
+    /// one "session recycled" notice to the client without a second
+    /// lookup or a re-borrow of the registry stats.
+    pub fn session_with_key_recycled(
+        &mut self,
+        key: SessionKey,
+        nfa: &Nfa,
+        params: &Params,
+        policy: &SessionPolicy,
+    ) -> Result<(&mut QuerySession, bool), FprasError> {
         self.clock += 1;
+        let mut recycled_here = false;
         if let Some(i) = self.slots.iter().position(|s| s.key == key) {
             if self.slots[i].session.is_poisoned() {
                 // A poisoned session can never serve again; drop it so
@@ -200,13 +234,20 @@ impl ServiceRegistry {
                 let recycled = self.slots.swap_remove(i);
                 self.retired.merge(recycled.session.stats());
                 self.stats.sessions_recycled += 1;
+                recycled_here = true;
             } else {
                 self.stats.session_hits += 1;
                 self.slots[i].last_used = self.clock;
-                return Ok(&mut self.slots[i].session);
+                return Ok((&mut self.slots[i].session, false));
             }
         }
-        let session = QuerySession::new(nfa, params.clone(), policy.clone())?;
+        let mut session = QuerySession::new(nfa, params.clone(), policy.clone())?;
+        if let SessionPolicy::Deterministic { threads, .. } = policy {
+            let threads = (*threads).max(1);
+            if threads > 1 {
+                session = session.with_shared_pool(self.shared_pool(threads));
+            }
+        }
         if self.slots.len() >= self.capacity {
             let (lru, _) = self
                 .slots
@@ -220,7 +261,31 @@ impl ServiceRegistry {
         }
         self.stats.sessions_created += 1;
         self.slots.push(Slot { key, session, last_used: self.clock });
-        Ok(&mut self.slots.last_mut().expect("just pushed").session)
+        Ok((&mut self.slots.last_mut().expect("just pushed").session, recycled_here))
+    }
+
+    /// Iterates the live sessions in unspecified order. Serving
+    /// front-ends merge their run counters for `--stats` reports;
+    /// evicted sessions are gone (their query counters survive in
+    /// [`ServiceRegistry::session_totals`], their run counters do not).
+    pub fn sessions(&self) -> impl Iterator<Item = &QuerySession> + '_ {
+        self.slots.iter().map(|s| &s.session)
+    }
+
+    /// The registry-wide shared executor for `threads` workers,
+    /// compiling it on first use. Every Deterministic session with this
+    /// thread count multiplexes onto the same parked-worker set, so the
+    /// registry spawns `threads - 1` OS threads once rather than per
+    /// session.
+    fn shared_pool(&mut self, threads: usize) -> Arc<Pool> {
+        if let Some((_, pool)) = self.pools.iter().find(|(t, _)| *t == threads) {
+            return Arc::clone(pool);
+        }
+        let pool = Arc::new(Pool::new(threads));
+        self.stats.pools_created += 1;
+        self.stats.pool_workers_spawned += (threads - 1) as u64;
+        self.pools.push((threads, Arc::clone(&pool)));
+        pool
     }
 }
 
@@ -335,6 +400,62 @@ mod tests {
         assert_eq!(registry.stats().sessions_created, 2);
         assert_eq!(registry.stats().session_hits, 0);
         assert_eq!(registry.len(), 1);
+    }
+
+    #[test]
+    fn concurrent_deterministic_sessions_share_one_pool() {
+        // Two Deterministic sessions (distinct automata, same thread
+        // count) must multiplex onto ONE shared worker set: a single
+        // pool compiled, threads-1 workers spawned total, not per
+        // session — and sharing must not perturb any served value.
+        let mut registry = ServiceRegistry::new(4);
+        let params = Params::for_session(0.4, 0.1, 1, 8);
+        let pol = SessionPolicy::Deterministic { seed: 9, threads: 3 };
+        let a = all_words();
+        let b = ones_only();
+        let ea = registry.session(&a, &params, &pol).unwrap().estimate(8).unwrap();
+        let eb = registry.session(&b, &params, &pol).unwrap().estimate(8).unwrap();
+        assert_eq!(registry.stats().sessions_created, 2);
+        assert_eq!(registry.stats().pools_created, 1, "one pool for both sessions");
+        assert_eq!(registry.stats().pool_workers_spawned, 2, "threads-1 workers, once");
+        // Bit-identity: shared-pool answers equal fresh single-session
+        // runs under the same seed/policy (scheduling is invisible).
+        let fresh_a =
+            QuerySession::new(&a, params.clone(), pol.clone()).unwrap().estimate(8).unwrap();
+        let fresh_b =
+            QuerySession::new(&b, params.clone(), pol.clone()).unwrap().estimate(8).unwrap();
+        assert_eq!(ea, fresh_a);
+        assert_eq!(eb, fresh_b);
+        // A different thread count gets its own pool; a repeat of an
+        // existing count does not.
+        let pol2 = SessionPolicy::Deterministic { seed: 9, threads: 2 };
+        registry.session(&a, &params, &pol2).unwrap().estimate(4).unwrap();
+        assert_eq!(registry.stats().pools_created, 2);
+        let pol3 = SessionPolicy::Deterministic { seed: 11, threads: 3 };
+        registry.session(&b, &params, &pol3).unwrap().estimate(4).unwrap();
+        assert_eq!(registry.stats().pools_created, 2);
+        assert_eq!(registry.stats().pool_workers_spawned, 3);
+    }
+
+    #[test]
+    fn recycled_flag_reports_poison_replacement() {
+        let mut registry = ServiceRegistry::new(2);
+        let nfa = all_words();
+        let mut params = Params::for_session(0.4, 0.1, 1, 8);
+        params.max_membership_ops = Some(1);
+        let policy = SessionPolicy::Serial { seed: 2 };
+        let key = SessionKey::new(&nfa, &params, &policy);
+        let (session, recycled) =
+            registry.session_with_key_recycled(key.clone(), &nfa, &params, &policy).unwrap();
+        assert!(!recycled);
+        assert!(session.estimate(8).is_err());
+        let (session, recycled) =
+            registry.session_with_key_recycled(key.clone(), &nfa, &params, &policy).unwrap();
+        assert!(recycled, "poisoned predecessor was dropped");
+        assert!(!session.is_poisoned());
+        let (_, recycled) =
+            registry.session_with_key_recycled(key, &nfa, &params, &policy).unwrap();
+        assert!(!recycled, "healthy hit is not a recycle");
     }
 
     #[test]

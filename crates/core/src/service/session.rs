@@ -1,7 +1,7 @@
 //! A checkpointable engine run serving `(A, n)` queries incrementally.
 
 use crate::engine::{
-    normalize_for_run, run_level, seed_level_zero, Deterministic, EngineCtx, ExecutionPolicy,
+    normalize_for_run, run_level, seed_level_zero, Deterministic, EngineCtx, ExecutionPolicy, Pool,
     Serial, UnionMemo,
 };
 use crate::error::FprasError;
@@ -15,6 +15,7 @@ use crate::table::{RunTable, SampleOutcome};
 use fpras_automata::{Nfa, StateId, StepMasks, Unrolling, Word};
 use fpras_numeric::ExtFloat;
 use rand::{rngs::SmallRng, Rng, SeedableRng};
+use std::sync::Arc;
 
 /// Per-session query accounting: the amortization evidence.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -89,7 +90,14 @@ enum PolicyState {
     /// `capacity × (threads − 1)` workers), and the respawn cost is
     /// dwarfed by the level building it serves. Output is identical
     /// either way — the policy is scheduling-only (D10).
-    Deterministic { seed: u64, threads: usize },
+    ///
+    /// `shared_pool` (set via [`QuerySession::with_shared_pool`])
+    /// upgrades the respawn discipline for serving front-ends: every
+    /// extension borrows the one caller-owned parked-worker set instead
+    /// of spawning its own, so N concurrent sessions multiplex onto a
+    /// single worker fleet (D13). Idle sessions still pin zero threads
+    /// of their own — the shared workers belong to the pool's owner.
+    Deterministic { seed: u64, threads: usize, shared_pool: Option<Arc<Pool>> },
 }
 
 /// One automaton, compiled once, serving `estimate`/`sample` queries at
@@ -172,7 +180,7 @@ impl QuerySession {
                 PolicyState::Serial { rng: SmallRng::seed_from_u64(*seed) }
             }
             SessionPolicy::Deterministic { seed, threads } => {
-                PolicyState::Deterministic { seed: *seed, threads: *threads }
+                PolicyState::Deterministic { seed: *seed, threads: *threads, shared_pool: None }
             }
         };
         let accepts_lambda = nfa.is_accepting(nfa.initial());
@@ -297,6 +305,42 @@ impl QuerySession {
         self
     }
 
+    /// Attaches a shared work-stealing [`Pool`]: every later extension
+    /// of a `Deterministic` session borrows the caller's parked-worker
+    /// set instead of spawning its own fleet, so many sessions
+    /// multiplex onto one executor (D13 — the
+    /// [`ServiceRegistry`](crate::service::ServiceRegistry) does this
+    /// for every Deterministic session it compiles). Scheduling never
+    /// reaches the output (D10), so answers are bit-identical to a
+    /// session with a private pool of any size. No-op for `Serial`
+    /// sessions, which have no executor. The extension's pass counters
+    /// are still drained into this session's `run_stats` right after
+    /// each extension, so per-session attribution survives sharing as
+    /// long as sessions extend one at a time (the line-protocol serve
+    /// loop is sequential by construction).
+    pub fn with_shared_pool(mut self, pool: Arc<Pool>) -> Self {
+        if let PolicyState::Deterministic { shared_pool, .. } = &mut self.policy {
+            *shared_pool = Some(pool);
+        }
+        self
+    }
+
+    /// Replaces the session's *level-building* membership-op budget
+    /// (`Params::max_membership_ops`, compared against the cumulative
+    /// [`QuerySession::run_stats`] ops). The budget is a resource cap,
+    /// never an input: it can only turn a completing run into a
+    /// [`FprasError::BudgetExceeded`] abort, not change a served value,
+    /// so adjusting it between queries preserves the D11 bit-identity
+    /// invariant. Serving front-ends use it to impose a **per-query**
+    /// cap: set `run_stats().membership_ops + per_query_allowance`
+    /// before each query (see `service::quota`). Note the budget field
+    /// is part of [`Params::fingerprint`], so registry callers should
+    /// keep looking sessions up under the key of the *construction*
+    /// params rather than re-fingerprinting mutated ones.
+    pub fn set_build_ops_budget(&mut self, max_ops: Option<u64>) {
+        self.params.max_membership_ops = max_ops;
+    }
+
     /// Extends the checkpointed run so levels `1..=n` are finished.
     ///
     /// Runs `engine::run_level` — the same function a fresh run loops
@@ -340,10 +384,14 @@ impl QuerySession {
                     }
                 }
             }
-            PolicyState::Deterministic { seed, threads } => {
-                // Workers live only for this extension (see PolicyState
+            PolicyState::Deterministic { seed, threads, shared_pool } => {
+                // Workers live only for this extension unless a serving
+                // front-end attached a shared pool (see PolicyState
                 // docs); output is pool-instance independent.
-                let mut policy = Deterministic::new(*seed, *threads);
+                let mut policy = match shared_pool {
+                    Some(pool) => Deterministic::with_pool(*seed, Arc::clone(pool)),
+                    None => Deterministic::new(*seed, *threads),
+                };
                 for ell in *built + 1..=n {
                     match run_level(&ctx, table, memo, &mut self.run_stats, ell, &mut policy) {
                         Ok(()) => *built = ell,

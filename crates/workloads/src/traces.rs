@@ -28,11 +28,23 @@ pub struct QueryTraceConfig {
     /// adversarial all-fresh stream, `1.0` re-asks the first query
     /// forever.
     pub repeat_bias: f64,
+    /// Probability that a query targets automaton `0` (the "hot
+    /// tenant") instead of drawing uniformly — the tenant skew real
+    /// multi-tenant traffic has. `0.0` keeps the historical uniform
+    /// mix; `1.0` sends everything to one tenant.
+    pub hot_automaton_bias: f64,
 }
 
 impl Default for QueryTraceConfig {
     fn default() -> Self {
-        QueryTraceConfig { queries: 40, automata: 2, min_len: 4, max_len: 16, repeat_bias: 0.5 }
+        QueryTraceConfig {
+            queries: 40,
+            automata: 2,
+            min_len: 4,
+            max_len: 16,
+            repeat_bias: 0.5,
+            hot_automaton_bias: 0.0,
+        }
     }
 }
 
@@ -48,7 +60,8 @@ pub struct TraceQuery {
 /// Generates a mixed-automaton query stream with repeat locality;
 /// identical seeds give identical traces.
 ///
-/// Each query picks an automaton uniformly, then with probability
+/// Each query picks an automaton (automaton `0` with probability
+/// `hot_automaton_bias`, uniformly otherwise), then with probability
 /// `repeat_bias` re-asks a uniformly chosen *earlier* query of the same
 /// automaton (falling back to a fresh draw when there is none), and
 /// otherwise draws a fresh length uniformly from
@@ -59,7 +72,15 @@ pub fn query_trace<R: Rng + ?Sized>(config: &QueryTraceConfig, rng: &mut R) -> V
     let mut seen: Vec<Vec<usize>> = vec![Vec::new(); config.automata];
     let mut out = Vec::with_capacity(config.queries);
     for _ in 0..config.queries {
-        let automaton = rng.random_range(0..config.automata);
+        // Zero bias skips the draw entirely so historical seeds keep
+        // producing the exact traces they always did.
+        let automaton = if config.hot_automaton_bias > 0.0
+            && rng.random_range(0.0..1.0) < config.hot_automaton_bias
+        {
+            0
+        } else {
+            rng.random_range(0..config.automata)
+        };
         let history = &seen[automaton];
         let len = if !history.is_empty() && rng.random_range(0.0..1.0) < config.repeat_bias {
             history[rng.random_range(0..history.len())]
@@ -99,6 +120,7 @@ mod tests {
             min_len: 1,
             max_len: 1000,
             repeat_bias: 0.7,
+            hot_automaton_bias: 0.0,
         };
         let trace = query_trace(&config, &mut SmallRng::seed_from_u64(1));
         let distinct: HashSet<_> = trace.iter().map(|q| (q.automaton, q.len)).collect();
@@ -112,6 +134,34 @@ mod tests {
         );
         let fresh_distinct: HashSet<_> = fresh.iter().map(|q| (q.automaton, q.len)).collect();
         assert!(fresh_distinct.len() > 150, "distinct {}", fresh_distinct.len());
+    }
+
+    #[test]
+    fn hot_bias_skews_tenant_mix_without_perturbing_unbiased_seeds() {
+        let base = QueryTraceConfig {
+            queries: 400,
+            automata: 4,
+            min_len: 1,
+            max_len: 20,
+            repeat_bias: 0.3,
+            hot_automaton_bias: 0.0,
+        };
+        // Bias 0.0 must replay the historical stream exactly (no extra
+        // RNG draw), so recorded bench traces stay reproducible.
+        let legacy = query_trace(&base, &mut SmallRng::seed_from_u64(3));
+        let again = query_trace(&base, &mut SmallRng::seed_from_u64(3));
+        assert_eq!(legacy, again);
+        let uniform_hot = legacy.iter().filter(|q| q.automaton == 0).count();
+        // With bias 0.6 the hot tenant takes 0.6 + 0.4/4 = 70% of the
+        // stream in expectation.
+        let hot = query_trace(
+            &QueryTraceConfig { hot_automaton_bias: 0.6, ..base.clone() },
+            &mut SmallRng::seed_from_u64(3),
+        );
+        let hot_count = hot.iter().filter(|q| q.automaton == 0).count();
+        assert!(hot_count > 2 * uniform_hot, "hot {hot_count} vs uniform {uniform_hot}");
+        // Other tenants still appear: skew, not starvation.
+        assert!(hot.iter().any(|q| q.automaton != 0));
     }
 
     #[test]

@@ -10,6 +10,7 @@
 //! nfa-count --file machine.nfa -n 8 --dot        # emit Graphviz and exit
 //! nfa-count query --regex '1(0|1)*' --lengths 8,4,12   # one session, many lengths
 //! echo 'estimate 16' | nfa-count serve --regex '1*'    # stdin query loop
+//! printf 'open a --regex 1*\nestimate 8\n' | nfa-count serve  # multi-session
 //! ```
 //!
 //! Methods: `fpras` (default, Algorithm 3 through the level-synchronous
@@ -20,16 +21,25 @@
 //! accepted as a deprecated alias for `fpras` with multi-threading. The
 //! NFA file format is documented in `fpras_automata::parse`.
 //!
-//! The `serve` and `query` subcommands answer many lengths from **one**
+//! The `query` subcommand answers many lengths from **one**
 //! `fpras_core::service::QuerySession` (levels built once, reused by
 //! every related query; answers bit-identical to fresh runs — DESIGN.md
-//! D11).
+//! D11). The `serve` subcommand is the multi-session server front-end:
+//! a line protocol where `open NAME --regex P | use NAME | close NAME`
+//! manage named sessions multiplexed over one `ServiceRegistry` (all
+//! Deterministic sessions share ONE worker pool — D13), and
+//! `--max-sessions/--max-total-levels/--max-query-ops` impose
+//! per-tenant quotas that degrade to `error:` lines, never process
+//! exit.
 
 use fpras_automata::exact::count_exact;
 use fpras_automata::{dot, enumerate_slice, parse, regex, Alphabet, Nfa};
 use fpras_baselines::path_importance_sampling;
-use fpras_core::service::{QuerySession, SessionPolicy};
-use fpras_core::{run_parallel, FprasRun, Params, RunStats, UniformGenerator};
+use fpras_core::service::{
+    AdmissionController, QuerySession, QuotaConfig, ServiceRegistry, SessionKey, SessionPolicy,
+    SessionStats,
+};
+use fpras_core::{run_parallel, FprasError, FprasRun, Params, RunStats, UniformGenerator};
 use fpras_numeric::ExtFloat;
 use rand::{rngs::SmallRng, SeedableRng};
 
@@ -81,6 +91,28 @@ fn usage() -> ! {
     std::process::exit(2)
 }
 
+/// Parses `flag`'s value, naming the flag and the offending token in
+/// the error. The one flag-value validation path shared by
+/// `parse_args`, `parse_service_args`, and the serve `open` command
+/// (previously copy-pasted `parse().unwrap_or_else(..)` per parser).
+fn parse_value<T: std::str::FromStr>(flag: &str, raw: Option<&str>) -> Result<T, String> {
+    let raw = raw.ok_or_else(|| format!("missing value for {flag}"))?;
+    raw.parse::<T>().map_err(|_| format!("invalid value {raw:?} for {flag}"))
+}
+
+/// [`parse_value`] for the argv parsers: reports the error on stderr
+/// and returns `None` so the caller can exit through its own usage
+/// text.
+fn parse_value_or_report<T: std::str::FromStr>(flag: &str, raw: &str) -> Option<T> {
+    match parse_value(flag, Some(raw)) {
+        Ok(v) => Some(v),
+        Err(e) => {
+            eprintln!("{e}");
+            None
+        }
+    }
+}
+
 fn parse_args() -> Args {
     let mut args = Args {
         regex: None,
@@ -110,20 +142,43 @@ fn parse_args() -> Args {
         match argv[i].as_str() {
             "--regex" => args.regex = Some(value(&mut i)),
             "--file" => args.file = Some(value(&mut i)),
-            "-n" | "--length" => args.n = value(&mut i).parse().unwrap_or_else(|_| usage()),
-            "--eps" => args.eps = value(&mut i).parse().unwrap_or_else(|_| usage()),
-            "--delta" => args.delta = value(&mut i).parse().unwrap_or_else(|_| usage()),
-            "--seed" => args.seed = value(&mut i).parse().unwrap_or_else(|_| usage()),
-            "--sample" => args.sample = value(&mut i).parse().unwrap_or_else(|_| usage()),
-            "--threads" => args.threads = Some(value(&mut i).parse().unwrap_or_else(|_| usage())),
-            "--enumerate" => args.enumerate = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "-n" | "--length" => {
+                args.n = parse_value_or_report("-n", &value(&mut i)).unwrap_or_else(|| usage())
+            }
+            "--eps" => {
+                args.eps = parse_value_or_report("--eps", &value(&mut i)).unwrap_or_else(|| usage())
+            }
+            "--delta" => {
+                args.delta =
+                    parse_value_or_report("--delta", &value(&mut i)).unwrap_or_else(|| usage())
+            }
+            "--seed" => {
+                args.seed =
+                    parse_value_or_report("--seed", &value(&mut i)).unwrap_or_else(|| usage())
+            }
+            "--sample" => {
+                args.sample =
+                    parse_value_or_report("--sample", &value(&mut i)).unwrap_or_else(|| usage())
+            }
+            "--threads" => {
+                args.threads = Some(
+                    parse_value_or_report("--threads", &value(&mut i)).unwrap_or_else(|| usage()),
+                )
+            }
+            "--enumerate" => {
+                args.enumerate =
+                    parse_value_or_report("--enumerate", &value(&mut i)).unwrap_or_else(|| usage())
+            }
             "--exact" => args.exact = true,
             "--dot" => args.dot = true,
             "--stats" => args.stats = true,
             "--no-batch" => args.no_batch = true,
             "--no-share" => args.no_share = true,
             "--steal-chunk" => {
-                args.steal_chunk = Some(value(&mut i).parse().unwrap_or_else(|_| usage()))
+                args.steal_chunk = Some(
+                    parse_value_or_report("--steal-chunk", &value(&mut i))
+                        .unwrap_or_else(|| usage()),
+                )
             }
             "--method" => {
                 args.method = match value(&mut i).as_str() {
@@ -169,34 +224,31 @@ fn parse_args() -> Args {
     args
 }
 
-/// Loads the automaton from `--regex` or `--file` (exactly one is set,
-/// enforced by both argument parsers).
-fn load_automaton(regex_pattern: Option<&str>, file: Option<&str>) -> Nfa {
-    if let Some(pattern) = regex_pattern {
-        match regex::compile_regex(pattern, &Alphabet::binary()) {
-            Ok(nfa) => nfa,
-            Err(e) => {
-                eprintln!("cannot compile regex: {e}");
-                std::process::exit(1);
-            }
+/// Loads the automaton from `--regex` or `--file`. Every failure —
+/// including the caller passing neither source, which the old code
+/// turned into an `expect("validated")` panic waiting for the
+/// validation paths to drift — is an `Err` the caller renders as a
+/// usage error or a serve-loop `error:` line.
+fn load_automaton(regex_pattern: Option<&str>, file: Option<&str>) -> Result<Nfa, String> {
+    match (regex_pattern, file) {
+        (Some(pattern), None) => regex::compile_regex(pattern, &Alphabet::binary())
+            .map_err(|e| format!("cannot compile regex: {e}")),
+        (None, Some(path)) => {
+            let text =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+            parse::from_text(&text).map_err(|e| format!("cannot parse {path}: {e}"))
         }
-    } else {
-        let path = file.expect("validated");
-        let text = match std::fs::read_to_string(path) {
-            Ok(t) => t,
-            Err(e) => {
-                eprintln!("cannot read {path}: {e}");
-                std::process::exit(1);
-            }
-        };
-        match parse::from_text(&text) {
-            Ok(nfa) => nfa,
-            Err(e) => {
-                eprintln!("cannot parse {path}: {e}");
-                std::process::exit(1);
-            }
-        }
+        (Some(_), Some(_)) => Err("--regex and --file are mutually exclusive".to_string()),
+        (None, None) => Err("an automaton source (--regex or --file) is required".to_string()),
     }
+}
+
+/// [`load_automaton`] for the one-shot paths: any failure is fatal.
+fn load_automaton_or_exit(regex_pattern: Option<&str>, file: Option<&str>) -> Nfa {
+    load_automaton(regex_pattern, file).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(1);
+    })
 }
 
 fn report_estimate(n: usize, estimate: ExtFloat) {
@@ -259,13 +311,21 @@ struct ServiceArgs {
     max_n: usize,
     lengths: Vec<usize>,
     stats: bool,
+    /// `serve` quota: simultaneously open named sessions.
+    max_sessions: Option<usize>,
+    /// `serve` quota: cumulative DP levels per tenant (survives
+    /// session recycles).
+    max_total_levels: Option<u64>,
+    /// `serve` quota: membership-op budget per query (a tripped budget
+    /// aborts the query and the session is recycled on next use).
+    max_query_ops: Option<u64>,
 }
 
 fn service_usage(cmd: &str) -> ! {
     eprintln!(
-        "usage: nfa-count {cmd} (--regex PATTERN | --file PATH)\n\
+        "usage: nfa-count {cmd} {}\n\
          \t{}[--eps E=0.2] [--delta D=0.05] [--seed S=42]\n\
-         \t[--threads T=0] [--max-n N=64] [--stats]\n\
+         \t[--threads T=0] [--max-n N=64] [--stats]{}\n\
          \n\
          One QuerySession serves every length: levels are built once and\n\
          reused by later queries; answers are bit-identical to a fresh\n\
@@ -273,10 +333,27 @@ fn service_usage(cmd: &str) -> ! {
          --max-n sizes the error-budget split and is a hard cap: lengths\n\
          above it are refused (`query` raises it to max(--lengths)\n\
          automatically).{}",
+        if cmd == "serve" {
+            "[--regex PATTERN | --file PATH]"
+        } else {
+            "(--regex PATTERN | --file PATH)"
+        },
         if cmd == "query" { "--lengths N1,N2,… " } else { "" },
         if cmd == "serve" {
-            "\n\nserve reads queries from stdin, one per line:\n\
-             \testimate N | range A B | sample N [COUNT] | stats | quit"
+            "\n\t[--max-sessions K] [--max-total-levels L] [--max-query-ops B]"
+        } else {
+            ""
+        },
+        if cmd == "serve" {
+            "\n\nserve reads commands from stdin, one per line:\n\
+             \topen NAME (--regex P | --file F) [--seed S] [--threads T]\n\
+             \t          [--eps E] [--delta D] [--max-n N]\n\
+             \tuse NAME | close NAME\n\
+             \testimate N | range A B | sample N [COUNT] | stats | quit\n\
+             Named sessions multiplex onto one registry and one shared\n\
+             worker pool; --regex/--file at startup opens session\n\
+             \"default\". Bad lines and quota denials answer with one\n\
+             `error: …` line each — the process never exits on them."
         } else {
             ""
         }
@@ -295,28 +372,48 @@ fn parse_service_args(cmd: &str, argv: &[String]) -> ServiceArgs {
         max_n: 64,
         lengths: Vec::new(),
         stats: false,
+        max_sessions: None,
+        max_total_levels: None,
+        max_query_ops: None,
     };
     let mut i = 0;
     let value = |i: &mut usize| -> String {
         *i += 1;
         argv.get(*i).cloned().unwrap_or_else(|| service_usage(cmd))
     };
+    // The same parse-and-report helper the top-level parser uses: one
+    // numeric-validation path, two usage texts.
+    macro_rules! num {
+        ($flag:literal, $i:expr) => {
+            parse_value_or_report($flag, &value($i)).unwrap_or_else(|| service_usage(cmd))
+        };
+    }
     while i < argv.len() {
         match argv[i].as_str() {
             "--regex" => args.regex = Some(value(&mut i)),
             "--file" => args.file = Some(value(&mut i)),
-            "--eps" => args.eps = value(&mut i).parse().unwrap_or_else(|_| service_usage(cmd)),
-            "--delta" => args.delta = value(&mut i).parse().unwrap_or_else(|_| service_usage(cmd)),
-            "--seed" => args.seed = value(&mut i).parse().unwrap_or_else(|_| service_usage(cmd)),
-            "--threads" => {
-                args.threads = value(&mut i).parse().unwrap_or_else(|_| service_usage(cmd))
-            }
-            "--max-n" => args.max_n = value(&mut i).parse().unwrap_or_else(|_| service_usage(cmd)),
+            "--eps" => args.eps = num!("--eps", &mut i),
+            "--delta" => args.delta = num!("--delta", &mut i),
+            "--seed" => args.seed = num!("--seed", &mut i),
+            "--threads" => args.threads = num!("--threads", &mut i),
+            "--max-n" => args.max_n = num!("--max-n", &mut i),
             "--stats" => args.stats = true,
+            "--max-sessions" if cmd == "serve" => {
+                args.max_sessions = Some(num!("--max-sessions", &mut i))
+            }
+            "--max-total-levels" if cmd == "serve" => {
+                args.max_total_levels = Some(num!("--max-total-levels", &mut i))
+            }
+            "--max-query-ops" if cmd == "serve" => {
+                args.max_query_ops = Some(num!("--max-query-ops", &mut i))
+            }
             "--lengths" if cmd == "query" => {
                 args.lengths = value(&mut i)
                     .split(',')
-                    .map(|s| s.trim().parse().unwrap_or_else(|_| service_usage(cmd)))
+                    .map(|s| {
+                        parse_value_or_report("--lengths", s.trim())
+                            .unwrap_or_else(|| service_usage(cmd))
+                    })
                     .collect();
             }
             "--help" | "-h" => service_usage(cmd),
@@ -327,7 +424,12 @@ fn parse_service_args(cmd: &str, argv: &[String]) -> ServiceArgs {
         }
         i += 1;
     }
-    if args.regex.is_none() == args.file.is_none() {
+    // `query` needs exactly one automaton source up front; `serve` can
+    // start empty (sessions are opened over the protocol) but still
+    // rejects contradictory sources.
+    let both = args.regex.is_some() && args.file.is_some();
+    let neither = args.regex.is_none() && args.file.is_none();
+    if both || (neither && cmd != "serve") {
         service_usage(cmd);
     }
     if cmd == "query" && args.lengths.is_empty() {
@@ -357,8 +459,7 @@ fn open_session(args: &ServiceArgs, nfa: &Nfa) -> QuerySession {
     }
 }
 
-fn print_session_summary(session: &QuerySession) {
-    let s = session.stats();
+fn print_session_summary(s: &SessionStats) {
     println!(
         "session: queries={} levels_built={} levels_reused={} reuse_rate={:.3}",
         s.queries_served,
@@ -368,11 +469,11 @@ fn print_session_summary(session: &QuerySession) {
     );
 }
 
-/// The shared `serve`/`query` exit report: the reuse summary and, under
-/// `--stats`, the build counters merged with the sample-serving work
-/// (tracked apart so serving never spends the build budget).
+/// The `query` exit report: the reuse summary and, under `--stats`, the
+/// build counters merged with the sample-serving work (tracked apart so
+/// serving never spends the build budget).
 fn finish_session(session: &QuerySession, stats: bool) {
-    print_session_summary(session);
+    print_session_summary(session.stats());
     if stats {
         let mut merged = session.run_stats().clone();
         merged.merge(session.query_run_stats());
@@ -384,7 +485,7 @@ fn finish_session(session: &QuerySession, stats: bool) {
 fn query_main(argv: &[String]) {
     let mut args = parse_service_args("query", argv);
     args.max_n = args.max_n.max(args.lengths.iter().copied().max().unwrap_or(0));
-    let nfa = load_automaton(args.regex.as_deref(), args.file.as_deref());
+    let nfa = load_automaton_or_exit(args.regex.as_deref(), args.file.as_deref());
     let mut session = open_session(&args, &nfa);
     for &n in &args.lengths {
         match session.estimate(n) {
@@ -398,78 +499,403 @@ fn query_main(argv: &[String]) {
     finish_session(&session, args.stats);
 }
 
-/// `nfa-count serve`: a stdin-driven query loop over one session.
-fn serve_main(argv: &[String]) {
+/// Live sessions a serve process holds open when `--max-sessions` is
+/// unset: enough for small multi-tenant scripts, bounded so a runaway
+/// client cannot pin unbounded memory (evicted sessions rebuild on
+/// demand — eviction is not rejection).
+const DEFAULT_REGISTRY_CAPACITY: usize = 8;
+
+/// Per-tenant construction inputs for one named serve session.
+#[derive(Clone)]
+struct TenantSpec {
+    regex: Option<String>,
+    file: Option<String>,
+    eps: f64,
+    delta: f64,
+    seed: u64,
+    threads: usize,
+    max_n: usize,
+}
+
+/// One open named session of the serve loop. The session itself lives
+/// in the [`ServiceRegistry`] (looked up by `key` per query, so a
+/// poisoned one is recycled); the tenant carries what must outlive
+/// recycles — the construction inputs and the level-quota ledger.
+struct Tenant {
+    name: String,
+    nfa: Nfa,
+    params: Params,
+    policy: SessionPolicy,
+    key: SessionKey,
+    /// Cumulative DP levels this tenant has built, across every
+    /// incarnation of its session — the `--max-total-levels` ledger.
+    levels_ledger: u64,
+}
+
+/// Parses the tokens after `open NAME`, starting from the server-wide
+/// defaults. Errors become one `error:` line; they never exit.
+fn parse_open_spec(
+    defaults: &TenantSpec,
+    words: &mut std::str::SplitWhitespace,
+) -> Result<TenantSpec, String> {
+    let mut spec = TenantSpec { regex: None, file: None, ..defaults.clone() };
+    while let Some(flag) = words.next() {
+        match flag {
+            "--regex" => {
+                spec.regex = Some(words.next().ok_or("missing value for --regex")?.to_string())
+            }
+            "--file" => {
+                spec.file = Some(words.next().ok_or("missing value for --file")?.to_string())
+            }
+            "--eps" => spec.eps = parse_value(flag, words.next())?,
+            "--delta" => spec.delta = parse_value(flag, words.next())?,
+            "--seed" => spec.seed = parse_value(flag, words.next())?,
+            "--threads" => spec.threads = parse_value(flag, words.next())?,
+            "--max-n" => spec.max_n = parse_value(flag, words.next())?,
+            other => return Err(format!("unknown open flag {other:?}")),
+        }
+    }
+    if spec.regex.is_none() && spec.file.is_none() {
+        return Err("open requires --regex or --file".to_string());
+    }
+    Ok(spec)
+}
+
+/// Opens a named session: admission check, automaton load, and an
+/// eager registry compile (so parameter errors surface on the `open`
+/// line, not the first query). Returns the `opened …` response line.
+fn open_tenant(
+    name: &str,
+    spec: &TenantSpec,
+    registry: &mut ServiceRegistry,
+    admission: &mut AdmissionController,
+    tenants: &mut Vec<Tenant>,
+) -> Result<String, String> {
+    if tenants.iter().any(|t| t.name == name) {
+        return Err(format!("session {name:?} already open (select it with: use {name})"));
+    }
+    admission.admit_session(tenants.len()).map_err(|d| d.to_string())?;
+    let nfa = load_automaton(spec.regex.as_deref(), spec.file.as_deref())?;
+    let params = Params::for_session(spec.eps, spec.delta, nfa.num_states(), spec.max_n);
+    let policy = if spec.threads == 0 {
+        SessionPolicy::Serial { seed: spec.seed }
+    } else {
+        SessionPolicy::Deterministic { seed: spec.seed, threads: spec.threads }
+    };
+    let key = SessionKey::new(&nfa, &params, &policy);
+    registry.session_with_key(key.clone(), &nfa, &params, &policy).map_err(|e| e.to_string())?;
+    let line = format!(
+        "opened {name} ({} states, {} transitions, {})",
+        nfa.num_states(),
+        nfa.num_transitions(),
+        policy.label()
+    );
+    tenants.push(Tenant { name: name.to_string(), nfa, params, policy, key, levels_ledger: 0 });
+    Ok(line)
+}
+
+/// Pre-query admission for one tenant: looks the session up (recycling
+/// a poisoned predecessor — the returned flag), denies it if extending
+/// to `horizon` would blow the tenant's level ledger, and installs the
+/// per-query op budget. Quota denials do no work: they are checked
+/// before any level is built.
+fn admit_query<'r>(
+    registry: &'r mut ServiceRegistry,
+    admission: &mut AdmissionController,
+    tenant: &Tenant,
+    horizon: usize,
+) -> Result<(&'r mut QuerySession, bool), String> {
+    let (session, recycled) = registry
+        .session_with_key_recycled(tenant.key.clone(), &tenant.nfa, &tenant.params, &tenant.policy)
+        .map_err(|e| e.to_string())?;
+    let needed = horizon.saturating_sub(session.levels_built()) as u64;
+    admission.admit_levels(tenant.levels_ledger, needed).map_err(|d| d.to_string())?;
+    let cap = admission.per_query_ops_cap(session.run_stats().membership_ops);
+    session.set_build_ops_budget(cap);
+    Ok((session, recycled))
+}
+
+/// A parsed data-path serve command (the ones that hit a session).
+enum Query {
+    Estimate(usize),
+    Range(usize, usize),
+    Sample(usize, usize),
+}
+
+impl Query {
+    /// The largest level the query needs — what the level quota prices.
+    fn horizon(&self) -> usize {
+        match *self {
+            Query::Estimate(n) | Query::Sample(n, _) => n,
+            Query::Range(_, b) => b,
+        }
+    }
+}
+
+/// `nfa-count serve`: a line-protocol server multiplexing named
+/// sessions over one [`ServiceRegistry`] (one shared worker pool for
+/// every Deterministic session) with quota-governed admission. Returns
+/// the process exit code: 0 on clean EOF or `quit`, 1 when stdin
+/// failed mid-stream (an I/O error is not an end of input).
+fn serve_main(argv: &[String]) -> i32 {
     let args = parse_service_args("serve", argv);
-    let nfa = load_automaton(args.regex.as_deref(), args.file.as_deref());
-    let mut session = open_session(&args, &nfa);
+    let mut admission = AdmissionController::new(QuotaConfig {
+        max_sessions: args.max_sessions,
+        max_total_levels: args.max_total_levels,
+        max_query_ops: args.max_query_ops,
+    });
+    let mut registry = ServiceRegistry::new(args.max_sessions.unwrap_or(DEFAULT_REGISTRY_CAPACITY));
+    let mut tenants: Vec<Tenant> = Vec::new();
+    let mut current: Option<usize> = None;
+    let defaults = TenantSpec {
+        regex: None,
+        file: None,
+        eps: args.eps,
+        delta: args.delta,
+        seed: args.seed,
+        threads: args.threads,
+        max_n: args.max_n,
+    };
+    // The serve-process sample stream: one RNG for every tenant, so
+    // sample outputs depend on the whole command history (sessions own
+    // their *build* randomness; D11 is about estimates, not about which
+    // witness a shared server stream draws next).
     let mut sample_rng = SmallRng::seed_from_u64(args.seed ^ 0x05A3_F1E5);
-    eprintln!("serving (estimate N | range A B | sample N [COUNT] | stats | quit)");
+
+    // Back-compat: `serve --regex P` behaves like the old one-session
+    // loop — session "default" is opened and selected. Startup failures
+    // are still process-fatal (exit 2): no client is listening yet, so
+    // an `error:` line would vanish into a broken pipeline.
+    if args.regex.is_some() || args.file.is_some() {
+        let spec =
+            TenantSpec { regex: args.regex.clone(), file: args.file.clone(), ..defaults.clone() };
+        match open_tenant("default", &spec, &mut registry, &mut admission, &mut tenants) {
+            Ok(_) => current = Some(0),
+            Err(e) => {
+                eprintln!("{e}");
+                return 2;
+            }
+        }
+    }
+
+    eprintln!(
+        "serving (open NAME --regex P | use NAME | close NAME | estimate N | \
+         range A B | sample N [COUNT] | stats | quit)"
+    );
     let stdin = std::io::stdin();
     let mut line = String::new();
+    let mut io_error: Option<std::io::Error> = None;
     loop {
         line.clear();
         match stdin.read_line(&mut line) {
-            Ok(0) | Err(_) => break, // EOF
+            Ok(0) => break, // clean EOF
             Ok(_) => {}
+            Err(e) => {
+                // An I/O failure is not an end of input: report it and
+                // exit nonzero so pipelines can tell the two apart.
+                io_error = Some(e);
+                break;
+            }
         }
         let mut words = line.split_whitespace();
         let Some(cmd) = words.next() else { continue };
         let parse_n = |w: Option<&str>| w.and_then(|s| s.parse::<usize>().ok());
-        match cmd {
-            "estimate" => match parse_n(words.next()) {
-                Some(n) => match session.estimate(n) {
-                    Ok(est) => println!("estimate {n} = {est} (log2 {:.3})", est.log2()),
-                    Err(e) => println!("error: {e}"),
-                },
-                None => println!("error: usage: estimate N"),
-            },
-            "range" => match (parse_n(words.next()), parse_n(words.next())) {
-                (Some(a), Some(b)) if a <= b => match session.estimate_range(a..=b) {
-                    Ok(slices) => {
-                        for (ell, est) in (a..=b).zip(slices) {
-                            println!("estimate {ell} = {est} (log2 {:.3})", est.log2());
+
+        // Control commands first — they never touch a session's levels.
+        let query = match cmd {
+            "open" => {
+                match words.next() {
+                    Some(name) if !name.starts_with("--") => {
+                        match parse_open_spec(&defaults, &mut words).and_then(|spec| {
+                            open_tenant(name, &spec, &mut registry, &mut admission, &mut tenants)
+                        }) {
+                            Ok(response) => {
+                                current = Some(tenants.len() - 1);
+                                println!("{response}");
+                            }
+                            Err(e) => println!("error: {e}"),
                         }
                     }
-                    Err(e) => println!("error: {e}"),
-                },
-                _ => println!("error: usage: range A B (A <= B)"),
+                    _ => println!("error: usage: open NAME (--regex P | --file F) [flags]"),
+                }
+                continue;
+            }
+            "use" => {
+                match words.next().and_then(|n| tenants.iter().position(|t| t.name == n)) {
+                    Some(i) => {
+                        current = Some(i);
+                        println!("using {}", tenants[i].name);
+                    }
+                    None => println!("error: no such session (open it first)"),
+                }
+                continue;
+            }
+            "close" => {
+                match words.next().and_then(|n| tenants.iter().position(|t| t.name == n)) {
+                    Some(i) => {
+                        let t = tenants.remove(i);
+                        // Re-point `current` at the tenant it selected
+                        // (indices shifted), or clear it.
+                        current = match current {
+                            Some(c) if c == i => None,
+                            Some(c) if c > i => Some(c - 1),
+                            other => other,
+                        };
+                        println!("closed {}", t.name);
+                    }
+                    None => println!("error: no such session"),
+                }
+                continue;
+            }
+            "stats" => {
+                print_session_summary(&registry.session_totals());
+                let r = registry.stats();
+                let q = admission.stats();
+                println!(
+                    "server: tenants={} sessions_created={} session_hits={} \
+                     sessions_recycled={} pools_created={} pool_workers_spawned={} \
+                     quota_rejections={}",
+                    tenants.len(),
+                    r.sessions_created,
+                    r.session_hits,
+                    r.sessions_recycled,
+                    r.pools_created,
+                    r.pool_workers_spawned,
+                    q.quota_rejections()
+                );
+                continue;
+            }
+            "quit" | "exit" => break,
+            "estimate" => match parse_n(words.next()) {
+                Some(n) => Query::Estimate(n),
+                None => {
+                    println!("error: usage: estimate N");
+                    continue;
+                }
+            },
+            "range" => match (parse_n(words.next()), parse_n(words.next())) {
+                (Some(a), Some(b)) if a <= b => Query::Range(a, b),
+                _ => {
+                    println!("error: usage: range A B (A <= B)");
+                    continue;
+                }
             },
             "sample" => match parse_n(words.next()) {
                 Some(n) => {
-                    let count = parse_n(words.next()).unwrap_or(1).max(1);
-                    for _ in 0..count {
-                        match session.sample(n, &mut sample_rng) {
-                            Ok(Some(w)) => println!("sample {n} = {}", w.display(nfa.alphabet())),
-                            // None is ambiguous: an empty slice can
-                            // never yield a word (stop), exhausted
-                            // retries are transient (keep drawing).
-                            Ok(None) => match session.slice_is_empty(n) {
-                                Ok(true) => {
-                                    println!("sample {n} = (empty slice)");
-                                    break;
-                                }
-                                Ok(false) => println!("sample {n} = (retries exhausted)"),
+                    // A zero or unparseable count is a usage error, not
+                    // one silent draw (the old loop clamped `sample N 0`
+                    // to 1 via `.unwrap_or(1).max(1)`).
+                    let count = match words.next() {
+                        None => 1,
+                        Some(raw) => match raw.parse::<usize>() {
+                            Ok(c) if c >= 1 => c,
+                            _ => {
+                                println!(
+                                    "error: usage: sample N [COUNT] \
+                                     (COUNT must be a positive integer)"
+                                );
+                                continue;
+                            }
+                        },
+                    };
+                    Query::Sample(n, count)
+                }
+                None => {
+                    println!("error: usage: sample N [COUNT]");
+                    continue;
+                }
+            },
+            other => {
+                println!("error: unknown command {other:?}");
+                continue;
+            }
+        };
+
+        // Data path: admission, then the query, then ledger upkeep.
+        let Some(cur) = current else {
+            println!("error: no session selected (open NAME --regex P, or: use NAME)");
+            continue;
+        };
+        match admit_query(&mut registry, &mut admission, &tenants[cur], query.horizon()) {
+            Err(e) => println!("error: {e}"),
+            Ok((session, recycled)) => {
+                if recycled {
+                    // The predecessor died to a budget abort; this is
+                    // its one obituary line — the query below is served
+                    // by the fresh replacement.
+                    println!("error: session recycled after budget abort");
+                }
+                let built_before = session.levels_built();
+                let mut budget_abort = false;
+                let on_err = |e: &FprasError, aborted: &mut bool| {
+                    *aborted |= matches!(e, FprasError::BudgetExceeded { .. });
+                    println!("error: {e}");
+                };
+                match query {
+                    Query::Estimate(n) => match session.estimate(n) {
+                        Ok(est) => println!("estimate {n} = {est} (log2 {:.3})", est.log2()),
+                        Err(e) => on_err(&e, &mut budget_abort),
+                    },
+                    Query::Range(a, b) => match session.estimate_range(a..=b) {
+                        Ok(slices) => {
+                            for (ell, est) in (a..=b).zip(slices) {
+                                println!("estimate {ell} = {est} (log2 {:.3})", est.log2());
+                            }
+                        }
+                        Err(e) => on_err(&e, &mut budget_abort),
+                    },
+                    Query::Sample(n, count) => {
+                        let alphabet = tenants[cur].nfa.alphabet();
+                        for _ in 0..count {
+                            match session.sample(n, &mut sample_rng) {
+                                Ok(Some(w)) => println!("sample {n} = {}", w.display(alphabet)),
+                                // None is ambiguous: an empty slice can
+                                // never yield a word (stop), exhausted
+                                // retries are transient (keep drawing).
+                                Ok(None) => match session.slice_is_empty(n) {
+                                    Ok(true) => {
+                                        println!("sample {n} = (empty slice)");
+                                        break;
+                                    }
+                                    Ok(false) => println!("sample {n} = (retries exhausted)"),
+                                    Err(e) => {
+                                        on_err(&e, &mut budget_abort);
+                                        break;
+                                    }
+                                },
                                 Err(e) => {
-                                    println!("error: {e}");
+                                    on_err(&e, &mut budget_abort);
                                     break;
                                 }
-                            },
-                            Err(e) => {
-                                println!("error: {e}");
-                                break;
                             }
                         }
                     }
                 }
-                None => println!("error: usage: sample N [COUNT]"),
-            },
-            "stats" => print_session_summary(&session),
-            "quit" | "exit" => break,
-            other => println!("error: unknown command {other:?}"),
+                let built_delta = (session.levels_built() - built_before) as u64;
+                tenants[cur].levels_ledger += built_delta;
+                if budget_abort && admission.config().max_query_ops.is_some() {
+                    admission.record_budget_abort();
+                }
+            }
         }
     }
-    finish_session(&session, args.stats);
+
+    print_session_summary(&registry.session_totals());
+    if args.stats {
+        let mut merged = RunStats::default();
+        for session in registry.sessions() {
+            merged.merge(session.run_stats());
+            merged.merge(session.query_run_stats());
+        }
+        report_stats(&merged);
+    }
+    match io_error {
+        Some(e) => {
+            eprintln!("stdin read error: {e}");
+            1
+        }
+        None => 0,
+    }
 }
 
 fn main() {
@@ -477,13 +903,13 @@ fn main() {
     // anything else is the classic one-shot CLI.
     let argv: Vec<String> = std::env::args().skip(1).collect();
     match argv.first().map(String::as_str) {
-        Some("serve") => return serve_main(&argv[1..]),
+        Some("serve") => std::process::exit(serve_main(&argv[1..])),
         Some("query") => return query_main(&argv[1..]),
         _ => {}
     }
 
     let args = parse_args();
-    let nfa = load_automaton(args.regex.as_deref(), args.file.as_deref());
+    let nfa = load_automaton_or_exit(args.regex.as_deref(), args.file.as_deref());
     eprintln!(
         "automaton: {} states, {} transitions, alphabet {:?}",
         nfa.num_states(),

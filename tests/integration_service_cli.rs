@@ -16,6 +16,10 @@ fn run(args: &[&str]) -> (String, String, bool) {
 }
 
 fn run_with_stdin(args: &[&str], input: &str) -> (String, String, bool) {
+    run_with_stdin_bytes(args, input.as_bytes())
+}
+
+fn run_with_stdin_bytes(args: &[&str], input: &[u8]) -> (String, String, bool) {
     let mut child = Command::new(env!("CARGO_BIN_EXE_nfa-count"))
         .args(args)
         .stdin(Stdio::piped())
@@ -23,7 +27,7 @@ fn run_with_stdin(args: &[&str], input: &str) -> (String, String, bool) {
         .stderr(Stdio::piped())
         .spawn()
         .expect("binary spawns");
-    child.stdin.as_mut().expect("stdin piped").write_all(input.as_bytes()).expect("stdin write");
+    child.stdin.as_mut().expect("stdin piped").write_all(input).expect("stdin write");
     let out = child.wait_with_output().expect("binary runs");
     (
         String::from_utf8_lossy(&out.stdout).into_owned(),
@@ -152,4 +156,152 @@ fn query_requires_lengths() {
     let (_, stderr, ok) = run(&["query", "--regex", "1*"]);
     assert!(!ok);
     assert!(stderr.contains("--lengths"), "{stderr}");
+}
+
+#[test]
+fn serve_multiplexes_named_sessions_bit_identically() {
+    // Two named Deterministic sessions interleave over one registry
+    // (and one shared pool); each answer must equal the byte-identical
+    // line a dedicated single-session serve produces for that tenant.
+    let input = "open a --regex 1(0|1)*\nopen b --regex (0|1)*11(0|1)*\n\
+                 use a\nestimate 8\nuse b\nestimate 8\nuse a\nestimate 8\nstats\nquit\n";
+    let (stdout, stderr, ok) = run_with_stdin(&["serve", "--threads", "2"], input);
+    assert!(ok, "stderr: {stderr}");
+    assert!(stdout.contains("opened a (4 states"), "{stdout}");
+    assert!(stdout.contains("opened b (7 states"), "{stdout}");
+    assert!(stdout.contains("using a"), "{stdout}");
+    // One shared worker set for both sessions, not per-session spawns.
+    assert!(stdout.contains("pools_created=1"), "{stdout}");
+    assert!(stdout.contains("pool_workers_spawned=1"), "{stdout}");
+    // The third query is a pure reuse hit: totals show 16 built (8+8)
+    // and 8 reused.
+    assert!(stdout.contains("levels_built=16"), "{stdout}");
+    assert!(stdout.contains("levels_reused=8"), "{stdout}");
+    let answers: Vec<&str> = stdout.lines().filter(|l| l.starts_with("estimate 8 = ")).collect();
+    assert_eq!(answers.len(), 3, "{stdout}");
+    assert_eq!(answers[0], answers[2], "reuse must be bit-identical");
+    // Per-tenant answers equal fresh single-session serves (same seed,
+    // same policy) — multiplexing is invisible to the values.
+    for (pattern, line) in [("1(0|1)*", answers[0]), ("(0|1)*11(0|1)*", answers[1])] {
+        let (solo, _, solo_ok) =
+            run_with_stdin(&["serve", "--regex", pattern, "--threads", "2"], "estimate 8\nquit\n");
+        assert!(solo_ok);
+        assert_eq!(estimate_line(&solo, "estimate 8 = "), line, "tenant {pattern}");
+    }
+}
+
+#[test]
+fn serve_answers_every_bad_line_with_one_error() {
+    // Malformed input of every stripe: each bad line gets exactly one
+    // `error:` response and the process survives to answer the good
+    // ones and exit cleanly.
+    let input = "estimate 4\n\
+                 open a\n\
+                 open a --regex (0|1\n\
+                 open a --regex 1* --file x.nfa\n\
+                 open a --regex 1* --eps huge\n\
+                 open a --regex 1*\n\
+                 open a --regex 1*\n\
+                 use nobody\n\
+                 close nobody\n\
+                 estimate\n\
+                 estimate twelve\n\
+                 range 5 2\n\
+                 sample 3 0\n\
+                 sample 3 -1\n\
+                 sample\n\
+                 frobnicate\n\
+                 estimate 3\n\
+                 quit\n";
+    let (stdout, stderr, ok) = run_with_stdin(&["serve"], input);
+    assert!(ok, "stderr: {stderr}");
+    let errors = stdout.lines().filter(|l| l.starts_with("error: ")).count();
+    assert_eq!(errors, 15, "one error per bad line:\n{stdout}");
+    assert!(stdout.contains("error: no session selected"), "{stdout}");
+    assert!(stdout.contains("error: open requires --regex or --file"), "{stdout}");
+    assert!(stdout.contains("error: cannot compile regex"), "{stdout}");
+    assert!(stdout.contains("error: --regex and --file are mutually exclusive"), "{stdout}");
+    assert!(stdout.contains("error: invalid value \"huge\" for --eps"), "{stdout}");
+    assert!(stdout.contains("error: session \"a\" already open"), "{stdout}");
+    assert!(stdout.contains("error: no such session"), "{stdout}");
+    assert!(stdout.contains("error: usage: estimate N"), "{stdout}");
+    assert!(stdout.contains("error: usage: range A B"), "{stdout}");
+    assert!(stdout.contains("COUNT must be a positive integer"), "{stdout}");
+    assert!(stdout.contains("error: usage: sample N [COUNT]"), "{stdout}");
+    assert!(stdout.contains("error: unknown command \"frobnicate\""), "{stdout}");
+    // The good lines still answered.
+    assert!(stdout.contains("opened a (2 states"), "{stdout}");
+    assert!(stdout.contains("estimate 3 = 1"), "{stdout}");
+}
+
+#[test]
+fn serve_recovers_from_budget_abort_by_recycling() {
+    // estimate 12 blows the per-query op budget (poisoning the
+    // session); the next query gets exactly one recycle notice and is
+    // then served by the fresh replacement — the key is never bricked.
+    let input = "estimate 12\nestimate 2\nestimate 2\nstats\nquit\n";
+    let (stdout, stderr, ok) = run_with_stdin(
+        &[
+            "serve",
+            "--regex",
+            "(0|1)*11(0|1)*",
+            "--eps",
+            "0.5",
+            "--delta",
+            "0.2",
+            "--max-n",
+            "12",
+            "--max-query-ops",
+            "300000",
+        ],
+        input,
+    );
+    assert!(ok, "stderr: {stderr}");
+    assert!(stdout.contains("error: membership-operation budget exceeded"), "{stdout}");
+    let recycles =
+        stdout.lines().filter(|l| *l == "error: session recycled after budget abort").count();
+    assert_eq!(recycles, 1, "exactly one recycle notice:\n{stdout}");
+    // Both follow-up queries answered (|L(A_2)| = 1 for this regex).
+    let answered = stdout.lines().filter(|l| l.starts_with("estimate 2 = 1")).count();
+    assert_eq!(answered, 2, "{stdout}");
+    assert!(stdout.contains("sessions_recycled=1"), "{stdout}");
+    assert!(stdout.contains("quota_rejections=1"), "{stdout}");
+}
+
+#[test]
+fn serve_enforces_session_and_level_quotas() {
+    let input = "open a --regex 1*\n\
+                 open b --regex 0*\n\
+                 estimate 4\n\
+                 estimate 20\n\
+                 estimate 4\n\
+                 stats\nquit\n";
+    let (stdout, stderr, ok) =
+        run_with_stdin(&["serve", "--max-sessions", "1", "--max-total-levels", "6"], input);
+    assert!(ok, "stderr: {stderr}");
+    assert!(stdout.contains("error: session quota exceeded (1 open, limit 1)"), "{stdout}");
+    assert!(
+        stdout.contains("error: level quota exceeded (4 built + 16 needed > limit 6)"),
+        "{stdout}"
+    );
+    // Denial does no work and poisons nothing: the repeat of the
+    // admitted length is a pure reuse hit.
+    let served = stdout.lines().filter(|l| l.starts_with("estimate 4 = ")).count();
+    assert_eq!(served, 2, "{stdout}");
+    assert!(stdout.contains("quota_rejections=2"), "{stdout}");
+    assert!(stdout.contains("levels_built=4 levels_reused=4"), "{stdout}");
+}
+
+#[test]
+fn serve_distinguishes_stdin_error_from_eof() {
+    // Invalid UTF-8 makes read_line fail: that is an I/O error, not an
+    // end of input — reported on stderr, nonzero exit (clean EOF stays
+    // exit 0, covered by serve_handles_eof_without_quit).
+    let (stdout, stderr, ok) =
+        run_with_stdin_bytes(&["serve", "--regex", "1*"], b"estimate 3\n\xff\xfe\n");
+    assert!(!ok, "an I/O error must not look like a clean exit");
+    assert!(stderr.contains("stdin read error"), "{stderr}");
+    // Work done before the failure was still served and summarized.
+    assert!(stdout.contains("estimate 3 = 1"), "{stdout}");
+    assert!(stdout.contains("session: queries=1"), "{stdout}");
 }
