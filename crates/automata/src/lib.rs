@@ -37,6 +37,7 @@ pub mod nfa;
 pub mod ops;
 pub mod parse;
 pub mod regex;
+pub mod robp;
 pub mod simulation;
 pub mod stateset;
 pub mod unroll;
@@ -50,6 +51,7 @@ pub use exact_sample::ExactSampler;
 pub use levenshtein::{edit_distance, levenshtein_nfa};
 pub use masks::StepMasks;
 pub use nfa::{Nfa, NfaBuilder, StateId};
+pub use robp::{Robp, RobpBuilder};
 pub use simulation::{
     backward_simulation, forward_simulation, quotient_backward, quotient_forward, reduce,
 };

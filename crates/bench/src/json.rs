@@ -108,7 +108,7 @@ fn measure(
     seed: u64,
 ) -> CounterMeasurement {
     let threads = match kind {
-        CounterKind::Fpras { threads, .. } => *threads,
+        CounterKind::Fpras { threads, .. } | CounterKind::RobpFpras { threads, .. } => *threads,
         _ => 0,
     };
     let r = run_counter(kind, nfa, n, eps, 0.1, seed).expect("counter run");
@@ -335,6 +335,22 @@ pub fn counter_matrix(quick: bool, seed: u64) -> Vec<CounterMeasurement> {
             out.push(measure(&instance, &kind, nfa, n, 0.25, seed));
         }
         out.push(measure(&instance, &CounterKind::ExactDp, nfa, n, 0.25, seed));
+    }
+
+    // nROBP substrate rows (D14): two of the small instances re-encoded
+    // as read-once branching programs (`Robp::from_nfa`, which preserves
+    // the language slice — so the base instance's `exact-dp` row above
+    // is their ground truth too) and counted by the same engine over the
+    // `RobpSubstrate`. Statistically comparable to the fpras rows, not
+    // bit-identical: the program's node universe differs from the NFA's
+    // state universe, so the frontier-keyed streams differ.
+    let robp_settings = [(0usize, true), (4, true), (0, false)];
+    for (name, nfa) in instances.iter().take(2) {
+        let instance = format!("robp-{name}/n={n}");
+        for &(threads, batch) in &robp_settings {
+            let kind = CounterKind::RobpFpras { threads, batch };
+            out.push(measure(&instance, &kind, nfa, n, 0.25, seed));
+        }
     }
 
     // Large skewed instances (D10): the n = 14 fixtures above finish in
@@ -600,10 +616,11 @@ mod tests {
     #[test]
     fn matrix_covers_methods_and_threads() {
         let ms = counter_matrix(true, 7);
-        // 3 small instances × (9 fpras settings + 1 exact) + 2 large
-        // instances × (4 thread counts + 1 exact) + 2 query-trace rows
-        // + 2 load-harness rows.
-        assert_eq!(ms.len(), 44);
+        // 3 small instances × (9 fpras settings + 1 exact) + 2
+        // robp-encoded instances × 3 robp settings + 2 large instances
+        // × (4 thread counts + 1 exact) + 2 query-trace rows + 2
+        // load-harness rows.
+        assert_eq!(ms.len(), 50);
         // Load harness: latency distribution recorded, reuse nonzero,
         // and only the quota'd row sheds queries.
         let load = ms.iter().find(|m| m.method == "session(load)").expect("load row");
@@ -694,6 +711,34 @@ mod tests {
                 .expect("unshared serial row");
             assert_eq!(batched.estimate, unshared.estimate, "{name}: share knob is work-only");
             assert_eq!(unshared.preestimate_hits, 0, "{name}");
+        }
+        // nROBP substrate family (D14): the robp-encoded slices are the
+        // same languages, so the base instance's exact row is their
+        // ground truth; labels are the robp ones, the batch knob is
+        // work-only (bit-identical estimate), and a threads ≥ 1 row is
+        // present.
+        for name in ["contains-11", "ones-mod-4"] {
+            let exact = ms
+                .iter()
+                .find(|m| m.instance.starts_with(name) && m.method == "exact-dp")
+                .expect("exact row")
+                .estimate;
+            let rows: Vec<_> =
+                ms.iter().filter(|m| m.instance.starts_with(&format!("robp-{name}"))).collect();
+            assert_eq!(rows.len(), 3, "robp-{name}");
+            for m in &rows {
+                let err = (m.estimate - exact).abs() / exact;
+                assert!(err < 0.25, "robp-{name} t={}: err {err}", m.threads);
+            }
+            let ours = rows
+                .iter()
+                .find(|m| m.method == "robp(ours)" && m.threads == 0)
+                .expect("robp serial row");
+            let unbatched =
+                rows.iter().find(|m| m.method == "robp(unbatched)").expect("robp unbatched row");
+            assert_eq!(ours.estimate, unbatched.estimate, "robp-{name}: batch knob is work-only");
+            assert!(ours.ops <= unbatched.ops, "robp-{name}: batching must not add ops");
+            assert!(rows.iter().any(|m| m.threads == 4), "robp-{name}");
         }
         // And every FPRAS estimate is within the ε band of exact.
         for (name, _) in [("contains-11", ()), ("ones-mod-4", ()), ("div-by-5", ())] {

@@ -14,10 +14,11 @@
 //! * `n = 0` is answered directly (`λ ∈ L(A)` iff the initial state
 //!   accepts).
 
-use crate::engine::{run_with_policy, RunInner, Serial};
+use crate::engine::{run_robp_with_policy, run_with_policy, RunInner, Serial};
 use crate::error::FprasError;
 use crate::params::Params;
 use crate::run_stats::RunStats;
+use fpras_automata::robp::Robp;
 use fpras_automata::{Nfa, StateId};
 use fpras_numeric::ExtFloat;
 use rand::Rng;
@@ -50,6 +51,17 @@ impl FprasRun {
         rng: &mut R,
     ) -> Result<FprasRun, FprasError> {
         run_with_policy(nfa, n, params, &mut Serial::new(rng))
+    }
+
+    /// Runs the FPRAS on an nROBP with the [`Serial`] policy. The word
+    /// length is the program's intrinsic depth (`robp.depth()`); see
+    /// DESIGN.md D14 — the same engine runs on any [`crate::engine::LeveledSubstrate`].
+    pub fn run_robp<R: Rng + ?Sized>(
+        robp: &Robp,
+        params: &Params,
+        rng: &mut R,
+    ) -> Result<FprasRun, FprasError> {
+        run_robp_with_policy(robp, params, &mut Serial::new(rng))
     }
 
     /// The estimate for `|L(A_n)|`.
@@ -101,18 +113,19 @@ impl FprasRun {
         Some(out)
     }
 
-    /// The normalized automaton's state count (after trimming and
+    /// The run's substrate cell-universe size (for the NFA front-end:
+    /// the normalized automaton's state count after trimming and
     /// accepting-state folding); `None` for degenerate runs.
     pub fn normalized_states(&self) -> Option<usize> {
-        self.inner.as_ref().map(|i| i.nfa.num_states())
+        self.inner.as_ref().map(|i| i.substrate.universe())
     }
 
     #[cfg(test)]
     pub(crate) fn parts_for_test(
         &self,
-    ) -> (&crate::table::RunTable, &Nfa, &fpras_automata::Unrolling) {
+    ) -> (&crate::table::RunTable, &dyn crate::engine::LeveledSubstrate) {
         let inner = self.inner.as_ref().expect("test requires a non-degenerate run");
-        (&inner.table, &inner.nfa, &inner.unroll)
+        (&inner.table, &*inner.substrate)
     }
 }
 
@@ -304,6 +317,71 @@ mod tests {
             assert!(err < 0.4, "level {ell}: err {err}");
         }
         assert_eq!(slices[n], run.estimate());
+    }
+
+    #[test]
+    fn robp_run_matches_exact() {
+        // The same engine, second substrate: an nROBP encoding of the
+        // contains-11 slice must estimate the same count (D14).
+        let nfa = contains_11();
+        let n = 8;
+        let robp = Robp::from_nfa(&nfa, n).unwrap();
+        let exact = count_exact(&nfa, n).unwrap().to_u64().unwrap();
+        let params = Params::practical(0.3, 0.1, robp.num_nodes(), n);
+        let mut rng = SmallRng::seed_from_u64(12);
+        let run = FprasRun::run_robp(&robp, &params, &mut rng).unwrap();
+        assert_eq!(run.n(), n);
+        let err = rel_err(run.estimate(), exact);
+        assert!(err < 0.3, "relative error {err} (exact {exact}, est {})", run.estimate());
+        assert!(run.stats().sample_calls > 0);
+    }
+
+    #[test]
+    fn robp_empty_language_is_zero() {
+        // A sink with no incoming path: the degenerate fast path.
+        let mut b = fpras_automata::robp::RobpBuilder::new(Alphabet::binary(), 2);
+        let s = b.add_node(0);
+        let mid = b.add_node(1);
+        let acc = b.add_node(2);
+        b.set_source(s);
+        b.add_accepting(acc);
+        b.add_edge(s, 0, mid);
+        let robp = b.build().unwrap();
+        let params = Params::practical(0.3, 0.1, 3, 2);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let run = FprasRun::run_robp(&robp, &params, &mut rng).unwrap();
+        assert!(run.estimate().is_zero());
+        assert!(run.slice_estimates().is_none());
+    }
+
+    #[test]
+    fn robp_generator_emits_accepted_assignments() {
+        let nfa = contains_11();
+        let n = 7;
+        let robp = Robp::from_nfa(&nfa, n).unwrap();
+        let params = Params::practical(0.3, 0.1, robp.num_nodes(), n);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let run = FprasRun::run_robp(&robp, &params, &mut rng).unwrap();
+        let mut gen = crate::UniformGenerator::new(run);
+        let words = gen.generate_many(&mut rng, 100);
+        assert!(!words.is_empty());
+        for w in words {
+            assert_eq!(w.len(), n);
+            assert!(robp.accepts(&w), "generated {w:?} not accepted");
+            assert!(nfa.accepts(&w), "encoding must preserve the language");
+        }
+    }
+
+    #[test]
+    fn robp_depth_beyond_params_refused() {
+        let nfa = contains_11();
+        let robp = Robp::from_nfa(&nfa, 6).unwrap();
+        let params = Params::practical(0.3, 0.1, robp.num_nodes(), 4);
+        let mut rng = SmallRng::seed_from_u64(1);
+        assert!(matches!(
+            FprasRun::run_robp(&robp, &params, &mut rng),
+            Err(FprasError::InvalidParams(_))
+        ));
     }
 
     #[test]

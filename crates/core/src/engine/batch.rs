@@ -79,17 +79,14 @@ impl LevelPlan {
         let mut index: HashMap<MemoKey, usize, BuildKeyHasher> = HashMap::default();
         let mut cell_groups = Vec::with_capacity(cells.len());
         let mut empty_pairs = 0u64;
+        // One probe buffer for the whole scan; only frontiers that found
+        // a new group are materialized (cloned into it).
+        let mut frontier = StateSet::empty(ctx.m);
         for &q in cells {
             let mut per_sym = Vec::with_capacity(ctx.k as usize);
             for sym in 0..ctx.k {
-                let frontier = StateSet::from_iter(
-                    ctx.m,
-                    ctx.nfa
-                        .predecessors(q, sym)
-                        .iter()
-                        .map(|&p| p as usize)
-                        .filter(|&p| ctx.unroll.reachable(ell - 1).contains(p)),
-                );
+                ctx.substrate.pred_of_cell_into(q, sym, &mut frontier);
+                frontier.intersect_with(ctx.substrate.reachable(ell - 1));
                 if frontier.is_empty() {
                     empty_pairs += 1;
                     per_sym.push(None);
@@ -97,7 +94,7 @@ impl LevelPlan {
                 }
                 let key = ctx.interner.intern(ell - 1, &frontier);
                 let gi = *index.entry(key).or_insert_with(|| {
-                    groups.push(FrontierGroup { frontier, members: 0 });
+                    groups.push(FrontierGroup { frontier: frontier.clone(), members: 0 });
                     keys.push(key);
                     groups.len() - 1
                 });
@@ -150,9 +147,10 @@ impl LevelPlan {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::engine::substrate::NfaSubstrate;
     use crate::intern::FrontierInterner;
     use crate::params::Params;
-    use fpras_automata::{ops, Alphabet, Nfa, NfaBuilder, StepMasks, Unrolling};
+    use fpras_automata::{ops, Alphabet, Nfa, NfaBuilder};
 
     fn contains_11() -> Nfa {
         let mut b = NfaBuilder::new(Alphabet::binary());
@@ -170,13 +168,12 @@ mod tests {
         b.build().unwrap()
     }
 
-    fn ctx_parts(nfa: &Nfa, n: usize) -> (Nfa, Unrolling, StepMasks, FrontierInterner) {
+    fn ctx_parts(nfa: &Nfa, n: usize) -> (NfaSubstrate, FrontierInterner) {
         let trimmed = ops::trim(nfa).expect("non-empty");
         let normalized = ops::with_single_accepting(&trimmed);
-        let unroll = Unrolling::new(&normalized, n);
-        let masks = StepMasks::new(&normalized);
+        let q_final = normalized.accepting().iter().next().expect("accepting state") as StateId;
         let interner = FrontierInterner::new(normalized.num_states());
-        (normalized, unroll, masks, interner)
+        (NfaSubstrate::new(normalized, q_final, n), interner)
     }
 
     #[test]
@@ -185,21 +182,20 @@ mod tests {
         // so every non-empty pair collapses onto the same singleton.
         let nfa = contains_11();
         let n = 6;
-        let (normalized, unroll, masks, interner) = ctx_parts(&nfa, n);
-        let params = Params::practical(0.3, 0.1, normalized.num_states(), n);
+        let (substrate, interner) = ctx_parts(&nfa, n);
+        use crate::engine::substrate::LeveledSubstrate;
+        let m = substrate.universe();
+        let params = Params::practical(0.3, 0.1, m, n);
         let ctx = EngineCtx {
             params: &params,
-            nfa: &normalized,
-            unroll: &unroll,
-            masks: &masks,
+            substrate: &substrate,
             interner: &interner,
-            m: normalized.num_states(),
+            m,
             k: 2,
             sampler_seed: 99,
         };
-        let cells: Vec<StateId> = (0..normalized.num_states() as StateId)
-            .filter(|&q| unroll.reachable(1).contains(q as usize))
-            .collect();
+        let cells: Vec<StateId> =
+            (0..m as StateId).filter(|&q| substrate.reachable(1).contains(q as usize)).collect();
         let plan = LevelPlan::build(&ctx, 1, &cells);
         assert_eq!(plan.groups().len(), 1);
         assert_eq!(plan.level(), 1);
@@ -212,15 +208,15 @@ mod tests {
     fn groups_are_canonical_and_cover_all_pairs() {
         let nfa = contains_11();
         let n = 8;
-        let (normalized, unroll, masks, interner) = ctx_parts(&nfa, n);
-        let params = Params::practical(0.3, 0.1, normalized.num_states(), n);
+        let (substrate, interner) = ctx_parts(&nfa, n);
+        use crate::engine::substrate::LeveledSubstrate;
+        let m = substrate.universe();
+        let params = Params::practical(0.3, 0.1, m, n);
         let ctx = EngineCtx {
             params: &params,
-            nfa: &normalized,
-            unroll: &unroll,
-            masks: &masks,
+            substrate: &substrate,
             interner: &interner,
-            m: normalized.num_states(),
+            m,
             k: 2,
             sampler_seed: 99,
         };

@@ -69,6 +69,7 @@ pub mod batch;
 pub mod memo;
 pub mod policy;
 pub mod pool;
+pub mod substrate;
 
 use crate::app_union;
 use crate::appunion::{frontier_inputs, UnionScratch};
@@ -81,7 +82,8 @@ use crate::sample_set::{SampleEntry, SampleSet};
 use crate::sampler::{sample_word, SamplerEnv, SamplerScratch};
 use crate::table::{BuildKeyHasher, MemoKey, RunTable, SampleOutcome};
 use fpras_automata::ops::{trim, with_single_accepting};
-use fpras_automata::{Nfa, StateId, StateSet, StepMasks, Unrolling, Word};
+use fpras_automata::robp::Robp;
+use fpras_automata::{Nfa, StateId, StateSet};
 use fpras_numeric::ExtFloat;
 use rand::{rngs::SmallRng, Rng, RngExt};
 use std::collections::HashSet;
@@ -91,18 +93,16 @@ pub use batch::{FrontierGroup, LevelPlan};
 pub use memo::{MemoEntry, MemoTier, UnionMemo};
 pub use policy::{Deterministic, ExecutionPolicy, Serial};
 pub use pool::Pool;
+pub use substrate::{LeveledSubstrate, NfaSubstrate, RobpSubstrate};
 
-/// The normalized state a finished run keeps: the trimmed automaton
-/// (single accepting state `q_final`), its unrolling, the filled
-/// `(N, S)` table, and the union memo the generator keeps extending.
+/// The state a finished run keeps: the substrate the DP ran over (for
+/// the NFA front-end: the trimmed single-accepting automaton with its
+/// unrolling and stepping arenas), the filled `(N, S)` table, and the
+/// union memo the generator keeps extending.
 pub(crate) struct RunInner {
-    pub(crate) nfa: Nfa,
-    pub(crate) unroll: Unrolling,
+    pub(crate) substrate: Box<dyn LeveledSubstrate>,
     pub(crate) table: RunTable,
     pub(crate) memo: UnionMemo,
-    /// Stepping arenas of the normalized automaton, kept so the
-    /// generator's sampler walks reuse the run's kernels.
-    pub(crate) masks: StepMasks,
     /// The run's frontier interner: post-run sampler walks keep
     /// interning against it, so memo keys stay consistent with the ids
     /// minted during the run.
@@ -118,18 +118,15 @@ pub(crate) struct RunInner {
 pub struct EngineCtx<'a> {
     /// Resolved run parameters.
     pub params: &'a Params,
-    /// The *normalized* automaton (trimmed, single accepting state).
-    pub nfa: &'a Nfa,
-    /// Level-reachability of the unrolled automaton.
-    pub unroll: &'a Unrolling,
-    /// Per-symbol transition masks for fast `reach()` checks.
-    pub masks: &'a StepMasks,
+    /// The leveled-DAG substrate the DP runs over (D14) — for the NFA
+    /// front-end, the normalized automaton with its unrolling views.
+    pub substrate: &'a dyn LeveledSubstrate,
     /// The run's frontier interner: every memo/sharing key is minted
     /// here (dense ids, cached RNG tags — DESIGN.md §2.5).
     pub interner: &'a FrontierInterner,
-    /// Normalized state count.
+    /// Cell-universe size (`substrate.universe()`, cached).
     pub m: usize,
-    /// Alphabet size.
+    /// Alphabet size (`substrate.width()`, cached).
     pub k: u8,
     /// Per-run seed of the frontier-keyed sampler union streams (D9):
     /// drawn once by the policy ([`ExecutionPolicy::sampler_union_seed`])
@@ -295,8 +292,7 @@ pub(crate) fn sample_cell<R: Rng + ?Sized>(
     let params = ctx.params;
     let env = SamplerEnv {
         params,
-        masks: ctx.masks,
-        unroll: ctx.unroll,
+        substrate: ctx.substrate,
         interner: ctx.interner,
         sampler_seed: ctx.sampler_seed,
     };
@@ -307,7 +303,7 @@ pub(crate) fn sample_cell<R: Rng + ?Sized>(
         attempts += 1;
         match sample_word(&env, table, memo, q, ell, rng, scratch, &mut stats) {
             SampleOutcome::Word(w) => {
-                let reach = ctx.masks.reach(&w);
+                let reach = ctx.substrate.reach(&w);
                 debug_assert!(
                     reach.contains(q as usize),
                     "sampled word must reach its cell's state"
@@ -325,9 +321,8 @@ pub(crate) fn sample_cell<R: Rng + ?Sized>(
     }
     let padded = params.ns - genuine;
     if padded > 0 {
-        let wit =
-            ctx.unroll.witness(ctx.nfa, q, ell).expect("reachable cell must have a witness word");
-        let reach = ctx.masks.reach(&wit);
+        let wit = ctx.substrate.witness(q, ell).expect("reachable cell must have a witness word");
+        let reach = ctx.substrate.reach(&wit);
         samples.pad(SampleEntry { word: wit, reach }, padded);
     }
     SampleOut { q, samples, genuine, padded, stats }
@@ -389,8 +384,8 @@ fn collect_share_jobs(
             continue;
         }
         for sym in 0..ctx.k {
-            ctx.masks.step_back_into(&group.frontier, sym, &mut fb);
-            fb.intersect_with(ctx.unroll.reachable(ell - 2));
+            ctx.substrate.step_back_into(&group.frontier, sym, &mut fb);
+            fb.intersect_with(ctx.substrate.reachable(ell - 2));
             if fb.is_empty() {
                 continue;
             }
@@ -440,11 +435,11 @@ pub(crate) fn run_level<P: ExecutionPolicy>(
 ) -> Result<(), FprasError> {
     let params = ctx.params;
     let m = ctx.m;
-    let unroll = ctx.unroll;
+    let substrate = ctx.substrate;
     let useful: Vec<StateId> = (0..m as StateId)
         .filter(|&q| {
-            let reachable = unroll.reachable(ell).contains(q as usize);
-            reachable && (!params.trim_dead || unroll.alive(ell).contains(q as usize))
+            let reachable = substrate.reachable(ell).contains(q as usize);
+            reachable && (!params.trim_dead || substrate.alive(ell).contains(q as usize))
         })
         .collect();
     stats.cells_skipped += (m - useful.len()) as u64;
@@ -550,14 +545,19 @@ pub(crate) fn normalize_for_run(nfa: &Nfa) -> Option<(Nfa, StateId)> {
 }
 
 /// Writes level 0 of the DP (Algorithm 3 lines 6–10):
-/// `N(I⁰) = 1, S(I⁰) = (λ, λ, …)`. Shared by fresh runs and sessions.
-pub(crate) fn seed_level_zero(table: &mut RunTable, normalized: &Nfa, params: &Params) {
-    let m = normalized.num_states();
-    let init = normalized.initial() as usize;
+/// `N(I⁰) = 1, S(I⁰) = (λ, λ, …)`. Shared by fresh runs and sessions,
+/// for every substrate (the source cell is always the sole level-0 seed).
+pub(crate) fn seed_level_zero(
+    table: &mut RunTable,
+    substrate: &dyn LeveledSubstrate,
+    params: &Params,
+) {
+    let m = substrate.universe();
+    let init = substrate.initial();
     let cell = table.cell_mut(0, init);
     cell.n_est = ExtFloat::ONE;
     cell.samples = SampleSet::repeated(
-        SampleEntry { word: Word::empty(), reach: StateSet::singleton(m, init) },
+        SampleEntry { word: fpras_automata::Word::empty(), reach: StateSet::singleton(m, init) },
         params.ns,
     );
 }
@@ -607,13 +607,28 @@ pub fn run_with_policy<P: ExecutionPolicy>(
     let Some((normalized, q_final)) = normalize_for_run(nfa) else {
         return Ok(degenerate(ExtFloat::ZERO, false));
     };
-    let unroll = Unrolling::new(&normalized, n);
-    if !unroll.language_nonempty() {
+    let substrate = NfaSubstrate::new(normalized, q_final, n);
+    if !substrate.language_nonempty() {
         return Ok(degenerate(ExtFloat::ZERO, false));
     }
+    run_on_substrate(Box::new(substrate), n, params, policy, nfa.is_accepting(nfa.initial()), start)
+}
 
-    let masks = StepMasks::new(&normalized);
-    let m = normalized.num_states();
+/// The substrate-generic run core: the level loop over an already-built
+/// [`LeveledSubstrate`] whose views cover `0..=n` and whose language is
+/// known non-empty at `n`. Front-end entry points ([`run_with_policy`]
+/// for NFAs, [`run_robp_with_policy`] for nROBPs) handle normalization
+/// and the degenerate cases, then delegate here.
+fn run_on_substrate<P: ExecutionPolicy>(
+    substrate: Box<dyn LeveledSubstrate>,
+    n: usize,
+    params: &Params,
+    policy: &mut P,
+    accepts_lambda: bool,
+    start: Instant,
+) -> Result<FprasRun, FprasError> {
+    let m = substrate.universe();
+    let q_final = substrate.final_cell();
     // One interner per run: every memo/sharing key below is minted here.
     let interner = FrontierInterner::new(m);
     // One seed per run for the frontier-keyed sampler union streams
@@ -625,12 +640,10 @@ pub fn run_with_policy<P: ExecutionPolicy>(
     // sessions could not be bit-identical to fresh runs (D11).
     let ctx = EngineCtx {
         params,
-        nfa: &normalized,
-        unroll: &unroll,
-        masks: &masks,
+        substrate: &*substrate,
         interner: &interner,
         m,
-        k: normalized.alphabet().size() as u8,
+        k: substrate.width() as u8,
         sampler_seed,
     };
 
@@ -638,7 +651,7 @@ pub fn run_with_policy<P: ExecutionPolicy>(
     let mut memo = UnionMemo::new();
     let mut stats = RunStats::default();
 
-    seed_level_zero(&mut table, &normalized, params);
+    seed_level_zero(&mut table, &*substrate, params);
 
     for ell in 1..=n {
         run_level(&ctx, &mut table, &mut memo, &mut stats, ell, policy)?;
@@ -653,22 +666,59 @@ pub fn run_with_policy<P: ExecutionPolicy>(
     stats.intern = interner.stats();
     stats.wall = start.elapsed();
     Ok(FprasRun {
-        inner: Some(RunInner {
-            nfa: normalized,
-            unroll,
-            table,
-            memo,
-            masks,
-            interner,
-            sampler_seed,
-            q_final,
-        }),
+        inner: Some(RunInner { substrate, table, memo, interner, sampler_seed, q_final }),
         n,
         estimate,
         params: params.clone(),
         stats,
-        accepts_lambda: nfa.is_accepting(nfa.initial()),
+        accepts_lambda,
     })
+}
+
+/// Runs the FPRAS over an nROBP under `policy`, estimating the number
+/// of accepted assignments (length-`depth` words over the program's
+/// alphabet). The run length is the program's intrinsic depth; the
+/// degenerate cases (no accepting node reachable) short-circuit exactly
+/// like an empty NFA slice.
+pub fn run_robp_with_policy<P: ExecutionPolicy>(
+    robp: &Robp,
+    params: &Params,
+    policy: &mut P,
+) -> Result<FprasRun, FprasError> {
+    params.validate()?;
+    let n = robp.depth();
+    if n > params.n_hint {
+        return Err(FprasError::InvalidParams(format!(
+            "program depth {n} exceeds the length these params were derived for \
+             (n_hint = {}); rebuild Params for the target depth",
+            params.n_hint
+        )));
+    }
+    let start = Instant::now();
+    let substrate = RobpSubstrate::new(robp);
+    if !substrate.language_nonempty() {
+        return Ok(FprasRun {
+            inner: None,
+            n,
+            estimate: ExtFloat::ZERO,
+            params: params.clone(),
+            stats: RunStats { wall: start.elapsed(), ..RunStats::default() },
+            accepts_lambda: false,
+        });
+    }
+    run_on_substrate(Box::new(substrate), n, params, policy, false, start)
+}
+
+/// [`run_robp_with_policy`] with the [`Deterministic`] policy — the
+/// nROBP counterpart of [`run_parallel`], bit-identical for every
+/// `threads ≥ 1`.
+pub fn run_robp_parallel(
+    robp: &Robp,
+    params: &Params,
+    master_seed: u64,
+    threads: usize,
+) -> Result<FprasRun, FprasError> {
+    run_robp_with_policy(robp, params, &mut Deterministic::new(master_seed, threads))
 }
 
 /// Runs the FPRAS with level-synchronous parallelism over states.

@@ -69,8 +69,7 @@ impl UniformGenerator {
         let q_final = inner.q_final;
         let env = SamplerEnv {
             params: &self.run.params,
-            masks: &inner.masks,
-            unroll: &inner.unroll,
+            substrate: &*inner.substrate,
             interner: &inner.interner,
             sampler_seed: inner.sampler_seed,
         };

@@ -77,8 +77,9 @@ pub mod table;
 pub use appunion::{app_union, frontier_inputs, UnionEstimate, UnionScratch, UnionSetInput};
 pub use counter::FprasRun;
 pub use engine::{
-    run_parallel, run_with_policy, Deterministic, ExecutionPolicy, FrontierGroup, LevelPlan,
-    MemoEntry, MemoTier, Pool, Serial, UnionMemo,
+    run_parallel, run_robp_parallel, run_robp_with_policy, run_with_policy, Deterministic,
+    ExecutionPolicy, FrontierGroup, LevelPlan, LeveledSubstrate, MemoEntry, MemoTier, NfaSubstrate,
+    Pool, RobpSubstrate, Serial, UnionMemo,
 };
 pub use error::FprasError;
 pub use generator::UniformGenerator;
@@ -88,8 +89,8 @@ pub use params::{CursorPolicy, Params, Profile};
 pub use run_stats::{BatchStats, MemoStats, PoolStats, RunStats, ShareStats};
 pub use sample_set::{SampleEntry, SampleSet};
 pub use service::{
-    nfa_fingerprint, AdmissionController, QuerySession, QuotaConfig, QuotaDenied, QuotaStats,
-    ServiceRegistry, ServiceStats, SessionPolicy, SessionStats,
+    nfa_fingerprint, robp_fingerprint, AdmissionController, QuerySession, QuotaConfig, QuotaDenied,
+    QuotaStats, ServiceRegistry, ServiceStats, SessionPolicy, SessionStats,
 };
 pub use table::SampleOutcome;
 

@@ -14,7 +14,8 @@
 //! range for large `n`), and optionally memoizes the union estimates per
 //! `(level, frontier)` — see DESIGN.md D4 and the `memoize_unions` knob.
 //! The per-level inner loop is allocation-free: backward steps run
-//! through the [`StepMasks`] arena kernels into reusable frontier
+//! through the [`StepMasks`](fpras_automata::masks::StepMasks) arena
+//! kernels into reusable frontier
 //! buffers, and all working memory lives in a caller-owned
 //! `SamplerScratch` threaded through every call.
 //!
@@ -35,27 +36,26 @@
 use crate::appunion::{app_union, frontier_inputs, UnionScratch};
 use crate::engine::memo::{MemoTier, UnionMemo};
 use crate::engine::policy::{PHASE_SALT, PHASE_SAMPLER_UNION};
+use crate::engine::substrate::LeveledSubstrate;
 use crate::intern::FrontierInterner;
 use crate::params::Params;
 use crate::run_stats::RunStats;
 use crate::table::{splitmix64, MemoKey, RunTable, SampleOutcome};
-use fpras_automata::{StateId, StateSet, StepMasks, Unrolling, Word};
+use fpras_automata::{StateId, StateSet, Word};
 use fpras_numeric::{sample_extfloat_weights_with, ExtFloat};
 use rand::{rngs::SmallRng, Rng, RngExt, SeedableRng};
 
 /// The read-only context one sampler invocation runs against: the
-/// resolved parameters, the normalized automaton's stepping arenas, the
-/// unrolling's reachability filter, the run's frontier interner, and the
-/// frontier-keyed union seed. Bundled so the deep call chain
+/// resolved parameters, the run's leveled substrate (stepping kernels +
+/// per-level reachability filter — D14), the run's frontier interner,
+/// and the frontier-keyed union seed. Bundled so the deep call chain
 /// (`sample_word` → `union_size` → `estimate_frontier_union`) passes one
-/// reference instead of six.
+/// reference instead of five.
 pub(crate) struct SamplerEnv<'a> {
     /// Resolved run parameters.
     pub params: &'a Params,
-    /// Bit-parallel stepping arenas of the normalized NFA.
-    pub masks: &'a StepMasks,
-    /// Level-indexed reachable-state filter.
-    pub unroll: &'a Unrolling,
+    /// The leveled-DAG substrate the run walks over.
+    pub substrate: &'a dyn LeveledSubstrate,
     /// The run's frontier interner (memo keys, RNG tags).
     pub interner: &'a FrontierInterner,
     /// Seed of the frontier-keyed union streams (D9).
@@ -210,7 +210,7 @@ pub(crate) fn sample_word<R: Rng + ?Sized>(
     // γ₀ = gamma_scale / N(qℓ) (Algorithm 3 line 23).
     let mut phi = ExtFloat::from_f64(env.params.gamma_scale) / n_start;
 
-    let k = env.masks.k();
+    let k = env.substrate.width();
     scratch.ensure(table.num_states(), k);
     scratch.frontier.clear();
     scratch.frontier.insert(start as usize);
@@ -220,13 +220,13 @@ pub(crate) fn sample_word<R: Rng + ?Sized>(
         // Lines 8–11: per-symbol predecessor frontiers and union sizes.
         scratch.branch_sizes.clear();
         for sym in 0..k as u8 {
-            env.masks.step_back_into(
+            env.substrate.step_back_into(
                 &scratch.frontier,
                 sym,
                 &mut scratch.branch_fronts[sym as usize],
             );
             let fb = &mut scratch.branch_fronts[sym as usize];
-            fb.intersect_with(env.unroll.reachable(ell - 1));
+            fb.intersect_with(env.substrate.reachable(ell - 1));
             let sz = if fb.is_empty() {
                 ExtFloat::ZERO
             } else {
@@ -265,7 +265,7 @@ pub(crate) fn sample_word<R: Rng + ?Sized>(
     // every chosen branch had a positive union estimate, and level-0
     // estimates are positive only for the initial state.
     debug_assert!(
-        scratch.frontier.contains(env.masks.initial()),
+        scratch.frontier.contains(env.substrate.initial()),
         "sampled path must lead back to the initial state"
     );
     if phi > ExtFloat::ONE {
@@ -309,16 +309,9 @@ mod tests {
         let params = Params::practical(0.3, 0.1, 1, 6);
         let mut rng = SmallRng::seed_from_u64(5);
         let run = FprasRun::run(&nfa, 6, &params, &mut rng).unwrap();
-        let (table, memo_nfa, unroll) = run.parts_for_test();
-        let masks = StepMasks::new(memo_nfa);
+        let (table, substrate) = run.parts_for_test();
         let interner = FrontierInterner::new(table.num_states());
-        let env = SamplerEnv {
-            params: &params,
-            masks: &masks,
-            unroll,
-            interner: &interner,
-            sampler_seed: 99,
-        };
+        let env = SamplerEnv { params: &params, substrate, interner: &interner, sampler_seed: 99 };
         let mut memo = UnionMemo::new();
         let mut scratch = SamplerScratch::new();
         let mut stats = RunStats::default();
@@ -351,16 +344,9 @@ mod tests {
         let params = Params::practical(0.3, 0.1, 1, 4);
         let mut rng = SmallRng::seed_from_u64(6);
         let run = FprasRun::run(&nfa, 4, &params, &mut rng).unwrap();
-        let (table, memo_nfa, unroll) = run.parts_for_test();
-        let masks = StepMasks::new(memo_nfa);
+        let (table, substrate) = run.parts_for_test();
         let interner = FrontierInterner::new(table.num_states());
-        let env = SamplerEnv {
-            params: &params,
-            masks: &masks,
-            unroll,
-            interner: &interner,
-            sampler_seed: 99,
-        };
+        let env = SamplerEnv { params: &params, substrate, interner: &interner, sampler_seed: 99 };
         let mut memo = UnionMemo::new();
         let mut scratch = SamplerScratch::new();
         let mut stats = RunStats::default();

@@ -50,7 +50,7 @@ mod registry;
 mod session;
 
 pub use quota::{AdmissionController, QuotaConfig, QuotaDenied, QuotaStats};
-pub use registry::{nfa_fingerprint, ServiceRegistry, ServiceStats, SessionKey};
+pub use registry::{nfa_fingerprint, robp_fingerprint, ServiceRegistry, ServiceStats, SessionKey};
 pub use session::{QuerySession, SessionStats};
 
 /// How a [`QuerySession`] executes and seeds its engine run.

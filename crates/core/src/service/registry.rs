@@ -6,6 +6,7 @@ use crate::params::Params;
 use crate::service::session::{QuerySession, SessionStats};
 use crate::service::SessionPolicy;
 use crate::table::splitmix64;
+use fpras_automata::robp::Robp;
 use fpras_automata::Nfa;
 use std::sync::Arc;
 
@@ -34,11 +35,40 @@ pub fn nfa_fingerprint(nfa: &Nfa) -> u64 {
     acc
 }
 
-/// The cache key of one session: automaton × parameters × policy.
+/// A 64-bit fingerprint of an nROBP's exact structure — the
+/// [`nfa_fingerprint`] counterpart for the other substrate (D14).
+///
+/// Seeded with a *different* initial constant than the NFA fingerprint,
+/// so a program and an automaton can never alias one [`SessionKey`]
+/// slot even when their node graphs coincide edge-for-edge (the engine
+/// runs them over different substrates, so their sessions must stay
+/// distinct).
+pub fn robp_fingerprint(robp: &Robp) -> u64 {
+    let mut acc: u64 = 0x0F0A_F1D1;
+    let mut mix = |v: u64| {
+        acc = splitmix64(acc ^ splitmix64(v));
+    };
+    let graph = robp.graph();
+    mix(graph.alphabet().size() as u64);
+    mix(robp.num_nodes() as u64);
+    mix(robp.depth() as u64);
+    mix(robp.source() as u64);
+    mix(robp.sink() as u64);
+    mix(u64::MAX); // separator: header vs edge list
+    for (from, sym, to) in graph.transitions() {
+        mix(((from as u64) << 40) | ((sym as u64) << 32) | to as u64);
+    }
+    acc
+}
+
+/// The cache key of one session: substrate × parameters × policy.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct SessionKey {
-    /// [`nfa_fingerprint`] of the automaton.
-    pub nfa: u64,
+    /// Fingerprint of the substrate input — [`nfa_fingerprint`] for
+    /// automata, [`robp_fingerprint`] for programs. The two use
+    /// disjoint seed constants, so the substrates partition the key
+    /// space.
+    pub substrate: u64,
     /// [`Params::fingerprint`] of the parameters.
     pub params: u64,
     /// The execution policy (seed and thread count included).
@@ -52,7 +82,18 @@ impl SessionKey {
     /// use [`ServiceRegistry::session_with_key`] on the hot path.
     pub fn new(nfa: &Nfa, params: &Params, policy: &SessionPolicy) -> Self {
         SessionKey {
-            nfa: nfa_fingerprint(nfa),
+            substrate: nfa_fingerprint(nfa),
+            params: params.fingerprint(),
+            policy: policy.normalized(),
+        }
+    }
+
+    /// Fingerprints `(robp, params, policy)` — [`SessionKey::new`] for
+    /// the nROBP substrate. Same cost profile: hashing walks the edge
+    /// list, so precompute the key for high-QPS streams.
+    pub fn for_robp(robp: &Robp, params: &Params, policy: &SessionPolicy) -> Self {
+        SessionKey {
+            substrate: robp_fingerprint(robp),
             params: params.fingerprint(),
             policy: policy.normalized(),
         }
@@ -224,6 +265,56 @@ impl ServiceRegistry {
         params: &Params,
         policy: &SessionPolicy,
     ) -> Result<(&mut QuerySession, bool), FprasError> {
+        self.lookup_or_compile(
+            key,
+            policy,
+            |params, policy| QuerySession::new(nfa, params, policy),
+            params,
+        )
+    }
+
+    /// Routes to the session for `(robp, params, policy)` — the nROBP
+    /// substrate's [`ServiceRegistry::session`]. Programs and automata
+    /// share one LRU (capacity, eviction, stats): a mixed query stream
+    /// is served from a single cache, and the disjoint fingerprint
+    /// seeds guarantee the substrates can never alias a slot.
+    pub fn robp_session(
+        &mut self,
+        robp: &Robp,
+        params: &Params,
+        policy: &SessionPolicy,
+    ) -> Result<&mut QuerySession, FprasError> {
+        self.robp_session_with_key(SessionKey::for_robp(robp, params, policy), robp, params, policy)
+    }
+
+    /// [`ServiceRegistry::robp_session`] with a caller-precomputed key
+    /// (see [`ServiceRegistry::session_with_key`] for the contract).
+    pub fn robp_session_with_key(
+        &mut self,
+        key: SessionKey,
+        robp: &Robp,
+        params: &Params,
+        policy: &SessionPolicy,
+    ) -> Result<&mut QuerySession, FprasError> {
+        self.lookup_or_compile(
+            key,
+            policy,
+            |params, policy| QuerySession::new_robp(robp, params, policy),
+            params,
+        )
+        .map(|(s, _)| s)
+    }
+
+    /// The shared LRU lookup: hit (refreshing recency), poisoned-drop,
+    /// or compile-on-miss via `compile`, evicting the LRU slot at
+    /// capacity. Both substrates route through here.
+    fn lookup_or_compile(
+        &mut self,
+        key: SessionKey,
+        policy: &SessionPolicy,
+        compile: impl FnOnce(Params, SessionPolicy) -> Result<QuerySession, FprasError>,
+        params: &Params,
+    ) -> Result<(&mut QuerySession, bool), FprasError> {
         self.clock += 1;
         let mut recycled_here = false;
         if let Some(i) = self.slots.iter().position(|s| s.key == key) {
@@ -241,7 +332,7 @@ impl ServiceRegistry {
                 return Ok((&mut self.slots[i].session, false));
             }
         }
-        let mut session = QuerySession::new(nfa, params.clone(), policy.clone())?;
+        let mut session = compile(params.clone(), policy.clone())?;
         if let SessionPolicy::Deterministic { threads, .. } = policy {
             let threads = (*threads).max(1);
             if threads > 1 {
@@ -313,6 +404,25 @@ mod tests {
         b.build().unwrap()
     }
 
+    fn small_robp(seed: u64) -> Robp {
+        // Hand-rolled (workloads depends on core, not vice versa): a
+        // two-level binary program whose shape varies with `seed`.
+        use fpras_automata::robp::RobpBuilder;
+        use fpras_automata::Alphabet;
+        let mut b = RobpBuilder::new(Alphabet::binary(), 2);
+        let s = b.add_node(0);
+        b.set_source(s);
+        let a1 = b.add_node(1);
+        let b1 = b.add_node(1);
+        let t = b.add_node(2);
+        b.add_edge(s, (seed % 2) as u8, a1);
+        b.add_edge(s, 1, b1);
+        b.add_edge(a1, 0, t);
+        b.add_edge(b1, 1, t);
+        b.add_accepting(t);
+        b.build().unwrap()
+    }
+
     #[test]
     fn fingerprints_distinguish_structures() {
         assert_ne!(nfa_fingerprint(&all_words()), nfa_fingerprint(&ones_only()));
@@ -324,6 +434,39 @@ mod tests {
         let mut p3 = p1.clone();
         p3.batch_unions = !p3.batch_unions;
         assert_ne!(p1.fingerprint(), p3.fingerprint());
+    }
+
+    #[test]
+    fn robp_fingerprints_partition_the_key_space() {
+        assert_eq!(robp_fingerprint(&small_robp(0)), robp_fingerprint(&small_robp(0)));
+        assert_ne!(robp_fingerprint(&small_robp(0)), robp_fingerprint(&small_robp(1)));
+        // A program never aliases an automaton — even its own node
+        // graph: the two fingerprints use disjoint seed constants.
+        let robp = small_robp(0);
+        assert_ne!(robp_fingerprint(&robp), nfa_fingerprint(robp.graph()));
+    }
+
+    #[test]
+    fn robp_sessions_share_the_lru_with_nfa_sessions() {
+        let mut registry = ServiceRegistry::new(4);
+        let robp = small_robp(0);
+        let params = Params::for_session(0.4, 0.1, robp.num_nodes(), robp.depth());
+        let policy = SessionPolicy::Serial { seed: 7 };
+        let e = registry.robp_session(&robp, &params, &policy).unwrap().estimate(2).unwrap();
+        // Repeat query: a hit on the same slot, bit-identical answer.
+        let e2 = registry.robp_session(&robp, &params, &policy).unwrap().estimate(2).unwrap();
+        assert_eq!(e, e2);
+        assert_eq!(registry.stats().sessions_created, 1);
+        assert_eq!(registry.stats().session_hits, 1);
+        // An NFA session under the same params/policy coexists in the
+        // same cache without aliasing.
+        let nfa_params = Params::for_session(0.4, 0.1, 1, 2);
+        registry.session(&all_words(), &nfa_params, &policy).unwrap().estimate(2).unwrap();
+        assert_eq!(registry.stats().sessions_created, 2);
+        assert_eq!(registry.len(), 2);
+        // And the registry answer matches a standalone session.
+        let fresh = QuerySession::new_robp(&robp, params, policy).unwrap().estimate(2).unwrap();
+        assert_eq!(e, fresh);
     }
 
     #[test]

@@ -1,8 +1,8 @@
 //! A checkpointable engine run serving `(A, n)` queries incrementally.
 
 use crate::engine::{
-    normalize_for_run, run_level, seed_level_zero, Deterministic, EngineCtx, ExecutionPolicy, Pool,
-    Serial, UnionMemo,
+    normalize_for_run, run_level, seed_level_zero, Deterministic, EngineCtx, ExecutionPolicy,
+    LeveledSubstrate, NfaSubstrate, Pool, RobpSubstrate, Serial, UnionMemo,
 };
 use crate::error::FprasError;
 use crate::generator::DEFAULT_RETRY_LIMIT;
@@ -12,7 +12,8 @@ use crate::run_stats::RunStats;
 use crate::sampler::{sample_word, SamplerEnv, SamplerScratch};
 use crate::service::SessionPolicy;
 use crate::table::{RunTable, SampleOutcome};
-use fpras_automata::{Nfa, StateId, StepMasks, Unrolling, Word};
+use fpras_automata::robp::Robp;
+use fpras_automata::{Nfa, StateId, Word};
 use fpras_numeric::ExtFloat;
 use rand::{rngs::SmallRng, Rng, SeedableRng};
 use std::sync::Arc;
@@ -55,13 +56,11 @@ impl SessionStats {
     }
 }
 
-/// The live state of a non-degenerate session: the normalized automaton
-/// and the checkpointed engine run (everything `engine::run_level`
+/// The live state of a non-degenerate session: the leveled substrate
+/// (D14) and the checkpointed engine run (everything `engine::run_level`
 /// needs to continue where the last query stopped).
 struct SessionInner {
-    nfa: Nfa,
-    masks: StepMasks,
-    unroll: Unrolling,
+    substrate: Box<dyn LeveledSubstrate>,
     /// The session-lifetime frontier interner: ids stay stable across
     /// extensions, so memo keys minted at level `k` keep working when a
     /// later query extends the run (the bit-identity invariant only
@@ -199,13 +198,13 @@ impl QuerySession {
                     Deterministic::new(*seed, 1).sampler_union_seed()
                 }
             };
-            let masks = StepMasks::new(&normalized);
-            let interner = FrontierInterner::new(normalized.num_states());
-            let mut table = RunTable::new(normalized.num_states(), 0);
-            seed_level_zero(&mut table, &normalized, &params);
+            let substrate = NfaSubstrate::new(normalized, q_final, 0);
+            let m = substrate.universe();
+            let interner = FrontierInterner::new(m);
+            let mut table = RunTable::new(m, 0);
+            seed_level_zero(&mut table, &substrate, &params);
             SessionInner {
-                masks,
-                unroll: Unrolling::new(&normalized, 0),
+                substrate: Box::new(substrate),
                 interner,
                 table,
                 memo: UnionMemo::new(),
@@ -213,7 +212,6 @@ impl QuerySession {
                 q_final,
                 scratch: SamplerScratch::new(),
                 built: 0,
-                nfa: normalized,
             }
         });
         Ok(QuerySession {
@@ -221,6 +219,93 @@ impl QuerySession {
             policy_spec: policy,
             policy: policy_state,
             accepts_lambda,
+            inner,
+            stats: SessionStats::default(),
+            run_stats: RunStats::default(),
+            query_stats: RunStats::default(),
+            poisoned: false,
+            retry_limit: DEFAULT_RETRY_LIMIT,
+        })
+    }
+
+    /// Compiles an nROBP into a fresh session: the identical
+    /// checkpointed run machinery over the [`RobpSubstrate`] leveled
+    /// DAG (DESIGN.md D14) — `estimate(n)` answers `|L(P)_n|`, which is
+    /// the assignment count at `n = depth` and zero at every other
+    /// length (a read-once program accepts only full assignments).
+    ///
+    /// Validation is [`QuerySession::new`]'s plus a depth guard: the
+    /// program reads each variable once, so its level views stop at
+    /// `robp.depth()` — `params.n_hint` must not exceed it, keeping
+    /// every admissible query length buildable. λ is never accepted
+    /// (depth ≥ 1 by construction); a program accepting no assignment
+    /// is served degenerately, like a fully-trimmed automaton.
+    pub fn new_robp(
+        robp: &Robp,
+        params: Params,
+        policy: SessionPolicy,
+    ) -> Result<Self, FprasError> {
+        params.validate()?;
+        if params.trim_dead {
+            return Err(FprasError::InvalidParams(
+                "trim_dead prunes cells by distance-to-accepting at a fixed horizon, which an \
+                 incrementally extended session does not have; build session params with \
+                 Params::for_session (or set trim_dead = false)"
+                    .into(),
+            ));
+        }
+        if params.n_hint > robp.depth() {
+            return Err(FprasError::InvalidParams(format!(
+                "session derivation length (n_hint = {}) exceeds the program depth {}: an nROBP \
+                 reads each variable once, so no longer query could ever be served",
+                params.n_hint,
+                robp.depth()
+            )));
+        }
+        let policy = policy.normalized();
+        let mut policy_state = match &policy {
+            SessionPolicy::Serial { seed } => {
+                PolicyState::Serial { rng: SmallRng::seed_from_u64(*seed) }
+            }
+            SessionPolicy::Deterministic { seed, threads } => {
+                PolicyState::Deterministic { seed: *seed, threads: *threads, shared_pool: None }
+            }
+        };
+        let substrate = RobpSubstrate::new(robp);
+        let inner = substrate.language_nonempty().then(|| {
+            // Drawn exactly where a fresh robp run draws it (see
+            // `QuerySession::new` — the alignment argument is
+            // substrate-independent).
+            let sampler_seed = match &mut policy_state {
+                PolicyState::Serial { rng } => {
+                    let mut policy = Serial::new(rng);
+                    policy.sampler_union_seed()
+                }
+                PolicyState::Deterministic { seed, .. } => {
+                    Deterministic::new(*seed, 1).sampler_union_seed()
+                }
+            };
+            let m = substrate.universe();
+            let q_final = substrate.final_cell();
+            let interner = FrontierInterner::new(m);
+            let mut table = RunTable::new(m, 0);
+            seed_level_zero(&mut table, &substrate, &params);
+            SessionInner {
+                substrate: Box::new(substrate),
+                interner,
+                table,
+                memo: UnionMemo::new(),
+                sampler_seed,
+                q_final,
+                scratch: SamplerScratch::new(),
+                built: 0,
+            }
+        });
+        Ok(QuerySession {
+            params,
+            policy_spec: policy,
+            policy: policy_state,
+            accepts_lambda: false,
             inner,
             stats: SessionStats::default(),
             run_stats: RunStats::default(),
@@ -356,18 +441,15 @@ impl QuerySession {
             return Ok(());
         }
         let start = std::time::Instant::now();
-        let SessionInner { nfa, masks, unroll, interner, table, memo, sampler_seed, built, .. } =
-            inner;
-        unroll.extend_to(nfa, n);
+        let SessionInner { substrate, interner, table, memo, sampler_seed, built, .. } = inner;
+        substrate.ensure_horizon(n);
         table.grow(n);
         let ctx = EngineCtx {
             params: &self.params,
-            nfa,
-            unroll,
-            masks,
+            substrate: &**substrate,
             interner,
-            m: nfa.num_states(),
-            k: nfa.alphabet().size() as u8,
+            m: substrate.universe(),
+            k: substrate.width() as u8,
             sampler_seed: *sampler_seed,
         };
         let mut result = Ok(());
@@ -521,8 +603,7 @@ impl QuerySession {
         let mut out = Ok(None);
         let env = SamplerEnv {
             params: &self.params,
-            masks: &inner.masks,
-            unroll: &inner.unroll,
+            substrate: &*inner.substrate,
             interner: &inner.interner,
             sampler_seed: inner.sampler_seed,
         };
@@ -798,6 +879,76 @@ mod tests {
         session.estimate(8).unwrap();
         assert!(!session.is_poisoned());
         assert!(session.run_stats().membership_ops <= full_build);
+    }
+
+    /// A depth-4 program encoding `contains_11`'s length-4 slice, so
+    /// the exact count is known (8 words of length 4 contain `11`).
+    fn robp_contains_11() -> fpras_automata::robp::Robp {
+        Robp::from_nfa(&contains_11(), 4).unwrap()
+    }
+
+    #[test]
+    fn robp_session_matches_fresh_robp_run_bitwise() {
+        let robp = robp_contains_11();
+        let params = Params::for_session(0.3, 0.1, robp.num_nodes(), 4);
+        let mut session =
+            QuerySession::new_robp(&robp, params.clone(), SessionPolicy::Serial { seed: 9 })
+                .unwrap();
+        // Partial-depth query first: the later full-depth query resumes
+        // from the checkpoint and must still equal a fresh run.
+        assert!(session.estimate(2).unwrap().is_zero(), "no sink at level 2");
+        let got = session.estimate(4).unwrap();
+        let mut rng = SmallRng::seed_from_u64(9);
+        let fresh = FprasRun::run_robp(&robp, &params, &mut rng).unwrap();
+        assert_eq!(got, fresh.estimate());
+        let exact = count_exact(&robp.to_nfa(), 4).unwrap().to_f64();
+        assert!((got.to_f64() - exact).abs() / exact < 0.3);
+        // Sampled assignments are genuine members of the language.
+        let mut caller = SmallRng::seed_from_u64(5);
+        let mut drawn = 0;
+        for _ in 0..20 {
+            if let Some(w) = session.sample(4, &mut caller).unwrap() {
+                assert!(robp.accepts(&w));
+                drawn += 1;
+            }
+        }
+        assert!(drawn > 0);
+    }
+
+    #[test]
+    fn robp_session_rejects_horizons_beyond_depth() {
+        let robp = robp_contains_11();
+        // n_hint exceeding the program depth can never be served.
+        let params = Params::for_session(0.3, 0.1, robp.num_nodes(), 5);
+        let err = QuerySession::new_robp(&robp, params, SessionPolicy::Serial { seed: 1 });
+        assert!(matches!(err, Err(FprasError::InvalidParams(_))));
+        // At the depth itself, queries past n_hint are refused like any
+        // session (and λ is never accepted).
+        let params = Params::for_session(0.3, 0.1, robp.num_nodes(), 4);
+        let mut session =
+            QuerySession::new_robp(&robp, params, SessionPolicy::Serial { seed: 1 }).unwrap();
+        assert!(session.estimate(5).is_err());
+        assert!(session.estimate(0).unwrap().is_zero());
+    }
+
+    #[test]
+    fn robp_session_deterministic_matches_serial_policy_surface() {
+        // The policy is scheduling-only on every substrate: a
+        // Deterministic robp session at any thread count answers
+        // exactly like a fresh Deterministic run.
+        let robp = robp_contains_11();
+        let params = Params::for_session(0.3, 0.1, robp.num_nodes(), 4);
+        for threads in [1usize, 2, 8] {
+            let mut session = QuerySession::new_robp(
+                &robp,
+                params.clone(),
+                SessionPolicy::Deterministic { seed: 4, threads },
+            )
+            .unwrap();
+            let got = session.estimate(4).unwrap();
+            let fresh = crate::engine::run_robp_parallel(&robp, &params, 4, threads).unwrap();
+            assert_eq!(got, fresh.estimate(), "threads = {threads}");
+        }
     }
 
     #[test]

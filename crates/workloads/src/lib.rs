@@ -19,6 +19,6 @@ pub mod regex_corpus;
 pub mod traces;
 
 pub use graphs::{random_graph, LabeledGraph, RandomGraphConfig};
-pub use random::{random_nfa, RandomNfaConfig};
+pub use random::{random_nfa, random_robp, RandomNfaConfig, RandomRobpConfig};
 pub use regex_corpus::{binary_corpus, CorpusEntry};
 pub use traces::{query_trace, QueryTraceConfig, TraceQuery};

@@ -1,11 +1,15 @@
-//! Seeded random NFA generation.
+//! Seeded random NFA and nROBP generation.
 //!
 //! The scaling experiments (E2–E4) sweep `m` and `n` over random
 //! automata. The generator controls transition density per
 //! (state, symbol) and guarantees a connected, non-degenerate instance:
 //! a random spanning path keeps every state reachable, and the accepting
-//! state is drawn from the reachable set.
+//! state is drawn from the reachable set. [`random_robp`] is the leveled
+//! counterpart for the nROBP substrate (DESIGN.md D14): a random leveled
+//! DAG with a backbone path source → sink, so the program always accepts
+//! at least one assignment.
 
+use fpras_automata::robp::{Robp, RobpBuilder};
 use fpras_automata::{Alphabet, Nfa, NfaBuilder, StateId};
 use rand::{Rng, RngExt};
 
@@ -76,9 +80,85 @@ pub fn random_nfa<R: Rng + ?Sized>(config: &RandomNfaConfig, rng: &mut R) -> Nfa
     b.build().expect("random construction is always valid")
 }
 
+/// Configuration for [`random_robp`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct RandomRobpConfig {
+    /// Number of levels read (word length); at least 1.
+    pub depth: usize,
+    /// Nodes per level `1..=depth` (level 0 always holds just the
+    /// source); at least 1.
+    pub width: usize,
+    /// Alphabet size `k`.
+    pub alphabet: usize,
+    /// Expected number of outgoing edges per (node, symbol); 1.0 is
+    /// sparse, `width` is complete between adjacent levels.
+    pub density: f64,
+    /// Number of accepting nodes at the last level (at least 1; the
+    /// builder merges them into one sink).
+    pub accepting: usize,
+}
+
+impl Default for RandomRobpConfig {
+    fn default() -> Self {
+        RandomRobpConfig { depth: 8, width: 4, alphabet: 2, density: 1.5, accepting: 1 }
+    }
+}
+
+/// Generates a random nROBP; identical seeds give identical programs.
+///
+/// A backbone path source → … → sink (one random node and symbol per
+/// level) guarantees the language is non-empty; the remaining edges are
+/// drawn independently at the requested density between adjacent levels.
+pub fn random_robp<R: Rng + ?Sized>(config: &RandomRobpConfig, rng: &mut R) -> Robp {
+    assert!(config.depth >= 1);
+    assert!(config.width >= 1);
+    assert!((1..=62).contains(&config.alphabet));
+    assert!((1..=config.width).contains(&config.accepting));
+    let k = config.alphabet;
+    let w = config.width;
+    let mut b = RobpBuilder::new(Alphabet::of_size(k), config.depth);
+    let source = b.add_node(0);
+    b.set_source(source);
+    // levels[ℓ] = node ids at level ℓ.
+    let mut levels: Vec<Vec<u32>> = vec![vec![source]];
+    for ell in 1..=config.depth {
+        levels.push((0..w).map(|_| b.add_node(ell)).collect());
+    }
+    // Backbone: one random edge per level keeps the sink reachable.
+    let mut prev = source;
+    for level in &levels[1..] {
+        let next = level[rng.random_range(0..level.len())];
+        let sym = rng.random_range(0..k) as u8;
+        b.add_edge(prev, sym, next);
+        prev = next;
+    }
+    b.add_accepting(prev);
+    // Random edges at the requested density between adjacent levels.
+    let p = (config.density / w as f64).clamp(0.0, 1.0);
+    for ell in 0..config.depth {
+        for &from in &levels[ell] {
+            for sym in 0..k as u8 {
+                for &to in &levels[ell + 1] {
+                    if rng.random_bool(p) {
+                        b.add_edge(from, sym, to);
+                    }
+                }
+            }
+        }
+    }
+    // Extra accepting nodes (may duplicate the backbone's — the builder
+    // deduplicates through the sink merge).
+    for _ in 1..config.accepting {
+        let last = &levels[config.depth];
+        b.add_accepting(last[rng.random_range(0..last.len())]);
+    }
+    b.build().expect("backbone guarantees a source and an accepting node")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use fpras_automata::exact::count_exact;
     use fpras_automata::ops::reachable_states;
     use rand::{rngs::SmallRng, SeedableRng};
 
@@ -125,6 +205,43 @@ mod tests {
         assert_eq!(nfa.num_states(), 7);
         assert_eq!(nfa.alphabet().size(), 3);
         assert!(!nfa.accepting().is_empty());
+    }
+
+    #[test]
+    fn robp_deterministic_per_seed_and_nonempty() {
+        let config = RandomRobpConfig::default();
+        let a = random_robp(&config, &mut SmallRng::seed_from_u64(5));
+        let b = random_robp(&config, &mut SmallRng::seed_from_u64(5));
+        assert_eq!(a, b);
+        let c = random_robp(&config, &mut SmallRng::seed_from_u64(6));
+        assert_ne!(a, c);
+        // The backbone guarantees at least one accepted assignment.
+        for seed in 0..20 {
+            let robp = random_robp(&config, &mut SmallRng::seed_from_u64(seed));
+            let count = count_exact(&robp.to_nfa(), robp.depth()).unwrap();
+            assert!(count.to_u64().unwrap() >= 1, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn robp_respects_shape_parameters() {
+        let config =
+            RandomRobpConfig { depth: 5, width: 3, alphabet: 3, density: 2.0, accepting: 2 };
+        let robp = random_robp(&config, &mut SmallRng::seed_from_u64(7));
+        assert_eq!(robp.depth(), 5);
+        assert_eq!(robp.num_nodes(), 1 + 5 * 3);
+        assert_eq!(robp.alphabet().size(), 3);
+        assert_eq!(robp.level_of(robp.source()), 0);
+        assert_eq!(robp.level_of(robp.sink()), 5);
+    }
+
+    #[test]
+    fn robp_minimal_shape() {
+        let config =
+            RandomRobpConfig { depth: 1, width: 1, alphabet: 1, density: 1.0, accepting: 1 };
+        let robp = random_robp(&config, &mut SmallRng::seed_from_u64(0));
+        assert_eq!(robp.depth(), 1);
+        assert_eq!(robp.num_nodes(), 2);
     }
 
     #[test]

@@ -11,6 +11,7 @@
 //! nfa-count query --regex '1(0|1)*' --lengths 8,4,12   # one session, many lengths
 //! echo 'estimate 16' | nfa-count serve --regex '1*'    # stdin query loop
 //! printf 'open a --regex 1*\nestimate 8\n' | nfa-count serve  # multi-session
+//! nfa-count robp --file prog.robp --exact              # count an nROBP's assignments
 //! ```
 //!
 //! Methods: `fpras` (default, Algorithm 3 through the level-synchronous
@@ -20,6 +21,12 @@
 //! determinization DP), `bdd` (exact BDD model counting). `parallel` is
 //! accepted as a deprecated alias for `fpras` with multi-threading. The
 //! NFA file format is documented in `fpras_automata::parse`.
+//!
+//! The `robp` subcommand runs the same engine over the other leveled
+//! substrate (DESIGN.md D14): a non-deterministic read-once branching
+//! program in the text format of `fpras_automata::robp`, whose depth
+//! fixes the query length (every accepted assignment reads all
+//! variables).
 //!
 //! The `query` subcommand answers many lengths from **one**
 //! `fpras_core::service::QuerySession` (levels built once, reused by
@@ -39,7 +46,9 @@ use fpras_core::service::{
     AdmissionController, QuerySession, QuotaConfig, ServiceRegistry, SessionKey, SessionPolicy,
     SessionStats,
 };
-use fpras_core::{run_parallel, FprasError, FprasRun, Params, RunStats, UniformGenerator};
+use fpras_core::{
+    run_parallel, run_robp_parallel, FprasError, FprasRun, Params, RunStats, UniformGenerator,
+};
 use fpras_numeric::ExtFloat;
 use rand::{rngs::SmallRng, SeedableRng};
 
@@ -898,13 +907,153 @@ fn serve_main(argv: &[String]) -> i32 {
     }
 }
 
+fn robp_usage() -> ! {
+    eprintln!(
+        "usage: nfa-count robp --file PATH\n\
+         \t[--eps E=0.2] [--delta D=0.05] [--seed S=42] [--threads T=0]\n\
+         \t[--sample K] [--exact] [--stats]\n\
+         \n\
+         Counts the accepted assignments of a non-deterministic\n\
+         read-once branching program (text format: see\n\
+         fpras_automata::robp) with the same level-synchronous FPRAS\n\
+         engine, run over the program's leveled DAG directly. The\n\
+         program's depth fixes the word length; --threads selects the\n\
+         Serial (0) or Deterministic (T >= 1) policy exactly as the\n\
+         top-level command does, with output independent of T."
+    );
+    std::process::exit(2)
+}
+
+/// `nfa-count robp`: the one-shot counter for the nROBP substrate.
+fn robp_main(argv: &[String]) {
+    let mut file: Option<String> = None;
+    let (mut eps, mut delta, mut seed) = (0.2f64, 0.05f64, 42u64);
+    let mut threads = 0usize;
+    let mut sample = 0usize;
+    let (mut exact, mut stats) = (false, false);
+    let mut i = 0;
+    let value = |i: &mut usize| -> String {
+        *i += 1;
+        argv.get(*i).cloned().unwrap_or_else(|| robp_usage())
+    };
+    macro_rules! num {
+        ($flag:literal, $i:expr) => {
+            parse_value_or_report($flag, &value($i)).unwrap_or_else(|| robp_usage())
+        };
+    }
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--file" => file = Some(value(&mut i)),
+            "--eps" => eps = num!("--eps", &mut i),
+            "--delta" => delta = num!("--delta", &mut i),
+            "--seed" => seed = num!("--seed", &mut i),
+            "--threads" => threads = num!("--threads", &mut i),
+            "--sample" => sample = num!("--sample", &mut i),
+            "--exact" => exact = true,
+            "--stats" => stats = true,
+            "--help" | "-h" => robp_usage(),
+            other => {
+                eprintln!("unknown argument {other:?}");
+                robp_usage()
+            }
+        }
+        i += 1;
+    }
+    let Some(path) = file else { robp_usage() };
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        std::process::exit(1);
+    });
+    let robp = fpras_automata::robp::from_text(&text).unwrap_or_else(|e| {
+        eprintln!("cannot parse {path}: {e}");
+        std::process::exit(1);
+    });
+    let n = robp.depth();
+    eprintln!(
+        "program: {} nodes, {} edges, depth {n}, alphabet {:?}",
+        robp.num_nodes(),
+        robp.num_edges(),
+        robp.alphabet()
+    );
+
+    let params = Params::practical(eps, delta, robp.num_nodes(), n);
+    if let Err(e) = params.validate() {
+        eprintln!("{e}");
+        std::process::exit(2);
+    }
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let result = if threads == 0 {
+        FprasRun::run_robp(&robp, &params, &mut rng)
+    } else {
+        run_robp_parallel(&robp, &params, seed, threads)
+    };
+    let run = match result {
+        Ok(run) => run,
+        Err(e) => {
+            eprintln!("FPRAS failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("estimate |L(P)| ≈ {}", run.estimate());
+    println!("  log2 ≈ {:.3}", run.estimate().log2());
+    eprintln!(
+        "  ({} policy, {} membership ops, {:.1} samples/cell, {:?})",
+        if threads == 0 { "serial".to_string() } else { format!("deterministic×{threads}") },
+        run.stats().membership_ops,
+        run.stats().samples_per_cell(),
+        run.stats().wall
+    );
+    if stats {
+        report_stats(run.stats());
+    }
+
+    if exact {
+        // The node graph doubles as the exact oracle: in a leveled DAG
+        // every accepted word has length exactly `depth`.
+        match count_exact(&robp.to_nfa(), n) {
+            Ok(exact_count) => {
+                let exact_f = exact_count.to_f64();
+                let rel = if exact_f == 0.0 {
+                    if run.estimate().is_zero() {
+                        0.0
+                    } else {
+                        f64::INFINITY
+                    }
+                } else {
+                    (run.estimate().to_f64() - exact_f).abs() / exact_f
+                };
+                println!("exact    |L(P)| = {exact_count}");
+                println!("  relative error {rel:.5} (target ε = {eps})");
+            }
+            Err(e) => eprintln!("exact counter unavailable: {e}"),
+        }
+    }
+
+    if sample > 0 {
+        let alphabet = robp.alphabet().clone();
+        let mut generator = UniformGenerator::new(run);
+        println!("samples:");
+        for _ in 0..sample {
+            match generator.generate(&mut rng) {
+                Some(w) => println!("  {}", w.display(&alphabet)),
+                None => {
+                    println!("  (the program accepts nothing)");
+                    break;
+                }
+            }
+        }
+    }
+}
+
 fn main() {
-    // Subcommand dispatch: `serve` and `query` are the service surface;
-    // anything else is the classic one-shot CLI.
+    // Subcommand dispatch: `serve` and `query` are the service surface,
+    // `robp` the branching-program substrate; anything else is the
+    // classic one-shot CLI.
     let argv: Vec<String> = std::env::args().skip(1).collect();
     match argv.first().map(String::as_str) {
         Some("serve") => std::process::exit(serve_main(&argv[1..])),
         Some("query") => return query_main(&argv[1..]),
+        Some("robp") => return robp_main(&argv[1..]),
         _ => {}
     }
 

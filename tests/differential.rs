@@ -7,11 +7,12 @@
 //! with the full instance description for replay.
 
 use fpras_automata::exact::{brute_force_count, count_exact};
+use fpras_automata::robp::Robp;
 use fpras_automata::simulation::reduce;
 use fpras_automata::{Dfa, Nfa};
 use fpras_baselines::path_importance_sampling;
 use fpras_bdd::count_slice;
-use fpras_core::{run_parallel, FprasRun, Params};
+use fpras_core::{run_parallel, run_robp_parallel, FprasRun, Params};
 use fpras_workloads::{families, random_nfa, RandomNfaConfig};
 use rand::{rngs::SmallRng, SeedableRng};
 
@@ -30,6 +31,23 @@ fn check_instance(nfa: &fpras_automata::Nfa, n: usize, seed: u64, label: &str) {
     // Simulation quotient preserves every exact count.
     let reduced = reduce(nfa);
     assert_eq!(dp, count_exact(&reduced, n).expect("dp/reduced"), "{label}: reduced");
+    // nROBP re-encoding (D14) preserves the slice exactly: the node
+    // graph of `from_nfa` counts bit-for-bit like the automaton it
+    // encodes, under the same exact DP.
+    let robp = match Robp::from_nfa(nfa, n) {
+        Ok(robp) => Some(robp),
+        Err(_) => {
+            assert_eq!(dp.to_f64(), 0.0, "{label}: robp encoder refused a non-empty slice");
+            None
+        }
+    };
+    if let Some(robp) = &robp {
+        assert_eq!(
+            dp,
+            count_exact(&robp.to_nfa(), n).expect("dp/robp"),
+            "{label}: dp vs robp encoding"
+        );
+    }
 
     let exact = dp.to_f64();
     if exact == 0.0 {
@@ -41,7 +59,14 @@ fn check_instance(nfa: &fpras_automata::Nfa, n: usize, seed: u64, label: &str) {
     let mut rng = SmallRng::seed_from_u64(seed);
     let serial = FprasRun::run(nfa, n, &params, &mut rng).expect("serial").estimate().to_f64();
     let parallel = run_parallel(nfa, n, &params, seed, 4).expect("parallel").estimate().to_f64();
-    for (name, est) in [("serial", serial), ("parallel", parallel)] {
+    // The nROBP engine path over the same slice, via the encoding: a
+    // different substrate (and thus a different frontier-keyed stream),
+    // but the same (ε, δ) contract against the same truth.
+    let robp = robp.expect("non-empty slice encodes");
+    let robp_params = Params::practical(0.4, 0.1, robp.num_nodes(), n);
+    let robp_est =
+        run_robp_parallel(&robp, &robp_params, seed, 4).expect("robp").estimate().to_f64();
+    for (name, est) in [("serial", serial), ("parallel", parallel), ("robp", robp_est)] {
         let err = (est - exact).abs() / exact;
         assert!(err < 0.6, "{label}: {name} fpras err {err} (est {est}, exact {exact})");
     }

@@ -22,8 +22,9 @@
 //! Estimates here stay far inside `f64` range (n ≤ 10, k = 2), so
 //! `estimate.to_f64().to_bits()` is an exact fingerprint.
 
-use fpras_core::{run_parallel, FprasRun, Params};
-use fpras_workloads::families;
+use fpras_automata::robp::Robp;
+use fpras_core::{run_parallel, run_robp_parallel, FprasRun, Params};
+use fpras_workloads::{families, random_robp, RandomRobpConfig};
 use rand::{rngs::SmallRng, SeedableRng};
 
 /// The fixture matrix: automaton constructor, label, and word length.
@@ -94,6 +95,91 @@ fn golden_streams_match_pinned_bits() {
     assert_eq!(observed.len(), GOLDEN.len(), "fixture matrix drifted from the pinned table");
     for ((label, seed, policy, bits), (g_label, g_seed, g_policy, g_bits)) in
         observed.iter().zip(GOLDEN)
+    {
+        assert_eq!((label.as_str(), *seed, *policy), (*g_label, *g_seed, *g_policy));
+        assert_eq!(
+            bits, g_bits,
+            "{label} seed {seed} policy {policy}: estimate bits shifted \
+             ({bits} vs pinned {g_bits}) — an RNG stream moved"
+        );
+    }
+}
+
+/// The nROBP fixture matrix: two seeded random programs spanning shape
+/// parameters and one robp-encoded NFA slice. These streams were
+/// recorded when the `RobpSubstrate` front-end shipped; they pin the
+/// substrate's set contents (reach sets, predecessor frontiers) the same
+/// way the NFA table pins the unrolling's.
+fn robp_matrix() -> Vec<(&'static str, Robp)> {
+    vec![
+        (
+            "robp-rand-8x4",
+            random_robp(&RandomRobpConfig::default(), &mut SmallRng::seed_from_u64(3)),
+        ),
+        (
+            "robp-rand-6x3-k3",
+            random_robp(
+                &RandomRobpConfig { depth: 6, width: 3, alphabet: 3, density: 2.0, accepting: 2 },
+                &mut SmallRng::seed_from_u64(11),
+            ),
+        ),
+        ("robp-contains-11", Robp::from_nfa(&families::contains_substring(&[1, 1]), 8).unwrap()),
+    ]
+}
+
+/// Pinned nROBP observations, same shape as [`GOLDEN`].
+const GOLDEN_ROBP: &[(&str, u64, &str, u64)] = &[
+    ("robp-rand-8x4", 7, "serial", 4641011155659719978),
+    ("robp-rand-8x4", 7, "det", 4641211541442034334),
+    ("robp-rand-8x4", 99, "serial", 4640995411869113877),
+    ("robp-rand-8x4", 99, "det", 4641110039692581988),
+    ("robp-rand-6x3-k3", 7, "serial", 4649518868123005944),
+    ("robp-rand-6x3-k3", 7, "det", 4649996576775794328),
+    ("robp-rand-6x3-k3", 99, "serial", 4649834873716670598),
+    ("robp-rand-6x3-k3", 99, "det", 4649545467042715238),
+    ("robp-contains-11", 7, "serial", 4641206002967414036),
+    ("robp-contains-11", 7, "det", 4641381254353891876),
+    ("robp-contains-11", 99, "serial", 4640991106553651699),
+    ("robp-contains-11", 99, "det", 4641481652780049242),
+];
+
+fn serial_robp_estimate(robp: &Robp, seed: u64) -> u64 {
+    let params = Params::practical(0.3, 0.1, robp.num_nodes(), robp.depth());
+    let mut rng = SmallRng::seed_from_u64(seed);
+    FprasRun::run_robp(robp, &params, &mut rng).unwrap().estimate().to_f64().to_bits()
+}
+
+fn det_robp_estimate(robp: &Robp, seed: u64, threads: usize) -> u64 {
+    let params = Params::practical(0.3, 0.1, robp.num_nodes(), robp.depth());
+    run_robp_parallel(robp, &params, seed, threads).unwrap().estimate().to_f64().to_bits()
+}
+
+#[test]
+fn robp_golden_streams_match_pinned_bits() {
+    let record = std::env::var("GOLDEN_RECORD").is_ok();
+    let mut observed: Vec<(String, u64, &'static str, u64)> = Vec::new();
+    for (label, robp) in robp_matrix() {
+        for seed in [7u64, 99] {
+            observed.push((label.to_string(), seed, "serial", serial_robp_estimate(&robp, seed)));
+            let t1 = det_robp_estimate(&robp, seed, 1);
+            let t2 = det_robp_estimate(&robp, seed, 2);
+            let t8 = det_robp_estimate(&robp, seed, 8);
+            assert_eq!(t1, t2, "{label} seed {seed}: threads 1 vs 2 diverge");
+            assert_eq!(t1, t8, "{label} seed {seed}: threads 1 vs 8 diverge");
+            observed.push((label.to_string(), seed, "det", t1));
+        }
+    }
+    if record {
+        println!("const GOLDEN_ROBP: &[(&str, u64, &str, u64)] = &[");
+        for (label, seed, policy, bits) in &observed {
+            println!("    (\"{label}\", {seed}, \"{policy}\", {bits}),");
+        }
+        println!("];");
+        return;
+    }
+    assert_eq!(observed.len(), GOLDEN_ROBP.len(), "fixture matrix drifted from the pinned table");
+    for ((label, seed, policy, bits), (g_label, g_seed, g_policy, g_bits)) in
+        observed.iter().zip(GOLDEN_ROBP)
     {
         assert_eq!((label.as_str(), *seed, *policy), (*g_label, *g_seed, *g_policy));
         assert_eq!(

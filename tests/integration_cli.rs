@@ -2,16 +2,51 @@
 //! enumerate/dot modes, and the error paths, driven through the real
 //! executable (`CARGO_BIN_EXE_nfa-count`).
 
-use std::process::Command;
+mod common;
+use common::{run, write_fixture};
 
-fn run(args: &[&str]) -> (String, String, bool) {
-    let out =
-        Command::new(env!("CARGO_BIN_EXE_nfa-count")).args(args).output().expect("binary runs");
-    (
-        String::from_utf8_lossy(&out.stdout).into_owned(),
-        String::from_utf8_lossy(&out.stderr).into_owned(),
-        out.status.success(),
-    )
+/// A two-variable parity program: accepts exactly `00` and `11`.
+const PARITY_ROBP: &str = "\
+alphabet 01
+depth 2
+levels 0 1 1 2
+source 0
+accepting 3
+edge 0 0 1
+edge 0 1 2
+edge 1 0 3
+edge 2 1 3
+";
+
+#[test]
+fn robp_subcommand_counts_samples_and_crosschecks() {
+    let path = write_fixture("parity.robp", PARITY_ROBP);
+    let file = path.to_str().expect("utf-8 path");
+    let args = ["robp", "--file", file, "--exact", "--sample", "3", "--seed", "5"];
+    let (stdout, stderr, ok) = run(&args);
+    assert!(ok, "stderr: {stderr}");
+    assert!(stdout.contains("estimate |L(P)|"), "{stdout}");
+    assert!(stdout.contains("exact    |L(P)| = 2"), "{stdout}");
+    // Every sample is one of the two accepted words.
+    for line in stdout.lines().skip_while(|l| !l.starts_with("samples:")).skip(1) {
+        let word = line.trim();
+        assert!(word == "00" || word == "11", "bad sample {word:?}: {stdout}");
+    }
+    // Threaded run agrees on this tiny deterministic program's estimate.
+    let (t_stdout, t_stderr, t_ok) =
+        run(&["robp", "--file", file, "--threads", "2", "--seed", "5"]);
+    assert!(t_ok, "stderr: {t_stderr}");
+    assert!(t_stdout.contains("estimate |L(P)|"), "{t_stdout}");
+}
+
+#[test]
+fn robp_subcommand_rejects_missing_and_bad_input() {
+    let (_, stderr, ok) = run(&["robp"]);
+    assert!(!ok, "robp without --file must fail");
+    assert!(stderr.contains("--file"), "{stderr}");
+    let bad = write_fixture("bad.robp", "alphabet 01\ndepth 1\nlevels 0 9\n");
+    let (_, _, ok) = run(&["robp", "--file", bad.to_str().unwrap()]);
+    assert!(!ok, "malformed program must fail");
 }
 
 #[test]

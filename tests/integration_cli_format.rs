@@ -5,7 +5,8 @@ use fpras_automata::exact::count_exact;
 use fpras_automata::parse::{from_text, to_text};
 use fpras_core::estimate_count;
 
-const EXAMPLE: &str = include_str!("../examples/data/contains11.nfa");
+mod common;
+use common::EXAMPLE_NFA as EXAMPLE;
 
 #[test]
 fn shipped_example_parses_and_counts() {

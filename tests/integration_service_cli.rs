@@ -2,39 +2,8 @@
 //! one session answering many lengths, reuse accounting, the stdin
 //! query loop, and the centralized parameter validation.
 
-use std::io::Write;
-use std::process::{Command, Stdio};
-
-fn run(args: &[&str]) -> (String, String, bool) {
-    let out =
-        Command::new(env!("CARGO_BIN_EXE_nfa-count")).args(args).output().expect("binary runs");
-    (
-        String::from_utf8_lossy(&out.stdout).into_owned(),
-        String::from_utf8_lossy(&out.stderr).into_owned(),
-        out.status.success(),
-    )
-}
-
-fn run_with_stdin(args: &[&str], input: &str) -> (String, String, bool) {
-    run_with_stdin_bytes(args, input.as_bytes())
-}
-
-fn run_with_stdin_bytes(args: &[&str], input: &[u8]) -> (String, String, bool) {
-    let mut child = Command::new(env!("CARGO_BIN_EXE_nfa-count"))
-        .args(args)
-        .stdin(Stdio::piped())
-        .stdout(Stdio::piped())
-        .stderr(Stdio::piped())
-        .spawn()
-        .expect("binary spawns");
-    child.stdin.as_mut().expect("stdin piped").write_all(input).expect("stdin write");
-    let out = child.wait_with_output().expect("binary runs");
-    (
-        String::from_utf8_lossy(&out.stdout).into_owned(),
-        String::from_utf8_lossy(&out.stderr).into_owned(),
-        out.status.success(),
-    )
-}
+mod common;
+use common::{run, run_with_stdin, run_with_stdin_bytes};
 
 fn estimate_line<'a>(stdout: &'a str, needle: &str) -> &'a str {
     stdout.lines().find(|l| l.contains(needle)).unwrap_or_else(|| panic!("no {needle}: {stdout}"))

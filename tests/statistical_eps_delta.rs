@@ -13,14 +13,17 @@
 //! Every estimator path the engine exposes runs over the same fixtures:
 //! Serial and Deterministic policies, each with batched union estimation
 //! on and off, plus unshared controls for the sample-pass frontier
-//! sharing layer (D9). The small smoke versions run in tier-1; the heavyweight
+//! sharing layer (D9) — and the same policy × batching grid again over
+//! the nROBP substrate (D14), whose node graph doubles as its exact
+//! oracle. The small smoke versions run in tier-1; the heavyweight
 //! versions are `#[ignore]`d locally and executed by the CI job
 //! `cargo test --release -- --ignored`.
 
 use fpras_automata::exact::count_exact;
+use fpras_automata::robp::Robp;
 use fpras_automata::Nfa;
-use fpras_core::{run_parallel, FprasRun, Params};
-use fpras_workloads::families;
+use fpras_core::{run_parallel, run_robp_parallel, FprasRun, Params};
+use fpras_workloads::{families, random_robp, RandomRobpConfig};
 use rand::{rngs::SmallRng, SeedableRng};
 
 /// Per-assertion false-failure budget of the harness itself.
@@ -119,6 +122,97 @@ fn run_harness(trials: usize, eps: f64, delta: f64, seed_base: u64) {
     }
 }
 
+/// One nROBP instance with exact ground truth. The node graph doubles
+/// as the exact oracle: `L(P) = L(to_nfa())` restricted to length
+/// `depth`, so the exact DP prices every program.
+struct RobpFixture {
+    label: &'static str,
+    robp: Robp,
+    exact: f64,
+}
+
+fn robp_fixtures() -> Vec<RobpFixture> {
+    let mut out: Vec<RobpFixture> = [
+        ("robp-contains-11", families::contains_substring(&[1, 1]), 8usize),
+        ("robp-ones-mod-4", families::ones_mod_k(4), 8),
+    ]
+    .into_iter()
+    .map(|(label, nfa, n)| RobpFixture {
+        label,
+        robp: Robp::from_nfa(&nfa, n).expect("non-empty slice"),
+        exact: 0.0,
+    })
+    .collect();
+    // A genuinely branching random program (not an NFA re-encoding).
+    out.push(RobpFixture {
+        label: "robp-rand-8x4",
+        robp: random_robp(&RandomRobpConfig::default(), &mut SmallRng::seed_from_u64(23)),
+        exact: 0.0,
+    });
+    for fx in &mut out {
+        fx.exact = count_exact(&fx.robp.to_nfa(), fx.robp.depth()).expect("exact DP").to_f64();
+        assert!(fx.exact > 0.0, "{}: fixture must be non-empty", fx.label);
+    }
+    out
+}
+
+/// An nROBP estimator path under test, mirroring [`Estimator`].
+type RobpEstimator = dyn Fn(&Robp, &Params, u64) -> f64;
+
+/// The substrate-generic paths over the nROBP front-end: both policies,
+/// batched and unbatched union estimation. (The share knob is already
+/// locked down substrate-independently by the NFA grid above.)
+fn robp_estimator_paths() -> Vec<(&'static str, Box<RobpEstimator>)> {
+    let serial = |batch: bool| {
+        move |robp: &Robp, params: &Params, seed: u64| {
+            let mut p = params.clone();
+            p.batch_unions = batch;
+            let mut rng = SmallRng::seed_from_u64(seed);
+            FprasRun::run_robp(robp, &p, &mut rng).expect("run").estimate().to_f64()
+        }
+    };
+    let deterministic = |batch: bool| {
+        move |robp: &Robp, params: &Params, seed: u64| {
+            let mut p = params.clone();
+            p.batch_unions = batch;
+            run_robp_parallel(robp, &p, seed, 4).expect("run").estimate().to_f64()
+        }
+    };
+    vec![
+        ("robp-serial+batched", Box::new(serial(true))),
+        ("robp-serial+unbatched", Box::new(serial(false))),
+        ("robp-deterministic+batched", Box::new(deterministic(true))),
+        ("robp-deterministic+unbatched", Box::new(deterministic(false))),
+    ]
+}
+
+/// [`run_harness`] over the nROBP substrate: same Chernoff envelope,
+/// same seeding discipline, exact counts from the node-graph oracle.
+fn run_robp_harness(trials: usize, eps: f64, delta: f64, seed_base: u64) {
+    let allowed = max_failures(trials, delta);
+    assert!(
+        allowed < trials,
+        "vacuous harness: {trials} trials cannot violate an allowance of {allowed} — raise trials"
+    );
+    for fx in robp_fixtures() {
+        let params = Params::practical(eps, delta, fx.robp.num_nodes(), fx.robp.depth());
+        for (path, estimate) in robp_estimator_paths() {
+            let failures = (0..trials)
+                .filter(|&t| {
+                    let est = estimate(&fx.robp, &params, seed_base + t as u64);
+                    (est - fx.exact).abs() / fx.exact > eps
+                })
+                .count();
+            assert!(
+                failures <= allowed,
+                "{}/{path}: {failures}/{trials} runs failed ε = {eps} \
+                 (allowed {allowed} at δ = {delta}, α = {ALPHA})",
+                fx.label
+            );
+        }
+    }
+}
+
 /// Tier-1 smoke: few trials, loose ε — verifies the harness machinery
 /// and catches gross estimator breakage (e.g. an estimator that always
 /// misses) without slowing `cargo test`. Ten trials is the smallest
@@ -126,6 +220,19 @@ fn run_harness(trials: usize, eps: f64, delta: f64, seed_base: u64) {
 #[test]
 fn eps_delta_smoke() {
     run_harness(10, 0.35, 0.1, 41_000);
+}
+
+/// Tier-1 smoke for the nROBP estimator grid.
+#[test]
+fn robp_eps_delta_smoke() {
+    run_robp_harness(10, 0.35, 0.1, 44_000);
+}
+
+/// The full nROBP statistical lockdown (CI: `--ignored` release job).
+#[test]
+#[ignore = "statistical heavyweight; run in release via CI's --ignored job"]
+fn robp_eps_delta_full() {
+    run_robp_harness(60, 0.3, 0.1, 45_000);
 }
 
 /// The full statistical lockdown (CI: `cargo test --release -- --ignored`).
