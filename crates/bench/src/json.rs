@@ -56,6 +56,10 @@ pub struct CounterMeasurement {
     /// entry — the allocations the pre-interner hot path paid per key
     /// (zero for exact and baseline rows).
     pub intern_hits: u64,
+    /// Wall time attributed to the engine's per-level phases
+    /// (plan/count/share/sample/merge — D15; all-zero for exact and
+    /// baseline rows). Emitted as five flat `phase_*_s` columns.
+    pub phase: fpras_core::PhaseWall,
     /// Parallel efficiency `wall₁ / (wallₜ · t)` against the same
     /// instance's `fpras(ours)` `threads = 1` row (1.0 = ideal linear
     /// scaling; `None` for serial, control, and exact rows). Interpret
@@ -126,6 +130,7 @@ fn measure(
         pool_steals: r.pool_steals,
         distinct_frontiers: r.distinct_frontiers,
         intern_hits: r.intern_hits,
+        phase: r.phase,
         parallel_efficiency: None,
         host_cpus: host_cpus(),
         queries_served: 1,
@@ -196,12 +201,15 @@ fn service_trace_rows(quick: bool, seed: u64) -> Vec<CounterMeasurement> {
     let session_wall = start.elapsed();
     let totals = registry.session_totals();
     let mut session_ops = 0;
+    let mut session_phase = fpras_core::PhaseWall::default();
     for (i, nfa) in automata.iter().enumerate() {
-        session_ops += registry
+        let stats = registry
             .session(nfa, &params[i], &policy)
             .expect("session already cached")
             .run_stats()
-            .membership_ops;
+            .clone();
+        session_ops += stats.membership_ops;
+        session_phase.merge(&stats.phase);
     }
     let session_row = CounterMeasurement {
         instance: instance.clone(),
@@ -217,6 +225,7 @@ fn service_trace_rows(quick: bool, seed: u64) -> Vec<CounterMeasurement> {
         pool_steals: 0,
         distinct_frontiers: 0,
         intern_hits: 0,
+        phase: session_phase,
         parallel_efficiency: None,
         host_cpus: host_cpus(),
         queries_served: totals.queries_served,
@@ -233,11 +242,13 @@ fn service_trace_rows(quick: bool, seed: u64) -> Vec<CounterMeasurement> {
     // differs.
     let start = Instant::now();
     let mut control_ops = 0;
+    let mut control_phase = fpras_core::PhaseWall::default();
     let mut last_control = fpras_numeric::ExtFloat::ZERO;
     for q in &trace {
         let run = run_parallel(&automata[q.automaton], q.len, &params[q.automaton], seed, 1)
             .expect("control run");
         control_ops += run.stats().membership_ops;
+        control_phase.merge(&run.stats().phase);
         last_control = run.estimate();
     }
     let control_wall = start.elapsed();
@@ -260,6 +271,7 @@ fn service_trace_rows(quick: bool, seed: u64) -> Vec<CounterMeasurement> {
         pool_steals: 0,
         distinct_frontiers: 0,
         intern_hits: 0,
+        phase: control_phase,
         parallel_efficiency: None,
         host_cpus: host_cpus(),
         queries_served: queries as u64,
@@ -413,6 +425,11 @@ pub fn to_json(measurements: &[CounterMeasurement]) -> String {
         s.push_str(&format!("\"pool_steals\": {}, ", m.pool_steals));
         s.push_str(&format!("\"distinct_frontiers\": {}, ", m.distinct_frontiers));
         s.push_str(&format!("\"intern_hits\": {}, ", m.intern_hits));
+        s.push_str(&format!("\"phase_plan_s\": {}, ", number(m.phase.plan.as_secs_f64())));
+        s.push_str(&format!("\"phase_count_s\": {}, ", number(m.phase.count.as_secs_f64())));
+        s.push_str(&format!("\"phase_share_s\": {}, ", number(m.phase.share.as_secs_f64())));
+        s.push_str(&format!("\"phase_sample_s\": {}, ", number(m.phase.sample.as_secs_f64())));
+        s.push_str(&format!("\"phase_merge_s\": {}, ", number(m.phase.merge.as_secs_f64())));
         s.push_str(&format!(
             "\"parallel_efficiency\": {}, ",
             m.parallel_efficiency.map_or("null".to_string(), number)
@@ -548,6 +565,13 @@ mod tests {
                 pool_steals: 5,
                 distinct_frontiers: 11,
                 intern_hits: 42,
+                phase: fpras_core::PhaseWall {
+                    plan: std::time::Duration::from_millis(5),
+                    count: std::time::Duration::from_millis(125),
+                    share: std::time::Duration::from_millis(10),
+                    sample: std::time::Duration::from_millis(80),
+                    merge: std::time::Duration::from_millis(30),
+                },
                 parallel_efficiency: Some(0.5),
                 host_cpus: 4,
                 queries_served: 12,
@@ -572,6 +596,7 @@ mod tests {
                 pool_steals: 0,
                 distinct_frontiers: 0,
                 intern_hits: 0,
+                phase: fpras_core::PhaseWall::default(),
                 parallel_efficiency: None,
                 host_cpus: 4,
                 queries_served: 1,
@@ -593,6 +618,12 @@ mod tests {
         assert!(doc.contains("\"pool_steals\": 5"));
         assert!(doc.contains("\"distinct_frontiers\": 11"));
         assert!(doc.contains("\"intern_hits\": 42"));
+        assert!(doc.contains("\"phase_plan_s\": 0.005"));
+        assert!(doc.contains("\"phase_count_s\": 0.125"));
+        assert!(doc.contains("\"phase_share_s\": 0.01"));
+        assert!(doc.contains("\"phase_sample_s\": 0.08"));
+        assert!(doc.contains("\"phase_merge_s\": 0.03"));
+        assert!(doc.contains("\"phase_count_s\": 0,"), "all-zero phase for exact rows");
         assert!(doc.contains("\"parallel_efficiency\": 0.5"));
         assert!(doc.contains("\"parallel_efficiency\": null"));
         assert!(doc.contains("\"host_cpus\": 4"));
@@ -654,6 +685,10 @@ mod tests {
             .expect("dense fpras row");
         assert!(dense.distinct_frontiers > 0, "interner must store frontiers");
         assert!(dense.intern_hits > 0, "dense-random must re-intern frontiers");
+        // Phase attribution (D15): engine rows carry a nonzero phase
+        // breakdown that never exceeds the row's total wall.
+        assert!(dense.phase.total() > std::time::Duration::ZERO, "phase wall must accrue");
+        assert!(dense.phase.total().as_secs_f64() <= dense.wall_seconds, "phases ⊆ wall");
         assert!(ms.iter().any(|m| m.method == "fpras(unbatched)"));
         assert!(ms.iter().any(|m| m.method == "fpras(unshared)"));
         // The large skewed instances are present, thread-identical, and

@@ -26,7 +26,7 @@ use crate::json::CounterMeasurement;
 use fpras_core::service::{
     AdmissionController, QuotaConfig, ServiceRegistry, SessionKey, SessionPolicy,
 };
-use fpras_core::{FprasError, Params};
+use fpras_core::{FprasError, LatencyHistogram, Params, PhaseWall};
 use fpras_workloads::{families, query_trace, QueryTraceConfig};
 use rand::{rngs::SmallRng, SeedableRng};
 use std::time::Instant;
@@ -34,15 +34,6 @@ use std::time::Instant;
 /// Hardware threads on the recording host.
 fn host_cpus() -> usize {
     std::thread::available_parallelism().map_or(1, |n| n.get())
-}
-
-/// Percentile of an already-sorted latency vector (nearest-rank).
-fn percentile(sorted_us: &[f64], p: f64) -> f64 {
-    if sorted_us.is_empty() {
-        return 0.0;
-    }
-    let rank = ((p / 100.0) * sorted_us.len() as f64).ceil() as usize;
-    sorted_us[rank.saturating_sub(1).min(sorted_us.len() - 1)]
 }
 
 /// One serve-equivalent pass over the trace: per-query admission
@@ -62,7 +53,12 @@ fn run_load(
     let mut registry = ServiceRegistry::new(automata.len());
     let mut admission = AdmissionController::new(quota);
     let mut ledgers = vec![0u64; automata.len()];
-    let mut latencies_us = Vec::with_capacity(trace.len());
+    // The per-query distribution lives in a mergeable log-bucketed
+    // histogram (the same type the serve layer aggregates per tenant) —
+    // no raw-sample vector, no end-of-run sort. Quantiles come out as
+    // bucket upper edges: within one power-of-2 bucket of the exact
+    // nearest-rank statistic.
+    let mut latency = LatencyHistogram::default();
     let mut last = fpras_numeric::ExtFloat::ZERO;
     let start = Instant::now();
     for q in trace {
@@ -77,7 +73,7 @@ fn run_load(
             .expect("load params are valid by construction");
         let needed = q.len.saturating_sub(session.levels_built()) as u64;
         if admission.admit_levels(ledgers[q.automaton], needed).is_err() {
-            latencies_us.push(t0.elapsed().as_secs_f64() * 1e6);
+            latency.record_duration(t0.elapsed());
             continue;
         }
         session
@@ -89,12 +85,15 @@ fn run_load(
             Err(e) => panic!("load query failed: {e}"),
         }
         ledgers[q.automaton] += (session.levels_built() - built_before) as u64;
-        latencies_us.push(t0.elapsed().as_secs_f64() * 1e6);
+        latency.record_duration(t0.elapsed());
     }
     let wall = start.elapsed();
     let totals = registry.session_totals();
     let ops: u64 = registry.sessions().map(|s| s.run_stats().membership_ops).sum();
-    latencies_us.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let mut phase = PhaseWall::default();
+    for s in registry.sessions() {
+        phase.merge(&s.run_stats().phase);
+    }
     CounterMeasurement {
         instance: instance.to_string(),
         method: method.to_string(),
@@ -112,13 +111,14 @@ fn run_load(
         pool_steals: 0,
         distinct_frontiers: 0,
         intern_hits: 0,
+        phase,
         parallel_efficiency: None,
         host_cpus: host_cpus(),
         queries_served: totals.queries_served,
         levels_reused: totals.levels_reused,
         us_per_query: Some(wall.as_secs_f64() * 1e6 / trace.len() as f64),
-        p50_us: Some(percentile(&latencies_us, 50.0)),
-        p99_us: Some(percentile(&latencies_us, 99.0)),
+        p50_us: latency.quantile(0.5).map(|us| us as f64),
+        p99_us: latency.quantile(0.99).map(|us| us as f64),
         quota_rejections: admission.stats().quota_rejections(),
         reuse_rate: Some(totals.reuse_rate()),
     }
@@ -169,14 +169,29 @@ pub fn load_harness_rows(quick: bool, seed: u64) -> Vec<CounterMeasurement> {
 mod tests {
     use super::*;
 
+    /// The histogram quantiles that replaced the hand-rolled
+    /// nearest-rank sort must stay within one power-of-2 bucket of the
+    /// exact statistic — that is the bound the refreshed
+    /// `BENCH_counter.json` latency columns are held to.
     #[test]
-    fn percentile_is_nearest_rank() {
-        let v = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0];
-        assert_eq!(percentile(&v, 50.0), 5.0);
-        assert_eq!(percentile(&v, 99.0), 10.0);
-        assert_eq!(percentile(&v, 100.0), 10.0);
-        assert_eq!(percentile(&[42.0], 50.0), 42.0);
-        assert_eq!(percentile(&[], 50.0), 0.0);
+    fn histogram_quantiles_within_one_bucket_of_nearest_rank() {
+        let samples: Vec<u64> = vec![3, 3, 5, 9, 17, 17, 33, 65, 129, 900];
+        let mut hist = LatencyHistogram::default();
+        for &s in &samples {
+            hist.record(s);
+        }
+        for q in [0.5, 0.99] {
+            let mut sorted = samples.clone();
+            sorted.sort_unstable();
+            let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+            let exact = sorted[rank - 1];
+            let edge = hist.quantile(q).expect("non-empty");
+            // The containing bucket's upper edge: at least the exact
+            // value, and less than one doubling above it.
+            assert!(edge >= exact, "q={q}: edge {edge} < exact {exact}");
+            assert!(edge < 2 * (exact + 1), "q={q}: edge {edge} ≥ 2·({exact}+1)");
+            assert!((edge + 1).is_power_of_two(), "edges are 2^k - 1, got {edge}");
+        }
     }
 
     #[test]
@@ -191,9 +206,13 @@ mod tests {
         assert_eq!(free.quota_rejections, 0);
         assert!(free.levels_reused > 0, "locality must produce reuse");
         assert!(free.reuse_rate.expect("trace row") > 0.5, "{:?}", free.reuse_rate);
-        // The tail is the cold builds; the median is a reuse hit.
+        // The tail is the cold builds; the median is a reuse hit. Both
+        // quantiles are histogram bucket upper edges (2^k − 1 µs).
         let (p50, p99) = (free.p50_us.expect("p50"), free.p99_us.expect("p99"));
         assert!(p50 <= p99, "p50 {p50} > p99 {p99}");
+        for v in [p50, p99] {
+            assert!((v as u64 + 1).is_power_of_two(), "not a bucket edge: {v}");
+        }
         // Quota'd: over-ledger queries shed, the rest still served —
         // and denial is free, so served answers agree with the
         // unlimited run (same seed ⇒ same levels ⇒ same estimates).

@@ -436,6 +436,11 @@ pub(crate) fn run_level<P: ExecutionPolicy>(
     let params = ctx.params;
     let m = ctx.m;
     let substrate = ctx.substrate;
+    // Phase attribution (DESIGN.md D15): pure clock reads around each
+    // phase, accumulated incrementally so a budget abort mid-level
+    // still leaves the finished phases attributed. Observation only —
+    // no RNG stream and no estimate is touched.
+    let phase_start = Instant::now();
     let useful: Vec<StateId> = (0..m as StateId)
         .filter(|&q| {
             let reachable = substrate.reachable(ell).contains(q as usize);
@@ -453,10 +458,29 @@ pub(crate) fn run_level<P: ExecutionPolicy>(
     let plan = LevelPlan::build(ctx, ell, &useful);
     stats.batch.groups_formed += plan.groups().len() as u64;
     stats.batch.unions_skipped += plan.empty_pairs();
+    let plan_wall = phase_start.elapsed();
+    stats.phase.plan += plan_wall;
+    crate::obs::emit_with(|| crate::obs::TraceEvent::Pass {
+        level: ell,
+        phase: "plan",
+        items: plan.groups().len() as u64,
+        wall_us: plan_wall.as_micros() as u64,
+    });
+
+    let count_start = Instant::now();
     let pass = policy.count_pass(ctx, &plan, table, ops_remaining);
+    let count_wall = count_start.elapsed();
+    stats.phase.count += count_wall;
+    crate::obs::emit_with(|| crate::obs::TraceEvent::Pass {
+        level: ell,
+        phase: "count",
+        items: useful.len() as u64,
+        wall_us: count_wall.as_micros() as u64,
+    });
     debug_assert!(pass.groups.len() <= plan.groups().len(), "count pass exceeds group list");
     debug_assert!(pass.cells.len() <= useful.len(), "count pass output exceeds cell list");
     let count_truncated = pass.cells.len() < useful.len();
+    let merge_start = Instant::now();
     for (gi, out) in pass.groups.iter().enumerate() {
         stats.merge(&out.stats);
         // Seed the sampler's memo with the high-precision count-phase
@@ -479,10 +503,12 @@ pub(crate) fn run_level<P: ExecutionPolicy>(
     for out in pass.cells {
         table.cell_mut(ell, out.q as usize).n_est = out.n_est;
     }
+    stats.phase.merge += merge_start.elapsed();
     check_budget(params, stats)?;
     debug_assert!(!count_truncated, "a pass may only stop early when the budget is spent");
 
     // ---- Sharing pre-pass (D9): seed the hot sampler frontiers ----
+    let share_start = Instant::now();
     let live: Vec<StateId> =
         useful.iter().copied().filter(|&q| !table.cell(ell, q as usize).n_est.is_zero()).collect();
     if params.share_sampler_frontiers && params.memoize_unions {
@@ -500,22 +526,48 @@ pub(crate) fn run_level<P: ExecutionPolicy>(
             memo.insert_first_wins(job.key, out.estimate, MemoTier::Shared);
             stats.share.frontiers_preestimated += 1;
         }
+        let share_wall = share_start.elapsed();
+        stats.phase.share += share_wall;
+        crate::obs::emit_with(|| crate::obs::TraceEvent::Pass {
+            level: ell,
+            phase: "share",
+            items: jobs.len() as u64,
+            wall_us: share_wall.as_micros() as u64,
+        });
         check_budget(params, stats)?;
         debug_assert!(!share_truncated, "a pass may only stop early when the budget is spent");
+    } else {
+        stats.phase.share += share_start.elapsed();
     }
 
     // Commit the level's seeds (count tier + shared tier, plus the
     // previous level's sampler insertions) into the immutable base
     // layer, so the whole sample pass shares one O(1) snapshot.
+    let commit_start = Instant::now();
     let promoted = memo.commit();
     stats.memo.commits += 1;
     stats.memo.entries_promoted += promoted as u64;
+    stats.phase.merge += commit_start.elapsed();
+    crate::obs::emit_with(|| crate::obs::TraceEvent::MemoCommit {
+        level: ell,
+        promoted: promoted as u64,
+    });
 
     // ---- Pass 2: sample phase (live cells only) ----
     let ops_remaining = params.max_membership_ops.map(|b| b.saturating_sub(stats.membership_ops));
+    let sample_start = Instant::now();
     let sampled = policy.sample_pass(ctx, ell, &live, table, memo, ops_remaining);
+    let sample_wall = sample_start.elapsed();
+    stats.phase.sample += sample_wall;
+    crate::obs::emit_with(|| crate::obs::TraceEvent::Pass {
+        level: ell,
+        phase: "sample",
+        items: live.len() as u64,
+        wall_us: sample_wall.as_micros() as u64,
+    });
     debug_assert!(sampled.len() <= live.len(), "sample pass output exceeds cell list");
     let sample_truncated = sampled.len() < live.len();
+    let merge_start = Instant::now();
     for out in sampled {
         stats.merge(&out.stats);
         stats.samples_stored += out.genuine as u64;
@@ -525,6 +577,14 @@ pub(crate) fn run_level<P: ExecutionPolicy>(
         }
         table.cell_mut(ell, out.q as usize).samples = out.samples;
     }
+    let merge_wall = merge_start.elapsed();
+    stats.phase.merge += merge_wall;
+    crate::obs::emit_with(|| crate::obs::TraceEvent::Pass {
+        level: ell,
+        phase: "merge",
+        items: promoted as u64,
+        wall_us: merge_wall.as_micros() as u64,
+    });
     check_budget(params, stats)?;
     debug_assert!(!sample_truncated, "a pass may only stop early when the budget is spent");
     Ok(())
@@ -587,13 +647,16 @@ pub fn run_with_policy<P: ExecutionPolicy>(
         )));
     }
     let start = Instant::now();
-    let degenerate = |estimate: ExtFloat, accepts_lambda: bool| FprasRun {
-        inner: None,
-        n,
-        estimate,
-        params: params.clone(),
-        stats: RunStats { wall: start.elapsed(), ..RunStats::default() },
-        accepts_lambda,
+    let degenerate = |estimate: ExtFloat, accepts_lambda: bool| {
+        let wall = start.elapsed();
+        FprasRun {
+            inner: None,
+            n,
+            estimate,
+            params: params.clone(),
+            stats: RunStats { wall, wall_max: wall, ..RunStats::default() },
+            accepts_lambda,
+        }
     };
 
     // n = 0: the DP is about positive-length words; answer directly.
@@ -651,6 +714,13 @@ fn run_on_substrate<P: ExecutionPolicy>(
     let mut memo = UnionMemo::new();
     let mut stats = RunStats::default();
 
+    crate::obs::emit_with(|| crate::obs::TraceEvent::RunStart {
+        substrate: ctx.substrate.kind(),
+        policy: policy.name(),
+        n,
+        from_level: 1,
+    });
+
     seed_level_zero(&mut table, &*substrate, params);
 
     for ell in 1..=n {
@@ -665,6 +735,21 @@ fn run_on_substrate<P: ExecutionPolicy>(
     // Interner evidence (§2.5): snapshot of the run's key traffic.
     stats.intern = interner.stats();
     stats.wall = start.elapsed();
+    stats.wall_max = stats.wall;
+    if crate::obs::trace_enabled() {
+        if stats.pool.parallel_passes + stats.pool.sequential_passes > 0 {
+            crate::obs::emit_with(|| crate::obs::TraceEvent::PoolSummary {
+                parallel_passes: stats.pool.parallel_passes,
+                sequential_passes: stats.pool.sequential_passes,
+                items: stats.pool.parallel_items + stats.pool.sequential_items,
+                steals: stats.pool.steals,
+            });
+        }
+        crate::obs::emit_with(|| crate::obs::TraceEvent::RunEnd {
+            ops: stats.membership_ops,
+            wall_us: stats.wall.as_micros() as u64,
+        });
+    }
     Ok(FprasRun {
         inner: Some(RunInner { substrate, table, memo, interner, sampler_seed, q_final }),
         n,
@@ -697,12 +782,13 @@ pub fn run_robp_with_policy<P: ExecutionPolicy>(
     let start = Instant::now();
     let substrate = RobpSubstrate::new(robp);
     if !substrate.language_nonempty() {
+        let wall = start.elapsed();
         return Ok(FprasRun {
             inner: None,
             n,
             estimate: ExtFloat::ZERO,
             params: params.clone(),
-            stats: RunStats { wall: start.elapsed(), ..RunStats::default() },
+            stats: RunStats { wall, wall_max: wall, ..RunStats::default() },
             accepts_lambda: false,
         });
     }

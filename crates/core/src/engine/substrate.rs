@@ -36,6 +36,13 @@ use fpras_automata::{Nfa, StateSet, StepMasks, Unrolling, Word};
 /// set arithmetic behind it. `Send + Sync` because the `Deterministic`
 /// policy fans passes out over its work-stealing pool.
 pub trait LeveledSubstrate: Send + Sync {
+    /// Short substrate label for diagnostics and trace events
+    /// (`"nfa"` / `"robp"`). Purely observational — nothing on the DP
+    /// path reads it.
+    fn kind(&self) -> &'static str {
+        "substrate"
+    }
+
     /// Size of the cell universe (the `m` of the run): cell ids are
     /// `0..universe()` and every [`StateSet`] exchanged with the engine
     /// ranges over it.
@@ -113,6 +120,10 @@ impl NfaSubstrate {
 }
 
 impl LeveledSubstrate for NfaSubstrate {
+    fn kind(&self) -> &'static str {
+        "nfa"
+    }
+
     fn universe(&self) -> usize {
         self.nfa.num_states()
     }
@@ -238,6 +249,10 @@ impl RobpSubstrate {
 }
 
 impl LeveledSubstrate for RobpSubstrate {
+    fn kind(&self) -> &'static str {
+        "robp"
+    }
+
     fn universe(&self) -> usize {
         self.graph.num_states()
     }

@@ -54,6 +54,7 @@
 //! | [`params`] | parameter derivations (paper + practical profiles) |
 //! | [`generator`] | counting↔sampling inter-reducibility (§1.1) |
 //! | [`median`] | median-of-runs confidence amplification |
+//! | [`obs`] | phase-attributed timing, latency histograms, structured trace sink, metrics exposition (DESIGN.md D15) |
 //!
 //! Faithfulness deviations are catalogued in `DESIGN.md` §3 and are all
 //! switchable through [`Params`].
@@ -67,6 +68,7 @@ pub mod error;
 pub mod generator;
 pub mod intern;
 pub mod median;
+pub mod obs;
 pub mod params;
 pub mod run_stats;
 pub mod sample_set;
@@ -85,6 +87,9 @@ pub use error::FprasError;
 pub use generator::UniformGenerator;
 pub use intern::{FrontierId, FrontierInterner, InternStats};
 pub use median::{median_amplified, median_amplified_parallel, runs_needed, MedianEstimate};
+pub use obs::{
+    JsonlSink, LatencyHistogram, MemorySink, PhaseWall, PromText, TraceEvent, TraceSink,
+};
 pub use params::{CursorPolicy, Params, Profile};
 pub use run_stats::{BatchStats, MemoStats, PoolStats, RunStats, ShareStats};
 pub use sample_set::{SampleEntry, SampleSet};

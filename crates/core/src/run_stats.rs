@@ -7,6 +7,7 @@
 //! lives here so the algorithms stay free of ad-hoc logging.
 
 use crate::intern::InternStats;
+use crate::obs::PhaseWall;
 use std::time::Duration;
 
 /// Counters for the batched union-estimation layer (engine `LevelPlan`).
@@ -245,8 +246,22 @@ pub struct RunStats {
     /// Frontier-interner counters (§2.5): distinct frontiers, hash-cons
     /// hits and arena footprint for the run's `FrontierInterner`.
     pub intern: InternStats,
-    /// Wall-clock duration of the run.
+    /// Level-loop wall time attributed to the plan/count/share/sample/
+    /// merge phases (DESIGN.md D15). Sums level-wise within a run and
+    /// block-wise under [`merge`](RunStats::merge), like every other
+    /// stat block.
+    pub phase: PhaseWall,
+    /// Wall-clock duration of the run. Under [`merge`](RunStats::merge)
+    /// this field **sums** — serial-equivalent time, not elapsed time:
+    /// merging two sessions that ran concurrently reports more `wall`
+    /// than a clock on the wall showed. Use
+    /// [`wall_total`](RunStats::wall_total) /
+    /// [`wall_longest`](RunStats::wall_longest) to pick the semantics
+    /// explicitly when reporting aggregates.
     pub wall: Duration,
+    /// Largest single merged `wall` contribution (equal to `wall` for
+    /// an un-merged run). See [`wall_longest`](RunStats::wall_longest).
+    pub wall_max: Duration,
 }
 
 impl RunStats {
@@ -277,7 +292,31 @@ impl RunStats {
         self.samples_stored as f64 / self.cells_processed as f64
     }
 
+    /// Total wall across everything merged into these stats — the
+    /// **sum** of each run's serial time, CPU-time-like. The right
+    /// number for "how much work was done", and an over-count of
+    /// elapsed time whenever the merged runs overlapped on the clock.
+    pub fn wall_total(&self) -> Duration {
+        self.wall
+    }
+
+    /// Longest single merged contribution — a lower bound on the
+    /// elapsed wall-clock span of the merged runs, and the right
+    /// number for "how long did this take" when sessions ran
+    /// concurrently. The engine and session layer set `wall_max`
+    /// whenever they set `wall`, so for an un-merged run the two
+    /// accessors agree.
+    pub fn wall_longest(&self) -> Duration {
+        self.wall_max
+    }
+
     /// Accumulates another run's counters (for aggregate reporting).
+    ///
+    /// `wall` sums (see the field docs for the summation contract) and
+    /// `wall_max` tracks the largest single contribution, so both
+    /// [`wall_total`](RunStats::wall_total) and
+    /// [`wall_longest`](RunStats::wall_longest) stay meaningful after
+    /// folding many sessions together.
     pub fn merge(&mut self, other: &RunStats) {
         self.membership_ops += other.membership_ops;
         self.appunion_calls += other.appunion_calls;
@@ -298,7 +337,9 @@ impl RunStats {
         self.share.merge(&other.share);
         self.pool.merge(&other.pool);
         self.intern.merge(&other.intern);
+        self.phase.merge(&other.phase);
         self.wall += other.wall;
+        self.wall_max = self.wall_max.max(other.wall_max);
     }
 }
 
@@ -327,6 +368,45 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.membership_ops, 12);
         assert_eq!(a.sample_calls, 3);
+    }
+
+    #[test]
+    fn merge_splits_wall_total_from_longest() {
+        // Two "concurrent sessions": 30 ms and 50 ms of serial wall.
+        let mk = |ms: u64| RunStats {
+            wall: Duration::from_millis(ms),
+            wall_max: Duration::from_millis(ms),
+            ..Default::default()
+        };
+        let mut agg = RunStats::default();
+        agg.merge(&mk(30));
+        agg.merge(&mk(50));
+        // Total is the serial-equivalent sum; longest is the single
+        // largest contribution (a lower bound on elapsed time).
+        assert_eq!(agg.wall_total(), Duration::from_millis(80));
+        assert_eq!(agg.wall_longest(), Duration::from_millis(50));
+        // An un-merged run reports the same value through both.
+        let solo = mk(30);
+        assert_eq!(solo.wall_total(), solo.wall_longest());
+    }
+
+    #[test]
+    fn merge_accumulates_phase_wall() {
+        let mk = |us: u64| RunStats {
+            phase: PhaseWall {
+                plan: Duration::from_micros(us),
+                count: Duration::from_micros(2 * us),
+                share: Duration::from_micros(3 * us),
+                sample: Duration::from_micros(4 * us),
+                merge: Duration::from_micros(5 * us),
+            },
+            ..Default::default()
+        };
+        let mut a = mk(1);
+        a.merge(&mk(10));
+        assert_eq!(a.phase.plan, Duration::from_micros(11));
+        assert_eq!(a.phase.sample, Duration::from_micros(44));
+        assert_eq!(a.phase.total(), Duration::from_micros(165));
     }
 
     #[test]

@@ -7,6 +7,7 @@ use crate::engine::{
 use crate::error::FprasError;
 use crate::generator::DEFAULT_RETRY_LIMIT;
 use crate::intern::FrontierInterner;
+use crate::obs::LatencyHistogram;
 use crate::params::Params;
 use crate::run_stats::RunStats;
 use crate::sampler::{sample_word, SamplerEnv, SamplerScratch};
@@ -34,6 +35,11 @@ pub struct SessionStats {
     /// Levels a query needed that were already built — the work a
     /// fresh-run-per-query deployment would have paid again.
     pub levels_reused: u64,
+    /// Per-query latency distribution (answered queries only; refused
+    /// and failed queries record nothing, like the counters above).
+    /// Log-bucketed so registry aggregation is a lossless merge — see
+    /// [`LatencyHistogram`].
+    pub latency: LatencyHistogram,
 }
 
 impl SessionStats {
@@ -44,6 +50,7 @@ impl SessionStats {
         self.sample_queries += other.sample_queries;
         self.levels_built += other.levels_built;
         self.levels_reused += other.levels_reused;
+        self.latency.merge(&other.latency);
     }
 
     /// Fraction of query-needed levels answered from the checkpoint.
@@ -452,6 +459,18 @@ impl QuerySession {
             k: substrate.width() as u8,
             sampler_seed: *sampler_seed,
         };
+        let from_level = *built + 1;
+        let substrate_kind = substrate.kind();
+        let policy_label = match &self.policy {
+            PolicyState::Serial { .. } => "serial",
+            PolicyState::Deterministic { .. } => "deterministic",
+        };
+        crate::obs::emit_with(|| crate::obs::TraceEvent::RunStart {
+            substrate: substrate_kind,
+            policy: policy_label,
+            n,
+            from_level,
+        });
         let mut result = Ok(());
         match &mut self.policy {
             PolicyState::Serial { rng } => {
@@ -492,7 +511,15 @@ impl QuerySession {
         // Snapshot (not merge): the interner is cumulative over the
         // session's whole life, so the latest reading is the total.
         self.run_stats.intern = interner.stats();
-        self.run_stats.wall += start.elapsed();
+        let wall = start.elapsed();
+        self.run_stats.wall += wall;
+        // The session's cumulative build wall is one merged contribution
+        // when the registry folds sessions together (wall_longest).
+        self.run_stats.wall_max = self.run_stats.wall;
+        crate::obs::emit_with(|| crate::obs::TraceEvent::RunEnd {
+            ops: self.run_stats.membership_ops,
+            wall_us: wall.as_micros() as u64,
+        });
         if result.is_err() {
             self.poisoned = true;
         }
@@ -526,13 +553,16 @@ impl QuerySession {
     pub fn estimate(&mut self, n: usize) -> Result<ExtFloat, FprasError> {
         self.check_poisoned()?;
         self.check_horizon(n)?;
+        let qstart = std::time::Instant::now();
         let have = self.levels_built();
         if n == 0 {
             self.account_query(0, have, true);
+            self.stats.latency.record_duration(qstart.elapsed());
             return Ok(if self.accepts_lambda { ExtFloat::ONE } else { ExtFloat::ZERO });
         }
         self.ensure_built(n)?;
         self.account_query(n, have, true);
+        self.stats.latency.record_duration(qstart.elapsed());
         let Some(inner) = self.inner.as_ref() else {
             return Ok(ExtFloat::ZERO);
         };
@@ -551,9 +581,11 @@ impl QuerySession {
             return Ok(Vec::new());
         }
         self.check_horizon(b)?;
+        let qstart = std::time::Instant::now();
         let have = self.levels_built();
         self.ensure_built(b)?;
         self.account_query(b, have, true);
+        self.stats.latency.record_duration(qstart.elapsed());
         Ok((a..=b)
             .map(|ell| {
                 if ell == 0 {
@@ -589,14 +621,17 @@ impl QuerySession {
     ) -> Result<Option<Word>, FprasError> {
         self.check_poisoned()?;
         self.check_horizon(n)?;
+        let qstart = std::time::Instant::now();
         let have = self.levels_built();
         if n == 0 {
             self.account_query(0, have, false);
+            self.stats.latency.record_duration(qstart.elapsed());
             return Ok(if self.accepts_lambda { Some(Word::empty()) } else { None });
         }
         self.ensure_built(n)?;
         self.account_query(n, have, false);
         let Some(inner) = self.inner.as_mut() else {
+            self.stats.latency.record_duration(qstart.elapsed());
             return Ok(None);
         };
         let start = std::time::Instant::now();
@@ -627,6 +662,8 @@ impl QuerySession {
             }
         }
         self.query_stats.wall += start.elapsed();
+        self.query_stats.wall_max = self.query_stats.wall;
+        self.stats.latency.record_duration(qstart.elapsed());
         out
     }
 

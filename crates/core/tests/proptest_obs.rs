@@ -1,0 +1,160 @@
+//! Property tests for the observability layer (D15).
+//!
+//! Two families of properties:
+//!
+//! * **Histogram algebra** — [`LatencyHistogram::merge`] must be
+//!   commutative and associative (bucket-wise saturating addition), so
+//!   per-tenant histograms can be folded into service totals in any
+//!   order; and `quantile` must stay within one power-of-2 bucket of
+//!   the exact nearest-rank statistic for any sample set below the
+//!   saturation bucket.
+//! * **Tracing is output-invisible** — whole FPRAS runs on random NFAs
+//!   must be bit-identical cell-for-cell whether or not a trace sink is
+//!   installed. Observability reads the computation; it must never
+//!   touch an RNG stream or an estimate.
+
+use fpras_core::{run_parallel, FprasRun, LatencyHistogram, Params, TraceEvent, TraceSink};
+use fpras_workloads::{random_nfa, RandomNfaConfig};
+use proptest::prelude::*;
+use rand::SeedableRng;
+use std::sync::{Arc, Mutex};
+
+fn hist_of(samples: &[u64]) -> LatencyHistogram {
+    let mut h = LatencyHistogram::default();
+    for &s in samples {
+        h.record(s);
+    }
+    h
+}
+
+/// Compares every observable cell of two runs (same helper shape as the
+/// batching/memo/pool proptests).
+fn assert_runs_identical(a: &FprasRun, b: &FprasRun, label: &str) {
+    assert_eq!(a.estimate().to_f64().to_bits(), b.estimate().to_f64().to_bits(), "{label}: bits");
+    let (Some(m), Some(mb)) = (a.normalized_states(), b.normalized_states()) else {
+        return;
+    };
+    assert_eq!(m, mb, "{label}: normalized size");
+    for ell in 0..=a.n() {
+        for q in 0..m as u32 {
+            assert_eq!(
+                a.cell_estimate(q, ell).map(|e| e.to_f64()),
+                b.cell_estimate(q, ell).map(|e| e.to_f64()),
+                "{label}: N({q},{ell})"
+            );
+            assert_eq!(
+                a.cell_genuine_samples(q, ell),
+                b.cell_genuine_samples(q, ell),
+                "{label}: S({q},{ell})"
+            );
+        }
+    }
+    assert_eq!(a.stats().membership_ops, b.stats().membership_ops, "{label}: ops");
+    assert_eq!(a.stats().sample_calls, b.stats().sample_calls, "{label}: sample calls");
+}
+
+/// A clonable sink whose event log outlives `take_sink` (the returned
+/// `Box<dyn TraceSink>` cannot be downcast without `Any`).
+#[derive(Clone, Default)]
+struct SharedSink(Arc<Mutex<Vec<TraceEvent>>>);
+
+impl TraceSink for SharedSink {
+    fn emit(&mut self, event: &TraceEvent) {
+        self.0.lock().expect("sink lock").push(event.clone());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn histogram_merge_is_commutative(
+        xs in proptest::collection::vec(0u64..1u64 << 40, 0..64),
+        ys in proptest::collection::vec(0u64..1u64 << 40, 0..64),
+    ) {
+        let (a, b) = (hist_of(&xs), hist_of(&ys));
+        let mut ab = a;
+        ab.merge(&b);
+        let mut ba = b;
+        ba.merge(&a);
+        prop_assert_eq!(ab, ba);
+        prop_assert_eq!(ab.count(), xs.len() as u64 + ys.len() as u64);
+    }
+
+    #[test]
+    fn histogram_merge_is_associative(
+        xs in proptest::collection::vec(0u64..1u64 << 40, 0..48),
+        ys in proptest::collection::vec(0u64..1u64 << 40, 0..48),
+        zs in proptest::collection::vec(0u64..1u64 << 40, 0..48),
+    ) {
+        let (a, b, c) = (hist_of(&xs), hist_of(&ys), hist_of(&zs));
+        let mut left = a; // (a ⊕ b) ⊕ c
+        left.merge(&b);
+        left.merge(&c);
+        let mut bc = b; // a ⊕ (b ⊕ c)
+        bc.merge(&c);
+        let mut right = a;
+        right.merge(&bc);
+        prop_assert_eq!(left, right);
+    }
+
+    #[test]
+    fn quantile_within_one_bucket_of_nearest_rank(
+        samples in proptest::collection::vec(0u64..1u64 << 30, 1..128),
+        q_pct in 1u32..100,
+    ) {
+        let hist = hist_of(&samples);
+        let q = q_pct as f64 / 100.0;
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        let exact = sorted[rank - 1];
+        let edge = hist.quantile(q).expect("non-empty histogram");
+        prop_assert!(edge >= exact, "edge {} below exact {}", edge, exact);
+        prop_assert!(edge < 2 * (exact + 1), "edge {} ≥ 2·({}+1)", edge, exact);
+    }
+}
+
+proptest! {
+    // Each case runs the engine twice; keep the case count modest.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn tracing_never_changes_a_single_bit(
+        states in 2usize..6,
+        density_tenths in 10u32..26,
+        n in 5usize..9,
+        seed in 0u64..500,
+    ) {
+        let config = RandomNfaConfig {
+            states,
+            alphabet: 2,
+            density: density_tenths as f64 / 10.0,
+            accepting: 1,
+        };
+        let nfa = random_nfa(&config, &mut rand::rngs::SmallRng::seed_from_u64(seed));
+        let params = Params::practical(0.4, 0.2, states, n);
+        let silent = run_parallel(&nfa, n, &params, seed, 2).expect("untraced run");
+        let sink = SharedSink::default();
+        fpras_core::obs::install_sink(Box::new(sink.clone()));
+        let traced = run_parallel(&nfa, n, &params, seed, 2);
+        fpras_core::obs::take_sink();
+        let traced = traced.expect("traced run");
+        assert_runs_identical(&silent, &traced, &format!("traced seed {seed}"));
+        // The sink actually saw the run: a RunStart/RunEnd pair plus at
+        // least one per-level Pass event.
+        let events = sink.0.lock().expect("sink lock");
+        prop_assert!(
+            matches!(events.first(), Some(TraceEvent::RunStart { .. })),
+            "first event: {:?}", events.first()
+        );
+        prop_assert!(
+            events.iter().any(|e| matches!(e, TraceEvent::Pass { .. })),
+            "no Pass events among {}", events.len()
+        );
+        prop_assert!(
+            events.iter().any(|e| matches!(e, TraceEvent::RunEnd { .. })),
+            "no RunEnd among {}", events.len()
+        );
+    }
+}

@@ -47,7 +47,8 @@ use fpras_core::service::{
     SessionStats,
 };
 use fpras_core::{
-    run_parallel, run_robp_parallel, FprasError, FprasRun, Params, RunStats, UniformGenerator,
+    run_parallel, run_robp_parallel, FprasError, FprasRun, JsonlSink, Params, PromText, RunStats,
+    TraceEvent, UniformGenerator,
 };
 use fpras_numeric::ExtFloat;
 use rand::{rngs::SmallRng, SeedableRng};
@@ -69,6 +70,7 @@ struct Args {
     no_batch: bool,
     no_share: bool,
     steal_chunk: Option<usize>,
+    trace_out: Option<String>,
 }
 
 #[derive(Clone, Copy, PartialEq, Eq)]
@@ -85,7 +87,7 @@ fn usage() -> ! {
          \t[--method fpras|path-is|dp|bdd] [--threads T=0]\n\
          \t[--eps E=0.2] [--delta D=0.05] [--seed S=42] [--sample K]\n\
          \t[--enumerate K] [--exact] [--dot] [--stats] [--no-batch]\n\
-         \t[--no-share] [--steal-chunk C=2]\n\
+         \t[--no-share] [--steal-chunk C=2] [--trace-out FILE]\n\
          \n\
          --threads 0 runs the FPRAS engine's Serial policy; T >= 1 runs\n\
          the Deterministic policy on T workers (output depends only on\n\
@@ -95,7 +97,10 @@ fn usage() -> ! {
          --steal-chunk sets the work-stealing executor's claim\n\
          granularity (scheduling-only: any value is bit-identical).\n\
          --stats prints the full run counters, including the batching,\n\
-         memo, sharing, and executor layers' numbers."
+         memo, sharing, executor, and phase-wall numbers.\n\
+         --trace-out streams structured run events (level passes, memo\n\
+         commits, pool summaries) to FILE as JSON lines; tracing is\n\
+         observation-only and never changes an estimate bit."
     );
     std::process::exit(2)
 }
@@ -140,6 +145,7 @@ fn parse_args() -> Args {
         no_batch: false,
         no_share: false,
         steal_chunk: None,
+        trace_out: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -189,6 +195,7 @@ fn parse_args() -> Args {
                         .unwrap_or_else(|| usage()),
                 )
             }
+            "--trace-out" => args.trace_out = Some(value(&mut i)),
             "--method" => {
                 args.method = match value(&mut i).as_str() {
                     "fpras" => Method::Fpras,
@@ -225,9 +232,16 @@ fn parse_args() -> Args {
         usage();
     }
     if args.method != Method::Fpras
-        && (args.stats || args.no_batch || args.no_share || args.steal_chunk.is_some())
+        && (args.stats
+            || args.no_batch
+            || args.no_share
+            || args.steal_chunk.is_some()
+            || args.trace_out.is_some())
     {
-        eprintln!("--stats, --no-batch, --no-share and --steal-chunk require --method fpras");
+        eprintln!(
+            "--stats, --no-batch, --no-share, --steal-chunk and --trace-out require \
+             --method fpras"
+        );
         usage();
     }
     args
@@ -304,7 +318,13 @@ fn report_stats(s: &RunStats) {
         Some(r) => println!("  pool ops balance     {r:.3}"),
         None => println!("  pool ops balance     n/a"),
     }
-    println!("  wall                 {:?}", s.wall);
+    println!("  phase plan           {:?}", s.phase.plan);
+    println!("  phase count          {:?}", s.phase.count);
+    println!("  phase share          {:?}", s.phase.share);
+    println!("  phase sample         {:?}", s.phase.sample);
+    println!("  phase merge          {:?}", s.phase.merge);
+    println!("  wall total           {:?}", s.wall_total());
+    println!("  wall longest         {:?}", s.wall_longest());
 }
 
 /// Shared flags of the `serve`/`query` subcommands.
@@ -359,6 +379,8 @@ fn service_usage(cmd: &str) -> ! {
              \t          [--eps E] [--delta D] [--max-n N]\n\
              \tuse NAME | close NAME\n\
              \testimate N | range A B | sample N [COUNT] | stats | quit\n\
+             \tmetrics            (Prometheus text exposition snapshot)\n\
+             \ttrace on FILE | trace off   (JSONL run-event tracing)\n\
              Named sessions multiplex onto one registry and one shared\n\
              worker pool; --regex/--file at startup opens session\n\
              \"default\". Bad lines and quota denials answer with one\n\
@@ -476,6 +498,11 @@ fn print_session_summary(s: &SessionStats) {
         s.levels_reused,
         s.reuse_rate()
     );
+    // Latency quantiles are bucket upper edges (see LatencyHistogram):
+    // conservative, mergeable across sessions without raw samples.
+    if let (Some(p50), Some(p99)) = (s.latency.quantile(0.5), s.latency.quantile(0.99)) {
+        println!("latency: count={} p50_us<={p50} p99_us<={p99}", s.latency.count());
+    }
 }
 
 /// The `query` exit report: the reuse summary and, under `--stats`, the
@@ -583,7 +610,13 @@ fn open_tenant(
     if tenants.iter().any(|t| t.name == name) {
         return Err(format!("session {name:?} already open (select it with: use {name})"));
     }
-    admission.admit_session(tenants.len()).map_err(|d| d.to_string())?;
+    admission.admit_session(tenants.len()).map_err(|d| {
+        fpras_core::obs::emit_with(|| TraceEvent::QuotaDenied {
+            tenant: name.to_string(),
+            reason: d.to_string(),
+        });
+        d.to_string()
+    })?;
     let nfa = load_automaton(spec.regex.as_deref(), spec.file.as_deref())?;
     let params = Params::for_session(spec.eps, spec.delta, nfa.num_states(), spec.max_n);
     let policy = if spec.threads == 0 {
@@ -599,6 +632,7 @@ fn open_tenant(
         nfa.num_transitions(),
         policy.label()
     );
+    fpras_core::obs::emit_with(|| TraceEvent::SessionOpen { tenant: name.to_string() });
     tenants.push(Tenant { name: name.to_string(), nfa, params, policy, key, levels_ledger: 0 });
     Ok(line)
 }
@@ -618,10 +652,78 @@ fn admit_query<'r>(
         .session_with_key_recycled(tenant.key.clone(), &tenant.nfa, &tenant.params, &tenant.policy)
         .map_err(|e| e.to_string())?;
     let needed = horizon.saturating_sub(session.levels_built()) as u64;
-    admission.admit_levels(tenant.levels_ledger, needed).map_err(|d| d.to_string())?;
+    admission.admit_levels(tenant.levels_ledger, needed).map_err(|d| {
+        fpras_core::obs::emit_with(|| TraceEvent::QuotaDenied {
+            tenant: tenant.name.clone(),
+            reason: d.to_string(),
+        });
+        d.to_string()
+    })?;
     let cap = admission.per_query_ops_cap(session.run_stats().membership_ops);
     session.set_build_ops_budget(cap);
     Ok((session, recycled))
+}
+
+/// The serve `metrics` response: a Prometheus text-format snapshot of
+/// the registry, admission, and latency surfaces. Counters are
+/// cumulative over the process (evicted sessions included — the
+/// registry folds their stats into `session_totals`).
+fn render_metrics(
+    tenants: usize,
+    registry: &ServiceRegistry,
+    admission: &AdmissionController,
+) -> String {
+    let totals = registry.session_totals();
+    let r = registry.stats();
+    let mut prom = PromText::new();
+    prom.gauge("fpras_open_tenants", "Named serve sessions currently open.", tenants as f64)
+        .counter(
+            "fpras_sessions_created_total",
+            "Sessions compiled from scratch (registry misses).",
+            r.sessions_created,
+        )
+        .counter("fpras_session_hits_total", "Queries routed to a cached session.", r.session_hits)
+        .counter(
+            "fpras_sessions_evicted_total",
+            "Sessions evicted by the LRU policy.",
+            r.sessions_evicted,
+        )
+        .counter(
+            "fpras_sessions_recycled_total",
+            "Poisoned sessions replaced by a fresh compile.",
+            r.sessions_recycled,
+        )
+        .counter(
+            "fpras_pool_workers_spawned_total",
+            "OS worker threads spawned across shared pools.",
+            r.pool_workers_spawned,
+        )
+        .counter(
+            "fpras_queries_served_total",
+            "Queries answered across every session the registry ever owned.",
+            totals.queries_served,
+        )
+        .counter(
+            "fpras_levels_built_total",
+            "DP levels built across sessions.",
+            totals.levels_built,
+        )
+        .counter(
+            "fpras_levels_reused_total",
+            "Query-needed levels answered from a checkpoint.",
+            totals.levels_reused,
+        )
+        .counter(
+            "fpras_quota_rejections_total",
+            "Opens and queries denied by the admission controller.",
+            admission.stats().quota_rejections(),
+        )
+        .histogram(
+            "fpras_query_latency_us",
+            "Per-query serve latency in microseconds.",
+            &totals.latency,
+        );
+    prom.render()
 }
 
 /// A parsed data-path serve command (the ones that hit a session).
@@ -689,7 +791,8 @@ fn serve_main(argv: &[String]) -> i32 {
 
     eprintln!(
         "serving (open NAME --regex P | use NAME | close NAME | estimate N | \
-         range A B | sample N [COUNT] | stats | quit)"
+         range A B | sample N [COUNT] | stats | metrics | trace on FILE | \
+         trace off | quit)"
     );
     let stdin = std::io::stdin();
     let mut line = String::new();
@@ -753,6 +856,31 @@ fn serve_main(argv: &[String]) -> i32 {
                         println!("closed {}", t.name);
                     }
                     None => println!("error: no such session"),
+                }
+                continue;
+            }
+            "metrics" => {
+                print!("{}", render_metrics(tenants.len(), &registry, &admission));
+                continue;
+            }
+            "trace" => {
+                match (words.next(), words.next()) {
+                    (Some("on"), Some(path)) => {
+                        match JsonlSink::create(path) {
+                            Ok(sink) => {
+                                // Replacing an active sink flushes and
+                                // closes it first.
+                                fpras_core::obs::install_sink(Box::new(sink));
+                                println!("trace on ({path})");
+                            }
+                            Err(e) => println!("error: cannot open trace file {path}: {e}"),
+                        }
+                    }
+                    (Some("off"), None) => {
+                        fpras_core::obs::take_sink();
+                        println!("trace off");
+                    }
+                    _ => println!("error: usage: trace on FILE | trace off"),
                 }
                 continue;
             }
@@ -833,6 +961,8 @@ fn serve_main(argv: &[String]) -> i32 {
                     // its one obituary line — the query below is served
                     // by the fresh replacement.
                     println!("error: session recycled after budget abort");
+                    let tenant = tenants[cur].name.clone();
+                    fpras_core::obs::emit_with(|| TraceEvent::SessionRecycle { tenant });
                 }
                 let built_before = session.levels_built();
                 let mut budget_abort = false;
@@ -889,8 +1019,13 @@ fn serve_main(argv: &[String]) -> i32 {
         }
     }
 
+    // Flush and close any trace file a `trace on` left active.
+    fpras_core::obs::take_sink();
     print_session_summary(&registry.session_totals());
     if args.stats {
+        // Folding live sessions sums their walls (serial-equivalent
+        // time); wall_longest in the report keeps the largest single
+        // session's wall visible next to the total.
         let mut merged = RunStats::default();
         for session in registry.sessions() {
             merged.merge(session.run_stats());
@@ -1058,6 +1193,17 @@ fn main() {
     }
 
     let args = parse_args();
+    if let Some(path) = &args.trace_out {
+        match JsonlSink::create(path) {
+            Ok(sink) => {
+                fpras_core::obs::install_sink(Box::new(sink));
+            }
+            Err(e) => {
+                eprintln!("cannot open trace file {path}: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
     let nfa = load_automaton_or_exit(args.regex.as_deref(), args.file.as_deref());
     eprintln!(
         "automaton: {} states, {} transitions, alphabet {:?}",
@@ -1210,4 +1356,7 @@ fn main() {
             eprintln!("--sample requires --method fpras");
         }
     }
+    // Flush and close the --trace-out sink (the process would otherwise
+    // exit without draining the buffered writer).
+    fpras_core::obs::take_sink();
 }

@@ -50,6 +50,44 @@ pub fn run_with_stdin_bytes(args: &[&str], input: &[u8]) -> (String, String, boo
     )
 }
 
+/// Minimal structural validator for the hand-rolled JSON emitters
+/// (trace events, bench rows): the line must be exactly one object with
+/// balanced braces/brackets outside string literals and every string
+/// terminated. Not a parser — enough to catch the classic hand-rolled
+/// failures (unescaped quote, missing brace, truncated line).
+pub fn assert_well_formed_json_object(line: &str) {
+    assert!(line.starts_with('{'), "not a JSON object: {line}");
+    let mut depth = 0i64;
+    let mut in_string = false;
+    let mut escaped = false;
+    let mut chars = line.chars();
+    for c in chars.by_ref() {
+        if in_string {
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                in_string = false;
+            }
+            continue;
+        }
+        match c {
+            '"' => in_string = true,
+            '{' | '[' => depth += 1,
+            '}' | ']' => depth -= 1,
+            _ => {}
+        }
+        assert!(depth >= 0, "close before open in: {line}");
+        if depth == 0 {
+            break; // the top-level object just closed
+        }
+    }
+    assert!(!in_string, "unterminated string in: {line}");
+    assert_eq!(depth, 0, "unbalanced braces in: {line}");
+    assert!(chars.as_str().trim().is_empty(), "trailing junk after object in: {line}");
+}
+
 /// Writes `contents` to a uniquely named fixture file under the cargo
 /// target tmp dir and returns its path — for `--file` flags. The name
 /// must be unique per call site; tests run concurrently.

@@ -23,7 +23,7 @@
 //! `estimate.to_f64().to_bits()` is an exact fingerprint.
 
 use fpras_automata::robp::Robp;
-use fpras_core::{run_parallel, run_robp_parallel, FprasRun, Params};
+use fpras_core::{run_parallel, run_robp_parallel, FprasRun, JsonlSink, Params};
 use fpras_workloads::{families, random_robp, RandomRobpConfig};
 use rand::{rngs::SmallRng, SeedableRng};
 
@@ -102,6 +102,44 @@ fn golden_streams_match_pinned_bits() {
             "{label} seed {seed} policy {policy}: estimate bits shifted \
              ({bits} vs pinned {g_bits}) — an RNG stream moved"
         );
+    }
+}
+
+/// The observability invariant as a golden-stream test (D15): rerunning
+/// the pinned NFA matrix with a live trace sink and stats collection
+/// enabled must reproduce the exact pinned bits. Tracing reads the
+/// computation — if enabling it shifts even one estimate bit, an RNG
+/// stream was touched from an observability hook.
+#[test]
+fn golden_streams_survive_tracing() {
+    if std::env::var("GOLDEN_RECORD").is_ok() {
+        return; // recording runs own the table; nothing to rerecord here
+    }
+    let path =
+        std::env::temp_dir().join(format!("fpras-golden-trace-{}.jsonl", std::process::id()));
+    let path_str = path.to_str().expect("utf-8 temp path");
+    fpras_core::obs::install_sink(Box::new(JsonlSink::create(path_str).expect("trace file")));
+    let mut observed: Vec<(String, u64, &'static str, u64)> = Vec::new();
+    for (label, nfa, n) in matrix() {
+        for seed in [7u64, 99] {
+            observed.push((label.to_string(), seed, "serial", serial_estimate(&nfa, n, seed)));
+            observed.push((label.to_string(), seed, "det", det_estimate(&nfa, n, seed, 2)));
+        }
+    }
+    fpras_core::obs::take_sink();
+    for ((label, seed, policy, bits), (.., g_bits)) in observed.iter().zip(GOLDEN) {
+        assert_eq!(
+            bits, g_bits,
+            "{label} seed {seed} policy {policy}: tracing shifted the estimate bits"
+        );
+    }
+    // And the trace itself is non-empty, line-delimited JSON objects.
+    let trace = std::fs::read_to_string(&path).expect("trace file readable");
+    let _ = std::fs::remove_file(&path);
+    assert!(!trace.is_empty(), "sink saw no events");
+    for line in trace.lines() {
+        assert!(line.starts_with("{\"ev\": \""), "not a trace object: {line}");
+        assert!(line.ends_with('}'), "unterminated object: {line}");
     }
 }
 
